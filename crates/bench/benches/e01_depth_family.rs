@@ -1,0 +1,23 @@
+//! E1 (Prop 4.5): chase runtime and depth on the growing-depth family.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuchase_engine::semi_oblivious_chase;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e01_depth_family");
+    for n in [8usize, 32, 128] {
+        let p = nuchase_gen::depth_family(n);
+        g.bench_with_input(BenchmarkId::new("chase", n), &n, |b, _| {
+            b.iter(|| {
+                let r = semi_oblivious_chase(&p.database, &p.tgds, 1_000_000);
+                assert_eq!(r.max_depth() as usize, n - 1);
+                r.instance.len()
+            })
+        });
+    }
+    g.finish();
+    // The harness table itself (prints paper-vs-measured rows).
+    println!("{}", nuchase_bench::e01_depth_family());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

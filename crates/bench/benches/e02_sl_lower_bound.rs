@@ -1,0 +1,29 @@
+//! E2 (Thm 6.5): chase size/time on the SL worst-case family.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuchase_engine::semi_oblivious_chase;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e02_sl_lower_bound");
+    g.sample_size(10);
+    for (ell, n, m) in [(1usize, 1usize, 2usize), (1, 2, 2), (1, 1, 3)] {
+        let inst = nuchase_gen::sl_family(ell, n, m);
+        let id = format!("l{ell}_n{n}_m{m}");
+        g.bench_with_input(BenchmarkId::new("chase", id), &0, |b, _| {
+            b.iter(|| {
+                let r = semi_oblivious_chase(
+                    &inst.program.database,
+                    &inst.program.tgds,
+                    4_000_000,
+                );
+                assert!(r.terminated());
+                assert!(r.instance.len() as u128 >= inst.lower_bound().unwrap());
+                r.instance.len()
+            })
+        });
+    }
+    g.finish();
+    println!("{}", nuchase_bench::e02_sl_lower_bound());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

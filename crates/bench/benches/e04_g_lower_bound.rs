@@ -1,0 +1,28 @@
+//! E4 (Thm 8.4): chase size/time on the G worst-case family.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuchase_engine::semi_oblivious_chase;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e04_g_lower_bound");
+    g.sample_size(10);
+    for (ell, n, m) in [(1usize, 1usize, 1usize), (2, 1, 1)] {
+        let inst = nuchase_gen::g_family(ell, n, m);
+        let id = format!("l{ell}_n{n}_m{m}");
+        g.bench_with_input(BenchmarkId::new("chase", id), &0, |b, _| {
+            b.iter(|| {
+                let r = semi_oblivious_chase(
+                    &inst.program.database,
+                    &inst.program.tgds,
+                    4_000_000,
+                );
+                assert!(r.terminated());
+                r.instance.len()
+            })
+        });
+    }
+    g.finish();
+    println!("{}", nuchase_bench::e04_g_lower_bound());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

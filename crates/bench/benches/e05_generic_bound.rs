@@ -1,0 +1,27 @@
+//! E5 (Lemma 5.1 / Prop 5.2): forest construction overhead and bounds.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nuchase_engine::{chase, ChaseBudget, ChaseConfig, ChaseVariant};
+
+fn bench(c: &mut Criterion) {
+    let p = nuchase_gen::depth_family(32);
+    c.bench_function("e05_chase_with_forest", |b| {
+        b.iter(|| {
+            let r = chase(
+                &p.database,
+                &p.tgds,
+                &ChaseConfig {
+                    variant: ChaseVariant::SemiOblivious,
+                    budget: ChaseBudget::atoms(1_000_000),
+                    build_forest: true,
+                    ..Default::default()
+                },
+            );
+            assert!(r.terminated());
+            r.forest.unwrap().tree_sizes().len()
+        })
+    });
+    println!("{}", nuchase_bench::e05_generic_bound());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

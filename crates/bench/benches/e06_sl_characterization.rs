@@ -1,0 +1,24 @@
+//! E6 (Thm 6.4): SL decider throughput on random programs.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let programs = nuchase_gen::random_batch(
+        &nuchase_gen::RandomConfig {
+            class: nuchase_model::TgdClass::SimpleLinear,
+            ..Default::default()
+        },
+        50,
+    );
+    c.bench_function("e06_decide_sl_x50", |b| {
+        b.iter(|| {
+            programs
+                .iter()
+                .filter(|p| nuchase::decide_sl(&p.database, &p.tgds).unwrap())
+                .count()
+        })
+    });
+    println!("{}", nuchase_bench::e06_sl_characterization());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E7 (Thm 7.5): L decider (simplification) throughput.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let programs = nuchase_gen::random_batch(
+        &nuchase_gen::RandomConfig {
+            class: nuchase_model::TgdClass::Linear,
+            ..Default::default()
+        },
+        50,
+    );
+    c.bench_function("e07_decide_l_x50", |b| {
+        b.iter(|| {
+            programs
+                .iter()
+                .filter(|p| {
+                    let mut symbols = p.symbols.clone();
+                    nuchase::decide_l(&p.database, &p.tgds, &mut symbols).unwrap()
+                })
+                .count()
+        })
+    });
+    println!("{}", nuchase_bench::e07_l_characterization());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E8 (Thm 8.3): G decider (gsimple) throughput.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let programs = nuchase_gen::random_batch(
+        &nuchase_gen::RandomConfig {
+            class: nuchase_model::TgdClass::Guarded,
+            ..Default::default()
+        },
+        10,
+    );
+    let mut g = c.benchmark_group("e08");
+    g.sample_size(10);
+    g.bench_function("decide_g_x10", |b| {
+        b.iter(|| {
+            programs
+                .iter()
+                .filter(|p| {
+                    let mut symbols = p.symbols.clone();
+                    nuchase::decide_g(&p.database, &p.tgds, &mut symbols)
+                        .unwrap_or(false)
+                })
+                .count()
+        })
+    });
+    g.finish();
+    println!("{}", nuchase_bench::e08_g_characterization());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E9 (Props 7.3 / 8.1): cost of the rewritings themselves.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let linear = nuchase_gen::random_program(&nuchase_gen::RandomConfig {
+        class: nuchase_model::TgdClass::Linear,
+        seed: 3,
+        ..Default::default()
+    });
+    c.bench_function("e09_simplify", |b| {
+        b.iter(|| {
+            let mut symbols = linear.symbols.clone();
+            nuchase_rewrite::simplify(&linear.database, &linear.tgds, &mut symbols)
+                .unwrap()
+                .tgds
+                .len()
+        })
+    });
+    let guarded = nuchase_gen::random_program(&nuchase_gen::RandomConfig {
+        class: nuchase_model::TgdClass::Guarded,
+        seed: 3,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("e09");
+    g.sample_size(10);
+    g.bench_function("linearize", |b| {
+        b.iter(|| {
+            let mut symbols = guarded.symbols.clone();
+            nuchase_rewrite::linearize(&guarded.database, &guarded.tgds, &mut symbols)
+                .map(|l| l.tgds.len())
+                .unwrap_or(0)
+        })
+    });
+    g.finish();
+    println!("{}", nuchase_bench::e09_rewrite_invariance());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

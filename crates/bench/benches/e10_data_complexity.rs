@@ -1,0 +1,32 @@
+//! E10 (Thm 6.6): UCQ decider vs naive chase decider as |D| grows.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuchase::ucq::UcqDecider;
+
+fn bench(c: &mut Criterion) {
+    let mut symbols = nuchase_model::SymbolTable::new();
+    let tgds = nuchase_gen::scenarios::obda_ontology_cyclic(&mut symbols);
+    let decider = UcqDecider::for_simple_linear(&tgds, &symbols).unwrap();
+    let mut g = c.benchmark_group("e10_data_complexity");
+    for n in [100usize, 1_000, 10_000] {
+        let db = nuchase_gen::scenarios::obda_database(&mut symbols, n);
+        g.bench_with_input(BenchmarkId::new("ucq_decider", n), &db, |b, db| {
+            b.iter(|| decider.terminates(db))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_chase", n), &db, |b, db| {
+            b.iter(|| {
+                nuchase::decide_naive(
+                    db,
+                    &tgds,
+                    nuchase_model::TgdClass::SimpleLinear,
+                    100_000,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+    println!("{}", nuchase_bench::e10_data_complexity());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E11: syntactic decider vs chase-to-fixpoint as Σ grows (Thm 6.5 family).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuchase_engine::semi_oblivious_chase;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_combined_complexity");
+    g.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let inst = nuchase_gen::sl_family(1, n, 2);
+        g.bench_with_input(BenchmarkId::new("syntactic", n), &inst, |b, inst| {
+            b.iter(|| nuchase::decide_sl(&inst.program.database, &inst.program.tgds).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("naive_chase", n), &inst, |b, inst| {
+            b.iter(|| {
+                semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 4_000_000)
+                    .instance
+                    .len()
+            })
+        });
+    }
+    g.finish();
+    println!("{}", nuchase_bench::e11_combined_complexity());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E12: chase size scaling with |D| (linearity of the characterizations).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuchase_engine::semi_oblivious_chase;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_size_linearity");
+    g.sample_size(10);
+    for ell in [1usize, 4, 16] {
+        let inst = nuchase_gen::sl_family(ell, 2, 2);
+        g.bench_with_input(BenchmarkId::new("sl_family", ell), &inst, |b, inst| {
+            b.iter(|| {
+                let r = semi_oblivious_chase(
+                    &inst.program.database,
+                    &inst.program.tgds,
+                    4_000_000,
+                );
+                assert!(r.terminated());
+                r.instance.len()
+            })
+        });
+    }
+    g.finish();
+    println!("{}", nuchase_bench::e12_size_linearity());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E13 (App. A): the fixed-Σ★ Turing reduction.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nuchase_engine::semi_oblivious_chase;
+use nuchase_gen::turing::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_turing");
+    g.sample_size(10);
+    g.bench_function("halting_machine_chase", |b| {
+        let m = machine_count_to(1);
+        b.iter(|| {
+            let mut symbols = nuchase_model::SymbolTable::new();
+            let tgds = sigma_star(&mut symbols);
+            let db = machine_database(&m, &mut symbols);
+            let r = semi_oblivious_chase(&db, &tgds, 500_000);
+            assert!(r.terminated());
+            r.instance.len()
+        })
+    });
+    g.finish();
+    println!("{}", nuchase_bench::e13_turing());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,746 @@
+//! # nuchase-bench
+//!
+//! The experiment suite regenerating every quantitative result of the
+//! paper (the paper has no experimental section — its evaluation *is* its
+//! theorems, so each experiment checks a theorem's predicted quantity
+//! against a measured one). See `EXPERIMENTS.md` at the workspace root
+//! for the experiment ↔ theorem index, and run
+//!
+//! ```text
+//! cargo run --release -p nuchase-bench --bin harness            # all
+//! cargo run --release -p nuchase-bench --bin harness -- e02 e10 # some
+//! ```
+//!
+//! Each `eNN` function produces a [`Table`]; the Criterion benches under
+//! `benches/` time the same operations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::time::Instant;
+
+use nuchase::bounds::{chase_size_bound, gtree_slice_bound};
+use nuchase::chtrm;
+use nuchase::ucq::UcqDecider;
+use nuchase_engine::{chase, semi_oblivious_chase, ChaseBudget, ChaseConfig, ChaseVariant};
+use nuchase_gen::{depth_family, g_family, l_family, sl_family};
+use nuchase_model::{Instance, TgdClass, TgdSet};
+
+/// A rendered experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `"E2"`.
+    pub id: &'static str,
+    /// Title (theorem reference + one-line description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict summarizing whether the paper's prediction held.
+    pub verdict: String,
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── {} ── {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.chars().count());
+                }
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.chars().count());
+                let pad = w.saturating_sub(c.chars().count());
+                write!(f, "{c}{}  ", " ".repeat(pad))?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        writeln!(f, "  ⇒ {}", self.verdict)
+    }
+}
+
+fn fmt_log2(x: f64) -> String {
+    if x.is_infinite() {
+        "∞".into()
+    } else if x < 40.0 {
+        format!("{:.0}", x.exp2())
+    } else {
+        format!("2^{x:.1}")
+    }
+}
+
+fn ms(t: Instant) -> String {
+    format!("{:.2} ms", t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn secs(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64()
+}
+
+/// E1 — Proposition 4.5: `maxdepth(D_n, Σ) = n − 1` grows with `|D|`.
+pub fn e01_depth_family() -> Table {
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let p = depth_family(n);
+        let t = Instant::now();
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 10_000_000);
+        let ok = r.terminated() && r.max_depth() as usize == n - 1;
+        all_ok &= ok;
+        rows.push(vec![
+            n.to_string(),
+            (n - 1).to_string(),
+            r.max_depth().to_string(),
+            r.instance.len().to_string(),
+            ms(t),
+            tick(ok),
+        ]);
+    }
+    Table {
+        id: "E1",
+        title: "Prop 4.5 — term depth grows with |D| (non-uniform only)".into(),
+        headers: svec(&["n=|D|", "paper maxdepth", "measured", "|chase|", "time", "ok"]),
+        rows,
+        verdict: verdict(all_ok, "maxdepth(D_n, Σ) = n − 1 for every n"),
+    }
+}
+
+/// Shared driver for the three lower-bound families (E2/E3/E4).
+fn lower_bound_table(
+    id: &'static str,
+    title: String,
+    params: &[(usize, usize, usize)],
+    family: impl Fn(usize, usize, usize) -> nuchase_gen::LowerBoundInstance,
+    class: TgdClass,
+    budget: usize,
+) -> Table {
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for &(ell, n, m) in params {
+        let inst = family(ell, n, m);
+        let t = Instant::now();
+        let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, budget);
+        let upper = chase_size_bound(inst.program.database.len(), &inst.program.tgds, class);
+        let lower = inst.lower_bound().unwrap_or(u128::MAX);
+        let ok = r.terminated()
+            && r.instance.len() as u128 >= lower
+            && upper.admits(r.instance.len() as u128);
+        all_ok &= ok;
+        rows.push(vec![
+            format!("({ell},{n},{m})"),
+            fmt_log2(inst.log2_lower_bound),
+            r.instance.len().to_string(),
+            fmt_log2(upper.log2),
+            ms(t),
+            tick(ok),
+        ]);
+    }
+    Table {
+        id,
+        title,
+        headers: svec(&[
+            "(ℓ,n,m)",
+            "paper ≥",
+            "measured |chase|",
+            "|D|·f_C(Σ) ≤",
+            "time",
+            "ok",
+        ]),
+        rows,
+        verdict: verdict(all_ok, "lower bound met and upper bound respected"),
+    }
+}
+
+/// E2 — Theorem 6.5: SL family `|chase| ≥ ℓ·m^{n·m}`.
+pub fn e02_sl_lower_bound() -> Table {
+    lower_bound_table(
+        "E2",
+        "Thm 6.5 — SL chase size ≥ ℓ·m^{n·m} (exp. in arity & #preds)".into(),
+        &[
+            (1, 1, 2),
+            (1, 2, 2),
+            (1, 3, 2),
+            (1, 1, 3),
+            (1, 2, 3),
+            (4, 2, 2),
+            (16, 2, 2),
+            (64, 2, 2),
+        ],
+        sl_family,
+        TgdClass::SimpleLinear,
+        8_000_000,
+    )
+}
+
+/// E3 — Theorem 7.6: L family `|chase| ≥ ℓ·2^{n(2^m−1)}`.
+pub fn e03_l_lower_bound() -> Table {
+    lower_bound_table(
+        "E3",
+        "Thm 7.6 — L chase size ≥ ℓ·2^{n(2^m−1)} (double-exp. in arity)".into(),
+        &[
+            (1, 1, 1),
+            (1, 1, 2),
+            (1, 1, 3),
+            (1, 1, 4),
+            (1, 2, 2),
+            (1, 2, 3),
+            (8, 1, 3),
+        ],
+        l_family,
+        TgdClass::Linear,
+        8_000_000,
+    )
+}
+
+/// E4 — Theorem 8.4: G family `|chase| ≥ ℓ·2^{2^n(2^{2^m}−1)}`.
+pub fn e04_g_lower_bound() -> Table {
+    lower_bound_table(
+        "E4",
+        "Thm 8.4 — G chase size ≥ ℓ·2^(2^n(2^{2^m}−1)) (triple-exp. in arity)".into(),
+        &[(1, 1, 1), (2, 1, 1), (4, 1, 1), (1, 2, 1)],
+        g_family,
+        TgdClass::Guarded,
+        8_000_000,
+    )
+}
+
+/// E5 — Lemma 5.1 / Prop 5.2: per-depth guarded-forest slice sizes vs
+/// `‖Σ‖^{2·ar·(i+1)}`, and `|chase|` vs the generic bound.
+pub fn e05_generic_bound() -> Table {
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    let programs: Vec<(String, nuchase_model::Program)> = vec![
+        ("binary-tree(3)".into(), {
+            nuchase_model::parse_program(
+                "n0(a, b).\n\
+                 n0(X, Y) -> n1(Y, Z), n1(Y, W).\n\
+                 n1(X, Y) -> n2(Y, Z), n2(Y, W).\n\
+                 n2(X, Y) -> n3(Y, Z), n3(Y, W).",
+            )
+            .unwrap()
+        }),
+        ("depth-family(8)".into(), depth_family(8)),
+        ("obda(16)".into(), nuchase_gen::scenarios::obda_scenario(16)),
+    ];
+    for (name, p) in programs {
+        let r = chase(
+            &p.database,
+            &p.tgds,
+            &ChaseConfig {
+                variant: ChaseVariant::SemiOblivious,
+                budget: ChaseBudget::atoms(200_000),
+                build_forest: true,
+                ..Default::default()
+            },
+        );
+        if !r.terminated() {
+            rows.push(vec![
+                name,
+                "did not terminate in budget".into(),
+                String::new(),
+                String::new(),
+                tick(false),
+            ]);
+            all_ok = false;
+            continue;
+        }
+        let d = r.max_depth();
+        let slices = r
+            .forest
+            .as_ref()
+            .map(|f| f.max_depth_slice_sizes(&r))
+            .unwrap_or_default();
+        let mut slice_ok = true;
+        for (i, &count) in slices.iter().enumerate() {
+            let bound = gtree_slice_bound(&p.tgds, i as u32);
+            slice_ok &= bound.admits(count as u128);
+        }
+        let generic = {
+            let depth = nuchase::bounds::Bound::exact(d as u128);
+            nuchase::bounds::size_factor(&p.tgds, &depth).scale(p.database.len() as u128)
+        };
+        let size_ok = generic.admits(r.instance.len() as u128);
+        all_ok &= slice_ok && size_ok;
+        rows.push(vec![
+            name,
+            format!("{} atoms, depth {}", r.instance.len(), d),
+            format!("slices {slices:?}"),
+            format!("generic ≤ {}", fmt_log2(generic.log2)),
+            tick(slice_ok && size_ok),
+        ]);
+    }
+    Table {
+        id: "E5",
+        title: "Lemma 5.1 / Prop 5.2 — guarded forest slice & generic size bounds".into(),
+        headers: svec(&["workload", "chase", "|gtree_i| maxima", "bound", "ok"]),
+        rows,
+        verdict: verdict(all_ok, "every measured quantity within the proven bound"),
+    }
+}
+
+/// Differential characterization runner shared by E6/E7/E8.
+fn characterization_table(
+    id: &'static str,
+    title: String,
+    class: TgdClass,
+    seeds: std::ops::Range<u64>,
+    chase_budget: usize,
+) -> Table {
+    let mut rows = Vec::new();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    let mut skipped = 0usize;
+    let mut all_ok = true;
+    for seed in seeds {
+        let mut p = nuchase_gen::random_program(&nuchase_gen::RandomConfig {
+            class,
+            seed,
+            ..Default::default()
+        });
+        let r = semi_oblivious_chase(&p.database, &p.tgds, chase_budget);
+        let verdict_syntactic = match class {
+            TgdClass::SimpleLinear => chtrm::decide_sl(&p.database, &p.tgds),
+            TgdClass::Linear => chtrm::decide_l(&p.database, &p.tgds, &mut p.symbols),
+            TgdClass::Guarded => chtrm::decide_g(&p.database, &p.tgds, &mut p.symbols),
+            TgdClass::General => unreachable!(),
+        };
+        let Ok(decided) = verdict_syntactic else {
+            skipped += 1;
+            continue;
+        };
+        total += 1;
+        // Ground truth: a terminated chase is definitely finite; budget
+        // exhaustion on these small programs (budget ≫ any terminating
+        // fixpoint observed) is treated as infinite.
+        let consistent = if r.terminated() { decided } else { !decided };
+        if consistent {
+            agree += 1;
+        } else {
+            all_ok = false;
+            rows.push(vec![
+                format!("seed {seed}"),
+                format!(
+                    "chase: {}",
+                    if r.terminated() { "finite" } else { "budget" }
+                ),
+                format!(
+                    "decider: {}",
+                    if decided { "finite" } else { "infinite" }
+                ),
+                "DISAGREE".into(),
+            ]);
+        }
+    }
+    rows.push(vec![
+        format!("{total} programs"),
+        format!("{agree} agree"),
+        format!("{skipped} skipped"),
+        String::new(),
+    ]);
+    Table {
+        id,
+        title,
+        headers: svec(&["workload", "ground truth", "syntactic decider", "note"]),
+        rows,
+        verdict: verdict(
+            all_ok && agree == total,
+            "syntactic characterization ≡ chase behaviour on the whole suite",
+        ),
+    }
+}
+
+/// E6 — Theorem 6.4: `Σ ∈ CT_D ⇔ D`-weak-acyclicity, random SL suite.
+pub fn e06_sl_characterization() -> Table {
+    characterization_table(
+        "E6",
+        "Thm 6.4 — SL termination ⇔ D-weak-acyclicity (random suite)".into(),
+        TgdClass::SimpleLinear,
+        0..120,
+        100_000,
+    )
+}
+
+/// E7 — Theorem 7.5: linear termination ⇔ `simple(Σ)` WA w.r.t.
+/// `simple(D)`, random L suite.
+pub fn e07_l_characterization() -> Table {
+    characterization_table(
+        "E7",
+        "Thm 7.5 — L termination ⇔ simplified weak-acyclicity (random suite)".into(),
+        TgdClass::Linear,
+        0..120,
+        100_000,
+    )
+}
+
+/// E8 — Theorem 8.3: guarded termination ⇔ `gsimple` weak-acyclicity,
+/// random G suite.
+pub fn e08_g_characterization() -> Table {
+    characterization_table(
+        "E8",
+        "Thm 8.3 — G termination ⇔ gsimple weak-acyclicity (random suite)".into(),
+        TgdClass::Guarded,
+        0..60,
+        60_000,
+    )
+}
+
+/// E9 — Propositions 7.3 / 8.1: simplification and linearization preserve
+/// finiteness and `maxdepth`.
+pub fn e09_rewrite_invariance() -> Table {
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    let mut checked_s = 0;
+    for seed in 0..60u64 {
+        let mut p = nuchase_gen::random_program(&nuchase_gen::RandomConfig {
+            class: TgdClass::Linear,
+            seed,
+            ..Default::default()
+        });
+        let orig = semi_oblivious_chase(&p.database, &p.tgds, 60_000);
+        let s = match nuchase_rewrite::simplify(&p.database, &p.tgds, &mut p.symbols) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let simp = semi_oblivious_chase(&s.database, &s.tgds, 120_000);
+        let ok = match (orig.terminated(), simp.terminated()) {
+            (true, true) => orig.max_depth() == simp.max_depth(),
+            (false, false) => true,
+            _ => false,
+        };
+        checked_s += 1;
+        if !ok {
+            all_ok = false;
+            rows.push(vec![
+                format!("simplify seed {seed}"),
+                format!("{}/{}", orig.terminated(), orig.max_depth()),
+                format!("{}/{}", simp.terminated(), simp.max_depth()),
+                "VIOLATION".into(),
+            ]);
+        }
+    }
+    rows.push(vec![
+        format!("simplification × {checked_s}"),
+        "Prop 7.3".into(),
+        "finiteness & maxdepth preserved".into(),
+        String::new(),
+    ]);
+    let mut checked_l = 0;
+    for seed in 0..40u64 {
+        let mut p = nuchase_gen::random_program(&nuchase_gen::RandomConfig {
+            class: TgdClass::Guarded,
+            seed,
+            ..Default::default()
+        });
+        let orig = semi_oblivious_chase(&p.database, &p.tgds, 40_000);
+        let Ok(lin) = nuchase_rewrite::linearize(&p.database, &p.tgds, &mut p.symbols) else {
+            continue;
+        };
+        let linc = semi_oblivious_chase(&lin.database, &lin.tgds, 80_000);
+        let ok = match (orig.terminated(), linc.terminated()) {
+            (true, true) => orig.max_depth() == linc.max_depth(),
+            (false, false) => true,
+            _ => false,
+        };
+        checked_l += 1;
+        if !ok {
+            all_ok = false;
+            rows.push(vec![
+                format!("linearize seed {seed}"),
+                format!("{}/{}", orig.terminated(), orig.max_depth()),
+                format!("{}/{}", linc.terminated(), linc.max_depth()),
+                "VIOLATION".into(),
+            ]);
+        }
+    }
+    rows.push(vec![
+        format!("linearization × {checked_l}"),
+        "Prop 8.1".into(),
+        "finiteness & maxdepth preserved".into(),
+        String::new(),
+    ]);
+    Table {
+        id: "E9",
+        title: "Props 7.3 / 8.1 — rewritings preserve finiteness and maxdepth".into(),
+        headers: svec(&["rewriting", "original", "rewritten", "note"]),
+        rows,
+        verdict: verdict(all_ok, "no invariance violations observed"),
+    }
+}
+
+/// E10 — data complexity (Thm 6.6): fixed Σ, growing `D`; the compiled
+/// UCQ decider vs the naive chase decider.
+pub fn e10_data_complexity() -> Table {
+    let mut symbols = nuchase_model::SymbolTable::new();
+    let tgds = nuchase_gen::scenarios::obda_ontology_cyclic(&mut symbols);
+    let decider = UcqDecider::for_simple_linear(&tgds, &symbols).unwrap();
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for n in [10usize, 100, 1_000, 10_000, 50_000] {
+        let db = nuchase_gen::scenarios::obda_database(&mut symbols, n);
+        let t_ucq = Instant::now();
+        let ucq_verdict = decider.terminates(&db);
+        let ucq_time = secs(t_ucq);
+
+        let t_naive = Instant::now();
+        let naive = chtrm::decide_naive(&db, &tgds, TgdClass::SimpleLinear, 300_000).unwrap();
+        let naive_time = secs(t_naive);
+
+        let consistent = match naive {
+            Some(v) => v == ucq_verdict,
+            None => true, // naive infeasible — exactly the point
+        };
+        all_ok &= consistent && !ucq_verdict;
+        rows.push(vec![
+            db.len().to_string(),
+            format!("{ucq_verdict} in {:.3} ms", ucq_time * 1e3),
+            match naive {
+                Some(v) => format!("{v} in {:.1} ms", naive_time * 1e3),
+                None => format!("infeasible ({:.1} ms burned)", naive_time * 1e3),
+            },
+            format!("{:.0}×", naive_time / ucq_time.max(1e-9)),
+            tick(consistent),
+        ]);
+    }
+    Table {
+        id: "E10",
+        title: "Thm 6.6 — AC⁰ data complexity: UCQ decider vs naive chase".into(),
+        headers: svec(&["|D|", "UCQ Q_Σ decider", "naive chase decider", "speedup", "ok"]),
+        rows,
+        verdict: verdict(
+            all_ok,
+            "UCQ decider flat & correct; naive cost grows with the chase",
+        ),
+    }
+}
+
+/// E11 — combined complexity: growing Σ; the syntactic decider vs the
+/// exponential-size chase (Thm 6.5 family).
+pub fn e11_combined_complexity() -> Table {
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for n in [1usize, 2, 3, 4] {
+        let inst = sl_family(1, n, 2);
+        let db = &inst.program.database;
+        let tgds = &inst.program.tgds;
+        let t_syn = Instant::now();
+        let syntactic = chtrm::decide_sl(db, tgds).unwrap();
+        let syn_time = secs(t_syn);
+        let t_naive = Instant::now();
+        let r = semi_oblivious_chase(db, tgds, 4_000_000);
+        let naive_time = secs(t_naive);
+        let ok = syntactic == r.terminated();
+        all_ok &= ok;
+        rows.push(vec![
+            format!("Σ_{{{n},2}} (|sch|={})", tgds.schema_preds().len()),
+            format!("{syntactic} in {:.3} ms", syn_time * 1e3),
+            format!(
+                "chase {} atoms in {:.1} ms",
+                r.instance.len(),
+                naive_time * 1e3
+            ),
+            format!("{:.0}×", naive_time / syn_time.max(1e-9)),
+            tick(ok),
+        ]);
+    }
+    Table {
+        id: "E11",
+        title: "Thm 6.6 — combined complexity: graph decider vs exp-size chase".into(),
+        headers: svec(&["Σ", "syntactic decider", "naive (chase to fixpoint)", "speedup", "ok"]),
+        rows,
+        verdict: verdict(
+            all_ok,
+            "decider answers in graph time; chase size explodes with Σ",
+        ),
+    }
+}
+
+/// E12 — item (2) of Theorems 6.4/7.5/8.3: `|chase|` is **linear** in
+/// `|D|` whenever finite; slope fit across the three classes.
+pub fn e12_size_linearity() -> Table {
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    type Builder = Box<dyn Fn(usize) -> (Instance, TgdSet)>;
+    let configs: Vec<(&str, Builder)> = vec![
+        (
+            "SL: Thm 6.5 family (n=2, m=2)",
+            Box::new(|ell| {
+                let i = sl_family(ell, 2, 2);
+                (i.program.database, i.program.tgds)
+            }),
+        ),
+        (
+            "L: Thm 7.6 family (n=1, m=2)",
+            Box::new(|ell| {
+                let i = l_family(ell, 1, 2);
+                (i.program.database, i.program.tgds)
+            }),
+        ),
+        (
+            "G: Thm 8.4 family (n=1, m=1)",
+            Box::new(|ell| {
+                let i = g_family(ell, 1, 1);
+                (i.program.database, i.program.tgds)
+            }),
+        ),
+        (
+            "SL: OBDA scenario",
+            Box::new(|n| {
+                let p = nuchase_gen::scenarios::obda_scenario(n * 8);
+                (p.database, p.tgds)
+            }),
+        ),
+    ];
+    for (name, build) in configs {
+        let sizes: Vec<(usize, usize)> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&ell| {
+                let (db, tgds) = build(ell);
+                let r = semi_oblivious_chase(&db, &tgds, 4_000_000);
+                assert!(r.terminated(), "{name} must terminate");
+                (db.len(), r.instance.len())
+            })
+            .collect();
+        let (d0, c0) = sizes[0];
+        let (d3, c3) = sizes[3];
+        let ratio = (c3 as f64 / c0 as f64) / (d3 as f64 / d0 as f64);
+        let ok = (0.5..=2.0).contains(&ratio);
+        all_ok &= ok;
+        rows.push(vec![
+            name.to_string(),
+            format!("{sizes:?}"),
+            format!("{ratio:.2}"),
+            tick(ok),
+        ]);
+    }
+    Table {
+        id: "E12",
+        title: "Thms 6.4/7.5/8.3(2) — |chase| linear in |D| when finite".into(),
+        headers: svec(&["workload", "(|D|, |chase|) series", "slope ratio", "ok"]),
+        rows,
+        verdict: verdict(all_ok, "chase size scales linearly with |D| in all classes"),
+    }
+}
+
+/// E13 — Appendix A / Prop 4.2: the fixed-`Σ★` Turing reduction, run in
+/// both directions against the DTM simulator.
+pub fn e13_turing() -> Table {
+    use nuchase_gen::turing::*;
+    let machines: Vec<(&str, Dtm, usize)> = vec![
+        ("halt immediately", machine_halt_now(), 100_000),
+        ("count to 1", machine_count_to(1), 200_000),
+        ("count to 2", machine_count_to(2), 400_000),
+        ("run forever (sweep)", machine_run_forever(), 30_000),
+        ("run forever (ping-pong)", machine_ping_pong(), 30_000),
+    ];
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for (name, m, budget) in machines {
+        let halts = matches!(m.simulate(100_000), SimOutcome::Halts(_));
+        let mut symbols = nuchase_model::SymbolTable::new();
+        let tgds = sigma_star(&mut symbols);
+        let db = machine_database(&m, &mut symbols);
+        let t = Instant::now();
+        let r = semi_oblivious_chase(&db, &tgds, budget);
+        let ok = r.terminated() == halts;
+        all_ok &= ok;
+        rows.push(vec![
+            name.to_string(),
+            if halts { "halts" } else { "runs forever" }.into(),
+            if r.terminated() {
+                format!("finite ({} atoms)", r.instance.len())
+            } else {
+                format!("infinite (> {budget} atoms)")
+            },
+            ms(t),
+            tick(ok),
+        ]);
+    }
+    Table {
+        id: "E13",
+        title: "Prop 4.2 / App. A — fixed Σ★: chase(D_M, Σ★) finite ⇔ M halts".into(),
+        headers: svec(&["machine M", "simulator", "chase(D_M, Σ★)", "time", "ok"]),
+        rows,
+        verdict: verdict(all_ok, "reduction agrees with direct simulation both ways"),
+    }
+}
+
+/// A named experiment entry: `(id, runner)`.
+pub type Experiment = (&'static str, fn() -> Table);
+
+/// All experiments in execution order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("e01", e01_depth_family as fn() -> Table),
+        ("e02", e02_sl_lower_bound),
+        ("e03", e03_l_lower_bound),
+        ("e04", e04_g_lower_bound),
+        ("e05", e05_generic_bound),
+        ("e06", e06_sl_characterization),
+        ("e07", e07_l_characterization),
+        ("e08", e08_g_characterization),
+        ("e09", e09_rewrite_invariance),
+        ("e10", e10_data_complexity),
+        ("e11", e11_combined_complexity),
+        ("e12", e12_size_linearity),
+        ("e13", e13_turing),
+    ]
+}
+
+fn svec(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
+fn tick(ok: bool) -> String {
+    if ok { "✓" } else { "✗" }.into()
+}
+
+fn verdict(ok: bool, msg: &str) -> String {
+    format!("{} {msg}", if ok { "PASS:" } else { "FAIL:" })
+}
+
+// Convenience re-exports for the benches.
+pub use nuchase::bounds::Bound;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_is_stable() {
+        let t = Table {
+            id: "E0",
+            title: "demo".into(),
+            headers: svec(&["a", "b"]),
+            rows: vec![svec(&["1", "22"]), svec(&["333", "4"])],
+            verdict: "PASS: demo".into(),
+        };
+        let s = t.to_string();
+        assert!(s.contains("E0") && s.contains("PASS"));
+    }
+
+    #[test]
+    fn quick_experiments_pass() {
+        let t = e05_generic_bound();
+        assert!(t.verdict.starts_with("PASS"), "{t}");
+    }
+
+    #[test]
+    fn depth_bound_helper_reexports() {
+        let p = nuchase_model::parse_program("r(X, Y) -> r(Y, Z).").unwrap();
+        assert!(nuchase::bounds::depth_bound(&p.tgds, TgdClass::SimpleLinear)
+            .exact
+            .is_some());
+    }
+}

@@ -1,0 +1,368 @@
+//! # nuchase-cli
+//!
+//! The library behind the `nuchase` command-line tool: each subcommand is
+//! a pure function from a parsed program to a report string, so the logic
+//! is unit-testable without process spawning.
+//!
+//! Subcommands:
+//!
+//! * `decide`  — non-uniform + uniform termination verdicts, class info;
+//! * `run`     — run the (budgeted) semi-oblivious chase, print stats or
+//!   the full materialization;
+//! * `explain` — dependency-graph diagnosis: critical predicates, the
+//!   compiled UCQ `Q_Σ`, and which database facts support divergence;
+//! * `bounds`  — the paper's depth/size bounds for the program;
+//! * `query`   — certain answers of a conjunctive query over the
+//!   materialization.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+
+use nuchase::bounds::{chase_size_bound, depth_bound, f_class};
+use nuchase::ucq::UcqDecider;
+use nuchase_engine::{chase, ChaseBudget, ChaseConfig, ChaseVariant};
+use nuchase_model::{DisplayWith, Program, TgdClass};
+
+/// Errors surfaced to the CLI user.
+pub type CliError = Box<dyn std::error::Error>;
+
+/// `nuchase decide`: termination verdicts.
+pub fn cmd_decide(program: &mut Program) -> Result<String, CliError> {
+    let mut out = String::new();
+    let class = program.tgds.classify();
+    let _ = writeln!(
+        out,
+        "class: {} ({} TGDs, {} predicates, arity ≤ {}, |D| = {})",
+        class.short_name(),
+        program.tgds.len(),
+        program.tgds.schema_preds().len(),
+        program.tgds.max_arity(),
+        program.database.len()
+    );
+    // Exact uniform decision via the critical database when the class
+    // permits; weak acyclicity is only sound-for-SL.
+    let uniform = nuchase::uniform(&program.tgds, &mut program.symbols)
+        .map(|v| v.to_string())
+        .unwrap_or_else(|_| "undecidable (general TGDs)".into());
+    let _ = writeln!(out, "uniform (all databases): {uniform}");
+    match nuchase::decide(&program.database, &program.tgds, &mut program.symbols) {
+        Ok(v) => {
+            let _ = writeln!(out, "non-uniform (this database): {v}");
+            if v {
+                let bound = chase_size_bound(program.database.len(), &program.tgds, class);
+                let _ = writeln!(
+                    out,
+                    "guaranteed size: |chase(D, Σ)| ≤ {}",
+                    match bound.exact {
+                        Some(b) if b < 1 << 40 => b.to_string(),
+                        _ => format!("2^{:.1}", bound.log2),
+                    }
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "non-uniform (this database): {e}");
+        }
+    }
+    Ok(out)
+}
+
+/// `nuchase run`: run the chase with a budget; optionally print atoms.
+pub fn cmd_run(program: &Program, max_atoms: usize, print_atoms: bool) -> Result<String, CliError> {
+    let result = chase(
+        &program.database,
+        &program.tgds,
+        &ChaseConfig {
+            variant: ChaseVariant::SemiOblivious,
+            budget: ChaseBudget::atoms(max_atoms),
+            ..Default::default()
+        },
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "outcome: {}",
+        if result.terminated() {
+            "terminated".to_string()
+        } else {
+            format!("budget exhausted at {max_atoms} atoms (diverging or under-budgeted)")
+        }
+    );
+    let _ = writeln!(
+        out,
+        "atoms: {} ({} derived), nulls: {}, maxdepth: {}, rounds: {}, triggers fired: {}",
+        result.instance.len(),
+        result.stats.atoms_created,
+        result.stats.nulls_created,
+        result.max_depth(),
+        result.stats.rounds,
+        result.stats.triggers_fired,
+    );
+    if print_atoms {
+        let _ = write!(out, "{}", result.instance.display(&program.symbols));
+    }
+    Ok(out)
+}
+
+/// `nuchase explain`: diagnosis of why (non-)termination holds.
+pub fn cmd_explain(program: &mut Program) -> Result<String, CliError> {
+    let mut out = String::new();
+    let graph = nuchase::DepGraph::new(&program.tgds);
+    let _ = writeln!(
+        out,
+        "dependency graph: {} positions, {} edges ({} special)",
+        graph.positions().len(),
+        graph.edges().len(),
+        graph.special_edges().count()
+    );
+    let bad = nuchase::weak_acyclicity::bad_nodes(&graph);
+    if bad.is_empty() {
+        let _ = writeln!(
+            out,
+            "no cycle with a special edge: Σ is weakly acyclic — terminates on every database"
+        );
+        return Ok(out);
+    }
+    let mut bad_positions: Vec<String> = bad
+        .iter()
+        .map(|&n| graph.positions()[n].display(&program.symbols))
+        .collect();
+    bad_positions.sort();
+    let _ = writeln!(out, "positions on special cycles: {}", bad_positions.join(", "));
+
+    let critical = nuchase::critical_preds(&graph);
+    let mut names: Vec<&str> = critical
+        .iter()
+        .map(|&p| program.symbols.pred_name(p))
+        .collect();
+    names.sort_unstable();
+    let _ = writeln!(out, "critical predicates P_Σ: {}", names.join(", "));
+
+    // Which database facts are supporters?
+    let mut supporters: Vec<String> = program
+        .database
+        .iter()
+        .filter(|a| critical.contains(&a.pred))
+        .map(|a| format!("{}", a.display(&program.symbols)))
+        .collect();
+    supporters.sort();
+    supporters.dedup();
+    if supporters.is_empty() {
+        let _ = writeln!(
+            out,
+            "no database fact supports the cycles: the chase of THIS database terminates"
+        );
+    } else {
+        let _ = writeln!(out, "supporting facts: {}", supporters.join(", "));
+    }
+
+    // The compiled UCQ, when the class permits.
+    match program.tgds.classify() {
+        TgdClass::SimpleLinear => {
+            let d = UcqDecider::for_simple_linear(&program.tgds, &program.symbols)?;
+            let _ = writeln!(out, "Q_Σ = {}", d.ucq().display(&program.symbols));
+        }
+        TgdClass::Linear => {
+            let d = UcqDecider::for_linear(&program.tgds, &mut program.symbols)?;
+            let _ = writeln!(out, "Q_Σ = {}", d.ucq().display(&program.symbols));
+        }
+        _ => {}
+    }
+    Ok(out)
+}
+
+/// `nuchase bounds`: the paper's depth and size bounds for the program.
+pub fn cmd_bounds(program: &Program) -> Result<String, CliError> {
+    let mut out = String::new();
+    let class = program.tgds.classify();
+    let _ = writeln!(
+        out,
+        "‖Σ‖ = {}, |sch(Σ)| = {}, ar(Σ) = {}",
+        program.tgds.norm(),
+        program.tgds.schema_preds().len(),
+        program.tgds.max_arity()
+    );
+    for c in [TgdClass::SimpleLinear, TgdClass::Linear, TgdClass::Guarded] {
+        if class > c {
+            continue;
+        }
+        let d = depth_bound(&program.tgds, c);
+        let f = f_class(&program.tgds, c);
+        let fmt = |b: &nuchase::Bound| match b.exact {
+            Some(v) if v < 1 << 40 => v.to_string(),
+            _ => format!("2^{:.1}", b.log2),
+        };
+        let _ = writeln!(
+            out,
+            "as {:>2}: d_C(Σ) = {}, f_C(Σ) = {}, |D|·f_C(Σ) = {}",
+            c.short_name(),
+            fmt(&d),
+            fmt(&f),
+            fmt(&f.scale(program.database.len() as u128)),
+        );
+    }
+    if class == TgdClass::General {
+        let _ = writeln!(
+            out,
+            "Σ is not guarded: no class bound applies (ChTrm is undecidable, Prop 4.2)"
+        );
+    }
+    Ok(out)
+}
+
+/// `nuchase query`: certain answers of a Boolean/labelled CQ given as a
+/// single rule body, e.g. `"person(X), worksfor(X, D)"`, with answer
+/// variables listed after `?`, e.g. `"person(X), worksfor(X, D) ? X"`.
+pub fn cmd_query(program: &mut Program, query_text: &str, max_atoms: usize) -> Result<String, CliError> {
+    let (body_text, answers_text) = match query_text.split_once('?') {
+        Some((b, a)) => (b.trim(), a.trim()),
+        None => (query_text.trim(), ""),
+    };
+    // Parse the body by wrapping it as a rule "body -> qtmp."
+    let (_, tgds) = nuchase_model::parse_into(
+        &format!("{body_text} -> nuchase_query_marker.\n"),
+        &mut program.symbols,
+    )?;
+    let tgd = tgds.iter().next().expect("one rule").1;
+    let answer_names: Vec<&str> = answers_text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    // Rule normalization assigns dense variable ids in first-occurrence
+    // order, so the k-th distinct variable name of the body text has
+    // dense id k — recover the answer ids by scanning tokens.
+    let mut seen: Vec<String> = Vec::new();
+    for token in body_text.split(|c: char| !(c.is_alphanumeric() || c == '_' || c == '?')) {
+        if nuchase_model::parser::is_variable_token(token) && !seen.iter().any(|s| s == token) {
+            seen.push(token.to_string());
+        }
+    }
+    let answer_vars: Vec<nuchase_model::VarId> = answer_names
+        .iter()
+        .map(|name| {
+            let idx = seen
+                .iter()
+                .position(|s| s == name)
+                .ok_or_else(|| format!("answer variable {name} does not occur in the query"))?;
+            Ok::<_, CliError>(nuchase_model::VarId(idx as u32))
+        })
+        .collect::<Result<_, _>>()?;
+    let q = nuchase_model::Cq::with_answers(tgd.body().to_vec(), &answer_vars);
+
+    // Materialize (or refuse).
+    let mut out = String::new();
+    match nuchase::decide(&program.database, &program.tgds, &mut program.symbols) {
+        Ok(true) | Err(_) => {
+            let result = chase(
+                &program.database,
+                &program.tgds,
+                &ChaseConfig {
+                    budget: ChaseBudget::atoms(max_atoms),
+                    ..Default::default()
+                },
+            );
+            if !result.terminated() {
+                let _ = writeln!(out, "chase did not terminate within {max_atoms} atoms");
+                return Ok(out);
+            }
+            let mut answers: Vec<String> = q
+                .certain_answers_in(&result.instance)
+                .into_iter()
+                .map(|tuple| {
+                    let cells: Vec<String> = tuple
+                        .iter()
+                        .map(|t| format!("{}", t.display(&program.symbols)))
+                        .collect();
+                    format!("({})", cells.join(", "))
+                })
+                .collect();
+            answers.sort();
+            let _ = writeln!(out, "{} certain answer(s):", answers.len());
+            for a in answers {
+                let _ = writeln!(out, "  {a}");
+            }
+        }
+        Ok(false) => {
+            let _ = writeln!(
+                out,
+                "the chase of this database diverges: materialization not applicable"
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::parse_program;
+
+    fn program(text: &str) -> Program {
+        parse_program(text).unwrap()
+    }
+
+    #[test]
+    fn decide_reports_both_verdicts() {
+        let mut p = program("q(a).\nr(X, Y) -> r(Y, Z).");
+        let out = cmd_decide(&mut p).unwrap();
+        assert!(out.contains("uniform (all databases): false"));
+        assert!(out.contains("non-uniform (this database): true"));
+        assert!(out.contains("guaranteed size"));
+    }
+
+    #[test]
+    fn run_reports_stats() {
+        let p = program("r(a, b).\nr(X, Y) -> s(X, Z).");
+        let out = cmd_run(&p, 1000, true).unwrap();
+        assert!(out.contains("terminated"));
+        assert!(out.contains("s(a, _:n0)"));
+    }
+
+    #[test]
+    fn explain_lists_critical_predicates() {
+        let mut p = program("r(a, b).\nr(X, Y) -> r(Y, Z).");
+        let out = cmd_explain(&mut p).unwrap();
+        assert!(out.contains("critical predicates P_Σ: r"), "{out}");
+        assert!(out.contains("supporting facts: r(a, b)"), "{out}");
+        assert!(out.contains("Q_Σ"), "{out}");
+    }
+
+    #[test]
+    fn explain_weakly_acyclic() {
+        let mut p = program("r(X, Y) -> s(X, Z).");
+        let out = cmd_explain(&mut p).unwrap();
+        assert!(out.contains("weakly acyclic"), "{out}");
+    }
+
+    #[test]
+    fn bounds_show_class_ladder() {
+        let p = program("r(X, Y) -> r(Y, Z).");
+        let out = cmd_bounds(&p).unwrap();
+        assert!(out.contains("as SL"), "{out}");
+        assert!(out.contains("as  L") || out.contains("as L"), "{out}");
+        assert!(out.contains("as  G") || out.contains("as G"), "{out}");
+    }
+
+    #[test]
+    fn query_returns_certain_answers() {
+        let mut p = program(
+            "parent(alice, bob).\nparent(X, Y) -> person(Y).\nperson(X) -> named(X, N).",
+        );
+        let out = cmd_query(&mut p, "person(X) ? X", 10_000).unwrap();
+        assert!(out.contains("1 certain answer"), "{out}");
+        assert!(out.contains("(bob)"), "{out}");
+        // Null-valued tuples are not certain.
+        let out2 = cmd_query(&mut p, "named(X, N) ? N", 10_000).unwrap();
+        assert!(out2.contains("0 certain answer"), "{out2}");
+    }
+
+    #[test]
+    fn query_refuses_on_divergence() {
+        let mut p = program("r(a, b).\nr(X, Y) -> r(Y, Z).");
+        let out = cmd_query(&mut p, "r(X, Y) ? X", 10_000).unwrap();
+        assert!(out.contains("diverges"), "{out}");
+    }
+}

@@ -1,0 +1,77 @@
+//! The `nuchase` command-line tool.
+//!
+//! ```text
+//! nuchase decide  <program>                 termination verdicts + size bound
+//! nuchase run     <program> [--atoms N] [--print]
+//! nuchase explain <program>                 critical predicates, Q_Σ, supporters
+//! nuchase bounds  <program>                 the paper's d_C / f_C bounds
+//! nuchase query   <program> "<body> ? X, Y" certain answers over the chase
+//! ```
+//!
+//! `<program>` is a file in the Datalog± text format (see README), or `-`
+//! for stdin.
+
+use std::io::Read;
+
+fn read_program(path: &str) -> Result<nuchase_model::Program, nuchase_cli::CliError> {
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        s
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    Ok(nuchase_model::parse_program(&text)?)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nuchase <decide|run|explain|bounds|query> <program.dlp|-> [args]\n\
+         \n\
+         decide  — termination verdicts (uniform + this database)\n\
+         run     — run the semi-oblivious chase  [--atoms N] [--print]\n\
+         explain — dependency-graph diagnosis and the compiled UCQ Q_Σ\n\
+         bounds  — the paper's depth/size bounds d_C(Σ), f_C(Σ)\n\
+         query   — certain answers, e.g.: nuchase query kb.dlp 'person(X) ? X'"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => usage(),
+    };
+    let run = || -> Result<String, nuchase_cli::CliError> {
+        let mut program = read_program(path)?;
+        match cmd {
+            "decide" => nuchase_cli::cmd_decide(&mut program),
+            "run" => {
+                let atoms = args
+                    .iter()
+                    .position(|a| a == "--atoms")
+                    .and_then(|i| args.get(i + 1))
+                    .map(|s| s.parse::<usize>())
+                    .transpose()?
+                    .unwrap_or(1_000_000);
+                let print = args.iter().any(|a| a == "--print");
+                nuchase_cli::cmd_run(&program, atoms, print)
+            }
+            "explain" => nuchase_cli::cmd_explain(&mut program),
+            "bounds" => nuchase_cli::cmd_bounds(&program),
+            "query" => {
+                let q = args.get(2).ok_or("query text required")?;
+                nuchase_cli::cmd_query(&mut program, q, 1_000_000)
+            }
+            _ => usage(),
+        }
+    };
+    match run() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("nuchase: {e}");
+            std::process::exit(1);
+        }
+    }
+}

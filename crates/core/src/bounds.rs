@@ -1,0 +1,253 @@
+//! The size and depth bound functions of §5–§8.
+//!
+//! * Depth bounds (database-independent): `d_SL(Σ) = |sch|·ar`,
+//!   `d_L(Σ) = |sch|·ar^{ar+1}`,
+//!   `d_G(Σ) = |sch|·ar^{2ar+1}·2^{|sch|·ar^{ar}}`.
+//! * Size bound factor (Theorems 6.4/7.5/8.3):
+//!   `f_C(Σ) = (d_C(Σ)+1) · ‖Σ‖^{2·ar·(d_C(Σ)+1)}`, so that
+//!   `Σ ∈ CT_D ⇔ |chase(D,Σ)| ≤ |D| · f_C(Σ)`.
+//! * The generic bound (Prop 5.2) with measured depth `d`:
+//!   `|chase(D,Σ)| ≤ |D| · (d+1) · ‖Σ‖^{2·ar·(d+1)}`.
+//! * The per-depth tree bound (Lemma 5.1):
+//!   `|gtree_i(δ,α)| ≤ ‖Σ‖^{2·ar·(i+1)}`.
+//!
+//! These quantities overflow machine integers almost immediately, so every
+//! bound is reported as a [`Bound`]: an exact `u128` when representable
+//! plus an always-available `log₂` estimate.
+
+use nuchase_model::{TgdClass, TgdSet};
+
+/// A possibly-astronomical bound: exact value when it fits in `u128`,
+/// and its base-2 logarithm always.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bound {
+    /// Exact value, if representable.
+    pub exact: Option<u128>,
+    /// `log₂` of the bound (`-∞` encoded as `f64::NEG_INFINITY` for 0).
+    pub log2: f64,
+}
+
+impl Bound {
+    /// A bound from an exact value.
+    pub fn exact(v: u128) -> Bound {
+        Bound {
+            exact: Some(v),
+            log2: (v as f64).log2(),
+        }
+    }
+
+    /// A bound known only in log-space.
+    pub fn from_log2(log2: f64) -> Bound {
+        let exact = if log2 < 126.0 {
+            Some(log2.exp2().ceil() as u128)
+        } else {
+            None
+        };
+        Bound { exact, log2 }
+    }
+
+    /// Does a measured count stay within the bound?
+    pub fn admits(&self, count: u128) -> bool {
+        match self.exact {
+            Some(b) => count <= b,
+            None => (count as f64).log2() <= self.log2,
+        }
+    }
+
+    /// Multiplies by an integer factor (e.g. `|D|`).
+    pub fn scale(&self, factor: u128) -> Bound {
+        let exact = self.exact.and_then(|b| b.checked_mul(factor));
+        Bound {
+            exact,
+            log2: self.log2 + (factor.max(1) as f64).log2(),
+        }
+    }
+}
+
+/// The parameters `|sch(Σ)|`, `ar(Σ)`, `‖Σ‖` of a TGD set.
+#[derive(Clone, Copy, Debug)]
+pub struct SchemaParams {
+    /// `|sch(Σ)|`.
+    pub sch: u128,
+    /// `ar(Σ)`.
+    pub ar: u128,
+    /// `‖Σ‖ = |atoms(Σ)|·|sch(Σ)|·ar(Σ)`.
+    pub norm: u128,
+}
+
+impl From<&TgdSet> for SchemaParams {
+    fn from(tgds: &TgdSet) -> Self {
+        SchemaParams {
+            sch: tgds.schema_preds().len() as u128,
+            ar: tgds.max_arity() as u128,
+            norm: tgds.norm(),
+        }
+    }
+}
+
+fn checked_pow(base: u128, exp: u128) -> Option<u128> {
+    let exp32 = u32::try_from(exp).ok()?;
+    base.checked_pow(exp32)
+}
+
+fn log2u(v: u128) -> f64 {
+    (v.max(1) as f64).log2()
+}
+
+/// `d_SL(Σ) = |sch(Σ)| · ar(Σ)` (Lemma 6.2).
+pub fn d_sl(tgds: &TgdSet) -> Bound {
+    let p = SchemaParams::from(tgds);
+    Bound::exact(p.sch * p.ar)
+}
+
+/// `d_L(Σ) = |sch(Σ)| · ar(Σ)^{ar(Σ)+1}` (Lemma 7.4).
+pub fn d_l(tgds: &TgdSet) -> Bound {
+    let p = SchemaParams::from(tgds);
+    let exact = checked_pow(p.ar, p.ar + 1).and_then(|x| x.checked_mul(p.sch));
+    Bound {
+        exact,
+        log2: log2u(p.sch) + (p.ar + 1) as f64 * log2u(p.ar),
+    }
+}
+
+/// `d_G(Σ) = |sch(Σ)| · ar(Σ)^{2·ar(Σ)+1} · 2^{|sch(Σ)|·ar(Σ)^{ar(Σ)}}`
+/// (Lemma 8.2).
+pub fn d_g(tgds: &TgdSet) -> Bound {
+    let p = SchemaParams::from(tgds);
+    let log2 = log2u(p.sch)
+        + (2 * p.ar + 1) as f64 * log2u(p.ar)
+        + p.sch as f64 * (p.ar as f64).powi(p.ar.min(1_000) as i32);
+    let exact = (|| {
+        let a = checked_pow(p.ar, 2 * p.ar + 1)?.checked_mul(p.sch)?;
+        let e = checked_pow(p.ar, p.ar)?.checked_mul(p.sch)?;
+        let pow2 = checked_pow(2, e)?;
+        a.checked_mul(pow2)
+    })();
+    Bound { exact, log2 }
+}
+
+/// The depth bound `d_C(Σ)` for a class `C ∈ {SL, L, G}`.
+pub fn depth_bound(tgds: &TgdSet, class: TgdClass) -> Bound {
+    match class {
+        TgdClass::SimpleLinear => d_sl(tgds),
+        TgdClass::Linear => d_l(tgds),
+        TgdClass::Guarded => d_g(tgds),
+        TgdClass::General => Bound {
+            exact: None,
+            log2: f64::INFINITY,
+        },
+    }
+}
+
+/// The generic per-database factor of Prop 5.2 for a given depth `d`:
+/// `(d+1) · ‖Σ‖^{2·ar·(d+1)}`. With `d = d_C(Σ)` this is `f_C(Σ)`.
+pub fn size_factor(tgds: &TgdSet, depth: &Bound) -> Bound {
+    let p = SchemaParams::from(tgds);
+    let log2 = match depth.exact {
+        Some(d) => {
+            log2u(d + 1) + 2.0 * p.ar as f64 * (d + 1) as f64 * log2u(p.norm)
+        }
+        None => f64::INFINITY, // exponent itself is astronomically large
+    };
+    let exact = depth.exact.and_then(|d| {
+        let exp = 2u128.checked_mul(p.ar)?.checked_mul(d + 1)?;
+        checked_pow(p.norm, exp)?.checked_mul(d + 1)
+    });
+    Bound { exact, log2 }
+}
+
+/// `f_C(Σ)` (Theorems 6.4 / 7.5 / 8.3).
+pub fn f_class(tgds: &TgdSet, class: TgdClass) -> Bound {
+    size_factor(tgds, &depth_bound(tgds, class))
+}
+
+/// The full size bound `|D| · f_C(Σ)`.
+pub fn chase_size_bound(db_len: usize, tgds: &TgdSet, class: TgdClass) -> Bound {
+    f_class(tgds, class).scale(db_len as u128)
+}
+
+/// Lemma 5.1: `|gtree_i(δ, α)| ≤ ‖Σ‖^{2·ar(Σ)·(i+1)}`.
+pub fn gtree_slice_bound(tgds: &TgdSet, depth: u32) -> Bound {
+    let p = SchemaParams::from(tgds);
+    let exp = 2 * p.ar * (depth as u128 + 1);
+    Bound {
+        exact: checked_pow(p.norm, exp),
+        log2: exp as f64 * log2u(p.norm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::parser::parse_program;
+
+    fn tgds(text: &str) -> TgdSet {
+        parse_program(text).unwrap().tgds
+    }
+
+    #[test]
+    fn successor_rule_bounds() {
+        // Σ = {R(x,y) → ∃z R(y,z)}: |sch| = 1, ar = 2, atoms = 2, ‖Σ‖ = 4.
+        let s = tgds("r(X, Y) -> r(Y, Z).");
+        let p = SchemaParams::from(&s);
+        assert_eq!((p.sch, p.ar, p.norm), (1, 2, 4));
+        assert_eq!(d_sl(&s).exact, Some(2));
+        // d_L = 1 · 2^3 = 8.
+        assert_eq!(d_l(&s).exact, Some(8));
+        // d_G = 1 · 2^5 · 2^{1·2^2} = 32 · 16 = 512.
+        assert_eq!(d_g(&s).exact, Some(512));
+    }
+
+    #[test]
+    fn f_class_matches_formula() {
+        let s = tgds("r(X, Y) -> r(Y, Z).");
+        // f_SL = (2+1) · 4^{2·2·3} = 3 · 4^12 = 3 · 16 777 216.
+        let f = f_class(&s, TgdClass::SimpleLinear);
+        assert_eq!(f.exact, Some(3 * 16_777_216));
+        assert!((f.log2 - (3.0f64 * 16_777_216.0).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_degrade_gracefully_to_log_space() {
+        // A wider schema where d_G overflows u128: |sch|·ar^ar large.
+        let s = tgds(
+            "r(X1, X2, X3, X4, X5, X6, X7, X8, X9, X10) -> \
+             r(X2, X3, X4, X5, X6, X7, X8, X9, X10, Z).",
+        );
+        let d = d_g(&s);
+        assert!(d.exact.is_none());
+        assert!(d.log2 > 1e9); // 2^{10^10}-ish exponent
+        let f = f_class(&s, TgdClass::Guarded);
+        assert!(f.exact.is_none());
+        assert!(f.log2.is_infinite());
+    }
+
+    #[test]
+    fn admits_and_scale() {
+        let b = Bound::exact(100);
+        assert!(b.admits(100));
+        assert!(!b.admits(101));
+        let scaled = b.scale(10);
+        assert_eq!(scaled.exact, Some(1000));
+        assert!((scaled.log2 - 1000f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gtree_bound_grows_with_depth() {
+        let s = tgds("r(X, Y) -> r(Y, Z).");
+        let b0 = gtree_slice_bound(&s, 0);
+        let b1 = gtree_slice_bound(&s, 1);
+        assert!(b1.log2 > b0.log2);
+        // ‖Σ‖^{2·2·1} = 4^4 = 256.
+        assert_eq!(b0.exact, Some(256));
+    }
+
+    #[test]
+    fn depth_bound_ladder_is_monotone() {
+        let s = tgds("r(X, Y) -> r(Y, Z).");
+        let sl = depth_bound(&s, TgdClass::SimpleLinear).log2;
+        let l = depth_bound(&s, TgdClass::Linear).log2;
+        let g = depth_bound(&s, TgdClass::Guarded).log2;
+        assert!(sl <= l && l <= g);
+    }
+}

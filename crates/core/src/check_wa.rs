@@ -1,0 +1,135 @@
+//! A faithful (determinized) rendering of the paper's Algorithm 1
+//! (`CheckWA`): the NL procedure deciding whether `Σ` is **not**
+//! `D`-weakly-acyclic.
+//!
+//! Algorithm 1 nondeterministically (i) walks `dg(Σ)` to find a cycle
+//! containing a special edge and (ii) walks `pg(Σ)` from a predicate of
+//! `D` to a predicate of the cycle. Determinized, the two guesses become
+//! reachability checks:
+//!
+//! * a cycle through a special edge `(u, v)` exists iff `u` is reachable
+//!   from `v` in `dg(Σ)`;
+//! * the cycle can be routed through exactly the nodes `w` with
+//!   `v ⇝ w ⇝ u` (paths in Definition 6.1 need not be simple), so it is
+//!   `D`-supported iff some such `w` has `pred(w)` reachable in `pg(Σ)`
+//!   from a predicate of `D`.
+//!
+//! The production decider
+//! ([`weak_acyclicity::is_weakly_acyclic`](crate::weak_acyclicity)) uses
+//! Tarjan SCCs instead; the two implementations are differentially tested
+//! against each other (they must agree on every input).
+
+use std::collections::HashSet;
+
+use nuchase_model::{Instance, TgdSet};
+
+use crate::depgraph::DepGraph;
+
+/// Returns `true` iff `Σ` is **not** `D`-weakly-acyclic — i.e. the
+/// determinized `CheckWA(D, Σ)` accepts.
+pub fn check_not_weakly_acyclic(db: &Instance, tgds: &TgdSet) -> bool {
+    let graph = DepGraph::new(tgds);
+    check_not_weakly_acyclic_with(db, &graph)
+}
+
+/// [`check_not_weakly_acyclic`] against a pre-built graph.
+pub fn check_not_weakly_acyclic_with(db: &Instance, graph: &DepGraph) -> bool {
+    // Predicates reachable (in pg) from the database: the supporters.
+    let supported = graph.pg_reachable_from(db.preds());
+
+    // Reverse reachability sets are recomputed per special edge; the
+    // graph is small (|pos(sch(Σ))| nodes) and this mirrors the
+    // algorithm's structure edge by edge.
+    for edge in graph.special_edges() {
+        // Guess 1: a cycle through (u, v) — needs a path v ⇝ u.
+        let from_v = graph.reachable_nodes(edge.to);
+        if !from_v.contains(&edge.from) {
+            continue;
+        }
+        // Guess 2: a node w on the cycle (v ⇝ w ⇝ u) whose predicate is
+        // supported by D.
+        let into_u = co_reachable_nodes(graph, edge.from);
+        let on_cycle: HashSet<usize> = from_v.intersection(&into_u).copied().collect();
+        // The endpoints themselves are on the cycle as well.
+        let mut nodes = on_cycle;
+        nodes.insert(edge.from);
+        nodes.insert(edge.to);
+        if nodes
+            .iter()
+            .any(|&w| supported.contains(&graph.positions()[w].pred))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Nodes that can reach `target` in `dg(Σ)`.
+fn co_reachable_nodes(graph: &DepGraph, target: usize) -> HashSet<usize> {
+    // Build reverse adjacency on the fly.
+    let n = graph.positions().len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in graph.edges() {
+        rev[e.to].push(e.from);
+    }
+    let mut seen = HashSet::new();
+    seen.insert(target);
+    let mut stack = vec![target];
+    while let Some(v) = stack.pop() {
+        for &u in &rev[v] {
+            if seen.insert(u) {
+                stack.push(u);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak_acyclicity::is_weakly_acyclic;
+    use nuchase_model::parser::parse_program;
+
+    /// The two deciders must agree on every program.
+    fn assert_agree(text: &str) {
+        let p = parse_program(text).unwrap();
+        let scc_verdict = is_weakly_acyclic(&p.database, &p.tgds);
+        let alg1_verdict = !check_not_weakly_acyclic(&p.database, &p.tgds);
+        assert_eq!(
+            scc_verdict, alg1_verdict,
+            "deciders disagree on:\n{text}"
+        );
+    }
+
+    #[test]
+    fn differential_on_crafted_suite() {
+        for text in [
+            "r(a, b).\nr(X, Y) -> r(Y, Z).",
+            "q(a, b).\nr(X, Y) -> r(Y, Z).",
+            "s(a, b).\ns(X, Y) -> r(X, Y).\nr(X, Y) -> r(Y, Z).",
+            "r(a, b).\nr(X, Y) -> s(X, Z).\ns(X, Y) -> t(X).",
+            "r(a, b).\nr(X, Y) -> s(Y, X).\ns(X, Y) -> r(Y, X).",
+            "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(X, Y) -> r(X, Y).",
+            "r(a, b).\nr(X, X) -> r(Z, X).",
+            "p(a).\np(X) -> q(X, Z).\nq(X, Y) -> p(Y).",
+            "p(a).\nq(X, Y) -> p(Y).\np(X) -> q(X, Z).",
+            "e(a, b).\ne(X, Y), e(Y, Z) -> e(X, Z).",
+            "n(a).\nn(X) -> e(X, Y), e(X, W).\ne(X, Y) -> n(Y).",
+        ] {
+            assert_agree(text);
+        }
+    }
+
+    #[test]
+    fn accepts_supported_special_cycle() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+        assert!(check_not_weakly_acyclic(&p.database, &p.tgds));
+    }
+
+    #[test]
+    fn rejects_unsupported_cycle() {
+        let p = parse_program("z(a).\nr(X, Y) -> r(Y, Z).").unwrap();
+        assert!(!check_not_weakly_acyclic(&p.database, &p.tgds));
+    }
+}

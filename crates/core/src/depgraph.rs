@@ -1,0 +1,403 @@
+//! The dependency graph `dg(Σ)` and predicate graph `pg(Σ)` (§6).
+//!
+//! Nodes of `dg(Σ)` are the *positions* `(R, i)` of `sch(Σ)`. For every
+//! TGD `σ`, frontier variable `x`, and body position `π ∈ pos(body(σ), x)`:
+//!
+//! * a **normal** edge `(π, π')` for every head position
+//!   `π' ∈ pos(αⱼ, x)`;
+//! * a **special** edge `(π, π')` for every existential `z` of `σ` and
+//!   every head position `π' ∈ pos(αⱼ, z)`.
+//!
+//! The predicate graph `pg(Σ)` has an edge `R → P` iff some TGD mentions
+//! `R` in its body and `P` in its head; `R ⇝_Σ P` is the reflexive-
+//! transitive closure (the paper's `→_Σ` is reflexive by definition).
+//! `pg` drives the *`D`-supportedness* of cycles: a path is `D`-supported
+//! iff it visits a position `(P, i)` with `R ⇝_Σ P` for some `R`
+//! occurring in `D`.
+
+use std::collections::{HashMap, HashSet};
+
+use nuchase_model::{PredId, SymbolTable, TgdSet, VarId};
+
+/// A position `(R, i)` — 0-based argument index `i` of predicate `R`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Position {
+    /// The predicate.
+    pub pred: PredId,
+    /// 0-based argument index.
+    pub index: usize,
+}
+
+impl Position {
+    /// Renders as the paper's `(R, i)` with 1-based index.
+    pub fn display(&self, symbols: &SymbolTable) -> String {
+        format!("({}, {})", symbols.pred_name(self.pred), self.index + 1)
+    }
+}
+
+/// A directed edge of the dependency graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Source node (index into [`DepGraph::positions`]).
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Is this a special edge (targets an existential position)?
+    pub special: bool,
+}
+
+/// The dependency graph `dg(Σ)` plus the predicate graph `pg(Σ)`.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    positions: Vec<Position>,
+    pos_index: HashMap<Position, usize>,
+    /// Outgoing adjacency (normal and special merged; see [`Edge::special`]).
+    adjacency: Vec<Vec<Edge>>,
+    edges: Vec<Edge>,
+    /// Predicate graph adjacency: `pred → heads reachable in one rule`.
+    pg: HashMap<PredId, HashSet<PredId>>,
+    preds: Vec<PredId>,
+}
+
+impl DepGraph {
+    /// Builds `dg(Σ)` and `pg(Σ)`.
+    pub fn new(tgds: &TgdSet) -> DepGraph {
+        let preds = tgds.schema_preds();
+        let mut positions = Vec::new();
+        let mut pos_index = HashMap::new();
+        // Positions need arities; derive them from atom occurrences.
+        let mut arity: HashMap<PredId, usize> = HashMap::new();
+        for (_, tgd) in tgds.iter() {
+            for atom in tgd.atoms() {
+                arity.entry(atom.pred).or_insert(atom.arity());
+            }
+        }
+        for &p in &preds {
+            for i in 0..arity.get(&p).copied().unwrap_or(0) {
+                let pos = Position { pred: p, index: i };
+                pos_index.insert(pos, positions.len());
+                positions.push(pos);
+            }
+        }
+
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut adjacency: Vec<Vec<Edge>> = vec![Vec::new(); positions.len()];
+        let mut pg: HashMap<PredId, HashSet<PredId>> = HashMap::new();
+
+        for (_, tgd) in tgds.iter() {
+            // pg edges.
+            for b in tgd.body() {
+                for h in tgd.head() {
+                    pg.entry(b.pred).or_default().insert(h.pred);
+                }
+            }
+            // dg edges.
+            let frontier: HashSet<VarId> = tgd.frontier().iter().copied().collect();
+            let existential: HashSet<VarId> = tgd.existentials().iter().copied().collect();
+            let mut seen_edges: HashSet<(usize, usize, bool)> = HashSet::new();
+            for b in tgd.body() {
+                for (bi, bt) in b.args.iter().enumerate() {
+                    let Some(x) = bt.as_var() else { continue };
+                    if !frontier.contains(&x) {
+                        continue;
+                    }
+                    let from = pos_index[&Position {
+                        pred: b.pred,
+                        index: bi,
+                    }];
+                    for h in tgd.head() {
+                        for (hi, ht) in h.args.iter().enumerate() {
+                            let Some(y) = ht.as_var() else { continue };
+                            let to = pos_index[&Position {
+                                pred: h.pred,
+                                index: hi,
+                            }];
+                            let special = if y == x {
+                                false
+                            } else if existential.contains(&y) {
+                                true
+                            } else {
+                                continue;
+                            };
+                            // dg(Σ) is a multigraph in the paper; for
+                            // cycle/reachability analysis parallel
+                            // duplicates are redundant.
+                            if seen_edges.insert((from, to, special)) {
+                                let e = Edge { from, to, special };
+                                edges.push(e);
+                                adjacency[from].push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        DepGraph {
+            positions,
+            pos_index,
+            adjacency,
+            edges,
+            pg,
+            preds,
+        }
+    }
+
+    /// The nodes (positions) of the graph.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Node index of a position, if it exists.
+    pub fn node(&self, pos: Position) -> Option<usize> {
+        self.pos_index.get(&pos).copied()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The special edges.
+    pub fn special_edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(|e| e.special)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn outgoing(&self, node: usize) -> &[Edge] {
+        &self.adjacency[node]
+    }
+
+    /// The predicates of `sch(Σ)`.
+    pub fn preds(&self) -> &[PredId] {
+        &self.preds
+    }
+
+    /// One-step predicate-graph successors of `R` (not including the
+    /// reflexive `R → R`).
+    pub fn pg_successors(&self, pred: PredId) -> impl Iterator<Item = PredId> + '_ {
+        self.pg.get(&pred).into_iter().flatten().copied()
+    }
+
+    /// The set `{P | R ⇝_Σ P for some R ∈ seeds}` (reflexive-transitive
+    /// closure in `pg(Σ)`, seeds included).
+    pub fn pg_reachable_from(&self, seeds: impl IntoIterator<Item = PredId>) -> HashSet<PredId> {
+        let mut reached: HashSet<PredId> = seeds.into_iter().collect();
+        let mut stack: Vec<PredId> = reached.iter().copied().collect();
+        while let Some(p) = stack.pop() {
+            for q in self.pg_successors(p) {
+                if reached.insert(q) {
+                    stack.push(q);
+                }
+            }
+        }
+        reached
+    }
+
+    /// The set `{R | R ⇝_Σ P for some P ∈ targets}` (reverse reachability,
+    /// targets included).
+    pub fn pg_co_reachable(&self, targets: impl IntoIterator<Item = PredId>) -> HashSet<PredId> {
+        // Build the reverse predicate graph once.
+        let mut rev: HashMap<PredId, Vec<PredId>> = HashMap::new();
+        for (&r, succs) in &self.pg {
+            for &p in succs {
+                rev.entry(p).or_default().push(r);
+            }
+        }
+        let mut reached: HashSet<PredId> = targets.into_iter().collect();
+        let mut stack: Vec<PredId> = reached.iter().copied().collect();
+        while let Some(p) = stack.pop() {
+            for &r in rev.get(&p).into_iter().flatten() {
+                if reached.insert(r) {
+                    stack.push(r);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Strongly connected components of `dg(Σ)` (normal + special edges),
+    /// as a component id per node.
+    pub fn sccs(&self) -> Vec<usize> {
+        tarjan(self.positions.len(), &self.adjacency)
+    }
+
+    /// Node-to-node reachability via BFS (used by the faithful
+    /// `CheckWA` simulation; the SCC path is the production decider).
+    pub fn reachable_nodes(&self, from: usize) -> HashSet<usize> {
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut stack = vec![from];
+        seen.insert(from);
+        while let Some(n) = stack.pop() {
+            for e in &self.adjacency[n] {
+                if seen.insert(e.to) {
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Iterative Tarjan SCC. Returns the component id of each node; ids are
+/// assigned in reverse topological order of components.
+fn tarjan(n: usize, adjacency: &[Vec<Edge>]) -> Vec<usize> {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS stack: (node, edge cursor).
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            if *cursor == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(e) = adjacency[v].get(*cursor) {
+                *cursor += 1;
+                let w = e.to;
+                if index[w] == UNSET {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // Finished v.
+                if lowlink[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack non-empty");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::parser::parse_program;
+
+    fn graph(rules: &str) -> (DepGraph, nuchase_model::Program) {
+        let p = parse_program(rules).unwrap();
+        (DepGraph::new(&p.tgds), p)
+    }
+
+    #[test]
+    fn successor_rule_has_normal_and_special_edges() {
+        // R(x,y) → ∃z R(y,z): normal (R,2)→(R,1) via y; special
+        // (R,1)→(R,2) and (R,2)→(R,2) via z from both body positions of
+        // frontier vars — only y is frontier: from (R,2).
+        let (g, _p) = graph("r(X, Y) -> r(Y, Z).");
+        assert_eq!(g.positions().len(), 2);
+        let normal: Vec<_> = g.edges().iter().filter(|e| !e.special).collect();
+        let special: Vec<_> = g.special_edges().collect();
+        assert_eq!(normal.len(), 1); // (r,2) → (r,1)
+        assert_eq!(special.len(), 1); // (r,2) → (r,2)
+        assert_eq!(special[0].from, 1);
+        assert_eq!(special[0].to, 1);
+    }
+
+    #[test]
+    fn non_frontier_body_variables_produce_no_edges() {
+        // R(x,y) → P(x): y is not frontier; only (R,1)→(P,1) normal.
+        let (g, _p) = graph("r(X, Y) -> p(X).");
+        assert_eq!(g.edges().len(), 1);
+        assert!(!g.edges()[0].special);
+    }
+
+    #[test]
+    fn pg_reachability_is_reflexive_and_transitive() {
+        let (g, p) = graph("r(X) -> s(X).\ns(X) -> t(X).");
+        let r = p.symbols.lookup_pred("r").unwrap();
+        let t = p.symbols.lookup_pred("t").unwrap();
+        let reach = g.pg_reachable_from([r]);
+        assert!(reach.contains(&r), "reflexive");
+        assert!(reach.contains(&t), "transitive");
+        let co = g.pg_co_reachable([t]);
+        assert!(co.contains(&r) && co.contains(&t));
+        // t does not reach r.
+        assert!(!g.pg_reachable_from([t]).contains(&r));
+    }
+
+    #[test]
+    fn sccs_group_cycles() {
+        // r → s → r cycle, t separate.
+        let (g, p) = graph("r(X) -> s(X).\ns(X) -> r(X).\nt(X) -> t0(X).");
+        let scc = g.sccs();
+        let node = |name: &str| {
+            g.node(Position {
+                pred: p.symbols.lookup_pred(name).unwrap(),
+                index: 0,
+            })
+            .unwrap()
+        };
+        assert_eq!(scc[node("r")], scc[node("s")]);
+        assert_ne!(scc[node("r")], scc[node("t")]);
+        assert_ne!(scc[node("t")], scc[node("t0")]);
+    }
+
+    #[test]
+    fn multi_position_edges() {
+        // R(x,y) → S(y,x,y): edges (R,1)→(S,2); (R,2)→(S,1); (R,2)→(S,3).
+        let (g, _p) = graph("r(X, Y) -> s(Y, X, Y).");
+        assert_eq!(g.edges().len(), 3);
+        assert!(g.edges().iter().all(|e| !e.special));
+    }
+
+    #[test]
+    fn repeated_body_variable_contributes_all_positions() {
+        // R(x,x) → ∃z R(z,x): frontier x occurs at (R,1),(R,2); special
+        // edges to (R,1) from both; normal edges to (R,2) from both.
+        let (g, _p) = graph("r(X, X) -> r(Z, X).");
+        let special: Vec<_> = g.special_edges().collect();
+        assert_eq!(special.len(), 2);
+        let normal = g.edges().iter().filter(|e| !e.special).count();
+        assert_eq!(normal, 2);
+    }
+
+    #[test]
+    fn reachable_nodes_follows_all_edges() {
+        let (g, p) = graph("r(X) -> s(X).\ns(X) -> t(X, Z).");
+        let r0 = g
+            .node(Position {
+                pred: p.symbols.lookup_pred("r").unwrap(),
+                index: 0,
+            })
+            .unwrap();
+        // (r,1) → (s,1) → {(t,1) normal, (t,2) special}.
+        let reach = g.reachable_nodes(r0);
+        assert_eq!(reach.len(), 4);
+    }
+
+    #[test]
+    fn empty_frontier_rules_contribute_no_edges() {
+        // s(X) → t(Z): fr(σ) = ∅, so no edges at all — even the
+        // existential one (Def: edges start at frontier positions).
+        let (g, _p) = graph("s(X) -> t(Z).");
+        assert!(g.edges().is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Errors of the termination-analysis layer.
+
+use std::fmt;
+
+use nuchase_model::ModelError;
+use nuchase_rewrite::RewriteError;
+
+/// Errors produced by the `ChTrm` deciders and bound computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A structural/class requirement failed at the model layer.
+    Model(ModelError),
+    /// A rewriting (simplification / linearization) failed.
+    Rewrite(RewriteError),
+    /// `ChTrm(TGD)` for arbitrary TGDs is undecidable (Prop 4.2); the
+    /// dispatching decider refuses rather than loop.
+    Undecidable,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "{e}"),
+            CoreError::Rewrite(e) => write!(f, "{e}"),
+            CoreError::Undecidable => write!(
+                f,
+                "non-uniform chase termination is undecidable for arbitrary TGDs \
+                 (use the guarded classes SL/L/G, or the budgeted chase directly)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<RewriteError> for CoreError {
+    fn from(e: RewriteError) -> Self {
+        CoreError::Rewrite(e)
+    }
+}

@@ -1,0 +1,62 @@
+//! # nuchase
+//!
+//! The core of the reproduction of *“Non-Uniformly Terminating Chase:
+//! Size and Complexity”* (Calautti, Gottlob, Pieris; PODS 2022): the
+//! paper's termination characterizations and deciders.
+//!
+//! ## Problem
+//!
+//! `ChTrm(C)`: given a database `D` and a TGD set `Σ ∈ C`, is the
+//! semi-oblivious chase `chase(D, Σ)` finite?
+//!
+//! ## What this crate provides
+//!
+//! * the dependency graph `dg(Σ)` and predicate graph `pg(Σ)`
+//!   ([`depgraph`]);
+//! * non-uniform weak-acyclicity (Definition 6.1), decided by SCC
+//!   analysis ([`weak_acyclicity`]) and by a determinized rendering of
+//!   the paper's Algorithm 1 ([`check_wa`]);
+//! * the compiled UCQ deciders `Q_Σ` of Theorems 6.6 / 7.7 ([`ucq`]);
+//! * the `ChTrm` deciders for `SL`, `L` (via simplification) and `G`
+//!   (via `gsimple = simple ∘ lin`), plus the naive chase-to-the-bound
+//!   baseline ([`chtrm`]);
+//! * the depth bounds `d_C(Σ)` and size-bound factors `f_C(Σ)`
+//!   ([`bounds`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nuchase_model::parse_program;
+//!
+//! let mut p = parse_program(
+//!     "r(a, b).\n\
+//!      r(X, Y) -> r(Y, Z).",
+//! ).unwrap();
+//! // The successor rule diverges on r(a, b)…
+//! assert!(!nuchase::chtrm::decide(&p.database, &p.tgds, &mut p.symbols).unwrap());
+//! // …but terminates on an unrelated database.
+//! let mut q = parse_program("q(a).\nr(X, Y) -> r(Y, Z).").unwrap();
+//! assert!(nuchase::chtrm::decide(&q.database, &q.tgds, &mut q.symbols).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod answering;
+pub mod bounds;
+pub mod check_wa;
+pub mod chtrm;
+pub mod depgraph;
+pub mod error;
+pub mod ucq;
+pub mod uniform;
+pub mod weak_acyclicity;
+
+pub use answering::{materialize, Materialization, MaterializeOutcome};
+pub use bounds::{chase_size_bound, depth_bound, f_class, Bound};
+pub use chtrm::{decide, decide_g, decide_l, decide_naive, decide_sl};
+pub use depgraph::{DepGraph, Position};
+pub use error::CoreError;
+pub use ucq::UcqDecider;
+pub use uniform::{critical_database, uniform, uniform_g, uniform_l, uniform_sl};
+pub use weak_acyclicity::{critical_preds, is_weakly_acyclic, is_uniformly_weakly_acyclic};

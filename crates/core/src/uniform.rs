@@ -1,0 +1,156 @@
+//! Uniform chase termination via *critical databases*.
+//!
+//! The paper studies the **non-uniform** problem, but its hardness proofs
+//! lean on the classical device for the uniform one: the *critical
+//! database*. For the semi-oblivious chase, `Σ ∈ CT` (terminates on every
+//! database) iff it terminates on the single most-entangled database over
+//! one constant:
+//!
+//! * Theorem 6.6's NL-hardness uses
+//!   `D_Σ = {P(c) | P/1 ∈ sch(Σ)} ∪ {R(c,c) | R/2 ∈ sch(Σ)}`;
+//! * Theorem 7.7's hardness uses "the database consisting of all atoms
+//!   that can be formed using one constant and the predicates of the
+//!   underlying schema" — i.e. `{R(c, …, c) | R ∈ sch(Σ)}`.
+//!
+//! This module builds that database and derives **uniform** deciders from
+//! the non-uniform ones: `Σ ∈ CT ⇔ Σ ∈ CT_{crit(Σ)}`. For `SL` this
+//! collapses to plain weak-acyclicity (every predicate occurs in
+//! `crit(Σ)`, so a bad cycle is supported iff it exists), which the tests
+//! verify against [`crate::weak_acyclicity::is_uniformly_weakly_acyclic`].
+
+use nuchase_model::{Atom, Instance, SymbolTable, Term, TgdClass, TgdSet};
+
+use crate::chtrm;
+use crate::error::CoreError;
+
+/// The critical database `crit(Σ) = {R(c, …, c) | R ∈ sch(Σ)}` over a
+/// single fresh constant `c`.
+pub fn critical_database(tgds: &TgdSet, symbols: &mut SymbolTable) -> Instance {
+    let c = Term::Const(symbols.constant("#crit"));
+    tgds.schema_preds()
+        .into_iter()
+        .map(|p| {
+            let arity = symbols.arity(p);
+            Atom::new(p, vec![c; arity])
+        })
+        .collect()
+}
+
+/// Uniform `ChTrm(SL)`: does the chase terminate on *every* database?
+pub fn uniform_sl(tgds: &TgdSet, symbols: &mut SymbolTable) -> Result<bool, CoreError> {
+    let crit = critical_database(tgds, symbols);
+    chtrm::decide_sl(&crit, tgds)
+}
+
+/// Uniform `ChTrm(L)`.
+pub fn uniform_l(tgds: &TgdSet, symbols: &mut SymbolTable) -> Result<bool, CoreError> {
+    let crit = critical_database(tgds, symbols);
+    chtrm::decide_l(&crit, tgds, symbols)
+}
+
+/// Uniform `ChTrm(G)`.
+pub fn uniform_g(tgds: &TgdSet, symbols: &mut SymbolTable) -> Result<bool, CoreError> {
+    let crit = critical_database(tgds, symbols);
+    chtrm::decide_g(&crit, tgds, symbols)
+}
+
+/// Uniform decision dispatching on the class of `Σ`.
+pub fn uniform(tgds: &TgdSet, symbols: &mut SymbolTable) -> Result<bool, CoreError> {
+    match tgds.classify() {
+        TgdClass::SimpleLinear => uniform_sl(tgds, symbols),
+        TgdClass::Linear => uniform_l(tgds, symbols),
+        TgdClass::Guarded => uniform_g(tgds, symbols),
+        TgdClass::General => Err(CoreError::Undecidable),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak_acyclicity::is_uniformly_weakly_acyclic;
+    use nuchase_engine::semi_oblivious_chase;
+    use nuchase_model::parser::parse_program;
+
+    #[test]
+    fn critical_database_covers_schema() {
+        let mut p = parse_program("r(X, Y) -> s(X).\nt(X, Y, Z) -> r(X, Y).").unwrap();
+        let crit = critical_database(&p.tgds, &mut p.symbols);
+        assert_eq!(crit.len(), 3);
+        // Every fact uses the single critical constant at all positions.
+        for atom in crit.iter() {
+            let dom = atom.dom();
+            assert_eq!(dom.len(), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_sl_equals_plain_weak_acyclicity() {
+        for text in [
+            "r(X, Y) -> r(Y, Z).",
+            "r(X, Y) -> s(X, Z).\ns(X, Y) -> t(X).",
+            "r(X, Y) -> s(Y, X).\ns(X, Y) -> r(Y, X).",
+            "r(X, Y) -> s(Y, Z).\ns(X, Y) -> r(X, Y).",
+            "p(X) -> q(X, Z).\nq(X, Y) -> p(Y).",
+        ] {
+            let mut p = parse_program(text).unwrap();
+            let via_crit = uniform_sl(&p.tgds, &mut p.symbols).unwrap();
+            let via_wa = is_uniformly_weakly_acyclic(&p.tgds);
+            assert_eq!(via_crit, via_wa, "{text}");
+        }
+    }
+
+    #[test]
+    fn uniform_l_catches_example_7_1() {
+        // R(x,x) → ∃z R(z,x) terminates on EVERY database (after one step
+        // the atoms are never diagonal), even though it is not WA.
+        let mut p = parse_program("r(X, X) -> r(Z, X).").unwrap();
+        assert!(!is_uniformly_weakly_acyclic(&p.tgds));
+        assert!(uniform_l(&p.tgds, &mut p.symbols).unwrap());
+        // The critical database {r(c,c)} really does terminate.
+        let crit = critical_database(&p.tgds, &mut p.symbols);
+        assert!(semi_oblivious_chase(&crit, &p.tgds, 1_000).terminated());
+    }
+
+    #[test]
+    fn uniform_implies_every_database_terminates() {
+        // Spot check the implication on random databases when the uniform
+        // verdict is positive.
+        let mut p = parse_program("r(X, X) -> r(Z, X).\ns(X, Y) -> r(X, X).").unwrap();
+        if uniform_l(&p.tgds, &mut p.symbols).unwrap() {
+            for db_text in ["r(a, b).", "r(a, a).\ns(a, b).", "s(a, a).\ns(b, b)."] {
+                let db = nuchase_model::parse_database(db_text, &mut p.symbols).unwrap();
+                let r = semi_oblivious_chase(&db, &p.tgds, 10_000);
+                assert!(r.terminated(), "{db_text}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_uniform_positive_with_uniform_negative() {
+        // The successor rule: not uniformly terminating, but terminating
+        // on databases that do not reach it — the gap the paper is about.
+        let mut p = parse_program("q(a).\nr(X, Y) -> r(Y, Z).").unwrap();
+        assert!(!uniform_sl(&p.tgds, &mut p.symbols).unwrap());
+        assert!(chtrm::decide_sl(&p.database, &p.tgds).unwrap());
+    }
+
+    #[test]
+    fn uniform_g_on_guarded_join() {
+        let mut p = parse_program("r(X, Y), s(X) -> r(Y, Z), s(Y).").unwrap();
+        // crit(Σ) = {r(c,c), s(c)}: the rule fires forever.
+        assert!(!uniform_g(&p.tgds, &mut p.symbols).unwrap());
+        let mut p2 = parse_program("r(X, Y), s(X) -> t(X, Y, Z).\nt(X, Y, Z) -> u(Y).").unwrap();
+        assert!(uniform_g(&p2.tgds, &mut p2.symbols).unwrap());
+    }
+
+    #[test]
+    fn dispatcher_follows_class() {
+        let mut p = parse_program("r(X, Y) -> r(Y, Z).").unwrap();
+        assert!(!uniform(&p.tgds, &mut p.symbols).unwrap());
+        let mut g = parse_program("r(X, Y), s(Y, Z) -> t(X, Z).").unwrap();
+        assert!(matches!(
+            uniform(&g.tgds, &mut g.symbols),
+            Err(CoreError::Undecidable)
+        ));
+    }
+}

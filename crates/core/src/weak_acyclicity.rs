@@ -1,0 +1,166 @@
+//! Non-uniform weak-acyclicity (Definition 6.1).
+//!
+//! `Σ` is *weakly-acyclic w.r.t. `D`* iff `dg(Σ)` has no `D`-supported
+//! cycle containing a special edge. Because every cycle lives inside one
+//! SCC, and inside an SCC a cycle through a special edge `(u, v)` can be
+//! routed through any node of the SCC, the check reduces to:
+//!
+//! > Is there an SCC `S` of `dg(Σ)` containing a special edge (both
+//! > endpoints in `S`) and a node `(P, i) ∈ S` with `R ⇝_Σ P` for some
+//! > predicate `R` occurring in `D`?
+//!
+//! This module implements that SCC criterion (the production decider) and
+//! derives from it the *critical predicate set* `P_Σ` of Theorem 6.6: all
+//! predicates `R` with `R ⇝_Σ P` for some position `(P, i)` lying on a
+//! cycle with a special edge. `Σ` is not `D`-weakly-acyclic iff `D`
+//! mentions a predicate of `P_Σ` — the observation behind the AC⁰
+//! data-complexity procedure.
+
+use std::collections::HashSet;
+
+use nuchase_model::{Instance, PredId, TgdSet};
+
+use crate::depgraph::DepGraph;
+
+/// Positions lying on a cycle of `dg(Σ)` that contains a special edge
+/// (as node indexes into the graph).
+pub fn bad_nodes(graph: &DepGraph) -> HashSet<usize> {
+    let scc = graph.sccs();
+    // SCCs containing an internal special edge.
+    let bad_comps: HashSet<usize> = graph
+        .special_edges()
+        .filter(|e| scc[e.from] == scc[e.to])
+        .map(|e| scc[e.from])
+        .collect();
+    (0..graph.positions().len())
+        .filter(|&n| bad_comps.contains(&scc[n]))
+        .collect()
+}
+
+/// The predicates `P` with a position on a cycle with a special edge.
+pub fn bad_preds(graph: &DepGraph) -> HashSet<PredId> {
+    bad_nodes(graph)
+        .into_iter()
+        .map(|n| graph.positions()[n].pred)
+        .collect()
+}
+
+/// The critical set `P_Σ` (Theorem 6.6): predicates `R ∈ sch(Σ)` such
+/// that `R ⇝_Σ P` for some bad position `(P, i)`. A database `D` supports
+/// a bad cycle iff it mentions a predicate of `P_Σ`.
+pub fn critical_preds(graph: &DepGraph) -> HashSet<PredId> {
+    graph.pg_co_reachable(bad_preds(graph))
+}
+
+/// Is `Σ` weakly-acyclic w.r.t. `D` (Definition 6.1)?
+///
+/// By Theorem 6.4 this decides `ChTrm(SL)`: for `Σ ∈ SL`,
+/// `Σ ∈ CT_D ⇔ Σ is D-weakly-acyclic`.
+pub fn is_weakly_acyclic(db: &Instance, tgds: &TgdSet) -> bool {
+    let graph = DepGraph::new(tgds);
+    is_weakly_acyclic_with(db, &graph)
+}
+
+/// [`is_weakly_acyclic`] against a pre-built dependency graph (lets
+/// callers amortize graph construction over many databases).
+pub fn is_weakly_acyclic_with(db: &Instance, graph: &DepGraph) -> bool {
+    let critical = critical_preds(graph);
+    !db.preds().iter().any(|p| critical.contains(p))
+}
+
+/// *Uniform* weak-acyclicity (Fagin et al.): no cycle with a special edge
+/// at all, regardless of the database. Equivalent to `D`-weak-acyclicity
+/// for every `D`; provided for comparison experiments against the
+/// non-uniform notion.
+pub fn is_uniformly_weakly_acyclic(tgds: &TgdSet) -> bool {
+    let graph = DepGraph::new(tgds);
+    bad_nodes(&graph).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::parser::parse_program;
+
+    fn check(text: &str) -> bool {
+        let p = parse_program(text).unwrap();
+        is_weakly_acyclic(&p.database, &p.tgds)
+    }
+
+    #[test]
+    fn successor_rule_supported_is_not_wa() {
+        // R(a,b) supports the special self-loop of R(x,y) → ∃z R(y,z).
+        assert!(!check("r(a, b).\nr(X, Y) -> r(Y, Z)."));
+    }
+
+    #[test]
+    fn successor_rule_unsupported_is_wa() {
+        // Same Σ but the database mentions an unrelated predicate that
+        // does not reach R.
+        assert!(check("q(a, b).\nr(X, Y) -> r(Y, Z)."));
+    }
+
+    #[test]
+    fn support_via_reachability() {
+        // D mentions only S, but S ⇝ R, so the R-cycle is supported.
+        assert!(!check(
+            "s(a, b).\ns(X, Y) -> r(X, Y).\nr(X, Y) -> r(Y, Z)."
+        ));
+    }
+
+    #[test]
+    fn acyclic_rules_are_wa_for_any_database() {
+        assert!(check("r(a, b).\nr(X, Y) -> s(X, Z).\ns(X, Y) -> t(X)."));
+    }
+
+    #[test]
+    fn normal_cycles_without_special_edges_are_fine() {
+        // r ↔ s copy cycle: cycles exist but carry no special edge.
+        assert!(check("r(a, b).\nr(X, Y) -> s(Y, X).\ns(X, Y) -> r(Y, X)."));
+    }
+
+    #[test]
+    fn special_edge_across_scc_boundary_is_harmless() {
+        // Special edge from r to s, but no path back from s to r: no cycle.
+        assert!(check("r(a, b).\nr(X, Y) -> s(Y, Z)."));
+    }
+
+    #[test]
+    fn special_cycle_through_two_predicates() {
+        // r →(special) s →(normal) r: the special edge lies in the {r,s} SCC.
+        assert!(!check(
+            "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(X, Y) -> r(X, Y)."
+        ));
+    }
+
+    #[test]
+    fn critical_preds_cover_all_supporters() {
+        let p = parse_program(
+            "s(X, Y) -> r(X, Y).\nr(X, Y) -> r(Y, Z).\nu(X) -> v(X).",
+        )
+        .unwrap();
+        let g = DepGraph::new(&p.tgds);
+        let critical = critical_preds(&g);
+        let pred = |n: &str| p.symbols.lookup_pred(n).unwrap();
+        assert!(critical.contains(&pred("r")));
+        assert!(critical.contains(&pred("s")));
+        assert!(!critical.contains(&pred("u")));
+        assert!(!critical.contains(&pred("v")));
+    }
+
+    #[test]
+    fn uniform_vs_non_uniform() {
+        let p = parse_program("r(X, Y) -> r(Y, Z).").unwrap();
+        assert!(!is_uniformly_weakly_acyclic(&p.tgds));
+        // Yet for the empty database it is D-weakly-acyclic.
+        assert!(is_weakly_acyclic(&Instance::new(), &p.tgds));
+    }
+
+    #[test]
+    fn example_7_1_wa_is_too_coarse_for_linear() {
+        // Σ = {R(x,x) → ∃z R(z,x)}, D = {R(a,b)}. The chase terminates
+        // (no trigger!) but Σ is NOT D-weakly-acyclic — weak-acyclicity
+        // alone cannot characterize termination for non-simple linear TGDs.
+        assert!(!check("r(a, b).\nr(X, X) -> r(Z, X)."));
+    }
+}

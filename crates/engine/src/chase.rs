@@ -1,0 +1,589 @@
+//! The chase procedure (Definition 3.2), in three flavours.
+//!
+//! The paper's object of study is the **semi-oblivious** chase: starting
+//! from a database `D`, exhaustively apply active triggers `(σ, h)`, where
+//! the null invented for existential `z` is `⊥^z_{σ, h|fr(σ)}`. Because
+//! null identity depends only on `(σ, h|fr(σ))`, each such pair needs to
+//! fire at most once, every valid derivation yields the same result set,
+//! and `chase(D, Σ)` is well defined.
+//!
+//! For baselines and differential testing we also implement the
+//! **oblivious** chase (fires once per full homomorphism `(σ, h)`) and the
+//! **restricted** (standard) chase (fires only triggers whose head is not
+//! already satisfiable by an extension of `h|fr(σ)`; fresh nulls per
+//! firing; order-dependent).
+//!
+//! The engine is round-based and *fair* (Definition 3.2's fairness): every
+//! round considers all triggers whose body image touches the atoms added
+//! in the previous round (semi-naive evaluation), so no active trigger is
+//! postponed forever. Budgets on atoms / rounds / null depth make the
+//! possibly-infinite chase usable as a decision tool: the size and depth
+//! characterizations of the paper turn budget exhaustion at the right
+//! threshold into a proof of non-termination.
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+use nuchase_model::hom::{exists_hom_seeded, for_each_hom_delta, Binding};
+use nuchase_model::{Atom, AtomIdx, Instance, RuleId, Term, TgdSet};
+
+use crate::forest::Forest;
+use crate::nulls::{NullKey, NullStore};
+use crate::provenance::{Derivation, Provenance};
+
+/// Which chase variant to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ChaseVariant {
+    /// Semi-oblivious (the paper's chase): one firing per `(σ, h|fr(σ))`.
+    #[default]
+    SemiOblivious,
+    /// Oblivious: one firing per `(σ, h)`.
+    Oblivious,
+    /// Restricted (standard): fire only if no extension of `h|fr(σ)` maps
+    /// the head into the current instance; fresh nulls each firing.
+    Restricted,
+}
+
+/// Resource budgets for a chase run. The chase may legitimately be
+/// infinite; budgets let callers bound the exploration and interpret the
+/// outcome (per the paper's size/depth characterizations, exceeding
+/// `|D|·f_C(Σ)` atoms or `d_C(Σ)` depth proves non-termination for the
+/// corresponding class).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseBudget {
+    /// Stop once the instance holds at least this many atoms.
+    pub max_atoms: usize,
+    /// Stop after this many rounds.
+    pub max_rounds: usize,
+    /// Stop once a null of depth greater than this is created.
+    pub max_depth: Option<u32>,
+}
+
+impl Default for ChaseBudget {
+    fn default() -> Self {
+        ChaseBudget {
+            max_atoms: 1_000_000,
+            max_rounds: usize::MAX,
+            max_depth: None,
+        }
+    }
+}
+
+impl ChaseBudget {
+    /// A budget bounded only by atom count.
+    pub fn atoms(max_atoms: usize) -> Self {
+        ChaseBudget {
+            max_atoms,
+            ..Default::default()
+        }
+    }
+
+    /// A budget bounded by null depth (plus a safety atom cap).
+    pub fn depth(max_depth: u32, max_atoms: usize) -> Self {
+        ChaseBudget {
+            max_atoms,
+            max_rounds: usize::MAX,
+            max_depth: Some(max_depth),
+        }
+    }
+}
+
+/// Full configuration of a chase run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaseConfig {
+    /// Variant to run.
+    pub variant: ChaseVariant,
+    /// Resource budgets.
+    pub budget: ChaseBudget,
+    /// Record the guarded chase forest (§5) during the run.
+    pub build_forest: bool,
+    /// Record per-atom derivation provenance (rule + body image).
+    pub record_provenance: bool,
+}
+
+/// Why the chase stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseOutcome {
+    /// No active trigger remains: the chase **terminated** and the result
+    /// is `chase(D, Σ)`.
+    Terminated,
+    /// The atom budget was exhausted.
+    AtomLimit,
+    /// The round budget was exhausted.
+    RoundLimit,
+    /// A null deeper than the depth budget was created.
+    DepthLimit,
+}
+
+/// Aggregate statistics of a chase run.
+#[derive(Clone, Debug, Default)]
+pub struct ChaseStats {
+    /// Number of semi-naive rounds executed.
+    pub rounds: usize,
+    /// Triggers enumerated (before dedup).
+    pub triggers_considered: usize,
+    /// Triggers applied (after dedup / activeness checks).
+    pub triggers_fired: usize,
+    /// Atoms added beyond the database.
+    pub atoms_created: usize,
+    /// Nulls invented.
+    pub nulls_created: usize,
+}
+
+/// The result of a chase run.
+#[derive(Debug, Clone)]
+pub struct ChaseResult {
+    /// The (partial, if a budget hit) chase instance, database included.
+    pub instance: Instance,
+    /// Null provenance and depth store.
+    pub nulls: NullStore,
+    /// Why the run stopped.
+    pub outcome: ChaseOutcome,
+    /// Run statistics.
+    pub stats: ChaseStats,
+    /// The guarded chase forest, if requested.
+    pub forest: Option<Forest>,
+    /// Per-atom derivation provenance, if requested.
+    pub provenance: Option<Provenance>,
+}
+
+impl ChaseResult {
+    /// Did the chase terminate (i.e. is `instance` all of `chase(D, Σ)`)?
+    pub fn terminated(&self) -> bool {
+        self.outcome == ChaseOutcome::Terminated
+    }
+
+    /// `maxdepth(D, Σ)` (Definition 4.3) over the constructed instance.
+    /// Only the full `maxdepth(D,Σ)` when `terminated()`.
+    pub fn max_depth(&self) -> u32 {
+        self.nulls.max_depth()
+    }
+
+    /// Histogram of *atom* depths: `hist[d]` = number of atoms of depth
+    /// `d` (§5 transfers term depth to atoms as the max over arguments).
+    pub fn atom_depth_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_depth() as usize + 1];
+        for atom in self.instance.iter() {
+            hist[self.nulls.atom_depth(atom) as usize] += 1;
+        }
+        hist
+    }
+
+    /// Verifies `instance ⊨ Σ` — meaningful after termination; used by
+    /// tests to check the chase produces a model.
+    pub fn is_model_of(&self, tgds: &TgdSet) -> bool {
+        for (_, tgd) in tgds.iter() {
+            let mut ok = true;
+            nuchase_model::hom::for_each_hom(
+                tgd.body(),
+                tgd.var_count(),
+                &self.instance,
+                |binding| {
+                    let seed: Binding = binding
+                        .iter()
+                        .enumerate()
+                        .map(|(v, t)| {
+                            if tgd.frontier().contains(&nuchase_model::VarId(v as u32)) {
+                                *t
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    if !exists_hom_seeded(tgd.head(), seed, &self.instance) {
+                        ok = false;
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A pending trigger collected during a round.
+struct Pending {
+    rule: RuleId,
+    binding: Box<[Term]>, // full body binding (dense var ids; unbound = head existentials)
+}
+
+/// Runs the chase of `database` w.r.t. `tgds` under `config`.
+pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseResult {
+    let mut instance = database.clone();
+    let mut nulls = NullStore::new();
+    let mut forest = config.build_forest.then(|| Forest::with_roots(instance.len()));
+    let mut provenance = config
+        .record_provenance
+        .then(|| Provenance::with_roots(instance.len()));
+    let mut stats = ChaseStats::default();
+    // Dedup keys: frontier image (semi-oblivious) or full binding
+    // (oblivious, restricted).
+    let mut fired: HashSet<(RuleId, Box<[Term]>)> = HashSet::new();
+    let mut delta_start: AtomIdx = 0;
+    let mut outcome = ChaseOutcome::Terminated;
+
+    'rounds: loop {
+        if stats.rounds >= config.budget.max_rounds {
+            outcome = ChaseOutcome::RoundLimit;
+            break;
+        }
+        stats.rounds += 1;
+
+        // Phase 1: enumerate new triggers against the current instance.
+        let mut pending: Vec<Pending> = Vec::new();
+        for (rule, tgd) in tgds.iter() {
+            for_each_hom_delta(
+                tgd.body(),
+                tgd.var_count(),
+                &instance,
+                delta_start,
+                |binding| {
+                    stats.triggers_considered += 1;
+                    let key_terms: Box<[Term]> = match config.variant {
+                        ChaseVariant::SemiOblivious => tgd
+                            .frontier()
+                            .iter()
+                            .map(|v| binding[v.index()].expect("frontier bound"))
+                            .collect(),
+                        ChaseVariant::Oblivious | ChaseVariant::Restricted => binding
+                            .iter()
+                            .map(|t| t.unwrap_or(Term::Var(nuchase_model::VarId(0))))
+                            .collect(),
+                    };
+                    if fired.insert((rule, key_terms)) {
+                        pending.push(Pending {
+                            rule,
+                            binding: binding
+                                .iter()
+                                .map(|t| t.unwrap_or(Term::Var(nuchase_model::VarId(0))))
+                                .collect(),
+                        });
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+        }
+        if pending.is_empty() {
+            break; // fixpoint: terminated
+        }
+
+        // Phase 2: apply the collected triggers.
+        let len_before = instance.len();
+        for p in pending {
+            let tgd = tgds.get(p.rule);
+
+            if config.variant == ChaseVariant::Restricted {
+                // Activeness in the restricted sense: skip if some
+                // extension of h|fr(σ) maps the head into the instance.
+                let seed: Binding = (0..tgd.var_count() as usize)
+                    .map(|v| {
+                        let is_frontier = tgd.frontier().contains(&nuchase_model::VarId(v as u32));
+                        let t = p.binding.get(v).copied();
+                        match (is_frontier, t) {
+                            (true, Some(t)) if !t.is_var() => Some(t),
+                            _ => None,
+                        }
+                    })
+                    .collect();
+                if exists_hom_seeded(tgd.head(), seed, &instance) {
+                    continue;
+                }
+            }
+
+            // Depth of the frontier image (for null depths).
+            let frontier_depth = tgd
+                .frontier()
+                .iter()
+                .map(|v| nulls.term_depth(p.binding[v.index()]))
+                .max()
+                .unwrap_or(0);
+            if let Some(max_d) = config.budget.max_depth {
+                if !tgd.existentials().is_empty() && frontier_depth + 1 > max_d {
+                    outcome = ChaseOutcome::DepthLimit;
+                    break 'rounds;
+                }
+            }
+
+            // Build μ: frontier ↦ h, existential z ↦ ⊥^z_{σ, h|fr}.
+            let frontier_image: Box<[Term]> = tgd
+                .frontier()
+                .iter()
+                .map(|v| p.binding[v.index()])
+                .collect();
+            let mut mu: Vec<Term> = p.binding.to_vec();
+            for &z in tgd.existentials() {
+                let null = match config.variant {
+                    ChaseVariant::Restricted => nulls.fresh(frontier_depth),
+                    ChaseVariant::SemiOblivious => nulls.intern(
+                        NullKey {
+                            rule: p.rule,
+                            var: z,
+                            frontier_image: frontier_image.clone(),
+                        },
+                        frontier_depth,
+                    ),
+                    ChaseVariant::Oblivious => nulls.intern(
+                        NullKey {
+                            rule: p.rule,
+                            var: z,
+                            frontier_image: p.binding.clone(),
+                        },
+                        frontier_depth,
+                    ),
+                };
+                mu[z.index()] = Term::Null(null);
+            }
+            stats.triggers_fired += 1;
+
+            // Locate the guard image for the forest before inserting.
+            let parent: Option<AtomIdx> = if forest.is_some() {
+                tgd.guard().and_then(|g| {
+                    let image = instantiate(g, &mu);
+                    instance.index_of(&image)
+                })
+            } else {
+                None
+            };
+            // Body image indexes for provenance.
+            let derivation: Option<Derivation> = provenance.as_ref().map(|_| Derivation {
+                rule: p.rule,
+                body: tgd
+                    .body()
+                    .iter()
+                    .map(|b| {
+                        instance
+                            .index_of(&instantiate(b, &mu))
+                            .expect("body image is in the instance")
+                    })
+                    .collect(),
+            });
+
+            for head_atom in tgd.head() {
+                let atom = instantiate(head_atom, &mu);
+                if let Some(idx) = instance.insert(atom) {
+                    if let Some(f) = forest.as_mut() {
+                        f.push_child(idx, parent);
+                    }
+                    if let Some(pv) = provenance.as_mut() {
+                        pv.push(idx, derivation.clone());
+                    }
+                }
+                if instance.len() >= config.budget.max_atoms {
+                    outcome = ChaseOutcome::AtomLimit;
+                    break 'rounds;
+                }
+            }
+        }
+
+        if instance.len() == len_before {
+            break; // all results were already present: fixpoint
+        }
+        delta_start = len_before as AtomIdx;
+    }
+
+    stats.atoms_created = instance.len() - database.len();
+    stats.nulls_created = nulls.len();
+    ChaseResult {
+        instance,
+        nulls,
+        outcome,
+        stats,
+        forest,
+        provenance,
+    }
+}
+
+/// Instantiates a rule atom under a complete term assignment `mu` (indexed
+/// by dense variable id).
+fn instantiate(pattern: &Atom, mu: &[Term]) -> Atom {
+    pattern.map_terms(|t| match t {
+        Term::Var(v) => mu[v.index()],
+        ground => ground,
+    })
+}
+
+/// Convenience: runs the semi-oblivious chase with an atom budget.
+pub fn semi_oblivious_chase(database: &Instance, tgds: &TgdSet, max_atoms: usize) -> ChaseResult {
+    chase(
+        database,
+        tgds,
+        &ChaseConfig {
+            variant: ChaseVariant::SemiOblivious,
+            budget: ChaseBudget::atoms(max_atoms),
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::parser::parse_program;
+
+    fn run(text: &str, max_atoms: usize) -> ChaseResult {
+        let p = parse_program(text).unwrap();
+        semi_oblivious_chase(&p.database, &p.tgds, max_atoms)
+    }
+
+    #[test]
+    fn terminating_transitive_closure_style() {
+        // Full TGD (no existentials): terminates.
+        let r = run("e(a, b).\ne(b, c).\ne(c, d).\ne(X, Y), e(Y, Z) -> e(X, Z).", 10_000);
+        assert!(r.terminated());
+        // e-closure of a 3-edge path: 3 + 2 + 1 = 6 atoms.
+        assert_eq!(r.instance.len(), 6);
+        assert_eq!(r.max_depth(), 0);
+    }
+
+    #[test]
+    fn infinite_successor_chain_hits_budget() {
+        // The paper's §3 example: R(x,y) → ∃z R(y,z) on {R(a,b)} is infinite.
+        let r = run("r(a, b).\nr(X, Y) -> r(Y, Z).", 100);
+        assert_eq!(r.outcome, ChaseOutcome::AtomLimit);
+        assert!(r.instance.len() >= 100);
+    }
+
+    #[test]
+    fn semi_oblivious_dedups_by_frontier() {
+        // σ: R(x,y) → ∃z S(x,z). Two facts sharing x must create ONE null
+        // (frontier {x} has the same image).
+        let r = run("r(a, b).\nr(a, c).\nr(X, Y) -> s(X, Z).", 1000);
+        assert!(r.terminated());
+        assert_eq!(r.stats.nulls_created, 1);
+        assert_eq!(r.instance.len(), 3);
+    }
+
+    #[test]
+    fn oblivious_fires_per_full_homomorphism() {
+        let p = parse_program("r(a, b).\nr(a, c).\nr(X, Y) -> s(X, Z).").unwrap();
+        let r = chase(
+            &p.database,
+            &p.tgds,
+            &ChaseConfig {
+                variant: ChaseVariant::Oblivious,
+                ..Default::default()
+            },
+        );
+        assert!(r.terminated());
+        // Oblivious: one null per (σ, h) = per fact.
+        assert_eq!(r.stats.nulls_created, 2);
+        assert_eq!(r.instance.len(), 4);
+    }
+
+    #[test]
+    fn restricted_skips_satisfied_heads() {
+        // D = {r(a,b), s(a,c)}; σ: r(x,y) → ∃z s(x,z). Restricted chase
+        // sees s(a,c) already witnesses the head → no new atom.
+        let p = parse_program("r(a, b).\ns(a, c).\nr(X, Y) -> s(X, Z).").unwrap();
+        let r = chase(
+            &p.database,
+            &p.tgds,
+            &ChaseConfig {
+                variant: ChaseVariant::Restricted,
+                ..Default::default()
+            },
+        );
+        assert!(r.terminated());
+        assert_eq!(r.instance.len(), 2);
+        // Semi-oblivious fires anyway:
+        let r2 = semi_oblivious_chase(&p.database, &p.tgds, 1000);
+        assert_eq!(r2.instance.len(), 3);
+    }
+
+    #[test]
+    fn empty_frontier_nulls_have_depth_one() {
+        // Def 4.3: depth(⊥^z_{σ,h}) = 1 + max({depth(h(x)) | x ∈ fr(σ)} ∪ {0}).
+        // With fr(σ) = ∅ every null has depth exactly 1, no matter how
+        // "late" it is derived.
+        let r = run("p0(a).\np0(X) -> p1(Z).\np1(X) -> p2(Z).", 1000);
+        assert!(r.terminated());
+        assert_eq!(r.max_depth(), 1);
+    }
+
+    #[test]
+    fn depth_tracking_matches_definition() {
+        // Depth chains through the frontier: each null's depth is one more
+        // than the deepest frontier image.
+        let r = run(
+            "p0(a, b).\np0(X, Y) -> p1(Y, Z).\np1(X, Y) -> p2(Y, Z).\np2(X, Y) -> p3(Y, Z).",
+            1000,
+        );
+        assert!(r.terminated());
+        assert_eq!(r.max_depth(), 3);
+        let hist = r.atom_depth_histogram();
+        assert_eq!(hist, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn depth_budget_detects_deep_chains() {
+        let r = {
+            let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+            chase(
+                &p.database,
+                &p.tgds,
+                &ChaseConfig {
+                    budget: ChaseBudget::depth(5, 1_000_000),
+                    ..Default::default()
+                },
+            )
+        };
+        assert_eq!(r.outcome, ChaseOutcome::DepthLimit);
+    }
+
+    #[test]
+    fn result_is_a_model_when_terminated() {
+        let r = run(
+            "e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X).",
+            10_000,
+        );
+        assert!(r.terminated());
+        let p = parse_program("e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X).")
+            .unwrap();
+        assert!(r.is_model_of(&p.tgds));
+    }
+
+    #[test]
+    fn determinism_under_rule_permutation() {
+        // chase(D, Σ) is a well-defined set: permuting rules must give the
+        // same atoms (modulo null ids — here we compare counts and
+        // structure via sorted rendering of null-free projections).
+        let t1 = "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(X, Y) -> t(X).\nr(X, Y) -> t(X).";
+        let t2 = "r(a, b).\nr(X, Y) -> t(X).\ns(X, Y) -> t(X).\nr(X, Y) -> s(Y, Z).";
+        let r1 = run(t1, 1000);
+        let r2 = run(t2, 1000);
+        assert!(r1.terminated() && r2.terminated());
+        assert_eq!(r1.instance.len(), r2.instance.len());
+        assert_eq!(r1.stats.nulls_created, r2.stats.nulls_created);
+    }
+
+    #[test]
+    fn unfair_derivations_are_not_produced() {
+        // §3: Σ = {R(x,y) → ∃z R(y,z), R(x,y) → P(x,y)}. A fair chase must
+        // also produce P-atoms even though the R-rule alone can run
+        // forever. With an atom budget, both predicates must appear.
+        let r = run("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> p(X, Y).", 200);
+        assert_eq!(r.outcome, ChaseOutcome::AtomLimit);
+        let preds: std::collections::HashSet<_> =
+            r.instance.iter().map(|a| a.pred).collect();
+        assert_eq!(preds.len(), 2, "fairness: both R and P atoms appear");
+        // The two predicates appear in near-equal numbers: every R-atom
+        // eventually spawns a P-atom.
+        let mut counts = std::collections::HashMap::new();
+        for a in r.instance.iter() {
+            *counts.entry(a.pred).or_insert(0usize) += 1;
+        }
+        let min = counts.values().min().copied().unwrap();
+        assert!(min > 40, "both predicates keep growing, got min {min}");
+    }
+
+    #[test]
+    fn zero_ary_heads_work() {
+        let r = run("r(a).\nr(X) -> halted.", 100);
+        assert!(r.terminated());
+        assert_eq!(r.instance.len(), 2);
+    }
+}

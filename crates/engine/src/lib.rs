@@ -1,0 +1,31 @@
+//! # nuchase-engine
+//!
+//! Chase engines for the `nuchase` workspace — the reproduction of
+//! *“Non-Uniformly Terminating Chase: Size and Complexity”* (Calautti,
+//! Gottlob, Pieris; PODS 2022).
+//!
+//! The centrepiece is the **semi-oblivious chase** of §3: triggers
+//! `(σ, h)` fire at most once per `(σ, h|fr(σ))`, and the invented nulls
+//! `⊥^z_{σ, h|fr(σ)}` are interned by provenance ([`nulls::NullStore`]),
+//! which makes `chase(D, Σ)` a canonical, derivation-independent set.
+//! Oblivious and restricted variants are provided as baselines.
+//!
+//! The engine tracks per-null **depth** (Definition 4.3) and can record
+//! the **guarded chase forest** of §5 ([`forest::Forest`]), enabling the
+//! paper's size-bound experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chase;
+pub mod forest;
+pub mod nulls;
+pub mod provenance;
+
+pub use chase::{
+    chase, semi_oblivious_chase, ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats,
+    ChaseVariant,
+};
+pub use forest::Forest;
+pub use nulls::{NullKey, NullStore};
+pub use provenance::{explain, Derivation, Explanation, Provenance};

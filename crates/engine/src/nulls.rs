@@ -1,0 +1,192 @@
+//! The null store: labelled nulls with semi-oblivious provenance and depth.
+//!
+//! Definition 3.1 names the null invented for existential variable `z` by a
+//! trigger `(σ, h)` as `⊥^z_{σ, h|fr(σ)}` — i.e. its identity is determined
+//! by the *rule*, the *existential variable*, and the restriction of the
+//! homomorphism to the frontier. The [`NullStore`] interns nulls by exactly
+//! this key, which makes the semi-oblivious chase order-independent and
+//! makes `chase(D, Σ)` a well-defined set (the paper's convention following
+//! Grahne–Onet).
+//!
+//! Each null also records its **depth** (Definition 4.3):
+//! `depth(⊥^z_{σ,h}) = 1 + max({depth(h(x)) | x ∈ fr(σ)} ∪ {0})`, computed
+//! eagerly at interning time from the depths of the frontier image.
+
+use std::collections::HashMap;
+
+use nuchase_model::{NullId, RuleId, Term, VarId};
+
+/// Provenance key of a semi-oblivious null: `(σ, z, h|fr(σ))`. The
+/// frontier image is stored in the (sorted) order of `fr(σ)` as exposed by
+/// [`nuchase_model::Tgd::frontier`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NullKey {
+    /// The rule that invents the null.
+    pub rule: RuleId,
+    /// The existential variable.
+    pub var: VarId,
+    /// The image of the frontier under the trigger homomorphism.
+    pub frontier_image: Box<[Term]>,
+}
+
+/// Interns nulls by provenance and records their depth.
+#[derive(Debug, Default, Clone)]
+pub struct NullStore {
+    by_key: HashMap<NullKey, NullId>,
+    keys: Vec<Option<NullKey>>,
+    depths: Vec<u32>,
+}
+
+impl NullStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nulls created so far.
+    pub fn len(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.depths.is_empty()
+    }
+
+    /// Interns the null `⊥^z_{σ, h|fr}`, computing its depth from the
+    /// frontier image. Returns the same id for the same key (semi-oblivious
+    /// naming). `frontier_depth` must be the maximum depth over the
+    /// frontier image terms (0 if the frontier is empty or all constants).
+    pub fn intern(&mut self, key: NullKey, frontier_depth: u32) -> NullId {
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = NullId(self.depths.len() as u32);
+        self.by_key.insert(key.clone(), id);
+        self.keys.push(Some(key));
+        self.depths.push(frontier_depth + 1);
+        id
+    }
+
+    /// Creates a fresh, never-deduplicated null (used by the restricted
+    /// chase, whose nulls are per-firing).
+    pub fn fresh(&mut self, frontier_depth: u32) -> NullId {
+        let id = NullId(self.depths.len() as u32);
+        self.keys.push(None);
+        self.depths.push(frontier_depth + 1);
+        id
+    }
+
+    /// The depth of a null (Definition 4.3).
+    #[inline]
+    pub fn depth(&self, id: NullId) -> u32 {
+        self.depths[id.index()]
+    }
+
+    /// The provenance key, if the null was interned (semi-oblivious /
+    /// oblivious); `None` for fresh restricted-chase nulls.
+    pub fn key(&self, id: NullId) -> Option<&NullKey> {
+        self.keys[id.index()].as_ref()
+    }
+
+    /// Depth of a term: 0 for constants, stored depth for nulls.
+    ///
+    /// # Panics
+    /// Panics on variables — instances are ground.
+    #[inline]
+    pub fn term_depth(&self, term: Term) -> u32 {
+        match term {
+            Term::Const(_) => 0,
+            Term::Null(n) => self.depth(n),
+            Term::Var(_) => panic!("variables have no depth"),
+        }
+    }
+
+    /// Depth of an atom: the max depth over its arguments (§5).
+    pub fn atom_depth(&self, atom: &nuchase_model::Atom) -> u32 {
+        atom.args
+            .iter()
+            .map(|&t| self.term_depth(t))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum depth over all nulls created (0 if none).
+    pub fn max_depth(&self) -> u32 {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::{Atom, ConstId, PredId};
+
+    fn key(rule: u32, var: u32, frontier: Vec<Term>) -> NullKey {
+        NullKey {
+            rule: RuleId(rule),
+            var: VarId(var),
+            frontier_image: frontier.into(),
+        }
+    }
+
+    #[test]
+    fn interning_is_stable_per_key() {
+        let mut store = NullStore::new();
+        let a = Term::Const(ConstId(0));
+        let n1 = store.intern(key(0, 1, vec![a]), 0);
+        let n2 = store.intern(key(0, 1, vec![a]), 0);
+        assert_eq!(n1, n2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.depth(n1), 1);
+    }
+
+    #[test]
+    fn different_keys_different_nulls() {
+        let mut store = NullStore::new();
+        let a = Term::Const(ConstId(0));
+        let b = Term::Const(ConstId(1));
+        let n1 = store.intern(key(0, 1, vec![a]), 0);
+        let n2 = store.intern(key(0, 1, vec![b]), 0);
+        let n3 = store.intern(key(0, 2, vec![a]), 0);
+        let n4 = store.intern(key(1, 1, vec![a]), 0);
+        assert_eq!(
+            4,
+            [n1, n2, n3, n4]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
+    }
+
+    #[test]
+    fn depth_chains_through_frontier() {
+        let mut store = NullStore::new();
+        let a = Term::Const(ConstId(0));
+        let n1 = store.intern(key(0, 1, vec![a]), 0);
+        assert_eq!(store.depth(n1), 1);
+        let n2 = store.intern(key(0, 1, vec![Term::Null(n1)]), store.depth(n1));
+        assert_eq!(store.depth(n2), 2);
+        assert_eq!(store.max_depth(), 2);
+    }
+
+    #[test]
+    fn fresh_nulls_never_coincide() {
+        let mut store = NullStore::new();
+        let n1 = store.fresh(0);
+        let n2 = store.fresh(0);
+        assert_ne!(n1, n2);
+        assert!(store.key(n1).is_none());
+    }
+
+    #[test]
+    fn atom_depth_is_max_over_args() {
+        let mut store = NullStore::new();
+        let a = Term::Const(ConstId(0));
+        let n1 = store.intern(key(0, 1, vec![a]), 0);
+        let n2 = store.intern(key(0, 1, vec![Term::Null(n1)]), 1);
+        let atom = Atom::new(PredId(0), vec![a, Term::Null(n1), Term::Null(n2)]);
+        assert_eq!(store.atom_depth(&atom), 2);
+        assert_eq!(store.term_depth(a), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! The family of Proposition 4.5: term depth can grow with `|D|` in the
+//! non-uniform setting (impossible uniformly, Theorem 4.4).
+//!
+//! `D_n = {P(a₁, b, b), R(a₁, a₂), …, R(a_{n−1}, a_n)}` and
+//! `Σ = {R(x,y), P(x,z,v) → ∃w P(y,w,z)}`: the single P-token walks down
+//! the R-path, nesting one null per step, so `maxdepth(D_n, Σ) = n − 1`
+//! while the chase stays finite. On the self-loop database
+//! `{P(a,a,a), R(a,a)}` the same `Σ` diverges — which is why `Σ ∉ CT`.
+
+use nuchase_model::{Atom, Instance, Program, SymbolTable, Term, Tgd, TgdSet, VarId};
+
+/// Builds `(D_n, Σ)` of Proposition 4.5. Requires `n ≥ 2`.
+pub fn depth_family(n: usize) -> Program {
+    assert!(n >= 2, "the family is defined for n > 1");
+    let mut symbols = SymbolTable::new();
+    let p = symbols.pred_unchecked("p", 3);
+    let r = symbols.pred_unchecked("r", 2);
+    let b = Term::Const(symbols.constant("b"));
+    let a: Vec<Term> = (1..=n)
+        .map(|i| Term::Const(symbols.constant(&format!("a{i}"))))
+        .collect();
+
+    let mut database = Instance::new();
+    database.insert(Atom::new(p, vec![a[0], b, b]));
+    for i in 0..n - 1 {
+        database.insert(Atom::new(r, vec![a[i], a[i + 1]]));
+    }
+
+    let v = |i: u32| Term::Var(VarId(i));
+    let (x, y, z, vv, w) = (v(0), v(1), v(2), v(3), v(4));
+    let mut tgds = TgdSet::default();
+    tgds.push(
+        Tgd::new(
+            vec![Atom::new(r, vec![x, y]), Atom::new(p, vec![x, z, vv])],
+            vec![Atom::new(p, vec![y, w, z])],
+        )
+        .unwrap(),
+    );
+
+    Program {
+        symbols,
+        database,
+        tgds,
+    }
+}
+
+/// The diverging companion `D = {P(a,a,a), R(a,a)}` showing `Σ ∉ CT`.
+pub fn depth_family_diverging() -> Program {
+    let mut program = depth_family(2);
+    let mut symbols = SymbolTable::new();
+    let p = symbols.pred_unchecked("p", 3);
+    let r = symbols.pred_unchecked("r", 2);
+    let a = Term::Const(symbols.constant("a"));
+    let mut database = Instance::new();
+    database.insert(Atom::new(p, vec![a, a, a]));
+    database.insert(Atom::new(r, vec![a, a]));
+    program.database = database;
+    program.symbols = symbols;
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_engine::semi_oblivious_chase;
+
+    #[test]
+    fn maxdepth_is_n_minus_one() {
+        for n in [2, 3, 5, 10, 40] {
+            let p = depth_family(n);
+            assert_eq!(p.database.len(), n);
+            let r = semi_oblivious_chase(&p.database, &p.tgds, 100_000);
+            assert!(r.terminated(), "n={n}");
+            assert_eq!(r.max_depth() as usize, n - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn family_is_general_tgd() {
+        // Neither body atom covers all of {x, y, z, v}: the Prop 4.5
+        // family lives in the general-TGD section of the paper, not in G.
+        let p = depth_family(3);
+        assert_eq!(p.tgds.classify(), nuchase_model::TgdClass::General);
+    }
+
+    #[test]
+    fn self_loop_database_diverges() {
+        let p = depth_family_diverging();
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 2_000);
+        assert!(!r.terminated());
+    }
+}

@@ -1,0 +1,27 @@
+//! # nuchase-gen
+//!
+//! Workload generators for the `nuchase` reproduction of *“Non-Uniformly
+//! Terminating Chase: Size and Complexity”* (PODS 2022):
+//!
+//! * the three **lower-bound families** of Theorems 6.5 / 7.6 / 8.4
+//!   ([`lower_bounds`]);
+//! * the **depth family** of Proposition 4.5 ([`depth_family`]);
+//! * the **Turing-machine reduction** of Appendix A with a DTM simulator
+//!   and a library of concrete machines ([`turing`]);
+//! * seeded **random program generators** per TGD class ([`random`]);
+//! * two **realistic scenarios** — OBDA materialization and data
+//!   exchange ([`scenarios`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod depth_family;
+pub mod lower_bounds;
+pub mod random;
+pub mod scenarios;
+pub mod turing;
+
+pub use depth_family::{depth_family, depth_family_diverging};
+pub use lower_bounds::{g_family, l_family, sl_family, LowerBoundInstance};
+pub use random::{random_batch, random_program, RandomConfig};
+pub use turing::{machine_database, sigma_star, Dir, Dtm, SimOutcome};

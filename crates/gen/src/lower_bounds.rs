@@ -1,0 +1,851 @@
+//! The worst-case families of Theorems 6.5, 7.6 and 8.4 — the
+//! constructions showing the size bounds `|D| · f_C(Σ)` are tight.
+//!
+//! Each generator returns a [`Program`] with the database `D_ℓ` and the
+//! TGD set `Σ_{n,m}` of the corresponding appendix construction, plus the
+//! paper's predicted lower bound on `|chase(D_ℓ, Σ_{n,m})|`:
+//!
+//! * **SL** (Thm 6.5): `ℓ · m^{n·m}` — exponential in arity and number
+//!   of predicates;
+//! * **L** (Thm 7.6): `ℓ · 2^{n·(2^m − 1)}` — double-exponential in arity;
+//! * **G** (Thm 8.4): `ℓ · 2^{2^n·(2^{2^m} − 1)}` — triple-exponential in
+//!   arity, double-exponential in the number of predicates.
+
+use nuchase_model::{Atom, Instance, Program, SymbolTable, Term, Tgd, TgdSet, VarId};
+
+fn v(i: u32) -> Term {
+    Term::Var(VarId(i))
+}
+
+/// `D_ℓ = {P₀(c₁), …, P₀(c_ℓ)}` over a fresh symbol table.
+fn base_database(symbols: &mut SymbolTable, ell: usize) -> Instance {
+    let p0 = symbols.pred_unchecked("p0", 1);
+    (0..ell)
+        .map(|i| {
+            let c = symbols.constant(&format!("c{}", i + 1));
+            Atom::new(p0, vec![Term::Const(c)])
+        })
+        .collect()
+}
+
+/// The simple linear family of **Theorem 6.5**.
+///
+/// `Σ_{n,m} = Σ_start ∪ ⋃ᵢ Σ∀ᵢ ∪ ⋃ᵢ Σ∃ᵢ` with predicates `R₁/m … Rₙ/m`:
+/// the start rule seeds `R₁` with `m` fresh nulls, the ∀-rules close each
+/// `Rᵢ` under "swap position 1 with j" and "copy position j onto 1", and
+/// the ∃-rules seed `Rᵢ₊₁` from every `Rᵢ`-tuple. Every `Rᵢ` level holds
+/// `m^{i·m}` tuples per database constant.
+pub fn sl_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
+    assert!(n >= 1 && m >= 1, "need n, m ≥ 1");
+    let mut symbols = SymbolTable::new();
+    let database = base_database(&mut symbols, ell);
+    let p0 = symbols.lookup_pred("p0").unwrap();
+    let r: Vec<_> = (1..=n)
+        .map(|i| symbols.pred_unchecked(&format!("r{i}"), m))
+        .collect();
+
+    let mut tgds = TgdSet::default();
+
+    // Σ_start: P0(x) → ∃y₁…y_m P0(x), R₁(y₁, …, y_m).
+    {
+        let x = v(0);
+        let ys: Vec<Term> = (1..=m as u32).map(v).collect();
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(p0, vec![x])],
+                vec![Atom::new(p0, vec![x]), Atom::new(r[0], ys)],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Σ∀ᵢ: for each j ∈ [m], swap and copy rules.
+    for &ri in &r {
+        for j in 0..m {
+            let xs: Vec<Term> = (0..m as u32).map(v).collect();
+            // Swap positions 0 and j.
+            if j > 0 {
+                let mut swapped = xs.clone();
+                swapped.swap(0, j);
+                tgds.push(
+                    Tgd::new(
+                        vec![Atom::new(ri, xs.clone())],
+                        vec![Atom::new(ri, swapped)],
+                    )
+                    .unwrap(),
+                );
+            }
+            // Copy x_j onto position 0 (head repeats x_j — legal in SL,
+            // which restricts bodies only).
+            let mut copied = xs.clone();
+            copied[0] = xs[j];
+            if copied != xs {
+                tgds.push(
+                    Tgd::new(vec![Atom::new(ri, xs.clone())], vec![Atom::new(ri, copied)])
+                        .unwrap(),
+                );
+            }
+        }
+    }
+
+    // Σ∃ᵢ: Rᵢ(x̄) → ∃z̄ Rᵢ(x̄), Rᵢ₊₁(z̄).
+    for i in 0..n - 1 {
+        let xs: Vec<Term> = (0..m as u32).map(v).collect();
+        let zs: Vec<Term> = (m as u32..2 * m as u32).map(v).collect();
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(r[i], xs.clone())],
+                vec![Atom::new(r[i], xs), Atom::new(r[i + 1], zs)],
+            )
+            .unwrap(),
+        );
+    }
+
+    let lower_bound = (ell as f64).log2() + (n * m) as f64 * (m as f64).log2();
+    LowerBoundInstance {
+        program: Program {
+            symbols,
+            database,
+            tgds,
+        },
+        log2_lower_bound: lower_bound,
+        witness_pred: format!("r{n}"),
+    }
+}
+
+/// The linear family of **Theorem 7.6** (double-exponential in arity).
+///
+/// Predicates `Rᵢ/(m+3)`. Starting from `Rᵢ(0^m, 0, 1, 0)` the ∀-rules
+/// unfold a perfect binary tree of height `2^m − 1` whose level `j` holds
+/// `2^j` atoms `Rᵢ(b₁…b_m, 0, 1, ⊥)` with `b̄` counting in binary; the
+/// ∃-rule reseeds `Rᵢ₊₁` at every leaf.
+pub fn l_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
+    assert!(n >= 1 && m >= 1, "need n, m ≥ 1");
+    let mut symbols = SymbolTable::new();
+    let database = base_database(&mut symbols, ell);
+    let p0 = symbols.lookup_pred("p0").unwrap();
+    let r: Vec<_> = (1..=n)
+        .map(|i| symbols.pred_unchecked(&format!("r{i}"), m + 3))
+        .collect();
+
+    let mut tgds = TgdSet::default();
+
+    // Σ_start: P0(x) → ∃y∃z P0(x), R₁(y^m, y, z, y).
+    {
+        let x = v(0);
+        let y = v(1);
+        let z = v(2);
+        let mut args = vec![y; m];
+        args.extend([y, z, y]);
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(p0, vec![x])],
+                vec![Atom::new(p0, vec![x]), Atom::new(r[0], args)],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Σ∀ᵢ: for each j ∈ {0, …, m−1}:
+    // Rᵢ(x₁…x_{m−j−1}, y, z^j, y, z, u) →
+    //   ∃v∃w Rᵢ(…same…), Rᵢ(x₁…x_{m−j−1}, z, y^j, y, z, v),
+    //                    Rᵢ(x₁…x_{m−j−1}, z, y^j, y, z, w).
+    for &ri in &r {
+        for j in 0..m {
+            let k = m - j - 1; // number of leading x's
+            let xs: Vec<Term> = (0..k as u32).map(v).collect();
+            let y = v(k as u32);
+            let z = v(k as u32 + 1);
+            let u = v(k as u32 + 2);
+            let vv = v(k as u32 + 3);
+            let w = v(k as u32 + 4);
+            let body = {
+                let mut a = xs.clone();
+                a.push(y);
+                a.extend(std::iter::repeat(z).take(j));
+                a.extend([y, z, u]);
+                Atom::new(ri, a)
+            };
+            let flip = |tail: Term| {
+                let mut a = xs.clone();
+                a.push(z);
+                a.extend(std::iter::repeat(y).take(j));
+                a.extend([y, z, tail]);
+                Atom::new(ri, a)
+            };
+            tgds.push(
+                Tgd::new(vec![body.clone()], vec![body, flip(vv), flip(w)]).unwrap(),
+            );
+        }
+    }
+
+    // Σ∃ᵢ: Rᵢ(x^m, y, x, z) → ∃v∃w Rᵢ(x^m, y, x, z), Rᵢ₊₁(v^m, v, w, v).
+    for i in 0..n - 1 {
+        let x = v(0);
+        let y = v(1);
+        let z = v(2);
+        let vv = v(3);
+        let w = v(4);
+        let mut body_args = vec![x; m];
+        body_args.extend([y, x, z]);
+        let mut head_args = vec![vv; m];
+        head_args.extend([vv, w, vv]);
+        let body = Atom::new(r[i], body_args);
+        tgds.push(
+            Tgd::new(
+                vec![body.clone()],
+                vec![body, Atom::new(r[i + 1], head_args)],
+            )
+            .unwrap(),
+        );
+    }
+
+    let lower_bound =
+        (ell as f64).log2() + n as f64 * (2f64.powi(m as i32) - 1.0);
+    LowerBoundInstance {
+        program: Program {
+            symbols,
+            database,
+            tgds,
+        },
+        log2_lower_bound: lower_bound,
+        witness_pred: format!("r{n}"),
+    }
+}
+
+/// The guarded family of **Theorem 8.4** (triple-exponential in arity),
+/// built verbatim from the appendix: strata of full binary trees whose
+/// depth is driven by a `2^m`-bit counter (`Did`/`Depth`/`Succ` with the
+/// pivot/change/copy classification) and whose stratum ids form an
+/// `n`-bit counter (`S₁…Sₙ` with `SPivot/SChange/SCopy`).
+pub fn g_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
+    assert!(n >= 1 && m >= 1, "need n, m ≥ 1");
+    let mut symbols = SymbolTable::new();
+    let sy = &mut symbols;
+
+    let node = sy.pred_unchecked("node", 4);
+    let root = sy.pred_unchecked("root", 1);
+    let new_root = sy.pred_unchecked("newroot", 1);
+    let non_root = sy.pred_unchecked("nonroot", 1);
+    let s: Vec<_> = (1..=n)
+        .map(|i| sy.pred_unchecked(&format!("s{i}"), 2))
+        .collect();
+    let did = sy.pred_unchecked("did", 4 + m);
+    let depth = sy.pred_unchecked("depth", m + 2);
+    let succ = sy.pred_unchecked("succ", 4 + 2 * m);
+    let non_max_stratum = sy.pred_unchecked("nonmaxstratum", 1);
+    let non_max_depth = sy.pred_unchecked("nonmaxdepth", 1);
+    let dpivot = sy.pred_unchecked("dpivot", m + 1);
+    let dchange = sy.pred_unchecked("dchange", m + 1);
+    let dcopy = sy.pred_unchecked("dcopy", m + 1);
+    let spivot: Vec<_> = (1..=n)
+        .map(|i| sy.pred_unchecked(&format!("spivot{i}"), 1))
+        .collect();
+    let schange: Vec<_> = (1..=n)
+        .map(|i| sy.pred_unchecked(&format!("schange{i}"), 1))
+        .collect();
+    let scopy: Vec<_> = (1..=n)
+        .map(|i| sy.pred_unchecked(&format!("scopy{i}"), 1))
+        .collect();
+
+    // D_ℓ = {Node(cᵢ, cᵢ, 0, 1)}.
+    let zero = Term::Const(sy.constant("0"));
+    let one = Term::Const(sy.constant("1"));
+    let database: Instance = (0..ell)
+        .map(|i| {
+            let c = Term::Const(sy.constant(&format!("c{}", i + 1)));
+            Atom::new(node, vec![c, c, zero, one])
+        })
+        .collect();
+
+    let mut tgds = TgdSet::default();
+    // Variable helpers: x=0, y=1, z=2, o=3, then w's from 4.
+    let (x, y, z, o) = (v(0), v(1), v(2), v(3));
+    let ws = |k: usize| -> Vec<Term> { (4..4 + k as u32).map(v).collect() };
+    let ws2 = |k: usize| -> Vec<Term> { (4 + k as u32..4 + 2 * k as u32).map(v).collect() };
+
+    // Root of stratum 0: Node(x,x,z,o) → Root(x), S₁(x,z), …, Sₙ(x,z).
+    {
+        let mut head = vec![Atom::new(root, vec![x])];
+        for &si in &s {
+            head.push(Atom::new(si, vec![x, z]));
+        }
+        tgds.push(Tgd::new(vec![Atom::new(node, vec![x, x, z, o])], head).unwrap());
+    }
+
+    // Digit-id zero: Node(x,y,z,o) → Did(x,y,z,o, z^m).
+    {
+        let mut args = vec![x, y, z, o];
+        args.extend(std::iter::repeat(z).take(m));
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(node, vec![x, y, z, o])],
+                vec![Atom::new(did, args)],
+            )
+            .unwrap(),
+        );
+    }
+    // All other digit-ids: flip one zero to one, for each i ∈ [m].
+    for i in 0..m {
+        let w = ws(m);
+        let mut body_args = vec![x, y, z, o];
+        let mut head_args = vec![x, y, z, o];
+        for (k, &wk) in w.iter().enumerate() {
+            if k == i {
+                body_args.push(z);
+                head_args.push(o);
+            } else {
+                body_args.push(wk);
+                head_args.push(wk);
+            }
+        }
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(did, body_args)],
+                vec![Atom::new(did, head_args)],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Depth counter zero at roots:
+    // Did(x,y,z,o,w̄), Root(y) → Depth(y, w̄, z).
+    {
+        let w = ws(m);
+        let mut body_args = vec![x, y, z, o];
+        body_args.extend(w.iter().copied());
+        let mut head_args = vec![y];
+        head_args.extend(w.iter().copied());
+        head_args.push(z);
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(did, body_args), Atom::new(root, vec![y])],
+                vec![Atom::new(depth, head_args)],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Successor over digit-ids: for each i ∈ [m]:
+    // Did(x,y,z,o, w₁…w_{i−1}, z, o^{m−i}) →
+    //   Succ(x,y,z,o, w₁…w_{i−1}, z, o^{m−i}, w₁…w_{i−1}, o, z^{m−i}).
+    for i in 1..=m {
+        let w = ws(m);
+        let mut digits_lo = Vec::with_capacity(m);
+        let mut digits_hi = Vec::with_capacity(m);
+        for (k, &wk) in w.iter().enumerate() {
+            use std::cmp::Ordering::*;
+            match (k + 1).cmp(&i) {
+                Less => {
+                    digits_lo.push(wk);
+                    digits_hi.push(wk);
+                }
+                Equal => {
+                    digits_lo.push(z);
+                    digits_hi.push(o);
+                }
+                Greater => {
+                    digits_lo.push(o);
+                    digits_hi.push(z);
+                }
+            }
+        }
+        let mut body_args = vec![x, y, z, o];
+        body_args.extend(digits_lo.iter().copied());
+        let mut head_args = vec![x, y, z, o];
+        head_args.extend(digits_lo.iter().copied());
+        head_args.extend(digits_hi.iter().copied());
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(did, body_args)],
+                vec![Atom::new(succ, head_args)],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Complements: Node(x,y,z,o), Sᵢ(y,z) → NonMaxStratum(y);
+    //              Depth(x, w̄, z) → NonMaxDepth(x).
+    for &si in &s {
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(node, vec![x, y, z, o]), Atom::new(si, vec![y, z])],
+                vec![Atom::new(non_max_stratum, vec![y])],
+            )
+            .unwrap(),
+        );
+    }
+    {
+        // The appendix writes `Depth(x, w̄, z) → NonMaxDepth(x)`, which
+        // reads the variable `z` as "the zero constant"; as a constant-free
+        // TGD the bit variable must be anchored, so we add the guard
+        // `Did(x', y, z, o, w̄)` whose third argument is always the zero
+        // constant (and which also keeps the rule guarded).
+        let w = ws(m);
+        let mut did_args = vec![x, y, z, o];
+        did_args.extend(w.iter().copied());
+        let mut depth_args = vec![y];
+        depth_args.extend(w.iter().copied());
+        depth_args.push(z);
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(did, did_args), Atom::new(depth, depth_args)],
+                vec![Atom::new(non_max_depth, vec![y])],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Children: Node(x,y,z,o), NonMaxDepth(y) →
+    //   ∃w∃w' Node(y,w,z,o), NonRoot(w), Node(y,w',z,o), NonRoot(w').
+    {
+        let w1 = v(4);
+        let w2 = v(5);
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![x, y, z, o]),
+                    Atom::new(non_max_depth, vec![y]),
+                ],
+                vec![
+                    Atom::new(node, vec![y, w1, z, o]),
+                    Atom::new(non_root, vec![w1]),
+                    Atom::new(node, vec![y, w2, z, o]),
+                    Atom::new(non_root, vec![w2]),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    // Children inherit stratum: two rules per Sᵢ.
+    for &si in &s {
+        for bit in [z, o] {
+            tgds.push(
+                Tgd::new(
+                    vec![
+                        Atom::new(node, vec![x, y, z, o]),
+                        Atom::new(non_root, vec![y]),
+                        Atom::new(si, vec![x, bit]),
+                    ],
+                    vec![Atom::new(si, vec![y, bit])],
+                )
+                .unwrap(),
+            );
+        }
+    }
+
+    // Depth digit classification:
+    // Depth(y, o^m, z) → DPivot(y, o^m);  Depth(y, o^m, o) → DChange(y, o^m)
+    // — wait, the appendix uses the *rightmost zero* convention via Succ;
+    // transcribe its six rules:
+    //   Depth(y, o^m, z) → DPivot(y, o^m)      [all-ones id, bit 0]
+    //   Depth(y, o^m, o) → DChange(y, o^m)     [all-ones id, bit 1]
+    //   Succ(x,y,z,o,w̄,w̄'), DChange(y,w̄'), Depth(y,w̄,z) → DPivot(y,w̄)
+    //   Succ(x,y,z,o,w̄,w̄'), DChange(y,w̄'), Depth(y,w̄,o) → DChange(y,w̄)
+    //   Succ(x,y,z,o,w̄,w̄'), DPivot(y,w̄') → DCopy(y,w̄)
+    //   Succ(x,y,z,o,w̄,w̄'), DCopy(y,w̄') → DCopy(y,w̄)
+    {
+        // The appendix writes Depth(y, o^m, ·) with the *digit-id* o^m,
+        // i.e. the most significant digit block; variables here: y = 0.
+        let yv = v(0);
+        let zv = v(1);
+        let ov = v(2);
+        // Two base rules need the actual constants 0/1 pattern: the
+        // appendix reads them off Depth(y, o^m, z|o) where o^m refers to
+        // the all-ones digit id; to stay constant-free it sources z and o
+        // from a Node atom. We follow that scheme.
+        let xv = v(3);
+        let ones = vec![ov; m];
+        let mut d_args_z = vec![yv];
+        d_args_z.extend(ones.iter().copied());
+        d_args_z.push(zv);
+        let mut d_args_o = vec![yv];
+        d_args_o.extend(ones.iter().copied());
+        d_args_o.push(ov);
+        let mut piv_args = vec![yv];
+        piv_args.extend(ones.iter().copied());
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![xv, yv, zv, ov]),
+                    Atom::new(depth, d_args_z.clone()),
+                ],
+                vec![Atom::new(dpivot, piv_args.clone())],
+            )
+            .unwrap(),
+        );
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![xv, yv, zv, ov]),
+                    Atom::new(depth, d_args_o),
+                ],
+                vec![Atom::new(dchange, piv_args)],
+            )
+            .unwrap(),
+        );
+    }
+    {
+        // Succ-driven classification.
+        let w = ws(m);
+        let w2v = ws2(m);
+        let mut succ_args = vec![x, y, z, o];
+        succ_args.extend(w.iter().copied());
+        succ_args.extend(w2v.iter().copied());
+        let with_w = |p, extra: Option<Term>| {
+            let mut a = vec![y];
+            a.extend(w.iter().copied());
+            if let Some(e) = extra {
+                a.push(e);
+            }
+            Atom::new(p, a)
+        };
+        let with_w2 = |p| {
+            let mut a = vec![y];
+            a.extend(w2v.iter().copied());
+            Atom::new(p, a)
+        };
+        // DChange(y,w̄') ∧ Depth(y,w̄,0) → DPivot(y,w̄)
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(succ, succ_args.clone()),
+                    with_w2(dchange),
+                    with_w(depth, Some(z)),
+                ],
+                vec![with_w(dpivot, None)],
+            )
+            .unwrap(),
+        );
+        // DChange(y,w̄') ∧ Depth(y,w̄,1) → DChange(y,w̄)
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(succ, succ_args.clone()),
+                    with_w2(dchange),
+                    with_w(depth, Some(o)),
+                ],
+                vec![with_w(dchange, None)],
+            )
+            .unwrap(),
+        );
+        // DPivot(y,w̄') → DCopy(y,w̄)
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(succ, succ_args.clone()), with_w2(dpivot)],
+                vec![with_w(dcopy, None)],
+            )
+            .unwrap(),
+        );
+        // DCopy(y,w̄') → DCopy(y,w̄)
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(succ, succ_args), with_w2(dcopy)],
+                vec![with_w(dcopy, None)],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Child depth = parent depth + 1:
+    // Did(x,y,z,o,w̄), NonRoot(y), DChange(x,w̄) → Depth(y,w̄,z)
+    // Did(x,y,z,o,w̄), NonRoot(y), DPivot(x,w̄) → Depth(y,w̄,o)
+    // Did(x,y,z,o,w̄), NonRoot(y), DCopy(x,w̄), Depth(x,w̄,b) → Depth(y,w̄,b)
+    {
+        let w = ws(m);
+        let mut did_args = vec![x, y, z, o];
+        did_args.extend(w.iter().copied());
+        let class_atom = |p| {
+            let mut a = vec![x];
+            a.extend(w.iter().copied());
+            Atom::new(p, a)
+        };
+        let depth_atom = |node_var: Term, bit: Term| {
+            let mut a = vec![node_var];
+            a.extend(w.iter().copied());
+            a.push(bit);
+            Atom::new(depth, a)
+        };
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(did, did_args.clone()),
+                    Atom::new(non_root, vec![y]),
+                    class_atom(dchange),
+                ],
+                vec![depth_atom(y, z)],
+            )
+            .unwrap(),
+        );
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(did, did_args.clone()),
+                    Atom::new(non_root, vec![y]),
+                    class_atom(dpivot),
+                ],
+                vec![depth_atom(y, o)],
+            )
+            .unwrap(),
+        );
+        for bit in [z, o] {
+            tgds.push(
+                Tgd::new(
+                    vec![
+                        Atom::new(did, did_args.clone()),
+                        Atom::new(non_root, vec![y]),
+                        class_atom(dcopy),
+                        depth_atom(x, bit),
+                    ],
+                    vec![depth_atom(y, bit)],
+                )
+                .unwrap(),
+            );
+        }
+    }
+
+    // New strata: Node(x,y,z,o), NonMaxStratum(y) → ∃w Node(y,w,z,o), NewRoot(w);
+    // NewRoot(x) → Root(x).
+    {
+        let w1 = v(4);
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![x, y, z, o]),
+                    Atom::new(non_max_stratum, vec![y]),
+                ],
+                vec![Atom::new(node, vec![y, w1, z, o]), Atom::new(new_root, vec![w1])],
+            )
+            .unwrap(),
+        );
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(new_root, vec![x])],
+                vec![Atom::new(root, vec![x])],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Stratum counter classification:
+    // Node(x,y,z,o), Sₙ(y,z) → SPivotₙ(y); Node(x,y,z,o), Sₙ(y,o) → SChangeₙ(y);
+    // and for i ∈ {2..n} the chain rules.
+    tgds.push(
+        Tgd::new(
+            vec![
+                Atom::new(node, vec![x, y, z, o]),
+                Atom::new(s[n - 1], vec![y, z]),
+            ],
+            vec![Atom::new(spivot[n - 1], vec![y])],
+        )
+        .unwrap(),
+    );
+    tgds.push(
+        Tgd::new(
+            vec![
+                Atom::new(node, vec![x, y, z, o]),
+                Atom::new(s[n - 1], vec![y, o]),
+            ],
+            vec![Atom::new(schange[n - 1], vec![y])],
+        )
+        .unwrap(),
+    );
+    for i in (1..n).rev() {
+        // i is 0-based index of the *lower* digit (paper's i−1).
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![x, y, z, o]),
+                    Atom::new(schange[i], vec![y]),
+                    Atom::new(s[i - 1], vec![y, z]),
+                ],
+                vec![Atom::new(spivot[i - 1], vec![y])],
+            )
+            .unwrap(),
+        );
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![x, y, z, o]),
+                    Atom::new(schange[i], vec![y]),
+                    Atom::new(s[i - 1], vec![y, o]),
+                ],
+                vec![Atom::new(schange[i - 1], vec![y])],
+            )
+            .unwrap(),
+        );
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![x, y, z, o]),
+                    Atom::new(spivot[i], vec![y]),
+                ],
+                vec![Atom::new(scopy[i - 1], vec![y])],
+            )
+            .unwrap(),
+        );
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![x, y, z, o]),
+                    Atom::new(scopy[i], vec![y]),
+                ],
+                vec![Atom::new(scopy[i - 1], vec![y])],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Increment stratum for new roots: for each i (1-based in the paper,
+    // all digits here):
+    for i in 0..n {
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![x, y, z, o]),
+                    Atom::new(new_root, vec![y]),
+                    Atom::new(schange[i], vec![x]),
+                ],
+                vec![Atom::new(s[i], vec![y, z])],
+            )
+            .unwrap(),
+        );
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::new(node, vec![x, y, z, o]),
+                    Atom::new(new_root, vec![y]),
+                    Atom::new(spivot[i], vec![x]),
+                ],
+                vec![Atom::new(s[i], vec![y, o])],
+            )
+            .unwrap(),
+        );
+        for bit in [z, o] {
+            tgds.push(
+                Tgd::new(
+                    vec![
+                        Atom::new(node, vec![x, y, z, o]),
+                        Atom::new(new_root, vec![y]),
+                        Atom::new(scopy[i], vec![x]),
+                        Atom::new(s[i], vec![x, bit]),
+                    ],
+                    vec![Atom::new(s[i], vec![y, bit])],
+                )
+                .unwrap(),
+            );
+        }
+    }
+
+    let log2_lower_bound = (ell as f64).log2()
+        + 2f64.powi(n as i32) * (2f64.powi(2i32.pow(m as u32)) - 1.0);
+    LowerBoundInstance {
+        program: Program {
+            symbols,
+            database,
+            tgds,
+        },
+        log2_lower_bound,
+        witness_pred: "node".into(),
+    }
+}
+
+/// A generated lower-bound workload.
+#[derive(Debug, Clone)]
+pub struct LowerBoundInstance {
+    /// The database `D_ℓ` and TGD set `Σ_{n,m}`.
+    pub program: Program,
+    /// `log₂` of the paper's predicted lower bound on `|chase|`.
+    pub log2_lower_bound: f64,
+    /// The predicate whose tuple count witnesses the bound.
+    pub witness_pred: String,
+}
+
+impl LowerBoundInstance {
+    /// The predicted lower bound, if it fits `u128`.
+    pub fn lower_bound(&self) -> Option<u128> {
+        (self.log2_lower_bound < 126.0).then(|| self.log2_lower_bound.exp2().round() as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_engine::semi_oblivious_chase;
+    use nuchase_model::TgdClass;
+
+    #[test]
+    fn sl_family_is_simple_linear_and_meets_bound() {
+        for (ell, n, m) in [(1, 1, 2), (2, 1, 2), (1, 2, 2), (3, 2, 2), (1, 1, 3)] {
+            let inst = sl_family(ell, n, m);
+            assert_eq!(inst.program.tgds.classify(), TgdClass::SimpleLinear);
+            let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 2_000_000);
+            assert!(r.terminated(), "SL family must terminate (ℓ={ell},n={n},m={m})");
+            let bound = inst.lower_bound().unwrap();
+            assert!(
+                r.instance.len() as u128 >= bound,
+                "ℓ={ell},n={n},m={m}: chase {} < bound {bound}",
+                r.instance.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sl_family_witness_count_matches_exactly() {
+        // |{t̄ : R_n(t̄) ∈ chase}| = ℓ·m^{n·m} exactly (Claim E.1).
+        let inst = sl_family(2, 2, 2);
+        let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 2_000_000);
+        assert!(r.terminated());
+        let rn = inst.program.symbols.lookup_pred("r2").unwrap();
+        let count = r.instance.iter().filter(|a| a.pred == rn).count();
+        assert_eq!(count as u128, 2 * 2u128.pow(4)); // ℓ·m^{n·m} = 2·2⁴ = 32
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn l_family_is_linear_and_meets_bound() {
+        for (ell, n, m) in [(1, 1, 1), (1, 1, 2), (2, 1, 2), (1, 2, 2)] {
+            let inst = l_family(ell, n, m);
+            assert!(inst.program.tgds.classify() <= TgdClass::Linear);
+            let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 2_000_000);
+            assert!(r.terminated(), "L family must terminate (ℓ={ell},n={n},m={m})");
+            let bound = inst.lower_bound().unwrap();
+            assert!(
+                r.instance.len() as u128 >= bound,
+                "ℓ={ell},n={n},m={m}: chase {} < bound {bound}",
+                r.instance.len()
+            );
+        }
+    }
+
+    #[test]
+    fn g_family_is_guarded_and_meets_bound() {
+        for (ell, n, m) in [(1, 1, 1), (2, 1, 1)] {
+            let inst = g_family(ell, n, m);
+            assert!(inst.program.tgds.classify() <= TgdClass::Guarded);
+            let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 2_000_000);
+            assert!(r.terminated(), "G family must terminate (ℓ={ell},n={n},m={m})");
+            let bound = inst.lower_bound().unwrap();
+            assert!(
+                r.instance.len() as u128 >= bound,
+                "ℓ={ell},n={n},m={m}: chase {} < bound {bound}",
+                r.instance.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_scale_linearly_in_ell() {
+        let c1 = {
+            let i = sl_family(1, 1, 2);
+            let r = semi_oblivious_chase(&i.program.database, &i.program.tgds, 1_000_000);
+            r.instance.len() - 1
+        };
+        let c4 = {
+            let i = sl_family(4, 1, 2);
+            let r = semi_oblivious_chase(&i.program.database, &i.program.tgds, 1_000_000);
+            r.instance.len() - 4
+        };
+        assert_eq!(c4, 4 * c1);
+    }
+}

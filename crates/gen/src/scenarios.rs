@@ -1,0 +1,203 @@
+//! Realistic workload scenarios, as motivated in the paper's introduction:
+//! ontology-based data access (OBDA) with rule-based ontologies, and data
+//! exchange with schema mappings.
+//!
+//! Both scenarios are parameterized by database size, so the experiments
+//! can sweep `|D|` with `Σ` fixed — exactly the data-complexity regime of
+//! Theorems 6.6 / 7.7 / 8.5.
+
+use nuchase_model::{parse_database, parse_tgds, Program, SymbolTable};
+
+/// A DL-Lite-flavoured company ontology (simple linear TGDs — the paper
+/// notes the main DL-Lite members are special cases of SL).
+///
+/// Concepts: `employee`, `manager`, `dept`, `project`; roles: `worksfor`,
+/// `manages`, `assignedto`. Every employee works for a department
+/// (existential), every manager is an employee, every department has a
+/// manager (existential) — the classic potentially-cyclic fragment whose
+/// termination depends on the data.
+pub fn obda_ontology(symbols: &mut SymbolTable) -> nuchase_model::TgdSet {
+    parse_tgds(
+        "
+        % concept inclusions
+        manager(X) -> employee(X).
+        % role domains/ranges
+        worksfor(X, Y) -> employee(X).
+        worksfor(X, Y) -> dept(Y).
+        manages(X, Y) -> dept(Y).
+        assignedto(X, Y) -> employee(X).
+        assignedto(X, Y) -> project(Y).
+        % existential axioms
+        employee(X) -> worksfor(X, Y).
+        dept(Y) -> manages(X, Y).
+        project(X) -> assignedto(Y, X).
+        ",
+        symbols,
+    )
+    .expect("ontology is well-formed")
+}
+
+/// The same ontology with one extra, natural-looking axiom —
+/// `manages(X, Y) → manager(X)` — which closes the existential cycle
+/// `employee ⇒ ∃worksFor ⇒ dept ⇒ ∃manages⁻ ⇒ manager ⇒ employee`:
+/// the chase now diverges on any database mentioning an employee, a
+/// department, or a project. The scenario the paper's non-uniform
+/// analysis is for: whether materialization is usable depends on `D`.
+pub fn obda_ontology_cyclic(symbols: &mut SymbolTable) -> nuchase_model::TgdSet {
+    parse_tgds(
+        "
+        manager(X) -> employee(X).
+        worksfor(X, Y) -> employee(X).
+        worksfor(X, Y) -> dept(Y).
+        manages(X, Y) -> manager(X).
+        manages(X, Y) -> dept(Y).
+        assignedto(X, Y) -> employee(X).
+        assignedto(X, Y) -> project(Y).
+        employee(X) -> worksfor(X, Y).
+        dept(Y) -> manages(X, Y).
+        project(X) -> assignedto(Y, X).
+        ",
+        symbols,
+    )
+    .expect("ontology is well-formed")
+}
+
+/// An OBDA database with `n` employees, `n/4 + 1` departments and
+/// `n/2 + 1` projects.
+pub fn obda_database(symbols: &mut SymbolTable, n: usize) -> nuchase_model::Instance {
+    let mut text = String::new();
+    let depts = n / 4 + 1;
+    let projects = n / 2 + 1;
+    for i in 0..n {
+        text.push_str(&format!("employee(e{i}).\n"));
+        text.push_str(&format!("worksfor(e{i}, d{}).\n", i % depts));
+        if i % 3 == 0 {
+            text.push_str(&format!("assignedto(e{i}, prj{}).\n", i % projects));
+        }
+        if i % depts == 0 {
+            text.push_str(&format!("manages(e{i}, d{})\u{2e}\n", i % depts));
+        }
+    }
+    parse_database(&text, symbols).expect("database is well-formed")
+}
+
+/// The full OBDA scenario program.
+pub fn obda_scenario(n: usize) -> Program {
+    let mut symbols = SymbolTable::new();
+    let tgds = obda_ontology(&mut symbols);
+    let database = obda_database(&mut symbols, n);
+    Program {
+        symbols,
+        database,
+        tgds,
+    }
+}
+
+/// A data-exchange mapping (source → target TGDs), in the style of
+/// Fagin–Kolaitis–Miller–Popa: weakly acyclic by construction, so the
+/// chase terminates on every source instance — the uniform case the paper
+/// contrasts against.
+pub fn exchange_mapping(symbols: &mut SymbolTable) -> nuchase_model::TgdSet {
+    parse_tgds(
+        "
+        % source-to-target dependencies
+        s_emp(N, D) -> emp(N, D), dept(D, M).
+        s_proj(N, P) -> proj(P, L), memberof(N, P).
+        % target dependencies
+        emp(N, D) -> dept(D, M).
+        dept(D, M) -> emp(M, D).
+        proj(P, L) -> memberof(L, P).
+        ",
+        symbols,
+    )
+    .expect("mapping is well-formed")
+}
+
+/// Source instances of growing size for the exchange scenario.
+pub fn exchange_source(symbols: &mut SymbolTable, n: usize) -> nuchase_model::Instance {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("s_emp(n{i}, d{}).\n", i % (n / 3 + 1)));
+        if i % 2 == 0 {
+            text.push_str(&format!("s_proj(n{i}, p{}).\n", i % (n / 5 + 1)));
+        }
+    }
+    parse_database(&text, symbols).expect("source is well-formed")
+}
+
+/// The full data-exchange scenario program.
+pub fn exchange_scenario(n: usize) -> Program {
+    let mut symbols = SymbolTable::new();
+    let tgds = exchange_mapping(&mut symbols);
+    let database = exchange_source(&mut symbols, n);
+    Program {
+        symbols,
+        database,
+        tgds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_engine::semi_oblivious_chase;
+    use nuchase_model::TgdClass;
+
+    #[test]
+    fn obda_ontology_is_simple_linear() {
+        let mut s = SymbolTable::new();
+        let tgds = obda_ontology(&mut s);
+        assert_eq!(tgds.classify(), TgdClass::SimpleLinear);
+        let mut s2 = SymbolTable::new();
+        assert_eq!(obda_ontology_cyclic(&mut s2).classify(), TgdClass::SimpleLinear);
+    }
+
+    #[test]
+    fn cyclic_ontology_diverges_on_real_data() {
+        let mut symbols = SymbolTable::new();
+        let tgds = obda_ontology_cyclic(&mut symbols);
+        let db = obda_database(&mut symbols, 5);
+        let r = semi_oblivious_chase(&db, &tgds, 5_000);
+        assert!(!r.terminated());
+        // …but terminates on data that avoids the cycle entirely.
+        let mut s2 = SymbolTable::new();
+        let tgds2 = obda_ontology_cyclic(&mut s2);
+        let safe = nuchase_model::parse_database("other(a).", &mut s2).unwrap();
+        let r2 = semi_oblivious_chase(&safe, &tgds2, 5_000);
+        assert!(r2.terminated());
+    }
+
+    #[test]
+    fn obda_scenario_terminates_and_materializes() {
+        let p = obda_scenario(20);
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 100_000);
+        assert!(r.terminated());
+        // Materialization added inferred atoms.
+        assert!(r.instance.len() > p.database.len());
+        assert!(r.is_model_of(&p.tgds));
+    }
+
+    #[test]
+    fn obda_chase_size_is_linear_in_data() {
+        let s1 = {
+            let p = obda_scenario(40);
+            semi_oblivious_chase(&p.database, &p.tgds, 200_000)
+        };
+        let s2 = {
+            let p = obda_scenario(80);
+            semi_oblivious_chase(&p.database, &p.tgds, 200_000)
+        };
+        assert!(s1.terminated() && s2.terminated());
+        let ratio = s2.instance.len() as f64 / s1.instance.len() as f64;
+        assert!((1.2..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn exchange_mapping_is_simple_linear_and_terminating() {
+        let p = exchange_scenario(30);
+        assert_eq!(p.tgds.classify(), TgdClass::SimpleLinear);
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 200_000);
+        assert!(r.terminated());
+        assert!(r.is_model_of(&p.tgds));
+    }
+}

@@ -1,0 +1,301 @@
+//! The Appendix A reduction: a **fixed** TGD set `Σ★` such that, for the
+//! database `D_M` encoding a deterministic Turing machine `M`,
+//! `chase(D_M, Σ★)` is finite iff `M` halts on the empty input.
+//!
+//! This strengthens the undecidability of `ChTrm(TGD)` to *data
+//! complexity* (Proposition 4.2): only the database varies with `M`. The
+//! module provides
+//!
+//! * a small [`Dtm`] model and step simulator (the "missing artifact" —
+//!   the paper quantifies over all machines; we supply a concrete library
+//!   of halting and non-halting machines so the reduction can be executed
+//!   and cross-checked in both directions, experiment E13);
+//! * [`sigma_star`]: the fixed, machine-independent TGD set;
+//! * [`machine_database`]: the encoding `D_M`.
+
+use std::collections::HashMap;
+
+use nuchase_model::{parse_tgds, Atom, Instance, SymbolTable, Term, TgdSet};
+
+/// Head movement of a transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Move left.
+    Left,
+    /// Stay.
+    Stay,
+    /// Move right.
+    Right,
+}
+
+/// A deterministic single-tape Turing machine. States and symbols are
+/// strings; the tape alphabet implicitly contains the markers `⊲` (start),
+/// `⊳` (end) and the blank `⊔`. The machine *halts* when no transition is
+/// defined for the current (state, symbol).
+#[derive(Clone, Debug, Default)]
+pub struct Dtm {
+    /// Initial state.
+    pub start: String,
+    /// Transition function `(state, read) → (state', write, dir)`.
+    pub delta: HashMap<(String, String), (String, String, Dir)>,
+    /// Tape symbols other than the markers (needed to enumerate
+    /// `NormSymb` facts; the blank is always included).
+    pub symbols: Vec<String>,
+}
+
+/// Result of simulating a machine with a step budget.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimOutcome {
+    /// Halted (no applicable transition) after the given number of steps.
+    Halts(usize),
+    /// Still running when the budget ran out.
+    Running,
+}
+
+impl Dtm {
+    /// Adds a transition.
+    pub fn rule(
+        &mut self,
+        state: &str,
+        read: &str,
+        next: &str,
+        write: &str,
+        dir: Dir,
+    ) -> &mut Self {
+        self.delta.insert(
+            (state.into(), read.into()),
+            (next.into(), write.into(), dir),
+        );
+        self
+    }
+
+    /// Simulates the machine on the empty input for at most `max_steps`
+    /// steps. The tape is `⊲ ⊔ ⊳` initially, head on the blank; moving
+    /// right onto `⊳` extends the tape with a blank (mirroring the second
+    /// right-move TGD of `Σ★`). The machine is assumed well-behaved and
+    /// never moves left past `⊲` (as in the appendix).
+    pub fn simulate(&self, max_steps: usize) -> SimOutcome {
+        let mut tape: Vec<String> = vec!["⊲".into(), "⊔".into(), "⊳".into()];
+        let mut head = 1usize;
+        let mut state = self.start.clone();
+        for step in 0..max_steps {
+            let key = (state.clone(), tape[head].clone());
+            let Some((next, write, dir)) = self.delta.get(&key) else {
+                return SimOutcome::Halts(step);
+            };
+            tape[head] = write.clone();
+            state = next.clone();
+            match dir {
+                Dir::Left => head -= 1,
+                Dir::Stay => {}
+                Dir::Right => {
+                    head += 1;
+                    if tape[head] == "⊳" {
+                        tape.insert(head, "⊔".into());
+                    }
+                }
+            }
+        }
+        SimOutcome::Running
+    }
+}
+
+/// The fixed TGD set `Σ★` of Appendix A (machine-independent). Interns
+/// its predicates into `symbols`.
+pub fn sigma_star(symbols: &mut SymbolTable) -> TgdSet {
+    // Transcribed from the appendix; variables: X1..X5 transition fields,
+    // X/Y/Z/W/U grid nodes, primes are fresh existential nodes.
+    let text = "
+% right-moving transitions, head not at the end of the tape
+trans(X1, X2, X3, X4, X5), rdir(X5), normsymb(W),
+  head(X, X1, Y), tape(X, X2, Y), tape(Y, W, Z) ->
+  l(X, Xp), rr(Y, Yp), rr(Z, Zp),
+  tape(Xp, X4, Yp), head(Yp, X3, Zp), tape(Yp, W, Zp).
+
+% right-moving transitions, head at the end of the tape
+trans(X1, X2, X3, X4, X5), rdir(X5), blank(U), end(W),
+  head(X, X1, Y), tape(X, X2, Y), tape(Y, W, Z) ->
+  l(X, Xp), rr(Y, Yp), rr(Z, Zp),
+  tape(Xp, X4, Yp), head(Yp, X3, Zp),
+  tape(Yp, U, Zp), tape(Zp, W, Wp).
+
+% left-moving transitions
+trans(X1, X2, X3, X4, X5), ldir(X5),
+  tape(X, W, Y), head(Y, X1, Z), tape(Y, X2, Z) ->
+  rr(X, Xp), rr(Y, Yp), l(Z, Zp),
+  head(Xp, X3, Yp), tape(Xp, W, Yp), tape(Yp, X4, Zp).
+
+% stationary transitions
+trans(X1, X2, X3, X4, X5), sdir(X5),
+  head(X, X1, Y), tape(X, X2, Y) ->
+  l(X, Xp), rr(Y, Yp),
+  head(Xp, X3, Yp), tape(Xp, X4, Yp).
+
+% copy cells left of the head
+tape(X, Z, Y), l(Y, Yp) -> l(X, Xp), tape(Xp, Z, Yp).
+
+% copy cells right of the head
+tape(X, Z, Y), rr(X, Xp) -> tape(Xp, Z, Yp), rr(Y, Yp).
+";
+    parse_tgds(text, symbols).expect("Σ★ is well-formed")
+}
+
+/// The database `D_M` encoding machine `M` (Appendix A).
+pub fn machine_database(machine: &Dtm, symbols: &mut SymbolTable) -> Instance {
+    let trans = symbols.pred_unchecked("trans", 5);
+    let tape = symbols.pred_unchecked("tape", 3);
+    let head = symbols.pred_unchecked("head", 3);
+    let ldir = symbols.pred_unchecked("ldir", 1);
+    let sdir = symbols.pred_unchecked("sdir", 1);
+    let rdir = symbols.pred_unchecked("rdir", 1);
+    let blank = symbols.pred_unchecked("blank", 1);
+    let end = symbols.pred_unchecked("end", 1);
+    let normsymb = symbols.pred_unchecked("normsymb", 1);
+
+    let mut db = Instance::new();
+
+    // Transition facts.
+    let dir_const = |d: Dir| match d {
+        Dir::Left => "<-",
+        Dir::Stay => "-",
+        Dir::Right => "->dir",
+    };
+    for ((s0, a0), (s1, a1, d)) in &machine.delta {
+        let args = vec![
+            Term::Const(symbols.constant(&format!("q_{s0}"))),
+            Term::Const(symbols.constant(&format!("sym_{a0}"))),
+            Term::Const(symbols.constant(&format!("q_{s1}"))),
+            Term::Const(symbols.constant(&format!("sym_{a1}"))),
+            Term::Const(symbols.constant(dir_const(*d))),
+        ];
+        db.insert(Atom::new(trans, args));
+    }
+
+    // Initial configuration: ⊲ ⊔ ⊳ with the head on the blank.
+    let c0 = Term::Const(symbols.constant("cell0"));
+    let c1 = Term::Const(symbols.constant("cell1"));
+    let c2 = Term::Const(symbols.constant("cell2"));
+    let c3 = Term::Const(symbols.constant("cell3"));
+    let lmark = Term::Const(symbols.constant("sym_⊲"));
+    let blank_sym = Term::Const(symbols.constant("sym_⊔"));
+    let rmark = Term::Const(symbols.constant("sym_⊳"));
+    let q0 = Term::Const(symbols.constant(&format!("q_{}", machine.start)));
+    db.insert(Atom::new(tape, vec![c0, lmark, c1]));
+    db.insert(Atom::new(tape, vec![c1, blank_sym, c2]));
+    db.insert(Atom::new(head, vec![c1, q0, c2]));
+    db.insert(Atom::new(tape, vec![c2, rmark, c3]));
+
+    // Direction, marker and symbol classifications.
+    db.insert(Atom::new(ldir, vec![Term::Const(symbols.constant("<-"))]));
+    db.insert(Atom::new(sdir, vec![Term::Const(symbols.constant("-"))]));
+    db.insert(Atom::new(rdir, vec![Term::Const(symbols.constant("->dir"))]));
+    db.insert(Atom::new(blank, vec![blank_sym]));
+    db.insert(Atom::new(end, vec![rmark]));
+    db.insert(Atom::new(normsymb, vec![blank_sym]));
+    for s in &machine.symbols {
+        let t = Term::Const(symbols.constant(&format!("sym_{s}")));
+        db.insert(Atom::new(normsymb, vec![t]));
+    }
+    db
+}
+
+/// A machine that halts immediately (no transitions at all).
+pub fn machine_halt_now() -> Dtm {
+    Dtm {
+        start: "q0".into(),
+        ..Default::default()
+    }
+}
+
+/// A machine that writes `k` ones moving right, then halts.
+pub fn machine_count_to(k: usize) -> Dtm {
+    let mut m = Dtm {
+        start: "q0".into(),
+        symbols: vec!["1".into()],
+        ..Default::default()
+    };
+    for i in 0..k {
+        m.rule(&format!("q{i}"), "⊔", &format!("q{}", i + 1), "1", Dir::Right);
+    }
+    m
+}
+
+/// A machine that runs forever, sweeping right writing blanks.
+pub fn machine_run_forever() -> Dtm {
+    let mut m = Dtm {
+        start: "q0".into(),
+        symbols: vec![],
+        ..Default::default()
+    };
+    m.rule("q0", "⊔", "q0", "⊔", Dir::Right);
+    m
+}
+
+/// A machine that ping-pongs between two cells forever.
+pub fn machine_ping_pong() -> Dtm {
+    let mut m = Dtm {
+        start: "q0".into(),
+        symbols: vec!["1".into()],
+        ..Default::default()
+    };
+    m.rule("q0", "⊔", "q1", "1", Dir::Right);
+    m.rule("q1", "⊔", "q0", "⊔", Dir::Left);
+    m.rule("q1", "⊳", "q0", "⊳", Dir::Left);
+    m.rule("q0", "1", "q1", "1", Dir::Right);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_engine::semi_oblivious_chase;
+
+    /// Runs the reduction for a machine; `budget` bounds the chase.
+    fn chase_terminates(machine: &Dtm, budget: usize) -> bool {
+        let mut symbols = SymbolTable::new();
+        let tgds = sigma_star(&mut symbols);
+        let db = machine_database(machine, &mut symbols);
+        semi_oblivious_chase(&db, &tgds, budget).terminated()
+    }
+
+    #[test]
+    fn simulator_sanity() {
+        assert_eq!(machine_halt_now().simulate(100), SimOutcome::Halts(0));
+        assert_eq!(machine_count_to(3).simulate(100), SimOutcome::Halts(3));
+        assert_eq!(machine_run_forever().simulate(100), SimOutcome::Running);
+        assert_eq!(machine_ping_pong().simulate(1000), SimOutcome::Running);
+    }
+
+    #[test]
+    fn sigma_star_is_fixed_and_machine_independent() {
+        let mut s1 = SymbolTable::new();
+        let t1 = sigma_star(&mut s1);
+        assert_eq!(t1.len(), 6);
+        // Not guarded — the reduction needs full TGD power (Prop 4.2).
+        assert_eq!(t1.classify(), nuchase_model::TgdClass::General);
+    }
+
+    #[test]
+    fn halting_machines_give_finite_chase() {
+        assert!(chase_terminates(&machine_halt_now(), 50_000));
+        assert!(chase_terminates(&machine_count_to(2), 200_000));
+    }
+
+    #[test]
+    fn diverging_machines_give_infinite_chase() {
+        assert!(!chase_terminates(&machine_run_forever(), 20_000));
+        assert!(!chase_terminates(&machine_ping_pong(), 20_000));
+    }
+
+    #[test]
+    fn reduction_agrees_with_simulation() {
+        for (machine, budget) in [
+            (machine_halt_now(), 50_000usize),
+            (machine_count_to(1), 100_000),
+            (machine_run_forever(), 20_000),
+        ] {
+            let halts = matches!(machine.simulate(10_000), SimOutcome::Halts(_));
+            assert_eq!(chase_terminates(&machine, budget), halts);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Atoms: a predicate applied to a tuple of terms.
+
+use std::fmt;
+
+use crate::symbols::{NullId, PredId, VarId};
+use crate::term::Term;
+
+/// An atom `R(t₁, …, tₙ)`.
+///
+/// Atoms are the unit of storage in instances and the unit of matching in
+/// rule bodies and queries. They are small (one `u32` + a boxed slice) and
+/// hash/compare structurally.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub pred: PredId,
+    /// The argument tuple.
+    pub args: Box<[Term]>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(pred: PredId, args: impl Into<Box<[Term]>>) -> Self {
+        Atom {
+            pred,
+            args: args.into(),
+        }
+    }
+
+    /// The arity of the atom (length of the argument tuple).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Is this atom ground (i.e. a fact or a chase atom — no variables)?
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_ground())
+    }
+
+    /// Is this atom a *fact* in the paper's sense (constants only)?
+    pub fn is_fact(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// Iterates over the distinct variables of the atom in order of first
+    /// occurrence.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        let mut seen: Vec<VarId> = Vec::new();
+        self.args.iter().filter_map(move |t| match t {
+            Term::Var(v) if !seen.contains(v) => {
+                seen.push(*v);
+                Some(*v)
+            }
+            _ => None,
+        })
+    }
+
+    /// Iterates over the distinct nulls of the atom.
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        let mut seen: Vec<NullId> = Vec::new();
+        self.args.iter().filter_map(move |t| match t {
+            Term::Null(n) if !seen.contains(n) => {
+                seen.push(*n);
+                Some(*n)
+            }
+            _ => None,
+        })
+    }
+
+    /// The set of positions `(R, i)` at which the variable `v` occurs,
+    /// as 0-based argument indexes. Mirrors the paper's `pos(R(t̄), x)`.
+    pub fn positions_of_var(&self, v: VarId) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (*t == Term::Var(v)).then_some(i))
+            .collect()
+    }
+
+    /// `dom(α)`: the distinct ground terms of the atom in order of first
+    /// occurrence (constants and nulls; variables are skipped).
+    pub fn dom(&self) -> Vec<Term> {
+        let mut out: Vec<Term> = Vec::with_capacity(self.args.len());
+        for &t in self.args.iter() {
+            if t.is_ground() && !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// The distinct terms (of any kind) in order of first occurrence.
+    /// This is the paper's `unique(t̄)` restricted to distinctness.
+    pub fn unique_terms(&self) -> Vec<Term> {
+        let mut out: Vec<Term> = Vec::with_capacity(self.args.len());
+        for &t in self.args.iter() {
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// The *identifier tuple* `id(t̄)` of the paper's simplification
+    /// technique: position `i` holds the (1-based) index in `unique(t̄)` at
+    /// which `tᵢ` first occurs. E.g. `id((x,y,x,z,y)) = (1,2,1,3,2)`.
+    pub fn id_tuple(&self) -> Vec<u8> {
+        let unique = self.unique_terms();
+        self.args
+            .iter()
+            .map(|t| {
+                let idx = unique.iter().position(|u| u == t).expect("term in unique");
+                u8::try_from(idx + 1).expect("arity fits in u8")
+            })
+            .collect()
+    }
+
+    /// Applies a substitution given as a function on terms, producing a new
+    /// atom. Ground terms are passed through the function too, so callers
+    /// can rename nulls/constants as well as variables.
+    pub fn map_terms(&self, mut f: impl FnMut(Term) -> Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|&t| f(t)).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, fmt: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(fmt, "P{}(", self.pred.0)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(fmt, ",")?;
+            }
+            write!(fmt, "{t:?}")?;
+        }
+        write!(fmt, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::ConstId;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    #[test]
+    fn id_tuple_matches_paper_example() {
+        // t̄ = (x, y, x, z, y) → id(t̄) = (1, 2, 1, 3, 2)
+        let a = Atom::new(PredId(0), vec![v(0), v(1), v(0), v(2), v(1)]);
+        assert_eq!(a.id_tuple(), vec![1, 2, 1, 3, 2]);
+        assert_eq!(a.unique_terms(), vec![v(0), v(1), v(2)]);
+    }
+
+    #[test]
+    fn vars_are_distinct_in_first_occurrence_order() {
+        let a = Atom::new(PredId(0), vec![v(3), v(1), v(3), c(0)]);
+        let vars: Vec<_> = a.vars().collect();
+        assert_eq!(vars, vec![VarId(3), VarId(1)]);
+        assert!(!a.is_ground());
+        assert!(!a.is_fact());
+    }
+
+    #[test]
+    fn dom_collects_ground_terms() {
+        let a = Atom::new(PredId(0), vec![c(0), c(1), c(0)]);
+        assert_eq!(a.dom(), vec![c(0), c(1)]);
+        assert!(a.is_fact());
+    }
+
+    #[test]
+    fn positions_of_var() {
+        let a = Atom::new(PredId(0), vec![v(0), v(1), v(0)]);
+        assert_eq!(a.positions_of_var(VarId(0)), vec![0, 2]);
+        assert_eq!(a.positions_of_var(VarId(1)), vec![1]);
+        assert_eq!(a.positions_of_var(VarId(9)), Vec::<usize>::new());
+    }
+}

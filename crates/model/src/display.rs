@@ -1,0 +1,212 @@
+//! Pretty-printing of atoms, instances, TGDs, and queries against a
+//! [`SymbolTable`].
+//!
+//! Display needs the symbol table to resolve names, so the API is
+//! wrapper-based: `x.display(&symbols)` returns a value implementing
+//! [`std::fmt::Display`]. Rule-local (normalized) variables print as
+//! `X0, X1, …`; nulls print as `_:n<id>` (RDF-style blank-node syntax).
+
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::instance::Instance;
+use crate::query::{Cq, Ucq};
+use crate::symbols::SymbolTable;
+use crate::term::Term;
+use crate::tgd::{Tgd, TgdSet};
+
+/// Something printable against a symbol table.
+pub trait DisplayWith {
+    /// Writes `self` using names from `symbols`.
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Returns a displayable wrapper borrowing `self` and the table.
+    fn display<'a>(&'a self, symbols: &'a SymbolTable) -> Displayed<'a, Self>
+    where
+        Self: Sized,
+    {
+        Displayed {
+            value: self,
+            symbols,
+        }
+    }
+}
+
+/// Wrapper implementing [`fmt::Display`] for a [`DisplayWith`] value.
+pub struct Displayed<'a, T> {
+    value: &'a T,
+    symbols: &'a SymbolTable,
+}
+
+impl<T: DisplayWith> fmt::Display for Displayed<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt_with(self.symbols, f)
+    }
+}
+
+impl DisplayWith for Term {
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => {
+                let name = symbols.const_name(*c);
+                if name.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+                    && !name.is_empty()
+                    && !name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "'{name}'")
+                }
+            }
+            Term::Null(n) => write!(f, "_:n{}", n.0),
+            Term::Var(v) => write!(f, "X{}", v.0),
+        }
+    }
+}
+
+impl DisplayWith for Atom {
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", symbols.pred_name(self.pred))?;
+        if self.args.is_empty() {
+            return Ok(());
+        }
+        write!(f, "(")?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            t.fmt_with(symbols, f)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl DisplayWith for Instance {
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for atom in self.iter() {
+            atom.fmt_with(symbols, f)?;
+            writeln!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl DisplayWith for Tgd {
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.body().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            a.fmt_with(symbols, f)?;
+        }
+        write!(f, " -> ")?;
+        if !self.existentials().is_empty() {
+            write!(f, "exists ")?;
+            for (i, v) in self.existentials().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "X{}", v.0)?;
+            }
+            write!(f, " : ")?;
+        }
+        for (i, a) in self.head().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            a.fmt_with(symbols, f)?;
+        }
+        Ok(())
+    }
+}
+
+impl DisplayWith for TgdSet {
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (_, tgd) in self.iter() {
+            tgd.fmt_with(symbols, f)?;
+            writeln!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl DisplayWith for Cq {
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.atoms().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            a.fmt_with(symbols, f)?;
+        }
+        Ok(())
+    }
+}
+
+impl DisplayWith for Ucq {
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "false");
+        }
+        for (i, q) in self.disjuncts().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "(")?;
+            q.fmt_with(symbols, f)?;
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn atoms_and_rules_round_trip_structurally() {
+        let text = "r(a, b).\nr(X, Y) -> exists Z : r(Y, Z), s(Z).\n";
+        let p1 = parse_program(text).unwrap();
+        let printed = format!(
+            "{}{}",
+            p1.database.display(&p1.symbols),
+            p1.tgds.display(&p1.symbols)
+        );
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1.database.len(), p2.database.len());
+        assert_eq!(p1.tgds.len(), p2.tgds.len());
+        // Normalized rules are structurally identical.
+        for ((_, a), (_, b)) in p1.tgds.iter().zip(p2.tgds.iter()) {
+            assert_eq!(a.body(), b.body());
+            assert_eq!(a.head(), b.head());
+        }
+    }
+
+    #[test]
+    fn nulls_print_as_blank_nodes() {
+        use crate::symbols::{NullId, PredId};
+        let symbols = {
+            let mut s = SymbolTable::new();
+            s.pred("r", 1).unwrap();
+            s
+        };
+        let atom = Atom::new(PredId(0), vec![Term::Null(NullId(7))]);
+        assert_eq!(format!("{}", atom.display(&symbols)), "r(_:n7)");
+    }
+
+    #[test]
+    fn odd_constants_are_quoted() {
+        let mut symbols = SymbolTable::new();
+        symbols.pred("r", 1).unwrap();
+        let c = symbols.constant("Alice Smith");
+        let atom = Atom::new(crate::symbols::PredId(0), vec![Term::Const(c)]);
+        assert_eq!(format!("{}", atom.display(&symbols)), "r('Alice Smith')");
+    }
+
+    #[test]
+    fn empty_ucq_prints_false() {
+        let symbols = SymbolTable::new();
+        assert_eq!(format!("{}", Ucq::default().display(&symbols)), "false");
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the model layer.
+
+use std::fmt;
+
+/// Errors produced while building or parsing programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A predicate was used with two different arities.
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Arity already registered for the predicate.
+        have: usize,
+        /// Arity of the offending occurrence.
+        got: usize,
+    },
+    /// A parse error with source location.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A TGD failed a structural validity check (e.g. empty body/head, a
+    /// constant inside a rule, or a head using a variable that is neither
+    /// frontier nor existential).
+    InvalidTgd {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An operation required a class of TGDs (linear, guarded, ...) that
+    /// the input does not belong to.
+    WrongClass {
+        /// What was required.
+        required: &'static str,
+        /// Description of the violating rule.
+        rule: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ArityMismatch { pred, have, got } => write!(
+                f,
+                "predicate `{pred}` used with arity {got} but was declared with arity {have}"
+            ),
+            ModelError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            ModelError::InvalidTgd { msg } => write!(f, "invalid TGD: {msg}"),
+            ModelError::WrongClass { required, rule } => {
+                write!(f, "rule `{rule}` is not {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::ArityMismatch {
+            pred: "R".into(),
+            have: 2,
+            got: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("R") && s.contains('2') && s.contains('3'));
+
+        let e = ModelError::Parse {
+            line: 4,
+            col: 7,
+            msg: "unexpected `)`".into(),
+        };
+        assert!(e.to_string().contains("4:7"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Homomorphism search: matching conjunctions of pattern atoms against an
+//! instance.
+//!
+//! A homomorphism from a set of atoms `A` to a set of atoms `B` is a
+//! substitution `h` on terms, identity on constants, with `h(α) ∈ B` for
+//! all `α ∈ A` (§2). This module implements backtracking search for all
+//! such `h` where `A` is a list of *pattern* atoms over dense rule-local
+//! variables `0..var_count` and `B` is an [`Instance`].
+//!
+//! Two features matter for the chase engine:
+//!
+//! * **Index-driven candidates.** When a pattern atom already has a bound
+//!   or ground argument, candidates come from the instance's
+//!   `(pred, term)` index instead of the full predicate scan.
+//! * **Semi-naive deltas.** [`for_each_hom_delta`] enumerates exactly the
+//!   homomorphisms whose image uses at least one atom with index `≥
+//!   delta_start`, without duplicates, via the standard pivot scheme:
+//!   for each pivot position `j`, pattern `j` matches the delta, patterns
+//!   before `j` match the old part, patterns after `j` match everything.
+//!
+//! Ground pattern terms (constants *and* nulls) must match exactly; the
+//! identity-on-constants requirement of §2 is therefore built in.
+
+use std::ops::ControlFlow;
+
+use crate::atom::Atom;
+use crate::instance::{AtomIdx, Instance};
+use crate::term::Term;
+
+/// A (partial) variable assignment for dense rule-local variables.
+pub type Binding = Vec<Option<Term>>;
+
+/// Which part of the instance a pattern atom may match.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Region {
+    /// Atom indexes `< delta_start`.
+    Old,
+    /// Atom indexes `≥ delta_start`.
+    New,
+    /// The whole instance.
+    All,
+}
+
+struct Search<'a, F> {
+    inst: &'a Instance,
+    patterns: &'a [Atom],
+    regions: Vec<Region>,
+    delta_start: AtomIdx,
+    binding: Binding,
+    callback: F,
+}
+
+impl<'a, F> Search<'a, F>
+where
+    F: FnMut(&Binding) -> ControlFlow<()>,
+{
+    /// Tries to extend the binding so that `atom` matches `pattern`;
+    /// returns the trail of newly bound variables on success.
+    fn unify(&mut self, pattern: &Atom, atom: &Atom) -> Option<Vec<usize>> {
+        debug_assert_eq!(pattern.pred, atom.pred);
+        debug_assert_eq!(pattern.arity(), atom.arity());
+        let mut trail = Vec::new();
+        for (&pt, &at) in pattern.args.iter().zip(atom.args.iter()) {
+            match pt {
+                Term::Var(v) => {
+                    let slot = &mut self.binding[v.index()];
+                    match slot {
+                        Some(bound) => {
+                            if *bound != at {
+                                self.undo(&trail);
+                                return None;
+                            }
+                        }
+                        None => {
+                            *slot = Some(at);
+                            trail.push(v.index());
+                        }
+                    }
+                }
+                ground => {
+                    if ground != at {
+                        self.undo(&trail);
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(trail)
+    }
+
+    fn undo(&mut self, trail: &[usize]) {
+        for &v in trail {
+            self.binding[v] = None;
+        }
+    }
+
+    /// Candidate atom indexes for pattern `k` under the current binding.
+    /// Returns a slice from one of the instance indexes; region filtering
+    /// happens in the caller via the sortedness of index vectors.
+    fn candidates(&self, k: usize) -> &'a [AtomIdx] {
+        let pattern = &self.patterns[k];
+        // Prefer a (pred, term) index lookup on any ground-or-bound
+        // argument; the index lists are typically much shorter.
+        for &t in pattern.args.iter() {
+            let key = match t {
+                Term::Var(v) => match self.binding[v.index()] {
+                    Some(bound) => bound,
+                    None => continue,
+                },
+                ground => ground,
+            };
+            return self.inst.atoms_with_pred_term(pattern.pred, key);
+        }
+        self.inst.atoms_with_pred(pattern.pred)
+    }
+
+    fn go(&mut self, k: usize) -> ControlFlow<()> {
+        if k == self.patterns.len() {
+            return (self.callback)(&self.binding);
+        }
+        let region = self.regions[k];
+        let cands = self.candidates(k);
+        // Index vectors are ascending, so region restriction is a split.
+        let split = cands.partition_point(|&i| i < self.delta_start);
+        let slice: &[AtomIdx] = match region {
+            Region::Old => &cands[..split],
+            Region::New => &cands[split..],
+            Region::All => cands,
+        };
+        // `inst` and `patterns` live for `'a`, independent of `self`, so
+        // re-borrowing them out keeps the mutable `self` calls below legal.
+        let inst: &'a Instance = self.inst;
+        let patterns: &'a [Atom] = self.patterns;
+        let pattern = &patterns[k];
+        for &idx in slice {
+            let atom: &'a Atom = inst.atom(idx);
+            if let Some(trail) = self.unify(pattern, atom) {
+                let flow = self.go(k + 1);
+                self.undo(&trail);
+                flow?;
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Enumerates every homomorphism from `patterns` (over dense variables
+/// `0..var_count`) into `inst`, invoking `callback` with the complete
+/// binding. Return [`ControlFlow::Break`] from the callback to stop early.
+pub fn for_each_hom(
+    patterns: &[Atom],
+    var_count: u32,
+    inst: &Instance,
+    callback: impl FnMut(&Binding) -> ControlFlow<()>,
+) {
+    let regions = vec![Region::All; patterns.len()];
+    let mut search = Search {
+        inst,
+        patterns,
+        regions,
+        delta_start: 0,
+        binding: vec![None; var_count as usize],
+        callback,
+    };
+    let _ = search.go(0);
+}
+
+/// Enumerates every homomorphism from `patterns` into `inst` whose image
+/// contains at least one atom with index `≥ delta_start`, without
+/// duplicates (pivot scheme). With `delta_start == 0` this is equivalent
+/// to [`for_each_hom`].
+pub fn for_each_hom_delta(
+    patterns: &[Atom],
+    var_count: u32,
+    inst: &Instance,
+    delta_start: AtomIdx,
+    mut callback: impl FnMut(&Binding) -> ControlFlow<()>,
+) {
+    if delta_start == 0 {
+        for_each_hom(patterns, var_count, inst, callback);
+        return;
+    }
+    if delta_start as usize >= inst.len() {
+        return; // empty delta: nothing new can match
+    }
+    for pivot in 0..patterns.len() {
+        // Match the pivot (delta-restricted) pattern FIRST: the delta is
+        // small, and its bindings turn the remaining old/all scans into
+        // index lookups. Without this reordering, rounds with tiny deltas
+        // pay a full scan of the old region per round — quadratic chase.
+        let mut order: Vec<usize> = Vec::with_capacity(patterns.len());
+        order.push(pivot);
+        order.extend((0..patterns.len()).filter(|&k| k != pivot));
+        let permuted: Vec<Atom> = order.iter().map(|&k| patterns[k].clone()).collect();
+        let regions: Vec<Region> = order
+            .iter()
+            .map(|&k| match k.cmp(&pivot) {
+                std::cmp::Ordering::Less => Region::Old,
+                std::cmp::Ordering::Equal => Region::New,
+                std::cmp::Ordering::Greater => Region::All,
+            })
+            .collect();
+        let mut stop = false;
+        let mut search = Search {
+            inst,
+            patterns: &permuted,
+            regions,
+            delta_start,
+            binding: vec![None; var_count as usize],
+            callback: |b: &Binding| {
+                let flow = callback(b);
+                if flow.is_break() {
+                    stop = true;
+                }
+                flow
+            },
+        };
+        let _ = search.go(0);
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Like [`for_each_hom`], but starting from a partial binding (`seed`).
+/// Used e.g. by the restricted chase's activeness check, which asks for an
+/// extension `h' ⊇ h|fr(σ)` mapping the head into the instance.
+pub fn for_each_hom_seeded(
+    patterns: &[Atom],
+    seed: Binding,
+    inst: &Instance,
+    callback: impl FnMut(&Binding) -> ControlFlow<()>,
+) {
+    let regions = vec![Region::All; patterns.len()];
+    let mut search = Search {
+        inst,
+        patterns,
+        regions,
+        delta_start: 0,
+        binding: seed,
+        callback,
+    };
+    let _ = search.go(0);
+}
+
+/// Does an extension of `seed` map all `patterns` into `inst`?
+pub fn exists_hom_seeded(patterns: &[Atom], seed: Binding, inst: &Instance) -> bool {
+    let mut found = false;
+    for_each_hom_seeded(patterns, seed, inst, |_| {
+        found = true;
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// Does any homomorphism from `patterns` into `inst` exist? This is
+/// Boolean conjunctive-query evaluation.
+pub fn exists_hom(patterns: &[Atom], var_count: u32, inst: &Instance) -> bool {
+    let mut found = false;
+    for_each_hom(patterns, var_count, inst, |_| {
+        found = true;
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// Collects all homomorphisms as complete bindings. Intended for tests and
+/// small inputs; the chase uses the callback APIs.
+pub fn all_homs(patterns: &[Atom], var_count: u32, inst: &Instance) -> Vec<Vec<Term>> {
+    let mut out = Vec::new();
+    for_each_hom(patterns, var_count, inst, |b| {
+        out.push(
+            b.iter()
+                .map(|t| t.expect("pattern variables are all bound"))
+                .collect(),
+        );
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{ConstId, PredId, VarId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+    fn atom(p: u32, args: Vec<Term>) -> Atom {
+        Atom::new(PredId(p), args)
+    }
+
+    fn chain_instance(n: u32) -> Instance {
+        // R(c0,c1), R(c1,c2), ..., R(c_{n-1}, c_n)
+        Instance::from_atoms((0..n).map(|i| atom(0, vec![c(i), c(i + 1)])))
+    }
+
+    #[test]
+    fn single_atom_all_matches() {
+        let inst = chain_instance(3);
+        let homs = all_homs(&[atom(0, vec![v(0), v(1)])], 2, &inst);
+        assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let inst = chain_instance(3);
+        // R(x,y), R(y,z): paths of length 2 → (c0,c1,c2), (c1,c2,c3).
+        let pats = [atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])];
+        let homs = all_homs(&pats, 3, &inst);
+        assert_eq!(homs.len(), 2);
+        assert!(homs.contains(&vec![c(0), c(1), c(2)]));
+        assert!(homs.contains(&vec![c(1), c(2), c(3)]));
+    }
+
+    #[test]
+    fn repeated_variable_forces_equality() {
+        let mut inst = chain_instance(2);
+        inst.insert(atom(0, vec![c(5), c(5)]));
+        let homs = all_homs(&[atom(0, vec![v(0), v(0)])], 1, &inst);
+        assert_eq!(homs, vec![vec![c(5)]]);
+    }
+
+    #[test]
+    fn ground_pattern_terms_must_match_exactly() {
+        let inst = chain_instance(3);
+        let homs = all_homs(&[atom(0, vec![c(1), v(0)])], 1, &inst);
+        assert_eq!(homs, vec![vec![c(2)]]);
+        assert!(!exists_hom(&[atom(0, vec![c(9), v(0)])], 1, &inst));
+    }
+
+    #[test]
+    fn delta_enumeration_is_exact_and_duplicate_free() {
+        // Build instance in two stages; delta = atoms added second.
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), c(1)]));
+        inst.insert(atom(0, vec![c(1), c(2)]));
+        let delta_start = inst.len() as AtomIdx;
+        inst.insert(atom(0, vec![c(2), c(3)]));
+
+        let pats = [atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])];
+        let mut delta_homs = Vec::new();
+        for_each_hom_delta(&pats, 3, &inst, delta_start, |b| {
+            delta_homs.push(b.clone());
+            ControlFlow::Continue(())
+        });
+        // Full homs: (0,1,2), (1,2,3). Only (1,2,3) touches the delta.
+        assert_eq!(delta_homs.len(), 1);
+        assert_eq!(
+            delta_homs[0],
+            vec![Some(c(1)), Some(c(2)), Some(c(3))]
+        );
+    }
+
+    #[test]
+    fn delta_with_full_range_equals_plain_enumeration() {
+        let inst = chain_instance(5);
+        let pats = [atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])];
+        let mut plain = 0;
+        for_each_hom(&pats, 3, &inst, |_| {
+            plain += 1;
+            ControlFlow::Continue(())
+        });
+        let mut delta = 0;
+        for_each_hom_delta(&pats, 3, &inst, 0, |_| {
+            delta += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(plain, delta);
+    }
+
+    #[test]
+    fn delta_counts_match_difference_of_full_runs() {
+        // Homs(full) − Homs(old) must equal delta enumeration count.
+        let mut old = Instance::new();
+        for i in 0..4 {
+            old.insert(atom(0, vec![c(i), c(i + 1)]));
+        }
+        let delta_start = old.len() as AtomIdx;
+        let mut full = old.clone();
+        full.insert(atom(0, vec![c(4), c(5)]));
+        full.insert(atom(0, vec![c(0), c(3)]));
+
+        let pats = [atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])];
+        let count = |inst: &Instance| {
+            let mut n = 0;
+            for_each_hom(&pats, 3, inst, |_| {
+                n += 1;
+                ControlFlow::Continue(())
+            });
+            n
+        };
+        let mut delta_count = 0;
+        for_each_hom_delta(&pats, 3, &full, delta_start, |_| {
+            delta_count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count(&full) - count(&old), delta_count);
+    }
+
+    #[test]
+    fn early_break_stops_enumeration() {
+        let inst = chain_instance(50);
+        let mut seen = 0;
+        for_each_hom(&[atom(0, vec![v(0), v(1)])], 2, &inst, |_| {
+            seen += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(seen, 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Instances: indexed, deduplicated sets of ground atoms.
+//!
+//! An [`Instance`] is the paper's *instance over a schema* — a set of atoms
+//! with constants and nulls. A *database* is an instance containing only
+//! facts (constants). Instances here are append-only (the chase only ever
+//! adds atoms), keep insertion order (so a chase derivation's rounds map to
+//! contiguous index ranges, enabling semi-naive evaluation), and maintain
+//! two indexes:
+//!
+//! * `by_pred`: predicate → atom indexes, the base relation scan;
+//! * `by_pred_term`: `(predicate, term)` → atom indexes, used by the
+//!   homomorphism search to narrow candidates once any variable of a
+//!   pattern atom is bound.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use crate::atom::Atom;
+use crate::symbols::PredId;
+use crate::term::Term;
+
+/// Index of an atom within an [`Instance`] (insertion order).
+pub type AtomIdx = u32;
+
+/// An indexed, deduplicated, append-only set of ground atoms.
+#[derive(Debug, Default, Clone)]
+pub struct Instance {
+    atoms: Vec<Atom>,
+    seen: HashMap<Atom, AtomIdx>,
+    by_pred: HashMap<PredId, Vec<AtomIdx>>,
+    by_pred_term: HashMap<(PredId, Term), Vec<AtomIdx>>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an instance from an iterator of atoms, deduplicating.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        let mut inst = Self::new();
+        for a in atoms {
+            inst.insert(a);
+        }
+        inst
+    }
+
+    /// Inserts an atom; returns `Some(index)` if the atom was new, `None`
+    /// if it was already present.
+    ///
+    /// # Panics
+    /// Debug-asserts that the atom is ground: instances never hold
+    /// variables.
+    pub fn insert(&mut self, atom: Atom) -> Option<AtomIdx> {
+        debug_assert!(atom.is_ground(), "instances hold ground atoms only");
+        match self.seen.entry(atom) {
+            Entry::Occupied(_) => None,
+            Entry::Vacant(e) => {
+                let idx = self.atoms.len() as AtomIdx;
+                let atom = e.key().clone();
+                e.insert(idx);
+                self.by_pred.entry(atom.pred).or_default().push(idx);
+                // Index each *distinct* term once per atom.
+                let mut indexed: Vec<Term> = Vec::with_capacity(atom.args.len());
+                for &t in atom.args.iter() {
+                    if !indexed.contains(&t) {
+                        indexed.push(t);
+                        self.by_pred_term.entry((atom.pred, t)).or_default().push(idx);
+                    }
+                }
+                self.atoms.push(atom);
+                Some(idx)
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.seen.contains_key(atom)
+    }
+
+    /// The index of an atom, if present.
+    pub fn index_of(&self, atom: &Atom) -> Option<AtomIdx> {
+        self.seen.get(atom).copied()
+    }
+
+    /// Number of atoms. This is the paper's `|I|` (cardinality).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The atom at a given index.
+    #[inline]
+    pub fn atom(&self, idx: AtomIdx) -> &Atom {
+        &self.atoms[idx as usize]
+    }
+
+    /// Iterates over all atoms in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+        self.atoms.iter()
+    }
+
+    /// Iterates over the atoms in an index range (used for chase deltas).
+    pub fn iter_range(&self, from: AtomIdx, to: AtomIdx) -> impl Iterator<Item = &Atom> {
+        self.atoms[from as usize..to as usize].iter()
+    }
+
+    /// Indexes of atoms with the given predicate.
+    pub fn atoms_with_pred(&self, pred: PredId) -> &[AtomIdx] {
+        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+    }
+
+    /// Indexes of atoms with the given predicate that mention the given
+    /// term in any position.
+    pub fn atoms_with_pred_term(&self, pred: PredId, term: Term) -> &[AtomIdx] {
+        self.by_pred_term
+            .get(&(pred, term))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The predicates occurring in the instance, deduplicated, in no
+    /// particular order.
+    pub fn preds(&self) -> Vec<PredId> {
+        self.by_pred
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// `dom(I)`: the active domain, i.e. all distinct ground terms, in
+    /// first-occurrence order.
+    pub fn dom(&self) -> Vec<Term> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for &t in atom.args.iter() {
+                if seen.insert(t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Does the instance consist solely of facts (a *database*)?
+    pub fn is_database(&self) -> bool {
+        self.atoms.iter().all(Atom::is_fact)
+    }
+
+    /// Returns the atoms as a sorted vector — a canonical form useful for
+    /// comparing instances irrespective of insertion order.
+    pub fn sorted_atoms(&self) -> Vec<Atom> {
+        let mut v = self.atoms.clone();
+        v.sort();
+        v
+    }
+
+    /// Set-equality with another instance (order-independent).
+    pub fn set_eq(&self, other: &Instance) -> bool {
+        self.len() == other.len() && self.iter().all(|a| other.contains(a))
+    }
+}
+
+impl FromIterator<Atom> for Instance {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
+        Instance::from_atoms(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Instance {
+    type Item = &'a Atom;
+    type IntoIter = std::slice::Iter<'a, Atom>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.atoms.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{ConstId, NullId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+    fn n(i: u32) -> Term {
+        Term::Null(NullId(i))
+    }
+    fn atom(p: u32, args: Vec<Term>) -> Atom {
+        Atom::new(PredId(p), args)
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut inst = Instance::new();
+        assert_eq!(inst.insert(atom(0, vec![c(0), c(1)])), Some(0));
+        assert_eq!(inst.insert(atom(0, vec![c(0), c(1)])), None);
+        assert_eq!(inst.insert(atom(0, vec![c(1), c(0)])), Some(1));
+        assert_eq!(inst.len(), 2);
+        assert!(inst.contains(&atom(0, vec![c(0), c(1)])));
+    }
+
+    #[test]
+    fn indexes_track_insertions() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), c(1)]));
+        inst.insert(atom(1, vec![c(0)]));
+        inst.insert(atom(0, vec![c(2), c(0)]));
+        assert_eq!(inst.atoms_with_pred(PredId(0)), &[0, 2]);
+        assert_eq!(inst.atoms_with_pred(PredId(1)), &[1]);
+        assert_eq!(inst.atoms_with_pred(PredId(9)), &[] as &[AtomIdx]);
+        assert_eq!(inst.atoms_with_pred_term(PredId(0), c(0)), &[0, 2]);
+        assert_eq!(inst.atoms_with_pred_term(PredId(0), c(2)), &[2]);
+    }
+
+    #[test]
+    fn repeated_term_indexed_once_per_atom() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), c(0), c(0)]));
+        assert_eq!(inst.atoms_with_pred_term(PredId(0), c(0)), &[0]);
+    }
+
+    #[test]
+    fn dom_and_database_checks() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), c(1)]));
+        assert!(inst.is_database());
+        inst.insert(atom(0, vec![c(1), n(0)]));
+        assert!(!inst.is_database());
+        assert_eq!(inst.dom(), vec![c(0), c(1), n(0)]);
+    }
+
+    #[test]
+    fn set_eq_ignores_order() {
+        let a = Instance::from_atoms(vec![atom(0, vec![c(0)]), atom(1, vec![c(1)])]);
+        let b = Instance::from_atoms(vec![atom(1, vec![c(1)]), atom(0, vec![c(0)])]);
+        assert!(a.set_eq(&b));
+        let c_ = Instance::from_atoms(vec![atom(1, vec![c(1)])]);
+        assert!(!a.set_eq(&c_));
+    }
+
+    #[test]
+    fn iter_range_gives_delta() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0)]));
+        inst.insert(atom(0, vec![c(1)]));
+        inst.insert(atom(0, vec![c(2)]));
+        let delta: Vec<_> = inst.iter_range(1, 3).cloned().collect();
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta[0], atom(0, vec![c(1)]));
+    }
+}

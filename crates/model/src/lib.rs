@@ -1,0 +1,52 @@
+//! # nuchase-model
+//!
+//! Relational substrate for the `nuchase` workspace — the reproduction of
+//! *“Non-Uniformly Terminating Chase: Size and Complexity”* (Calautti,
+//! Gottlob, Pieris; PODS 2022).
+//!
+//! This crate owns the vocabulary of §2 of the paper:
+//!
+//! * interned **symbols** — predicates with arities, constants, variables
+//!   ([`SymbolTable`]);
+//! * **terms** of the universe `C ∪ N ∪ V` ([`Term`]);
+//! * **atoms**, **instances** (indexed sets of ground atoms), and
+//!   **databases** (instances of facts) ([`Atom`], [`Instance`]);
+//! * **TGDs** `φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)` with frontier/existential/guard
+//!   analysis and the class ladder `SL ⊊ L ⊊ G` ([`Tgd`], [`TgdSet`],
+//!   [`TgdClass`]);
+//! * **homomorphisms** (backtracking search with semi-naive delta
+//!   enumeration) — the join machinery that drives both the chase and
+//!   query evaluation ([`hom`]);
+//! * Boolean **conjunctive queries / UCQs**, the target language of the
+//!   paper's AC⁰ data-complexity deciders ([`Cq`], [`Ucq`]);
+//! * a **parser** and **pretty-printer** for a small Datalog± text format
+//!   ([`parser`], [`display`]).
+//!
+//! Higher layers build on this: `nuchase-engine` implements the
+//! semi-oblivious chase, `nuchase-rewrite` the simplification and
+//! linearization techniques, and `nuchase` (core) the termination
+//! characterizations and deciders.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atom;
+pub mod display;
+pub mod error;
+pub mod hom;
+pub mod instance;
+pub mod parser;
+pub mod query;
+pub mod symbols;
+pub mod term;
+pub mod tgd;
+
+pub use atom::Atom;
+pub use display::DisplayWith;
+pub use error::ModelError;
+pub use instance::{AtomIdx, Instance};
+pub use parser::{parse_database, parse_into, parse_program, parse_tgds, Program};
+pub use query::{Cq, Ucq};
+pub use symbols::{ConstId, NullId, PredId, SymbolTable, VarId};
+pub use term::Term;
+pub use tgd::{RuleId, Tgd, TgdClass, TgdSet};

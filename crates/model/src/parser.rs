@@ -1,0 +1,630 @@
+//! A parser for the textual program format.
+//!
+//! The format is a small Datalog±:
+//!
+//! ```text
+//! % comments start with '%', '#', or '//'
+//! r(a, b).                         % a fact: lowercase terms are constants
+//! r(X, Y) -> s(Y, Z).              % a TGD: head-only variables (Z) are existential
+//! r(X, Y), p(X) -> s(Y, Z), t(Z).  % conjunctive bodies/heads
+//! r(X, Y) -> exists Z : s(Y, Z).   % optional explicit quantifier prefix
+//! halted.                          % 0-ary (propositional) atoms are allowed
+//! ```
+//!
+//! Identifiers starting with an uppercase letter (or with `?`) are
+//! variables; everything else (lowercase identifiers, digits, quoted
+//! strings) is a constant. `exists` is a reserved word. Both `->` and `:-`
+//! (with sides swapped) are accepted as rule connectives.
+
+use crate::atom::Atom;
+use crate::error::ModelError;
+use crate::instance::Instance;
+use crate::symbols::SymbolTable;
+use crate::term::Term;
+use crate::tgd::{Tgd, TgdSet};
+
+/// A parsed program: database + TGD set + the symbol table binding names.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Symbol table with all names of the program.
+    pub symbols: SymbolTable,
+    /// The database (facts).
+    pub database: Instance,
+    /// The TGDs.
+    pub tgds: TgdSet,
+}
+
+/// Parses a complete program (facts and rules in any order).
+pub fn parse_program(text: &str) -> Result<Program, ModelError> {
+    let mut symbols = SymbolTable::new();
+    let (database, tgds) = parse_into(text, &mut symbols)?;
+    Ok(Program {
+        symbols,
+        database,
+        tgds,
+    })
+}
+
+/// Parses facts and rules into an existing symbol table.
+pub fn parse_into(
+    text: &str,
+    symbols: &mut SymbolTable,
+) -> Result<(Instance, TgdSet), ModelError> {
+    let mut parser = Parser::new(text, symbols);
+    parser.program()
+}
+
+/// Parses a database (facts only) into an existing symbol table.
+pub fn parse_database(text: &str, symbols: &mut SymbolTable) -> Result<Instance, ModelError> {
+    let (db, tgds) = parse_into(text, symbols)?;
+    if !tgds.is_empty() {
+        return Err(ModelError::Parse {
+            line: 0,
+            col: 0,
+            msg: "expected facts only, found rules".into(),
+        });
+    }
+    Ok(db)
+}
+
+/// Parses a TGD set (rules only) into an existing symbol table.
+pub fn parse_tgds(text: &str, symbols: &mut SymbolTable) -> Result<TgdSet, ModelError> {
+    let (db, tgds) = parse_into(text, symbols)?;
+    if !db.is_empty() {
+        return Err(ModelError::Parse {
+            line: 0,
+            col: 0,
+            msg: "expected rules only, found facts".into(),
+        });
+    }
+    Ok(tgds)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Colon,
+    Arrow,     // ->
+    Implied,   // :-
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') | Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ModelError {
+        ModelError::Parse {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Spanned, ModelError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let at = |tok| Ok(Spanned { tok, line, col });
+        let Some(b) = self.peek() else {
+            return at(Tok::Eof);
+        };
+        match b {
+            b'(' => {
+                self.bump();
+                at(Tok::LParen)
+            }
+            b')' => {
+                self.bump();
+                at(Tok::RParen)
+            }
+            b',' => {
+                self.bump();
+                at(Tok::Comma)
+            }
+            b'.' => {
+                self.bump();
+                at(Tok::Dot)
+            }
+            b'-' if self.peek2() == Some(b'>') => {
+                self.bump();
+                self.bump();
+                at(Tok::Arrow)
+            }
+            b':' if self.peek2() == Some(b'-') => {
+                self.bump();
+                self.bump();
+                at(Tok::Implied)
+            }
+            b':' => {
+                self.bump();
+                at(Tok::Colon)
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(c) if c == quote => break,
+                        Some(b'\n') | None => {
+                            return Err(self.error("unterminated quoted constant"))
+                        }
+                        Some(c) => s.push(c as char),
+                    }
+                }
+                at(Tok::Quoted(s))
+            }
+            b'?' => {
+                self.bump();
+                let mut s = String::from("?");
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if s.len() == 1 {
+                    return Err(self.error("expected variable name after `?`"));
+                }
+                at(Tok::Ident(s))
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' || c == b'[' => {
+                // `[` allowed so that pretty-printed type predicates like
+                // `[t12]` round-trip; it may only start an identifier.
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'[' || c == b']'
+                        || c == b'\''
+                    {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                at(Tok::Ident(s))
+            }
+            other => Err(self.error(format!("unexpected character `{}`", other as char))),
+        }
+    }
+}
+
+struct Parser<'a, 's> {
+    lexer: Lexer<'a>,
+    lookahead: Option<Spanned>,
+    symbols: &'s mut SymbolTable,
+}
+
+/// Is an identifier token a variable name? (`?x` or leading uppercase.)
+/// Exposed so downstream tools (e.g. the CLI's ad-hoc query syntax) can
+/// classify tokens consistently with the parser.
+pub fn is_variable_token(name: &str) -> bool {
+    is_variable_name(name)
+}
+
+/// Is an identifier a variable? (`?x` or leading uppercase.)
+fn is_variable_name(name: &str) -> bool {
+    name.starts_with('?')
+        || name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+}
+
+impl<'a, 's> Parser<'a, 's> {
+    fn new(src: &'a str, symbols: &'s mut SymbolTable) -> Self {
+        Parser {
+            lexer: Lexer::new(src),
+            lookahead: None,
+            symbols,
+        }
+    }
+
+    fn peek(&mut self) -> Result<&Spanned, ModelError> {
+        if self.lookahead.is_none() {
+            self.lookahead = Some(self.lexer.next_token()?);
+        }
+        Ok(self.lookahead.as_ref().expect("just filled"))
+    }
+
+    fn next(&mut self) -> Result<Spanned, ModelError> {
+        match self.lookahead.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next_token(),
+        }
+    }
+
+    fn err_at(&self, sp: &Spanned, msg: impl Into<String>) -> ModelError {
+        ModelError::Parse {
+            line: sp.line,
+            col: sp.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ModelError> {
+        let sp = self.next()?;
+        if sp.tok == tok {
+            Ok(())
+        } else {
+            Err(self.err_at(&sp, format!("expected {what}, found {:?}", sp.tok)))
+        }
+    }
+
+    fn program(&mut self) -> Result<(Instance, TgdSet), ModelError> {
+        let mut db = Instance::new();
+        let mut tgds = TgdSet::default();
+        loop {
+            if self.peek()?.tok == Tok::Eof {
+                break;
+            }
+            self.statement(&mut db, &mut tgds)?;
+        }
+        Ok((db, tgds))
+    }
+
+    /// One statement: `atoms .` (facts) or `atoms -> [exists vs :] atoms .`
+    /// or `head :- body .`
+    fn statement(&mut self, db: &mut Instance, tgds: &mut TgdSet) -> Result<(), ModelError> {
+        let first = self.atom_list()?;
+        let sp = self.next()?;
+        match sp.tok {
+            Tok::Dot => {
+                // Facts.
+                for atom in first {
+                    if !atom.is_fact() {
+                        return Err(self.err_at(
+                            &sp,
+                            "facts must be ground (variables are uppercase or `?`-prefixed)",
+                        ));
+                    }
+                    db.insert(atom);
+                }
+                Ok(())
+            }
+            Tok::Arrow => {
+                // Optional `exists X, Y :` prefix — purely documentary;
+                // existentials are inferred as head-only variables, but if
+                // present the declared list must match the inferred one.
+                let declared = self.maybe_exists_prefix()?;
+                let head = self.atom_list()?;
+                self.expect(Tok::Dot, "`.` after rule head")?;
+                self.finish_rule(first, head, declared, tgds, &sp)
+            }
+            Tok::Implied => {
+                let body = self.atom_list()?;
+                self.expect(Tok::Dot, "`.` after rule body")?;
+                self.finish_rule(body, first, None, tgds, &sp)
+            }
+            ref other => Err(self.err_at(
+                &sp,
+                format!("expected `.`, `->`, or `:-` after atoms, found {other:?}"),
+            )),
+        }
+    }
+
+    fn finish_rule(
+        &mut self,
+        body: Vec<Atom>,
+        head: Vec<Atom>,
+        declared_existentials: Option<Vec<String>>,
+        tgds: &mut TgdSet,
+        sp: &Spanned,
+    ) -> Result<(), ModelError> {
+        let tgd = Tgd::new(body.clone(), head.clone()).map_err(|e| match e {
+            ModelError::InvalidTgd { msg } => self.err_at(sp, format!("invalid rule: {msg}")),
+            other => other,
+        })?;
+        if let Some(declared) = declared_existentials {
+            // Verify the declaration matches the inferred existentials.
+            let inferred: std::collections::BTreeSet<String> = {
+                let body_vars: std::collections::HashSet<_> =
+                    body.iter().flat_map(|a| a.vars()).collect();
+                head.iter()
+                    .flat_map(|a| a.vars())
+                    .filter(|v| !body_vars.contains(v))
+                    .map(|v| self.symbols.var_name(v).to_owned())
+                    .collect()
+            };
+            let declared: std::collections::BTreeSet<String> = declared.into_iter().collect();
+            if inferred != declared {
+                return Err(self.err_at(
+                    sp,
+                    format!(
+                        "declared existentials {declared:?} do not match head-only variables {inferred:?}"
+                    ),
+                ));
+            }
+        }
+        tgds.push(tgd);
+        Ok(())
+    }
+
+    fn maybe_exists_prefix(&mut self) -> Result<Option<Vec<String>>, ModelError> {
+        let is_exists = matches!(&self.peek()?.tok, Tok::Ident(s) if s == "exists");
+        if !is_exists {
+            return Ok(None);
+        }
+        self.next()?; // consume `exists`
+        let mut names = Vec::new();
+        loop {
+            let sp = self.next()?;
+            match sp.tok {
+                Tok::Ident(name) if is_variable_name(&name) => names.push(name),
+                ref other => {
+                    return Err(self.err_at(
+                        &sp,
+                        format!("expected variable in `exists` list, found {other:?}"),
+                    ))
+                }
+            }
+            let sp = self.next()?;
+            match sp.tok {
+                Tok::Comma => continue,
+                Tok::Colon => break,
+                ref other => {
+                    return Err(self.err_at(
+                        &sp,
+                        format!("expected `,` or `:` in `exists` list, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(Some(names))
+    }
+
+    fn atom_list(&mut self) -> Result<Vec<Atom>, ModelError> {
+        let mut atoms = vec![self.atom()?];
+        while self.peek()?.tok == Tok::Comma {
+            self.next()?;
+            atoms.push(self.atom()?);
+        }
+        Ok(atoms)
+    }
+
+    fn atom(&mut self) -> Result<Atom, ModelError> {
+        let sp = self.next()?;
+        let name = match sp.tok {
+            Tok::Ident(ref s) => {
+                if s == "exists" {
+                    return Err(self.err_at(&sp, "`exists` is a reserved word"));
+                }
+                if is_variable_name(s) {
+                    return Err(self.err_at(&sp, "predicate names may not start uppercase"));
+                }
+                s.clone()
+            }
+            ref other => {
+                return Err(self.err_at(&sp, format!("expected predicate name, found {other:?}")))
+            }
+        };
+        // 0-ary atom: no parenthesis follows.
+        if self.peek()?.tok != Tok::LParen {
+            let pred = self
+                .symbols
+                .pred(&name, 0)
+                .map_err(|e| self.decorate_arity(e, &sp))?;
+            return Ok(Atom::new(pred, Vec::new()));
+        }
+        self.next()?; // (
+        let mut args = Vec::new();
+        loop {
+            let sp = self.next()?;
+            let term = match sp.tok {
+                Tok::Ident(ref s) => {
+                    if is_variable_name(s) {
+                        Term::Var(self.symbols.var(s))
+                    } else {
+                        Term::Const(self.symbols.constant(s))
+                    }
+                }
+                Tok::Quoted(ref s) => Term::Const(self.symbols.constant(s)),
+                ref other => {
+                    return Err(self.err_at(&sp, format!("expected term, found {other:?}")))
+                }
+            };
+            args.push(term);
+            let sp = self.next()?;
+            match sp.tok {
+                Tok::Comma => continue,
+                Tok::RParen => break,
+                ref other => {
+                    return Err(self.err_at(&sp, format!("expected `,` or `)`, found {other:?}")))
+                }
+            }
+        }
+        let pred = self
+            .symbols
+            .pred(&name, args.len())
+            .map_err(|e| self.decorate_arity(e, &sp))?;
+        Ok(Atom::new(pred, args))
+    }
+
+    fn decorate_arity(&self, e: ModelError, sp: &Spanned) -> ModelError {
+        match e {
+            ModelError::ArityMismatch { pred, have, got } => ModelError::Parse {
+                line: sp.line,
+                col: sp.col,
+                msg: format!(
+                    "predicate `{pred}` used with arity {got} but earlier with arity {have}"
+                ),
+            },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tgd::TgdClass;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let p = parse_program(
+            "% a tiny program\n\
+             r(a, b).\n\
+             r(X, Y) -> r(Y, Z).\n",
+        )
+        .unwrap();
+        assert_eq!(p.database.len(), 1);
+        assert_eq!(p.tgds.len(), 1);
+        let tgd = p.tgds.get(crate::tgd::RuleId(0));
+        assert_eq!(tgd.existentials().len(), 1);
+        assert_eq!(tgd.classify(), TgdClass::SimpleLinear);
+    }
+
+    #[test]
+    fn explicit_exists_prefix_is_checked() {
+        assert!(parse_program("r(X, Y) -> exists Z : r(Y, Z).").is_ok());
+        let err = parse_program("r(X, Y) -> exists W : r(Y, Z).").unwrap_err();
+        assert!(err.to_string().contains("existentials"));
+    }
+
+    #[test]
+    fn implied_syntax_swaps_sides() {
+        let p = parse_program("s(Y, Z) :- r(X, Y).").unwrap();
+        let tgd = p.tgds.get(crate::tgd::RuleId(0));
+        assert_eq!(p.symbols.pred_name(tgd.body()[0].pred), "r");
+        assert_eq!(p.symbols.pred_name(tgd.head()[0].pred), "s");
+    }
+
+    #[test]
+    fn zero_ary_atoms() {
+        let p = parse_program("halted.\nr(X) -> halted.").unwrap();
+        assert_eq!(p.database.len(), 1);
+        assert_eq!(p.tgds.len(), 1);
+        assert_eq!(p.tgds.get(crate::tgd::RuleId(0)).head()[0].arity(), 0);
+    }
+
+    #[test]
+    fn question_mark_variables_and_quoted_constants() {
+        let p = parse_program("r('Alice', \"Bob & Co\").\nr(?x, ?y) -> s(?y).").unwrap();
+        assert_eq!(p.database.len(), 1);
+        assert_eq!(p.tgds.len(), 1);
+        assert_eq!(p.symbols.const_count(), 2);
+    }
+
+    #[test]
+    fn variables_in_facts_are_rejected() {
+        let err = parse_program("r(X, b).").unwrap_err();
+        assert!(err.to_string().contains("ground"));
+    }
+
+    #[test]
+    fn arity_mismatch_reports_location() {
+        let err = parse_program("r(a, b).\nr(a).").unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("arity"), "{s}");
+    }
+
+    #[test]
+    fn comments_of_all_styles() {
+        let p = parse_program(
+            "% percent\n# hash\n// slashes\nr(a). // trailing\n",
+        )
+        .unwrap();
+        assert_eq!(p.database.len(), 1);
+    }
+
+    #[test]
+    fn error_locations_are_one_based() {
+        let err = parse_program("r(a)\nq(b).").unwrap_err();
+        match err {
+            ModelError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_atom_bodies_and_heads() {
+        // body vars {X,Y,Z,W}: r misses Z,W and p misses Y → unguarded.
+        let p = parse_program("r(X, Y), p(X, Z, W) -> q(Y, V), t(V, Z).").unwrap();
+        let tgd = p.tgds.get(crate::tgd::RuleId(0));
+        assert_eq!(tgd.body().len(), 2);
+        assert_eq!(tgd.head().len(), 2);
+        assert_eq!(tgd.classify(), TgdClass::General);
+        assert_eq!(tgd.guard_index(), None);
+    }
+
+    #[test]
+    fn guard_detection_via_parser() {
+        // body vars {X,Y,Z}; p(X,Y,Z) guards.
+        let p = parse_program("p(X, Y, Z), r(X, Y) -> q(Z).").unwrap();
+        let tgd = p.tgds.get(crate::tgd::RuleId(0));
+        assert_eq!(tgd.guard_index(), Some(0));
+    }
+}

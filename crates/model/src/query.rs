@@ -1,0 +1,229 @@
+//! Boolean conjunctive queries and unions thereof.
+//!
+//! The AC⁰ data-complexity procedures of Theorems 6.6 and 7.7 reduce
+//! non-uniform chase (non-)termination to the evaluation of a union of
+//! Boolean conjunctive queries `Q_Σ` over the input database. Equality
+//! requirements between query positions (needed for the linear case, where
+//! a disjunct asks for an atom whose arguments realise a given equality
+//! pattern `ℓ̄`) are expressed by repeating variables inside the query atom,
+//! which the homomorphism search enforces natively.
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use crate::atom::Atom;
+use crate::hom::{for_each_hom, exists_hom};
+use crate::instance::Instance;
+use crate::symbols::VarId;
+use crate::term::Term;
+
+/// A conjunctive query `q(x̄) ← α₁ ∧ … ∧ αₖ`, with an optional tuple of
+/// *answer variables* `x̄` (empty for Boolean queries). Variables are
+/// normalized to a dense id space on construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cq {
+    atoms: Vec<Atom>,
+    var_count: u32,
+    answers: Vec<VarId>,
+}
+
+impl Cq {
+    /// Builds a Boolean CQ from atoms with arbitrary variable ids;
+    /// variables are renumbered densely in first-occurrence order.
+    /// Constants are allowed and must match exactly during evaluation.
+    pub fn new(atoms: Vec<Atom>) -> Cq {
+        Cq::with_answers(atoms, &[])
+    }
+
+    /// Builds a CQ with answer variables `x̄` (given in the pre-renumbering
+    /// id space; every answer variable must occur in the atoms).
+    pub fn with_answers(atoms: Vec<Atom>, answer_vars: &[VarId]) -> Cq {
+        let mut remap: HashMap<VarId, VarId> = HashMap::new();
+        let atoms: Vec<Atom> = atoms
+            .iter()
+            .map(|a| {
+                a.map_terms(|t| match t {
+                    Term::Var(v) => {
+                        let next = VarId(remap.len() as u32);
+                        Term::Var(*remap.entry(v).or_insert(next))
+                    }
+                    other => other,
+                })
+            })
+            .collect();
+        let answers = answer_vars
+            .iter()
+            .map(|v| *remap.get(v).expect("answer variable occurs in the query"))
+            .collect();
+        Cq {
+            atoms,
+            var_count: remap.len() as u32,
+            answers,
+        }
+    }
+
+    /// The answer variables (dense ids).
+    pub fn answer_vars(&self) -> &[VarId] {
+        &self.answers
+    }
+
+    /// Evaluates the query, returning the set of answer tuples (empty
+    /// tuple set vs `{()}` distinguishes false/true for Boolean queries).
+    pub fn answers_in(&self, inst: &Instance) -> std::collections::HashSet<Vec<Term>> {
+        let mut out = std::collections::HashSet::new();
+        for_each_hom(&self.atoms, self.var_count, inst, |b| {
+            out.insert(
+                self.answers
+                    .iter()
+                    .map(|v| b[v.index()].expect("query variables are bound"))
+                    .collect(),
+            );
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// The *certain answers* over a universal model: answer tuples
+    /// containing only constants (tuples with labelled nulls are not
+    /// certain). This is sound and complete when `inst` is the (finite)
+    /// chase of the database — the OBDA use of the paper's results.
+    pub fn certain_answers_in(&self, inst: &Instance) -> std::collections::HashSet<Vec<Term>> {
+        self.answers_in(inst)
+            .into_iter()
+            .filter(|tuple| tuple.iter().all(|t| t.is_const()))
+            .collect()
+    }
+
+    /// The query atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of (dense) variables.
+    pub fn var_count(&self) -> u32 {
+        self.var_count
+    }
+
+    /// Boolean evaluation: does `inst ⊨ q`?
+    pub fn holds_in(&self, inst: &Instance) -> bool {
+        exists_hom(&self.atoms, self.var_count, inst)
+    }
+
+    /// Counts the satisfying assignments (used by tests and experiments;
+    /// Boolean semantics only needs existence).
+    pub fn count_in(&self, inst: &Instance) -> usize {
+        let mut n = 0;
+        for_each_hom(&self.atoms, self.var_count, inst, |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        n
+    }
+}
+
+/// A union of Boolean conjunctive queries `q₁ ∨ … ∨ qₘ`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ucq {
+    disjuncts: Vec<Cq>,
+}
+
+impl Ucq {
+    /// Creates a UCQ from disjuncts.
+    pub fn new(disjuncts: Vec<Cq>) -> Ucq {
+        Ucq { disjuncts }
+    }
+
+    /// Adds a disjunct.
+    pub fn push(&mut self, cq: Cq) {
+        self.disjuncts.push(cq);
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[Cq] {
+        &self.disjuncts
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Is the union empty (equivalent to `false`)?
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Boolean evaluation: does `inst ⊨ Q` (some disjunct holds)?
+    pub fn holds_in(&self, inst: &Instance) -> bool {
+        self.disjuncts.iter().any(|q| q.holds_in(inst))
+    }
+}
+
+impl FromIterator<Cq> for Ucq {
+    fn from_iter<T: IntoIterator<Item = Cq>>(iter: T) -> Self {
+        Ucq::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{ConstId, PredId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+    fn atom(p: u32, args: Vec<Term>) -> Atom {
+        Atom::new(PredId(p), args)
+    }
+
+    #[test]
+    fn single_atom_existence() {
+        let inst = Instance::from_atoms(vec![atom(0, vec![c(0), c(1)])]);
+        assert!(Cq::new(vec![atom(0, vec![v(7), v(9)])]).holds_in(&inst));
+        assert!(!Cq::new(vec![atom(1, vec![v(0)])]).holds_in(&inst));
+    }
+
+    #[test]
+    fn repeated_variable_encodes_equality_pattern() {
+        // Disjunct for equality pattern ℓ̄ = (1,1,2): R(x,x,y).
+        let q = Cq::new(vec![atom(0, vec![v(0), v(0), v(1)])]);
+        let no = Instance::from_atoms(vec![atom(0, vec![c(0), c(1), c(2)])]);
+        assert!(!q.holds_in(&no));
+        let yes = Instance::from_atoms(vec![atom(0, vec![c(3), c(3), c(2)])]);
+        assert!(q.holds_in(&yes));
+    }
+
+    #[test]
+    fn conjunction_requires_join() {
+        let q = Cq::new(vec![atom(0, vec![v(0), v(1)]), atom(1, vec![v(1)])]);
+        let mut inst = Instance::from_atoms(vec![atom(0, vec![c(0), c(1)])]);
+        assert!(!q.holds_in(&inst));
+        inst.insert(atom(1, vec![c(1)]));
+        assert!(q.holds_in(&inst));
+        assert_eq!(q.count_in(&inst), 1);
+    }
+
+    #[test]
+    fn ucq_is_disjunction() {
+        let q = Ucq::new(vec![
+            Cq::new(vec![atom(0, vec![v(0)])]),
+            Cq::new(vec![atom(1, vec![v(0)])]),
+        ]);
+        assert!(!q.holds_in(&Instance::new()));
+        assert!(q.holds_in(&Instance::from_atoms(vec![atom(1, vec![c(0)])])));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert!(Ucq::default().is_empty());
+    }
+
+    #[test]
+    fn cq_normalizes_variables() {
+        let q = Cq::new(vec![atom(0, vec![v(40), v(41), v(40)])]);
+        assert_eq!(q.var_count(), 2);
+        assert_eq!(q.atoms()[0], atom(0, vec![v(0), v(1), v(0)]));
+    }
+}

@@ -1,0 +1,132 @@
+//! Terms: constants, labelled nulls, and variables.
+//!
+//! The paper's term universe is `C ∪ N ∪ V` (constants, nulls, variables).
+//! Ground data (databases, chase instances) contains only constants and
+//! nulls; rules and queries contain only variables (TGDs are constant-free
+//! in the paper — our parser enforces this for rules but the data model is
+//! permissive so that rewrites can instantiate patterns with constants).
+
+use std::fmt;
+
+use crate::symbols::{ConstId, NullId, VarId};
+
+/// A term of the universe `C ∪ N ∪ V`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant of `C`.
+    Const(ConstId),
+    /// A labelled null of `N`.
+    Null(NullId),
+    /// A variable of `V`.
+    Var(VarId),
+}
+
+impl Term {
+    /// Is this a constant?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Is this a null?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// Is this a variable?
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Is this a ground term (constant or null)?
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        !self.is_var()
+    }
+
+    /// Returns the variable id if this is a variable.
+    #[inline]
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the null id if this is a null.
+    #[inline]
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Term::Null(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant id if this is a constant.
+    #[inline]
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Term::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "c{}", c.0),
+            Term::Null(n) => write!(f, "⊥{}", n.0),
+            Term::Var(v) => write!(f, "?{}", v.0),
+        }
+    }
+}
+
+impl From<ConstId> for Term {
+    fn from(c: ConstId) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl From<NullId> for Term {
+    fn from(n: NullId) -> Self {
+        Term::Null(n)
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let c = Term::Const(ConstId(0));
+        let n = Term::Null(NullId(0));
+        let v = Term::Var(VarId(0));
+        assert!(c.is_const() && c.is_ground() && !c.is_var());
+        assert!(n.is_null() && n.is_ground());
+        assert!(v.is_var() && !v.is_ground());
+        assert_eq!(v.as_var(), Some(VarId(0)));
+        assert_eq!(c.as_var(), None);
+        assert_eq!(n.as_null(), Some(NullId(0)));
+        assert_eq!(c.as_const(), Some(ConstId(0)));
+    }
+
+    #[test]
+    fn terms_order_and_hash_consistently() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Term::Const(ConstId(1)));
+        set.insert(Term::Const(ConstId(1)));
+        set.insert(Term::Null(NullId(1)));
+        assert_eq!(set.len(), 2);
+    }
+}

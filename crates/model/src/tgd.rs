@@ -1,0 +1,429 @@
+//! Tuple-generating dependencies (TGDs) and sets thereof.
+//!
+//! A TGD `σ : φ(x̄, ȳ) → ∃z̄ ψ(x̄, z̄)` is stored with its variables
+//! normalized to a dense rule-local id space `0..var_count`, its *frontier*
+//! `fr(σ) = x̄` (variables shared between body and head), its existential
+//! variables `z̄`, and — when one exists — the index of its *guard*: the
+//! leftmost body atom containing every body variable (§2 of the paper).
+//!
+//! The classes studied by the paper are detected structurally:
+//!
+//! * [`TgdClass::SimpleLinear`] (`SL`): one body atom, no repeated variable
+//!   in it;
+//! * [`TgdClass::Linear`] (`L`): one body atom;
+//! * [`TgdClass::Guarded`] (`G`): some body atom guards all body variables;
+//! * [`TgdClass::General`]: everything else.
+//!
+//! `SL ⊊ L ⊊ G ⊊ General`, and [`TgdClass`] orders accordingly.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::atom::Atom;
+use crate::error::ModelError;
+use crate::symbols::{PredId, VarId};
+use crate::term::Term;
+
+/// Index of a TGD within a [`TgdSet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// The id as a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The syntactic class of a TGD or TGD set, ordered by inclusion.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum TgdClass {
+    /// Simple linear: single body atom without repeated variables.
+    SimpleLinear,
+    /// Linear: single body atom.
+    Linear,
+    /// Guarded: a body atom contains all body variables.
+    Guarded,
+    /// Arbitrary TGD.
+    General,
+}
+
+impl TgdClass {
+    /// Short name as used in the paper (`SL`, `L`, `G`, `TGD`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            TgdClass::SimpleLinear => "SL",
+            TgdClass::Linear => "L",
+            TgdClass::Guarded => "G",
+            TgdClass::General => "TGD",
+        }
+    }
+}
+
+/// A single tuple-generating dependency.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tgd {
+    body: Vec<Atom>,
+    head: Vec<Atom>,
+    var_count: u32,
+    frontier: Vec<VarId>,
+    existentials: Vec<VarId>,
+    guard: Option<usize>,
+}
+
+impl Tgd {
+    /// Builds a TGD from body and head atom lists, normalizing variables
+    /// to a dense rule-local id space (in order of first occurrence, body
+    /// first). Validates the paper's structural requirements:
+    ///
+    /// * body and head are non-empty;
+    /// * atoms are constant-free (TGDs mention only variables);
+    /// * consequently every head variable is either a frontier variable or
+    ///   existentially quantified — which is always true syntactically.
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Result<Tgd, ModelError> {
+        if body.is_empty() {
+            return Err(ModelError::InvalidTgd {
+                msg: "empty body".into(),
+            });
+        }
+        if head.is_empty() {
+            return Err(ModelError::InvalidTgd {
+                msg: "empty head".into(),
+            });
+        }
+        for atom in body.iter().chain(head.iter()) {
+            if atom.args.iter().any(|t| !t.is_var()) {
+                return Err(ModelError::InvalidTgd {
+                    msg: "TGDs must be constant-free (variables only)".into(),
+                });
+            }
+        }
+
+        // Renumber variables densely: body-first, first-occurrence order.
+        let mut remap: HashMap<VarId, VarId> = HashMap::new();
+        let renumber = |atom: &Atom, remap: &mut HashMap<VarId, VarId>| {
+            atom.map_terms(|t| match t {
+                Term::Var(v) => {
+                    let next = VarId(remap.len() as u32);
+                    Term::Var(*remap.entry(v).or_insert(next))
+                }
+                other => other,
+            })
+        };
+        let body: Vec<Atom> = body.iter().map(|a| renumber(a, &mut remap)).collect();
+        let head: Vec<Atom> = head.iter().map(|a| renumber(a, &mut remap)).collect();
+        let var_count = remap.len() as u32;
+
+        let body_vars: BTreeSet<VarId> = body.iter().flat_map(|a| a.vars()).collect();
+        let head_vars: BTreeSet<VarId> = head.iter().flat_map(|a| a.vars()).collect();
+        let frontier: Vec<VarId> = body_vars.intersection(&head_vars).copied().collect();
+        let existentials: Vec<VarId> = head_vars.difference(&body_vars).copied().collect();
+
+        // Leftmost guard, if any.
+        let guard = body.iter().position(|a| {
+            let atom_vars: BTreeSet<VarId> = a.vars().collect();
+            body_vars.is_subset(&atom_vars)
+        });
+
+        Ok(Tgd {
+            body,
+            head,
+            var_count,
+            frontier,
+            existentials,
+            guard,
+        })
+    }
+
+    /// The body atoms `body(σ)`.
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// The head atoms `head(σ)`.
+    pub fn head(&self) -> &[Atom] {
+        &self.head
+    }
+
+    /// Number of rule-local variables (dense ids `0..var_count`).
+    pub fn var_count(&self) -> u32 {
+        self.var_count
+    }
+
+    /// The frontier `fr(σ)` (sorted).
+    pub fn frontier(&self) -> &[VarId] {
+        &self.frontier
+    }
+
+    /// The existentially quantified variables (sorted).
+    pub fn existentials(&self) -> &[VarId] {
+        &self.existentials
+    }
+
+    /// Index into `body()` of the leftmost guard atom, if the TGD is
+    /// guarded.
+    pub fn guard_index(&self) -> Option<usize> {
+        self.guard
+    }
+
+    /// The guard atom `guard(σ)`, if the TGD is guarded.
+    pub fn guard(&self) -> Option<&Atom> {
+        self.guard.map(|i| &self.body[i])
+    }
+
+    /// Is the TGD guarded?
+    pub fn is_guarded(&self) -> bool {
+        self.guard.is_some()
+    }
+
+    /// Is the TGD linear (single body atom)?
+    pub fn is_linear(&self) -> bool {
+        self.body.len() == 1
+    }
+
+    /// Is the TGD simple linear (single body atom, no repeated variable)?
+    pub fn is_simple_linear(&self) -> bool {
+        self.is_linear() && {
+            let a = &self.body[0];
+            let distinct = a.vars().count();
+            distinct == a.arity()
+        }
+    }
+
+    /// The most specific class this TGD belongs to.
+    pub fn classify(&self) -> TgdClass {
+        if self.is_simple_linear() {
+            TgdClass::SimpleLinear
+        } else if self.is_linear() {
+            TgdClass::Linear
+        } else if self.is_guarded() {
+            TgdClass::Guarded
+        } else {
+            TgdClass::General
+        }
+    }
+
+    /// All atoms of the TGD (body then head).
+    pub fn atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().chain(self.head.iter())
+    }
+}
+
+/// A finite set `Σ` of TGDs.
+#[derive(Clone, Debug, Default)]
+pub struct TgdSet {
+    tgds: Vec<Tgd>,
+}
+
+impl TgdSet {
+    /// Creates a TGD set.
+    pub fn new(tgds: Vec<Tgd>) -> Self {
+        TgdSet { tgds }
+    }
+
+    /// Adds a TGD, returning its id.
+    pub fn push(&mut self, tgd: Tgd) -> RuleId {
+        let id = RuleId(self.tgds.len() as u32);
+        self.tgds.push(tgd);
+        id
+    }
+
+    /// Number of TGDs.
+    pub fn len(&self) -> usize {
+        self.tgds.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.tgds.is_empty()
+    }
+
+    /// The TGD with the given id.
+    pub fn get(&self, id: RuleId) -> &Tgd {
+        &self.tgds[id.index()]
+    }
+
+    /// Iterates over `(id, tgd)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Tgd)> {
+        self.tgds
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (RuleId(i as u32), t))
+    }
+
+    /// `sch(Σ)`: the predicates occurring in the TGDs, sorted.
+    pub fn schema_preds(&self) -> Vec<PredId> {
+        let set: BTreeSet<PredId> = self
+            .tgds
+            .iter()
+            .flat_map(|t| t.atoms().map(|a| a.pred))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// `ar(Σ)`: the maximum arity over the predicates of `sch(Σ)`.
+    pub fn max_arity(&self) -> usize {
+        self.tgds
+            .iter()
+            .flat_map(|t| t.atoms().map(Atom::arity))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `|atoms(Σ)|`: the number of atoms occurring in the TGDs. Because no
+    /// two TGDs share a variable (guaranteed by per-rule variable
+    /// normalization plus the set structure), atoms of distinct rules are
+    /// distinct, so this is the plain count.
+    pub fn atom_count(&self) -> usize {
+        self.tgds.iter().map(|t| t.body.len() + t.head.len()).sum()
+    }
+
+    /// `‖Σ‖ = |atoms(Σ)| · |sch(Σ)| · ar(Σ)` (§2).
+    pub fn norm(&self) -> u128 {
+        self.atom_count() as u128 * self.schema_preds().len() as u128 * self.max_arity() as u128
+    }
+
+    /// The most general class among the member TGDs (i.e. the smallest
+    /// class containing the whole set).
+    pub fn classify(&self) -> TgdClass {
+        self.tgds
+            .iter()
+            .map(Tgd::classify)
+            .max()
+            .unwrap_or(TgdClass::SimpleLinear)
+    }
+
+    /// Checks that every TGD is in the given class (or a subclass).
+    pub fn check_class(&self, required: TgdClass) -> Result<(), ModelError> {
+        for (id, tgd) in self.iter() {
+            if tgd.classify() > required {
+                return Err(ModelError::WrongClass {
+                    required: required.short_name(),
+                    rule: format!("rule #{}", id.0),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Tgd> for TgdSet {
+    fn from_iter<T: IntoIterator<Item = Tgd>>(iter: T) -> Self {
+        TgdSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+    fn atom(p: u32, args: Vec<Term>) -> Atom {
+        Atom::new(PredId(p), args)
+    }
+
+    /// R(x, y) → ∃z R(y, z) — the paper's running non-terminating rule.
+    fn successor_rule() -> Tgd {
+        Tgd::new(
+            vec![atom(0, vec![v(10), v(11)])],
+            vec![atom(0, vec![v(11), v(12)])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn variables_are_normalized_densely() {
+        let t = successor_rule();
+        assert_eq!(t.var_count(), 3);
+        assert_eq!(t.body()[0], atom(0, vec![v(0), v(1)]));
+        assert_eq!(t.head()[0], atom(0, vec![v(1), v(2)]));
+        assert_eq!(t.frontier(), &[VarId(1)]);
+        assert_eq!(t.existentials(), &[VarId(2)]);
+    }
+
+    #[test]
+    fn classification_ladder() {
+        // SL: R(x,y) → P(x)
+        let sl = Tgd::new(vec![atom(0, vec![v(0), v(1)])], vec![atom(1, vec![v(0)])]).unwrap();
+        assert_eq!(sl.classify(), TgdClass::SimpleLinear);
+
+        // L (not SL): R(x,x) → ∃z R(z,x) — Example 7.1.
+        let l = Tgd::new(
+            vec![atom(0, vec![v(0), v(0)])],
+            vec![atom(0, vec![v(1), v(0)])],
+        )
+        .unwrap();
+        assert_eq!(l.classify(), TgdClass::Linear);
+        assert!(l.is_guarded());
+
+        // G (not L): R(x,y), P(x,z,u) → ∃w P(y,w,z) — guard is P(x,z,u)? No:
+        // body vars {x,y,z,u}; P(x,z,u) misses y, R(x,y) misses z,u. Not
+        // guarded. Use a proper guard instead:
+        let g = Tgd::new(
+            vec![atom(1, vec![v(0), v(1), v(2)]), atom(0, vec![v(0), v(1)])],
+            vec![atom(0, vec![v(2), v(3)])],
+        )
+        .unwrap();
+        assert_eq!(g.classify(), TgdClass::Guarded);
+        assert_eq!(g.guard_index(), Some(0));
+
+        // General: R(x,y), P(y,z) → S(x,z) with no guard.
+        let gen = Tgd::new(
+            vec![atom(0, vec![v(0), v(1)]), atom(2, vec![v(1), v(2)])],
+            vec![atom(3, vec![v(0), v(2)])],
+        )
+        .unwrap();
+        assert_eq!(gen.classify(), TgdClass::General);
+        assert!(gen.guard().is_none());
+    }
+
+    #[test]
+    fn class_order_matches_inclusion() {
+        assert!(TgdClass::SimpleLinear < TgdClass::Linear);
+        assert!(TgdClass::Linear < TgdClass::Guarded);
+        assert!(TgdClass::Guarded < TgdClass::General);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rules() {
+        assert!(Tgd::new(vec![], vec![atom(0, vec![v(0)])]).is_err());
+        assert!(Tgd::new(vec![atom(0, vec![v(0)])], vec![]).is_err());
+        let with_const = Atom::new(
+            PredId(0),
+            vec![Term::Const(crate::symbols::ConstId(0)), v(0)],
+        );
+        assert!(Tgd::new(vec![with_const], vec![atom(0, vec![v(0), v(0)])]).is_err());
+    }
+
+    #[test]
+    fn set_statistics() {
+        let mut set = TgdSet::default();
+        set.push(successor_rule());
+        // R(x,y) → P(x,y): 2 atoms.
+        set.push(Tgd::new(vec![atom(0, vec![v(0), v(1)])], vec![atom(1, vec![v(0), v(1)])]).unwrap());
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.schema_preds(), vec![PredId(0), PredId(1)]);
+        assert_eq!(set.max_arity(), 2);
+        assert_eq!(set.atom_count(), 4);
+        // ‖Σ‖ = 4 atoms · 2 preds · arity 2 = 16.
+        assert_eq!(set.norm(), 16);
+        assert_eq!(set.classify(), TgdClass::SimpleLinear);
+        assert!(set.check_class(TgdClass::Linear).is_ok());
+    }
+
+    #[test]
+    fn check_class_rejects_wider_rules() {
+        let mut set = TgdSet::default();
+        set.push(
+            Tgd::new(
+                vec![atom(0, vec![v(0), v(0)])],
+                vec![atom(0, vec![v(1), v(0)])],
+            )
+            .unwrap(),
+        );
+        assert!(set.check_class(TgdClass::SimpleLinear).is_err());
+        assert!(set.check_class(TgdClass::Linear).is_ok());
+    }
+}

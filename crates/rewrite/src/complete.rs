@@ -1,0 +1,480 @@
+//! The guarded completion `complete(I, Σ)` (§8 / appendix):
+//! all atoms over `dom(I)` belonging to `chase(I, Σ)` — computable even
+//! when the chase itself is infinite, thanks to guardedness.
+//!
+//! ## Why this is the crux
+//!
+//! Linearization needs, for every database atom and for every candidate
+//! rule head, the set of atoms derivable over a *fixed finite* term set,
+//! while derivations may excurse through unboundedly many fresh nulls. The
+//! key property of guarded TGDs (Calì–Gottlob–Kifer) is that everything
+//! derivable "below" an atom `β` of the guarded chase forest is determined
+//! by the **type** of `β` — the atoms of the chase over `dom(β)`.
+//!
+//! ## Algorithm: tabled type saturation
+//!
+//! We maintain a *top context* (atoms over `dom(I)`) plus a global memo
+//! table from canonical Σ-types to their (monotonically growing)
+//! completions. One expansion pass over a context:
+//!
+//! 1. enumerate all triggers `(σ, h)` into the context;
+//! 2. head atoms without fresh nulls are inserted directly;
+//! 3. a head atom `β` with fresh nulls spawns a *child type*: canonicalize
+//!    `(β, seed)` where the seed is every context atom over `dom(β)`
+//!    (plus `β`'s siblings over `dom(β)`); register the child in the memo;
+//!    then *flow back* every atom of the child's current completion that
+//!    mentions no fresh null, renamed through the inverse canonicalization.
+//!
+//! The engine iterates passes over the top context and every memoized type
+//! until a global fixpoint. Monotonicity of the semi-oblivious chase in
+//! its input instance makes growing seeds sound (a bigger seed's child
+//! type subsumes the smaller one's completion), and the finiteness of the
+//! canonical-type space bounds the memo. A completion of a canonical type
+//! is a pure function of the type and `Σ`, so one [`CompletionEngine`] can
+//! be shared across many `complete` calls (linearization calls it once per
+//! candidate rule head).
+
+use std::collections::HashMap;
+
+use nuchase_engine::nulls::{NullKey, NullStore};
+use nuchase_model::hom::for_each_hom;
+use nuchase_model::{Atom, Instance, SymbolTable, Term, TgdClass, TgdSet};
+
+use crate::error::RewriteError;
+
+/// Budgets for the saturation fixpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct CompleteBudget {
+    /// Maximum number of distinct canonical types to materialize.
+    pub max_types: usize,
+    /// Maximum number of global fixpoint rounds per `complete` call.
+    pub max_rounds: usize,
+}
+
+impl Default for CompleteBudget {
+    fn default() -> Self {
+        CompleteBudget {
+            max_types: 200_000,
+            max_rounds: 100_000,
+        }
+    }
+}
+
+/// Canonical Σ-type: guard atom and side atoms over canonical constants,
+/// side sorted. Two occurrences of "the same situation" in different
+/// contexts canonicalize to the same value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonType {
+    /// The guard atom (arguments are canonical constants in
+    /// first-occurrence order).
+    pub guard: Atom,
+    /// The side atoms (sorted, not containing the guard).
+    pub side: Vec<Atom>,
+}
+
+/// The completion engine. Holds the TGD set, the canonical-constant pool,
+/// and the global type memo. Reusable across `complete` calls.
+pub struct CompletionEngine<'a> {
+    tgds: &'a TgdSet,
+    budget: CompleteBudget,
+    canon: Vec<Term>,
+    memo: HashMap<CanonType, Instance>,
+    /// Types whose completion reached a global fixpoint in an earlier
+    /// `complete` call: final, never re-expanded.
+    closed: std::collections::HashSet<CanonType>,
+    nulls: NullStore,
+}
+
+impl<'a> CompletionEngine<'a> {
+    /// Creates an engine for a guarded TGD set. Interns the canonical
+    /// constant pool (one constant per possible distinct position, i.e.
+    /// `ar(Σ)` of them) into `symbols`.
+    pub fn new(
+        tgds: &'a TgdSet,
+        symbols: &mut SymbolTable,
+        budget: CompleteBudget,
+    ) -> Result<Self, RewriteError> {
+        if tgds.check_class(TgdClass::Guarded).is_err() {
+            return Err(RewriteError::NotGuarded {
+                rule: "completion requires guarded TGDs".into(),
+            });
+        }
+        let canon = (1..=tgds.max_arity().max(1))
+            .map(|i| Term::Const(symbols.constant(&format!("~{i}"))))
+            .collect();
+        Ok(CompletionEngine {
+            tgds,
+            budget: CompleteBudget {
+                // Rounds budget is consumed per call; types budget is global.
+                ..budget
+            },
+            canon,
+            memo: HashMap::new(),
+            closed: std::collections::HashSet::new(),
+            nulls: NullStore::new(),
+        })
+    }
+
+    /// The canonical constant for (1-based) position `i`.
+    pub fn canon_const(&self, i: usize) -> Term {
+        self.canon[i - 1]
+    }
+
+    /// Number of canonical types materialized so far.
+    pub fn type_count(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Reads the current completion of a canonical type, if materialized.
+    pub fn type_completion(&self, ty: &CanonType) -> Option<&Instance> {
+        self.memo.get(ty)
+    }
+
+    /// Computes `complete(I, Σ)`: all atoms over `dom(I)` in
+    /// `chase(I, Σ)`. `I` must be null-free (its terms act as constants).
+    pub fn complete(&mut self, input: &Instance) -> Result<Instance, RewriteError> {
+        assert!(
+            input.iter().all(|a| a.args.iter().all(|t| t.is_const())),
+            "complete() expects a null-free instance"
+        );
+        let mut top = input.clone();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > self.budget.max_rounds {
+                return Err(RewriteError::Budget {
+                    what: format!("completion rounds ({})", self.budget.max_rounds),
+                });
+            }
+            let mut changed = self.expand_context(&mut top)?;
+            // Snapshot keys; entries added during the loop are picked up
+            // next round (`changed` was set when they were registered).
+            // Expand a clone so the entry stays visible to itself during
+            // expansion (types can be self-referential); write back only
+            // on growth. Types closed by a previous global fixpoint are
+            // final (a completion is a pure function of type and Σ) and
+            // are skipped.
+            let keys: Vec<CanonType> = self
+                .memo
+                .keys()
+                .filter(|k| !self.closed.contains(*k))
+                .cloned()
+                .collect();
+            for key in keys {
+                let mut inst = self.memo.get(&key).expect("key snapshot valid").clone();
+                if self.expand_context(&mut inst)? {
+                    self.memo.insert(key, inst);
+                    changed = true;
+                }
+            }
+            if !changed {
+                self.closed.extend(self.memo.keys().cloned());
+                return Ok(top);
+            }
+        }
+    }
+
+    /// One expansion pass over a context instance. Returns whether the
+    /// context grew or a new type was registered.
+    fn expand_context(&mut self, ctx: &mut Instance) -> Result<bool, RewriteError> {
+        let mut changed = false;
+        // Collect trigger applications first (cannot mutate ctx while
+        // enumerating homs into it).
+        struct App {
+            rule: nuchase_model::RuleId,
+            binding: Vec<Term>,
+        }
+        let mut apps: Vec<App> = Vec::new();
+        for (rule, tgd) in self.tgds.iter() {
+            for_each_hom(tgd.body(), tgd.var_count(), ctx, |binding| {
+                apps.push(App {
+                    rule,
+                    binding: binding
+                        .iter()
+                        .map(|t| t.unwrap_or(Term::Var(nuchase_model::VarId(0))))
+                        .collect(),
+                });
+                std::ops::ControlFlow::Continue(())
+            });
+        }
+        for app in apps {
+            let tgd = self.tgds.get(app.rule);
+            let frontier_image: Box<[Term]> = tgd
+                .frontier()
+                .iter()
+                .map(|v| app.binding[v.index()])
+                .collect();
+            // Placeholder nulls for existentials (semi-oblivious naming so
+            // siblings within one trigger share placeholders).
+            let mut mu = app.binding.clone();
+            for &z in tgd.existentials() {
+                let null = self.nulls.intern(
+                    NullKey {
+                        rule: app.rule,
+                        var: z,
+                        frontier_image: frontier_image.clone(),
+                    },
+                    0,
+                );
+                mu[z.index()] = Term::Null(null);
+            }
+            let result: Vec<Atom> = tgd
+                .head()
+                .iter()
+                .map(|a| {
+                    a.map_terms(|t| match t {
+                        Term::Var(v) => mu[v.index()],
+                        g => g,
+                    })
+                })
+                .collect();
+            for beta in &result {
+                if beta.args.iter().all(|t| !t.is_null()) {
+                    if ctx.insert(beta.clone()).is_some() {
+                        changed = true;
+                    }
+                    continue;
+                }
+                // Child type: seed with context + sibling atoms over dom(β).
+                let dom: Vec<Term> = beta.dom();
+                let mut seed: Vec<Atom> = atoms_over_dom(ctx, &dom);
+                for sib in &result {
+                    if sib != beta && sib.dom().iter().all(|t| dom.contains(t)) {
+                        seed.push(sib.clone());
+                    }
+                }
+                let (key, inverse) = self.canonicalize(beta, &seed);
+                if !self.memo.contains_key(&key) {
+                    if self.memo.len() >= self.budget.max_types {
+                        return Err(RewriteError::Budget {
+                            what: format!("canonical types ({})", self.budget.max_types),
+                        });
+                    }
+                    let mut init = Instance::new();
+                    init.insert(key.guard.clone());
+                    for s in &key.side {
+                        init.insert(s.clone());
+                    }
+                    self.memo.insert(key.clone(), init);
+                    changed = true;
+                }
+                // Flow back: completed atoms that avoid fresh nulls.
+                let comp = self.memo.get(&key).expect("just ensured");
+                let mut flow: Vec<Atom> = Vec::new();
+                for gamma in comp.iter() {
+                    let back = gamma.map_terms(|t| {
+                        let idx = self
+                            .canon
+                            .iter()
+                            .position(|&c| c == t)
+                            .expect("completion atoms are over canonical constants");
+                        inverse[idx]
+                    });
+                    if back.args.iter().all(|t| !t.is_null()) {
+                        flow.push(back);
+                    }
+                }
+                for back in flow {
+                    if ctx.insert(back).is_some() {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Canonicalizes `(β, seed)` against this engine's constant pool.
+    fn canonicalize(&self, beta: &Atom, seed: &[Atom]) -> (CanonType, Vec<Term>) {
+        canonicalize_type(beta, seed, &self.canon)
+    }
+
+    /// The canonical constant pool (`~1, ~2, …`).
+    pub fn canon_pool(&self) -> &[Term] {
+        &self.canon
+    }
+}
+
+/// Canonicalizes `(β, seed)`: renames `dom(β)` (in first-occurrence order
+/// of `β`'s arguments) to the canonical constants of `canon`, producing
+/// the canonical Σ-type and the inverse renaming (canonical index →
+/// original term). Shared between the completion engine and the
+/// linearization of §8, so both produce identical type keys.
+pub fn canonicalize_type(beta: &Atom, seed: &[Atom], canon: &[Term]) -> (CanonType, Vec<Term>) {
+    let dom = beta.dom();
+    let map_term = |t: Term| -> Term {
+        let i = dom.iter().position(|&d| d == t).expect("term in dom(β)");
+        canon[i]
+    };
+    let guard = beta.map_terms(map_term);
+    let mut side: Vec<Atom> = seed
+        .iter()
+        .map(|a| a.map_terms(map_term))
+        .filter(|a| *a != guard)
+        .collect();
+    side.sort();
+    side.dedup();
+    (CanonType { guard, side }, dom)
+}
+
+/// All atoms of `inst` whose domain is contained in `dom` (including
+/// 0-ary atoms, whose domain is empty).
+pub fn atoms_over_dom(inst: &Instance, dom: &[Term]) -> Vec<Atom> {
+    let mut out: Vec<Atom> = Vec::new();
+    let mut seen: std::collections::HashSet<nuchase_model::AtomIdx> = Default::default();
+    for pred in inst.preds() {
+        for &t in dom {
+            for &idx in inst.atoms_with_pred_term(pred, t) {
+                if seen.insert(idx) {
+                    let atom = inst.atom(idx);
+                    if atom.args.iter().all(|a| dom.contains(a)) {
+                        out.push(atom.clone());
+                    }
+                }
+            }
+        }
+    }
+    // 0-ary atoms are indexed under no term; scan them via predicate lists.
+    for pred in inst.preds() {
+        for &idx in inst.atoms_with_pred(pred) {
+            let atom = inst.atom(idx);
+            if atom.args.is_empty() && seen.insert(idx) {
+                out.push(atom.clone());
+            }
+        }
+    }
+    out
+}
+
+/// One-shot convenience: `complete(I, Σ)` with a fresh engine.
+pub fn complete(
+    input: &Instance,
+    tgds: &TgdSet,
+    symbols: &mut SymbolTable,
+) -> Result<Instance, RewriteError> {
+    CompletionEngine::new(tgds, symbols, CompleteBudget::default())?.complete(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_engine::semi_oblivious_chase;
+    use nuchase_model::parser::parse_program;
+
+    /// Reference: when the chase terminates, complete(I,Σ) must equal the
+    /// chase atoms over dom(I).
+    fn reference_complete(db: &Instance, tgds: &TgdSet) -> Option<Instance> {
+        let r = semi_oblivious_chase(db, tgds, 200_000);
+        if !r.terminated() {
+            return None;
+        }
+        let dom = db.dom();
+        Some(
+            r.instance
+                .iter()
+                .filter(|a| a.args.iter().all(|t| dom.contains(t)))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    fn check_against_reference(text: &str) {
+        let mut p = parse_program(text).unwrap();
+        let got = complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        let want = reference_complete(&p.database, &p.tgds)
+            .expect("reference chase must terminate for this test");
+        assert!(
+            got.set_eq(&want),
+            "complete mismatch:\n got: {:?}\nwant: {:?}",
+            got.sorted_atoms(),
+            want.sorted_atoms()
+        );
+    }
+
+    #[test]
+    fn datalog_saturation_without_existentials() {
+        check_against_reference(
+            "e(a, b).\ne(b, c).\ne(X, Y) -> p(X).\np(X) -> q(X).",
+        );
+    }
+
+    #[test]
+    fn flow_back_through_one_excursion() {
+        // R(a,b); R(x,y) → ∃z S(y,z); S(y,z) → T(y).
+        // T(b) is over dom(D) but derived via the null excursion.
+        check_against_reference("r(a, b).\nr(X, Y) -> s(Y, Z).\ns(Y, Z) -> t(Y).");
+    }
+
+    #[test]
+    fn flow_back_through_two_excursions() {
+        // Deeper: R(x,y) → ∃z S(y,z); S(x,y) → ∃z U(y,z,x); U(x,y,w) → T(w).
+        // T(b) flows back two levels.
+        check_against_reference(
+            "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(X, Y) -> u(Y, Z, X).\nu(X, Y, W) -> t(W).",
+        );
+    }
+
+    #[test]
+    fn infinite_chase_finite_completion() {
+        // The §3 infinite chain: complete(D,Σ) must still be computable —
+        // atoms over {a,b} are just R(a,b) (plus derived P-marking).
+        let mut p =
+            parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> p(X, Y).").unwrap();
+        let got = complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        // Over {a,b}: r(a,b), p(a,b). The nulls' atoms are outside dom(D).
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn infinite_chase_with_back_flow() {
+        // R(x,y) → ∃z R(y,z); R(x,y) → Mark(y). Infinite chase, but atoms
+        // over dom(D)={a,b} are r(a,b), mark(b) — and also mark(a)? No:
+        // mark(x) not derived for a unless some r(_, a) exists.
+        let mut p =
+            parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> mark(Y).").unwrap();
+        let got = complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        let rendered: Vec<String> = got
+            .sorted_atoms()
+            .iter()
+            .map(|a| format!("{}", nuchase_model::DisplayWith::display(a, &p.symbols)))
+            .collect();
+        assert_eq!(got.len(), 2, "{rendered:?}");
+    }
+
+    #[test]
+    fn guarded_loop_back_to_database_terms() {
+        // σ1: R(x,y) → ∃z S(x,y,z); σ2: S(x,y,z) → R(y,x).
+        // R(b,a) is derivable over dom(D) through the S-excursion.
+        check_against_reference("r(a, b).\nr(X, Y) -> s(X, Y, Z).\ns(X, Y, Z) -> r(Y, X).");
+    }
+
+    #[test]
+    fn unguarded_sets_are_rejected() {
+        let mut p = parse_program("r(X, Y), s(Y, Z) -> t(X, Z).").unwrap();
+        let err = complete(&Instance::new(), &p.tgds, &mut p.symbols).unwrap_err();
+        assert!(matches!(err, RewriteError::NotGuarded { .. }));
+    }
+
+    #[test]
+    fn engine_is_reusable_across_calls() {
+        let mut p = parse_program(
+            "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(Y, Z) -> t(Y).",
+        )
+        .unwrap();
+        let mut engine =
+            CompletionEngine::new(&p.tgds, &mut p.symbols, CompleteBudget::default()).unwrap();
+        let c1 = engine.complete(&p.database).unwrap();
+        let c2 = engine.complete(&p.database).unwrap();
+        assert!(c1.set_eq(&c2));
+        assert!(engine.type_count() >= 1);
+    }
+
+    #[test]
+    fn completion_includes_input() {
+        let mut p = parse_program("r(a, b).\nr(X, Y) -> s(Y, Z).").unwrap();
+        let got = complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        for atom in p.database.iter() {
+            assert!(got.contains(atom));
+        }
+    }
+}

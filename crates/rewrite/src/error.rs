@@ -1,0 +1,35 @@
+//! Errors of the rewriting layer.
+
+use std::fmt;
+
+/// Errors produced by simplification / linearization / completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The operation requires linear TGDs.
+    NotLinear {
+        /// Description of the offending rule.
+        rule: String,
+    },
+    /// The operation requires guarded TGDs.
+    NotGuarded {
+        /// Description of the offending rule.
+        rule: String,
+    },
+    /// A resource budget was exhausted (type space or fixpoint rounds).
+    Budget {
+        /// What ran out.
+        what: String,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::NotLinear { rule } => write!(f, "rule {rule} is not linear"),
+            RewriteError::NotGuarded { rule } => write!(f, "rule {rule} is not guarded"),
+            RewriteError::Budget { what } => write!(f, "rewrite budget exhausted: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}

@@ -1,0 +1,28 @@
+//! # nuchase-rewrite
+//!
+//! The two rewriting techniques that the paper ports from ontological
+//! query answering to chase termination:
+//!
+//! * **Simplification** (§7, [`simplify`]): eliminates repeated variables
+//!   from linear TGDs, converting `L` into `SL` over annotated predicates
+//!   `R^{ℓ̄}`. Proposition 7.3: preserves chase finiteness and max depth.
+//! * **Linearization** (§8, [`linearize`]): converts guarded TGDs into
+//!   linear TGDs over type predicates `[τ]`, powered by the guarded
+//!   completion `complete(I, Σ)` ([`complete`]). Proposition 8.1:
+//!   preserves chase finiteness and max depth.
+//!
+//! `gsimple(·) = simple(lin(·))` combines both, reducing `ChTrm(G)` to the
+//! simple-linear case.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod complete;
+pub mod error;
+pub mod linearize;
+pub mod simplify;
+
+pub use complete::{complete, CanonType, CompleteBudget, CompletionEngine};
+pub use error::RewriteError;
+pub use linearize::{gsimple, linearize, linearize_with, Linearized, LinearizeBudget, TypeRegistry};
+pub use simplify::{simplify, simplify_atom, simplify_database, simplify_tgds, SimpleMap, Simplified};

@@ -1,0 +1,350 @@
+//! Simplification (§7): eliminating repeated variables from linear TGDs.
+//!
+//! The simplification of an atom `α = R(t̄)` is
+//! `simple(α) = R^{id(t̄)}(unique(t̄))` — the predicate is annotated with
+//! the equality pattern of the tuple and the tuple is collapsed to its
+//! distinct terms. A linear TGD `R(x̄) → ∃z̄ ψ(ȳ, z̄)` induces one simple
+//! linear TGD per *specialization* `f` of `x̄` (Definition 7.2):
+//! `simple(R(f(x̄))) → ∃z̄ simple(ψ(f(ȳ), z̄))`.
+//!
+//! Proposition 7.3 — which this crate's tests and experiment E9 validate
+//! empirically — states that the rewriting preserves chase finiteness and
+//! the maximal term depth: `Σ ∈ CT_D ⇔ simple(Σ) ∈ CT_{simple(D)}` and
+//! `maxdepth(D, Σ) = maxdepth(simple(D), simple(Σ))`.
+
+use std::collections::HashMap;
+
+use nuchase_model::{Atom, Instance, ModelError, PredId, SymbolTable, Term, Tgd, TgdSet, VarId};
+
+use crate::error::RewriteError;
+
+/// Interns simplified predicates `R^{ℓ̄}` and remembers the mapping back to
+/// `(R, ℓ̄)`.
+#[derive(Debug, Default, Clone)]
+pub struct SimpleMap {
+    forward: HashMap<(PredId, Box<[u8]>), PredId>,
+    backward: HashMap<PredId, (PredId, Box<[u8]>)>,
+}
+
+impl SimpleMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The simplified predicate `R^{ℓ̄}`, interned on first use. The
+    /// display name is `R[ℓ₁ℓ₂…]` (e.g. `r[121]` for `r` with pattern
+    /// `(1,2,1)`); its arity is the number of distinct positions in `ℓ̄`.
+    pub fn simple_pred(
+        &mut self,
+        symbols: &mut SymbolTable,
+        pred: PredId,
+        id_tuple: &[u8],
+    ) -> PredId {
+        if let Some(&p) = self.forward.get(&(pred, Box::from(id_tuple))) {
+            return p;
+        }
+        let unique_len = id_tuple.iter().copied().max().unwrap_or(0) as usize;
+        let name = {
+            let base = symbols.pred_name(pred);
+            let mut s = String::with_capacity(base.len() + id_tuple.len() + 2);
+            s.push_str(base);
+            s.push('[');
+            for &l in id_tuple {
+                // Single-digit positions in practice (arity ≤ 9 displays
+                // compactly); larger arities still disambiguate via `_`.
+                if l >= 10 {
+                    s.push('_');
+                }
+                s.push_str(&l.to_string());
+            }
+            s.push(']');
+            s
+        };
+        let p = symbols.fresh_pred(&name, unique_len);
+        self.forward.insert((pred, Box::from(id_tuple)), p);
+        self.backward.insert(p, (pred, Box::from(id_tuple)));
+        p
+    }
+
+    /// Maps a simplified predicate back to `(R, ℓ̄)`, if it is one.
+    pub fn original(&self, pred: PredId) -> Option<(PredId, &[u8])> {
+        self.backward.get(&pred).map(|(p, l)| (*p, l.as_ref()))
+    }
+
+    /// Iterates over all registered simplified predicates as
+    /// `(simple, original, ℓ̄)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, PredId, &[u8])> {
+        self.backward.iter().map(|(s, (p, l))| (*s, *p, l.as_ref()))
+    }
+
+    /// Number of registered simplified predicates.
+    pub fn len(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.backward.is_empty()
+    }
+}
+
+/// `simple(α) = R^{id(t̄)}(unique(t̄))` for a single atom.
+pub fn simplify_atom(atom: &Atom, map: &mut SimpleMap, symbols: &mut SymbolTable) -> Atom {
+    let id = atom.id_tuple();
+    let pred = map.simple_pred(symbols, atom.pred, &id);
+    Atom::new(pred, atom.unique_terms())
+}
+
+/// `simple(D)`: the simplification of every fact of a database.
+pub fn simplify_database(
+    db: &Instance,
+    map: &mut SimpleMap,
+    symbols: &mut SymbolTable,
+) -> Instance {
+    db.iter().map(|a| simplify_atom(a, map, symbols)).collect()
+}
+
+/// Enumerates the *specializations* of a variable tuple (Definition 7.2):
+/// functions `f` over the distinct variables `v₁, …, vₖ` (in
+/// first-occurrence order) with `f(v₁) = v₁` and
+/// `f(vᵢ) ∈ {f(v₁), …, f(vᵢ₋₁), vᵢ}`. Returned as substitution maps.
+pub fn specializations(distinct_vars: &[VarId]) -> Vec<HashMap<VarId, VarId>> {
+    let mut out: Vec<HashMap<VarId, VarId>> = vec![HashMap::new()];
+    for (i, &v) in distinct_vars.iter().enumerate() {
+        let mut next = Vec::with_capacity(out.len() * (i + 1));
+        for f in &out {
+            // Choice 1: keep vᵢ itself.
+            let mut keep = f.clone();
+            keep.insert(v, v);
+            next.push(keep);
+            // Choices 2..: collapse onto a previously chosen value.
+            let mut values: Vec<VarId> = f.values().copied().collect();
+            values.sort();
+            values.dedup();
+            for w in values {
+                let mut collapse = f.clone();
+                collapse.insert(v, w);
+                next.push(collapse);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// `simple(σ)` for a linear TGD: one simple linear TGD per specialization
+/// of the body tuple. Duplicate rewritings (different specializations can
+/// induce the same simple TGD) are deduplicated.
+pub fn simplify_tgd(
+    tgd: &Tgd,
+    map: &mut SimpleMap,
+    symbols: &mut SymbolTable,
+) -> Result<Vec<Tgd>, RewriteError> {
+    if !tgd.is_linear() {
+        return Err(RewriteError::NotLinear {
+            rule: format!("{:?}", tgd.body()),
+        });
+    }
+    let body_atom = &tgd.body()[0];
+    let distinct: Vec<VarId> = body_atom.vars().collect();
+    let mut seen: std::collections::HashSet<(Atom, Vec<Atom>)> = Default::default();
+    let mut out = Vec::new();
+    for f in specializations(&distinct) {
+        let apply = |a: &Atom| {
+            a.map_terms(|t| match t {
+                Term::Var(v) => Term::Var(f.get(&v).copied().unwrap_or(v)),
+                other => other,
+            })
+        };
+        let new_body = simplify_atom(&apply(body_atom), map, symbols);
+        let new_head: Vec<Atom> = tgd
+            .head()
+            .iter()
+            .map(|a| simplify_atom(&apply(a), map, symbols))
+            .collect();
+        if seen.insert((new_body.clone(), new_head.clone())) {
+            let tgd = Tgd::new(vec![new_body], new_head)
+                .expect("simplified TGD is structurally valid");
+            debug_assert!(tgd.is_simple_linear());
+            out.push(tgd);
+        }
+    }
+    Ok(out)
+}
+
+/// `simple(Σ)` for a set of linear TGDs.
+pub fn simplify_tgds(
+    tgds: &TgdSet,
+    map: &mut SimpleMap,
+    symbols: &mut SymbolTable,
+) -> Result<TgdSet, RewriteError> {
+    let mut out = TgdSet::default();
+    for (_, tgd) in tgds.iter() {
+        for s in simplify_tgd(tgd, map, symbols)? {
+            out.push(s);
+        }
+    }
+    Ok(out)
+}
+
+/// Bundles the outputs of database + TGD simplification.
+#[derive(Debug, Clone)]
+pub struct Simplified {
+    /// `simple(D)`.
+    pub database: Instance,
+    /// `simple(Σ)`.
+    pub tgds: TgdSet,
+    /// The predicate mapping.
+    pub map: SimpleMap,
+}
+
+/// Applies simplification to a database and a set of linear TGDs together,
+/// sharing one predicate mapping.
+pub fn simplify(
+    db: &Instance,
+    tgds: &TgdSet,
+    symbols: &mut SymbolTable,
+) -> Result<Simplified, RewriteError> {
+    let mut map = SimpleMap::new();
+    let database = simplify_database(db, &mut map, symbols);
+    let tgds = simplify_tgds(tgds, &mut map, symbols)?;
+    Ok(Simplified {
+        database,
+        tgds,
+        map,
+    })
+}
+
+/// Convenience: checks a set is linear, returning a [`ModelError`]-style
+/// class failure as a rewrite error.
+pub fn ensure_linear(tgds: &TgdSet) -> Result<(), RewriteError> {
+    match tgds.check_class(nuchase_model::TgdClass::Linear) {
+        Ok(()) => Ok(()),
+        Err(ModelError::WrongClass { rule, .. }) => Err(RewriteError::NotLinear { rule }),
+        Err(_) => unreachable!("check_class only returns WrongClass"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::parser::parse_program;
+    use nuchase_model::DisplayWith;
+
+    #[test]
+    fn specialization_counts_are_bell_like() {
+        // k distinct vars → number of specializations = Bell-ish chain
+        // products: 1, 1·2=2... compute: k=1 →1; k=2 →2; k=3 →5? Let's
+        // check against direct enumeration semantics: f(v1)=v1;
+        // f(v2)∈{v1,v2}; f(v3)∈{distinct values of f so far} ∪ {v3}.
+        assert_eq!(specializations(&[VarId(0)]).len(), 1);
+        assert_eq!(specializations(&[VarId(0), VarId(1)]).len(), 2);
+        // For k=3: f(v2)=v1 → values {v1}: f(v3) ∈ {v1,v3} (2);
+        //          f(v2)=v2 → values {v1,v2}: f(v3) ∈ {v1,v2,v3} (3). Total 5.
+        assert_eq!(specializations(&[VarId(0), VarId(1), VarId(2)]).len(), 5);
+    }
+
+    #[test]
+    fn simplify_atom_collapses_repeats() {
+        let p = parse_program("r(a, b).").unwrap();
+        let mut symbols = p.symbols.clone();
+        let mut map = SimpleMap::new();
+        // Build r(x, y, x) manually.
+        let r3 = symbols.pred("r3", 3).unwrap();
+        let x = Term::Var(VarId(0));
+        let y = Term::Var(VarId(1));
+        let atom = Atom::new(r3, vec![x, y, x]);
+        let s = simplify_atom(&atom, &mut map, &mut symbols);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.args.as_ref(), &[x, y]);
+        assert_eq!(map.original(s.pred), Some((r3, &[1u8, 2, 1][..])));
+        // Same pattern → same predicate.
+        let s2 = simplify_atom(&Atom::new(r3, vec![y, x, y]), &mut map, &mut symbols);
+        assert_eq!(s2.pred, s.pred);
+        // Different pattern → different predicate.
+        let s3 = simplify_atom(&Atom::new(r3, vec![x, x, y]), &mut map, &mut symbols);
+        assert_ne!(s3.pred, s.pred);
+    }
+
+    #[test]
+    fn simplify_database_uses_constant_patterns() {
+        let mut p = parse_program("r(a, a).\nr(a, b).").unwrap();
+        let mut map = SimpleMap::new();
+        let sd = simplify_database(&p.database, &mut map, &mut p.symbols);
+        assert_eq!(sd.len(), 2);
+        // r(a,a) → r[11](a); r(a,b) → r[12](a,b).
+        let arities: Vec<usize> = sd.iter().map(|a| a.arity()).collect();
+        assert!(arities.contains(&1) && arities.contains(&2));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn example_7_1_simplification() {
+        // σ: R(x, x) → ∃z R(z, x). Body has one distinct var; one
+        // specialization. simple(σ): R[11](x) → R[12](z, x).
+        let mut p = parse_program("r(X, X) -> r(Z, X).").unwrap();
+        let mut map = SimpleMap::new();
+        let simple = simplify_tgds(&p.tgds, &mut map, &mut p.symbols).unwrap();
+        assert_eq!(simple.len(), 1);
+        let tgd = simple.get(nuchase_model::RuleId(0));
+        assert!(tgd.is_simple_linear());
+        assert_eq!(tgd.body()[0].arity(), 1);
+        assert_eq!(tgd.head()[0].arity(), 2);
+        let rendered = format!("{}", tgd.display(&p.symbols));
+        assert!(rendered.contains("r[11]") && rendered.contains("r[12]"), "{rendered}");
+    }
+
+    #[test]
+    fn distinct_variable_bodies_specialize_into_collapses() {
+        // σ: R(x, y) → S(x, y). Specializations of (x,y): identity and
+        // y↦x. simple(σ) = { R[12](x,y) → S[12](x,y),
+        //                    R[11](x) → S[11](x) }.
+        let mut p = parse_program("r(X, Y) -> s(X, Y).").unwrap();
+        let mut map = SimpleMap::new();
+        let simple = simplify_tgds(&p.tgds, &mut map, &mut p.symbols).unwrap();
+        assert_eq!(simple.len(), 2);
+        for (_, tgd) in simple.iter() {
+            assert!(tgd.is_simple_linear());
+        }
+    }
+
+    #[test]
+    fn head_repeats_also_simplify() {
+        // σ: R(x, y) → S(y, y, z). Identity specialization gives
+        // S[112]... careful: head tuple (y,y,z) → S[112](y,z).
+        let mut p = parse_program("r(X, Y) -> s(Y, Y, Z).").unwrap();
+        let mut map = SimpleMap::new();
+        let simple = simplify_tgds(&p.tgds, &mut map, &mut p.symbols).unwrap();
+        let identity = simple
+            .iter()
+            .map(|(_, t)| t)
+            .find(|t| t.body()[0].arity() == 2)
+            .unwrap();
+        assert_eq!(identity.head()[0].arity(), 2);
+        assert_eq!(identity.existentials().len(), 1);
+    }
+
+    #[test]
+    fn non_linear_rules_are_rejected() {
+        let p = parse_program("r(X, Y), s(Y) -> t(X).").unwrap();
+        let mut symbols = p.symbols.clone();
+        let mut map = SimpleMap::new();
+        let err = simplify_tgds(&p.tgds, &mut map, &mut symbols).unwrap_err();
+        assert!(matches!(err, RewriteError::NotLinear { .. }));
+    }
+
+    #[test]
+    fn simplified_rules_are_deduplicated() {
+        // R(x, x) body: only one distinct var, one specialization; but
+        // rules like R(x, y) → T() can produce identical simple rules via
+        // different specializations only when heads/bodies coincide — here
+        // we simply check no duplicates occur across the set.
+        let mut p = parse_program("r(X, Y) -> t0.\nr(X, X) -> t0.").unwrap();
+        let mut map = SimpleMap::new();
+        let simple = simplify_tgds(&p.tgds, &mut map, &mut p.symbols).unwrap();
+        // r(X,Y)→t0 yields r[12]→t0 and r[11]→t0; r(X,X)→t0 yields
+        // r[11]→t0 again (kept: dedup is per source rule).
+        assert_eq!(simple.len(), 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Data exchange: computing a universal solution with the chase.
+//!
+//! A schema mapping (source-to-target + target TGDs) is chased over a
+//! source instance; the result is a *universal solution* (Fagin et al.) —
+//! the original application of the chase that the paper builds on. Labeled
+//! nulls in the target stand for unknown values invented by existential
+//! heads; the semi-oblivious chase reuses one null per `(rule, frontier)`,
+//! which is what keeps the solution finite here.
+//!
+//! ```text
+//! cargo run -p nuchase-bench --example data_exchange
+//! ```
+
+use nuchase_engine::semi_oblivious_chase;
+use nuchase_gen::scenarios::{exchange_mapping, exchange_source};
+use nuchase_model::{DisplayWith, SymbolTable};
+
+fn main() {
+    let mut symbols = SymbolTable::new();
+    let mapping = exchange_mapping(&mut symbols);
+    println!("schema mapping:\n{}", mapping.display(&symbols));
+
+    // Weak acyclicity guarantees termination on EVERY source instance —
+    // the classical, uniform guarantee.
+    assert!(nuchase::is_uniformly_weakly_acyclic(&mapping));
+    println!("mapping is weakly acyclic: chase terminates on all sources\n");
+
+    let source = exchange_source(&mut symbols, 12);
+    println!("source instance ({} facts):", source.len());
+    print!("{}", source.display(&symbols));
+
+    let result = semi_oblivious_chase(&source, &mapping, 100_000);
+    assert!(result.terminated());
+    assert!(result.is_model_of(&mapping));
+
+    // Report the target relations (everything not in the source schema).
+    println!("\nuniversal solution ({} atoms):", result.instance.len());
+    let mut shown = 0;
+    for atom in result.instance.iter() {
+        let name = symbols.pred_name(atom.pred);
+        if !name.starts_with("s_") {
+            println!("  {}", atom.display(&symbols));
+            shown += 1;
+        }
+    }
+    println!(
+        "\n{} target atoms, {} invented nulls, max null depth {}",
+        shown,
+        result.stats.nulls_created,
+        result.max_depth()
+    );
+
+    // Size check from the paper: the solution is LINEAR in the source
+    // (Theorem 6.4(2) — here uniformly, since the mapping is in CT).
+    let bigger = {
+        let mut s2 = SymbolTable::new();
+        let m2 = exchange_mapping(&mut s2);
+        let src = exchange_source(&mut s2, 120);
+        let r = semi_oblivious_chase(&src, &m2, 1_000_000);
+        assert!(r.terminated());
+        (src.len(), r.instance.len())
+    };
+    println!(
+        "scaling: source {} → solution {} atoms ({}× the 12-row run)",
+        bigger.0,
+        bigger.1,
+        bigger.1 / result.instance.len().max(1)
+    );
+}

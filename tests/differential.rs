@@ -1,0 +1,252 @@
+//! Cross-crate differential tests: independent implementations of the
+//! same paper object must agree.
+
+use nuchase::check_wa::check_not_weakly_acyclic;
+use nuchase::ucq::UcqDecider;
+use nuchase::{decide_g, decide_l, decide_sl, is_weakly_acyclic};
+use nuchase_engine::semi_oblivious_chase;
+use nuchase_gen::{random_program, RandomConfig};
+use nuchase_model::TgdClass;
+
+/// SCC-based weak-acyclicity vs the determinized Algorithm 1, on a random
+/// suite across all classes (both are defined for arbitrary TGDs).
+#[test]
+fn wa_deciders_agree_on_random_programs() {
+    for class in [TgdClass::SimpleLinear, TgdClass::Linear, TgdClass::Guarded] {
+        for seed in 0..80u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            let scc = is_weakly_acyclic(&p.database, &p.tgds);
+            let alg1 = !check_not_weakly_acyclic(&p.database, &p.tgds);
+            assert_eq!(scc, alg1, "class {class:?} seed {seed}");
+        }
+    }
+}
+
+/// The SL syntactic decider vs chase ground truth on random programs.
+#[test]
+fn sl_decider_vs_chase_ground_truth() {
+    let mut checked = 0;
+    for seed in 0..100u64 {
+        let p = random_program(&RandomConfig {
+            class: TgdClass::SimpleLinear,
+            seed,
+            ..Default::default()
+        });
+        let verdict = decide_sl(&p.database, &p.tgds).unwrap();
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 50_000);
+        if r.terminated() {
+            assert!(verdict, "seed {seed}: chase finite but decider says infinite");
+        } else {
+            assert!(!verdict, "seed {seed}: chase exceeded budget but decider says finite");
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 100);
+}
+
+/// The L decider (simplification) vs chase ground truth.
+#[test]
+fn l_decider_vs_chase_ground_truth() {
+    for seed in 0..100u64 {
+        let mut p = random_program(&RandomConfig {
+            class: TgdClass::Linear,
+            seed,
+            ..Default::default()
+        });
+        let verdict = decide_l(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 50_000);
+        assert_eq!(verdict, r.terminated(), "seed {seed}");
+    }
+}
+
+/// The G decider (gsimple) vs chase ground truth.
+#[test]
+fn g_decider_vs_chase_ground_truth() {
+    for seed in 0..50u64 {
+        let mut p = random_program(&RandomConfig {
+            class: TgdClass::Guarded,
+            seed,
+            ..Default::default()
+        });
+        let Ok(verdict) = decide_g(&p.database, &p.tgds, &mut p.symbols) else {
+            continue; // rewrite budget (rare, pathological schemas)
+        };
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 50_000);
+        assert_eq!(verdict, r.terminated(), "seed {seed}");
+    }
+}
+
+/// The compiled UCQ deciders vs the graph-based deciders, SL and L.
+#[test]
+fn ucq_deciders_agree_with_graph_deciders() {
+    for seed in 0..100u64 {
+        let p = random_program(&RandomConfig {
+            class: TgdClass::SimpleLinear,
+            seed,
+            ..Default::default()
+        });
+        let ucq = UcqDecider::for_simple_linear(&p.tgds, &p.symbols).unwrap();
+        let graph = decide_sl(&p.database, &p.tgds).unwrap();
+        assert_eq!(ucq.terminates(&p.database), graph, "SL seed {seed}");
+    }
+    for seed in 0..100u64 {
+        let mut p = random_program(&RandomConfig {
+            class: TgdClass::Linear,
+            seed,
+            ..Default::default()
+        });
+        let ucq = UcqDecider::for_linear(&p.tgds, &mut p.symbols).unwrap();
+        let graph = decide_l(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        assert_eq!(ucq.terminates(&p.database), graph, "L seed {seed}");
+    }
+}
+
+/// Crafted linear programs stressing the equality-pattern UCQ of
+/// Theorem 7.7 (repeated body variables; facts refining/coarsening the
+/// critical patterns).
+#[test]
+fn ucq_linear_crafted_patterns() {
+    use nuchase_model::parse_program;
+    for (rules, cases) in [
+        (
+            // Example 7.1: never diverges.
+            "r(X, X) -> r(Z, X).",
+            vec![("r(a, a).", true), ("r(a, b).", true)],
+        ),
+        (
+            // Diagonal loop: r(t,t) regenerates diagonals forever.
+            "r(X, X) -> r(X, Z).
+r(X, Y) -> r(Y, Y).",
+            vec![("r(a, b).", false), ("r(a, a).", false), ("s(a).", true)],
+        ),
+        (
+            // Successor rule: any r-fact (diagonal or not) diverges.
+            "r(X, Y) -> r(Y, Z).",
+            vec![("r(a, a).", false), ("r(a, b).", false), ("q(a).", true)],
+        ),
+        (
+            // Fires only on triples with pattern (1,1,2); the produced
+            // atom has pattern (1,2,3) and never re-fires.
+            "t(X, X, Y) -> t(Y, Z, W).",
+            vec![("t(a, a, b).", true), ("t(a, b, c).", true), ("t(a, a, a).", true)],
+        ),
+        (
+            // Same body, but the head re-creates the dangerous pattern.
+            "t(X, X, Y) -> t(Y, Y, Z).",
+            vec![("t(a, a, b).", false), ("t(a, b, c).", true)],
+        ),
+    ] {
+        let mut base = parse_program(rules).unwrap();
+        let ucq = UcqDecider::for_linear(&base.tgds, &mut base.symbols).unwrap();
+        for (db_text, expect) in cases {
+            let mut symbols = base.symbols.clone();
+            let db = nuchase_model::parse_database(db_text, &mut symbols).unwrap();
+            // Cross-check the fixture against the chase itself.
+            let truth = semi_oblivious_chase(&db, &base.tgds, 30_000).terminated();
+            assert_eq!(truth, expect, "fixture wrong: {rules} on {db_text}");
+            assert_eq!(
+                ucq.terminates(&db),
+                expect,
+                "UCQ decider wrong: {rules} on {db_text}"
+            );
+            // And the graph decider agrees too.
+            let mut s2 = symbols.clone();
+            assert_eq!(
+                nuchase::decide_l(&db, &base.tgds, &mut s2).unwrap(),
+                expect,
+                "graph decider wrong: {rules} on {db_text}"
+            );
+        }
+    }
+}
+
+/// The L decider must agree with the SL decider on SL inputs (SL ⊆ L),
+/// and the G decider with both on SL inputs (SL ⊆ G).
+#[test]
+fn deciders_agree_down_the_class_ladder() {
+    for seed in 0..60u64 {
+        let mut p = random_program(&RandomConfig {
+            class: TgdClass::SimpleLinear,
+            seed,
+            ..Default::default()
+        });
+        let sl = decide_sl(&p.database, &p.tgds).unwrap();
+        let l = decide_l(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        assert_eq!(sl, l, "SL vs L, seed {seed}");
+        let g = decide_g(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        assert_eq!(sl, g, "SL vs G, seed {seed}");
+    }
+}
+
+/// `complete(D, Σ)` vs the restriction of a terminating chase, on random
+/// guarded programs.
+#[test]
+fn completion_vs_terminating_chase() {
+    let mut checked = 0;
+    for seed in 0..60u64 {
+        let mut p = random_program(&RandomConfig {
+            class: TgdClass::Guarded,
+            seed,
+            ..Default::default()
+        });
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 30_000);
+        if !r.terminated() {
+            continue;
+        }
+        let complete =
+            nuchase_rewrite::complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
+        let dom = p.database.dom();
+        let reference: nuchase_model::Instance = r
+            .instance
+            .iter()
+            .filter(|a| a.args.iter().all(|t| dom.contains(t)))
+            .cloned()
+            .collect();
+        assert!(
+            complete.set_eq(&reference),
+            "seed {seed}: complete() deviates from chase restriction"
+        );
+        checked += 1;
+    }
+    assert!(checked > 20, "too few terminating samples ({checked})");
+}
+
+/// Oblivious ⊇ semi-oblivious ⊇ restricted on terminating runs (result
+/// sizes; the oblivious chase fires strictly more triggers).
+#[test]
+fn chase_variant_size_ordering() {
+    use nuchase_engine::{chase, ChaseConfig, ChaseVariant};
+    for seed in 0..40u64 {
+        let p = random_program(&RandomConfig {
+            class: TgdClass::SimpleLinear,
+            seed,
+            ..Default::default()
+        });
+        let run = |variant| {
+            chase(
+                &p.database,
+                &p.tgds,
+                &ChaseConfig {
+                    variant,
+                    ..Default::default()
+                },
+            )
+        };
+        let so = run(ChaseVariant::SemiOblivious);
+        if !so.terminated() {
+            continue;
+        }
+        let ob = run(ChaseVariant::Oblivious);
+        let re = run(ChaseVariant::Restricted);
+        if ob.terminated() {
+            assert!(ob.instance.len() >= so.instance.len(), "seed {seed}");
+        }
+        if re.terminated() {
+            assert!(re.instance.len() <= so.instance.len(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end tests of the worked examples and named constructions in the
+//! paper, spanning all crates.
+
+use nuchase_engine::{chase, semi_oblivious_chase, ChaseBudget, ChaseConfig, ChaseOutcome};
+use nuchase_model::parse_program;
+
+/// §3: Σ = {R(x,y) → ∃z R(y,z)} on D = {R(a,b)} has only infinite chase
+/// derivations.
+#[test]
+fn section_3_infinite_example() {
+    let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+    let r = semi_oblivious_chase(&p.database, &p.tgds, 5_000);
+    assert_eq!(r.outcome, ChaseOutcome::AtomLimit);
+    // Every atom is an R-atom forming a chain: depth grows linearly.
+    assert!(r.max_depth() > 1_000);
+}
+
+/// §3 fairness: with σ' = R(x,y) → P(x,y) added, a valid derivation must
+/// keep producing P-atoms; unfair R-only behaviour is impossible in the
+/// round-based engine.
+#[test]
+fn section_3_fairness() {
+    let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> p(X, Y).").unwrap();
+    let r = semi_oblivious_chase(&p.database, &p.tgds, 1_000);
+    let p_pred = p.symbols.lookup_pred("p").unwrap();
+    let p_count = r.instance.iter().filter(|a| a.pred == p_pred).count();
+    // Near half the instance: fairness interleaves the copy rule.
+    assert!(p_count * 3 > r.instance.len());
+}
+
+/// Proposition 4.5: maxdepth(D_n, Σ) = n − 1 (via the generator crate).
+#[test]
+fn proposition_4_5_depth_growth() {
+    for n in [2usize, 7, 23] {
+        let p = nuchase_gen::depth_family(n);
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 1_000_000);
+        assert!(r.terminated());
+        assert_eq!(r.max_depth() as usize, n - 1);
+    }
+}
+
+/// Example 7.1: Σ = {R(x,x) → ∃z R(z,x)}, D = {R(a,b)}: chase(D,Σ) = D is
+/// finite, yet Σ is NOT D-weakly-acyclic. The linear decider (via
+/// simplification) must still answer "finite".
+#[test]
+fn example_7_1() {
+    let mut p = parse_program("r(a, b).\nr(X, X) -> r(Z, X).").unwrap();
+    let r = semi_oblivious_chase(&p.database, &p.tgds, 1_000);
+    assert!(r.terminated());
+    assert_eq!(r.instance.len(), 1, "no trigger fires");
+    assert!(!nuchase::is_weakly_acyclic(&p.database, &p.tgds));
+    assert!(nuchase::decide_l(&p.database, &p.tgds, &mut p.symbols).unwrap());
+}
+
+/// Theorem 6.5 family, exact witness count (Claim E.1):
+/// `|{t̄ : R_n(t̄) ∈ chase(D, Σ_{n,m})}| = ℓ·m^{n·m}`.
+#[test]
+fn theorem_6_5_exact_counts() {
+    for (ell, n, m) in [(1usize, 1usize, 2usize), (1, 2, 2), (3, 1, 2), (1, 1, 3)] {
+        let inst = nuchase_gen::sl_family(ell, n, m);
+        let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 4_000_000);
+        assert!(r.terminated());
+        let rn = inst
+            .program
+            .symbols
+            .lookup_pred(&inst.witness_pred)
+            .unwrap();
+        let count = r.instance.iter().filter(|a| a.pred == rn).count();
+        let expect = ell * (m as u64).pow((n * m) as u32) as usize;
+        assert_eq!(count, expect, "(ℓ,n,m)=({ell},{n},{m})");
+    }
+}
+
+/// Theorem 7.6 family: `|chase| ≥ ℓ·2^{n(2^m−1)}` and the R_n level holds
+/// at least `ℓ·2^{2^m−1}` leaf-seeded atoms for n = 1.
+#[test]
+fn theorem_7_6_meets_bound() {
+    for (ell, n, m) in [(1usize, 1usize, 2usize), (2, 1, 3), (1, 2, 2)] {
+        let inst = nuchase_gen::l_family(ell, n, m);
+        let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 4_000_000);
+        assert!(r.terminated());
+        let bound = inst.lower_bound().unwrap() as usize;
+        assert!(
+            r.instance.len() >= bound,
+            "(ℓ,n,m)=({ell},{n},{m}): {} < {bound}",
+            r.instance.len()
+        );
+    }
+}
+
+/// Theorem 8.4 family: the stratified counter construction meets its
+/// triple-exponential bound for runnable parameters.
+#[test]
+fn theorem_8_4_meets_bound() {
+    let inst = nuchase_gen::g_family(1, 1, 1);
+    let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 4_000_000);
+    assert!(r.terminated());
+    let bound = inst.lower_bound().unwrap() as usize; // 2^{2·3} = 64
+    assert!(r.instance.len() >= bound);
+}
+
+/// Appendix A: chase(D_M, Σ★) finite ⇔ M halts, both directions.
+#[test]
+fn appendix_a_reduction_both_directions() {
+    use nuchase_gen::turing::*;
+    let mut symbols = nuchase_model::SymbolTable::new();
+    let tgds = sigma_star(&mut symbols);
+    let halting = machine_database(&machine_count_to(1), &mut symbols);
+    let r = semi_oblivious_chase(&halting, &tgds, 500_000);
+    assert!(r.terminated(), "halting machine ⇒ finite chase");
+
+    let mut symbols2 = nuchase_model::SymbolTable::new();
+    let tgds2 = sigma_star(&mut symbols2);
+    let looping = machine_database(&machine_run_forever(), &mut symbols2);
+    let r2 = semi_oblivious_chase(&looping, &tgds2, 30_000);
+    assert!(!r2.terminated(), "looping machine ⇒ infinite chase");
+}
+
+/// The guarded chase forest of §5 really is a forest: every non-root atom
+/// of a guarded run has a parent that precedes it.
+#[test]
+fn section_5_guarded_forest_shape() {
+    // A finite layered binary tree (the unlayered variant diverges).
+    let p = parse_program(
+        "n0(a, b).\n\
+         n0(X, Y) -> n1(Y, Z), n1(Y, W).\n\
+         n1(X, Y) -> n2(Y, Z), n2(Y, W).\n\
+         n2(X, Y) -> n3(Y, Z), n3(Y, W).",
+    )
+    .unwrap();
+    let r = chase(
+        &p.database,
+        &p.tgds,
+        &ChaseConfig {
+            budget: ChaseBudget::atoms(50_000),
+            build_forest: true,
+            ..Default::default()
+        },
+    );
+    assert!(r.terminated());
+    let f = r.forest.unwrap();
+    for i in 1..f.len() {
+        if let Some(parent) = f.parent(i as u32) {
+            assert!(parent < i as u32, "parents precede children");
+        }
+    }
+    // All atoms hang off the single database root.
+    assert_eq!(f.tree_sizes().len(), 1);
+}
+
+/// Theorem 4.1 context (uniform case): a weakly-acyclic set terminates on
+/// every database we throw at it, with size linear in |D|.
+#[test]
+fn uniform_termination_of_weakly_acyclic_sets() {
+    let text = "e(X, Y) -> p(X, Z).\np(X, Z) -> q(Z).";
+    for n in [5usize, 50] {
+        let mut db_text = String::new();
+        for i in 0..n {
+            db_text.push_str(&format!("e(a{i}, b{i}).\n"));
+        }
+        let p = parse_program(&format!("{db_text}{text}")).unwrap();
+        assert!(nuchase::is_uniformly_weakly_acyclic(&p.tgds));
+        let r = semi_oblivious_chase(&p.database, &p.tgds, 100_000);
+        assert!(r.terminated());
+        assert_eq!(r.instance.len(), 3 * n);
+    }
+}

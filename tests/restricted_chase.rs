@@ -1,0 +1,119 @@
+//! Exploratory tests for the paper's stated future work (§9): the
+//! *restricted* (standard) chase. The paper's results are for the
+//! semi-oblivious variant; these tests pin down the divergences between
+//! the two that make the restricted analysis "even more challenging".
+
+use nuchase_engine::{chase, semi_oblivious_chase, ChaseBudget, ChaseConfig, ChaseVariant};
+use nuchase_gen::{random_program, RandomConfig};
+use nuchase_model::{parse_program, TgdClass};
+
+fn restricted(db: &nuchase_model::Instance, tgds: &nuchase_model::TgdSet, budget: usize) -> nuchase_engine::ChaseResult {
+    chase(
+        db,
+        tgds,
+        &ChaseConfig {
+            variant: ChaseVariant::Restricted,
+            budget: ChaseBudget::atoms(budget),
+            ..Default::default()
+        },
+    )
+}
+
+/// The classic separation: Σ = {R(x,y) → ∃z R(y,z)} diverges
+/// semi-obliviously on {R(a,b)}, and the restricted chase diverges too
+/// (no head is ever satisfied early) — but add a "sink" fact R(b,b) and
+/// the restricted chase terminates immediately while the semi-oblivious
+/// one still diverges.
+#[test]
+fn restricted_terminates_where_semi_oblivious_diverges() {
+    let p = parse_program("r(a, b).\nr(b, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+    let so = semi_oblivious_chase(&p.database, &p.tgds, 2_000);
+    assert!(!so.terminated(), "semi-oblivious fires per frontier value");
+    let re = restricted(&p.database, &p.tgds, 2_000);
+    assert!(re.terminated(), "restricted sees R(b,b) satisfies every head");
+    assert_eq!(re.instance.len(), 2);
+}
+
+/// Whenever the semi-oblivious chase terminates, the restricted chase
+/// terminates as well (its instance embeds; Grahne–Onet). Empirically on
+/// the random suite.
+#[test]
+fn semi_oblivious_termination_implies_restricted_termination() {
+    for class in [TgdClass::SimpleLinear, TgdClass::Linear, TgdClass::Guarded] {
+        for seed in 0..60u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            let so = semi_oblivious_chase(&p.database, &p.tgds, 30_000);
+            if !so.terminated() {
+                continue;
+            }
+            let re = restricted(&p.database, &p.tgds, 60_000);
+            assert!(re.terminated(), "class {class:?} seed {seed}");
+            assert!(
+                re.instance.len() <= so.instance.len(),
+                "class {class:?} seed {seed}"
+            );
+        }
+    }
+}
+
+/// The restricted chase also satisfies Σ on termination.
+#[test]
+fn restricted_result_is_a_model() {
+    for seed in 0..40u64 {
+        let p = random_program(&RandomConfig {
+            class: TgdClass::SimpleLinear,
+            seed,
+            ..Default::default()
+        });
+        let re = restricted(&p.database, &p.tgds, 30_000);
+        if re.terminated() {
+            assert!(re.is_model_of(&p.tgds), "seed {seed}");
+        }
+    }
+}
+
+/// Non-uniform restricted termination is NOT characterized by the
+/// semi-oblivious criteria: pin a witness where the SL decider (sound for
+/// the semi-oblivious chase) says "infinite" while the restricted chase
+/// is finite. This is exactly why the paper calls the restricted analysis
+/// more challenging.
+#[test]
+fn semi_oblivious_deciders_are_conservative_for_restricted() {
+    let p = parse_program("r(a, b).\nr(b, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+    let verdict = nuchase::decide_sl(&p.database, &p.tgds).unwrap();
+    assert!(!verdict, "semi-oblivious chase is infinite here");
+    assert!(restricted(&p.database, &p.tgds, 2_000).terminated());
+}
+
+/// Oblivious ⊒ semi-oblivious: whenever the *oblivious* chase terminates,
+/// so does the semi-oblivious one, and the semi-oblivious result is no
+/// larger.
+#[test]
+fn oblivious_termination_implies_semi_oblivious() {
+    for seed in 0..60u64 {
+        let p = random_program(&RandomConfig {
+            class: TgdClass::SimpleLinear,
+            seed,
+            ..Default::default()
+        });
+        let ob = chase(
+            &p.database,
+            &p.tgds,
+            &ChaseConfig {
+                variant: ChaseVariant::Oblivious,
+                budget: ChaseBudget::atoms(30_000),
+                ..Default::default()
+            },
+        );
+        if !ob.terminated() {
+            continue;
+        }
+        let so = semi_oblivious_chase(&p.database, &p.tgds, 30_000);
+        assert!(so.terminated(), "seed {seed}");
+        assert!(so.instance.len() <= ob.instance.len(), "seed {seed}");
+    }
+}
