@@ -10,11 +10,7 @@ fn bench(c: &mut Criterion) {
         let id = format!("l{ell}_n{n}_m{m}");
         g.bench_with_input(BenchmarkId::new("chase", id), &0, |b, _| {
             b.iter(|| {
-                let r = semi_oblivious_chase(
-                    &inst.program.database,
-                    &inst.program.tgds,
-                    4_000_000,
-                );
+                let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 4_000_000);
                 assert!(r.terminated());
                 r.instance.len()
             })

@@ -17,8 +17,7 @@ fn bench(c: &mut Criterion) {
                 .iter()
                 .filter(|p| {
                     let mut symbols = p.symbols.clone();
-                    nuchase::decide_g(&p.database, &p.tgds, &mut symbols)
-                        .unwrap_or(false)
+                    nuchase::decide_g(&p.database, &p.tgds, &mut symbols).unwrap_or(false)
                 })
                 .count()
         })

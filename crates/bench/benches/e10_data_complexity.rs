@@ -14,13 +14,8 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("naive_chase", n), &db, |b, db| {
             b.iter(|| {
-                nuchase::decide_naive(
-                    db,
-                    &tgds,
-                    nuchase_model::TgdClass::SimpleLinear,
-                    100_000,
-                )
-                .unwrap()
+                nuchase::decide_naive(db, &tgds, nuchase_model::TgdClass::SimpleLinear, 100_000)
+                    .unwrap()
             })
         });
     }

@@ -9,11 +9,7 @@ fn bench(c: &mut Criterion) {
         let inst = nuchase_gen::sl_family(ell, 2, 2);
         g.bench_with_input(BenchmarkId::new("sl_family", ell), &inst, |b, inst| {
             b.iter(|| {
-                let r = semi_oblivious_chase(
-                    &inst.program.database,
-                    &inst.program.tgds,
-                    4_000_000,
-                );
+                let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 4_000_000);
                 assert!(r.terminated());
                 r.instance.len()
             })

@@ -1,10 +1,12 @@
 //! The experiment harness: regenerates every experiment table of
-//! `EXPERIMENTS.md` (one per quantitative theorem of the paper).
+//! `EXPERIMENTS.md` (one per quantitative theorem of the paper), plus the
+//! chase performance benchmark.
 //!
 //! ```text
-//! cargo run --release -p nuchase-bench --bin harness            # all
-//! cargo run --release -p nuchase-bench --bin harness -- e02 e10 # subset
+//! cargo run --release -p nuchase-bench --bin harness                 # all
+//! cargo run --release -p nuchase-bench --bin harness -- e02 e10      # subset
 //! cargo run --release -p nuchase-bench --bin harness -- --list
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-chase [out.json]
 //! ```
 
 use std::time::Instant;
@@ -17,6 +19,20 @@ fn main() {
         for (id, _) in &experiments {
             println!("{id}");
         }
+        return;
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--bench-chase") {
+        let out_path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_chase.json");
+        println!("chase performance harness: seed baseline vs compiled-plan engine\n");
+        let rows = nuchase_bench::perf::run_chase_bench(3);
+        print!("{}", nuchase_bench::perf::chase_bench_table(&rows));
+        let json = nuchase_bench::perf::chase_bench_json(&rows);
+        std::fs::write(out_path, json).expect("write bench json");
+        println!("\nwrote {out_path}");
         return;
     }
 

@@ -1,0 +1,109 @@
+//! Temporary profiling probe for the successor-chain hot path.
+use std::time::Instant;
+
+use nuchase_model::plan::Scratch;
+use nuchase_model::{Atom, Instance, SymbolTable, Term, VarId};
+
+fn main() {
+    let n: u32 = 100_000;
+    let mut symbols = SymbolTable::new();
+    let r = symbols.pred_unchecked("r", 2);
+    let null = |i: u32| Term::Null(nuchase_model::NullId(i));
+
+    // 1. Pure instance growth: insert_terms of a 100k chain.
+    let t = Instant::now();
+    let mut inst = Instance::new();
+    inst.insert(Atom::new(r, vec![null(0), null(1)]));
+    for i in 1..n {
+        inst.insert_terms(r, &[null(i), null(i + 1)]);
+    }
+    println!(
+        "insert-only:      {:>8.1} ns/atom",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    // 2. Delta enumeration on the grown instance, one round per atom.
+    let v = |i: u32| Term::Var(VarId(i));
+    let tgd = nuchase_model::Tgd::new(
+        vec![Atom::new(r, vec![v(0), v(1)])],
+        vec![Atom::new(r, vec![v(1), v(2)])],
+    )
+    .unwrap();
+    let mut scratch = Scratch::new();
+    let t = Instant::now();
+    let mut count = 0u64;
+    for i in 0..n {
+        tgd.body_plan()
+            .for_each_hom_delta(&inst, i, &mut scratch, |_| {
+                count += 1;
+                std::ops::ControlFlow::Continue(())
+            });
+    }
+    println!(
+        "delta-enum:       {:>8.1} ns/round ({count} homs)",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    // 3. Incremental variant: grow + enumerate together (chase-shaped).
+    let t = Instant::now();
+    let mut inst2 = Instance::new();
+    inst2.insert(Atom::new(r, vec![null(0), null(1)]));
+    let mut delta = 0u32;
+    let mut count2 = 0u64;
+    for i in 1..n {
+        tgd.body_plan()
+            .for_each_hom_delta(&inst2, delta, &mut scratch, |_| {
+                count2 += 1;
+                std::ops::ControlFlow::Continue(())
+            });
+        delta = inst2.len() as u32;
+        inst2.insert_terms(r, &[null(i), null(i + 1)]);
+    }
+    println!(
+        "grow+enum:        {:>8.1} ns/round ({count2} homs)",
+        t.elapsed().as_nanos() as f64 / (n - 1) as f64
+    );
+
+    // 4. Trigger dedup: 100k fresh 1-term keys.
+    let t = Instant::now();
+    let mut set = nuchase_engine::TermTupleSet::new();
+    for i in 0..n {
+        set.insert(&[null(i)]);
+    }
+    println!(
+        "dedup-new:        {:>8.1} ns/key",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    // 5. Null interning: 100k fresh nulls.
+    let t = Instant::now();
+    let mut nulls = nuchase_engine::NullStore::new();
+    for i in 0..n {
+        nulls.intern_parts(nuchase_model::RuleId(0), VarId(2), &[null(i)], 0);
+    }
+    println!(
+        "null-intern:      {:>8.1} ns/null",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
+
+    // 6. The full chase for comparison (best of 3).
+    let p = nuchase_model::parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let res = nuchase_engine::semi_oblivious_chase(&p.database, &p.tgds, n as usize);
+        assert_eq!(res.instance.len(), n as usize);
+        best = best.min(t.elapsed().as_nanos() as f64 / n as f64);
+    }
+    println!("full chase:       {:>8.1} ns/atom (best of 3)", best);
+
+    // 7. Baseline chase for comparison (best of 3).
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let res = nuchase_engine::baseline_semi_oblivious_chase(&p.database, &p.tgds, n as usize);
+        assert_eq!(res.instance.len(), n as usize);
+        best = best.min(t.elapsed().as_nanos() as f64 / n as f64);
+    }
+    println!("baseline chase:   {:>8.1} ns/atom (best of 3)", best);
+}

@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod perf;
+
 use std::fmt;
 use std::time::Instant;
 
@@ -110,7 +112,14 @@ pub fn e01_depth_family() -> Table {
     Table {
         id: "E1",
         title: "Prop 4.5 — term depth grows with |D| (non-uniform only)".into(),
-        headers: svec(&["n=|D|", "paper maxdepth", "measured", "|chase|", "time", "ok"]),
+        headers: svec(&[
+            "n=|D|",
+            "paper maxdepth",
+            "measured",
+            "|chase|",
+            "time",
+            "ok",
+        ]),
         rows,
         verdict: verdict(all_ok, "maxdepth(D_n, Σ) = n − 1 for every n"),
     }
@@ -334,10 +343,7 @@ fn characterization_table(
                     "chase: {}",
                     if r.terminated() { "finite" } else { "budget" }
                 ),
-                format!(
-                    "decider: {}",
-                    if decided { "finite" } else { "infinite" }
-                ),
+                format!("decider: {}", if decided { "finite" } else { "infinite" }),
                 "DISAGREE".into(),
             ]);
         }
@@ -516,7 +522,13 @@ pub fn e10_data_complexity() -> Table {
     Table {
         id: "E10",
         title: "Thm 6.6 — AC⁰ data complexity: UCQ decider vs naive chase".into(),
-        headers: svec(&["|D|", "UCQ Q_Σ decider", "naive chase decider", "speedup", "ok"]),
+        headers: svec(&[
+            "|D|",
+            "UCQ Q_Σ decider",
+            "naive chase decider",
+            "speedup",
+            "ok",
+        ]),
         rows,
         verdict: verdict(
             all_ok,
@@ -557,7 +569,13 @@ pub fn e11_combined_complexity() -> Table {
     Table {
         id: "E11",
         title: "Thm 6.6 — combined complexity: graph decider vs exp-size chase".into(),
-        headers: svec(&["Σ", "syntactic decider", "naive (chase to fixpoint)", "speedup", "ok"]),
+        headers: svec(&[
+            "Σ",
+            "syntactic decider",
+            "naive (chase to fixpoint)",
+            "speedup",
+            "ok",
+        ]),
         rows,
         verdict: verdict(
             all_ok,
@@ -739,8 +757,10 @@ mod tests {
     #[test]
     fn depth_bound_helper_reexports() {
         let p = nuchase_model::parse_program("r(X, Y) -> r(Y, Z).").unwrap();
-        assert!(nuchase::bounds::depth_bound(&p.tgds, TgdClass::SimpleLinear)
-            .exact
-            .is_some());
+        assert!(
+            nuchase::bounds::depth_bound(&p.tgds, TgdClass::SimpleLinear)
+                .exact
+                .is_some()
+        );
     }
 }

@@ -130,7 +130,11 @@ pub fn cmd_explain(program: &mut Program) -> Result<String, CliError> {
         .map(|&n| graph.positions()[n].display(&program.symbols))
         .collect();
     bad_positions.sort();
-    let _ = writeln!(out, "positions on special cycles: {}", bad_positions.join(", "));
+    let _ = writeln!(
+        out,
+        "positions on special cycles: {}",
+        bad_positions.join(", ")
+    );
 
     let critical = nuchase::critical_preds(&graph);
     let mut names: Vec<&str> = critical
@@ -215,7 +219,11 @@ pub fn cmd_bounds(program: &Program) -> Result<String, CliError> {
 /// `nuchase query`: certain answers of a Boolean/labelled CQ given as a
 /// single rule body, e.g. `"person(X), worksfor(X, D)"`, with answer
 /// variables listed after `?`, e.g. `"person(X), worksfor(X, D) ? X"`.
-pub fn cmd_query(program: &mut Program, query_text: &str, max_atoms: usize) -> Result<String, CliError> {
+pub fn cmd_query(
+    program: &mut Program,
+    query_text: &str,
+    max_atoms: usize,
+) -> Result<String, CliError> {
     let (body_text, answers_text) = match query_text.split_once('?') {
         Some((b, a)) => (b.trim(), a.trim()),
         None => (query_text.trim(), ""),
@@ -348,9 +356,8 @@ mod tests {
 
     #[test]
     fn query_returns_certain_answers() {
-        let mut p = program(
-            "parent(alice, bob).\nparent(X, Y) -> person(Y).\nperson(X) -> named(X, N).",
-        );
+        let mut p =
+            program("parent(alice, bob).\nparent(X, Y) -> person(Y).\nperson(X) -> named(X, N).");
         let out = cmd_query(&mut p, "person(X) ? X", 10_000).unwrap();
         assert!(out.contains("1 certain answer"), "{out}");
         assert!(out.contains("(bob)"), "{out}");

@@ -126,8 +126,8 @@ mod tests {
              person(X) -> named(X, N).",
         )
         .unwrap();
-        let MaterializeOutcome::Ready(kb) = materialize(&p.database, &p.tgds, &mut p.symbols)
-            .unwrap()
+        let MaterializeOutcome::Ready(kb) =
+            materialize(&p.database, &p.tgds, &mut p.symbols).unwrap()
         else {
             panic!("expected materialization");
         };

@@ -144,9 +144,7 @@ pub fn depth_bound(tgds: &TgdSet, class: TgdClass) -> Bound {
 pub fn size_factor(tgds: &TgdSet, depth: &Bound) -> Bound {
     let p = SchemaParams::from(tgds);
     let log2 = match depth.exact {
-        Some(d) => {
-            log2u(d + 1) + 2.0 * p.ar as f64 * (d + 1) as f64 * log2u(p.norm)
-        }
+        Some(d) => log2u(d + 1) + 2.0 * p.ar as f64 * (d + 1) as f64 * log2u(p.norm),
         None => f64::INFINITY, // exponent itself is astronomically large
     };
     let exact = depth.exact.and_then(|d| {

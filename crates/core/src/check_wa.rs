@@ -96,10 +96,7 @@ mod tests {
         let p = parse_program(text).unwrap();
         let scc_verdict = is_weakly_acyclic(&p.database, &p.tgds);
         let alg1_verdict = !check_not_weakly_acyclic(&p.database, &p.tgds);
-        assert_eq!(
-            scc_verdict, alg1_verdict,
-            "deciders disagree on:\n{text}"
-        );
+        assert_eq!(scc_verdict, alg1_verdict, "deciders disagree on:\n{text}");
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub fn decide_l(
     tgds: &TgdSet,
     symbols: &mut SymbolTable,
 ) -> Result<bool, CoreError> {
-    tgds.check_class(TgdClass::Linear).map_err(CoreError::Model)?;
+    tgds.check_class(TgdClass::Linear)
+        .map_err(CoreError::Model)?;
     let s = simplify(db, tgds, symbols).map_err(CoreError::Rewrite)?;
     Ok(is_weakly_acyclic(&s.database, &s.tgds))
 }
@@ -56,11 +57,7 @@ pub fn decide_g(
 /// Decides `ChTrm` by dispatching on the most specific class of `Σ`
 /// (`SL → L → G`); errors for general TGDs, where the problem is
 /// undecidable (Prop 4.2).
-pub fn decide(
-    db: &Instance,
-    tgds: &TgdSet,
-    symbols: &mut SymbolTable,
-) -> Result<bool, CoreError> {
+pub fn decide(db: &Instance, tgds: &TgdSet, symbols: &mut SymbolTable) -> Result<bool, CoreError> {
     match tgds.classify() {
         TgdClass::SimpleLinear => decide_sl(db, tgds),
         TgdClass::Linear => decide_l(db, tgds, symbols),
@@ -164,8 +161,7 @@ mod tests {
 
     #[test]
     fn l_decider_detects_divergence() {
-        let (mut p, truth) =
-            ground_truth("r(a, b).\nr(X, X) -> r(X, Z).\nr(X, Y) -> r(Y, Y).");
+        let (mut p, truth) = ground_truth("r(a, b).\nr(X, X) -> r(X, Z).\nr(X, Y) -> r(Y, Y).");
         assert!(!truth);
         assert!(!decide_l(&p.database, &p.tgds, &mut p.symbols).unwrap());
     }
@@ -180,23 +176,14 @@ mod tests {
             ),
             // Diverging guarded set: the side predicate s keeps the
             // existential cycle alive.
-            (
-                "r(a, b).\ns(a).\nr(X, Y), s(X) -> r(Y, Z), s(Y).",
-                false,
-            ),
+            ("r(a, b).\ns(a).\nr(X, Y), s(X) -> r(Y, Z), s(Y).", false),
             // Same rules but the side atom never joins: no trigger at all.
-            (
-                "r(a, b).\ns(c).\nr(X, Y), s(X) -> r(Y, Z), s(Y).",
-                true,
-            ),
+            ("r(a, b).\ns(c).\nr(X, Y), s(X) -> r(Y, Z), s(Y).", true),
             // Dies after one step: s is consumed, never re-derived. The
             // *plain* dependency graph has a supported special cycle on r,
             // so a naive WA check would wrongly report divergence — the
             // type information of gsimple is what gets this right.
-            (
-                "r(a, b).\ns(b).\nr(X, Y), s(Y) -> r(Y, Z).",
-                true,
-            ),
+            ("r(a, b).\ns(b).\nr(X, Y), s(Y) -> r(Y, Z).", true),
         ] {
             let (mut p, truth) = ground_truth(text);
             assert_eq!(truth, expect, "bad fixture: {text}");
@@ -223,8 +210,7 @@ mod tests {
         assert!(truth);
         // f_SL for this Σ is large but the chase terminates quickly below
         // budget, so the salvage path answers Some(true).
-        let verdict = decide_naive(&p.database, &p.tgds, TgdClass::SimpleLinear, 100_000)
-            .unwrap();
+        let verdict = decide_naive(&p.database, &p.tgds, TgdClass::SimpleLinear, 100_000).unwrap();
         assert_eq!(verdict, Some(true));
     }
 
@@ -233,8 +219,7 @@ mod tests {
         let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
         // Bound ≈ 3·4^12 ≫ 10_000: budget too small, chase diverges →
         // cannot conclude.
-        let verdict =
-            decide_naive(&p.database, &p.tgds, TgdClass::SimpleLinear, 10_000).unwrap();
+        let verdict = decide_naive(&p.database, &p.tgds, TgdClass::SimpleLinear, 10_000).unwrap();
         assert_eq!(verdict, None);
     }
 

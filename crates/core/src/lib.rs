@@ -59,4 +59,4 @@ pub use depgraph::{DepGraph, Position};
 pub use error::CoreError;
 pub use ucq::UcqDecider;
 pub use uniform::{critical_database, uniform, uniform_g, uniform_l, uniform_sl};
-pub use weak_acyclicity::{critical_preds, is_weakly_acyclic, is_uniformly_weakly_acyclic};
+pub use weak_acyclicity::{critical_preds, is_uniformly_weakly_acyclic, is_weakly_acyclic};

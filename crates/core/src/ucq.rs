@@ -55,7 +55,8 @@ impl UcqDecider {
     /// critical predicates of `simple(Σ)` become equality-pattern
     /// disjuncts over the *original* schema.
     pub fn for_linear(tgds: &TgdSet, symbols: &mut SymbolTable) -> Result<Self, CoreError> {
-        tgds.check_class(TgdClass::Linear).map_err(CoreError::Model)?;
+        tgds.check_class(TgdClass::Linear)
+            .map_err(CoreError::Model)?;
         let mut map = SimpleMap::new();
         let simple = simplify_tgds(tgds, &mut map, symbols).map_err(CoreError::Rewrite)?;
         let graph = DepGraph::new(&simple);

@@ -103,9 +103,7 @@ mod tests {
     #[test]
     fn support_via_reachability() {
         // D mentions only S, but S ⇝ R, so the R-cycle is supported.
-        assert!(!check(
-            "s(a, b).\ns(X, Y) -> r(X, Y).\nr(X, Y) -> r(Y, Z)."
-        ));
+        assert!(!check("s(a, b).\ns(X, Y) -> r(X, Y).\nr(X, Y) -> r(Y, Z)."));
     }
 
     #[test]
@@ -128,17 +126,12 @@ mod tests {
     #[test]
     fn special_cycle_through_two_predicates() {
         // r →(special) s →(normal) r: the special edge lies in the {r,s} SCC.
-        assert!(!check(
-            "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(X, Y) -> r(X, Y)."
-        ));
+        assert!(!check("r(a, b).\nr(X, Y) -> s(Y, Z).\ns(X, Y) -> r(X, Y)."));
     }
 
     #[test]
     fn critical_preds_cover_all_supporters() {
-        let p = parse_program(
-            "s(X, Y) -> r(X, Y).\nr(X, Y) -> r(Y, Z).\nu(X) -> v(X).",
-        )
-        .unwrap();
+        let p = parse_program("s(X, Y) -> r(X, Y).\nr(X, Y) -> r(Y, Z).\nu(X) -> v(X).").unwrap();
         let g = DepGraph::new(&p.tgds);
         let critical = critical_preds(&g);
         let pred = |n: &str| p.symbols.lookup_pred(n).unwrap();

@@ -20,15 +20,32 @@
 //! possibly-infinite chase usable as a decision tool: the size and depth
 //! characterizations of the paper turn budget exhaustion at the right
 //! threshold into a proof of non-termination.
+//!
+//! # Hot-path layout
+//!
+//! The inner loop is engineered to be allocation-free per candidate:
+//!
+//! * rule bodies are matched through their precompiled
+//!   [`MatchPlan`](nuchase_model::MatchPlan)s with one shared
+//!   [`Scratch`], so the join performs no per-candidate allocations;
+//! * trigger dedup hashes the frontier image (semi-oblivious) or the
+//!   body-variable image (oblivious/restricted) *in place* against a
+//!   per-rule [`TermTupleSet`] — duplicate triggers, the overwhelming
+//!   majority in late rounds, allocate nothing;
+//! * pending trigger bindings live in one flat term arena per round;
+//! * head atoms are instantiated into a reused buffer and inserted via
+//!   [`Instance::insert_terms`], so rediscovering an existing atom
+//!   allocates nothing.
 
-use std::collections::HashSet;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
-use nuchase_model::hom::{exists_hom_seeded, for_each_hom_delta, Binding};
-use nuchase_model::{Atom, AtomIdx, Instance, RuleId, Term, TgdSet};
+use nuchase_model::plan::Scratch;
+use nuchase_model::{Atom, AtomIdx, Instance, RuleId, Term, TgdSet, VarId};
 
+use crate::dedup::TermTupleSet;
 use crate::forest::Forest;
-use crate::nulls::{NullKey, NullStore};
+use crate::nulls::NullStore;
 use crate::provenance::{Derivation, Provenance};
 
 /// Which chase variant to run.
@@ -128,6 +145,20 @@ pub struct ChaseStats {
     pub atoms_created: usize,
     /// Nulls invented.
     pub nulls_created: usize,
+    /// Wall-clock time of the run, in seconds.
+    pub wall_secs: f64,
+}
+
+impl ChaseStats {
+    /// Derived throughput: atoms created per second of wall time.
+    pub fn atoms_per_sec(&self) -> f64 {
+        self.atoms_created as f64 / self.wall_secs.max(1e-12)
+    }
+
+    /// Derived throughput: triggers considered per second of wall time.
+    pub fn triggers_per_sec(&self) -> f64 {
+        self.triggers_considered as f64 / self.wall_secs.max(1e-12)
+    }
 }
 
 /// The result of a chase run.
@@ -172,31 +203,30 @@ impl ChaseResult {
     /// Verifies `instance ⊨ Σ` — meaningful after termination; used by
     /// tests to check the chase produces a model.
     pub fn is_model_of(&self, tgds: &TgdSet) -> bool {
+        let mut scratch = Scratch::new();
+        let mut head_scratch = Scratch::new();
+        let mut seed: Vec<Option<Term>> = Vec::new();
         for (_, tgd) in tgds.iter() {
             let mut ok = true;
-            nuchase_model::hom::for_each_hom(
-                tgd.body(),
-                tgd.var_count(),
-                &self.instance,
-                |binding| {
-                    let seed: Binding = binding
-                        .iter()
-                        .enumerate()
-                        .map(|(v, t)| {
-                            if tgd.frontier().contains(&nuchase_model::VarId(v as u32)) {
-                                *t
-                            } else {
-                                None
-                            }
-                        })
-                        .collect();
-                    if !exists_hom_seeded(tgd.head(), seed, &self.instance) {
+            tgd.body_plan()
+                .for_each_hom(&self.instance, &mut scratch, |binding| {
+                    seed.clear();
+                    seed.extend(binding.iter().enumerate().map(|(v, t)| {
+                        if tgd.frontier().binary_search(&VarId(v as u32)).is_ok() {
+                            *t
+                        } else {
+                            None
+                        }
+                    }));
+                    if !tgd
+                        .head_plan()
+                        .exists_hom_seeded(&self.instance, &seed, &mut head_scratch)
+                    {
                         ok = false;
                         return ControlFlow::Break(());
                     }
                     ControlFlow::Continue(())
-                },
-            );
+                });
             if !ok {
                 return false;
             }
@@ -205,24 +235,42 @@ impl ChaseResult {
     }
 }
 
-/// A pending trigger collected during a round.
-struct Pending {
-    rule: RuleId,
-    binding: Box<[Term]>, // full body binding (dense var ids; unbound = head existentials)
-}
-
 /// Runs the chase of `database` w.r.t. `tgds` under `config`.
 pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseResult {
+    let started = Instant::now();
     let mut instance = database.clone();
     let mut nulls = NullStore::new();
-    let mut forest = config.build_forest.then(|| Forest::with_roots(instance.len()));
+    let mut forest = config
+        .build_forest
+        .then(|| Forest::with_roots(instance.len()));
     let mut provenance = config
         .record_provenance
         .then(|| Provenance::with_roots(instance.len()));
     let mut stats = ChaseStats::default();
-    // Dedup keys: frontier image (semi-oblivious) or full binding
-    // (oblivious, restricted).
-    let mut fired: HashSet<(RuleId, Box<[Term]>)> = HashSet::new();
+
+    // Per-rule trigger dedup over the key image: frontier (semi-oblivious)
+    // or all body variables (oblivious, restricted). Head existentials are
+    // *excluded* from the key on purpose: a body match never binds them,
+    // so they carry no information — the seed implementation filled those
+    // slots with a `Term::Var(0)` sentinel, which only obscured the
+    // invariant (and boxed a wider key per trigger considered).
+    let mut fired: Vec<TermTupleSet> = (0..tgds.len()).map(|_| TermTupleSet::new()).collect();
+
+    // Reusable buffers — the hot loop allocates only when the instance or
+    // a dedup arena genuinely grows.
+    let mut scratch = Scratch::new();
+    let mut head_scratch = Scratch::new();
+    let mut key_buf: Vec<Term> = Vec::new();
+    let mut mu: Vec<Term> = Vec::new();
+    let mut atom_buf: Vec<Term> = Vec::new();
+    let mut seed_buf: Vec<Option<Term>> = Vec::new();
+
+    // Pending triggers of the current round, as (rule, range) views into
+    // one flat binding arena. Unbound slots (head existentials) hold the
+    // variable itself as a placeholder.
+    let mut pending_rules: Vec<RuleId> = Vec::new();
+    let mut pending_terms: Vec<Term> = Vec::new();
+
     let mut delta_start: AtomIdx = 0;
     let mut outcome = ChaseOutcome::Terminated;
 
@@ -234,62 +282,64 @@ pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseR
         stats.rounds += 1;
 
         // Phase 1: enumerate new triggers against the current instance.
-        let mut pending: Vec<Pending> = Vec::new();
+        pending_rules.clear();
+        pending_terms.clear();
         for (rule, tgd) in tgds.iter() {
-            for_each_hom_delta(
-                tgd.body(),
-                tgd.var_count(),
-                &instance,
-                delta_start,
-                |binding| {
+            let key_vars = match config.variant {
+                ChaseVariant::SemiOblivious => tgd.frontier(),
+                ChaseVariant::Oblivious | ChaseVariant::Restricted => tgd.body_vars(),
+            };
+            let fired = &mut fired[rule.index()];
+            let pending_terms = &mut pending_terms;
+            let pending_rules = &mut pending_rules;
+            let key_buf = &mut key_buf;
+            let stats = &mut stats;
+            tgd.body_plan()
+                .for_each_hom_delta(&instance, delta_start, &mut scratch, |binding| {
                     stats.triggers_considered += 1;
-                    let key_terms: Box<[Term]> = match config.variant {
-                        ChaseVariant::SemiOblivious => tgd
-                            .frontier()
+                    key_buf.clear();
+                    key_buf.extend(
+                        key_vars
                             .iter()
-                            .map(|v| binding[v.index()].expect("frontier bound"))
-                            .collect(),
-                        ChaseVariant::Oblivious | ChaseVariant::Restricted => binding
-                            .iter()
-                            .map(|t| t.unwrap_or(Term::Var(nuchase_model::VarId(0))))
-                            .collect(),
-                    };
-                    if fired.insert((rule, key_terms)) {
-                        pending.push(Pending {
-                            rule,
-                            binding: binding
+                            .map(|v| binding[v.index()].expect("body variable bound")),
+                    );
+                    if fired.insert(key_buf) {
+                        pending_rules.push(rule);
+                        pending_terms.extend(
+                            binding
                                 .iter()
-                                .map(|t| t.unwrap_or(Term::Var(nuchase_model::VarId(0))))
-                                .collect(),
-                        });
+                                .enumerate()
+                                .map(|(v, t)| t.unwrap_or(Term::Var(VarId(v as u32)))),
+                        );
                     }
                     ControlFlow::Continue(())
-                },
-            );
+                });
         }
-        if pending.is_empty() {
+        if pending_rules.is_empty() {
             break; // fixpoint: terminated
         }
 
         // Phase 2: apply the collected triggers.
         let len_before = instance.len();
-        for p in pending {
-            let tgd = tgds.get(p.rule);
+        let mut offset = 0usize;
+        for &rule in &pending_rules {
+            let tgd = tgds.get(rule);
+            let var_count = tgd.var_count() as usize;
+            let binding = &pending_terms[offset..offset + var_count];
+            offset += var_count;
 
             if config.variant == ChaseVariant::Restricted {
                 // Activeness in the restricted sense: skip if some
                 // extension of h|fr(σ) maps the head into the instance.
-                let seed: Binding = (0..tgd.var_count() as usize)
-                    .map(|v| {
-                        let is_frontier = tgd.frontier().contains(&nuchase_model::VarId(v as u32));
-                        let t = p.binding.get(v).copied();
-                        match (is_frontier, t) {
-                            (true, Some(t)) if !t.is_var() => Some(t),
-                            _ => None,
-                        }
-                    })
-                    .collect();
-                if exists_hom_seeded(tgd.head(), seed, &instance) {
+                seed_buf.clear();
+                seed_buf.extend(binding.iter().enumerate().map(|(v, &t)| {
+                    let is_frontier = tgd.frontier().binary_search(&VarId(v as u32)).is_ok();
+                    (is_frontier && !t.is_var()).then_some(t)
+                }));
+                if tgd
+                    .head_plan()
+                    .exists_hom_seeded(&instance, &seed_buf, &mut head_scratch)
+                {
                     continue;
                 }
             }
@@ -298,7 +348,7 @@ pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseR
             let frontier_depth = tgd
                 .frontier()
                 .iter()
-                .map(|v| nulls.term_depth(p.binding[v.index()]))
+                .map(|v| nulls.term_depth(binding[v.index()]))
                 .max()
                 .unwrap_or(0);
             if let Some(max_d) = config.budget.max_depth {
@@ -308,63 +358,56 @@ pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseR
                 }
             }
 
-            // Build μ: frontier ↦ h, existential z ↦ ⊥^z_{σ, h|fr}.
-            let frontier_image: Box<[Term]> = tgd
-                .frontier()
-                .iter()
-                .map(|v| p.binding[v.index()])
-                .collect();
-            let mut mu: Vec<Term> = p.binding.to_vec();
-            for &z in tgd.existentials() {
-                let null = match config.variant {
-                    ChaseVariant::Restricted => nulls.fresh(frontier_depth),
-                    ChaseVariant::SemiOblivious => nulls.intern(
-                        NullKey {
-                            rule: p.rule,
-                            var: z,
-                            frontier_image: frontier_image.clone(),
-                        },
-                        frontier_depth,
-                    ),
-                    ChaseVariant::Oblivious => nulls.intern(
-                        NullKey {
-                            rule: p.rule,
-                            var: z,
-                            frontier_image: p.binding.clone(),
-                        },
-                        frontier_depth,
-                    ),
+            // Build μ: frontier ↦ h, existential z ↦ ⊥^z_{σ, h|fr}. The
+            // oblivious chase names nulls by the full body image instead.
+            mu.clear();
+            mu.extend_from_slice(binding);
+            if !tgd.existentials().is_empty() {
+                key_buf.clear();
+                let name_vars = match config.variant {
+                    ChaseVariant::Oblivious => tgd.body_vars(),
+                    _ => tgd.frontier(),
                 };
-                mu[z.index()] = Term::Null(null);
+                key_buf.extend(name_vars.iter().map(|v| binding[v.index()]));
+                for &z in tgd.existentials() {
+                    let null = match config.variant {
+                        ChaseVariant::Restricted => nulls.fresh(frontier_depth),
+                        ChaseVariant::SemiOblivious | ChaseVariant::Oblivious => {
+                            nulls.intern_parts(rule, z, &key_buf, frontier_depth)
+                        }
+                    };
+                    mu[z.index()] = Term::Null(null);
+                }
             }
             stats.triggers_fired += 1;
 
             // Locate the guard image for the forest before inserting.
             let parent: Option<AtomIdx> = if forest.is_some() {
                 tgd.guard().and_then(|g| {
-                    let image = instantiate(g, &mu);
-                    instance.index_of(&image)
+                    instantiate_into(g, &mu, &mut atom_buf);
+                    instance.index_of_terms(g.pred, &atom_buf)
                 })
             } else {
                 None
             };
             // Body image indexes for provenance.
             let derivation: Option<Derivation> = provenance.as_ref().map(|_| Derivation {
-                rule: p.rule,
+                rule,
                 body: tgd
                     .body()
                     .iter()
                     .map(|b| {
+                        instantiate_into(b, &mu, &mut atom_buf);
                         instance
-                            .index_of(&instantiate(b, &mu))
+                            .index_of_terms(b.pred, &atom_buf)
                             .expect("body image is in the instance")
                     })
                     .collect(),
             });
 
             for head_atom in tgd.head() {
-                let atom = instantiate(head_atom, &mu);
-                if let Some(idx) = instance.insert(atom) {
+                instantiate_into(head_atom, &mu, &mut atom_buf);
+                if let Some(idx) = instance.insert_terms(head_atom.pred, &atom_buf) {
                     if let Some(f) = forest.as_mut() {
                         f.push_child(idx, parent);
                     }
@@ -387,6 +430,7 @@ pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseR
 
     stats.atoms_created = instance.len() - database.len();
     stats.nulls_created = nulls.len();
+    stats.wall_secs = started.elapsed().as_secs_f64();
     ChaseResult {
         instance,
         nulls,
@@ -398,12 +442,13 @@ pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseR
 }
 
 /// Instantiates a rule atom under a complete term assignment `mu` (indexed
-/// by dense variable id).
-fn instantiate(pattern: &Atom, mu: &[Term]) -> Atom {
-    pattern.map_terms(|t| match t {
+/// by dense variable id) into a reusable buffer.
+fn instantiate_into(pattern: &Atom, mu: &[Term], out: &mut Vec<Term>) {
+    out.clear();
+    out.extend(pattern.args.iter().map(|&t| match t {
         Term::Var(v) => mu[v.index()],
         ground => ground,
-    })
+    }));
 }
 
 /// Convenience: runs the semi-oblivious chase with an atom budget.
@@ -432,7 +477,10 @@ mod tests {
     #[test]
     fn terminating_transitive_closure_style() {
         // Full TGD (no existentials): terminates.
-        let r = run("e(a, b).\ne(b, c).\ne(c, d).\ne(X, Y), e(Y, Z) -> e(X, Z).", 10_000);
+        let r = run(
+            "e(a, b).\ne(b, c).\ne(c, d).\ne(X, Y), e(Y, Z) -> e(X, Z).",
+            10_000,
+        );
         assert!(r.terminated());
         // e-closure of a 3-edge path: 3 + 2 + 1 = 6 atoms.
         assert_eq!(r.instance.len(), 6);
@@ -567,8 +615,7 @@ mod tests {
         // forever. With an atom budget, both predicates must appear.
         let r = run("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> p(X, Y).", 200);
         assert_eq!(r.outcome, ChaseOutcome::AtomLimit);
-        let preds: std::collections::HashSet<_> =
-            r.instance.iter().map(|a| a.pred).collect();
+        let preds: std::collections::HashSet<_> = r.instance.iter().map(|a| a.pred).collect();
         assert_eq!(preds.len(), 2, "fairness: both R and P atoms appear");
         // The two predicates appear in near-equal numbers: every R-atom
         // eventually spawns a P-atom.
@@ -585,5 +632,13 @@ mod tests {
         let r = run("r(a).\nr(X) -> halted.", 100);
         assert!(r.terminated());
         assert_eq!(r.instance.len(), 2);
+    }
+
+    #[test]
+    fn stats_report_wall_time_and_throughput() {
+        let r = run("r(a, b).\nr(X, Y) -> r(Y, Z).", 5_000);
+        assert!(r.stats.wall_secs > 0.0);
+        assert!(r.stats.atoms_per_sec() > 0.0);
+        assert!(r.stats.triggers_per_sec() > 0.0);
     }
 }

@@ -1,0 +1,129 @@
+//! Allocation-free deduplication of term tuples.
+//!
+//! The chase considers far more triggers than it fires — in late rounds
+//! nearly every enumerated homomorphism repeats a frontier image that has
+//! fired before. The seed implementation boxed a `Box<[Term]>` key per
+//! trigger *considered*, making duplicates (the overwhelming majority) as
+//! expensive as novelties. [`TermTupleSet`] instead hashes the candidate
+//! tuple in place and stores accepted tuples in one flat term arena:
+//! membership tests allocate nothing, and insertions only append to the
+//! arena (amortized, no per-key boxes).
+//!
+//! Collision safety: the open-addressing table stores tuple ordinals; a
+//! 64-bit hash match is always verified against the arena before a tuple
+//! is treated as present.
+
+use nuchase_model::hash::{hash_terms, TagProbe, TagTable};
+use nuchase_model::Term;
+
+/// A grow-only set of term tuples with in-place hashing and arena
+/// storage. Tuples of different lengths may coexist. The index is a
+/// shared [`TagTable`], so a probe touches a single cache line before
+/// verification against the arena.
+#[derive(Debug, Default, Clone)]
+pub struct TermTupleSet {
+    /// Open-addressing index over the tuples.
+    table: TagTable,
+    /// Hash of tuple `i` (memoized for growth).
+    hashes: Vec<u64>,
+    /// Tuple `i` occupies `terms[offsets[i] as usize..offsets[i+1] as usize]`.
+    offsets: Vec<u32>,
+    /// The flat tuple arena.
+    terms: Vec<Term>,
+}
+
+impl TermTupleSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct tuples stored.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    fn tuple(&self, ordinal: u32) -> &[Term] {
+        let i = ordinal as usize;
+        &self.terms[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Membership test (no mutation, no allocation).
+    pub fn contains(&self, tuple: &[Term]) -> bool {
+        self.table
+            .find(hash_terms(tuple), |ordinal| self.tuple(ordinal) == tuple)
+            .is_some()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new. Duplicates allocate
+    /// nothing; novelties append to the arena.
+    pub fn insert(&mut self, tuple: &[Term]) -> bool {
+        let hash = hash_terms(tuple);
+        // Grow first so the vacant slot found by the probe stays valid.
+        self.table.reserve_one(&self.hashes);
+        let vacant = match self
+            .table
+            .probe(hash, |ordinal| self.tuple(ordinal) == tuple)
+        {
+            TagProbe::Found(_) => return false,
+            TagProbe::Vacant(slot) => slot,
+        };
+        let ordinal = self.hashes.len() as u32;
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.terms.extend_from_slice(tuple);
+        self.offsets.push(self.terms.len() as u32);
+        self.hashes.push(hash);
+        self.table.fill(vacant, hash, ordinal);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::{ConstId, NullId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut set = TermTupleSet::new();
+        assert!(set.insert(&[c(0), c(1)]));
+        assert!(!set.insert(&[c(0), c(1)]));
+        assert!(set.insert(&[c(1), c(0)]));
+        assert!(set.contains(&[c(0), c(1)]));
+        assert!(!set.contains(&[c(0), c(2)]));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn empty_tuple_and_mixed_lengths() {
+        let mut set = TermTupleSet::new();
+        assert!(set.insert(&[]));
+        assert!(!set.insert(&[]));
+        assert!(set.insert(&[c(0)]));
+        assert!(set.insert(&[c(0), c(0)]));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn survives_growth() {
+        let mut set = TermTupleSet::new();
+        for i in 0..10_000 {
+            assert!(set.insert(&[c(i), Term::Null(NullId(i))]));
+        }
+        for i in 0..10_000 {
+            assert!(!set.insert(&[c(i), Term::Null(NullId(i))]));
+        }
+        assert_eq!(set.len(), 10_000);
+    }
+}

@@ -17,15 +17,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod baseline;
 pub mod chase;
+pub mod dedup;
 pub mod forest;
 pub mod nulls;
 pub mod provenance;
 
+pub use baseline::{baseline_semi_oblivious_chase, BaselineResult};
 pub use chase::{
     chase, semi_oblivious_chase, ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats,
     ChaseVariant,
 };
+pub use dedup::TermTupleSet;
 pub use forest::Forest;
 pub use nulls::{NullKey, NullStore};
 pub use provenance::{explain, Derivation, Explanation, Provenance};

@@ -12,9 +12,8 @@
 //! `depth(⊥^z_{σ,h}) = 1 + max({depth(h(x)) | x ∈ fr(σ)} ∪ {0})`, computed
 //! eagerly at interning time from the depths of the frontier image.
 
-use std::collections::HashMap;
-
-use nuchase_model::{NullId, RuleId, Term, VarId};
+use nuchase_model::hash::{fold, hash_terms, TagProbe, TagTable};
+use nuchase_model::{AtomRef, NullId, RuleId, Term, VarId};
 
 /// Provenance key of a semi-oblivious null: `(σ, z, h|fr(σ))`. The
 /// frontier image is stored in the (sorted) order of `fr(σ)` as exposed by
@@ -30,11 +29,30 @@ pub struct NullKey {
 }
 
 /// Interns nulls by provenance and records their depth.
+///
+/// Lookup is through a private open-addressing table keyed by the hash of
+/// `(σ, z, h|fr(σ))` computed *in place* from borrowed parts
+/// ([`NullStore::intern_parts`]), so re-interning an existing null — the
+/// common case in a deep chase — allocates nothing. Provenance is stored
+/// in a flat arena (`(rule, var)` metadata plus one pooled frontier-image
+/// buffer), so even a *new* null costs only amortized appends, never a
+/// per-null box.
 #[derive(Debug, Default, Clone)]
 pub struct NullStore {
-    by_key: HashMap<NullKey, NullId>,
-    keys: Vec<Option<NullKey>>,
+    table: TagTable,
+    hashes: Vec<u64>,
+    /// `(rule, var)` of null `i`; `None` for fresh (restricted) nulls.
+    meta: Vec<Option<(RuleId, VarId)>>,
+    /// Frontier image of null `i`: `images[image_offsets[i]..image_offsets[i+1]]`.
+    image_offsets: Vec<u32>,
+    images: Vec<Term>,
     depths: Vec<u32>,
+}
+
+fn hash_parts(rule: RuleId, var: VarId, frontier_image: &[Term]) -> u64 {
+    let mut h = fold(hash_terms(frontier_image), u64::from(rule.0));
+    h = fold(h, u64::from(var.0));
+    h ^ (h >> 32)
 }
 
 impl NullStore {
@@ -58,21 +76,63 @@ impl NullStore {
     /// naming). `frontier_depth` must be the maximum depth over the
     /// frontier image terms (0 if the frontier is empty or all constants).
     pub fn intern(&mut self, key: NullKey, frontier_depth: u32) -> NullId {
-        if let Some(&id) = self.by_key.get(&key) {
-            return id;
-        }
+        self.intern_parts(key.rule, key.var, &key.frontier_image, frontier_depth)
+    }
+
+    /// Allocation-free variant of [`NullStore::intern`]: the key is
+    /// borrowed and only copied into an owned [`NullKey`] when the null is
+    /// new.
+    pub fn intern_parts(
+        &mut self,
+        rule: RuleId,
+        var: VarId,
+        frontier_image: &[Term],
+        frontier_depth: u32,
+    ) -> NullId {
+        let hash = hash_parts(rule, var, frontier_image);
+        // Grow first so the vacant slot found by the probe stays valid.
+        // (Fresh nulls carry hash 0 but are never in the table, so the
+        // rehash via `hashes` only ever touches interned ids.)
+        self.table.reserve_one(&self.hashes);
+        let vacant = {
+            let (meta, image_offsets, images) = (&self.meta, &self.image_offsets, &self.images);
+            match self.table.probe(hash, |id| {
+                let id = id as usize;
+                meta[id] == Some((rule, var))
+                    && &images[image_offsets[id] as usize..image_offsets[id + 1] as usize]
+                        == frontier_image
+            }) {
+                TagProbe::Found(id) => return NullId(id),
+                TagProbe::Vacant(slot) => slot,
+            }
+        };
         let id = NullId(self.depths.len() as u32);
-        self.by_key.insert(key.clone(), id);
-        self.keys.push(Some(key));
+        self.push_meta(Some((rule, var)), frontier_image);
+        self.hashes.push(hash);
         self.depths.push(frontier_depth + 1);
+        self.table.fill(vacant, hash, id.0);
         id
+    }
+
+    fn image(&self, id: usize) -> &[Term] {
+        &self.images[self.image_offsets[id] as usize..self.image_offsets[id + 1] as usize]
+    }
+
+    fn push_meta(&mut self, meta: Option<(RuleId, VarId)>, image: &[Term]) {
+        if self.image_offsets.is_empty() {
+            self.image_offsets.push(0);
+        }
+        self.meta.push(meta);
+        self.images.extend_from_slice(image);
+        self.image_offsets.push(self.images.len() as u32);
     }
 
     /// Creates a fresh, never-deduplicated null (used by the restricted
     /// chase, whose nulls are per-firing).
     pub fn fresh(&mut self, frontier_depth: u32) -> NullId {
         let id = NullId(self.depths.len() as u32);
-        self.keys.push(None);
+        self.push_meta(None, &[]);
+        self.hashes.push(0);
         self.depths.push(frontier_depth + 1);
         id
     }
@@ -84,9 +144,15 @@ impl NullStore {
     }
 
     /// The provenance key, if the null was interned (semi-oblivious /
-    /// oblivious); `None` for fresh restricted-chase nulls.
-    pub fn key(&self, id: NullId) -> Option<&NullKey> {
-        self.keys[id.index()].as_ref()
+    /// oblivious); `None` for fresh restricted-chase nulls. Reassembled
+    /// from the arena, so this allocates — it is a reporting API, not a
+    /// hot-path one.
+    pub fn key(&self, id: NullId) -> Option<NullKey> {
+        self.meta[id.index()].map(|(rule, var)| NullKey {
+            rule,
+            var,
+            frontier_image: self.image(id.index()).into(),
+        })
     }
 
     /// Depth of a term: 0 for constants, stored depth for nulls.
@@ -103,7 +169,7 @@ impl NullStore {
     }
 
     /// Depth of an atom: the max depth over its arguments (§5).
-    pub fn atom_depth(&self, atom: &nuchase_model::Atom) -> u32 {
+    pub fn atom_depth(&self, atom: AtomRef<'_>) -> u32 {
         atom.args
             .iter()
             .map(|&t| self.term_depth(t))
@@ -186,7 +252,7 @@ mod tests {
         let n1 = store.intern(key(0, 1, vec![a]), 0);
         let n2 = store.intern(key(0, 1, vec![Term::Null(n1)]), 1);
         let atom = Atom::new(PredId(0), vec![a, Term::Null(n1), Term::Null(n2)]);
-        assert_eq!(store.atom_depth(&atom), 2);
+        assert_eq!(store.atom_depth(atom.as_ref()), 2);
         assert_eq!(store.term_depth(a), 0);
     }
 }

@@ -81,8 +81,7 @@ pub fn sl_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
             copied[0] = xs[j];
             if copied != xs {
                 tgds.push(
-                    Tgd::new(vec![Atom::new(ri, xs.clone())], vec![Atom::new(ri, copied)])
-                        .unwrap(),
+                    Tgd::new(vec![Atom::new(ri, xs.clone())], vec![Atom::new(ri, copied)]).unwrap(),
                 );
             }
         }
@@ -162,20 +161,18 @@ pub fn l_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
             let body = {
                 let mut a = xs.clone();
                 a.push(y);
-                a.extend(std::iter::repeat(z).take(j));
+                a.extend(std::iter::repeat_n(z, j));
                 a.extend([y, z, u]);
                 Atom::new(ri, a)
             };
             let flip = |tail: Term| {
                 let mut a = xs.clone();
                 a.push(z);
-                a.extend(std::iter::repeat(y).take(j));
+                a.extend(std::iter::repeat_n(y, j));
                 a.extend([y, z, tail]);
                 Atom::new(ri, a)
             };
-            tgds.push(
-                Tgd::new(vec![body.clone()], vec![body, flip(vv), flip(w)]).unwrap(),
-            );
+            tgds.push(Tgd::new(vec![body.clone()], vec![body, flip(vv), flip(w)]).unwrap());
         }
     }
 
@@ -200,8 +197,7 @@ pub fn l_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
         );
     }
 
-    let lower_bound =
-        (ell as f64).log2() + n as f64 * (2f64.powi(m as i32) - 1.0);
+    let lower_bound = (ell as f64).log2() + n as f64 * (2f64.powi(m as i32) - 1.0);
     LowerBoundInstance {
         program: Program {
             symbols,
@@ -276,7 +272,7 @@ pub fn g_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
     // Digit-id zero: Node(x,y,z,o) → Did(x,y,z,o, z^m).
     {
         let mut args = vec![x, y, z, o];
-        args.extend(std::iter::repeat(z).take(m));
+        args.extend(std::iter::repeat_n(z, m));
         tgds.push(
             Tgd::new(
                 vec![Atom::new(node, vec![x, y, z, o])],
@@ -614,7 +610,10 @@ pub fn g_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
                     Atom::new(node, vec![x, y, z, o]),
                     Atom::new(non_max_stratum, vec![y]),
                 ],
-                vec![Atom::new(node, vec![y, w1, z, o]), Atom::new(new_root, vec![w1])],
+                vec![
+                    Atom::new(node, vec![y, w1, z, o]),
+                    Atom::new(new_root, vec![w1]),
+                ],
             )
             .unwrap(),
         );
@@ -737,8 +736,8 @@ pub fn g_family(ell: usize, n: usize, m: usize) -> LowerBoundInstance {
         }
     }
 
-    let log2_lower_bound = (ell as f64).log2()
-        + 2f64.powi(n as i32) * (2f64.powi(2i32.pow(m as u32)) - 1.0);
+    let log2_lower_bound =
+        (ell as f64).log2() + 2f64.powi(n as i32) * (2f64.powi(2i32.pow(m as u32)) - 1.0);
     LowerBoundInstance {
         program: Program {
             symbols,
@@ -780,7 +779,10 @@ mod tests {
             let inst = sl_family(ell, n, m);
             assert_eq!(inst.program.tgds.classify(), TgdClass::SimpleLinear);
             let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 2_000_000);
-            assert!(r.terminated(), "SL family must terminate (ℓ={ell},n={n},m={m})");
+            assert!(
+                r.terminated(),
+                "SL family must terminate (ℓ={ell},n={n},m={m})"
+            );
             let bound = inst.lower_bound().unwrap();
             assert!(
                 r.instance.len() as u128 >= bound,
@@ -808,7 +810,10 @@ mod tests {
             let inst = l_family(ell, n, m);
             assert!(inst.program.tgds.classify() <= TgdClass::Linear);
             let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 2_000_000);
-            assert!(r.terminated(), "L family must terminate (ℓ={ell},n={n},m={m})");
+            assert!(
+                r.terminated(),
+                "L family must terminate (ℓ={ell},n={n},m={m})"
+            );
             let bound = inst.lower_bound().unwrap();
             assert!(
                 r.instance.len() as u128 >= bound,
@@ -824,7 +829,10 @@ mod tests {
             let inst = g_family(ell, n, m);
             assert!(inst.program.tgds.classify() <= TgdClass::Guarded);
             let r = semi_oblivious_chase(&inst.program.database, &inst.program.tgds, 2_000_000);
-            assert!(r.terminated(), "G family must terminate (ℓ={ell},n={n},m={m})");
+            assert!(
+                r.terminated(),
+                "G family must terminate (ℓ={ell},n={n},m={m})"
+            );
             let bound = inst.lower_bound().unwrap();
             assert!(
                 r.instance.len() as u128 >= bound,

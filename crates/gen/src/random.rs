@@ -8,7 +8,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use nuchase_model::{Atom, Instance, PredId, Program, SymbolTable, Term, Tgd, TgdClass, TgdSet, VarId};
+use nuchase_model::{
+    Atom, Instance, PredId, Program, SymbolTable, Term, Tgd, TgdClass, TgdSet, VarId,
+};
 
 /// Configuration of the random generator.
 #[derive(Clone, Copy, Debug)]
@@ -83,11 +85,7 @@ pub fn random_program(cfg: &RandomConfig) -> Program {
     }
 }
 
-fn random_tgd(
-    rng: &mut StdRng,
-    preds: &[(PredId, usize)],
-    cfg: &RandomConfig,
-) -> Option<Tgd> {
+fn random_tgd(rng: &mut StdRng, preds: &[(PredId, usize)], cfg: &RandomConfig) -> Option<Tgd> {
     let v = |i: u32| Term::Var(VarId(i));
     let body: Vec<Atom>;
     let body_vars: Vec<VarId>;
@@ -121,8 +119,7 @@ fn random_tgd(
         TgdClass::Guarded | TgdClass::General => {
             // Guard atom with distinct variables, plus up to two side
             // atoms over subsets of the guard's variables.
-            let wide: Vec<&(PredId, usize)> =
-                preds.iter().filter(|(_, a)| *a >= 1).collect();
+            let wide: Vec<&(PredId, usize)> = preds.iter().filter(|(_, a)| *a >= 1).collect();
             let &&(gp, garity) = wide.get(rng.gen_range(0..wide.len()))?;
             let gargs: Vec<Term> = (0..garity as u32).map(v).collect();
             body_vars = (0..garity as u32).map(VarId).collect();

@@ -149,7 +149,10 @@ mod tests {
         let tgds = obda_ontology(&mut s);
         assert_eq!(tgds.classify(), TgdClass::SimpleLinear);
         let mut s2 = SymbolTable::new();
-        assert_eq!(obda_ontology_cyclic(&mut s2).classify(), TgdClass::SimpleLinear);
+        assert_eq!(
+            obda_ontology_cyclic(&mut s2).classify(),
+            TgdClass::SimpleLinear
+        );
     }
 
     #[test]

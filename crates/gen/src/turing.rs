@@ -188,7 +188,10 @@ pub fn machine_database(machine: &Dtm, symbols: &mut SymbolTable) -> Instance {
     // Direction, marker and symbol classifications.
     db.insert(Atom::new(ldir, vec![Term::Const(symbols.constant("<-"))]));
     db.insert(Atom::new(sdir, vec![Term::Const(symbols.constant("-"))]));
-    db.insert(Atom::new(rdir, vec![Term::Const(symbols.constant("->dir"))]));
+    db.insert(Atom::new(
+        rdir,
+        vec![Term::Const(symbols.constant("->dir"))],
+    ));
     db.insert(Atom::new(blank, vec![blank_sym]));
     db.insert(Atom::new(end, vec![rmark]));
     db.insert(Atom::new(normsymb, vec![blank_sym]));
@@ -215,7 +218,13 @@ pub fn machine_count_to(k: usize) -> Dtm {
         ..Default::default()
     };
     for i in 0..k {
-        m.rule(&format!("q{i}"), "⊔", &format!("q{}", i + 1), "1", Dir::Right);
+        m.rule(
+            &format!("q{i}"),
+            "⊔",
+            &format!("q{}", i + 1),
+            "1",
+            Dir::Right,
+        );
     }
     m
 }

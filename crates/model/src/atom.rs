@@ -129,6 +129,104 @@ impl Atom {
 
 impl fmt::Debug for Atom {
     fn fmt(&self, fmt: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_ref().fmt(fmt)
+    }
+}
+
+/// A borrowed view of an atom: a predicate plus an argument slice.
+///
+/// This is the unit the arena-backed [`Instance`](crate::Instance) hands
+/// out — its atoms are `(pred, range)` views into one flat term pool, so
+/// reading an atom allocates nothing and clones nothing. `AtomRef` mirrors
+/// the read surface of [`Atom`] (`pred` / `args` fields plus the ground
+/// predicates) and converts to an owned [`Atom`] with
+/// [`AtomRef::to_atom`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AtomRef<'a> {
+    /// The predicate symbol.
+    pub pred: PredId,
+    /// The argument tuple.
+    pub args: &'a [Term],
+}
+
+impl<'a> AtomRef<'a> {
+    /// The arity of the atom (length of the argument tuple).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Is this atom ground (no variables)?
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_ground())
+    }
+
+    /// Is this atom a *fact* in the paper's sense (constants only)?
+    pub fn is_fact(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// `dom(α)`: the distinct ground terms of the atom in order of first
+    /// occurrence.
+    pub fn dom(&self) -> Vec<Term> {
+        let mut out: Vec<Term> = Vec::with_capacity(self.args.len());
+        for &t in self.args {
+            if t.is_ground() && !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Copies the view into an owned [`Atom`].
+    pub fn to_atom(&self) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.into(),
+        }
+    }
+
+    /// Applies a substitution given as a function on terms, producing an
+    /// owned atom (mirrors [`Atom::map_terms`]).
+    pub fn map_terms(&self, mut f: impl FnMut(Term) -> Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|&t| f(t)).collect(),
+        }
+    }
+}
+
+impl Atom {
+    /// Borrows the atom as an [`AtomRef`] view.
+    #[inline]
+    pub fn as_ref(&self) -> AtomRef<'_> {
+        AtomRef {
+            pred: self.pred,
+            args: &self.args,
+        }
+    }
+}
+
+impl PartialEq<Atom> for AtomRef<'_> {
+    fn eq(&self, other: &Atom) -> bool {
+        self.pred == other.pred && self.args == &other.args[..]
+    }
+}
+
+impl PartialEq<AtomRef<'_>> for Atom {
+    fn eq(&self, other: &AtomRef<'_>) -> bool {
+        other == self
+    }
+}
+
+impl From<AtomRef<'_>> for Atom {
+    fn from(r: AtomRef<'_>) -> Atom {
+        r.to_atom()
+    }
+}
+
+impl fmt::Debug for AtomRef<'_> {
+    fn fmt(&self, fmt: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(fmt, "P{}(", self.pred.0)?;
         for (i, t) in self.args.iter().enumerate() {
             if i > 0 {

@@ -49,7 +49,9 @@ impl DisplayWith for Term {
         match self {
             Term::Const(c) => {
                 let name = symbols.const_name(*c);
-                if name.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+                if name
+                    .chars()
+                    .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
                     && !name.is_empty()
                     && !name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
                 {
@@ -65,6 +67,12 @@ impl DisplayWith for Term {
 }
 
 impl DisplayWith for Atom {
+    fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_ref().fmt_with(symbols, f)
+    }
+}
+
+impl DisplayWith for crate::atom::AtomRef<'_> {
     fn fmt_with(&self, symbols: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", symbols.pred_name(self.pred))?;
         if self.args.is_empty() {

@@ -1,0 +1,269 @@
+//! Fast, allocation-free hashing of terms and term tuples.
+//!
+//! The chase hashes atoms and trigger keys on every step, so the default
+//! SipHash of `std::collections::HashMap` (DoS-resistant, but slow and
+//! only reachable through the `Hash` trait machinery) is the wrong tool
+//! for the hot path. This module provides an FxHash-style multiplicative
+//! hash over [`Term`]s that can be driven directly from a slice — no
+//! `Hasher` state machine, no per-call setup — plus a `BuildHasher` for
+//! the interior `HashMap`s that key on single terms.
+//!
+//! All inputs are interned ids controlled by this process, so HashDoS
+//! resistance is irrelevant here.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::symbols::PredId;
+use crate::term::Term;
+
+/// The Fx multiplier (Firefox / rustc's FxHash constant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A 64-bit code injectively encoding a term (2-bit tag + 62-bit id).
+#[inline]
+pub fn term_code(t: Term) -> u64 {
+    match t {
+        Term::Const(c) => u64::from(c.0) << 2,
+        Term::Null(n) => (u64::from(n.0) << 2) | 0b01,
+        Term::Var(v) => (u64::from(v.0) << 2) | 0b10,
+    }
+}
+
+/// Folds one 64-bit word into a running hash.
+#[inline]
+pub fn fold(h: u64, word: u64) -> u64 {
+    (h.rotate_left(5) ^ word).wrapping_mul(K)
+}
+
+/// Hash of an atom: predicate + argument tuple.
+#[inline]
+pub fn hash_atom(pred: PredId, args: &[Term]) -> u64 {
+    let mut h = fold(0, u64::from(pred.0));
+    for &t in args {
+        h = fold(h, term_code(t));
+    }
+    // Finalize so low bits depend on every input (open-addressing tables
+    // index with `h & mask`).
+    h ^ (h >> 32)
+}
+
+/// Hash of a bare term tuple (used for trigger keys).
+#[inline]
+pub fn hash_terms(terms: &[Term]) -> u64 {
+    let mut h = fold(0, terms.len() as u64);
+    for &t in terms {
+        h = fold(h, term_code(t));
+    }
+    h ^ (h >> 32)
+}
+
+/// A grow-only open-addressing index shared by the workspace's
+/// arena-backed stores (instance dedup, trigger-key sets, null
+/// interning).
+///
+/// The table stores no keys itself — only `(hash tag, ordinal)` slots
+/// packing the high 32 hash bits as a cheap rejection tag, so a probe
+/// touches a single cache line before the caller's authoritative
+/// verification runs against its own arena. Invariants the callers rely
+/// on (and must preserve):
+///
+/// * **grow before probing for insertion** — [`TagTable::reserve_one`]
+///   first, then [`TagTable::probe`], then [`TagTable::fill`] with the
+///   vacant slot; growing between probe and fill would invalidate the
+///   slot index;
+/// * **collision safety** — a tag match is never trusted; the `eq`
+///   closure must compare the real key;
+/// * load factor stays below ¾; no deletions, so linear probing needs no
+///   tombstones.
+#[derive(Debug, Default, Clone)]
+pub struct TagTable {
+    slots: Vec<u64>,
+    len: usize,
+}
+
+const EMPTY_SLOT: u64 = u64::MAX;
+
+#[inline]
+fn pack_slot(hash: u64, ordinal: u32) -> u64 {
+    ((hash >> 32) << 32) | u64::from(ordinal)
+}
+
+/// Result of [`TagTable::probe`]: the stored ordinal, or the vacant slot
+/// where an insertion belongs.
+pub enum TagProbe {
+    /// An entry with this key exists, at the given ordinal.
+    Found(u32),
+    /// No such entry; [`TagTable::fill`] this slot to insert it.
+    Vacant(usize),
+}
+
+impl TagTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Probes for an entry with the given hash, verifying candidates via
+    /// `eq` (called with the stored ordinal).
+    ///
+    /// # Panics
+    /// The table must have spare capacity (call [`TagTable::reserve_one`]
+    /// first); a full or zero-capacity table would loop or index out of
+    /// bounds. Use [`TagTable::find`] for read-only lookups.
+    #[inline]
+    pub fn probe(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> TagProbe {
+        let mask = self.slots.len() - 1;
+        let tag = hash >> 32;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY_SLOT {
+                return TagProbe::Vacant(i);
+            }
+            if slot >> 32 == tag && eq(slot as u32) {
+                return TagProbe::Found(slot as u32);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Read-only lookup (safe on an empty table).
+    pub fn find(&self, hash: u64, eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.probe(hash, eq) {
+            TagProbe::Found(ordinal) => Some(ordinal),
+            TagProbe::Vacant(_) => None,
+        }
+    }
+
+    /// Ensures capacity for one more entry, rehashing the stored entries
+    /// if needed. `hashes[ordinal]` must be each stored entry's hash.
+    pub fn reserve_one(&mut self, hashes: &[u64]) {
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
+            let new_cap = (self.slots.len() * 2).max(16);
+            let mut slots = vec![EMPTY_SLOT; new_cap];
+            let mask = new_cap - 1;
+            for &slot in &self.slots {
+                if slot != EMPTY_SLOT {
+                    let hash = hashes[(slot as u32) as usize];
+                    let mut i = (hash as usize) & mask;
+                    while slots[i] != EMPTY_SLOT {
+                        i = (i + 1) & mask;
+                    }
+                    slots[i] = pack_slot(hash, slot as u32);
+                }
+            }
+            self.slots = slots;
+        }
+    }
+
+    /// Fills the vacant slot returned by a preceding [`TagTable::probe`]
+    /// (with no intervening `reserve_one`).
+    pub fn fill(&mut self, vacant: usize, hash: u64, ordinal: u32) {
+        debug_assert_eq!(self.slots[vacant], EMPTY_SLOT);
+        self.slots[vacant] = pack_slot(hash, ordinal);
+        self.len += 1;
+    }
+}
+
+/// A `std`-compatible [`Hasher`] with Fx mixing, for interior `HashMap`s
+/// keyed on small id types ([`Term`], [`PredId`], …).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let h = self.state;
+        h ^ (h >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.state = fold(self.state, u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.state = fold(self.state, u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = fold(self.state, n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.state = fold(self.state, n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with Fx hashing.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with Fx hashing.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{ConstId, NullId, VarId};
+
+    #[test]
+    fn term_codes_are_injective_across_kinds() {
+        let terms = [
+            Term::Const(ConstId(0)),
+            Term::Const(ConstId(1)),
+            Term::Null(NullId(0)),
+            Term::Null(NullId(1)),
+            Term::Var(VarId(0)),
+            Term::Var(VarId(1)),
+        ];
+        let codes: std::collections::HashSet<u64> = terms.iter().map(|&t| term_code(t)).collect();
+        assert_eq!(codes.len(), terms.len());
+    }
+
+    #[test]
+    fn tuple_hash_depends_on_order_and_length() {
+        let a = Term::Const(ConstId(1));
+        let b = Term::Const(ConstId(2));
+        assert_ne!(hash_terms(&[a, b]), hash_terms(&[b, a]));
+        assert_ne!(hash_terms(&[a]), hash_terms(&[a, a]));
+        assert_eq!(hash_terms(&[a, b]), hash_terms(&[a, b]));
+    }
+
+    #[test]
+    fn atom_hash_distinguishes_predicates() {
+        let a = Term::Const(ConstId(1));
+        assert_ne!(hash_atom(PredId(0), &[a]), hash_atom(PredId(1), &[a]));
+    }
+
+    #[test]
+    fn fx_hasher_is_usable_in_std_maps() {
+        let mut m: FxHashMap<Term, u32> = FxHashMap::default();
+        m.insert(Term::Const(ConstId(3)), 7);
+        assert_eq!(m.get(&Term::Const(ConstId(3))), Some(&7));
+    }
+}

@@ -3,146 +3,30 @@
 //!
 //! A homomorphism from a set of atoms `A` to a set of atoms `B` is a
 //! substitution `h` on terms, identity on constants, with `h(α) ∈ B` for
-//! all `α ∈ A` (§2). This module implements backtracking search for all
-//! such `h` where `A` is a list of *pattern* atoms over dense rule-local
-//! variables `0..var_count` and `B` is an [`Instance`].
-//!
-//! Two features matter for the chase engine:
-//!
-//! * **Index-driven candidates.** When a pattern atom already has a bound
-//!   or ground argument, candidates come from the instance's
-//!   `(pred, term)` index instead of the full predicate scan.
-//! * **Semi-naive deltas.** [`for_each_hom_delta`] enumerates exactly the
-//!   homomorphisms whose image uses at least one atom with index `≥
-//!   delta_start`, without duplicates, via the standard pivot scheme:
-//!   for each pivot position `j`, pattern `j` matches the delta, patterns
-//!   before `j` match the old part, patterns after `j` match everything.
+//! all `α ∈ A` (§2). The search itself lives in [`crate::plan`]: a
+//! [`MatchPlan`] compiles a pattern conjunction once (pivot permutations,
+//! region vectors, probe positions) and executes against caller-owned
+//! [`Scratch`] state with zero allocations per candidate. Hot callers —
+//! the chase engine, [`crate::Cq`] — hold a compiled plan; the free
+//! functions in this module compile on the fly and exist for tests,
+//! one-shot callers, and API compatibility.
 //!
 //! Ground pattern terms (constants *and* nulls) must match exactly; the
 //! identity-on-constants requirement of §2 is therefore built in.
+//!
+//! The [`naive`] submodule contains a deliberately index-free,
+//! plan-free reference enumerator used by the differential property
+//! tests to validate the compiled search.
 
 use std::ops::ControlFlow;
 
 use crate::atom::Atom;
 use crate::instance::{AtomIdx, Instance};
+use crate::plan::{MatchPlan, Scratch};
 use crate::term::Term;
 
 /// A (partial) variable assignment for dense rule-local variables.
 pub type Binding = Vec<Option<Term>>;
-
-/// Which part of the instance a pattern atom may match.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Region {
-    /// Atom indexes `< delta_start`.
-    Old,
-    /// Atom indexes `≥ delta_start`.
-    New,
-    /// The whole instance.
-    All,
-}
-
-struct Search<'a, F> {
-    inst: &'a Instance,
-    patterns: &'a [Atom],
-    regions: Vec<Region>,
-    delta_start: AtomIdx,
-    binding: Binding,
-    callback: F,
-}
-
-impl<'a, F> Search<'a, F>
-where
-    F: FnMut(&Binding) -> ControlFlow<()>,
-{
-    /// Tries to extend the binding so that `atom` matches `pattern`;
-    /// returns the trail of newly bound variables on success.
-    fn unify(&mut self, pattern: &Atom, atom: &Atom) -> Option<Vec<usize>> {
-        debug_assert_eq!(pattern.pred, atom.pred);
-        debug_assert_eq!(pattern.arity(), atom.arity());
-        let mut trail = Vec::new();
-        for (&pt, &at) in pattern.args.iter().zip(atom.args.iter()) {
-            match pt {
-                Term::Var(v) => {
-                    let slot = &mut self.binding[v.index()];
-                    match slot {
-                        Some(bound) => {
-                            if *bound != at {
-                                self.undo(&trail);
-                                return None;
-                            }
-                        }
-                        None => {
-                            *slot = Some(at);
-                            trail.push(v.index());
-                        }
-                    }
-                }
-                ground => {
-                    if ground != at {
-                        self.undo(&trail);
-                        return None;
-                    }
-                }
-            }
-        }
-        Some(trail)
-    }
-
-    fn undo(&mut self, trail: &[usize]) {
-        for &v in trail {
-            self.binding[v] = None;
-        }
-    }
-
-    /// Candidate atom indexes for pattern `k` under the current binding.
-    /// Returns a slice from one of the instance indexes; region filtering
-    /// happens in the caller via the sortedness of index vectors.
-    fn candidates(&self, k: usize) -> &'a [AtomIdx] {
-        let pattern = &self.patterns[k];
-        // Prefer a (pred, term) index lookup on any ground-or-bound
-        // argument; the index lists are typically much shorter.
-        for &t in pattern.args.iter() {
-            let key = match t {
-                Term::Var(v) => match self.binding[v.index()] {
-                    Some(bound) => bound,
-                    None => continue,
-                },
-                ground => ground,
-            };
-            return self.inst.atoms_with_pred_term(pattern.pred, key);
-        }
-        self.inst.atoms_with_pred(pattern.pred)
-    }
-
-    fn go(&mut self, k: usize) -> ControlFlow<()> {
-        if k == self.patterns.len() {
-            return (self.callback)(&self.binding);
-        }
-        let region = self.regions[k];
-        let cands = self.candidates(k);
-        // Index vectors are ascending, so region restriction is a split.
-        let split = cands.partition_point(|&i| i < self.delta_start);
-        let slice: &[AtomIdx] = match region {
-            Region::Old => &cands[..split],
-            Region::New => &cands[split..],
-            Region::All => cands,
-        };
-        // `inst` and `patterns` live for `'a`, independent of `self`, so
-        // re-borrowing them out keeps the mutable `self` calls below legal.
-        let inst: &'a Instance = self.inst;
-        let patterns: &'a [Atom] = self.patterns;
-        let pattern = &patterns[k];
-        for &idx in slice {
-            let atom: &'a Atom = inst.atom(idx);
-            if let Some(trail) = self.unify(pattern, atom) {
-                let flow = self.go(k + 1);
-                self.undo(&trail);
-                flow?;
-            }
-        }
-        ControlFlow::Continue(())
-    }
-}
 
 /// Enumerates every homomorphism from `patterns` (over dense variables
 /// `0..var_count`) into `inst`, invoking `callback` with the complete
@@ -151,18 +35,10 @@ pub fn for_each_hom(
     patterns: &[Atom],
     var_count: u32,
     inst: &Instance,
-    callback: impl FnMut(&Binding) -> ControlFlow<()>,
+    callback: impl FnMut(&[Option<Term>]) -> ControlFlow<()>,
 ) {
-    let regions = vec![Region::All; patterns.len()];
-    let mut search = Search {
-        inst,
-        patterns,
-        regions,
-        delta_start: 0,
-        binding: vec![None; var_count as usize],
-        callback,
-    };
-    let _ = search.go(0);
+    let plan = MatchPlan::compile_scan(patterns, var_count);
+    plan.for_each_hom(inst, &mut Scratch::new(), callback);
 }
 
 /// Enumerates every homomorphism from `patterns` into `inst` whose image
@@ -174,52 +50,10 @@ pub fn for_each_hom_delta(
     var_count: u32,
     inst: &Instance,
     delta_start: AtomIdx,
-    mut callback: impl FnMut(&Binding) -> ControlFlow<()>,
+    callback: impl FnMut(&[Option<Term>]) -> ControlFlow<()>,
 ) {
-    if delta_start == 0 {
-        for_each_hom(patterns, var_count, inst, callback);
-        return;
-    }
-    if delta_start as usize >= inst.len() {
-        return; // empty delta: nothing new can match
-    }
-    for pivot in 0..patterns.len() {
-        // Match the pivot (delta-restricted) pattern FIRST: the delta is
-        // small, and its bindings turn the remaining old/all scans into
-        // index lookups. Without this reordering, rounds with tiny deltas
-        // pay a full scan of the old region per round — quadratic chase.
-        let mut order: Vec<usize> = Vec::with_capacity(patterns.len());
-        order.push(pivot);
-        order.extend((0..patterns.len()).filter(|&k| k != pivot));
-        let permuted: Vec<Atom> = order.iter().map(|&k| patterns[k].clone()).collect();
-        let regions: Vec<Region> = order
-            .iter()
-            .map(|&k| match k.cmp(&pivot) {
-                std::cmp::Ordering::Less => Region::Old,
-                std::cmp::Ordering::Equal => Region::New,
-                std::cmp::Ordering::Greater => Region::All,
-            })
-            .collect();
-        let mut stop = false;
-        let mut search = Search {
-            inst,
-            patterns: &permuted,
-            regions,
-            delta_start,
-            binding: vec![None; var_count as usize],
-            callback: |b: &Binding| {
-                let flow = callback(b);
-                if flow.is_break() {
-                    stop = true;
-                }
-                flow
-            },
-        };
-        let _ = search.go(0);
-        if stop {
-            return;
-        }
-    }
+    let plan = MatchPlan::compile(patterns, var_count);
+    plan.for_each_hom_delta(inst, delta_start, &mut Scratch::new(), callback);
 }
 
 /// Like [`for_each_hom`], but starting from a partial binding (`seed`).
@@ -229,28 +63,16 @@ pub fn for_each_hom_seeded(
     patterns: &[Atom],
     seed: Binding,
     inst: &Instance,
-    callback: impl FnMut(&Binding) -> ControlFlow<()>,
+    callback: impl FnMut(&[Option<Term>]) -> ControlFlow<()>,
 ) {
-    let regions = vec![Region::All; patterns.len()];
-    let mut search = Search {
-        inst,
-        patterns,
-        regions,
-        delta_start: 0,
-        binding: seed,
-        callback,
-    };
-    let _ = search.go(0);
+    let plan = MatchPlan::compile_scan(patterns, seed.len() as u32);
+    plan.for_each_hom_seeded(inst, &seed, &mut Scratch::new(), callback);
 }
 
 /// Does an extension of `seed` map all `patterns` into `inst`?
 pub fn exists_hom_seeded(patterns: &[Atom], seed: Binding, inst: &Instance) -> bool {
-    let mut found = false;
-    for_each_hom_seeded(patterns, seed, inst, |_| {
-        found = true;
-        ControlFlow::Break(())
-    });
-    found
+    let plan = MatchPlan::compile_scan(patterns, seed.len() as u32);
+    plan.exists_hom_seeded(inst, &seed, &mut Scratch::new())
 }
 
 /// Does any homomorphism from `patterns` into `inst` exist? This is
@@ -277,6 +99,122 @@ pub fn all_homs(patterns: &[Atom], var_count: u32, inst: &Instance) -> Vec<Vec<T
         ControlFlow::Continue(())
     });
     out
+}
+
+/// A reference hom-enumerator with **no indexes and no plans**: every
+/// pattern scans every atom of the instance. Exponentially slower than
+/// the compiled search, and exactly as correct — which is the point: the
+/// differential property tests assert that [`MatchPlan`] enumerates the
+/// identical hom set on randomly generated instances.
+pub mod naive {
+    use super::*;
+
+    fn go(
+        patterns: &[Atom],
+        k: usize,
+        inst: &Instance,
+        binding: &mut [Option<Term>],
+        image: &mut Vec<AtomIdx>,
+        emit: &mut impl FnMut(&[Option<Term>], &[AtomIdx]),
+    ) {
+        if k == patterns.len() {
+            emit(binding, image);
+            return;
+        }
+        let pattern = &patterns[k];
+        // Full scan: no index, no candidate selection.
+        for idx in 0..inst.len() as AtomIdx {
+            let atom = inst.atom(idx);
+            if atom.pred != pattern.pred || atom.args.len() != pattern.args.len() {
+                continue;
+            }
+            let mut trail: Vec<usize> = Vec::new();
+            let mut ok = true;
+            for (&pt, &at) in pattern.args.iter().zip(atom.args.iter()) {
+                match pt {
+                    Term::Var(v) => match binding[v.index()] {
+                        Some(bound) => {
+                            if bound != at {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            binding[v.index()] = Some(at);
+                            trail.push(v.index());
+                        }
+                    },
+                    ground => {
+                        if ground != at {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                image.push(idx);
+                go(patterns, k + 1, inst, binding, image, emit);
+                image.pop();
+            }
+            for v in trail {
+                binding[v] = None;
+            }
+        }
+    }
+
+    /// Enumerates all homomorphisms by brute force, in some order.
+    pub fn for_each_hom_naive(
+        patterns: &[Atom],
+        var_count: u32,
+        inst: &Instance,
+        mut callback: impl FnMut(&[Option<Term>]),
+    ) {
+        let mut binding = vec![None; var_count as usize];
+        let mut image = Vec::new();
+        go(patterns, 0, inst, &mut binding, &mut image, &mut |b, _| {
+            callback(b)
+        });
+    }
+
+    /// Enumerates by brute force exactly the homomorphisms whose image
+    /// contains at least one atom with index `≥ delta_start` (the
+    /// specification of the compiled pivot scheme).
+    pub fn for_each_hom_delta_naive(
+        patterns: &[Atom],
+        var_count: u32,
+        inst: &Instance,
+        delta_start: AtomIdx,
+        mut callback: impl FnMut(&[Option<Term>]),
+    ) {
+        let mut binding = vec![None; var_count as usize];
+        let mut image = Vec::new();
+        go(
+            patterns,
+            0,
+            inst,
+            &mut binding,
+            &mut image,
+            &mut |b, image| {
+                if image.iter().any(|&i| i >= delta_start) {
+                    callback(b);
+                }
+            },
+        );
+    }
+
+    /// Collects all brute-force homomorphisms as complete bindings.
+    pub fn all_homs_naive(patterns: &[Atom], var_count: u32, inst: &Instance) -> Vec<Vec<Term>> {
+        let mut out = Vec::new();
+        for_each_hom_naive(patterns, var_count, inst, |b| {
+            out.push(
+                b.iter()
+                    .map(|t| t.expect("pattern variables are all bound"))
+                    .collect(),
+            );
+        });
+        out
+    }
 }
 
 #[cfg(test)]
@@ -345,15 +283,12 @@ mod tests {
         let pats = [atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])];
         let mut delta_homs = Vec::new();
         for_each_hom_delta(&pats, 3, &inst, delta_start, |b| {
-            delta_homs.push(b.clone());
+            delta_homs.push(b.to_vec());
             ControlFlow::Continue(())
         });
         // Full homs: (0,1,2), (1,2,3). Only (1,2,3) touches the delta.
         assert_eq!(delta_homs.len(), 1);
-        assert_eq!(
-            delta_homs[0],
-            vec![Some(c(1)), Some(c(2)), Some(c(3))]
-        );
+        assert_eq!(delta_homs[0], vec![Some(c(1)), Some(c(2)), Some(c(3))]);
     }
 
     #[test]
@@ -411,5 +346,16 @@ mod tests {
             ControlFlow::Break(())
         });
         assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn naive_enumerator_agrees_on_a_join() {
+        let inst = chain_instance(6);
+        let pats = [atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])];
+        let mut compiled = all_homs(&pats, 3, &inst);
+        let mut brute = naive::all_homs_naive(&pats, 3, &inst);
+        compiled.sort();
+        brute.sort();
+        assert_eq!(compiled, brute);
     }
 }

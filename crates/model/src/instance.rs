@@ -1,34 +1,104 @@
-//! Instances: indexed, deduplicated sets of ground atoms.
+//! Instances: indexed, deduplicated, arena-backed sets of ground atoms.
 //!
 //! An [`Instance`] is the paper's *instance over a schema* — a set of atoms
 //! with constants and nulls. A *database* is an instance containing only
-//! facts (constants). Instances here are append-only (the chase only ever
-//! adds atoms), keep insertion order (so a chase derivation's rounds map to
-//! contiguous index ranges, enabling semi-naive evaluation), and maintain
-//! two indexes:
+//! facts (constants). Instances are append-only (the chase only ever adds
+//! atoms) and keep insertion order, so a chase derivation's rounds map to
+//! contiguous index ranges, enabling semi-naive evaluation.
 //!
-//! * `by_pred`: predicate → atom indexes, the base relation scan;
-//! * `by_pred_term`: `(predicate, term)` → atom indexes, used by the
-//!   homomorphism search to narrow candidates once any variable of a
-//!   pattern atom is bound.
+//! # Data layout
+//!
+//! The chase hot loop reads, hashes, and inserts atoms millions of times,
+//! so the layout is optimized for that:
+//!
+//! * **Argument arena.** All argument tuples live in one flat `Vec<Term>`
+//!   pool; an atom is a `(pred, offset-range)` view ([`AtomRef`]). No
+//!   per-atom `Box`, and scans touch contiguous memory.
+//! * **Single-copy dedup.** A private open-addressing table maps atom
+//!   hashes to indexes; insertion hashes the candidate tuple *in place*
+//!   (before copying anything) and appends to the pool only when new.
+//!   Duplicate inserts — the overwhelming majority late in a chase —
+//!   allocate nothing.
+//! * **Dense two-level index.** `by_pred[pred]` holds the per-predicate
+//!   posting list plus a term-bucket map (`term → posting list`) used by
+//!   the homomorphism search to narrow candidates once any variable of a
+//!   pattern atom is bound. Indexed by dense `PredId`, not by hashed
+//!   tuple keys.
+//!
+//! Posting lists are ascending in atom index, which lets the semi-naive
+//! search split them into old/delta regions with one binary search.
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
-
-use crate::atom::Atom;
+use crate::atom::{Atom, AtomRef};
+use crate::hash::{hash_atom, FxHashMap, FxHashSet, TagProbe, TagTable};
 use crate::symbols::PredId;
 use crate::term::Term;
 
 /// Index of an atom within an [`Instance`] (insertion order).
 pub type AtomIdx = u32;
 
-/// An indexed, deduplicated, append-only set of ground atoms.
+/// How many atom indexes a term posting list stores inline before
+/// spilling to the heap. Most terms of a chase instance occur in only a
+/// couple of atoms (fresh nulls especially), so inlining removes a heap
+/// allocation per new term.
+const POSTING_INLINE: usize = 2;
+
+/// A posting list with small-size inline storage.
+#[derive(Debug, Default, Clone)]
+struct Postings {
+    len: u32,
+    inline: [AtomIdx; POSTING_INLINE],
+    spill: Vec<AtomIdx>,
+}
+
+impl Postings {
+    fn push(&mut self, idx: AtomIdx) {
+        let n = self.len as usize;
+        if n < POSTING_INLINE {
+            self.inline[n] = idx;
+        } else {
+            if n == POSTING_INLINE {
+                self.spill.reserve(POSTING_INLINE * 4);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(idx);
+        }
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[AtomIdx] {
+        let n = self.len as usize;
+        if n <= POSTING_INLINE {
+            &self.inline[..n]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+/// Per-predicate posting lists: all atoms of the predicate, plus one list
+/// per term occurring in them.
+#[derive(Debug, Default, Clone)]
+struct PredIndex {
+    all: Vec<AtomIdx>,
+    by_term: FxHashMap<Term, Postings>,
+}
+
+/// An indexed, deduplicated, append-only set of ground atoms, stored in an
+/// arena layout (flat argument pool + `(pred, range)` views).
 #[derive(Debug, Default, Clone)]
 pub struct Instance {
-    atoms: Vec<Atom>,
-    seen: HashMap<Atom, AtomIdx>,
-    by_pred: HashMap<PredId, Vec<AtomIdx>>,
-    by_pred_term: HashMap<(PredId, Term), Vec<AtomIdx>>,
+    /// Predicate of atom `i`.
+    preds: Vec<PredId>,
+    /// `offsets[i]..offsets[i+1]` is atom `i`'s argument range in `pool`.
+    offsets: Vec<u32>,
+    /// The flat argument pool.
+    pool: Vec<Term>,
+    /// Hash of atom `i` (memoized for dedup probing and table growth).
+    hashes: Vec<u64>,
+    /// Dedup table over all atoms.
+    table: TagTable,
+    /// Dense per-predicate index.
+    by_pred: Vec<PredIndex>,
 }
 
 impl Instance {
@@ -48,80 +118,150 @@ impl Instance {
 
     /// Inserts an atom; returns `Some(index)` if the atom was new, `None`
     /// if it was already present.
+    pub fn insert(&mut self, atom: Atom) -> Option<AtomIdx> {
+        self.insert_terms(atom.pred, &atom.args)
+    }
+
+    /// Inserts an atom given as a predicate plus argument slice — the
+    /// zero-copy path used by the chase (`args` is typically a reused
+    /// scratch buffer). Returns `Some(index)` if new, `None` if present.
     ///
     /// # Panics
-    /// Debug-asserts that the atom is ground: instances never hold
+    /// Debug-asserts that the arguments are ground: instances never hold
     /// variables.
-    pub fn insert(&mut self, atom: Atom) -> Option<AtomIdx> {
-        debug_assert!(atom.is_ground(), "instances hold ground atoms only");
-        match self.seen.entry(atom) {
-            Entry::Occupied(_) => None,
-            Entry::Vacant(e) => {
-                let idx = self.atoms.len() as AtomIdx;
-                let atom = e.key().clone();
-                e.insert(idx);
-                self.by_pred.entry(atom.pred).or_default().push(idx);
-                // Index each *distinct* term once per atom.
-                let mut indexed: Vec<Term> = Vec::with_capacity(atom.args.len());
-                for &t in atom.args.iter() {
-                    if !indexed.contains(&t) {
-                        indexed.push(t);
-                        self.by_pred_term.entry((atom.pred, t)).or_default().push(idx);
-                    }
-                }
-                self.atoms.push(atom);
-                Some(idx)
+    pub fn insert_terms(&mut self, pred: PredId, args: &[Term]) -> Option<AtomIdx> {
+        debug_assert!(
+            args.iter().all(|t| t.is_ground()),
+            "instances hold ground atoms only"
+        );
+        let hash = hash_atom(pred, args);
+        // Grow first so the vacant slot found by the probe stays valid.
+        self.table.reserve_one(&self.hashes);
+        let vacant = {
+            let (preds, offsets, pool) = (&self.preds, &self.offsets, &self.pool);
+            match self.table.probe(hash, |idx| {
+                let i = idx as usize;
+                preds[i] == pred && &pool[offsets[i] as usize..offsets[i + 1] as usize] == args
+            }) {
+                TagProbe::Found(_) => return None,
+                TagProbe::Vacant(slot) => slot,
+            }
+        };
+        let idx = self.preds.len() as AtomIdx;
+        self.pool.extend_from_slice(args);
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.offsets.push(self.pool.len() as u32);
+        self.preds.push(pred);
+        self.hashes.push(hash);
+        self.table.fill(vacant, hash, idx);
+
+        if self.by_pred.len() <= pred.index() {
+            self.by_pred
+                .resize_with(pred.index() + 1, PredIndex::default);
+        }
+        let pi = &mut self.by_pred[pred.index()];
+        pi.all.push(idx);
+        // Index each *distinct* term once per atom. Arities are small, so
+        // the prefix scan beats a set.
+        for (i, &t) in args.iter().enumerate() {
+            if !args[..i].contains(&t) {
+                pi.by_term.entry(t).or_default().push(idx);
             }
         }
+        Some(idx)
+    }
+
+    fn find_hashed(&self, pred: PredId, args: &[Term], hash: u64) -> Option<AtomIdx> {
+        self.table.find(hash, |idx| {
+            let a = self.atom(idx);
+            a.pred == pred && a.args == args
+        })
     }
 
     /// Membership test.
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.seen.contains_key(atom)
+        self.index_of(atom).is_some()
+    }
+
+    /// Membership test for a borrowed atom view.
+    pub fn contains_ref(&self, atom: AtomRef<'_>) -> bool {
+        self.find_hashed(atom.pred, atom.args, hash_atom(atom.pred, atom.args))
+            .is_some()
     }
 
     /// The index of an atom, if present.
     pub fn index_of(&self, atom: &Atom) -> Option<AtomIdx> {
-        self.seen.get(atom).copied()
+        self.find_hashed(atom.pred, &atom.args, hash_atom(atom.pred, &atom.args))
+    }
+
+    /// The index of an atom given as predicate + argument slice, if
+    /// present (allocation-free variant of [`Instance::index_of`]).
+    pub fn index_of_terms(&self, pred: PredId, args: &[Term]) -> Option<AtomIdx> {
+        self.find_hashed(pred, args, hash_atom(pred, args))
     }
 
     /// Number of atoms. This is the paper's `|I|` (cardinality).
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.preds.len()
     }
 
     /// Is the instance empty?
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.preds.is_empty()
     }
 
-    /// The atom at a given index.
+    /// The atom at a given index, as a borrowed view into the arena.
     #[inline]
-    pub fn atom(&self, idx: AtomIdx) -> &Atom {
-        &self.atoms[idx as usize]
+    pub fn atom(&self, idx: AtomIdx) -> AtomRef<'_> {
+        let i = idx as usize;
+        AtomRef {
+            pred: self.preds[i],
+            args: &self.pool[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+        }
     }
 
     /// Iterates over all atoms in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
-        self.atoms.iter()
+    pub fn iter(&self) -> AtomIter<'_> {
+        AtomIter {
+            inst: self,
+            next: 0,
+            end: self.len() as AtomIdx,
+        }
     }
 
     /// Iterates over the atoms in an index range (used for chase deltas).
-    pub fn iter_range(&self, from: AtomIdx, to: AtomIdx) -> impl Iterator<Item = &Atom> {
-        self.atoms[from as usize..to as usize].iter()
+    pub fn iter_range(&self, from: AtomIdx, to: AtomIdx) -> AtomIter<'_> {
+        assert!(from <= to && to as usize <= self.len());
+        AtomIter {
+            inst: self,
+            next: from,
+            end: to,
+        }
     }
 
-    /// Indexes of atoms with the given predicate.
+    /// Indexes of atoms with the given predicate (ascending).
     pub fn atoms_with_pred(&self, pred: PredId) -> &[AtomIdx] {
-        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+        self.by_pred
+            .get(pred.index())
+            .map_or(&[], |pi| pi.all.as_slice())
     }
 
     /// Indexes of atoms with the given predicate that mention the given
-    /// term in any position.
+    /// term in any position (ascending).
     pub fn atoms_with_pred_term(&self, pred: PredId, term: Term) -> &[AtomIdx] {
-        self.by_pred_term
-            .get(&(pred, term))
-            .map_or(&[], Vec::as_slice)
+        self.by_pred
+            .get(pred.index())
+            .and_then(|pi| pi.by_term.get(&term))
+            .map_or(&[], Postings::as_slice)
+    }
+
+    /// The predicate of the atom at `idx` (cheaper than materializing the
+    /// full [`AtomRef`] when only the predicate is needed).
+    #[inline]
+    pub fn pred_of(&self, idx: AtomIdx) -> PredId {
+        self.preds[idx as usize]
     }
 
     /// The predicates occurring in the instance, deduplicated, in no
@@ -129,21 +269,20 @@ impl Instance {
     pub fn preds(&self) -> Vec<PredId> {
         self.by_pred
             .iter()
-            .filter(|(_, v)| !v.is_empty())
-            .map(|(&p, _)| p)
+            .enumerate()
+            .filter(|(_, pi)| !pi.all.is_empty())
+            .map(|(i, _)| PredId(i as u32))
             .collect()
     }
 
     /// `dom(I)`: the active domain, i.e. all distinct ground terms, in
     /// first-occurrence order.
     pub fn dom(&self) -> Vec<Term> {
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut out = Vec::new();
-        for atom in &self.atoms {
-            for &t in atom.args.iter() {
-                if seen.insert(t) {
-                    out.push(t);
-                }
+        for &t in &self.pool {
+            if seen.insert(t) {
+                out.push(t);
             }
         }
         out
@@ -151,22 +290,51 @@ impl Instance {
 
     /// Does the instance consist solely of facts (a *database*)?
     pub fn is_database(&self) -> bool {
-        self.atoms.iter().all(Atom::is_fact)
+        self.pool.iter().all(|t| t.is_const())
     }
 
-    /// Returns the atoms as a sorted vector — a canonical form useful for
-    /// comparing instances irrespective of insertion order.
+    /// Returns the atoms as a sorted vector of owned atoms — a canonical
+    /// form useful for comparing instances irrespective of insertion
+    /// order.
     pub fn sorted_atoms(&self) -> Vec<Atom> {
-        let mut v = self.atoms.clone();
+        let mut v: Vec<Atom> = self.iter().map(|a| a.to_atom()).collect();
         v.sort();
         v
     }
 
     /// Set-equality with another instance (order-independent).
     pub fn set_eq(&self, other: &Instance) -> bool {
-        self.len() == other.len() && self.iter().all(|a| other.contains(a))
+        self.len() == other.len() && self.iter().all(|a| other.contains_ref(a))
     }
 }
+
+/// Iterator over the atoms of an [`Instance`], yielding borrowed views.
+#[derive(Clone)]
+pub struct AtomIter<'a> {
+    inst: &'a Instance,
+    next: AtomIdx,
+    end: AtomIdx,
+}
+
+impl<'a> Iterator for AtomIter<'a> {
+    type Item = AtomRef<'a>;
+
+    fn next(&mut self) -> Option<AtomRef<'a>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let a = self.inst.atom(self.next);
+        self.next += 1;
+        Some(a)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AtomIter<'_> {}
 
 impl FromIterator<Atom> for Instance {
     fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
@@ -175,10 +343,10 @@ impl FromIterator<Atom> for Instance {
 }
 
 impl<'a> IntoIterator for &'a Instance {
-    type Item = &'a Atom;
-    type IntoIter = std::slice::Iter<'a, Atom>;
+    type Item = AtomRef<'a>;
+    type IntoIter = AtomIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.atoms.iter()
+        self.iter()
     }
 }
 
@@ -205,6 +373,42 @@ mod tests {
         assert_eq!(inst.insert(atom(0, vec![c(1), c(0)])), Some(1));
         assert_eq!(inst.len(), 2);
         assert!(inst.contains(&atom(0, vec![c(0), c(1)])));
+        assert_eq!(inst.index_of(&atom(0, vec![c(1), c(0)])), Some(1));
+        assert_eq!(inst.index_of(&atom(0, vec![c(1), c(1)])), None);
+    }
+
+    #[test]
+    fn insert_terms_matches_insert() {
+        let mut inst = Instance::new();
+        assert_eq!(inst.insert_terms(PredId(0), &[c(0), c(1)]), Some(0));
+        assert_eq!(inst.insert_terms(PredId(0), &[c(0), c(1)]), None);
+        assert_eq!(inst.insert(atom(0, vec![c(0), c(1)])), None);
+        assert_eq!(inst.index_of_terms(PredId(0), &[c(0), c(1)]), Some(0));
+    }
+
+    #[test]
+    fn dedup_survives_table_growth() {
+        let mut inst = Instance::new();
+        for i in 0..1000 {
+            assert!(inst.insert(atom(0, vec![c(i), c(i + 1)])).is_some());
+        }
+        for i in 0..1000 {
+            assert!(inst.insert(atom(0, vec![c(i), c(i + 1)])).is_none());
+            assert!(inst.contains(&atom(0, vec![c(i), c(i + 1)])));
+        }
+        assert_eq!(inst.len(), 1000);
+    }
+
+    #[test]
+    fn atom_views_read_the_arena() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), c(1)]));
+        inst.insert(atom(1, vec![c(2)]));
+        let a = inst.atom(0);
+        assert_eq!(a.pred, PredId(0));
+        assert_eq!(a.args, &[c(0), c(1)]);
+        assert_eq!(inst.atom(1).args, &[c(2)]);
+        assert_eq!(a.to_atom(), atom(0, vec![c(0), c(1)]));
     }
 
     #[test]
@@ -252,8 +456,18 @@ mod tests {
         inst.insert(atom(0, vec![c(0)]));
         inst.insert(atom(0, vec![c(1)]));
         inst.insert(atom(0, vec![c(2)]));
-        let delta: Vec<_> = inst.iter_range(1, 3).cloned().collect();
+        let delta: Vec<Atom> = inst.iter_range(1, 3).map(|a| a.to_atom()).collect();
         assert_eq!(delta.len(), 2);
         assert_eq!(delta[0], atom(0, vec![c(1)]));
+    }
+
+    #[test]
+    fn zero_arity_atoms_are_supported() {
+        let mut inst = Instance::new();
+        assert_eq!(inst.insert(atom(0, vec![])), Some(0));
+        assert_eq!(inst.insert(atom(0, vec![])), None);
+        assert_eq!(inst.insert(atom(1, vec![])), Some(1));
+        assert_eq!(inst.atom(0).args.len(), 0);
+        assert_eq!(inst.atoms_with_pred(PredId(0)), &[0]);
     }
 }

@@ -16,7 +16,8 @@
 //!   [`TgdClass`]);
 //! * **homomorphisms** (backtracking search with semi-naive delta
 //!   enumeration) — the join machinery that drives both the chase and
-//!   query evaluation ([`hom`]);
+//!   query evaluation ([`hom`]), compiled per conjunction into
+//!   allocation-free **match plans** ([`plan`]);
 //! * Boolean **conjunctive queries / UCQs**, the target language of the
 //!   paper's AC⁰ data-complexity deciders ([`Cq`], [`Ucq`]);
 //! * a **parser** and **pretty-printer** for a small Datalog± text format
@@ -33,19 +34,22 @@
 pub mod atom;
 pub mod display;
 pub mod error;
+pub mod hash;
 pub mod hom;
 pub mod instance;
 pub mod parser;
+pub mod plan;
 pub mod query;
 pub mod symbols;
 pub mod term;
 pub mod tgd;
 
-pub use atom::Atom;
+pub use atom::{Atom, AtomRef};
 pub use display::DisplayWith;
 pub use error::ModelError;
-pub use instance::{AtomIdx, Instance};
+pub use instance::{AtomIdx, AtomIter, Instance};
 pub use parser::{parse_database, parse_into, parse_program, parse_tgds, Program};
+pub use plan::{MatchPlan, Scratch};
 pub use query::{Cq, Ucq};
 pub use symbols::{ConstId, NullId, PredId, SymbolTable, VarId};
 pub use term::Term;

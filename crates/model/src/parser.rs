@@ -46,10 +46,7 @@ pub fn parse_program(text: &str) -> Result<Program, ModelError> {
 }
 
 /// Parses facts and rules into an existing symbol table.
-pub fn parse_into(
-    text: &str,
-    symbols: &mut SymbolTable,
-) -> Result<(Instance, TgdSet), ModelError> {
+pub fn parse_into(text: &str, symbols: &mut SymbolTable) -> Result<(Instance, TgdSet), ModelError> {
     let mut parser = Parser::new(text, symbols);
     parser.program()
 }
@@ -89,8 +86,8 @@ enum Tok {
     Comma,
     Dot,
     Colon,
-    Arrow,     // ->
-    Implied,   // :-
+    Arrow,   // ->
+    Implied, // :-
     Eof,
 }
 
@@ -246,7 +243,10 @@ impl<'a> Lexer<'a> {
                 // `[t12]` round-trip; it may only start an identifier.
                 let mut s = String::new();
                 while let Some(c) = self.peek() {
-                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'[' || c == b']'
+                    if c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || c == b'['
+                        || c == b']'
                         || c == b'\''
                     {
                         s.push(c as char);
@@ -277,11 +277,7 @@ pub fn is_variable_token(name: &str) -> bool {
 
 /// Is an identifier a variable? (`?x` or leading uppercase.)
 fn is_variable_name(name: &str) -> bool {
-    name.starts_with('?')
-        || name
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_ascii_uppercase())
+    name.starts_with('?') || name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
 }
 
 impl<'a, 's> Parser<'a, 's> {
@@ -593,10 +589,7 @@ mod tests {
 
     #[test]
     fn comments_of_all_styles() {
-        let p = parse_program(
-            "% percent\n# hash\n// slashes\nr(a). // trailing\n",
-        )
-        .unwrap();
+        let p = parse_program("% percent\n# hash\n// slashes\nr(a). // trailing\n").unwrap();
         assert_eq!(p.database.len(), 1);
     }
 

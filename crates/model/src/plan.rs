@@ -1,0 +1,510 @@
+//! Compiled match plans: the query-compilation layer of the hom search.
+//!
+//! The chase evaluates the same rule bodies millions of times, so
+//! everything that can be decided *per rule* must not be recomputed *per
+//! candidate atom*. A [`MatchPlan`] compiles a pattern conjunction once —
+//! at `Tgd`/`Cq` construction — into:
+//!
+//! * the **full-enumeration stage** (patterns in given order, whole
+//!   instance), and
+//! * one **pivot stage per pattern** for semi-naive delta enumeration:
+//!   the pivot pattern (restricted to the delta) is matched first, the
+//!   patterns before it against the old region, the rest against
+//!   everything — the standard duplicate-free pivot scheme, with the
+//!   permuted pattern lists and [`Region`] vectors precomputed instead of
+//!   cloned per round;
+//! * per-pattern **probe positions**: the argument positions (ground
+//!   terms and first occurrences of variables) that can key an index
+//!   lookup. At runtime the search probes each one that is bound and
+//!   scans the *most selective* (shortest) posting list, rather than the
+//!   first bound argument.
+//!
+//! The backtracking state lives in a caller-owned [`Scratch`] (binding
+//! slots + a single undo trail with per-depth marks), so the inner search
+//! loop performs **zero heap allocations per candidate** — no trail
+//! `Vec`s, no pattern clones, no binding copies.
+
+use std::ops::ControlFlow;
+
+use crate::atom::Atom;
+use crate::instance::{AtomIdx, Instance};
+use crate::term::Term;
+
+/// Which part of the instance a pattern atom may match during semi-naive
+/// enumeration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Region {
+    /// Atom indexes `< delta_start`.
+    Old,
+    /// Atom indexes `≥ delta_start`.
+    New,
+    /// The whole instance.
+    All,
+}
+
+/// One pattern to match, with its region and precomputed probe positions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Step {
+    pattern: Atom,
+    region: Region,
+    /// Argument positions usable as index keys: ground terms and first
+    /// occurrences of variables (repeated occurrences would probe the
+    /// same posting list again).
+    probes: Vec<u32>,
+}
+
+impl Step {
+    fn new(pattern: &Atom, region: Region) -> Step {
+        let mut probes = Vec::with_capacity(pattern.args.len());
+        for (i, &t) in pattern.args.iter().enumerate() {
+            let first_occurrence = match t {
+                Term::Var(_) => !pattern.args[..i].contains(&t),
+                _ => true, // ground: always a usable key
+            };
+            if first_occurrence {
+                probes.push(i as u32);
+            }
+        }
+        Step {
+            pattern: pattern.clone(),
+            region,
+            probes,
+        }
+    }
+}
+
+/// Reusable scratch state for plan execution: the variable binding and the
+/// backtracking trail. One `Scratch` serves any number of searches (and
+/// any number of plans); reusing it across calls is what makes the search
+/// allocation-free after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    binding: Vec<Option<Term>>,
+    trail: Vec<u32>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the first `var_count` binding slots and sizes the buffers.
+    fn prepare(&mut self, var_count: u32) {
+        let n = var_count as usize;
+        self.binding.clear();
+        self.binding.resize(n, None);
+        self.trail.clear();
+    }
+}
+
+/// A compiled match plan for a pattern conjunction over dense rule-local
+/// variables `0..var_count`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MatchPlan {
+    var_count: u32,
+    /// Patterns in given order, [`Region::All`] — full enumeration.
+    full: Vec<Step>,
+    /// `pivots[j]`: pattern `j` first (restricted to the delta), patterns
+    /// `< j` against the old region, patterns `> j` against everything.
+    pivots: Vec<Vec<Step>>,
+}
+
+impl MatchPlan {
+    /// Compiles a plan with delta stages. `patterns` use dense variable
+    /// ids `0..var_count`.
+    pub fn compile(patterns: &[Atom], var_count: u32) -> MatchPlan {
+        let mut plan = MatchPlan::compile_scan(patterns, var_count);
+        plan.pivots = (0..patterns.len())
+            .map(|pivot| {
+                // Match the pivot (delta-restricted) pattern FIRST: the
+                // delta is small, and its bindings turn the remaining
+                // old/all scans into index lookups.
+                let mut steps = Vec::with_capacity(patterns.len());
+                steps.push(Step::new(&patterns[pivot], Region::New));
+                for (k, p) in patterns.iter().enumerate() {
+                    if k != pivot {
+                        let region = if k < pivot { Region::Old } else { Region::All };
+                        steps.push(Step::new(p, region));
+                    }
+                }
+                steps
+            })
+            .collect();
+        plan
+    }
+
+    /// Compiles a full-enumeration-only plan — no per-pivot delta stages.
+    /// Use for plans that only ever run [`MatchPlan::for_each_hom`] /
+    /// [`MatchPlan::for_each_hom_seeded`] (query evaluation, head
+    /// matching): skipping the pivot permutations makes construction
+    /// linear instead of quadratic in the pattern count. Calling
+    /// [`MatchPlan::for_each_hom_delta`] with a nonzero `delta_start` on
+    /// such a plan panics.
+    pub fn compile_scan(patterns: &[Atom], var_count: u32) -> MatchPlan {
+        debug_assert!(
+            patterns
+                .iter()
+                .flat_map(|p| p.args.iter())
+                .all(|t| t.as_var().is_none_or(|v| v.0 < var_count)),
+            "pattern variables must be dense in 0..var_count"
+        );
+        let full: Vec<Step> = patterns.iter().map(|p| Step::new(p, Region::All)).collect();
+        MatchPlan {
+            var_count,
+            full,
+            pivots: Vec::new(),
+        }
+    }
+
+    /// Number of dense variables the plan binds.
+    pub fn var_count(&self) -> u32 {
+        self.var_count
+    }
+
+    /// The number of patterns in the conjunction.
+    pub fn pattern_count(&self) -> usize {
+        self.full.len()
+    }
+
+    /// Enumerates every homomorphism from the compiled patterns into
+    /// `inst`, invoking `callback` with the complete binding (indexed by
+    /// dense variable id). Return [`ControlFlow::Break`] to stop early.
+    pub fn for_each_hom(
+        &self,
+        inst: &Instance,
+        scratch: &mut Scratch,
+        mut callback: impl FnMut(&[Option<Term>]) -> ControlFlow<()>,
+    ) {
+        scratch.prepare(self.var_count);
+        let mut search = Search {
+            inst,
+            steps: &self.full,
+            delta_start: 0,
+            binding: &mut scratch.binding,
+            trail: &mut scratch.trail,
+            callback: &mut callback,
+        };
+        let _ = search.go(0);
+    }
+
+    /// Enumerates every homomorphism whose image contains at least one
+    /// atom with index `≥ delta_start`, without duplicates (pivot
+    /// scheme). With `delta_start == 0` this equals
+    /// [`MatchPlan::for_each_hom`].
+    pub fn for_each_hom_delta(
+        &self,
+        inst: &Instance,
+        delta_start: AtomIdx,
+        scratch: &mut Scratch,
+        mut callback: impl FnMut(&[Option<Term>]) -> ControlFlow<()>,
+    ) {
+        if delta_start == 0 {
+            self.for_each_hom(inst, scratch, callback);
+            return;
+        }
+        if delta_start as usize >= inst.len() {
+            return; // empty delta: nothing new can match
+        }
+        assert!(
+            self.pivots.len() == self.full.len(),
+            "delta enumeration on a plan compiled with MatchPlan::compile_scan"
+        );
+        for steps in &self.pivots {
+            scratch.prepare(self.var_count);
+            let mut search = Search {
+                inst,
+                steps,
+                delta_start,
+                binding: &mut scratch.binding,
+                trail: &mut scratch.trail,
+                callback: &mut callback,
+            };
+            if search.go(0).is_break() {
+                return;
+            }
+        }
+    }
+
+    /// Like [`MatchPlan::for_each_hom`], but starting from a partial
+    /// binding: `seed[v] = Some(t)` pins variable `v` to `t`. Used e.g. by
+    /// the restricted chase's activeness check, which asks for an
+    /// extension `h' ⊇ h|fr(σ)` mapping the head into the instance.
+    pub fn for_each_hom_seeded(
+        &self,
+        inst: &Instance,
+        seed: &[Option<Term>],
+        scratch: &mut Scratch,
+        mut callback: impl FnMut(&[Option<Term>]) -> ControlFlow<()>,
+    ) {
+        scratch.prepare(self.var_count);
+        scratch.binding[..seed.len()].copy_from_slice(seed);
+        let mut search = Search {
+            inst,
+            steps: &self.full,
+            delta_start: 0,
+            binding: &mut scratch.binding,
+            trail: &mut scratch.trail,
+            callback: &mut callback,
+        };
+        let _ = search.go(0);
+    }
+
+    /// Does an extension of `seed` map all patterns into `inst`?
+    pub fn exists_hom_seeded(
+        &self,
+        inst: &Instance,
+        seed: &[Option<Term>],
+        scratch: &mut Scratch,
+    ) -> bool {
+        let mut found = false;
+        self.for_each_hom_seeded(inst, seed, scratch, |_| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        found
+    }
+}
+
+/// The backtracking search over one step list. Holds only borrows; all
+/// mutable state lives in the caller's [`Scratch`].
+struct Search<'a, 'b, F> {
+    inst: &'a Instance,
+    steps: &'a [Step],
+    delta_start: AtomIdx,
+    binding: &'b mut [Option<Term>],
+    trail: &'b mut Vec<u32>,
+    callback: &'b mut F,
+}
+
+/// Candidate posting list for `step` under the current binding: the
+/// shortest (most selective) index list over the bound probe positions.
+/// Returns `None` when no probe position is bound (callers fall back to
+/// the predicate scan). A free function so the result borrows only from
+/// `inst`, not from the search state.
+fn candidates<'a>(
+    inst: &'a Instance,
+    step: &Step,
+    binding: &[Option<Term>],
+) -> Option<&'a [AtomIdx]> {
+    let mut best: Option<&'a [AtomIdx]> = None;
+    for &pos in &step.probes {
+        let key = match step.pattern.args[pos as usize] {
+            Term::Var(v) => match binding[v.index()] {
+                Some(bound) => bound,
+                None => continue,
+            },
+            ground => ground,
+        };
+        let list = inst.atoms_with_pred_term(step.pattern.pred, key);
+        if best.is_none_or(|b| list.len() < b.len()) {
+            best = Some(list);
+            if list.is_empty() {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Above this many delta atoms, a [`Region::New`] fallback scan uses a
+/// binary search on the predicate posting list instead of walking the
+/// delta range directly. Small deltas — the steady state of a deep chase
+/// — are cheaper to walk than to binary-search a six-figure posting list.
+const DELTA_SCAN_LIMIT: AtomIdx = 1024;
+
+impl<F> Search<'_, '_, F>
+where
+    F: FnMut(&[Option<Term>]) -> ControlFlow<()>,
+{
+    fn go(&mut self, k: usize) -> ControlFlow<()> {
+        if k == self.steps.len() {
+            return (self.callback)(self.binding);
+        }
+        // `inst` and `steps` live for 'a, independent of `self`, so
+        // copying the references out keeps the mutable `self` calls below
+        // legal.
+        let inst = self.inst;
+        let steps = self.steps;
+        let step = &steps[k];
+        let keyed = candidates(inst, step, self.binding);
+        if keyed.is_none() && step.region == Region::New {
+            let delta_len = inst.len() as AtomIdx - self.delta_start;
+            if delta_len <= DELTA_SCAN_LIMIT {
+                // Walk the delta range directly, filtering by predicate.
+                for idx in self.delta_start..inst.len() as AtomIdx {
+                    if inst.pred_of(idx) == step.pattern.pred {
+                        self.try_candidate(inst, step, idx, k)?;
+                    }
+                }
+                return ControlFlow::Continue(());
+            }
+        }
+        let cands = keyed.unwrap_or_else(|| inst.atoms_with_pred(step.pattern.pred));
+        // Posting lists are ascending, so region restriction is a split.
+        let slice: &[AtomIdx] = match step.region {
+            Region::All => cands,
+            Region::Old => {
+                let split = cands.partition_point(|&i| i < self.delta_start);
+                &cands[..split]
+            }
+            Region::New => {
+                let split = cands.partition_point(|&i| i < self.delta_start);
+                &cands[split..]
+            }
+        };
+        for &idx in slice {
+            self.try_candidate(inst, step, idx, k)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Unifies candidate `idx` with the step's pattern; recurses on
+    /// success; always restores the binding to its pre-call state.
+    #[inline]
+    fn try_candidate(
+        &mut self,
+        inst: &Instance,
+        step: &Step,
+        idx: AtomIdx,
+        k: usize,
+    ) -> ControlFlow<()> {
+        let atom = inst.atom(idx);
+        debug_assert_eq!(
+            step.pattern.args.len(),
+            atom.args.len(),
+            "schema gives every predicate a fixed arity"
+        );
+        let mark = self.trail.len();
+        for (&pt, &at) in step.pattern.args.iter().zip(atom.args.iter()) {
+            match pt {
+                Term::Var(v) => {
+                    let slot = &mut self.binding[v.index()];
+                    match *slot {
+                        Some(bound) => {
+                            if bound != at {
+                                self.undo(mark);
+                                return ControlFlow::Continue(());
+                            }
+                        }
+                        None => {
+                            *slot = Some(at);
+                            self.trail.push(v.0);
+                        }
+                    }
+                }
+                ground => {
+                    if ground != at {
+                        self.undo(mark);
+                        return ControlFlow::Continue(());
+                    }
+                }
+            }
+        }
+        let flow = self.go(k + 1);
+        self.undo(mark);
+        flow
+    }
+
+    #[inline]
+    fn undo(&mut self, mark: usize) {
+        for &v in &self.trail[mark..] {
+            self.binding[v as usize] = None;
+        }
+        self.trail.truncate(mark);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{ConstId, PredId, VarId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+    fn atom(p: u32, args: Vec<Term>) -> Atom {
+        Atom::new(PredId(p), args)
+    }
+
+    fn collect(plan: &MatchPlan, inst: &Instance) -> Vec<Vec<Option<Term>>> {
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        plan.for_each_hom(inst, &mut scratch, |b| {
+            out.push(b.to_vec());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn probes_skip_repeated_variables() {
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(0), c(1)])], 1);
+        assert_eq!(plan.full[0].probes, vec![0, 2]);
+    }
+
+    #[test]
+    fn join_finds_paths() {
+        let inst = Instance::from_atoms((0..3).map(|i| atom(0, vec![c(i), c(i + 1)])));
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])], 3);
+        let homs = collect(&plan, &inst);
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn selective_index_prunes_to_empty_lists() {
+        // Pattern with a ground key absent from the instance: the search
+        // must visit zero candidates.
+        let inst = Instance::from_atoms(vec![atom(0, vec![c(0), c(1)])]);
+        let plan = MatchPlan::compile(&[atom(0, vec![c(9), v(0)])], 1);
+        assert!(collect(&plan, &inst).is_empty());
+    }
+
+    #[test]
+    fn delta_pivots_cover_exactly_the_new_homs() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), c(1)]));
+        inst.insert(atom(0, vec![c(1), c(2)]));
+        let delta_start = inst.len() as AtomIdx;
+        inst.insert(atom(0, vec![c(2), c(3)]));
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])], 3);
+        let mut scratch = Scratch::new();
+        let mut homs = Vec::new();
+        plan.for_each_hom_delta(&inst, delta_start, &mut scratch, |b| {
+            homs.push(b.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(homs, vec![vec![Some(c(1)), Some(c(2)), Some(c(3))]]);
+    }
+
+    #[test]
+    fn seeded_search_respects_the_seed() {
+        let inst = Instance::from_atoms((0..3).map(|i| atom(0, vec![c(i), c(i + 1)])));
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(1)])], 2);
+        let mut scratch = Scratch::new();
+        assert!(plan.exists_hom_seeded(&inst, &[Some(c(1)), None], &mut scratch));
+        assert!(!plan.exists_hom_seeded(&inst, &[Some(c(9)), None], &mut scratch));
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_plans() {
+        let inst = Instance::from_atoms((0..5).map(|i| atom(0, vec![c(i), c(i + 1)])));
+        let p1 = MatchPlan::compile(&[atom(0, vec![v(0), v(1)])], 2);
+        let p2 = MatchPlan::compile(&[atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])], 3);
+        let mut scratch = Scratch::new();
+        let mut n1 = 0;
+        p1.for_each_hom(&inst, &mut scratch, |_| {
+            n1 += 1;
+            ControlFlow::Continue(())
+        });
+        let mut n2 = 0;
+        p2.for_each_hom(&inst, &mut scratch, |_| {
+            n2 += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!((n1, n2), (5, 4));
+    }
+}

@@ -12,19 +12,22 @@ use std::collections::HashMap;
 use std::ops::ControlFlow;
 
 use crate::atom::Atom;
-use crate::hom::{for_each_hom, exists_hom};
 use crate::instance::Instance;
+use crate::plan::{MatchPlan, Scratch};
 use crate::symbols::VarId;
 use crate::term::Term;
 
 /// A conjunctive query `q(x̄) ← α₁ ∧ … ∧ αₖ`, with an optional tuple of
 /// *answer variables* `x̄` (empty for Boolean queries). Variables are
-/// normalized to a dense id space on construction.
+/// normalized to a dense id space on construction, and the conjunction is
+/// compiled into a [`MatchPlan`] once so that repeated evaluation (e.g.
+/// the UCQ termination deciders) reuses the same plan.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cq {
     atoms: Vec<Atom>,
     var_count: u32,
     answers: Vec<VarId>,
+    plan: MatchPlan,
 }
 
 impl Cq {
@@ -55,10 +58,13 @@ impl Cq {
             .iter()
             .map(|v| *remap.get(v).expect("answer variable occurs in the query"))
             .collect();
+        let var_count = remap.len() as u32;
+        let plan = MatchPlan::compile_scan(&atoms, var_count);
         Cq {
             atoms,
-            var_count: remap.len() as u32,
+            var_count,
             answers,
+            plan,
         }
     }
 
@@ -71,7 +77,7 @@ impl Cq {
     /// tuple set vs `{()}` distinguishes false/true for Boolean queries).
     pub fn answers_in(&self, inst: &Instance) -> std::collections::HashSet<Vec<Term>> {
         let mut out = std::collections::HashSet::new();
-        for_each_hom(&self.atoms, self.var_count, inst, |b| {
+        self.plan.for_each_hom(inst, &mut Scratch::new(), |b| {
             out.insert(
                 self.answers
                     .iter()
@@ -104,16 +110,26 @@ impl Cq {
         self.var_count
     }
 
+    /// The compiled match plan of the conjunction.
+    pub fn plan(&self) -> &MatchPlan {
+        &self.plan
+    }
+
     /// Boolean evaluation: does `inst ⊨ q`?
     pub fn holds_in(&self, inst: &Instance) -> bool {
-        exists_hom(&self.atoms, self.var_count, inst)
+        let mut found = false;
+        self.plan.for_each_hom(inst, &mut Scratch::new(), |_| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        found
     }
 
     /// Counts the satisfying assignments (used by tests and experiments;
     /// Boolean semantics only needs existence).
     pub fn count_in(&self, inst: &Instance) -> usize {
         let mut n = 0;
-        for_each_hom(&self.atoms, self.var_count, inst, |_| {
+        self.plan.for_each_hom(inst, &mut Scratch::new(), |_| {
             n += 1;
             ControlFlow::Continue(())
         });

@@ -20,6 +20,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use crate::atom::Atom;
 use crate::error::ModelError;
+use crate::plan::MatchPlan;
 use crate::symbols::{PredId, VarId};
 use crate::term::Term;
 
@@ -61,6 +62,10 @@ impl TgdClass {
 }
 
 /// A single tuple-generating dependency.
+///
+/// Construction compiles the body (and head) into [`MatchPlan`]s once, so
+/// the chase engine never re-derives pivot permutations, regions, or
+/// index-probe positions per round.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Tgd {
     body: Vec<Atom>,
@@ -68,7 +73,10 @@ pub struct Tgd {
     var_count: u32,
     frontier: Vec<VarId>,
     existentials: Vec<VarId>,
+    body_vars: Vec<VarId>,
     guard: Option<usize>,
+    body_plan: MatchPlan,
+    head_plan: MatchPlan,
 }
 
 impl Tgd {
@@ -125,13 +133,18 @@ impl Tgd {
             body_vars.is_subset(&atom_vars)
         });
 
+        let body_plan = MatchPlan::compile(&body, var_count);
+        let head_plan = MatchPlan::compile_scan(&head, var_count);
         Ok(Tgd {
             body,
             head,
             var_count,
             frontier,
             existentials,
+            body_vars: body_vars.into_iter().collect(),
             guard,
+            body_plan,
+            head_plan,
         })
     }
 
@@ -158,6 +171,24 @@ impl Tgd {
     /// The existentially quantified variables (sorted).
     pub fn existentials(&self) -> &[VarId] {
         &self.existentials
+    }
+
+    /// The variables occurring in the body (sorted). Every body variable
+    /// is bound by any body match; the head existentials are exactly
+    /// `0..var_count` minus these.
+    pub fn body_vars(&self) -> &[VarId] {
+        &self.body_vars
+    }
+
+    /// The compiled match plan of the body — the chase's hot-path join.
+    pub fn body_plan(&self) -> &MatchPlan {
+        &self.body_plan
+    }
+
+    /// The compiled match plan of the head (used by the restricted
+    /// chase's activeness check and by model checking).
+    pub fn head_plan(&self) -> &MatchPlan {
+        &self.head_plan
     }
 
     /// Index into `body()` of the leftmost guard atom, if the TGD is
@@ -402,7 +433,13 @@ mod tests {
         let mut set = TgdSet::default();
         set.push(successor_rule());
         // R(x,y) → P(x,y): 2 atoms.
-        set.push(Tgd::new(vec![atom(0, vec![v(0), v(1)])], vec![atom(1, vec![v(0), v(1)])]).unwrap());
+        set.push(
+            Tgd::new(
+                vec![atom(0, vec![v(0), v(1)])],
+                vec![atom(1, vec![v(0), v(1)])],
+            )
+            .unwrap(),
+        );
         assert_eq!(set.len(), 2);
         assert_eq!(set.schema_preds(), vec![PredId(0), PredId(1)]);
         assert_eq!(set.max_arity(), 2);

@@ -37,7 +37,7 @@
 use std::collections::HashMap;
 
 use nuchase_engine::nulls::{NullKey, NullStore};
-use nuchase_model::hom::for_each_hom;
+use nuchase_model::plan::Scratch;
 use nuchase_model::{Atom, Instance, SymbolTable, Term, TgdClass, TgdSet};
 
 use crate::error::RewriteError;
@@ -185,8 +185,9 @@ impl<'a> CompletionEngine<'a> {
             binding: Vec<Term>,
         }
         let mut apps: Vec<App> = Vec::new();
+        let mut scratch = Scratch::new();
         for (rule, tgd) in self.tgds.iter() {
-            for_each_hom(tgd.body(), tgd.var_count(), ctx, |binding| {
+            tgd.body_plan().for_each_hom(ctx, &mut scratch, |binding| {
                 apps.push(App {
                     rule,
                     binding: binding
@@ -328,7 +329,7 @@ pub fn atoms_over_dom(inst: &Instance, dom: &[Term]) -> Vec<Atom> {
                 if seen.insert(idx) {
                     let atom = inst.atom(idx);
                     if atom.args.iter().all(|a| dom.contains(a)) {
-                        out.push(atom.clone());
+                        out.push(atom.to_atom());
                     }
                 }
             }
@@ -339,7 +340,7 @@ pub fn atoms_over_dom(inst: &Instance, dom: &[Term]) -> Vec<Atom> {
         for &idx in inst.atoms_with_pred(pred) {
             let atom = inst.atom(idx);
             if atom.args.is_empty() && seen.insert(idx) {
-                out.push(atom.clone());
+                out.push(atom.to_atom());
             }
         }
     }
@@ -373,7 +374,7 @@ mod tests {
             r.instance
                 .iter()
                 .filter(|a| a.args.iter().all(|t| dom.contains(t)))
-                .cloned()
+                .map(|a| a.to_atom())
                 .collect(),
         )
     }
@@ -393,9 +394,7 @@ mod tests {
 
     #[test]
     fn datalog_saturation_without_existentials() {
-        check_against_reference(
-            "e(a, b).\ne(b, c).\ne(X, Y) -> p(X).\np(X) -> q(X).",
-        );
+        check_against_reference("e(a, b).\ne(b, c).\ne(X, Y) -> p(X).\np(X) -> q(X).");
     }
 
     #[test]
@@ -418,8 +417,7 @@ mod tests {
     fn infinite_chase_finite_completion() {
         // The §3 infinite chain: complete(D,Σ) must still be computable —
         // atoms over {a,b} are just R(a,b) (plus derived P-marking).
-        let mut p =
-            parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> p(X, Y).").unwrap();
+        let mut p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> p(X, Y).").unwrap();
         let got = complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
         // Over {a,b}: r(a,b), p(a,b). The nulls' atoms are outside dom(D).
         assert_eq!(got.len(), 2);
@@ -430,8 +428,7 @@ mod tests {
         // R(x,y) → ∃z R(y,z); R(x,y) → Mark(y). Infinite chase, but atoms
         // over dom(D)={a,b} are r(a,b), mark(b) — and also mark(a)? No:
         // mark(x) not derived for a unless some r(_, a) exists.
-        let mut p =
-            parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> mark(Y).").unwrap();
+        let mut p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> mark(Y).").unwrap();
         let got = complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
         let rendered: Vec<String> = got
             .sorted_atoms()
@@ -457,10 +454,7 @@ mod tests {
 
     #[test]
     fn engine_is_reusable_across_calls() {
-        let mut p = parse_program(
-            "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(Y, Z) -> t(Y).",
-        )
-        .unwrap();
+        let mut p = parse_program("r(a, b).\nr(X, Y) -> s(Y, Z).\ns(Y, Z) -> t(Y).").unwrap();
         let mut engine =
             CompletionEngine::new(&p.tgds, &mut p.symbols, CompleteBudget::default()).unwrap();
         let c1 = engine.complete(&p.database).unwrap();
@@ -474,7 +468,7 @@ mod tests {
         let mut p = parse_program("r(a, b).\nr(X, Y) -> s(Y, Z).").unwrap();
         let got = complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
         for atom in p.database.iter() {
-            assert!(got.contains(atom));
+            assert!(got.contains_ref(atom));
         }
     }
 }

@@ -24,5 +24,9 @@ pub mod simplify;
 
 pub use complete::{complete, CanonType, CompleteBudget, CompletionEngine};
 pub use error::RewriteError;
-pub use linearize::{gsimple, linearize, linearize_with, Linearized, LinearizeBudget, TypeRegistry};
-pub use simplify::{simplify, simplify_atom, simplify_database, simplify_tgds, SimpleMap, Simplified};
+pub use linearize::{
+    gsimple, linearize, linearize_with, LinearizeBudget, Linearized, TypeRegistry,
+};
+pub use simplify::{
+    simplify, simplify_atom, simplify_database, simplify_tgds, SimpleMap, Simplified,
+};

@@ -28,7 +28,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use nuchase_model::hom::for_each_hom_seeded;
-use nuchase_model::{Atom, Instance, PredId, SymbolTable, Term, TgdClass, TgdSet, Tgd};
+use nuchase_model::{Atom, Instance, PredId, SymbolTable, Term, Tgd, TgdClass, TgdSet};
 
 use crate::complete::{canonicalize_type, CanonType, CompleteBudget, CompletionEngine};
 use crate::error::RewriteError;
@@ -157,12 +157,13 @@ pub fn linearize_with(
     for alpha in db.iter() {
         let dom = alpha.dom();
         let ty_atoms: Vec<Atom> = crate::complete::atoms_over_dom(&completion, &dom);
-        let (ty, _inv) = canonicalize_type(alpha, &ty_atoms, &ints);
+        let alpha_owned = alpha.to_atom();
+        let (ty, _inv) = canonicalize_type(&alpha_owned, &ty_atoms, &ints);
         let (pred, new) = registry.intern(symbols, ty.clone());
         if new {
             worklist.push_back(ty);
         }
-        lin_db.insert(Atom::new(pred, alpha.args.clone()));
+        lin_db.insert(Atom::new(pred, alpha.args.to_vec()));
     }
 
     // --- lin(Σ): worklist over reachable types. ---
@@ -213,7 +214,7 @@ pub fn linearize_with(
                 .collect();
             let mut bindings: Vec<Vec<Option<Term>>> = Vec::new();
             for_each_hom_seeded(&rest, seed.clone(), &ty_instance, |b| {
-                bindings.push(b.clone());
+                bindings.push(b.to_vec());
                 std::ops::ControlFlow::Continue(())
             });
 
@@ -386,10 +387,7 @@ mod tests {
 
     #[test]
     fn lin_rules_are_linear_and_join_lin_db() {
-        let mut p = parse_program(
-            "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(Y, Z) -> t(Y).",
-        )
-        .unwrap();
+        let mut p = parse_program("r(a, b).\nr(X, Y) -> s(Y, Z).\ns(Y, Z) -> t(Y).").unwrap();
         let lin = linearize(&p.database, &p.tgds, &mut p.symbols).unwrap();
         assert!(lin.tgds.iter().all(|(_, t)| t.is_linear()));
         // Chasing lin(D) with lin(Σ) must terminate like the original.
@@ -419,15 +417,9 @@ mod tests {
 
     #[test]
     fn gsimple_produces_simple_linear_rules() {
-        let mut p = parse_program(
-            "r(a, b).\nr(X, Y) -> s(Y, Z).\ns(Y, Z) -> t(Y).",
-        )
-        .unwrap();
+        let mut p = parse_program("r(a, b).\nr(X, Y) -> s(Y, Z).\ns(Y, Z) -> t(Y).").unwrap();
         let (gs, _reg) = gsimple(&p.database, &p.tgds, &mut p.symbols).unwrap();
-        assert!(gs
-            .tgds
-            .iter()
-            .all(|(_, t)| t.is_simple_linear()));
+        assert!(gs.tgds.iter().all(|(_, t)| t.is_simple_linear()));
         assert!(!gs.database.is_empty());
     }
 

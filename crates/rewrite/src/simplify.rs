@@ -102,7 +102,9 @@ pub fn simplify_database(
     map: &mut SimpleMap,
     symbols: &mut SymbolTable,
 ) -> Instance {
-    db.iter().map(|a| simplify_atom(a, map, symbols)).collect()
+    db.iter()
+        .map(|a| simplify_atom(&a.to_atom(), map, symbols))
+        .collect()
 }
 
 /// Enumerates the *specializations* of a variable tuple (Definition 7.2):
@@ -164,8 +166,8 @@ pub fn simplify_tgd(
             .map(|a| simplify_atom(&apply(a), map, symbols))
             .collect();
         if seen.insert((new_body.clone(), new_head.clone())) {
-            let tgd = Tgd::new(vec![new_body], new_head)
-                .expect("simplified TGD is structurally valid");
+            let tgd =
+                Tgd::new(vec![new_body], new_head).expect("simplified TGD is structurally valid");
             debug_assert!(tgd.is_simple_linear());
             out.push(tgd);
         }
@@ -292,7 +294,10 @@ mod tests {
         assert_eq!(tgd.body()[0].arity(), 1);
         assert_eq!(tgd.head()[0].arity(), 2);
         let rendered = format!("{}", tgd.display(&p.symbols));
-        assert!(rendered.contains("r[11]") && rendered.contains("r[12]"), "{rendered}");
+        assert!(
+            rendered.contains("r[11]") && rendered.contains("r[12]"),
+            "{rendered}"
+        );
     }
 
     #[test]

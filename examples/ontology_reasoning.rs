@@ -19,7 +19,11 @@ fn main() {
     // ── The safe ontology terminates on every database. ──
     let mut symbols = SymbolTable::new();
     let safe = obda_ontology(&mut symbols);
-    println!("safe ontology ({} TGDs):\n{}", safe.len(), safe.display(&symbols));
+    println!(
+        "safe ontology ({} TGDs):\n{}",
+        safe.len(),
+        safe.display(&symbols)
+    );
     assert!(nuchase::is_uniformly_weakly_acyclic(&safe));
     let db = obda_database(&mut symbols, 50);
 
@@ -35,7 +39,10 @@ fn main() {
     let employee = symbols.lookup_pred("employee").unwrap();
     let worksfor = symbols.lookup_pred("worksfor").unwrap();
     let q = Cq::new(vec![
-        nuchase_model::Atom::new(employee, vec![nuchase_model::Term::Var(nuchase_model::VarId(0))]),
+        nuchase_model::Atom::new(
+            employee,
+            vec![nuchase_model::Term::Var(nuchase_model::VarId(0))],
+        ),
         nuchase_model::Atom::new(
             worksfor,
             vec![

@@ -1,0 +1,7 @@
+//! Umbrella package for the `nuchase` workspace.
+//!
+//! This crate exists only so that the workspace root can own the
+//! cross-crate integration tests under `tests/` and the runnable
+//! examples under `examples/`. All functionality lives in the member
+//! crates (`nuchase-model`, `nuchase-engine`, `nuchase`, `nuchase-gen`,
+//! `nuchase-rewrite`, `nuchase-bench`, `nuchase-cli`).

@@ -7,7 +7,11 @@ use nuchase_engine::{chase, semi_oblivious_chase, ChaseBudget, ChaseConfig, Chas
 use nuchase_gen::{random_program, RandomConfig};
 use nuchase_model::{parse_program, TgdClass};
 
-fn restricted(db: &nuchase_model::Instance, tgds: &nuchase_model::TgdSet, budget: usize) -> nuchase_engine::ChaseResult {
+fn restricted(
+    db: &nuchase_model::Instance,
+    tgds: &nuchase_model::TgdSet,
+    budget: usize,
+) -> nuchase_engine::ChaseResult {
     chase(
         db,
         tgds,
@@ -30,7 +34,10 @@ fn restricted_terminates_where_semi_oblivious_diverges() {
     let so = semi_oblivious_chase(&p.database, &p.tgds, 2_000);
     assert!(!so.terminated(), "semi-oblivious fires per frontier value");
     let re = restricted(&p.database, &p.tgds, 2_000);
-    assert!(re.terminated(), "restricted sees R(b,b) satisfies every head");
+    assert!(
+        re.terminated(),
+        "restricted sees R(b,b) satisfies every head"
+    );
     assert_eq!(re.instance.len(), 2);
 }
 

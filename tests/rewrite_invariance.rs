@@ -10,9 +10,9 @@ use nuchase_rewrite::{linearize, simplify};
 #[test]
 fn simplification_invariance_crafted() {
     for text in [
-        "r(a, b).\nr(X, X) -> r(Z, X).",              // Example 7.1
-        "r(a, a).\nr(X, X) -> r(Z, X).",              // diagonal data
-        "r(a, b).\nr(X, Y) -> r(Y, Z).",              // diverging
+        "r(a, b).\nr(X, X) -> r(Z, X).",                      // Example 7.1
+        "r(a, a).\nr(X, X) -> r(Z, X).",                      // diagonal data
+        "r(a, b).\nr(X, Y) -> r(Y, Z).",                      // diverging
         "r(a, b).\nr(X, X) -> r(X, Z).\nr(X, Y) -> r(Y, Y).", // diagonal loop
         "r(a, b, a).\nr(X, Y, X) -> s(Y, X).\ns(X, Y) -> r(X, X, Y).",
         "p(a).\np(X) -> q(X, X).\nq(X, Y) -> p(Y).",
