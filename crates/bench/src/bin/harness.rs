@@ -7,6 +7,8 @@
 //! cargo run --release -p nuchase-bench --bin harness -- e02 e10      # subset
 //! cargo run --release -p nuchase-bench --bin harness -- --list
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-chase [out.json]
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-parallel [out.json]
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-parallel-quick [out.json]
 //! ```
 
 use std::time::Instant;
@@ -31,6 +33,27 @@ fn main() {
         let rows = nuchase_bench::perf::run_chase_bench(3);
         print!("{}", nuchase_bench::perf::chase_bench_table(&rows));
         let json = nuchase_bench::perf::chase_bench_json(&rows);
+        std::fs::write(out_path, json).expect("write bench json");
+        println!("\nwrote {out_path}");
+        return;
+    }
+
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a == "--bench-parallel" || a == "--bench-parallel-quick")
+    {
+        let quick = args[pos] == "--bench-parallel-quick";
+        let out_path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_parallel.json");
+        println!(
+            "parallel chase executor: thread scaling curve ({} parallelism available)\n",
+            nuchase_engine::auto_threads()
+        );
+        let rows = nuchase_bench::perf::run_parallel_bench(if quick { 1 } else { 3 }, quick);
+        print!("{}", nuchase_bench::perf::parallel_bench_table(&rows));
+        let json = nuchase_bench::perf::parallel_bench_json(&rows);
         std::fs::write(out_path, json).expect("write bench json");
         println!("\nwrote {out_path}");
         return;

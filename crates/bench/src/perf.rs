@@ -19,7 +19,10 @@
 
 use std::fmt::Write as _;
 
-use nuchase_engine::{baseline_semi_oblivious_chase, semi_oblivious_chase, ChaseStats};
+use nuchase_engine::{
+    baseline_semi_oblivious_chase, chase, semi_oblivious_chase, ChaseBudget, ChaseConfig,
+    ChaseStats,
+};
 use nuchase_model::{Atom, Instance, SymbolTable, Term, TgdSet};
 
 /// Throughput numbers for one engine on one workload.
@@ -35,6 +38,13 @@ pub struct EngineNumbers {
     pub atoms_per_sec: f64,
     /// Triggers considered per second.
     pub triggers_per_sec: f64,
+    /// Wall time of the enumerate phase (0 for the seed baseline, which
+    /// predates per-phase accounting).
+    pub enumerate_secs: f64,
+    /// Wall time of the dedup merge.
+    pub dedup_secs: f64,
+    /// Wall time of the apply phase.
+    pub apply_secs: f64,
 }
 
 impl EngineNumbers {
@@ -45,6 +55,9 @@ impl EngineNumbers {
             wall_secs: stats.wall_secs,
             atoms_per_sec: stats.atoms_per_sec(),
             triggers_per_sec: stats.triggers_per_sec(),
+            enumerate_secs: stats.enumerate_secs,
+            dedup_secs: stats.dedup_secs,
+            apply_secs: stats.apply_secs,
         }
     }
 }
@@ -135,6 +148,45 @@ fn hub_skew_chain(bloat: u32) -> (Instance, TgdSet, usize) {
     (db, TgdSet::new(vec![tgd]), 100_000)
 }
 
+/// The hub-skew shape widened: `chains` independent chains share the hub
+/// constant, so every round advances all of them at once — deltas of
+/// `~2·chains` atoms instead of 2. This is the round shape the parallel
+/// executor's pool exists for (the single-chain variant spends its life
+/// in 2-atom rounds, which no executor can shard); the skewed `(s, 0, h)`
+/// posting list still grows with the chase, exercising probe selectivity
+/// under parallel enumeration.
+fn hub_skew_fanout(chains: u32, bloat: u32) -> (Instance, TgdSet, usize) {
+    let mut symbols = SymbolTable::new();
+    let r = symbols.pred_unchecked("r", 3);
+    let s = symbols.pred_unchecked("s", 2);
+    let h = Term::Const(symbols.constant("h"));
+    let mut db = Instance::new();
+    for i in 0..chains {
+        let a = Term::Const(symbols.constant(&format!("a{i}")));
+        let b = Term::Const(symbols.constant(&format!("b{i}")));
+        db.insert(Atom::new(r, vec![h, a, b]));
+        db.insert(Atom::new(s, vec![h, b]));
+    }
+    for i in 0..bloat {
+        let d = Term::Const(symbols.constant(&format!("d{i}")));
+        db.insert(Atom::new(s, vec![h, d]));
+    }
+    let v = |i: u32| Term::Var(nuchase_model::VarId(i));
+    // r(W,X,Y), s(W,Y) → ∃Z r(W,Y,Z), s(W,Z)
+    let tgd = nuchase_model::Tgd::new(
+        vec![
+            Atom::new(r, vec![v(0), v(1), v(2)]),
+            Atom::new(s, vec![v(0), v(2)]),
+        ],
+        vec![
+            Atom::new(r, vec![v(0), v(2), v(3)]),
+            Atom::new(s, vec![v(0), v(3)]),
+        ],
+    )
+    .unwrap();
+    (db, TgdSet::new(vec![tgd]), 100_000)
+}
+
 /// Best-of-`runs` timing, but stop repeating once a workload has consumed
 /// ~10 s of wall clock (the seed engine is quadratic on some workloads;
 /// repeating a 50 s run to shave noise is pointless).
@@ -191,6 +243,195 @@ pub fn run_chase_bench(runs: usize) -> Vec<ChaseBenchRow> {
         });
     }
     rows
+}
+
+/// Numbers for one thread count of the parallel scaling curve.
+#[derive(Debug, Clone)]
+pub struct ThreadNumbers {
+    /// Worker count of the run.
+    pub threads: usize,
+    /// Final instance size (identical across thread counts by design —
+    /// asserted).
+    pub atoms: usize,
+    /// Best-of-N wall time, seconds.
+    pub wall_secs: f64,
+    /// Triggers considered per second.
+    pub triggers_per_sec: f64,
+    /// Wall time of the (sharded) enumerate phase.
+    pub enumerate_secs: f64,
+    /// Wall time of the dedup merge.
+    pub dedup_secs: f64,
+    /// Wall time of the apply phase.
+    pub apply_secs: f64,
+}
+
+/// The scaling curve of one workload under the parallel executor.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Atom budget of the runs.
+    pub budget: usize,
+    /// One entry per measured thread count, ascending.
+    pub curve: Vec<ThreadNumbers>,
+    /// `wall(1 thread) / wall(4 threads)` — the headline scaling number.
+    pub speedup_4t: f64,
+}
+
+/// Thread counts of the scaling curve.
+pub const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the parallel scaling curve (best of `runs` per thread count) on
+/// the two workloads whose enumerate phase dominates: hub-skew and the
+/// depth family. `quick` shrinks the budgets ~10× for CI smoke runs.
+pub fn run_parallel_bench(runs: usize, quick: bool) -> Vec<ParallelBenchRow> {
+    let workloads: Vec<(&'static str, (Instance, TgdSet, usize))> = if quick {
+        vec![
+            ("hub_skew_chain_10k", {
+                let (db, tgds, _) = hub_skew_chain(128);
+                (db, tgds, 10_000)
+            }),
+            ("hub_skew_fanout_10k", {
+                let (db, tgds, _) = hub_skew_fanout(1024, 128);
+                (db, tgds, 10_000)
+            }),
+            ("depth_family_5k", depth_family(5_000)),
+        ]
+    } else {
+        vec![
+            ("hub_skew_chain_100k", hub_skew_chain(512)),
+            ("hub_skew_fanout_100k", hub_skew_fanout(2048, 512)),
+            ("transitive_closure_400", transitive_closure(400)),
+            ("depth_family_50k", depth_family(50_000)),
+        ]
+    };
+    let mut rows = Vec::new();
+    for (name, (db, tgds, budget)) in workloads {
+        let mut curve = Vec::new();
+        for threads in PARALLEL_THREADS {
+            let numbers = best_of(runs, || {
+                let r = chase(
+                    &db,
+                    &tgds,
+                    &ChaseConfig {
+                        budget: ChaseBudget::atoms(budget),
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                (r.instance.len(), r.stats.clone(), ())
+            });
+            curve.push(ThreadNumbers {
+                threads,
+                atoms: numbers.atoms,
+                wall_secs: numbers.wall_secs,
+                triggers_per_sec: numbers.triggers_per_sec,
+                enumerate_secs: numbers.enumerate_secs,
+                dedup_secs: numbers.dedup_secs,
+                apply_secs: numbers.apply_secs,
+            });
+        }
+        assert!(
+            curve.windows(2).all(|w| w[0].atoms == w[1].atoms),
+            "{name}: thread counts disagree on the result size"
+        );
+        let wall_at = |t: usize| {
+            curve
+                .iter()
+                .find(|n| n.threads == t)
+                .map(|n| n.wall_secs)
+                .unwrap_or(f64::NAN)
+        };
+        let speedup_4t = wall_at(1) / wall_at(4).max(1e-12);
+        rows.push(ParallelBenchRow {
+            name,
+            budget,
+            curve,
+            speedup_4t,
+        });
+    }
+    rows
+}
+
+fn thread_json(n: &ThreadNumbers) -> String {
+    format!(
+        "{{\"threads\": {}, \"atoms\": {}, \"wall_secs\": {:.6}, \
+         \"triggers_per_sec\": {:.0}, \"enumerate_secs\": {:.6}, \
+         \"dedup_secs\": {:.6}, \"apply_secs\": {:.6}}}",
+        n.threads,
+        n.atoms,
+        n.wall_secs,
+        n.triggers_per_sec,
+        n.enumerate_secs,
+        n.dedup_secs,
+        n.apply_secs
+    )
+}
+
+/// Renders the rows as the `BENCH_parallel.json` document.
+pub fn parallel_bench_json(rows: &[ParallelBenchRow]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo run --release -p nuchase-bench --bin harness -- --bench-parallel\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"engine\": \"parallel executor (sharded enumeration, deterministic apply); \
+         1-thread curve point is the parallel executor with one worker\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        nuchase_engine::auto_threads()
+    );
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", row.name);
+        let _ = writeln!(out, "      \"budget_atoms\": {},", row.budget);
+        let _ = writeln!(out, "      \"curve\": [");
+        for (j, n) in row.curve.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {}{}",
+                thread_json(n),
+                if j + 1 < row.curve.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"speedup_4_threads\": {:.2}", row.speedup_4t);
+        let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders a human-readable table of the scaling rows.
+pub fn parallel_bench_table(rows: &[ParallelBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>12} {:>14} {:>11} {:>9} {:>9}",
+        "workload", "threads", "wall", "triggers/s", "enumerate", "dedup", "apply"
+    );
+    for r in rows {
+        for n in &r.curve {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>10.3} s {:>14.0} {:>9.3} s {:>7.3} s {:>7.3} s",
+                r.name,
+                n.threads,
+                n.wall_secs,
+                n.triggers_per_sec,
+                n.enumerate_secs,
+                n.dedup_secs,
+                n.apply_secs
+            );
+        }
+        let _ = writeln!(out, "{:<24} 4-thread speedup: {:.2}×", "", r.speedup_4t);
+    }
+    out
 }
 
 fn engine_json(n: &EngineNumbers) -> String {
@@ -270,6 +511,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_bench_quick_runs_and_renders() {
+        let rows = run_parallel_bench(1, true);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.curve.len(), PARALLEL_THREADS.len());
+            assert!(r.curve.iter().all(|n| n.atoms > 0 && n.wall_secs > 0.0));
+        }
+        let json = parallel_bench_json(&rows);
+        assert!(json.contains("\"speedup_4_threads\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(parallel_bench_table(&rows).contains("4-thread speedup"));
+    }
+
+    #[test]
     fn json_rendering_is_wellformed_enough() {
         let n = EngineNumbers {
             atoms: 10,
@@ -277,6 +533,9 @@ mod tests {
             wall_secs: 0.5,
             atoms_per_sec: 20.0,
             triggers_per_sec: 40.0,
+            enumerate_secs: 0.3,
+            dedup_secs: 0.05,
+            apply_secs: 0.1,
         };
         let rows = vec![ChaseBenchRow {
             name: "demo",

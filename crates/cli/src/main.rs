@@ -29,12 +29,35 @@ fn usage() -> ! {
         "usage: nuchase <decide|run|explain|bounds|query> <program.dlp|-> [args]\n\
          \n\
          decide  — termination verdicts (uniform + this database)\n\
-         run     — run the semi-oblivious chase  [--atoms N] [--print]\n\
+         run     — run the semi-oblivious chase  [--atoms N] [--print] [--threads N]\n\
          explain — dependency-graph diagnosis and the compiled UCQ Q_Σ\n\
          bounds  — the paper's depth/size bounds d_C(Σ), f_C(Σ)\n\
-         query   — certain answers, e.g.: nuchase query kb.dlp 'person(X) ? X'"
+         query   — certain answers, e.g.: nuchase query kb.dlp 'person(X) ? X'\n\
+         \n\
+         --threads 0 runs the sequential engine (default), N >= 1 the parallel\n\
+         executor, 'auto' all cores; NUCHASE_THREADS sets the default."
     );
     std::process::exit(2);
+}
+
+/// Resolves the worker count: `--threads N|auto` beats `NUCHASE_THREADS`,
+/// which beats the sequential default (0). A `--threads` flag without a
+/// usable value is an error, not a silent fallback.
+fn resolve_threads(args: &[String]) -> Result<usize, nuchase_cli::CliError> {
+    let setting = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v.clone()),
+            _ => return Err("--threads requires a value (a worker count or 'auto')".into()),
+        },
+        None => std::env::var("NUCHASE_THREADS").ok(),
+    };
+    match setting.as_deref() {
+        None => Ok(0),
+        Some("auto") => Ok(nuchase_engine::auto_threads()),
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| format!("--threads: expected a number or 'auto', got '{s}'").into()),
+    }
 }
 
 fn main() {
@@ -56,7 +79,8 @@ fn main() {
                     .transpose()?
                     .unwrap_or(1_000_000);
                 let print = args.iter().any(|a| a == "--print");
-                nuchase_cli::cmd_run(&program, atoms, print)
+                let threads = resolve_threads(&args)?;
+                nuchase_cli::cmd_run(&program, atoms, print, threads)
             }
             "explain" => nuchase_cli::cmd_explain(&mut program),
             "bounds" => nuchase_cli::cmd_bounds(&program),

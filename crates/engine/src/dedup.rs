@@ -30,6 +30,15 @@ pub struct TermTupleSet {
     offsets: Vec<u32>,
     /// The flat tuple arena.
     terms: Vec<Term>,
+    /// Slots filled since the last [`TermTupleSet::clear`], so a clear of
+    /// a sparsely used set costs O(inserted), not O(capacity) — a
+    /// recycled per-task arena must not make every tiny round pay for
+    /// the one wide round that grew its table.
+    touched: Vec<u32>,
+    /// Set when a rehash scattered entries to untracked slots; the next
+    /// clear falls back to the full O(capacity) wipe (amortized by the
+    /// inserts that forced the growth).
+    dense: bool,
 }
 
 impl TermTupleSet {
@@ -60,12 +69,34 @@ impl TermTupleSet {
             .is_some()
     }
 
+    /// Empties the set, keeping the table and arena allocations — the
+    /// recycling path for per-task dedup in the parallel executor.
+    /// Costs O(tuples inserted since the last clear) unless a rehash
+    /// intervened (then one O(capacity) wipe).
+    pub fn clear(&mut self) {
+        if self.dense {
+            self.table.clear();
+            self.dense = false;
+        } else {
+            self.table.clear_sparse(&self.touched);
+        }
+        self.touched.clear();
+        self.hashes.clear();
+        self.offsets.clear();
+        self.terms.clear();
+    }
+
     /// Inserts a tuple; returns `true` if it was new. Duplicates allocate
     /// nothing; novelties append to the arena.
     pub fn insert(&mut self, tuple: &[Term]) -> bool {
         let hash = hash_terms(tuple);
         // Grow first so the vacant slot found by the probe stays valid.
+        let slots_before = self.table.slot_count();
         self.table.reserve_one(&self.hashes);
+        if self.table.slot_count() != slots_before {
+            self.dense = true;
+            self.touched.clear();
+        }
         let vacant = match self
             .table
             .probe(hash, |ordinal| self.tuple(ordinal) == tuple)
@@ -81,6 +112,9 @@ impl TermTupleSet {
         self.offsets.push(self.terms.len() as u32);
         self.hashes.push(hash);
         self.table.fill(vacant, hash, ordinal);
+        if !self.dense {
+            self.touched.push(vacant as u32);
+        }
         true
     }
 }
@@ -113,6 +147,40 @@ mod tests {
         assert!(set.insert(&[c(0)]));
         assert!(set.insert(&[c(0), c(0)]));
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn clear_recycles_the_arena() {
+        let mut set = TermTupleSet::new();
+        assert!(set.insert(&[c(0), c(1)]));
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(&[c(0), c(1)]));
+        assert!(set.insert(&[c(0), c(1)]));
+        assert!(!set.insert(&[c(0), c(1)]));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn sparse_clear_survives_growth_and_reuse() {
+        // Grow the table well past its initial capacity (dense clear
+        // path), then cycle through many small clear/insert rounds (the
+        // sparse path) — membership must stay exact throughout. The
+        // debug assertion in TagTable::clear_sparse checks that no slot
+        // is ever left behind.
+        let mut set = TermTupleSet::new();
+        for i in 0..5_000 {
+            assert!(set.insert(&[c(i)]));
+        }
+        for round in 0..100u32 {
+            set.clear();
+            assert!(set.is_empty());
+            for i in 0..3 {
+                assert!(set.insert(&[c(round), c(i)]), "round {round} item {i}");
+                assert!(!set.insert(&[c(round), c(i)]));
+            }
+            assert!(!set.contains(&[c(round + 1), c(0)]));
+        }
     }
 
     #[test]

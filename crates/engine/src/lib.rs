@@ -13,6 +13,11 @@
 //! The engine tracks per-null **depth** (Definition 4.3) and can record
 //! the **guarded chase forest** of §5 ([`forest::Forest`]), enabling the
 //! paper's size-bound experiments.
+//!
+//! Each chase round splits into a read-only **enumerate** phase and a
+//! deterministic **apply** phase ([`phase`]); the [`parallel`] executor
+//! shards the former over a worker pool ([`ChaseConfig::threads`]) while
+//! keeping results byte-identical to the sequential engine.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,14 +27,17 @@ pub mod chase;
 pub mod dedup;
 pub mod forest;
 pub mod nulls;
+pub mod parallel;
+pub mod phase;
 pub mod provenance;
 
 pub use baseline::{baseline_semi_oblivious_chase, BaselineResult};
 pub use chase::{
-    chase, semi_oblivious_chase, ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats,
-    ChaseVariant,
+    chase, semi_oblivious_chase, sequential_chase, ChaseBudget, ChaseConfig, ChaseOutcome,
+    ChaseResult, ChaseStats, ChaseVariant,
 };
 pub use dedup::TermTupleSet;
 pub use forest::Forest;
 pub use nulls::{NullKey, NullStore};
+pub use parallel::{auto_threads, chase_parallel};
 pub use provenance::{explain, Derivation, Explanation, Provenance};

@@ -1,0 +1,578 @@
+//! The parallel chase executor: sharded trigger enumeration with
+//! deterministic apply.
+//!
+//! A chase round's enumerate phase is read-only over the instance and
+//! embarrassingly parallel over `(rule, pivot, window)` task units
+//! ([`crate::phase::Task`]); its apply phase is inherently sequential
+//! (null ids and atom ids are assigned in firing order). This executor
+//! exploits exactly that split:
+//!
+//! * a **persistent worker pool** (`threads` workers, the coordinating
+//!   thread included) lives for the whole run — no per-round spawns;
+//! * each round, the coordinator publishes the canonical task list and
+//!   the workers **self-schedule** over it by stealing the next unit off
+//!   a shared atomic cursor — skew (one rule dominating a round) load-
+//!   balances automatically because windows are small;
+//! * every worker owns one [`WorkerScratch`] — one backtracking trail,
+//!   one recycled trigger-dedup arena, one key buffer — so the inner
+//!   loop stays allocation-free per candidate, exactly like the
+//!   sequential engine;
+//! * the coordinator then merges the per-task batches back into
+//!   **canonical `(rule, pivot, window)` order** and runs the
+//!   single-threaded apply phase ([`crate::phase::apply_batch`]).
+//!
+//! # Determinism
+//!
+//! Results are **byte-identical** to [`crate::chase::sequential_chase`]
+//! at any thread count: same atoms at the same indexes, same null ids,
+//! same provenance, same round/trigger counts. This hinges on three
+//! invariants, each enforced structurally:
+//!
+//! 1. task decomposition is a pure function of the round (never of the
+//!    worker count) — [`crate::phase::round_tasks`];
+//! 2. a task's batch is a pure function of the frozen round state: the
+//!    only dedup state a worker consults is the frozen previous-round
+//!    fired sets plus a *per-task* arena, never anything that depends on
+//!    which worker ran what before;
+//! 3. cross-task duplicate resolution happens in the apply phase's
+//!    merge, in canonical order.
+//!
+//! The differential suites (`tests/properties.rs`) pin this at thread
+//! counts 1, 2, and 7 against the sequential engine, variant by variant.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+use std::time::Instant;
+
+use nuchase_model::{AtomIdx, Instance, TgdSet};
+
+use crate::chase::{ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant};
+use crate::dedup::TermTupleSet;
+use crate::phase::{
+    apply_batch, enumerate_task, round_tasks, ApplyState, RoundCtx, Task, TriggerBatch,
+    WorkerScratch,
+};
+
+/// The worker count `threads: 0` ("auto") resolves to: the machine's
+/// available parallelism (1 if it cannot be determined).
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The state a round freezes for its enumerate phase and mutates in its
+/// apply phase. Lives behind one `RwLock`: workers hold read guards
+/// while enumerating; the coordinator takes the write guard between the
+/// phase barriers to prepare and to apply.
+#[derive(Debug, Default)]
+struct RoundState {
+    instance: Instance,
+    /// Authoritative per-rule fired sets — mutated only by the apply
+    /// phase, frozen (read-only) during enumeration.
+    fired: Vec<TermTupleSet>,
+    /// Canonical task list of the current round.
+    tasks: Vec<Task>,
+    delta_start: AtomIdx,
+}
+
+/// Everything the pool shares. The barrier separates the phases: between
+/// a `prepare → barrier` and the following `barrier`, workers enumerate
+/// and the round state is immutable; outside that span workers are
+/// parked and the coordinator owns the state.
+struct Shared<'a> {
+    tgds: &'a TgdSet,
+    variant: ChaseVariant,
+    round: RwLock<RoundState>,
+    /// The shared task cursor workers steal from.
+    next_task: AtomicUsize,
+    /// Completed `(task index, batch, triggers considered)` triples,
+    /// published in completion order and re-sorted canonically by the
+    /// coordinator.
+    results: Mutex<Vec<(u32, TriggerBatch, usize)>>,
+    /// Recycled (cleared) batches: popped by workers per task, returned
+    /// by the coordinator after the apply phase — the steady state
+    /// allocates no new batch arenas.
+    spare: Mutex<Vec<TriggerBatch>>,
+    barrier: Barrier,
+    done: AtomicBool,
+}
+
+/// Releases the workers if the coordinator unwinds mid-run (a panic in
+/// the apply phase, a poisoned lock, …): completes the enumerate-phase
+/// barrier if one is pending, raises `done`, and crosses the park
+/// barrier so the pool exits and `thread::scope` can join — the panic
+/// then propagates instead of deadlocking the scope. (A panic on a
+/// *worker* still aborts the join; workers run only read-only plan
+/// enumeration, whose invariants the sequential differential suites pin
+/// deterministically.)
+struct PanicRelease<'a, 'b> {
+    shared: &'a Shared<'b>,
+    /// True between the two phase barriers (workers will reach the
+    /// end-of-phase barrier and must be met there first).
+    in_phase: bool,
+}
+
+impl Drop for PanicRelease<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if self.in_phase {
+                self.shared.barrier.wait();
+            }
+            self.shared.done.store(true, Ordering::Release);
+            self.shared.barrier.wait();
+        }
+    }
+}
+
+/// Runs the chase with `config.threads.max(1)` enumeration workers.
+/// Byte-identical to [`crate::chase::sequential_chase`] at any thread
+/// count; prefer calling [`crate::chase::chase`], which dispatches on
+/// [`ChaseConfig::threads`].
+pub fn chase_parallel(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseResult {
+    let threads = config.threads.max(1);
+    let started = Instant::now();
+    let mut stats = ChaseStats::default();
+    let mut state = ApplyState::new(config, database.len());
+    let mut round = RoundState {
+        instance: database.clone(),
+        fired: vec![TermTupleSet::new(); tgds.len()],
+        tasks: Vec::new(),
+        delta_start: 0,
+    };
+
+    let outcome = if threads == 1 {
+        drive_single(tgds, config, &mut round, &mut state, &mut stats)
+    } else {
+        drive_pool(tgds, config, threads, &mut round, &mut state, &mut stats)
+    };
+
+    stats.atoms_created = round.instance.len() - database.len();
+    stats.nulls_created = state.nulls.len();
+    stats.wall_secs = started.elapsed().as_secs_f64();
+    ChaseResult {
+        instance: round.instance,
+        nulls: state.nulls,
+        outcome,
+        stats,
+        forest: state.forest,
+        provenance: state.provenance,
+    }
+}
+
+/// One worker: task decomposition, batching, and merge identical to the
+/// pool path, minus the synchronization — this is the 1-thread executor
+/// the scaling curves are measured against.
+fn drive_single(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    round: &mut RoundState,
+    state: &mut ApplyState,
+    stats: &mut ChaseStats,
+) -> ChaseOutcome {
+    let mut ws = WorkerScratch::new();
+    let mut batch = TriggerBatch::new();
+    loop {
+        if stats.rounds >= config.budget.max_rounds {
+            return ChaseOutcome::RoundLimit;
+        }
+        stats.rounds += 1;
+
+        let enumerate_started = Instant::now();
+        let len = round.instance.len() as AtomIdx;
+        round_tasks(tgds, round.delta_start, len, &mut round.tasks);
+        batch.clear();
+        let ctx = RoundCtx {
+            tgds,
+            variant: config.variant,
+            delta_start: round.delta_start,
+        };
+        for i in 0..round.tasks.len() {
+            let task = round.tasks[i];
+            stats.triggers_considered += enumerate_task(
+                &round.instance,
+                ctx,
+                task,
+                &round.fired[task.rule.index()],
+                &mut ws,
+                &mut batch,
+            );
+        }
+        stats.enumerate_secs += enumerate_started.elapsed().as_secs_f64();
+        if batch.is_empty() {
+            return ChaseOutcome::Terminated;
+        }
+
+        let len_before = round.instance.len();
+        if let Some(stop) = apply_batch(
+            tgds,
+            config,
+            &mut round.instance,
+            &mut round.fired,
+            state,
+            &batch,
+            stats,
+        ) {
+            return stop;
+        }
+        if round.instance.len() == len_before {
+            return ChaseOutcome::Terminated;
+        }
+        round.delta_start = len_before as AtomIdx;
+    }
+}
+
+/// The pooled driver: spawns `threads - 1` scoped workers (the
+/// coordinator enumerates too) and runs the barrier-separated
+/// prepare → enumerate → merge/apply round loop.
+fn drive_pool(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    threads: usize,
+    round: &mut RoundState,
+    state: &mut ApplyState,
+    stats: &mut ChaseStats,
+) -> ChaseOutcome {
+    let shared = Shared {
+        tgds,
+        variant: config.variant,
+        round: RwLock::new(std::mem::take(round)),
+        next_task: AtomicUsize::new(0),
+        results: Mutex::new(Vec::new()),
+        spare: Mutex::new(Vec::new()),
+        barrier: Barrier::new(threads),
+        done: AtomicBool::new(false),
+    };
+    let outcome = std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(|| worker_loop(&shared));
+        }
+        coordinate(&shared, config, state, stats)
+    });
+    *round = shared.round.into_inner().unwrap();
+    outcome
+}
+
+/// Signals the end of the run and releases the parked workers so they
+/// observe it and exit.
+fn finish(shared: &Shared<'_>, outcome: ChaseOutcome) -> ChaseOutcome {
+    shared.done.store(true, Ordering::Release);
+    shared.barrier.wait();
+    outcome
+}
+
+/// Minimum delta size (in atoms) for a round to engage the worker pool.
+/// A deep chase spends most of its rounds on deltas of a handful of
+/// atoms — there two barrier crossings cost more than the enumeration
+/// they would shard, so the coordinator runs those rounds inline and
+/// leaves the workers parked. Wide rounds (large deltas, the case
+/// parallelism exists for) cross the threshold and fan out. The choice
+/// only moves *who* enumerates, never *what*: batches are canonical
+/// either way, so results do not depend on it.
+const POOL_DELTA_MIN: AtomIdx = 2048;
+
+/// A round with at least this many tasks engages the pool regardless of
+/// delta size (many rules × pivots can carry real work on a small delta).
+const POOL_TASKS_MIN: usize = 16;
+
+/// The coordinator's round loop (also participates in enumeration).
+fn coordinate(
+    shared: &Shared<'_>,
+    config: &ChaseConfig,
+    state: &mut ApplyState,
+    stats: &mut ChaseStats,
+) -> ChaseOutcome {
+    let mut ws = WorkerScratch::new();
+    let mut merged: Vec<(u32, TriggerBatch, usize)> = Vec::new();
+    let mut inline_batch = TriggerBatch::new();
+    let mut guard = PanicRelease {
+        shared,
+        in_phase: false,
+    };
+    loop {
+        // Recycle last round's batch arenas before anything can grow.
+        if !merged.is_empty() {
+            let mut spare = shared.spare.lock().unwrap();
+            spare.extend(merged.drain(..).map(|(_, mut b, _)| {
+                b.clear();
+                b
+            }));
+        }
+
+        // Prepare the round. Workers are parked at the barrier, so the
+        // write guard is uncontended by construction.
+        let engage;
+        {
+            let mut round = shared.round.write().unwrap();
+            if stats.rounds >= config.budget.max_rounds {
+                drop(round);
+                return finish(shared, ChaseOutcome::RoundLimit);
+            }
+            stats.rounds += 1;
+            let len = round.instance.len() as AtomIdx;
+            let delta_start = round.delta_start;
+            let RoundState { tasks, .. } = &mut *round;
+            round_tasks(shared.tgds, delta_start, len, tasks);
+            engage = len - delta_start >= POOL_DELTA_MIN || tasks.len() >= POOL_TASKS_MIN;
+            shared.next_task.store(0, Ordering::Release);
+        }
+
+        // Enumerate phase.
+        let enumerate_started = Instant::now();
+        inline_batch.clear();
+        if engage {
+            // Everyone (coordinator included) steals tasks until the
+            // cursor runs dry; merge the batches back into canonical
+            // task order.
+            guard.in_phase = true;
+            shared.barrier.wait();
+            drain_tasks(shared, &mut ws);
+            shared.barrier.wait();
+            guard.in_phase = false;
+            merged.append(&mut shared.results.lock().unwrap());
+            merged.sort_unstable_by_key(|&(i, _, _)| i);
+        } else {
+            // Tiny round: enumerate inline (tasks in canonical order)
+            // without waking the pool.
+            let round = shared.round.read().unwrap();
+            let ctx = RoundCtx {
+                tgds: shared.tgds,
+                variant: shared.variant,
+                delta_start: round.delta_start,
+            };
+            let mut considered = 0usize;
+            for &task in &round.tasks {
+                considered += enumerate_task(
+                    &round.instance,
+                    ctx,
+                    task,
+                    &round.fired[task.rule.index()],
+                    &mut ws,
+                    &mut inline_batch,
+                );
+            }
+            stats.triggers_considered += considered;
+        }
+        stats.enumerate_secs += enumerate_started.elapsed().as_secs_f64();
+
+        let mut any = !inline_batch.is_empty();
+        for (_, batch, considered) in &merged {
+            stats.triggers_considered += considered;
+            any |= !batch.is_empty();
+        }
+        if !any {
+            return finish(shared, ChaseOutcome::Terminated);
+        }
+
+        // Apply phase: single-threaded, in canonical order. Exactly one
+        // of `merged` / `inline_batch` is populated, so chaining them
+        // preserves canonical order either way.
+        let mut round = shared.round.write().unwrap();
+        let len_before = round.instance.len();
+        let pooled = merged.iter().map(|(_, b, _)| b);
+        for batch in pooled.chain(std::iter::once(&inline_batch)) {
+            if batch.is_empty() {
+                continue;
+            }
+            let RoundState {
+                instance, fired, ..
+            } = &mut *round;
+            if let Some(stop) =
+                apply_batch(shared.tgds, config, instance, fired, state, batch, stats)
+            {
+                drop(round);
+                return finish(shared, stop);
+            }
+        }
+        if round.instance.len() == len_before {
+            drop(round);
+            return finish(shared, ChaseOutcome::Terminated);
+        }
+        round.delta_start = len_before as AtomIdx;
+    }
+}
+
+/// A spawned worker: park at the barrier, enumerate a round's worth of
+/// stolen tasks, publish, park again — until the run finishes.
+fn worker_loop(shared: &Shared<'_>) {
+    let mut ws = WorkerScratch::new();
+    loop {
+        shared.barrier.wait();
+        if shared.done.load(Ordering::Acquire) {
+            return;
+        }
+        drain_tasks(shared, &mut ws);
+        shared.barrier.wait();
+    }
+}
+
+/// Steals tasks off the shared cursor until it runs dry, enumerating
+/// each against the frozen round snapshot and batching the results.
+/// Batch arenas come from the recycle pool, so the steady state
+/// allocates nothing per task.
+fn drain_tasks(shared: &Shared<'_>, ws: &mut WorkerScratch) {
+    let mut out: Vec<(u32, TriggerBatch, usize)> = Vec::new();
+    loop {
+        let i = shared.next_task.fetch_add(1, Ordering::Relaxed);
+        let round = shared.round.read().unwrap();
+        if i >= round.tasks.len() {
+            break;
+        }
+        let task = round.tasks[i];
+        let snapshot = round.instance.snapshot();
+        let ctx = RoundCtx {
+            tgds: shared.tgds,
+            variant: shared.variant,
+            delta_start: round.delta_start,
+        };
+        let mut batch = shared.spare.lock().unwrap().pop().unwrap_or_default();
+        let considered = enumerate_task(
+            &snapshot,
+            ctx,
+            task,
+            &round.fired[task.rule.index()],
+            ws,
+            &mut batch,
+        );
+        drop(round);
+        out.push((i as u32, batch, considered));
+    }
+    if !out.is_empty() {
+        shared.results.lock().unwrap().append(&mut out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{sequential_chase, ChaseBudget};
+    use nuchase_model::parse_program;
+
+    fn config(threads: usize) -> ChaseConfig {
+        ChaseConfig {
+            threads,
+            record_provenance: true,
+            build_forest: true,
+            ..Default::default()
+        }
+    }
+
+    fn assert_identical(a: &ChaseResult, b: &ChaseResult, label: &str) {
+        assert_eq!(a.outcome, b.outcome, "{label}: outcome");
+        assert!(a.instance.indexed_eq(&b.instance), "{label}: instance");
+        assert_eq!(a.stats.rounds, b.stats.rounds, "{label}: rounds");
+        assert_eq!(
+            a.stats.triggers_considered, b.stats.triggers_considered,
+            "{label}: considered"
+        );
+        assert_eq!(
+            a.stats.triggers_fired, b.stats.triggers_fired,
+            "{label}: fired"
+        );
+        assert_eq!(a.nulls.len(), b.nulls.len(), "{label}: null count");
+        for i in 0..a.nulls.len() {
+            let id = nuchase_model::NullId(i as u32);
+            assert_eq!(a.nulls.depth(id), b.nulls.depth(id), "{label}: depth {i}");
+            assert_eq!(a.nulls.key(id), b.nulls.key(id), "{label}: key {i}");
+        }
+        for idx in 0..a.instance.len() as u32 {
+            assert_eq!(
+                a.provenance.as_ref().unwrap().derivation(idx),
+                b.provenance.as_ref().unwrap().derivation(idx),
+                "{label}: provenance {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_closure_at_several_thread_counts() {
+        let p = parse_program(
+            "e(a, b).\ne(b, c).\ne(c, d).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X, W).",
+        )
+        .unwrap();
+        let reference = sequential_chase(&p.database, &p.tgds, &config(0));
+        assert!(reference.terminated());
+        for threads in [1usize, 2, 3, 7] {
+            let par = chase_parallel(&p.database, &p.tgds, &config(threads));
+            assert_identical(&reference, &par, &format!("{threads} threads"));
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_budget_exhaustion() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+        let mut cfg = config(0);
+        cfg.budget = ChaseBudget::atoms(500);
+        let reference = sequential_chase(&p.database, &p.tgds, &cfg);
+        assert_eq!(reference.outcome, ChaseOutcome::AtomLimit);
+        for threads in [1usize, 2, 4] {
+            cfg.threads = threads;
+            let par = chase_parallel(&p.database, &p.tgds, &cfg);
+            assert_identical(&reference, &par, &format!("{threads} threads"));
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_depth_budget() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+        let mut cfg = config(0);
+        cfg.budget = ChaseBudget::depth(5, 1_000_000);
+        let reference = sequential_chase(&p.database, &p.tgds, &cfg);
+        assert_eq!(reference.outcome, ChaseOutcome::DepthLimit);
+        cfg.threads = 3;
+        let par = chase_parallel(&p.database, &p.tgds, &cfg);
+        assert_identical(&reference, &par, "depth budget");
+    }
+
+    #[test]
+    fn matches_sequential_on_round_budget() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+        let mut cfg = config(0);
+        cfg.budget.max_rounds = 7;
+        let reference = sequential_chase(&p.database, &p.tgds, &cfg);
+        assert_eq!(reference.outcome, ChaseOutcome::RoundLimit);
+        cfg.threads = 2;
+        let par = chase_parallel(&p.database, &p.tgds, &cfg);
+        assert_identical(&reference, &par, "round budget");
+    }
+
+    #[test]
+    fn restricted_variant_is_deterministic_under_the_phase_split() {
+        // The activeness re-check runs in the apply phase against the
+        // mutating instance; canonical merge order makes it identical at
+        // any thread count.
+        let p = parse_program(
+            "r(a, b).\ns(a, c).\nr(a2, b2).\nr(X, Y) -> s(X, Z).\ns(X, Y) -> t(Y, W).",
+        )
+        .unwrap();
+        let mut cfg = config(0);
+        cfg.variant = ChaseVariant::Restricted;
+        let reference = sequential_chase(&p.database, &p.tgds, &cfg);
+        assert!(reference.terminated());
+        for threads in [1usize, 2, 7] {
+            cfg.threads = threads;
+            let par = chase_parallel(&p.database, &p.tgds, &cfg);
+            assert_identical(&reference, &par, &format!("restricted, {threads} threads"));
+        }
+    }
+
+    #[test]
+    fn empty_database_terminates_immediately() {
+        let p = parse_program("r(X, Y) -> r(Y, Z).").unwrap();
+        let par = chase_parallel(&p.database, &p.tgds, &config(4));
+        assert!(par.terminated());
+        assert_eq!(par.instance.len(), 0);
+        assert_eq!(par.stats.rounds, 1);
+    }
+
+    #[test]
+    fn chase_dispatches_on_threads() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> s(X, Z).").unwrap();
+        let seq = crate::chase::chase(&p.database, &p.tgds, &config(0));
+        let par = crate::chase::chase(&p.database, &p.tgds, &config(2));
+        assert_identical(&seq, &par, "dispatch");
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+}

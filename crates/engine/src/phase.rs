@@ -1,0 +1,577 @@
+//! The enumerate/apply phase split of a chase round, as a reusable API.
+//!
+//! A chase round factors into two phases with very different contracts:
+//!
+//! 1. **Enumerate** (read-only): run every rule's [`MatchPlan`] against
+//!    the instance *as frozen at round start*, collecting the candidate
+//!    triggers into [`TriggerBatch`]es. Nothing is mutated, so the phase
+//!    shards freely over `(rule, pivot, window)` [`Task`] units — the
+//!    parallel executor's unit of work — or runs as one sweep in the
+//!    sequential engine.
+//! 2. **Apply** (single-threaded, deterministic): merge the batches in
+//!    canonical `(rule, pivot, window)` order, perform the authoritative
+//!    trigger dedup against the per-rule fired sets, and fire the
+//!    accepted triggers — null invention, head instantiation, forest /
+//!    provenance recording, budget checks ([`apply_batch`]).
+//!
+//! Dedup happens at **three** levels, and only the last is authoritative:
+//! the per-rule fired sets of *previous* rounds are frozen during
+//! enumeration and consulted read-only (they filter the overwhelming
+//! majority of repeat triggers allocation-free); a per-task
+//! [`WorkerScratch::dedup`] arena filters repeats *within* one task
+//! (deterministic, since a task's enumeration order is fixed); repeats
+//! *across* tasks of the same round survive into the batches and are
+//! resolved by the apply phase's merge — in canonical order, so the
+//! surviving occurrence, and hence every null and atom id, is the same at
+//! any worker count and equals the sequential engine's.
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use nuchase_model::plan::{delta_windows, Scratch};
+use nuchase_model::{AtomIdx, Instance, RuleId, Term, Tgd, TgdSet, VarId};
+
+use crate::chase::{ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
+use crate::dedup::TermTupleSet;
+use crate::forest::Forest;
+use crate::nulls::NullStore;
+use crate::provenance::{Derivation, Provenance};
+
+/// The trigger-key variables of a rule under a chase variant: the
+/// frontier for the semi-oblivious chase (Definition 3.1), all body
+/// variables for the oblivious and restricted ones.
+pub fn key_vars(tgd: &Tgd, variant: ChaseVariant) -> &[VarId] {
+    match variant {
+        ChaseVariant::SemiOblivious => tgd.frontier(),
+        ChaseVariant::Oblivious | ChaseVariant::Restricted => tgd.body_vars(),
+    }
+}
+
+/// A batch of candidate triggers collected by the enumerate phase:
+/// `(rule, binding)` pairs in one flat term arena. Unbound binding slots
+/// (head existentials) hold the variable itself as a placeholder, exactly
+/// as the apply phase expects.
+#[derive(Debug, Default, Clone)]
+pub struct TriggerBatch {
+    rules: Vec<RuleId>,
+    /// `offsets[i]..offsets[i+1]` is trigger `i`'s binding in `terms`.
+    offsets: Vec<u32>,
+    terms: Vec<Term>,
+}
+
+impl TriggerBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triggers in the batch.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Empties the batch, keeping its arena allocations.
+    pub fn clear(&mut self) {
+        self.rules.clear();
+        self.offsets.clear();
+        self.terms.clear();
+    }
+
+    /// Appends a trigger from a complete body match (`binding[v] = None`
+    /// exactly for head existentials).
+    pub fn push(&mut self, rule: RuleId, binding: &[Option<Term>]) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.terms.extend(
+            binding
+                .iter()
+                .enumerate()
+                .map(|(v, t)| t.unwrap_or(Term::Var(VarId(v as u32)))),
+        );
+        self.offsets.push(self.terms.len() as u32);
+        self.rules.push(rule);
+    }
+
+    /// The trigger at index `i` as `(rule, binding)`.
+    pub fn get(&self, i: usize) -> (RuleId, &[Term]) {
+        (
+            self.rules[i],
+            &self.terms[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+        )
+    }
+
+    /// Iterates the triggers in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &[Term])> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// Per-worker enumeration state: one backtracking trail, one trigger
+/// dedup arena (cleared per task), one key buffer. A single
+/// `WorkerScratch` serves any number of tasks; reusing it across tasks is
+/// what keeps the worker loop allocation-free after warm-up.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// Match-plan backtracking state.
+    pub scratch: Scratch,
+    /// Within-task trigger dedup (recycled between tasks).
+    pub dedup: TermTupleSet,
+    /// Trigger-key assembly buffer.
+    pub key_buf: Vec<Term>,
+}
+
+impl WorkerScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One unit of enumerate-phase work: run one pivot stage of one rule's
+/// match plan with the pivot restricted to a window of the delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// The rule whose body to match.
+    pub rule: RuleId,
+    /// The pivot stage (index into the rule body).
+    pub pivot: u32,
+    /// The pivot's atom-index window, a sub-range of the delta.
+    pub window: (AtomIdx, AtomIdx),
+}
+
+/// Target number of pivot atoms per task window. Small enough that a
+/// skewed round still splits into more tasks than workers (load balance),
+/// large enough that per-task overhead (queue pop, dedup clear, batch
+/// publish) stays invisible. Must not depend on the worker count, or
+/// determinism across thread counts would be lost.
+const TASK_CHUNK: u32 = 2048;
+
+/// Builds the canonical task list of a round over `tasks` (cleared
+/// first): rules in id order, pivots in stage order, windows ascending —
+/// the exact order whose concatenated batches reproduce the sequential
+/// engine's trigger sequence. At `delta_start == 0` (the first round)
+/// only pivot 0 is emitted per rule: the old region is empty, so every
+/// later stage is a no-op by construction.
+pub fn round_tasks(tgds: &TgdSet, delta_start: AtomIdx, len: AtomIdx, tasks: &mut Vec<Task>) {
+    tasks.clear();
+    if delta_start >= len {
+        return;
+    }
+    for (rule, tgd) in tgds.iter() {
+        let pivots = if delta_start == 0 {
+            1
+        } else {
+            tgd.body_plan().pivot_count()
+        };
+        for pivot in 0..pivots {
+            for window in delta_windows(delta_start, len, TASK_CHUNK) {
+                tasks.push(Task {
+                    rule,
+                    pivot: pivot as u32,
+                    window,
+                });
+            }
+        }
+    }
+}
+
+/// The read-only context of one round's enumerate phase — everything a
+/// worker needs besides the instance and its own scratch, frozen for the
+/// phase's duration.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundCtx<'a> {
+    /// The rule set.
+    pub tgds: &'a TgdSet,
+    /// The chase variant (decides the trigger-key variables).
+    pub variant: ChaseVariant,
+    /// First atom index of the round's delta.
+    pub delta_start: AtomIdx,
+}
+
+/// The per-binding collection step shared by every enumerator: count the
+/// homomorphism, assemble its trigger key, and push it into `batch`
+/// unless the frozen `fired` set (previous rounds) or the unit-local
+/// `dedup` arena has seen the key. One definition, so the dedup contract
+/// cannot silently diverge between the sequential and task paths.
+fn trigger_collector<'a>(
+    rule: RuleId,
+    keys: &'a [VarId],
+    fired: &'a TermTupleSet,
+    dedup: &'a mut TermTupleSet,
+    key_buf: &'a mut Vec<Term>,
+    batch: &'a mut TriggerBatch,
+    considered: &'a mut usize,
+) -> impl FnMut(&[Option<Term>]) -> ControlFlow<()> + 'a {
+    move |binding| {
+        *considered += 1;
+        key_buf.clear();
+        key_buf.extend(
+            keys.iter()
+                .map(|v| binding[v.index()].expect("body variable bound")),
+        );
+        if !fired.contains(key_buf) && dedup.insert(key_buf) {
+            batch.push(rule, binding);
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Runs one [`Task`]: enumerates its homomorphisms, filters triggers
+/// against the frozen `fired` set of previous rounds and the task-local
+/// dedup arena, and appends survivors to `batch` (not cleared). Returns
+/// the number of homomorphisms considered.
+///
+/// `fired` must be the per-rule fired set for `task.rule`, frozen for the
+/// duration of the phase (the apply phase owns its mutation).
+pub fn enumerate_task(
+    instance: &Instance,
+    ctx: RoundCtx<'_>,
+    task: Task,
+    fired: &TermTupleSet,
+    ws: &mut WorkerScratch,
+    batch: &mut TriggerBatch,
+) -> usize {
+    let tgd = ctx.tgds.get(task.rule);
+    let keys = key_vars(tgd, ctx.variant);
+    let WorkerScratch {
+        scratch,
+        dedup,
+        key_buf,
+    } = ws;
+    dedup.clear();
+    let mut considered = 0usize;
+    tgd.body_plan().for_each_hom_pivot(
+        instance,
+        ctx.delta_start,
+        task.pivot as usize,
+        task.window,
+        scratch,
+        trigger_collector(
+            task.rule,
+            keys,
+            fired,
+            dedup,
+            key_buf,
+            batch,
+            &mut considered,
+        ),
+    );
+    considered
+}
+
+/// The sequential engine's enumerate phase for one rule: the full delta
+/// sweep (all pivots) in one pass, with the same three-level dedup
+/// contract as [`enumerate_task`] (here the "task" spans the whole rule,
+/// so the within-round arena covers all pivots at once). Returns the
+/// number of homomorphisms considered.
+pub fn enumerate_rule(
+    instance: &Instance,
+    ctx: RoundCtx<'_>,
+    rule: RuleId,
+    fired: &TermTupleSet,
+    ws: &mut WorkerScratch,
+    batch: &mut TriggerBatch,
+) -> usize {
+    let tgd = ctx.tgds.get(rule);
+    let keys = key_vars(tgd, ctx.variant);
+    let WorkerScratch {
+        scratch,
+        dedup,
+        key_buf,
+    } = ws;
+    dedup.clear();
+    let mut considered = 0usize;
+    tgd.body_plan().for_each_hom_delta(
+        instance,
+        ctx.delta_start,
+        scratch,
+        trigger_collector(rule, keys, fired, dedup, key_buf, batch, &mut considered),
+    );
+    considered
+}
+
+/// Everything the apply phase accumulates across rounds, plus its scratch
+/// buffers. Owned by the single applying thread.
+#[derive(Debug)]
+pub struct ApplyState {
+    /// Null provenance and depth store.
+    pub nulls: NullStore,
+    /// The guarded chase forest, if requested.
+    pub forest: Option<Forest>,
+    /// Per-atom derivation provenance, if requested.
+    pub provenance: Option<Provenance>,
+    accepted: Vec<u32>,
+    head_scratch: Scratch,
+    key_buf: Vec<Term>,
+    mu: Vec<Term>,
+    atom_buf: Vec<Term>,
+    seed_buf: Vec<Option<Term>>,
+}
+
+impl ApplyState {
+    /// Creates the apply-side state for a chase over a database of
+    /// `database_atoms` atoms.
+    pub fn new(config: &ChaseConfig, database_atoms: usize) -> Self {
+        ApplyState {
+            nulls: NullStore::new(),
+            forest: config
+                .build_forest
+                .then(|| Forest::with_roots(database_atoms)),
+            provenance: config
+                .record_provenance
+                .then(|| Provenance::with_roots(database_atoms)),
+            accepted: Vec::new(),
+            head_scratch: Scratch::new(),
+            key_buf: Vec::new(),
+            mu: Vec::new(),
+            atom_buf: Vec::new(),
+            seed_buf: Vec::new(),
+        }
+    }
+}
+
+/// Applies one trigger batch: the authoritative dedup merge against the
+/// per-rule `fired` sets (timed as `stats.dedup_secs`), then the firing
+/// pass — restricted-chase activeness re-check against the *current*
+/// (mutating) instance, depth/atom budget checks, null invention, head
+/// instantiation, forest/provenance recording (timed as
+/// `stats.apply_secs`).
+///
+/// Returns `Some(outcome)` when a budget stops the chase mid-batch —
+/// callers must not apply further batches — and `None` when the batch
+/// completed.
+pub fn apply_batch(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    instance: &mut Instance,
+    fired: &mut [TermTupleSet],
+    state: &mut ApplyState,
+    batch: &TriggerBatch,
+    stats: &mut ChaseStats,
+) -> Option<ChaseOutcome> {
+    // Merge pre-pass: one authoritative `insert` per trigger, in batch
+    // order. Keys are instance-independent, so deciding them up front
+    // cannot diverge from the interleaved sequential formulation.
+    let merge_started = Instant::now();
+    state.accepted.clear();
+    for (i, (rule, binding)) in batch.iter().enumerate() {
+        let tgd = tgds.get(rule);
+        state.key_buf.clear();
+        state
+            .key_buf
+            .extend(key_vars(tgd, config.variant).iter().map(|v| {
+                let t = binding[v.index()];
+                debug_assert!(!t.is_var(), "body variable bound");
+                t
+            }));
+        if fired[rule.index()].insert(&state.key_buf) {
+            state.accepted.push(i as u32);
+        }
+    }
+    stats.dedup_secs += merge_started.elapsed().as_secs_f64();
+
+    let apply_started = Instant::now();
+    let mut outcome = None;
+    'apply: for &i in &state.accepted {
+        let (rule, binding) = batch.get(i as usize);
+        let tgd = tgds.get(rule);
+
+        if config.variant == ChaseVariant::Restricted {
+            // Activeness in the restricted sense: skip if some extension
+            // of h|fr(σ) maps the head into the instance. Re-checked here
+            // — not at enumeration — because earlier firings of this very
+            // round may have satisfied the head since.
+            state.seed_buf.clear();
+            state
+                .seed_buf
+                .extend(binding.iter().enumerate().map(|(v, &t)| {
+                    let is_frontier = tgd.frontier().binary_search(&VarId(v as u32)).is_ok();
+                    (is_frontier && !t.is_var()).then_some(t)
+                }));
+            if tgd
+                .head_plan()
+                .exists_hom_seeded(instance, &state.seed_buf, &mut state.head_scratch)
+            {
+                continue;
+            }
+        }
+
+        // Depth of the frontier image (for null depths).
+        let frontier_depth = tgd
+            .frontier()
+            .iter()
+            .map(|v| state.nulls.term_depth(binding[v.index()]))
+            .max()
+            .unwrap_or(0);
+        if let Some(max_d) = config.budget.max_depth {
+            if !tgd.existentials().is_empty() && frontier_depth + 1 > max_d {
+                outcome = Some(ChaseOutcome::DepthLimit);
+                break 'apply;
+            }
+        }
+
+        // Build μ: frontier ↦ h, existential z ↦ ⊥^z_{σ, h|fr}. The
+        // oblivious chase names nulls by the full body image instead.
+        state.mu.clear();
+        state.mu.extend_from_slice(binding);
+        if !tgd.existentials().is_empty() {
+            state.key_buf.clear();
+            let name_vars = match config.variant {
+                ChaseVariant::Oblivious => tgd.body_vars(),
+                _ => tgd.frontier(),
+            };
+            state
+                .key_buf
+                .extend(name_vars.iter().map(|v| binding[v.index()]));
+            for &z in tgd.existentials() {
+                let null = match config.variant {
+                    ChaseVariant::Restricted => state.nulls.fresh(frontier_depth),
+                    ChaseVariant::SemiOblivious | ChaseVariant::Oblivious => state
+                        .nulls
+                        .intern_parts(rule, z, &state.key_buf, frontier_depth),
+                };
+                state.mu[z.index()] = Term::Null(null);
+            }
+        }
+        stats.triggers_fired += 1;
+
+        // Locate the guard image for the forest before inserting.
+        let parent: Option<AtomIdx> = if state.forest.is_some() {
+            tgd.guard().and_then(|g| {
+                instantiate_into(g, &state.mu, &mut state.atom_buf);
+                instance.index_of_terms(g.pred, &state.atom_buf)
+            })
+        } else {
+            None
+        };
+        // Body image indexes for provenance.
+        let derivation: Option<Derivation> = state.provenance.as_ref().map(|_| Derivation {
+            rule,
+            body: tgd
+                .body()
+                .iter()
+                .map(|b| {
+                    instantiate_into(b, &state.mu, &mut state.atom_buf);
+                    instance
+                        .index_of_terms(b.pred, &state.atom_buf)
+                        .expect("body image is in the instance")
+                })
+                .collect(),
+        });
+
+        for head_atom in tgd.head() {
+            instantiate_into(head_atom, &state.mu, &mut state.atom_buf);
+            if let Some(idx) = instance.insert_terms(head_atom.pred, &state.atom_buf) {
+                if let Some(f) = state.forest.as_mut() {
+                    f.push_child(idx, parent);
+                }
+                if let Some(pv) = state.provenance.as_mut() {
+                    pv.push(idx, derivation.clone());
+                }
+            }
+            if instance.len() >= config.budget.max_atoms {
+                outcome = Some(ChaseOutcome::AtomLimit);
+                break 'apply;
+            }
+        }
+    }
+    stats.apply_secs += apply_started.elapsed().as_secs_f64();
+    outcome
+}
+
+/// Instantiates a rule atom under a complete term assignment `mu` (indexed
+/// by dense variable id) into a reusable buffer.
+pub(crate) fn instantiate_into(pattern: &nuchase_model::Atom, mu: &[Term], out: &mut Vec<Term>) {
+    out.clear();
+    out.extend(pattern.args.iter().map(|&t| match t {
+        Term::Var(v) => mu[v.index()],
+        ground => ground,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuchase_model::symbols::ConstId;
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    #[test]
+    fn trigger_batch_round_trips_bindings() {
+        let mut b = TriggerBatch::new();
+        assert!(b.is_empty());
+        b.push(RuleId(0), &[Some(c(1)), None, Some(c(2))]);
+        b.push(RuleId(3), &[Some(c(5))]);
+        assert_eq!(b.len(), 2);
+        let (r0, t0) = b.get(0);
+        assert_eq!(r0, RuleId(0));
+        assert_eq!(t0, &[c(1), Term::Var(VarId(1)), c(2)]);
+        let (r1, t1) = b.get(1);
+        assert_eq!((r1, t1), (RuleId(3), &[c(5)][..]));
+        b.clear();
+        assert!(b.is_empty());
+        b.push(RuleId(1), &[Some(c(9))]);
+        assert_eq!(b.get(0), (RuleId(1), &[c(9)][..]));
+    }
+
+    #[test]
+    fn round_tasks_are_canonical_and_cover_the_delta() {
+        let p = nuchase_model::parse_program(
+            "e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X).",
+        )
+        .unwrap();
+        let mut tasks = Vec::new();
+        // First round: pivot 0 only.
+        round_tasks(&p.tgds, 0, 2, &mut tasks);
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().all(|t| t.pivot == 0 && t.window == (0, 2)));
+        // Later round: every pivot of every rule, rules in id order.
+        round_tasks(&p.tgds, 2, 5, &mut tasks);
+        assert_eq!(tasks.len(), 3); // 2 pivots + 1 pivot
+        assert_eq!(tasks[0].rule, RuleId(0));
+        assert_eq!((tasks[0].pivot, tasks[1].pivot), (0, 1));
+        assert_eq!(tasks[2].rule, RuleId(1));
+        assert!(tasks.iter().all(|t| t.window == (2, 5)));
+        // Empty delta: no tasks.
+        round_tasks(&p.tgds, 5, 5, &mut tasks);
+        assert!(tasks.is_empty());
+    }
+
+    #[test]
+    fn enumerate_task_filters_fired_and_within_task_duplicates() {
+        // r(X, Y) -> s(X): frontier {X}; two facts share X, so the two
+        // homomorphisms of one task dedup to one trigger.
+        let p = nuchase_model::parse_program("r(a, b).\nr(a, c).\nr(X, Y) -> s(X).").unwrap();
+        let mut ws = WorkerScratch::new();
+        let mut batch = TriggerBatch::new();
+        let fired = TermTupleSet::new();
+        let task = Task {
+            rule: RuleId(0),
+            pivot: 0,
+            window: (0, 2),
+        };
+        let ctx = RoundCtx {
+            tgds: &p.tgds,
+            variant: ChaseVariant::SemiOblivious,
+            delta_start: 0,
+        };
+        let considered = enumerate_task(&p.database, ctx, task, &fired, &mut ws, &mut batch);
+        assert_eq!(considered, 2);
+        assert_eq!(batch.len(), 1);
+        // A fired set containing the key suppresses the trigger entirely.
+        let mut fired = TermTupleSet::new();
+        fired.insert(&[p.database.atom(0).args[0]]);
+        batch.clear();
+        let considered = enumerate_task(&p.database, ctx, task, &fired, &mut ws, &mut batch);
+        assert_eq!(considered, 2);
+        assert!(batch.is_empty());
+    }
+}

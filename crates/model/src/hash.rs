@@ -176,6 +176,34 @@ impl TagTable {
         self.slots[vacant] = pack_slot(hash, ordinal);
         self.len += 1;
     }
+
+    /// Empties the table, keeping its slot allocation. Used by arenas that
+    /// are recycled between work units (e.g. per-task trigger dedup in the
+    /// parallel executor). O(capacity); when the caller has tracked the
+    /// filled slots, [`TagTable::clear_sparse`] is O(entries) instead.
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        self.len = 0;
+    }
+
+    /// Empties the table by wiping exactly the given slots — O(touched)
+    /// instead of O(capacity). `touched` must contain every slot filled
+    /// since the table was last empty (the order is irrelevant; emptying
+    /// all of them cannot strand a probe chain because no entries
+    /// remain).
+    pub fn clear_sparse(&mut self, touched: &[u32]) {
+        for &i in touched {
+            self.slots[i as usize] = EMPTY_SLOT;
+        }
+        self.len = 0;
+        debug_assert!(self.slots.iter().all(|&s| s == EMPTY_SLOT));
+    }
+
+    /// The current slot capacity (callers use a change in this value to
+    /// detect a rehash, which scatters entries to untracked slots).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
 }
 
 /// A `std`-compatible [`Hasher`] with Fx mixing, for interior `HashMap`s

@@ -20,13 +20,19 @@
 //!   Duplicate inserts — the overwhelming majority late in a chase —
 //!   allocate nothing.
 //! * **Dense two-level index.** `by_pred[pred]` holds the per-predicate
-//!   posting list plus a term-bucket map (`term → posting list`) used by
-//!   the homomorphism search to narrow candidates once any variable of a
-//!   pattern atom is bound. Indexed by dense `PredId`, not by hashed
-//!   tuple keys.
+//!   posting list plus a *position-aware* term-bucket map
+//!   (`(position, term) → posting list`) used by the homomorphism search
+//!   to narrow candidates once any variable of a pattern atom is bound.
+//!   Keying on the argument position keeps a join like transitive
+//!   closure from scanning candidates that mention the bound term only
+//!   in the wrong argument slot (an any-position list mixes both slots
+//!   and roughly doubles the candidate work). Indexed by dense `PredId`,
+//!   not by hashed tuple keys.
 //!
 //! Posting lists are ascending in atom index, which lets the semi-naive
 //! search split them into old/delta regions with one binary search.
+
+use std::ops::Deref;
 
 use crate::atom::{Atom, AtomRef};
 use crate::hash::{hash_atom, FxHashMap, FxHashSet, TagProbe, TagTable};
@@ -76,11 +82,14 @@ impl Postings {
 }
 
 /// Per-predicate posting lists: all atoms of the predicate, plus one list
-/// per term occurring in them.
+/// per `(argument position, term)` pair occurring in them.
 #[derive(Debug, Default, Clone)]
 struct PredIndex {
     all: Vec<AtomIdx>,
-    by_term: FxHashMap<Term, Postings>,
+    /// Arity of the predicate (fixed by the schema), recorded on first
+    /// insert so any-position queries can sweep the positions.
+    arity: u32,
+    by_pos_term: FxHashMap<(u32, Term), Postings>,
 }
 
 /// An indexed, deduplicated, append-only set of ground atoms, stored in an
@@ -163,12 +172,12 @@ impl Instance {
         }
         let pi = &mut self.by_pred[pred.index()];
         pi.all.push(idx);
-        // Index each *distinct* term once per atom. Arities are small, so
-        // the prefix scan beats a set.
+        pi.arity = args.len() as u32;
+        // Index every argument slot: the key carries the position, so a
+        // term repeated across positions lands in distinct lists and each
+        // `(position, term)` pair occurs at most once per atom.
         for (i, &t) in args.iter().enumerate() {
-            if !args[..i].contains(&t) {
-                pi.by_term.entry(t).or_default().push(idx);
-            }
+            pi.by_pos_term.entry((i as u32, t)).or_default().push(idx);
         }
         Some(idx)
     }
@@ -248,13 +257,22 @@ impl Instance {
             .map_or(&[], |pi| pi.all.as_slice())
     }
 
-    /// Indexes of atoms with the given predicate that mention the given
-    /// term in any position (ascending).
-    pub fn atoms_with_pred_term(&self, pred: PredId, term: Term) -> &[AtomIdx] {
+    /// Indexes of atoms with the given predicate that carry the given
+    /// term at the given argument position (ascending). This is the
+    /// position-aware posting list the homomorphism search probes; for
+    /// any-position queries sweep `0..arity_of(pred)`.
+    pub fn atoms_with_pred_term_at(&self, pred: PredId, position: u32, term: Term) -> &[AtomIdx] {
         self.by_pred
             .get(pred.index())
-            .and_then(|pi| pi.by_term.get(&term))
+            .and_then(|pi| pi.by_pos_term.get(&(position, term)))
             .map_or(&[], Postings::as_slice)
+    }
+
+    /// The arity of a predicate as observed in the instance (0 if the
+    /// predicate does not occur — 0-ary predicates and absent ones
+    /// coincide, which is exactly what position sweeps need).
+    pub fn arity_of(&self, pred: PredId) -> u32 {
+        self.by_pred.get(pred.index()).map_or(0, |pi| pi.arity)
     }
 
     /// The predicate of the atom at `idx` (cheaper than materializing the
@@ -306,7 +324,57 @@ impl Instance {
     pub fn set_eq(&self, other: &Instance) -> bool {
         self.len() == other.len() && self.iter().all(|a| other.contains_ref(a))
     }
+
+    /// Index-and-order equality with another instance: atom `i` of `self`
+    /// equals atom `i` of `other` for every `i`. Stronger than
+    /// [`Instance::set_eq`]; used by the parallel-vs-sequential
+    /// differential suites, where the executors must agree on atom *ids*,
+    /// not just the atom set.
+    pub fn indexed_eq(&self, other: &Instance) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|(a, b)| a.pred == b.pred && a.args == b.args)
+    }
+
+    /// A read-only snapshot view for a parallel enumeration phase.
+    ///
+    /// The enumerate phase of a chase round never mutates the instance,
+    /// so sharing it across worker threads is sound; this wrapper makes
+    /// the contract explicit in the type (and is statically asserted
+    /// `Send + Sync` below — the instance holds no interior mutability).
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        Snapshot { inst: self }
+    }
 }
+
+/// A read-only, `Send + Sync` view of an [`Instance`] frozen for the
+/// duration of a parallel trigger-enumeration phase. Dereferences to the
+/// instance, so every read API (match plans included) works on it
+/// directly.
+#[derive(Clone, Copy, Debug)]
+pub struct Snapshot<'a> {
+    inst: &'a Instance,
+}
+
+impl Deref for Snapshot<'_> {
+    type Target = Instance;
+
+    fn deref(&self) -> &Instance {
+        self.inst
+    }
+}
+
+// The whole point of `Snapshot`: a frozen instance view may cross thread
+// boundaries. `Instance` is plain owned data (no `Rc`, no cells), so the
+// compiler derives these — the assertion pins the property against
+// accidental regressions (e.g. someone caching lookups in a `RefCell`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot<'static>>();
+    assert_send_sync::<Instance>();
+};
 
 /// Iterator over the atoms of an [`Instance`], yielding borrowed views.
 #[derive(Clone)]
@@ -420,15 +488,45 @@ mod tests {
         assert_eq!(inst.atoms_with_pred(PredId(0)), &[0, 2]);
         assert_eq!(inst.atoms_with_pred(PredId(1)), &[1]);
         assert_eq!(inst.atoms_with_pred(PredId(9)), &[] as &[AtomIdx]);
-        assert_eq!(inst.atoms_with_pred_term(PredId(0), c(0)), &[0, 2]);
-        assert_eq!(inst.atoms_with_pred_term(PredId(0), c(2)), &[2]);
+        // Position-aware lists: c(0) occurs at position 0 of atom 0 and
+        // at position 1 of atom 2 — distinct lists.
+        assert_eq!(inst.atoms_with_pred_term_at(PredId(0), 0, c(0)), &[0]);
+        assert_eq!(inst.atoms_with_pred_term_at(PredId(0), 1, c(0)), &[2]);
+        assert_eq!(inst.atoms_with_pred_term_at(PredId(0), 0, c(2)), &[2]);
+        assert_eq!(
+            inst.atoms_with_pred_term_at(PredId(0), 1, c(2)),
+            &[] as &[AtomIdx]
+        );
+        assert_eq!(inst.arity_of(PredId(0)), 2);
+        assert_eq!(inst.arity_of(PredId(1)), 1);
+        assert_eq!(inst.arity_of(PredId(9)), 0);
     }
 
     #[test]
-    fn repeated_term_indexed_once_per_atom() {
+    fn repeated_term_indexed_once_per_position() {
         let mut inst = Instance::new();
         inst.insert(atom(0, vec![c(0), c(0), c(0)]));
-        assert_eq!(inst.atoms_with_pred_term(PredId(0), c(0)), &[0]);
+        for pos in 0..3 {
+            assert_eq!(inst.atoms_with_pred_term_at(PredId(0), pos, c(0)), &[0]);
+        }
+    }
+
+    #[test]
+    fn snapshot_reads_like_the_instance() {
+        let inst = Instance::from_atoms(vec![atom(0, vec![c(0), c(1)])]);
+        let snap = inst.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.atom(0).args, &[c(0), c(1)]);
+        assert_eq!(snap.atoms_with_pred_term_at(PredId(0), 1, c(1)), &[0]);
+    }
+
+    #[test]
+    fn indexed_eq_requires_identical_order() {
+        let a = Instance::from_atoms(vec![atom(0, vec![c(0)]), atom(1, vec![c(1)])]);
+        let b = Instance::from_atoms(vec![atom(1, vec![c(1)]), atom(0, vec![c(0)])]);
+        assert!(a.set_eq(&b));
+        assert!(!a.indexed_eq(&b));
+        assert!(a.indexed_eq(&a.clone()));
     }
 
     #[test]

@@ -13,11 +13,19 @@
 //!   everything — the standard duplicate-free pivot scheme, with the
 //!   permuted pattern lists and [`Region`] vectors precomputed instead of
 //!   cloned per round;
-//! * per-pattern **probe positions**: the argument positions (ground
-//!   terms and first occurrences of variables) that can key an index
-//!   lookup. At runtime the search probes each one that is bound and
-//!   scans the *most selective* (shortest) posting list, rather than the
-//!   first bound argument.
+//! * **position-keyed index probing**: at runtime the search probes the
+//!   `(pred, position, term)` posting list of every argument position
+//!   whose term is ground or already bound, and scans the *most
+//!   selective* (shortest) list, rather than the first bound argument.
+//!   Because the index keys on the position, a candidate list never
+//!   contains atoms that mention the bound term only in a different
+//!   argument slot;
+//! * **region partitioning** for parallel fan-out: the pivot stages are
+//!   individually addressable ([`MatchPlan::for_each_hom_pivot`]) and
+//!   the delta region splits into contiguous windows ([`delta_windows`]),
+//!   so `(rule, pivot, window)` task units partition the delta
+//!   homomorphisms exactly — disjointly and exhaustively — across
+//!   worker threads.
 //!
 //! The backtracking state lives in a caller-owned [`Scratch`] (binding
 //! slots + a single undo trail with per-depth marks), so the inner search
@@ -42,33 +50,21 @@ enum Region {
     All,
 }
 
-/// One pattern to match, with its region and precomputed probe positions.
+/// One pattern to match, with its region. Every argument position is a
+/// usable probe under the position-keyed index (even a repeated variable
+/// keys *different* lists at its different positions), so no probe list
+/// is precomputed.
 #[derive(Clone, PartialEq, Eq, Debug)]
 struct Step {
     pattern: Atom,
     region: Region,
-    /// Argument positions usable as index keys: ground terms and first
-    /// occurrences of variables (repeated occurrences would probe the
-    /// same posting list again).
-    probes: Vec<u32>,
 }
 
 impl Step {
     fn new(pattern: &Atom, region: Region) -> Step {
-        let mut probes = Vec::with_capacity(pattern.args.len());
-        for (i, &t) in pattern.args.iter().enumerate() {
-            let first_occurrence = match t {
-                Term::Var(_) => !pattern.args[..i].contains(&t),
-                _ => true, // ground: always a usable key
-            };
-            if first_occurrence {
-                probes.push(i as u32);
-            }
-        }
         Step {
             pattern: pattern.clone(),
             region,
-            probes,
         }
     }
 }
@@ -181,6 +177,8 @@ impl MatchPlan {
             inst,
             steps: &self.full,
             delta_start: 0,
+            new_lo: 0,
+            new_hi: AtomIdx::MAX,
             binding: &mut scratch.binding,
             trail: &mut scratch.trail,
             callback: &mut callback,
@@ -216,6 +214,8 @@ impl MatchPlan {
                 inst,
                 steps,
                 delta_start,
+                new_lo: delta_start,
+                new_hi: AtomIdx::MAX,
                 binding: &mut scratch.binding,
                 trail: &mut scratch.trail,
                 callback: &mut callback,
@@ -224,6 +224,61 @@ impl MatchPlan {
                 return;
             }
         }
+    }
+
+    /// The number of pivot stages compiled for delta enumeration (equals
+    /// [`MatchPlan::pattern_count`] for [`MatchPlan::compile`]d plans, 0
+    /// for scan-only plans).
+    pub fn pivot_count(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Runs a single pivot stage of the delta enumeration, with the pivot
+    /// pattern's candidates restricted to atom indexes in
+    /// `window = [lo, hi)` (which must lie within the delta
+    /// `[delta_start, len)`).
+    ///
+    /// This is the parallel executor's task unit: for a fixed
+    /// `delta_start`, the homomorphism sets produced by
+    /// `(pivot, window)` over all pivot stages and a disjoint cover of
+    /// the delta by windows partition exactly the homomorphisms of
+    /// [`MatchPlan::for_each_hom_delta`] — same set, and concatenating in
+    /// `(pivot, window.lo)` order reproduces the same enumeration order.
+    /// With `delta_start == 0` only pivot 0 yields homomorphisms (every
+    /// later stage requires a match in the then-empty old region), and
+    /// pivot 0 windowed over `[0, len)` partitions the full enumeration.
+    ///
+    /// # Panics
+    /// Panics on plans compiled with [`MatchPlan::compile_scan`].
+    pub fn for_each_hom_pivot(
+        &self,
+        inst: &Instance,
+        delta_start: AtomIdx,
+        pivot: usize,
+        window: (AtomIdx, AtomIdx),
+        scratch: &mut Scratch,
+        mut callback: impl FnMut(&[Option<Term>]) -> ControlFlow<()>,
+    ) {
+        assert!(
+            self.pivots.len() == self.full.len(),
+            "pivot enumeration on a plan compiled with MatchPlan::compile_scan"
+        );
+        debug_assert!(window.0 >= delta_start, "window must lie in the delta");
+        if window.0 >= window.1 {
+            return;
+        }
+        scratch.prepare(self.var_count);
+        let mut search = Search {
+            inst,
+            steps: &self.pivots[pivot],
+            delta_start,
+            new_lo: window.0,
+            new_hi: window.1,
+            binding: &mut scratch.binding,
+            trail: &mut scratch.trail,
+            callback: &mut callback,
+        };
+        let _ = search.go(0);
     }
 
     /// Like [`MatchPlan::for_each_hom`], but starting from a partial
@@ -243,6 +298,8 @@ impl MatchPlan {
             inst,
             steps: &self.full,
             delta_start: 0,
+            new_lo: 0,
+            new_hi: AtomIdx::MAX,
             binding: &mut scratch.binding,
             trail: &mut scratch.trail,
             callback: &mut callback,
@@ -266,37 +323,63 @@ impl MatchPlan {
     }
 }
 
+/// Splits the delta region `[delta_start, delta_end)` into contiguous
+/// windows of at most `chunk` atoms (ascending, disjoint, exhaustive) —
+/// the region partitioning consumed by `(rule, pivot, window)` task
+/// units. Yields nothing for an empty delta. `chunk` must be nonzero.
+///
+/// The windows are a pure function of the delta bounds and `chunk` —
+/// deliberately independent of the worker count, so any executor
+/// processing them in `(pivot, window.lo)` order enumerates byte-identical
+/// trigger sequences at any parallelism level.
+pub fn delta_windows(
+    delta_start: AtomIdx,
+    delta_end: AtomIdx,
+    chunk: u32,
+) -> impl Iterator<Item = (AtomIdx, AtomIdx)> {
+    assert!(chunk > 0, "chunk must be nonzero");
+    (delta_start..delta_end)
+        .step_by(chunk as usize)
+        .map(move |lo| (lo, delta_end.min(lo.saturating_add(chunk))))
+}
+
 /// The backtracking search over one step list. Holds only borrows; all
-/// mutable state lives in the caller's [`Scratch`].
+/// mutable state lives in the caller's [`Scratch`]. The [`Region::New`]
+/// window `[new_lo, new_hi)` is the pivot restriction (normally the whole
+/// delta; a sub-window under parallel region partitioning), while
+/// `delta_start` bounds [`Region::Old`].
 struct Search<'a, 'b, F> {
     inst: &'a Instance,
     steps: &'a [Step],
     delta_start: AtomIdx,
+    new_lo: AtomIdx,
+    new_hi: AtomIdx,
     binding: &'b mut [Option<Term>],
     trail: &'b mut Vec<u32>,
     callback: &'b mut F,
 }
 
 /// Candidate posting list for `step` under the current binding: the
-/// shortest (most selective) index list over the bound probe positions.
-/// Returns `None` when no probe position is bound (callers fall back to
-/// the predicate scan). A free function so the result borrows only from
-/// `inst`, not from the search state.
+/// shortest (most selective) `(pred, position, term)` list over the
+/// argument positions whose term is ground or bound. Returns `None` when
+/// no position is keyable (callers fall back to the predicate scan). A
+/// free function so the result borrows only from `inst`, not from the
+/// search state.
 fn candidates<'a>(
     inst: &'a Instance,
     step: &Step,
     binding: &[Option<Term>],
 ) -> Option<&'a [AtomIdx]> {
     let mut best: Option<&'a [AtomIdx]> = None;
-    for &pos in &step.probes {
-        let key = match step.pattern.args[pos as usize] {
+    for (pos, &t) in step.pattern.args.iter().enumerate() {
+        let key = match t {
             Term::Var(v) => match binding[v.index()] {
                 Some(bound) => bound,
                 None => continue,
             },
             ground => ground,
         };
-        let list = inst.atoms_with_pred_term(step.pattern.pred, key);
+        let list = inst.atoms_with_pred_term_at(step.pattern.pred, pos as u32, key);
         if best.is_none_or(|b| list.len() < b.len()) {
             best = Some(list);
             if list.is_empty() {
@@ -329,10 +412,10 @@ where
         let step = &steps[k];
         let keyed = candidates(inst, step, self.binding);
         if keyed.is_none() && step.region == Region::New {
-            let delta_len = inst.len() as AtomIdx - self.delta_start;
-            if delta_len <= DELTA_SCAN_LIMIT {
-                // Walk the delta range directly, filtering by predicate.
-                for idx in self.delta_start..inst.len() as AtomIdx {
+            let hi = self.new_hi.min(inst.len() as AtomIdx);
+            if hi.saturating_sub(self.new_lo) <= DELTA_SCAN_LIMIT {
+                // Walk the window range directly, filtering by predicate.
+                for idx in self.new_lo..hi {
                     if inst.pred_of(idx) == step.pattern.pred {
                         self.try_candidate(inst, step, idx, k)?;
                     }
@@ -349,8 +432,9 @@ where
                 &cands[..split]
             }
             Region::New => {
-                let split = cands.partition_point(|&i| i < self.delta_start);
-                &cands[split..]
+                let lo = cands.partition_point(|&i| i < self.new_lo);
+                let hi = cands.partition_point(|&i| i < self.new_hi);
+                &cands[lo..hi]
             }
         };
         for &idx in slice {
@@ -441,9 +525,98 @@ mod tests {
     }
 
     #[test]
-    fn probes_skip_repeated_variables() {
+    fn repeated_variables_key_distinct_position_lists() {
+        // p(X, X, c1) over {p(c0, c2, c1)}: with X ↦ c0 bound, position 0
+        // keys a non-empty list but position 1 keys the empty
+        // (pred, 1, c0) list — the most-selective probe prunes the atom
+        // without ever unifying it.
+        let inst = Instance::from_atoms(vec![atom(0, vec![c(0), c(2), c(1)])]);
+        assert!(inst.atoms_with_pred_term_at(PredId(0), 1, c(0)).is_empty());
         let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(0), c(1)])], 1);
-        assert_eq!(plan.full[0].probes, vec![0, 2]);
+        assert!(collect(&plan, &inst).is_empty());
+        // And a genuinely diagonal atom still matches.
+        let inst2 = Instance::from_atoms(vec![atom(0, vec![c(0), c(0), c(1)])]);
+        assert_eq!(collect(&plan, &inst2), vec![vec![Some(c(0))]]);
+    }
+
+    #[test]
+    fn position_aware_probe_skips_wrong_slot_candidates() {
+        // e(X, Y), e(Y, Z): with Y bound, the second pattern probes the
+        // (e, 0, Y) list, which excludes atoms carrying Y only at slot 1.
+        let inst = Instance::from_atoms((0..3).map(|i| atom(0, vec![c(i), c(i + 1)])));
+        assert_eq!(inst.atoms_with_pred_term_at(PredId(0), 0, c(1)), &[1]);
+        assert_eq!(inst.atoms_with_pred_term_at(PredId(0), 1, c(1)), &[0]);
+    }
+
+    #[test]
+    fn pivot_windows_partition_the_delta_homs() {
+        // Build a chain, split it into old + delta, and check that the
+        // (pivot, window) units reproduce for_each_hom_delta exactly.
+        let mut inst = Instance::new();
+        for i in 0..4 {
+            inst.insert(atom(0, vec![c(i), c(i + 1)]));
+        }
+        let delta_start = inst.len() as AtomIdx;
+        for i in 4..9 {
+            inst.insert(atom(0, vec![c(i), c(i + 1)]));
+        }
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])], 3);
+        let mut scratch = Scratch::new();
+        let mut reference = Vec::new();
+        plan.for_each_hom_delta(&inst, delta_start, &mut scratch, |b| {
+            reference.push(b.to_vec());
+            ControlFlow::Continue(())
+        });
+        for chunk in [1u32, 2, 3, 16] {
+            let mut windowed = Vec::new();
+            for pivot in 0..plan.pivot_count() {
+                for w in delta_windows(delta_start, inst.len() as AtomIdx, chunk) {
+                    plan.for_each_hom_pivot(&inst, delta_start, pivot, w, &mut scratch, |b| {
+                        windowed.push(b.to_vec());
+                        ControlFlow::Continue(())
+                    });
+                }
+            }
+            assert_eq!(windowed, reference, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn pivot_zero_windows_partition_the_full_enumeration() {
+        // delta_start == 0: pivot 0 over windows of [0, len) must equal
+        // full enumeration; later pivots yield nothing (empty old region).
+        let inst = Instance::from_atoms((0..5).map(|i| atom(0, vec![c(i), c(i + 1)])));
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])], 3);
+        let mut scratch = Scratch::new();
+        let reference = collect(&plan, &inst);
+        let mut windowed = Vec::new();
+        for w in delta_windows(0, inst.len() as AtomIdx, 2) {
+            plan.for_each_hom_pivot(&inst, 0, 0, w, &mut scratch, |b| {
+                windowed.push(b.to_vec());
+                ControlFlow::Continue(())
+            });
+        }
+        assert_eq!(windowed, reference);
+        for pivot in 1..plan.pivot_count() {
+            plan.for_each_hom_pivot(
+                &inst,
+                0,
+                pivot,
+                (0, inst.len() as AtomIdx),
+                &mut scratch,
+                |_| {
+                    panic!("pivot {pivot} must be empty at delta_start 0");
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn delta_windows_cover_exactly() {
+        let ws: Vec<_> = delta_windows(3, 11, 3).collect();
+        assert_eq!(ws, vec![(3, 6), (6, 9), (9, 11)]);
+        assert_eq!(delta_windows(5, 5, 4).count(), 0);
+        assert_eq!(delta_windows(0, 1, 1024).collect::<Vec<_>>(), vec![(0, 1)]);
     }
 
     #[test]

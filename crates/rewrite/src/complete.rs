@@ -324,12 +324,16 @@ pub fn atoms_over_dom(inst: &Instance, dom: &[Term]) -> Vec<Atom> {
     let mut out: Vec<Atom> = Vec::new();
     let mut seen: std::collections::HashSet<nuchase_model::AtomIdx> = Default::default();
     for pred in inst.preds() {
-        for &t in dom {
-            for &idx in inst.atoms_with_pred_term(pred, t) {
-                if seen.insert(idx) {
-                    let atom = inst.atom(idx);
-                    if atom.args.iter().all(|a| dom.contains(a)) {
-                        out.push(atom.to_atom());
+        // The index is position-keyed; sweep every argument slot for an
+        // any-position lookup (the `seen` set absorbs cross-slot repeats).
+        for pos in 0..inst.arity_of(pred) {
+            for &t in dom {
+                for &idx in inst.atoms_with_pred_term_at(pred, pos, t) {
+                    if seen.insert(idx) {
+                        let atom = inst.atom(idx);
+                        if atom.args.iter().all(|a| dom.contains(a)) {
+                            out.push(atom.to_atom());
+                        }
                     }
                 }
             }

@@ -224,6 +224,73 @@ fn completion_vs_terminating_chase() {
     assert!(checked > 20, "too few terminating samples ({checked})");
 }
 
+/// Three engines, one result: the preserved seed baseline, the
+/// sequential compiled-plan engine, and the parallel executor must agree
+/// on the chase of random programs (atom set, null count, fired-trigger
+/// count) — and the two production engines must agree byte-for-byte.
+#[test]
+fn parallel_executor_agrees_with_baseline_and_sequential() {
+    use nuchase_engine::{baseline_semi_oblivious_chase, chase, ChaseBudget, ChaseConfig};
+    // Default to a 2-worker pool; the CI matrix overrides via
+    // NUCHASE_THREADS (1 and 4) so the bypass path and a wider pool are
+    // both exercised against the seed baseline.
+    let pool_threads = std::env::var("NUCHASE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
+    let mut checked = 0;
+    for class in [TgdClass::SimpleLinear, TgdClass::Linear, TgdClass::Guarded] {
+        for seed in 0..20u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            let cfg = ChaseConfig {
+                budget: ChaseBudget::atoms(20_000),
+                ..Default::default()
+            };
+            let sequential = chase(&p.database, &p.tgds, &cfg);
+            let parallel = chase(
+                &p.database,
+                &p.tgds,
+                &ChaseConfig {
+                    threads: pool_threads,
+                    ..cfg
+                },
+            );
+            assert_eq!(
+                sequential.outcome, parallel.outcome,
+                "{class:?} seed {seed}"
+            );
+            assert!(
+                sequential.instance.indexed_eq(&parallel.instance),
+                "{class:?} seed {seed}: parallel deviates from sequential"
+            );
+            if !sequential.terminated() {
+                continue;
+            }
+            let baseline = baseline_semi_oblivious_chase(&p.database, &p.tgds, 20_000);
+            assert!(
+                baseline.instance.set_eq(&parallel.instance),
+                "{class:?} seed {seed}: parallel deviates from the seed baseline"
+            );
+            assert_eq!(
+                baseline.stats.triggers_fired, parallel.stats.triggers_fired,
+                "{class:?} seed {seed}"
+            );
+            assert_eq!(
+                baseline.nulls.len(),
+                parallel.nulls.len(),
+                "{class:?} seed {seed}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 30, "too few terminating samples ({checked})");
+}
+
 /// Oblivious ⊇ semi-oblivious ⊇ restricted on terminating runs (result
 /// sizes; the oblivious chase fires strictly more triggers).
 #[test]
