@@ -43,8 +43,12 @@ pub struct EngineNumbers {
     pub enumerate_secs: f64,
     /// Wall time of the dedup merge.
     pub dedup_secs: f64,
-    /// Wall time of the apply phase.
+    /// Wall time of the apply pipeline (plan + resolve + commit).
     pub apply_secs: f64,
+    /// Wall time of the resolve stage (the parallelizable part of apply).
+    pub resolve_secs: f64,
+    /// Wall time of the commit stage (the serial part of apply).
+    pub commit_secs: f64,
 }
 
 impl EngineNumbers {
@@ -58,6 +62,8 @@ impl EngineNumbers {
             enumerate_secs: stats.enumerate_secs,
             dedup_secs: stats.dedup_secs,
             apply_secs: stats.apply_secs,
+            resolve_secs: stats.resolve_secs,
+            commit_secs: stats.commit_secs,
         }
     }
 }
@@ -261,8 +267,12 @@ pub struct ThreadNumbers {
     pub enumerate_secs: f64,
     /// Wall time of the dedup merge.
     pub dedup_secs: f64,
-    /// Wall time of the apply phase.
+    /// Wall time of the apply pipeline (plan + resolve + commit).
     pub apply_secs: f64,
+    /// Wall time of the resolve stage (shards across workers).
+    pub resolve_secs: f64,
+    /// Wall time of the commit stage (the remaining serial section).
+    pub commit_secs: f64,
 }
 
 /// The scaling curve of one workload under the parallel executor.
@@ -329,12 +339,30 @@ pub fn run_parallel_bench(runs: usize, quick: bool) -> Vec<ParallelBenchRow> {
                 enumerate_secs: numbers.enumerate_secs,
                 dedup_secs: numbers.dedup_secs,
                 apply_secs: numbers.apply_secs,
+                resolve_secs: numbers.resolve_secs,
+                commit_secs: numbers.commit_secs,
             });
         }
         assert!(
             curve.windows(2).all(|w| w[0].atoms == w[1].atoms),
             "{name}: thread counts disagree on the result size"
         );
+        // Phase accounting must stay consistent: resolve + commit are
+        // nested sub-spans partitioning the apply pipeline, so their sum
+        // tracks apply_secs up to timer overhead. The quick CI smoke
+        // exists to catch a stage that stops being timed (or gets
+        // double-counted) after a refactor.
+        for n in &curve {
+            let sum = n.resolve_secs + n.commit_secs;
+            assert!(
+                (sum - n.apply_secs).abs() <= 0.02 + 0.05 * n.apply_secs,
+                "{name} @ {} threads: resolve {:.4}s + commit {:.4}s != apply {:.4}s",
+                n.threads,
+                n.resolve_secs,
+                n.commit_secs,
+                n.apply_secs
+            );
+        }
         let wall_at = |t: usize| {
             curve
                 .iter()
@@ -357,14 +385,17 @@ fn thread_json(n: &ThreadNumbers) -> String {
     format!(
         "{{\"threads\": {}, \"atoms\": {}, \"wall_secs\": {:.6}, \
          \"triggers_per_sec\": {:.0}, \"enumerate_secs\": {:.6}, \
-         \"dedup_secs\": {:.6}, \"apply_secs\": {:.6}}}",
+         \"dedup_secs\": {:.6}, \"apply_secs\": {:.6}, \
+         \"resolve_secs\": {:.6}, \"commit_secs\": {:.6}}}",
         n.threads,
         n.atoms,
         n.wall_secs,
         n.triggers_per_sec,
         n.enumerate_secs,
         n.dedup_secs,
-        n.apply_secs
+        n.apply_secs,
+        n.resolve_secs,
+        n.commit_secs
     )
 }
 
@@ -412,21 +443,22 @@ pub fn parallel_bench_table(rows: &[ParallelBenchRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<24} {:>8} {:>12} {:>14} {:>11} {:>9} {:>9}",
-        "workload", "threads", "wall", "triggers/s", "enumerate", "dedup", "apply"
+        "{:<24} {:>8} {:>12} {:>14} {:>11} {:>9} {:>9} {:>9}",
+        "workload", "threads", "wall", "triggers/s", "enumerate", "dedup", "resolve", "commit"
     );
     for r in rows {
         for n in &r.curve {
             let _ = writeln!(
                 out,
-                "{:<24} {:>8} {:>10.3} s {:>14.0} {:>9.3} s {:>7.3} s {:>7.3} s",
+                "{:<24} {:>8} {:>10.3} s {:>14.0} {:>9.3} s {:>7.3} s {:>7.3} s {:>7.3} s",
                 r.name,
                 n.threads,
                 n.wall_secs,
                 n.triggers_per_sec,
                 n.enumerate_secs,
                 n.dedup_secs,
-                n.apply_secs
+                n.resolve_secs,
+                n.commit_secs
             );
         }
         let _ = writeln!(out, "{:<24} 4-thread speedup: {:.2}×", "", r.speedup_4t);
@@ -536,6 +568,8 @@ mod tests {
             enumerate_secs: 0.3,
             dedup_secs: 0.05,
             apply_secs: 0.1,
+            resolve_secs: 0.07,
+            commit_secs: 0.03,
         };
         let rows = vec![ChaseBenchRow {
             name: "demo",

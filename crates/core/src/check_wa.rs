@@ -35,7 +35,7 @@ pub fn check_not_weakly_acyclic(db: &Instance, tgds: &TgdSet) -> bool {
 /// [`check_not_weakly_acyclic`] against a pre-built graph.
 pub fn check_not_weakly_acyclic_with(db: &Instance, graph: &DepGraph) -> bool {
     // Predicates reachable (in pg) from the database: the supporters.
-    let supported = graph.pg_reachable_from(db.preds());
+    let supported = graph.pg_reachable_from(db.preds_iter());
 
     // Reverse reachability sets are recomputed per special edge; the
     // graph is small (|pos(sch(Σ))| nodes) and this mirrors the

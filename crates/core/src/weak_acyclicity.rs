@@ -65,7 +65,7 @@ pub fn is_weakly_acyclic(db: &Instance, tgds: &TgdSet) -> bool {
 /// callers amortize graph construction over many databases).
 pub fn is_weakly_acyclic_with(db: &Instance, graph: &DepGraph) -> bool {
     let critical = critical_preds(graph);
-    !db.preds().iter().any(|p| critical.contains(p))
+    !db.preds_iter().any(|p| critical.contains(&p))
 }
 
 /// *Uniform* weak-acyclicity (Fagin et al.): no cycle with a special edge

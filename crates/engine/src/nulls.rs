@@ -137,6 +137,45 @@ impl NullStore {
         id
     }
 
+    /// Discards every null with id `>= len`, rebuilding the intern table.
+    ///
+    /// This is the rollback half of the two-stage apply pipeline's
+    /// *deterministic id plan*: the plan pass interns a round's nulls
+    /// optimistically, in canonical trigger order, before the commit loop
+    /// runs — so when a budget stops the commit at trigger `j`, the nulls
+    /// planned for the uncommitted tail must be unmade to match the
+    /// sequential engine (which never reaches them). Ids are assigned in
+    /// plan order, so the tail is exactly a suffix and truncation
+    /// restores the store byte-for-byte. A stop ends the chase, so the
+    /// O(len) table rebuild runs at most once per run.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.depths.len() {
+            return;
+        }
+        self.meta.truncate(len);
+        self.depths.truncate(len);
+        self.hashes.truncate(len);
+        self.image_offsets.truncate(len + 1);
+        let images_len = self.image_offsets.last().copied().unwrap_or(0) as usize;
+        self.images.truncate(images_len);
+        self.table = TagTable::new();
+        for id in 0..len {
+            // Fresh (restricted) nulls carry no key and never enter the
+            // table — same as at creation time.
+            if self.meta[id].is_none() {
+                continue;
+            }
+            let hash = self.hashes[id];
+            self.table.reserve_one(&self.hashes);
+            // Keys are unique among interned nulls, so probing only for a
+            // vacant slot (eq always false) reinserts them faithfully.
+            match self.table.probe(hash, |_| false) {
+                TagProbe::Vacant(slot) => self.table.fill(slot, hash, id as u32),
+                TagProbe::Found(_) => unreachable!("probe eq is constant false"),
+            }
+        }
+    }
+
     /// The depth of a null (Definition 4.3).
     #[inline]
     pub fn depth(&self, id: NullId) -> u32 {
@@ -243,6 +282,53 @@ mod tests {
         let n2 = store.fresh(0);
         assert_ne!(n1, n2);
         assert!(store.key(n1).is_none());
+    }
+
+    #[test]
+    fn truncate_rolls_back_to_a_prefix() {
+        let mut store = NullStore::new();
+        let a = Term::Const(ConstId(0));
+        let b = Term::Const(ConstId(1));
+        let n1 = store.intern(key(0, 1, vec![a]), 0);
+        let _f = store.fresh(0); // restricted null interleaved
+        let n2 = store.intern(key(0, 1, vec![b]), 0);
+        let n3 = store.intern(key(1, 1, vec![a, b]), 0);
+        assert_eq!(store.len(), 4);
+        store.truncate(2);
+        assert_eq!(store.len(), 2);
+        // Survivors keep their ids, keys, and depths.
+        assert_eq!(store.intern(key(0, 1, vec![a]), 0), n1);
+        assert_eq!(store.key(n1).unwrap().frontier_image.as_ref(), &[a]);
+        assert_eq!(store.depth(n1), 1);
+        assert_eq!(store.len(), 2);
+        // Truncated keys re-intern as new ids from the cut point.
+        let n2b = store.intern(key(0, 1, vec![b]), 0);
+        assert_eq!(n2b, n2);
+        let n3b = store.intern(key(1, 1, vec![a, b]), 0);
+        assert_eq!(n3b, n3);
+        // No-op truncations do nothing.
+        store.truncate(10);
+        assert_eq!(store.len(), 4);
+        store.truncate(0);
+        assert!(store.is_empty());
+        assert_eq!(store.intern(key(0, 1, vec![a]), 0), NullId(0));
+    }
+
+    #[test]
+    fn truncate_survives_table_growth() {
+        let mut store = NullStore::new();
+        let terms: Vec<Term> = (0..200).map(|i| Term::Const(ConstId(i))).collect();
+        for &t in &terms {
+            store.intern(key(0, 1, vec![t]), 0);
+        }
+        store.truncate(100);
+        for (i, &t) in terms.iter().enumerate() {
+            let id = store.intern(key(0, 1, vec![t]), 0);
+            if i < 100 {
+                assert_eq!(id, NullId(i as u32), "prefix ids stable");
+            }
+        }
+        assert_eq!(store.len(), 200);
     }
 
     #[test]

@@ -1,41 +1,49 @@
-//! The parallel chase executor: sharded trigger enumeration with
-//! deterministic apply.
+//! The parallel chase executor: sharded trigger enumeration **and**
+//! sharded trigger resolution, with a deterministic serial commit.
 //!
 //! A chase round's enumerate phase is read-only over the instance and
 //! embarrassingly parallel over `(rule, pivot, window)` task units
-//! ([`crate::phase::Task`]); its apply phase is inherently sequential
-//! (null ids and atom ids are assigned in firing order). This executor
-//! exploits exactly that split:
+//! ([`crate::phase::Task`]); its apply phase used to be one serial loop,
+//! but only a thin slice of it truly is: after the dedup merge and the
+//! deterministic null id plan ([`crate::phase::plan_nulls`]) fix every
+//! id the round will use, **resolving** triggers (head instantiation,
+//! hashing, snapshot containment, activeness pre-checks, provenance
+//! images — [`crate::phase::resolve_range`]) is again read-only over the
+//! frozen snapshot and shards freely over accepted-trigger ranges. This
+//! executor drives both parallel stages on one persistent pool:
 //!
 //! * a **persistent worker pool** (`threads` workers, the coordinating
 //!   thread included) lives for the whole run — no per-round spawns;
-//! * each round, the coordinator publishes the canonical task list and
-//!   the workers **self-schedule** over it by stealing the next unit off
-//!   a shared atomic cursor — skew (one rule dominating a round) load-
-//!   balances automatically because windows are small;
-//! * every worker owns one [`WorkerScratch`] — one backtracking trail,
-//!   one recycled trigger-dedup arena, one key buffer — so the inner
-//!   loop stays allocation-free per candidate, exactly like the
-//!   sequential engine;
-//! * the coordinator then merges the per-task batches back into
-//!   **canonical `(rule, pivot, window)` order** and runs the
-//!   single-threaded apply phase ([`crate::phase::apply_batch`]).
+//! * each round, the coordinator publishes the canonical task list
+//!   (enumerate) and, after merge + plan, the accepted ranges (resolve);
+//!   the workers **self-schedule** over whichever phase is current by
+//!   stealing the next unit off a shared atomic cursor;
+//! * every worker owns one [`WorkerScratch`] — trail, recycled dedup
+//!   arena, resolve buffers — so both inner loops stay allocation-free
+//!   per candidate;
+//! * the coordinator then merges the per-unit outputs back into
+//!   **canonical order** and runs the thin serial **commit**
+//!   ([`crate::phase::commit_batch`]): bulk appends of pre-resolved
+//!   atoms with deferred index splicing.
 //!
 //! # Determinism
 //!
 //! Results are **byte-identical** to [`crate::chase::sequential_chase`]
 //! at any thread count: same atoms at the same indexes, same null ids,
-//! same provenance, same round/trigger counts. This hinges on three
+//! same provenance, same round/trigger counts. This hinges on four
 //! invariants, each enforced structurally:
 //!
-//! 1. task decomposition is a pure function of the round (never of the
-//!    worker count) — [`crate::phase::round_tasks`];
-//! 2. a task's batch is a pure function of the frozen round state: the
+//! 1. task decomposition (enumerate windows, resolve ranges) is a pure
+//!    function of the round — never of the worker count;
+//! 2. a unit's output is a pure function of the frozen round state: the
 //!    only dedup state a worker consults is the frozen previous-round
-//!    fired sets plus a *per-task* arena, never anything that depends on
-//!    which worker ran what before;
-//! 3. cross-task duplicate resolution happens in the apply phase's
-//!    merge, in canonical order.
+//!    fired sets plus a *per-task* arena; the only null state, the
+//!    pre-published plan;
+//! 3. cross-task duplicate resolution happens in the serial merge, in
+//!    canonical order — which also fixes the null id plan;
+//! 4. the commit stage walks resolved ranges in canonical order, so
+//!    every insert, budget check, and restricted activeness re-check
+//!    happens exactly where the interleaved sequential engine ran it.
 //!
 //! The differential suites (`tests/properties.rs`) pin this at thread
 //! counts 1, 2, and 7 against the sequential engine, variant by variant.
@@ -46,10 +54,11 @@ use std::time::Instant;
 
 use nuchase_model::{AtomIdx, Instance, TgdSet};
 
-use crate::chase::{ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant};
+use crate::chase::{ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats};
 use crate::dedup::TermTupleSet;
 use crate::phase::{
-    apply_batch, enumerate_task, round_tasks, ApplyState, RoundCtx, Task, TriggerBatch,
+    apply_batches, commit_batch, enumerate_task, merge_accepted, plan_nulls, resolve_range,
+    round_tasks, ApplyBuffers, ApplyState, ResolvedBatch, RoundCtx, Task, TriggerBatch,
     WorkerScratch,
 };
 
@@ -59,51 +68,63 @@ pub fn auto_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// The state a round freezes for its enumerate phase and mutates in its
-/// apply phase. Lives behind one `RwLock`: workers hold read guards
-/// while enumerating; the coordinator takes the write guard between the
-/// phase barriers to prepare and to apply.
+/// The state a round freezes for its sharded phases and mutates in its
+/// serial stages. Lives behind one `RwLock`: workers hold read guards
+/// while enumerating or resolving; the coordinator takes the write guard
+/// between the phase barriers to prepare, merge, plan, and commit.
 #[derive(Debug, Default)]
 struct RoundState {
     instance: Instance,
-    /// Authoritative per-rule fired sets — mutated only by the apply
-    /// phase, frozen (read-only) during enumeration.
+    /// Authoritative per-rule fired sets — mutated only by the merge
+    /// stage, frozen (read-only) during enumeration.
     fired: Vec<TermTupleSet>,
-    /// Canonical task list of the current round.
+    /// Canonical task list of the current round (enumerate phase).
     tasks: Vec<Task>,
+    /// The apply-pipeline buffers: the accepted batch and null plan are
+    /// frozen here for the resolve phase's workers.
+    apply: ApplyBuffers,
     delta_start: AtomIdx,
 }
 
+/// Which sharded phase the pool is currently draining.
+const MODE_ENUMERATE: usize = 0;
+const MODE_RESOLVE: usize = 1;
+
 /// Everything the pool shares. The barrier separates the phases: between
-/// a `prepare → barrier` and the following `barrier`, workers enumerate
-/// and the round state is immutable; outside that span workers are
-/// parked and the coordinator owns the state.
+/// a `prepare → barrier` and the following `barrier`, workers drain the
+/// current phase (`mode`) and the round state is immutable; outside that
+/// span workers are parked and the coordinator owns the state.
 struct Shared<'a> {
     tgds: &'a TgdSet,
-    variant: ChaseVariant,
+    config: ChaseConfig,
     round: RwLock<RoundState>,
-    /// The shared task cursor workers steal from.
+    /// The shared unit cursor workers steal from (task index in the
+    /// enumerate phase, range index in the resolve phase).
     next_task: AtomicUsize,
-    /// Completed `(task index, batch, triggers considered)` triples,
+    /// The phase the next barrier release starts.
+    mode: AtomicUsize,
+    /// Completed enumerate units: `(task index, batch, considered)`,
     /// published in completion order and re-sorted canonically by the
     /// coordinator.
     results: Mutex<Vec<(u32, TriggerBatch, usize)>>,
-    /// Recycled (cleared) batches: popped by workers per task, returned
-    /// by the coordinator after the apply phase — the steady state
-    /// allocates no new batch arenas.
+    /// Completed resolve units, re-sorted by range start.
+    resolve_results: Mutex<Vec<ResolvedBatch>>,
+    /// Recycled (cleared) arenas: popped by workers per unit, returned
+    /// by the coordinator after the round — the steady state allocates
+    /// no new arenas.
     spare: Mutex<Vec<TriggerBatch>>,
+    spare_resolved: Mutex<Vec<ResolvedBatch>>,
     barrier: Barrier,
     done: AtomicBool,
 }
 
 /// Releases the workers if the coordinator unwinds mid-run (a panic in
-/// the apply phase, a poisoned lock, …): completes the enumerate-phase
-/// barrier if one is pending, raises `done`, and crosses the park
-/// barrier so the pool exits and `thread::scope` can join — the panic
-/// then propagates instead of deadlocking the scope. (A panic on a
-/// *worker* still aborts the join; workers run only read-only plan
-/// enumeration, whose invariants the sequential differential suites pin
-/// deterministically.)
+/// the commit stage, a poisoned lock, …): completes the phase barrier if
+/// one is pending, raises `done`, and crosses the park barrier so the
+/// pool exits and `thread::scope` can join — the panic then propagates
+/// instead of deadlocking the scope. (A panic on a *worker* still aborts
+/// the join; workers run only read-only enumeration/resolution, whose
+/// invariants the sequential differential suites pin deterministically.)
 struct PanicRelease<'a, 'b> {
     shared: &'a Shared<'b>,
     /// True between the two phase barriers (workers will reach the
@@ -123,9 +144,9 @@ impl Drop for PanicRelease<'_, '_> {
     }
 }
 
-/// Runs the chase with `config.threads.max(1)` enumeration workers.
-/// Byte-identical to [`crate::chase::sequential_chase`] at any thread
-/// count; prefer calling [`crate::chase::chase`], which dispatches on
+/// Runs the chase with `config.threads.max(1)` workers. Byte-identical
+/// to [`crate::chase::sequential_chase`] at any thread count; prefer
+/// calling [`crate::chase::chase`], which dispatches on
 /// [`ChaseConfig::threads`].
 pub fn chase_parallel(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseResult {
     let threads = config.threads.max(1);
@@ -136,6 +157,7 @@ pub fn chase_parallel(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) 
         instance: database.clone(),
         fired: vec![TermTupleSet::new(); tgds.len()],
         tasks: Vec::new(),
+        apply: ApplyBuffers::new(),
         delta_start: 0,
     };
 
@@ -158,9 +180,9 @@ pub fn chase_parallel(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) 
     }
 }
 
-/// One worker: task decomposition, batching, and merge identical to the
-/// pool path, minus the synchronization — this is the 1-thread executor
-/// the scaling curves are measured against.
+/// One worker: task decomposition, batching, merge, and the apply
+/// pipeline identical to the pool path, minus the synchronization — this
+/// is the 1-thread executor the scaling curves are measured against.
 fn drive_single(
     tgds: &TgdSet,
     config: &ChaseConfig,
@@ -202,13 +224,15 @@ fn drive_single(
         }
 
         let len_before = round.instance.len();
-        if let Some(stop) = apply_batch(
+        if let Some(stop) = apply_batches(
             tgds,
             config,
             &mut round.instance,
             &mut round.fired,
             state,
-            &batch,
+            &mut round.apply,
+            &mut ws,
+            std::iter::once(&batch),
             stats,
         ) {
             return stop;
@@ -221,8 +245,9 @@ fn drive_single(
 }
 
 /// The pooled driver: spawns `threads - 1` scoped workers (the
-/// coordinator enumerates too) and runs the barrier-separated
-/// prepare → enumerate → merge/apply round loop.
+/// coordinator enumerates and resolves too) and runs the
+/// barrier-separated prepare → enumerate → merge/plan → resolve →
+/// commit round loop.
 fn drive_pool(
     tgds: &TgdSet,
     config: &ChaseConfig,
@@ -233,11 +258,14 @@ fn drive_pool(
 ) -> ChaseOutcome {
     let shared = Shared {
         tgds,
-        variant: config.variant,
+        config: *config,
         round: RwLock::new(std::mem::take(round)),
         next_task: AtomicUsize::new(0),
+        mode: AtomicUsize::new(MODE_ENUMERATE),
         results: Mutex::new(Vec::new()),
+        resolve_results: Mutex::new(Vec::new()),
         spare: Mutex::new(Vec::new()),
+        spare_resolved: Mutex::new(Vec::new()),
         barrier: Barrier::new(threads),
         done: AtomicBool::new(false),
     };
@@ -259,21 +287,31 @@ fn finish(shared: &Shared<'_>, outcome: ChaseOutcome) -> ChaseOutcome {
     outcome
 }
 
-/// Minimum delta size (in atoms) for a round to engage the worker pool.
-/// A deep chase spends most of its rounds on deltas of a handful of
-/// atoms — there two barrier crossings cost more than the enumeration
-/// they would shard, so the coordinator runs those rounds inline and
-/// leaves the workers parked. Wide rounds (large deltas, the case
-/// parallelism exists for) cross the threshold and fan out. The choice
-/// only moves *who* enumerates, never *what*: batches are canonical
-/// either way, so results do not depend on it.
+/// Minimum delta size (in atoms) for a round to engage the worker pool
+/// for enumeration. A deep chase spends most of its rounds on deltas of
+/// a handful of atoms — there two barrier crossings cost more than the
+/// enumeration they would shard, so the coordinator runs those rounds
+/// inline and leaves the workers parked. Wide rounds (large deltas, the
+/// case parallelism exists for) cross the threshold and fan out. The
+/// choice only moves *who* enumerates, never *what*: batches are
+/// canonical either way, so results do not depend on it.
 const POOL_DELTA_MIN: AtomIdx = 2048;
 
 /// A round with at least this many tasks engages the pool regardless of
 /// delta size (many rules × pivots can carry real work on a small delta).
 const POOL_TASKS_MIN: usize = 16;
 
-/// The coordinator's round loop (also participates in enumeration).
+/// Accepted triggers per resolve-phase work unit. Like [`Task`] windows,
+/// a pure function of the round — never of the worker count.
+const RESOLVE_CHUNK: u32 = 256;
+
+/// Minimum accepted triggers for a round to engage the pool for the
+/// resolve stage; below it the coordinator resolves inline (the same
+/// barrier-vs-work tradeoff as [`POOL_DELTA_MIN`], and equally
+/// invisible in the results).
+const RESOLVE_POOL_MIN: usize = 1024;
+
+/// The coordinator's round loop (participates in both sharded phases).
 fn coordinate(
     shared: &Shared<'_>,
     config: &ChaseConfig,
@@ -282,18 +320,26 @@ fn coordinate(
 ) -> ChaseOutcome {
     let mut ws = WorkerScratch::new();
     let mut merged: Vec<(u32, TriggerBatch, usize)> = Vec::new();
+    let mut resolved: Vec<ResolvedBatch> = Vec::new();
     let mut inline_batch = TriggerBatch::new();
     let mut guard = PanicRelease {
         shared,
         in_phase: false,
     };
     loop {
-        // Recycle last round's batch arenas before anything can grow.
+        // Recycle last round's arenas before anything can grow.
         if !merged.is_empty() {
             let mut spare = shared.spare.lock().unwrap();
             spare.extend(merged.drain(..).map(|(_, mut b, _)| {
                 b.clear();
                 b
+            }));
+        }
+        if !resolved.is_empty() {
+            let mut spare = shared.spare_resolved.lock().unwrap();
+            spare.extend(resolved.drain(..).map(|mut rb| {
+                rb.clear();
+                rb
             }));
         }
 
@@ -312,6 +358,7 @@ fn coordinate(
             let RoundState { tasks, .. } = &mut *round;
             round_tasks(shared.tgds, delta_start, len, tasks);
             engage = len - delta_start >= POOL_DELTA_MIN || tasks.len() >= POOL_TASKS_MIN;
+            shared.mode.store(MODE_ENUMERATE, Ordering::Release);
             shared.next_task.store(0, Ordering::Release);
         }
 
@@ -335,7 +382,7 @@ fn coordinate(
             let round = shared.round.read().unwrap();
             let ctx = RoundCtx {
                 tgds: shared.tgds,
-                variant: shared.variant,
+                variant: shared.config.variant,
                 delta_start: round.delta_start,
             };
             let mut considered = 0usize;
@@ -362,25 +409,112 @@ fn coordinate(
             return finish(shared, ChaseOutcome::Terminated);
         }
 
-        // Apply phase: single-threaded, in canonical order. Exactly one
-        // of `merged` / `inline_batch` is populated, so chaining them
-        // preserves canonical order either way.
+        // Apply pipeline, stage 1 — merge, serial under the write guard
+        // (workers are parked). Exactly one of `merged` / `inline_batch`
+        // is populated, so chaining them preserves canonical order
+        // either way.
+        let merge_started = Instant::now();
         let mut round = shared.round.write().unwrap();
-        let len_before = round.instance.len();
-        let pooled = merged.iter().map(|(_, b, _)| b);
-        for batch in pooled.chain(std::iter::once(&inline_batch)) {
-            if batch.is_empty() {
-                continue;
-            }
+        {
+            let RoundState { fired, apply, .. } = &mut *round;
+            merge_accepted(
+                shared.tgds,
+                shared.config.variant,
+                merged
+                    .iter()
+                    .map(|(_, b, _)| b)
+                    .chain(std::iter::once(&inline_batch)),
+                fired,
+                &mut ws.key_buf,
+                &mut apply.accepted,
+            );
+        }
+        // Shared stage-boundary timestamps, as in `apply_batches`:
+        // `resolve + commit == apply` exactly.
+        let apply_started = Instant::now();
+        stats.dedup_secs += (apply_started - merge_started).as_secs_f64();
+
+        // Stage 2 — the deterministic null id plan, published into the
+        // round state for the resolve workers.
+        {
+            let RoundState { apply, .. } = &mut *round;
+            let ApplyBuffers { accepted, plan, .. } = apply;
+            plan_nulls(
+                shared.tgds,
+                config,
+                &mut state.nulls,
+                accepted,
+                &mut ws.key_buf,
+                plan,
+            );
+        }
+        let planned = round.apply.plan.planned();
+
+        // Stage 3 — resolve: fan out over accepted ranges when the round
+        // is wide enough, inline otherwise.
+        let engage_resolve = planned >= RESOLVE_POOL_MIN;
+        if engage_resolve {
+            shared.mode.store(MODE_RESOLVE, Ordering::Release);
+            shared.next_task.store(0, Ordering::Release);
+            drop(round);
+            guard.in_phase = true;
+            shared.barrier.wait();
+            drain_resolve(shared, &mut ws);
+            shared.barrier.wait();
+            guard.in_phase = false;
+            resolved.append(&mut shared.resolve_results.lock().unwrap());
+            resolved.sort_unstable_by_key(ResolvedBatch::start);
+            round = shared.round.write().unwrap();
+        } else {
             let RoundState {
-                instance, fired, ..
+                instance, apply, ..
             } = &mut *round;
-            if let Some(stop) =
-                apply_batch(shared.tgds, config, instance, fired, state, batch, stats)
-            {
-                drop(round);
-                return finish(shared, stop);
-            }
+            let ApplyBuffers {
+                accepted,
+                plan,
+                resolved: inline_resolved,
+            } = apply;
+            resolve_range(
+                instance,
+                shared.tgds,
+                config,
+                accepted,
+                plan,
+                (0, planned as u32),
+                &mut ws,
+                inline_resolved,
+            );
+        }
+        // Stage 4 — the thin serial commit, in canonical range order.
+        let commit_started = Instant::now();
+        stats.resolve_secs += (commit_started - apply_started).as_secs_f64();
+        let len_before = round.instance.len();
+        let stop = {
+            let RoundState {
+                instance, apply, ..
+            } = &mut *round;
+            let parts: &[ResolvedBatch] = if engage_resolve {
+                &resolved
+            } else {
+                std::slice::from_ref(&apply.resolved)
+            };
+            commit_batch(
+                shared.tgds,
+                config,
+                instance,
+                state,
+                &apply.accepted,
+                &apply.plan,
+                parts,
+                stats,
+            )
+        };
+        let commit_ended = Instant::now();
+        stats.commit_secs += (commit_ended - commit_started).as_secs_f64();
+        stats.apply_secs += (commit_ended - apply_started).as_secs_f64();
+        if let Some(stop) = stop {
+            drop(round);
+            return finish(shared, stop);
         }
         if round.instance.len() == len_before {
             drop(round);
@@ -390,8 +524,9 @@ fn coordinate(
     }
 }
 
-/// A spawned worker: park at the barrier, enumerate a round's worth of
-/// stolen tasks, publish, park again — until the run finishes.
+/// A spawned worker: park at the barrier, drain a phase's worth of
+/// stolen units (enumerate tasks or resolve ranges, per the published
+/// mode), publish, park again — until the run finishes.
 fn worker_loop(shared: &Shared<'_>) {
     let mut ws = WorkerScratch::new();
     loop {
@@ -399,14 +534,17 @@ fn worker_loop(shared: &Shared<'_>) {
         if shared.done.load(Ordering::Acquire) {
             return;
         }
-        drain_tasks(shared, &mut ws);
+        match shared.mode.load(Ordering::Acquire) {
+            MODE_ENUMERATE => drain_tasks(shared, &mut ws),
+            _ => drain_resolve(shared, &mut ws),
+        }
         shared.barrier.wait();
     }
 }
 
-/// Steals tasks off the shared cursor until it runs dry, enumerating
-/// each against the frozen round snapshot and batching the results.
-/// Batch arenas come from the recycle pool, so the steady state
+/// Steals enumerate tasks off the shared cursor until it runs dry,
+/// enumerating each against the frozen round snapshot and batching the
+/// results. Batch arenas come from the recycle pool, so the steady state
 /// allocates nothing per task.
 fn drain_tasks(shared: &Shared<'_>, ws: &mut WorkerScratch) {
     let mut out: Vec<(u32, TriggerBatch, usize)> = Vec::new();
@@ -420,7 +558,7 @@ fn drain_tasks(shared: &Shared<'_>, ws: &mut WorkerScratch) {
         let snapshot = round.instance.snapshot();
         let ctx = RoundCtx {
             tgds: shared.tgds,
-            variant: shared.variant,
+            variant: shared.config.variant,
             delta_start: round.delta_start,
         };
         let mut batch = shared.spare.lock().unwrap().pop().unwrap_or_default();
@@ -440,11 +578,50 @@ fn drain_tasks(shared: &Shared<'_>, ws: &mut WorkerScratch) {
     }
 }
 
+/// Steals resolve ranges off the shared cursor until the planned prefix
+/// is covered, resolving each against the frozen snapshot + accepted
+/// batch + null plan. Output arenas come from the recycle pool.
+fn drain_resolve(shared: &Shared<'_>, ws: &mut WorkerScratch) {
+    let mut out: Vec<ResolvedBatch> = Vec::new();
+    loop {
+        let r = shared.next_task.fetch_add(1, Ordering::Relaxed) as u64;
+        let round = shared.round.read().unwrap();
+        let planned = round.apply.plan.planned() as u64;
+        let start = r * u64::from(RESOLVE_CHUNK);
+        if start >= planned {
+            break;
+        }
+        let end = (start + u64::from(RESOLVE_CHUNK)).min(planned);
+        let snapshot = round.instance.snapshot();
+        let mut rb = shared
+            .spare_resolved
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_default();
+        resolve_range(
+            &snapshot,
+            shared.tgds,
+            &shared.config,
+            &round.apply.accepted,
+            &round.apply.plan,
+            (start as u32, end as u32),
+            ws,
+            &mut rb,
+        );
+        drop(round);
+        out.push(rb);
+    }
+    if !out.is_empty() {
+        shared.resolve_results.lock().unwrap().append(&mut out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chase::{sequential_chase, ChaseBudget};
-    use nuchase_model::parse_program;
+    use crate::chase::{sequential_chase, ChaseBudget, ChaseVariant};
+    use nuchase_model::{parse_program, Atom, SymbolTable, Term, VarId};
 
     fn config(threads: usize) -> ChaseConfig {
         ChaseConfig {
@@ -536,9 +713,9 @@ mod tests {
 
     #[test]
     fn restricted_variant_is_deterministic_under_the_phase_split() {
-        // The activeness re-check runs in the apply phase against the
-        // mutating instance; canonical merge order makes it identical at
-        // any thread count.
+        // The activeness re-check runs in the commit stage against the
+        // mutating instance; canonical order makes it identical at any
+        // thread count.
         let p = parse_program(
             "r(a, b).\ns(a, c).\nr(a2, b2).\nr(X, Y) -> s(X, Z).\ns(X, Y) -> t(Y, W).",
         )
@@ -551,6 +728,60 @@ mod tests {
             cfg.threads = threads;
             let par = chase_parallel(&p.database, &p.tgds, &cfg);
             assert_identical(&reference, &par, &format!("restricted, {threads} threads"));
+        }
+    }
+
+    /// A one-round star wide enough to cross [`RESOLVE_POOL_MIN`], so the
+    /// resolve stage actually fans out over the pool (the other tests
+    /// stay under the threshold and resolve inline).
+    fn wide_star(facts: u32) -> (Instance, TgdSet) {
+        let mut symbols = SymbolTable::new();
+        let r = symbols.pred_unchecked("r", 2);
+        let s = symbols.pred_unchecked("s", 2);
+        let mut db = Instance::new();
+        for i in 0..facts {
+            let a = Term::Const(symbols.constant(&format!("a{i}")));
+            let b = Term::Const(symbols.constant(&format!("b{i}")));
+            db.insert(Atom::new(r, vec![a, b]));
+        }
+        let v = |i: u32| Term::Var(VarId(i));
+        let tgd = nuchase_model::Tgd::new(
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(s, vec![v(1), v(2)])],
+        )
+        .unwrap();
+        (db, TgdSet::new(vec![tgd]))
+    }
+
+    #[test]
+    fn pooled_resolve_matches_sequential_on_wide_rounds() {
+        let (db, tgds) = wide_star(3 * RESOLVE_POOL_MIN as u32);
+        let reference = sequential_chase(&db, &tgds, &config(0));
+        assert!(reference.terminated());
+        assert_eq!(reference.nulls.len(), 3 * RESOLVE_POOL_MIN);
+        for threads in [2usize, 5] {
+            let par = chase_parallel(&db, &tgds, &config(threads));
+            assert_identical(&reference, &par, &format!("wide star, {threads} threads"));
+        }
+    }
+
+    #[test]
+    fn pooled_resolve_matches_sequential_on_wide_restricted_rounds() {
+        // Same width, restricted variant: provisional-null re-basing and
+        // commit-time re-checks under the pooled resolve path.
+        let (db, tgds) = wide_star(2 * RESOLVE_POOL_MIN as u32);
+        let mut cfg = config(0);
+        cfg.variant = ChaseVariant::Restricted;
+        let reference = sequential_chase(&db, &tgds, &cfg);
+        assert!(reference.terminated());
+        for threads in [2usize, 3] {
+            cfg.threads = threads;
+            let par = chase_parallel(&db, &tgds, &cfg);
+            assert_identical(
+                &reference,
+                &par,
+                &format!("wide restricted star, {threads} threads"),
+            );
         }
     }
 

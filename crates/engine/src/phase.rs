@@ -1,6 +1,6 @@
-//! The enumerate/apply phase split of a chase round, as a reusable API.
+//! The phase split of a chase round, as a reusable API.
 //!
-//! A chase round factors into two phases with very different contracts:
+//! A chase round factors into phases with very different contracts:
 //!
 //! 1. **Enumerate** (read-only): run every rule's [`MatchPlan`] against
 //!    the instance *as frozen at round start*, collecting the candidate
@@ -8,28 +8,69 @@
 //!    shards freely over `(rule, pivot, window)` [`Task`] units — the
 //!    parallel executor's unit of work — or runs as one sweep in the
 //!    sequential engine.
-//! 2. **Apply** (single-threaded, deterministic): merge the batches in
-//!    canonical `(rule, pivot, window)` order, perform the authoritative
-//!    trigger dedup against the per-rule fired sets, and fire the
-//!    accepted triggers — null invention, head instantiation, forest /
-//!    provenance recording, budget checks ([`apply_batch`]).
+//! 2. **Apply**, itself a pipeline of four stages:
+//!    * **merge** ([`merge_accepted`], serial): the authoritative trigger
+//!      dedup against the per-rule fired sets, in canonical batch order,
+//!      flattening the survivors into one accepted batch;
+//!    * **plan** ([`plan_nulls`], serial but cheap): walk the accepted
+//!      triggers in canonical order and fix every null id the round will
+//!      use — interning for the semi-oblivious/oblivious chases,
+//!      provisional range reservation for the restricted one — plus the
+//!      frontier depths and the depth-budget verdict. Null identity
+//!      depends only on `(σ, h|fr)`, never on the instance, so the plan
+//!      is a pure function of the accepted order;
+//!    * **resolve** ([`resolve_range`], read-only, parallelizable): the
+//!      expensive half of firing — head instantiation into scratch
+//!      arenas, atom hashing, containment pre-checks against the frozen
+//!      snapshot, restricted-chase activeness against the snapshot,
+//!      forest/provenance image lookups. Shards freely over accepted
+//!      trigger ranges because it reads only the snapshot and the plan;
+//!    * **commit** ([`commit_batch`], serial but thin): bulk-append the
+//!      resolved atoms via [`Instance::extend_terms`] with deferred
+//!      posting-list splicing, confirm the restricted activeness
+//!      re-checks against the live instance, renumber provisional nulls
+//!      past dropped triggers, record forest/provenance, enforce
+//!      budgets.
 //!
-//! Dedup happens at **three** levels, and only the last is authoritative:
-//! the per-rule fired sets of *previous* rounds are frozen during
-//! enumeration and consulted read-only (they filter the overwhelming
-//! majority of repeat triggers allocation-free); a per-task
+//! Dedup happens at **three** levels, and only the merge stage is
+//! authoritative: the per-rule fired sets of *previous* rounds are frozen
+//! during enumeration and consulted read-only (they filter the
+//! overwhelming majority of repeat triggers allocation-free); a per-task
 //! [`WorkerScratch::dedup`] arena filters repeats *within* one task
 //! (deterministic, since a task's enumeration order is fixed); repeats
 //! *across* tasks of the same round survive into the batches and are
-//! resolved by the apply phase's merge — in canonical order, so the
-//! surviving occurrence, and hence every null and atom id, is the same at
-//! any worker count and equals the sequential engine's.
+//! resolved by the merge — in canonical order, so the surviving
+//! occurrence, and hence every null and atom id, is the same at any
+//! worker count and equals the sequential engine's.
+//!
+//! # Why byte-identity survives the split
+//!
+//! The pre-split engine interleaved null invention, instantiation, and
+//! insertion per trigger; the pipeline hoists work out of that loop
+//! without changing any observable:
+//!
+//! * null ids are a pure function of the accepted order (plan stage), so
+//!   assigning them before instantiation cannot reorder them;
+//! * a budget stop mid-commit truncates the optimistically planned null
+//!   tail ([`NullStore::truncate`]), restoring the exact store the
+//!   sequential interleaving would have left;
+//! * a restricted trigger whose head is satisfied *by the snapshot* is
+//!   dropped in resolve — sound because instances only grow — while one
+//!   satisfied only by a same-round earlier commit is caught by the
+//!   commit-time re-check, exactly where the interleaved engine caught
+//!   it; restricted null ids are re-based at commit so dropped triggers
+//!   consume none;
+//! * body/guard images live in the snapshot (the body matched against
+//!   it), so provenance and forest lookups resolve identically there.
 
 use std::ops::ControlFlow;
 use std::time::Instant;
 
+use nuchase_model::hash::hash_atom;
 use nuchase_model::plan::{delta_windows, Scratch};
-use nuchase_model::{AtomIdx, Instance, RuleId, Term, Tgd, TgdSet, VarId};
+use nuchase_model::{
+    AtomIdx, IndexDelta, Instance, NullId, PredId, ProbeHint, RuleId, Term, Tgd, TgdSet, VarId,
+};
 
 use crate::chase::{ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
 use crate::dedup::TermTupleSet;
@@ -50,7 +91,7 @@ pub fn key_vars(tgd: &Tgd, variant: ChaseVariant) -> &[VarId] {
 /// A batch of candidate triggers collected by the enumerate phase:
 /// `(rule, binding)` pairs in one flat term arena. Unbound binding slots
 /// (head existentials) hold the variable itself as a placeholder, exactly
-/// as the apply phase expects.
+/// as the apply pipeline expects.
 #[derive(Debug, Default, Clone)]
 pub struct TriggerBatch {
     rules: Vec<RuleId>,
@@ -98,6 +139,23 @@ impl TriggerBatch {
         self.rules.push(rule);
     }
 
+    /// Appends a trigger whose binding is already in placeholder form
+    /// (the merge stage copying an accepted trigger between batches).
+    pub fn push_terms(&mut self, rule: RuleId, binding: &[Term]) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.terms.extend_from_slice(binding);
+        self.offsets.push(self.terms.len() as u32);
+        self.rules.push(rule);
+    }
+
+    /// The rule of the trigger at index `i` (cheaper than
+    /// [`TriggerBatch::get`] when the binding is not needed).
+    pub fn rule(&self, i: usize) -> RuleId {
+        self.rules[i]
+    }
+
     /// The trigger at index `i` as `(rule, binding)`.
     pub fn get(&self, i: usize) -> (RuleId, &[Term]) {
         (
@@ -112,18 +170,28 @@ impl TriggerBatch {
     }
 }
 
-/// Per-worker enumeration state: one backtracking trail, one trigger
-/// dedup arena (cleared per task), one key buffer. A single
-/// `WorkerScratch` serves any number of tasks; reusing it across tasks is
-/// what keeps the worker loop allocation-free after warm-up.
+/// Per-worker state for the sharded phases: one backtracking trail, one
+/// trigger dedup arena (cleared per task), and the resolve-stage
+/// buffers. A single `WorkerScratch` serves any number of enumerate
+/// tasks and resolve ranges; reusing it is what keeps the worker loops
+/// allocation-free after warm-up.
 #[derive(Debug, Default)]
 pub struct WorkerScratch {
-    /// Match-plan backtracking state.
+    /// Match-plan backtracking state (shared by enumeration and the
+    /// resolve stage's activeness pre-checks — the two never overlap on
+    /// one worker).
     pub scratch: Scratch,
     /// Within-task trigger dedup (recycled between tasks).
     pub dedup: TermTupleSet,
-    /// Trigger-key assembly buffer.
+    /// Trigger-key assembly buffer (also the merge/plan key buffer when
+    /// the owner runs those serial stages).
     pub key_buf: Vec<Term>,
+    /// Resolve stage: the trigger homomorphism μ under construction.
+    mu: Vec<Term>,
+    /// Resolve stage: guard/body image assembly buffer.
+    atom_buf: Vec<Term>,
+    /// Resolve stage: activeness seed buffer (restricted chase).
+    seed_buf: Vec<Option<Term>>,
 }
 
 impl WorkerScratch {
@@ -228,7 +296,7 @@ fn trigger_collector<'a>(
 /// the number of homomorphisms considered.
 ///
 /// `fired` must be the per-rule fired set for `task.rule`, frozen for the
-/// duration of the phase (the apply phase owns its mutation).
+/// duration of the phase (the merge stage owns its mutation).
 pub fn enumerate_task(
     instance: &Instance,
     ctx: RoundCtx<'_>,
@@ -243,6 +311,7 @@ pub fn enumerate_task(
         scratch,
         dedup,
         key_buf,
+        ..
     } = ws;
     dedup.clear();
     let mut considered = 0usize;
@@ -284,6 +353,7 @@ pub fn enumerate_rule(
         scratch,
         dedup,
         key_buf,
+        ..
     } = ws;
     dedup.clear();
     let mut considered = 0usize;
@@ -296,8 +366,356 @@ pub fn enumerate_rule(
     considered
 }
 
-/// Everything the apply phase accumulates across rounds, plus its scratch
-/// buffers. Owned by the single applying thread.
+/// Stage 1 of the apply pipeline — the authoritative dedup **merge**:
+/// one `insert` into the per-rule fired sets per trigger, in canonical
+/// batch order, flattening the survivors into `accepted` (cleared
+/// first). Keys are instance-independent, so deciding them up front
+/// cannot diverge from the interleaved sequential formulation.
+pub fn merge_accepted<'a>(
+    tgds: &TgdSet,
+    variant: ChaseVariant,
+    batches: impl IntoIterator<Item = &'a TriggerBatch>,
+    fired: &mut [TermTupleSet],
+    key_buf: &mut Vec<Term>,
+    accepted: &mut TriggerBatch,
+) {
+    accepted.clear();
+    for batch in batches {
+        for (rule, binding) in batch.iter() {
+            let tgd = tgds.get(rule);
+            key_buf.clear();
+            key_buf.extend(key_vars(tgd, variant).iter().map(|v| {
+                let t = binding[v.index()];
+                debug_assert!(!t.is_var(), "body variable bound");
+                t
+            }));
+            if fired[rule.index()].insert(key_buf) {
+                accepted.push_terms(rule, binding);
+            }
+        }
+    }
+}
+
+/// Stage 2 of the apply pipeline — the **deterministic null id plan**:
+/// every null id the round will use, fixed in canonical accepted order
+/// before any parallel work starts, so the resolve stage needs no lock
+/// on the [`NullStore`] (workers read the plan, never the store).
+///
+/// For the semi-oblivious/oblivious chases the plan *is* the interning:
+/// ids are real, assigned (or found) in accepted order exactly as the
+/// interleaved engine would. For the restricted chase — whose nulls are
+/// fresh per *firing*, and whose firings the commit stage decides — the
+/// plan reserves a provisional id range per trigger, re-based at commit
+/// past dropped triggers.
+#[derive(Debug, Default)]
+pub struct NullPlan {
+    /// Existential images, trigger `i`'s at
+    /// `ex_offsets[i]..ex_offsets[i+1]`, in `tgd.existentials()` order.
+    ex_terms: Vec<Term>,
+    ex_offsets: Vec<u32>,
+    /// Frontier depth per planned trigger (Definition 4.3 input).
+    frontier_depths: Vec<u32>,
+    /// Null-store length after planning trigger `i` — the truncation
+    /// point when a budget stops the commit at that trigger.
+    watermarks: Vec<u32>,
+    /// Null-store length at plan start (provisional ids count from here).
+    base: u32,
+    /// Outcome decided at plan time (depth budget), owed by the commit
+    /// stage after the planned prefix lands.
+    pending: Option<ChaseOutcome>,
+}
+
+impl NullPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of planned triggers — the prefix of the accepted batch the
+    /// commit stage will walk (shorter than the batch only when the
+    /// depth budget stopped the plan).
+    pub fn planned(&self) -> usize {
+        self.frontier_depths.len()
+    }
+
+    /// The outcome the commit stage must return after the planned prefix
+    /// lands, if the plan stopped early.
+    pub fn pending(&self) -> Option<ChaseOutcome> {
+        self.pending
+    }
+
+    fn clear(&mut self) {
+        self.ex_terms.clear();
+        self.ex_offsets.clear();
+        self.ex_offsets.push(0);
+        self.frontier_depths.clear();
+        self.watermarks.clear();
+        self.base = 0;
+        self.pending = None;
+    }
+
+    /// Existential image `k` of accepted trigger `i`.
+    fn ex_term(&self, i: u32, k: usize) -> Term {
+        self.ex_terms[self.ex_offsets[i as usize] as usize + k]
+    }
+
+    /// First provisional null id of accepted trigger `i` (restricted).
+    fn provisional_base(&self, i: u32) -> u32 {
+        self.base + self.ex_offsets[i as usize]
+    }
+
+    /// Frontier depth of accepted trigger `i`.
+    fn frontier_depth(&self, i: u32) -> u32 {
+        self.frontier_depths[i as usize]
+    }
+
+    /// Truncation point for a budget stop at accepted trigger `i`.
+    fn watermark(&self, i: u32) -> u32 {
+        self.watermarks[i as usize]
+    }
+}
+
+/// Builds the round's [`NullPlan`] over the accepted batch (see the type
+/// docs for the contract). Serial and cheap: per trigger, a frontier
+/// depth fold plus one interning probe per existential — the heavy
+/// per-trigger work (instantiation, hashing, containment) is what the
+/// plan unlocks for the parallel resolve stage.
+pub fn plan_nulls(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    nulls: &mut NullStore,
+    accepted: &TriggerBatch,
+    key_buf: &mut Vec<Term>,
+    plan: &mut NullPlan,
+) {
+    plan.clear();
+    plan.base = nulls.len() as u32;
+    let mut provisional = plan.base;
+    for (rule, binding) in accepted.iter() {
+        let tgd = tgds.get(rule);
+        let frontier_depth = tgd
+            .frontier()
+            .iter()
+            .map(|v| nulls.term_depth(binding[v.index()]))
+            .max()
+            .unwrap_or(0);
+        match config.variant {
+            ChaseVariant::Restricted => {
+                // Fresh nulls are assigned at commit (firing is decided
+                // there); reserve the provisional range. The depth budget
+                // is also a commit-stage concern: the interleaved engine
+                // checks it only on triggers that survive activeness.
+                for _ in tgd.existentials() {
+                    plan.ex_terms.push(Term::Null(NullId(provisional)));
+                    provisional += 1;
+                }
+            }
+            ChaseVariant::SemiOblivious | ChaseVariant::Oblivious => {
+                if let Some(max_d) = config.budget.max_depth {
+                    if !tgd.existentials().is_empty() && frontier_depth + 1 > max_d {
+                        plan.pending = Some(ChaseOutcome::DepthLimit);
+                        break;
+                    }
+                }
+                if !tgd.existentials().is_empty() {
+                    key_buf.clear();
+                    let name_vars = match config.variant {
+                        ChaseVariant::Oblivious => tgd.body_vars(),
+                        _ => tgd.frontier(),
+                    };
+                    key_buf.extend(name_vars.iter().map(|v| binding[v.index()]));
+                    for &z in tgd.existentials() {
+                        let null = nulls.intern_parts(rule, z, key_buf, frontier_depth);
+                        plan.ex_terms.push(Term::Null(null));
+                    }
+                }
+            }
+        }
+        plan.ex_offsets.push(plan.ex_terms.len() as u32);
+        plan.frontier_depths.push(frontier_depth);
+        plan.watermarks.push(nulls.len() as u32);
+    }
+}
+
+/// Stage 3 output: one range of accepted triggers, fully resolved
+/// against the frozen snapshot — instantiated head atoms with
+/// precomputed hashes and containment verdicts, snapshot activeness,
+/// forest/provenance images — everything the thin commit loop needs.
+/// Pure data (`Send`), recyclable across rounds.
+#[derive(Debug, Default)]
+pub struct ResolvedBatch {
+    /// Global accepted-trigger range `[start, end)` this batch covers.
+    start: u32,
+    end: u32,
+    /// Per local trigger: head-atom range `atom_offsets[i]..[i+1]`.
+    atom_offsets: Vec<u32>,
+    /// Per local trigger: definitively inactive at the snapshot
+    /// (restricted chase only; such triggers commit nothing).
+    inactive: Vec<bool>,
+    /// Per local trigger: the guard image (forest parent), when the run
+    /// records the forest.
+    parents: Vec<Option<AtomIdx>>,
+    /// Per local trigger: body-image range in `deriv_bodies`, when the
+    /// run records provenance.
+    deriv_offsets: Vec<u32>,
+    deriv_bodies: Vec<AtomIdx>,
+    /// Per head atom: predicate, argument range, hash, and the snapshot
+    /// containment verdict — `Ok(index)` when the atom already exists
+    /// there (still present at commit: instances only grow), `Err(hint)`
+    /// with the probe resumption point otherwise.
+    preds: Vec<PredId>,
+    term_offsets: Vec<u32>,
+    terms: Vec<Term>,
+    hashes: Vec<u64>,
+    snap: Vec<Result<AtomIdx, ProbeHint>>,
+}
+
+impl ResolvedBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// First accepted-trigger index the batch covers (its canonical sort
+    /// key when merging per-range worker outputs).
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Empties the batch, keeping its arena allocations.
+    pub fn clear(&mut self) {
+        self.start = 0;
+        self.end = 0;
+        self.atom_offsets.clear();
+        self.inactive.clear();
+        self.parents.clear();
+        self.deriv_offsets.clear();
+        self.deriv_bodies.clear();
+        self.preds.clear();
+        self.term_offsets.clear();
+        self.terms.clear();
+        self.hashes.clear();
+        self.snap.clear();
+    }
+
+    fn trigger_count(&self) -> u32 {
+        self.end - self.start
+    }
+
+    fn atom_range(&self, li: u32) -> std::ops::Range<usize> {
+        let li = li as usize;
+        self.atom_offsets[li] as usize..self.atom_offsets[li + 1] as usize
+    }
+
+    fn deriv_bodies_of(&self, li: u32) -> &[AtomIdx] {
+        let li = li as usize;
+        &self.deriv_bodies[self.deriv_offsets[li] as usize..self.deriv_offsets[li + 1] as usize]
+    }
+
+    fn atom_terms(&self, ai: usize) -> &[Term] {
+        &self.terms[self.term_offsets[ai] as usize..self.term_offsets[ai + 1] as usize]
+    }
+}
+
+/// Stage 3 of the apply pipeline — **resolve** one range of accepted
+/// triggers against the frozen `instance` snapshot into `out` (cleared
+/// first). Reads only the snapshot, the accepted batch, and the plan —
+/// all frozen for the stage — so ranges shard freely across workers and
+/// the concatenation of per-range outputs (in range order) is identical
+/// at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_range(
+    instance: &Instance,
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    accepted: &TriggerBatch,
+    plan: &NullPlan,
+    range: (u32, u32),
+    ws: &mut WorkerScratch,
+    out: &mut ResolvedBatch,
+) {
+    out.clear();
+    out.start = range.0;
+    out.end = range.1;
+    out.atom_offsets.push(0);
+    out.deriv_offsets.push(0);
+    out.term_offsets.push(0);
+    for i in range.0..range.1 {
+        let (rule, binding) = accepted.get(i as usize);
+        let tgd = tgds.get(rule);
+
+        if config.variant == ChaseVariant::Restricted {
+            // Activeness against the snapshot. A satisfied head stays
+            // satisfied (instances only grow), so this drop is
+            // definitive; the converse — satisfied only by a same-round
+            // earlier commit — is the commit stage's re-check.
+            frontier_seed(tgd, binding, &mut ws.seed_buf);
+            if tgd
+                .head_plan()
+                .exists_hom_seeded(instance, &ws.seed_buf, &mut ws.scratch)
+            {
+                out.inactive.push(true);
+                out.atom_offsets.push(out.preds.len() as u32);
+                out.deriv_offsets.push(out.deriv_bodies.len() as u32);
+                if config.build_forest {
+                    out.parents.push(None);
+                }
+                continue;
+            }
+        }
+        out.inactive.push(false);
+
+        // μ: the binding with existential slots filled from the plan.
+        ws.mu.clear();
+        ws.mu.extend_from_slice(binding);
+        for (k, &z) in tgd.existentials().iter().enumerate() {
+            ws.mu[z.index()] = plan.ex_term(i, k);
+        }
+
+        // Guard image for the forest: a body atom, hence in the snapshot.
+        if config.build_forest {
+            let parent = tgd.guard().and_then(|g| {
+                instantiate_into(g, &ws.mu, &mut ws.atom_buf);
+                instance.index_of_terms(g.pred, &ws.atom_buf)
+            });
+            out.parents.push(parent);
+        }
+        // Body images for provenance — in the snapshot for the same
+        // reason.
+        if config.record_provenance {
+            for b in tgd.body() {
+                instantiate_into(b, &ws.mu, &mut ws.atom_buf);
+                out.deriv_bodies.push(
+                    instance
+                        .index_of_terms(b.pred, &ws.atom_buf)
+                        .expect("body image is in the instance"),
+                );
+            }
+        }
+        out.deriv_offsets.push(out.deriv_bodies.len() as u32);
+
+        // Head atoms: instantiate straight into the arena, hash once,
+        // pre-check containment against the snapshot with that hash.
+        for head_atom in tgd.head() {
+            let t0 = out.terms.len();
+            out.terms.extend(head_atom.args.iter().map(|&t| match t {
+                Term::Var(v) => ws.mu[v.index()],
+                ground => ground,
+            }));
+            let args = &out.terms[t0..];
+            let hash = hash_atom(head_atom.pred, args);
+            out.preds.push(head_atom.pred);
+            out.hashes.push(hash);
+            out.snap
+                .push(instance.locate_terms_hashed(head_atom.pred, args, hash));
+            out.term_offsets.push(out.terms.len() as u32);
+        }
+        out.atom_offsets.push(out.preds.len() as u32);
+    }
+}
+
+/// Everything the commit stage accumulates across rounds, plus its
+/// scratch buffers. Owned by the single committing thread.
 #[derive(Debug)]
 pub struct ApplyState {
     /// Null provenance and depth store.
@@ -306,12 +724,11 @@ pub struct ApplyState {
     pub forest: Option<Forest>,
     /// Per-atom derivation provenance, if requested.
     pub provenance: Option<Provenance>,
-    accepted: Vec<u32>,
+    /// Deferred posting-list updates of the current commit.
+    delta: IndexDelta,
     head_scratch: Scratch,
-    key_buf: Vec<Term>,
-    mu: Vec<Term>,
-    atom_buf: Vec<Term>,
     seed_buf: Vec<Option<Term>>,
+    atom_buf: Vec<Term>,
 }
 
 impl ApplyState {
@@ -326,163 +743,353 @@ impl ApplyState {
             provenance: config
                 .record_provenance
                 .then(|| Provenance::with_roots(database_atoms)),
-            accepted: Vec::new(),
+            delta: IndexDelta::new(),
             head_scratch: Scratch::new(),
-            key_buf: Vec::new(),
-            mu: Vec::new(),
-            atom_buf: Vec::new(),
             seed_buf: Vec::new(),
+            atom_buf: Vec::new(),
         }
     }
 }
 
-/// Applies one trigger batch: the authoritative dedup merge against the
-/// per-rule `fired` sets (timed as `stats.dedup_secs`), then the firing
-/// pass — restricted-chase activeness re-check against the *current*
-/// (mutating) instance, depth/atom budget checks, null invention, head
-/// instantiation, forest/provenance recording (timed as
-/// `stats.apply_secs`).
+/// The per-driver round buffers of the apply pipeline: the flattened
+/// accepted batch, its null plan, and (for inline resolution) one
+/// resolved batch. Separate from [`ApplyState`] so the parallel executor
+/// can freeze `accepted`/`plan` for its workers while the commit state
+/// stays coordinator-owned.
+#[derive(Debug, Default)]
+pub struct ApplyBuffers {
+    /// The round's accepted triggers, in canonical order.
+    pub accepted: TriggerBatch,
+    /// The round's null id plan.
+    pub plan: NullPlan,
+    /// Inline-resolve output (unused when a pool resolves).
+    pub resolved: ResolvedBatch,
+}
+
+impl ApplyBuffers {
+    /// Creates empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Stage 4 of the apply pipeline — the serial **commit** loop, now thin:
+/// walk the resolved batches in canonical order and, per surviving
+/// trigger, bulk-append its pre-instantiated atoms with their
+/// precomputed hashes ([`Instance::extend_terms`], posting-list splicing
+/// deferred to one batch-end pass), confirm the restricted activeness
+/// re-check against the live instance, re-base provisional nulls past
+/// dropped triggers, record forest/provenance, and enforce budgets.
 ///
-/// Returns `Some(outcome)` when a budget stops the chase mid-batch —
-/// callers must not apply further batches — and `None` when the batch
-/// completed.
-pub fn apply_batch(
+/// `resolved` must cover exactly `[0, plan.planned())` in ascending
+/// ranges. Returns `Some(outcome)` when a budget stops the chase —
+/// callers must stop the run — and `None` otherwise. On a mid-commit
+/// stop the optimistically planned null tail is truncated, so the store
+/// matches the sequential interleaving byte-for-byte.
+#[allow(clippy::too_many_arguments)]
+pub fn commit_batch(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    instance: &mut Instance,
+    state: &mut ApplyState,
+    accepted: &TriggerBatch,
+    plan: &NullPlan,
+    resolved: &[ResolvedBatch],
+    stats: &mut ChaseStats,
+) -> Option<ChaseOutcome> {
+    let restricted = config.variant == ChaseVariant::Restricted;
+    // Atom count at commit entry: while unchanged, the live instance is
+    // exactly the snapshot the resolve stage already checked against.
+    let commit_base = instance.len();
+    // The plain path — no activeness re-checks, no forest, no
+    // provenance — runs a tightened loop: on chain-shaped chases the
+    // commit stage executes ~50 k times per second, so per-trigger
+    // branches that can be hoisted out, are.
+    if !restricted && state.forest.is_none() && state.provenance.is_none() {
+        return commit_batch_plain(config, instance, state, plan, resolved, stats);
+    }
+    // Indexing policy — a pure performance choice, the resulting index
+    // is identical either way. Small batches index eagerly inside the
+    // append (the atom's data is hot; a deferred splice would re-read
+    // it); wide rounds defer into one batched splice. The restricted
+    // chase always indexes eagerly: each trigger's activeness re-check
+    // reads the posting lists its predecessors just extended.
+    let total_atoms: usize = resolved.iter().map(|rb| rb.preds.len()).sum();
+    let eager = restricted || total_atoms <= EAGER_INDEX_MAX;
+    let mut outcome = None;
+    'commit: for rb in resolved {
+        for li in 0..rb.trigger_count() {
+            let i = rb.start + li;
+
+            // This trigger's provisional-null re-basing, decided below
+            // (restricted only): `(provisional base, count, shift)`.
+            let mut rebase: Option<(u32, u32, u32)> = None;
+            if restricted {
+                if rb.inactive[li as usize] {
+                    continue; // dropped at the snapshot — definitive
+                }
+                let (rule, binding) = accepted.get(i as usize);
+                let tgd = tgds.get(rule);
+                // Re-check against the live instance: an earlier commit
+                // of this very round may have satisfied the head since
+                // the snapshot. While this commit has inserted nothing,
+                // live == snapshot and the resolve verdict still stands
+                // — skipping the re-check halves the activeness cost of
+                // one-firing-per-round (chain-shaped) restricted chases.
+                if instance.len() > commit_base {
+                    frontier_seed(tgd, binding, &mut state.seed_buf);
+                    if tgd.head_plan().exists_hom_seeded(
+                        instance,
+                        &state.seed_buf,
+                        &mut state.head_scratch,
+                    ) {
+                        continue;
+                    }
+                }
+                let frontier_depth = plan.frontier_depth(i);
+                if let Some(max_d) = config.budget.max_depth {
+                    if !tgd.existentials().is_empty() && frontier_depth + 1 > max_d {
+                        outcome = Some(ChaseOutcome::DepthLimit);
+                        break 'commit;
+                    }
+                }
+                // Fresh nulls, numbered by *firing* order: re-base this
+                // trigger's provisional range onto the ids actually
+                // assigned (they differ exactly by the nulls of dropped
+                // earlier triggers).
+                let n_ex = tgd.existentials().len() as u32;
+                let provisional = plan.provisional_base(i);
+                let real = state.nulls.len() as u32;
+                for _ in 0..n_ex {
+                    state.nulls.fresh(frontier_depth);
+                }
+                if provisional != real && n_ex > 0 {
+                    rebase = Some((provisional, n_ex, provisional - real));
+                }
+            }
+            stats.triggers_fired += 1;
+
+            let parent = if state.forest.is_some() {
+                rb.parents[li as usize]
+            } else {
+                None
+            };
+            // The non-restricted fast path touches neither the binding
+            // nor the rule unless provenance asks for it — everything
+            // else was resolved in stage 3.
+            let derivation: Option<Derivation> = state.provenance.as_ref().map(|_| Derivation {
+                rule: accepted.rule(i as usize),
+                body: rb.deriv_bodies_of(li).to_vec(),
+            });
+
+            for ai in rb.atom_range(li) {
+                let pred = rb.preds[ai];
+                let mut hash = rb.hashes[ai];
+                let args: &[Term] = if let Some((provisional, n_ex, shift)) = rebase {
+                    // Rewrite this trigger's own nulls (binding terms
+                    // predate the round; only the provisional range can
+                    // occur besides them) and rehash.
+                    state.atom_buf.clear();
+                    state
+                        .atom_buf
+                        .extend(rb.atom_terms(ai).iter().map(|&t| match t {
+                            Term::Null(n) if n.0 >= provisional && n.0 < provisional + n_ex => {
+                                Term::Null(NullId(n.0 - shift))
+                            }
+                            other => other,
+                        }));
+                    hash = hash_atom(pred, &state.atom_buf);
+                    &state.atom_buf
+                } else {
+                    rb.atom_terms(ai)
+                };
+                // Present in the snapshot ⇒ still present (append-only):
+                // skip the probe entirely. Otherwise resume the resolve
+                // stage's probe walk from its hint — only same-round
+                // insertions, which land at or after it, are re-examined
+                // (a re-based restricted atom was re-hashed, so its hint
+                // is void and the probe runs in full).
+                let hint = match (rb.snap[ai], rebase) {
+                    (Ok(_), _) => {
+                        if instance.len() >= config.budget.max_atoms {
+                            outcome = Some(ChaseOutcome::AtomLimit);
+                            if !restricted {
+                                state.nulls.truncate(plan.watermark(i) as usize);
+                            }
+                            break 'commit;
+                        }
+                        continue;
+                    }
+                    (Err(hint), None) => Some(hint),
+                    (Err(_), Some(_)) => None,
+                };
+                let inserted = if eager {
+                    instance.insert_terms_hashed(pred, args, hash, hint)
+                } else {
+                    match hint {
+                        Some(h) => {
+                            instance.extend_terms_hinted(pred, args, hash, h, &mut state.delta)
+                        }
+                        None => instance.extend_terms(pred, args, hash, &mut state.delta),
+                    }
+                };
+                if let Some(idx) = inserted {
+                    if let Some(f) = state.forest.as_mut() {
+                        f.push_child(idx, parent);
+                    }
+                    if let Some(pv) = state.provenance.as_mut() {
+                        pv.push(idx, derivation.clone());
+                    }
+                }
+                if instance.len() >= config.budget.max_atoms {
+                    outcome = Some(ChaseOutcome::AtomLimit);
+                    if !restricted {
+                        // Unmake the planned-but-uncommitted null tail.
+                        state.nulls.truncate(plan.watermark(i) as usize);
+                    }
+                    break 'commit;
+                }
+            }
+        }
+    }
+    // The deferred path's one batched splice (a no-op after the eager
+    // path, and on every early-break path the eager policy was in force
+    // or the delta still drains here).
+    if !state.delta.is_empty() {
+        instance.splice_index(&mut state.delta);
+    }
+    outcome.or(plan.pending())
+}
+
+/// The tightened commit loop for the common configuration (no
+/// restricted re-checks, no forest, no provenance): identical semantics
+/// to [`commit_batch`]'s general loop, minus the per-trigger feature
+/// branches. Kept adjacent so the two loops are reviewed together.
+fn commit_batch_plain(
+    config: &ChaseConfig,
+    instance: &mut Instance,
+    state: &mut ApplyState,
+    plan: &NullPlan,
+    resolved: &[ResolvedBatch],
+    stats: &mut ChaseStats,
+) -> Option<ChaseOutcome> {
+    let total_atoms: usize = resolved.iter().map(|rb| rb.preds.len()).sum();
+    let eager = total_atoms <= EAGER_INDEX_MAX;
+    let max_atoms = config.budget.max_atoms;
+    let mut outcome = None;
+    'commit: for rb in resolved {
+        for li in 0..rb.trigger_count() {
+            stats.triggers_fired += 1;
+            for ai in rb.atom_range(li) {
+                if let Err(hint) = rb.snap[ai] {
+                    let (pred, hash) = (rb.preds[ai], rb.hashes[ai]);
+                    let args = rb.atom_terms(ai);
+                    if eager {
+                        instance.insert_terms_hashed(pred, args, hash, Some(hint));
+                    } else {
+                        instance.extend_terms_hinted(pred, args, hash, hint, &mut state.delta);
+                    }
+                }
+                if instance.len() >= max_atoms {
+                    outcome = Some(ChaseOutcome::AtomLimit);
+                    state.nulls.truncate(plan.watermark(rb.start + li) as usize);
+                    break 'commit;
+                }
+            }
+        }
+    }
+    if !state.delta.is_empty() {
+        instance.splice_index(&mut state.delta);
+    }
+    outcome.or(plan.pending())
+}
+
+/// Total resolved atoms at or below which the commit loop indexes
+/// eagerly instead of deferring into a batched splice (see
+/// [`commit_batch`]). Performance-only: the index is identical.
+const EAGER_INDEX_MAX: usize = 64;
+
+/// The whole apply pipeline, inline: merge → plan → resolve → commit on
+/// the calling thread. This is the sequential engine's (and the
+/// single-worker executor's) apply path; the pooled executor runs the
+/// same stages but shards resolve over its workers.
+///
+/// Timing lands in `stats` as: `dedup_secs` (merge), `resolve_secs`
+/// (plan + resolve), `commit_secs` (commit), and `apply_secs` (the whole
+/// pipeline minus merge — so `resolve_secs + commit_secs ≈ apply_secs`).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_batches<'a>(
     tgds: &TgdSet,
     config: &ChaseConfig,
     instance: &mut Instance,
     fired: &mut [TermTupleSet],
     state: &mut ApplyState,
-    batch: &TriggerBatch,
+    bufs: &mut ApplyBuffers,
+    ws: &mut WorkerScratch,
+    batches: impl IntoIterator<Item = &'a TriggerBatch>,
     stats: &mut ChaseStats,
 ) -> Option<ChaseOutcome> {
-    // Merge pre-pass: one authoritative `insert` per trigger, in batch
-    // order. Keys are instance-independent, so deciding them up front
-    // cannot diverge from the interleaved sequential formulation.
+    // One timestamp per stage boundary (shared between the span ends):
+    // four clock reads a round instead of seven, and the accounting is
+    // exact by construction — `resolve + commit == apply`, no gaps.
     let merge_started = Instant::now();
-    state.accepted.clear();
-    for (i, (rule, binding)) in batch.iter().enumerate() {
-        let tgd = tgds.get(rule);
-        state.key_buf.clear();
-        state
-            .key_buf
-            .extend(key_vars(tgd, config.variant).iter().map(|v| {
-                let t = binding[v.index()];
-                debug_assert!(!t.is_var(), "body variable bound");
-                t
-            }));
-        if fired[rule.index()].insert(&state.key_buf) {
-            state.accepted.push(i as u32);
-        }
-    }
-    stats.dedup_secs += merge_started.elapsed().as_secs_f64();
-
+    merge_accepted(
+        tgds,
+        config.variant,
+        batches,
+        fired,
+        &mut ws.key_buf,
+        &mut bufs.accepted,
+    );
     let apply_started = Instant::now();
-    let mut outcome = None;
-    'apply: for &i in &state.accepted {
-        let (rule, binding) = batch.get(i as usize);
-        let tgd = tgds.get(rule);
-
-        if config.variant == ChaseVariant::Restricted {
-            // Activeness in the restricted sense: skip if some extension
-            // of h|fr(σ) maps the head into the instance. Re-checked here
-            // — not at enumeration — because earlier firings of this very
-            // round may have satisfied the head since.
-            state.seed_buf.clear();
-            state
-                .seed_buf
-                .extend(binding.iter().enumerate().map(|(v, &t)| {
-                    let is_frontier = tgd.frontier().binary_search(&VarId(v as u32)).is_ok();
-                    (is_frontier && !t.is_var()).then_some(t)
-                }));
-            if tgd
-                .head_plan()
-                .exists_hom_seeded(instance, &state.seed_buf, &mut state.head_scratch)
-            {
-                continue;
-            }
-        }
-
-        // Depth of the frontier image (for null depths).
-        let frontier_depth = tgd
-            .frontier()
-            .iter()
-            .map(|v| state.nulls.term_depth(binding[v.index()]))
-            .max()
-            .unwrap_or(0);
-        if let Some(max_d) = config.budget.max_depth {
-            if !tgd.existentials().is_empty() && frontier_depth + 1 > max_d {
-                outcome = Some(ChaseOutcome::DepthLimit);
-                break 'apply;
-            }
-        }
-
-        // Build μ: frontier ↦ h, existential z ↦ ⊥^z_{σ, h|fr}. The
-        // oblivious chase names nulls by the full body image instead.
-        state.mu.clear();
-        state.mu.extend_from_slice(binding);
-        if !tgd.existentials().is_empty() {
-            state.key_buf.clear();
-            let name_vars = match config.variant {
-                ChaseVariant::Oblivious => tgd.body_vars(),
-                _ => tgd.frontier(),
-            };
-            state
-                .key_buf
-                .extend(name_vars.iter().map(|v| binding[v.index()]));
-            for &z in tgd.existentials() {
-                let null = match config.variant {
-                    ChaseVariant::Restricted => state.nulls.fresh(frontier_depth),
-                    ChaseVariant::SemiOblivious | ChaseVariant::Oblivious => state
-                        .nulls
-                        .intern_parts(rule, z, &state.key_buf, frontier_depth),
-                };
-                state.mu[z.index()] = Term::Null(null);
-            }
-        }
-        stats.triggers_fired += 1;
-
-        // Locate the guard image for the forest before inserting.
-        let parent: Option<AtomIdx> = if state.forest.is_some() {
-            tgd.guard().and_then(|g| {
-                instantiate_into(g, &state.mu, &mut state.atom_buf);
-                instance.index_of_terms(g.pred, &state.atom_buf)
-            })
-        } else {
-            None
-        };
-        // Body image indexes for provenance.
-        let derivation: Option<Derivation> = state.provenance.as_ref().map(|_| Derivation {
-            rule,
-            body: tgd
-                .body()
-                .iter()
-                .map(|b| {
-                    instantiate_into(b, &state.mu, &mut state.atom_buf);
-                    instance
-                        .index_of_terms(b.pred, &state.atom_buf)
-                        .expect("body image is in the instance")
-                })
-                .collect(),
-        });
-
-        for head_atom in tgd.head() {
-            instantiate_into(head_atom, &state.mu, &mut state.atom_buf);
-            if let Some(idx) = instance.insert_terms(head_atom.pred, &state.atom_buf) {
-                if let Some(f) = state.forest.as_mut() {
-                    f.push_child(idx, parent);
-                }
-                if let Some(pv) = state.provenance.as_mut() {
-                    pv.push(idx, derivation.clone());
-                }
-            }
-            if instance.len() >= config.budget.max_atoms {
-                outcome = Some(ChaseOutcome::AtomLimit);
-                break 'apply;
-            }
-        }
-    }
-    stats.apply_secs += apply_started.elapsed().as_secs_f64();
+    stats.dedup_secs += (apply_started - merge_started).as_secs_f64();
+    plan_nulls(
+        tgds,
+        config,
+        &mut state.nulls,
+        &bufs.accepted,
+        &mut ws.key_buf,
+        &mut bufs.plan,
+    );
+    resolve_range(
+        instance,
+        tgds,
+        config,
+        &bufs.accepted,
+        &bufs.plan,
+        (0, bufs.plan.planned() as u32),
+        ws,
+        &mut bufs.resolved,
+    );
+    let commit_started = Instant::now();
+    stats.resolve_secs += (commit_started - apply_started).as_secs_f64();
+    let outcome = commit_batch(
+        tgds,
+        config,
+        instance,
+        state,
+        &bufs.accepted,
+        &bufs.plan,
+        std::slice::from_ref(&bufs.resolved),
+        stats,
+    );
+    let commit_ended = Instant::now();
+    stats.commit_secs += (commit_ended - commit_started).as_secs_f64();
+    stats.apply_secs += (commit_ended - apply_started).as_secs_f64();
     outcome
+}
+
+/// Assembles the restricted-chase activeness seed: frontier variables
+/// map to their (ground) binding images, everything else is free. One
+/// definition shared by the resolve-stage snapshot pre-check and the
+/// commit-stage re-check — the two must agree bit for bit, or the
+/// split would change which triggers the restricted chase drops.
+fn frontier_seed(tgd: &Tgd, binding: &[Term], out: &mut Vec<Option<Term>>) {
+    out.clear();
+    out.extend(binding.iter().enumerate().map(|(v, &t)| {
+        let is_frontier = tgd.frontier().binary_search(&VarId(v as u32)).is_ok();
+        (is_frontier && !t.is_var()).then_some(t)
+    }));
 }
 
 /// Instantiates a rule atom under a complete term assignment `mu` (indexed
@@ -498,6 +1105,7 @@ pub(crate) fn instantiate_into(pattern: &nuchase_model::Atom, mu: &[Term], out: 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chase::ChaseBudget;
     use nuchase_model::symbols::ConstId;
 
     fn c(i: u32) -> Term {
@@ -520,6 +1128,11 @@ mod tests {
         assert!(b.is_empty());
         b.push(RuleId(1), &[Some(c(9))]);
         assert_eq!(b.get(0), (RuleId(1), &[c(9)][..]));
+        // push_terms round-trips placeholder-form bindings verbatim.
+        let mut b2 = TriggerBatch::new();
+        let (r, t) = b.get(0);
+        b2.push_terms(r, t);
+        assert_eq!(b2.get(0), b.get(0));
     }
 
     #[test]
@@ -573,5 +1186,330 @@ mod tests {
         let considered = enumerate_task(&p.database, ctx, task, &fired, &mut ws, &mut batch);
         assert_eq!(considered, 2);
         assert!(batch.is_empty());
+    }
+
+    /// Shared setup: enumerate one round of a program and run the merge.
+    fn enumerate_and_merge(
+        text: &str,
+        variant: ChaseVariant,
+    ) -> (nuchase_model::Program, ApplyBuffers, Vec<TermTupleSet>) {
+        let p = nuchase_model::parse_program(text).unwrap();
+        let mut ws = WorkerScratch::new();
+        let mut batch = TriggerBatch::new();
+        let mut fired: Vec<TermTupleSet> = (0..p.tgds.len()).map(|_| TermTupleSet::new()).collect();
+        let ctx = RoundCtx {
+            tgds: &p.tgds,
+            variant,
+            delta_start: 0,
+        };
+        for (rule, _) in p.tgds.iter() {
+            enumerate_rule(
+                &p.database,
+                ctx,
+                rule,
+                &fired[rule.index()],
+                &mut ws,
+                &mut batch,
+            );
+        }
+        let mut bufs = ApplyBuffers::new();
+        merge_accepted(
+            &p.tgds,
+            variant,
+            std::iter::once(&batch),
+            &mut fired,
+            &mut ws.key_buf,
+            &mut bufs.accepted,
+        );
+        (p, bufs, fired)
+    }
+
+    #[test]
+    fn merge_dedups_across_batches_in_canonical_order() {
+        let p = nuchase_model::parse_program("r(a, b).\nr(a, c).\nr(X, Y) -> s(X).").unwrap();
+        // Two batches carrying the same frontier key: only the first
+        // occurrence survives the merge.
+        let mut b1 = TriggerBatch::new();
+        b1.push(RuleId(0), &[Some(c(0)), Some(c(1))]);
+        let mut b2 = TriggerBatch::new();
+        b2.push(RuleId(0), &[Some(c(0)), Some(c(2))]);
+        let mut fired = vec![TermTupleSet::new()];
+        let mut key_buf = Vec::new();
+        let mut accepted = TriggerBatch::new();
+        merge_accepted(
+            &p.tgds,
+            ChaseVariant::SemiOblivious,
+            [&b1, &b2],
+            &mut fired,
+            &mut key_buf,
+            &mut accepted,
+        );
+        assert_eq!(accepted.len(), 1);
+        assert_eq!(accepted.get(0).1[1], c(1), "first occurrence wins");
+        // Oblivious keys on all body variables: both survive.
+        let mut fired = vec![TermTupleSet::new()];
+        merge_accepted(
+            &p.tgds,
+            ChaseVariant::Oblivious,
+            [&b1, &b2],
+            &mut fired,
+            &mut key_buf,
+            &mut accepted,
+        );
+        assert_eq!(accepted.len(), 2);
+    }
+
+    #[test]
+    fn plan_interns_in_canonical_order_and_respects_depth_budget() {
+        let (p, mut bufs, _) = enumerate_and_merge(
+            "r(a, b).\nr(c, d).\nr(X, Y) -> s(X, Z).",
+            ChaseVariant::SemiOblivious,
+        );
+        assert_eq!(bufs.accepted.len(), 2);
+        let config = ChaseConfig::default();
+        let mut nulls = NullStore::new();
+        let mut key_buf = Vec::new();
+        plan_nulls(
+            &p.tgds,
+            &config,
+            &mut nulls,
+            &bufs.accepted,
+            &mut key_buf,
+            &mut bufs.plan,
+        );
+        assert_eq!(bufs.plan.planned(), 2);
+        assert_eq!(nulls.len(), 2, "one null per frontier value, in order");
+        assert_eq!(bufs.plan.ex_term(0, 0), Term::Null(NullId(0)));
+        assert_eq!(bufs.plan.ex_term(1, 0), Term::Null(NullId(1)));
+        assert_eq!(bufs.plan.pending(), None);
+        // A depth budget of 0 stops the plan at the first trigger.
+        let config = ChaseConfig {
+            budget: ChaseBudget::depth(0, 1_000),
+            ..Default::default()
+        };
+        let mut nulls = NullStore::new();
+        plan_nulls(
+            &p.tgds,
+            &config,
+            &mut nulls,
+            &bufs.accepted,
+            &mut key_buf,
+            &mut bufs.plan,
+        );
+        assert_eq!(bufs.plan.planned(), 0);
+        assert_eq!(bufs.plan.pending(), Some(ChaseOutcome::DepthLimit));
+        assert_eq!(nulls.len(), 0, "nothing interned past the stop");
+    }
+
+    #[test]
+    fn plan_reserves_provisional_ranges_for_the_restricted_chase() {
+        let (p, mut bufs, _) = enumerate_and_merge(
+            "r(a, b).\nr(c, d).\nr(X, Y) -> s(X, Z).",
+            ChaseVariant::Restricted,
+        );
+        let config = ChaseConfig {
+            variant: ChaseVariant::Restricted,
+            ..Default::default()
+        };
+        let mut nulls = NullStore::new();
+        let mut key_buf = Vec::new();
+        plan_nulls(
+            &p.tgds,
+            &config,
+            &mut nulls,
+            &bufs.accepted,
+            &mut key_buf,
+            &mut bufs.plan,
+        );
+        assert_eq!(nulls.len(), 0, "restricted nulls are commit-assigned");
+        assert_eq!(bufs.plan.provisional_base(0), 0);
+        assert_eq!(bufs.plan.provisional_base(1), 1);
+        assert_eq!(bufs.plan.ex_term(1, 0), Term::Null(NullId(1)));
+    }
+
+    #[test]
+    fn resolve_precomputes_hashes_and_snapshot_containment() {
+        // Full TGD whose conclusion already exists: the resolve stage
+        // pre-answers the containment probe.
+        let (p, mut bufs, _) = enumerate_and_merge(
+            "e(a, b).\ne(b, a).\ne(a, a).\ne(X, Y), e(Y, X) -> e(X, X).",
+            ChaseVariant::SemiOblivious,
+        );
+        let config = ChaseConfig::default();
+        let mut nulls = NullStore::new();
+        let mut key_buf = Vec::new();
+        plan_nulls(
+            &p.tgds,
+            &config,
+            &mut nulls,
+            &bufs.accepted,
+            &mut key_buf,
+            &mut bufs.plan,
+        );
+        let mut ws = WorkerScratch::new();
+        resolve_range(
+            &p.database,
+            &p.tgds,
+            &config,
+            &bufs.accepted,
+            &bufs.plan,
+            (0, bufs.plan.planned() as u32),
+            &mut ws,
+            &mut bufs.resolved,
+        );
+        let rb = &bufs.resolved;
+        assert_eq!(rb.trigger_count() as usize, bufs.accepted.len());
+        // The e(a,a)-producing trigger resolves to a snapshot hit at
+        // index 2; the e(b,b) one resolves to a miss.
+        let mut hits = 0;
+        let mut misses = 0;
+        for li in 0..rb.trigger_count() {
+            for ai in rb.atom_range(li) {
+                assert_eq!(rb.hashes[ai], hash_atom(rb.preds[ai], rb.atom_terms(ai)));
+                match rb.snap[ai] {
+                    Ok(idx) => {
+                        hits += 1;
+                        assert_eq!(p.database.atom(idx).args, rb.atom_terms(ai));
+                    }
+                    Err(_) => misses += 1,
+                }
+            }
+        }
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn resolve_splits_are_equivalent_to_one_sweep() {
+        let (p, mut bufs, _) = enumerate_and_merge(
+            "r(a, b).\nr(c, d).\nr(e, f).\nr(X, Y) -> s(Y, Z), t(X).",
+            ChaseVariant::SemiOblivious,
+        );
+        let config = ChaseConfig {
+            record_provenance: true,
+            build_forest: true,
+            ..Default::default()
+        };
+        let mut nulls = NullStore::new();
+        let mut key_buf = Vec::new();
+        plan_nulls(
+            &p.tgds,
+            &config,
+            &mut nulls,
+            &bufs.accepted,
+            &mut key_buf,
+            &mut bufs.plan,
+        );
+        let n = bufs.plan.planned() as u32;
+        assert_eq!(n, 3);
+        let mut ws = WorkerScratch::new();
+        let mut whole = ResolvedBatch::new();
+        resolve_range(
+            &p.database,
+            &p.tgds,
+            &config,
+            &bufs.accepted,
+            &bufs.plan,
+            (0, n),
+            &mut ws,
+            &mut whole,
+        );
+        let mut left = ResolvedBatch::new();
+        let mut right = ResolvedBatch::new();
+        resolve_range(
+            &p.database,
+            &p.tgds,
+            &config,
+            &bufs.accepted,
+            &bufs.plan,
+            (0, 2),
+            &mut ws,
+            &mut left,
+        );
+        resolve_range(
+            &p.database,
+            &p.tgds,
+            &config,
+            &bufs.accepted,
+            &bufs.plan,
+            (2, n),
+            &mut ws,
+            &mut right,
+        );
+        // Concatenating the split outputs reproduces the sweep.
+        assert_eq!(
+            left.trigger_count() + right.trigger_count(),
+            whole.trigger_count()
+        );
+        let cat_preds: Vec<PredId> = left.preds.iter().chain(&right.preds).copied().collect();
+        assert_eq!(cat_preds, whole.preds);
+        let cat_terms: Vec<Term> = left.terms.iter().chain(&right.terms).copied().collect();
+        assert_eq!(cat_terms, whole.terms);
+        let cat_hashes: Vec<u64> = left.hashes.iter().chain(&right.hashes).copied().collect();
+        assert_eq!(cat_hashes, whole.hashes);
+        let cat_parents: Vec<_> = left.parents.iter().chain(&right.parents).copied().collect();
+        assert_eq!(cat_parents, whole.parents);
+        let cat_bodies: Vec<_> = left
+            .deriv_bodies
+            .iter()
+            .chain(&right.deriv_bodies)
+            .copied()
+            .collect();
+        assert_eq!(cat_bodies, whole.deriv_bodies);
+    }
+
+    #[test]
+    fn commit_rebases_provisional_nulls_past_dropped_triggers() {
+        // Restricted: two triggers want s(a,⊥)/s(c,⊥); a third fact
+        // s(a,x) satisfies the first head at the snapshot, so its
+        // provisional null must be re-based away.
+        let (p, mut bufs, _) = enumerate_and_merge(
+            "r(a, b).\nr(c, d).\ns(a, x).\nr(X, Y) -> s(X, Z).",
+            ChaseVariant::Restricted,
+        );
+        let config = ChaseConfig {
+            variant: ChaseVariant::Restricted,
+            ..Default::default()
+        };
+        let mut state = ApplyState::new(&config, p.database.len());
+        let mut key_buf = Vec::new();
+        plan_nulls(
+            &p.tgds,
+            &config,
+            &mut state.nulls,
+            &bufs.accepted,
+            &mut key_buf,
+            &mut bufs.plan,
+        );
+        let mut ws = WorkerScratch::new();
+        let mut instance = p.database.clone();
+        resolve_range(
+            &instance,
+            &p.tgds,
+            &config,
+            &bufs.accepted,
+            &bufs.plan,
+            (0, bufs.plan.planned() as u32),
+            &mut ws,
+            &mut bufs.resolved,
+        );
+        let mut stats = ChaseStats::default();
+        let out = commit_batch(
+            &p.tgds,
+            &config,
+            &mut instance,
+            &mut state,
+            &bufs.accepted,
+            &bufs.plan,
+            std::slice::from_ref(&bufs.resolved),
+            &mut stats,
+        );
+        assert_eq!(out, None);
+        assert_eq!(stats.triggers_fired, 1, "r(a,b)'s head was satisfied");
+        assert_eq!(state.nulls.len(), 1, "one fresh null, id 0");
+        // The committed atom carries the re-based null id 0, not the
+        // provisional id it was resolved with.
+        let last = instance.atom(instance.len() as u32 - 1);
+        assert_eq!(last.args[1], Term::Null(NullId(0)));
     }
 }

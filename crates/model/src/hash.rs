@@ -148,10 +148,57 @@ impl TagTable {
         }
     }
 
+    /// Read-only probe that also reports *where* a missing entry would
+    /// go (safe on an empty table, where the answer is slot 0 of a
+    /// yet-to-exist table). Callers that later insert under the same
+    /// capacity can resume from that slot via [`TagTable::probe_at`]
+    /// instead of re-walking the probe chain — the chase resolve stage
+    /// probes the snapshot, and the commit stage reuses the walk.
+    pub fn locate(&self, hash: u64, eq: impl FnMut(u32) -> bool) -> TagProbe {
+        if self.slots.is_empty() {
+            return TagProbe::Vacant(0);
+        }
+        self.probe(hash, eq)
+    }
+
+    /// Resumes a probe at `start` — valid only when `start` was returned
+    /// by a probe for the *same hash* at the *same capacity* (no
+    /// intervening rehash; check [`TagTable::slot_count`]): entries are
+    /// never moved or deleted, so the chain prefix before `start` is
+    /// immutable and need not be re-walked. Later insertions can only
+    /// have landed at or after `start` in the chain.
+    ///
+    /// # Panics
+    /// Same contract as [`TagTable::probe`]: the table must have spare
+    /// capacity.
+    #[inline]
+    pub fn probe_at(&self, start: usize, hash: u64, mut eq: impl FnMut(u32) -> bool) -> TagProbe {
+        let mask = self.slots.len() - 1;
+        let tag = hash >> 32;
+        let mut i = start & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY_SLOT {
+                return TagProbe::Vacant(i);
+            }
+            if slot >> 32 == tag && eq(slot as u32) {
+                return TagProbe::Found(slot as u32);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Would inserting one more entry trigger a rehash? (The growth
+    /// condition of [`TagTable::reserve_one`].)
+    #[inline]
+    pub fn insert_would_grow(&self) -> bool {
+        (self.len + 1) * 4 >= self.slots.len() * 3
+    }
+
     /// Ensures capacity for one more entry, rehashing the stored entries
     /// if needed. `hashes[ordinal]` must be each stored entry's hash.
     pub fn reserve_one(&mut self, hashes: &[u64]) {
-        if (self.len + 1) * 4 >= self.slots.len() * 3 {
+        if self.insert_would_grow() {
             let new_cap = (self.slots.len() * 2).max(16);
             let mut slots = vec![EMPTY_SLOT; new_cap];
             let mask = new_cap - 1;

@@ -20,22 +20,33 @@
 //!   Duplicate inserts — the overwhelming majority late in a chase —
 //!   allocate nothing.
 //! * **Dense two-level index.** `by_pred[pred]` holds the per-predicate
-//!   posting list plus a *position-aware* term-bucket map
+//!   posting list plus *position-aware* term postings
 //!   (`(position, term) → posting list`) used by the homomorphism search
 //!   to narrow candidates once any variable of a pattern atom is bound.
 //!   Keying on the argument position keeps a join like transitive
 //!   closure from scanning candidates that mention the bound term only
 //!   in the wrong argument slot (an any-position list mixes both slots
-//!   and roughly doubles the candidate work). Indexed by dense `PredId`,
-//!   not by hashed tuple keys.
+//!   and roughly doubles the candidate work). Term postings live in
+//!   **dense lanes** per `(position, term kind)` — indexed by the
+//!   term's interned id, not hashed — with a hash-map overflow for
+//!   sparse id windows ([`DenseLane`]); the common posting update (the
+//!   hottest serial work in the chase commit loop) is a vector index.
 //!
 //! Posting lists are ascending in atom index, which lets the semi-naive
 //! search split them into old/delta regions with one binary search.
+//!
+//! The chase commit loop drives the batch-append surface:
+//! [`Instance::locate_terms_hashed`] (snapshot containment probe that
+//! yields a resumable [`ProbeHint`] on a miss),
+//! [`Instance::insert_terms_hashed`] (hinted append, eager indexing),
+//! and [`Instance::extend_terms`]/[`Instance::extend_terms_hinted`] +
+//! [`Instance::splice_index`] (hinted append with posting maintenance
+//! deferred into an [`IndexDelta`] and spliced once per batch).
 
 use std::ops::Deref;
 
 use crate::atom::{Atom, AtomRef};
-use crate::hash::{hash_atom, FxHashMap, FxHashSet, TagProbe, TagTable};
+use crate::hash::{hash_atom, term_code, FxHashMap, FxHashSet, TagProbe, TagTable};
 use crate::symbols::PredId;
 use crate::term::Term;
 
@@ -48,48 +59,262 @@ pub type AtomIdx = u32;
 /// allocation per new term.
 const POSTING_INLINE: usize = 2;
 
-/// A posting list with small-size inline storage.
+/// A posting list with small-size inline storage, 16 bytes flat: the
+/// spill storage lives in a per-predicate arena ([`PredIndex::spills`])
+/// referenced by slot, not in an inline `Vec` (24 bytes of pointer
+/// baggage per map entry). The posting map's buckets shrink from 48 to
+/// 24 bytes, which halves rehash traffic and cache misses in the chase
+/// commit loop — the hottest serial code in the system.
 #[derive(Debug, Default, Clone)]
 struct Postings {
     len: u32,
     inline: [AtomIdx; POSTING_INLINE],
-    spill: Vec<AtomIdx>,
+    /// Slot in the owning [`PredIndex::spills`] arena once `len`
+    /// exceeds the inline capacity.
+    spill: u32,
 }
 
 impl Postings {
-    fn push(&mut self, idx: AtomIdx) {
+    fn push(&mut self, idx: AtomIdx, spills: &mut Vec<Vec<AtomIdx>>) {
         let n = self.len as usize;
         if n < POSTING_INLINE {
             self.inline[n] = idx;
+        } else if n == POSTING_INLINE {
+            self.spill = spills.len() as u32;
+            let mut v = Vec::with_capacity(POSTING_INLINE * 4);
+            v.extend_from_slice(&self.inline);
+            v.push(idx);
+            spills.push(v);
         } else {
-            if n == POSTING_INLINE {
-                self.spill.reserve(POSTING_INLINE * 4);
-                self.spill.extend_from_slice(&self.inline);
-            }
-            self.spill.push(idx);
+            spills[self.spill as usize].push(idx);
         }
         self.len += 1;
     }
 
-    fn as_slice(&self) -> &[AtomIdx] {
+    fn as_slice<'a>(&'a self, spills: &'a [Vec<AtomIdx>]) -> &'a [AtomIdx] {
         let n = self.len as usize;
         if n <= POSTING_INLINE {
             &self.inline[..n]
         } else {
-            &self.spill
+            &spills[self.spill as usize]
         }
     }
 }
 
+/// A dense posting lane: the posting lists of one argument position and
+/// one term *kind* (constants or nulls), indexed by `id - base` instead
+/// of hashed. Both id spaces are interned densely and a chase touches
+/// them in near-ascending order, so the overwhelmingly common posting
+/// update — the hottest serial work in the chase commit loop — becomes
+/// a vector index instead of a hash-map probe. Windows that turn out
+/// sparse (a predicate touching a few scattered ids) migrate to the
+/// [`PredIndex::by_pos_term`] overflow map and disable the lane, so
+/// memory stays within a small factor of the entries actually stored.
+#[derive(Debug, Default, Clone)]
+struct DenseLane {
+    /// First id of the window (valid once `posts` is nonempty).
+    base: u32,
+    /// Posting lists for ids `base ..= base + posts.len() - 1`.
+    posts: Vec<Postings>,
+    /// Occupied window slots (occupancy guard input).
+    used: u32,
+    /// Sparse windows migrate to the overflow map and disable the lane.
+    disabled: bool,
+}
+
+/// A sparse window wider than this (and under-occupied ×4) migrates to
+/// the overflow map.
+const LANE_SPARSE_MIN: usize = 1024;
+
+/// A lane rebases in place (prepending empty slots) for ids up to this
+/// far below its window; anything farther disables it instead.
+const LANE_REBASE_MAX: u32 = 1024;
+
+impl DenseLane {
+    #[inline]
+    fn slice<'a>(&'a self, id: u32, spills: &'a [Vec<AtomIdx>]) -> &'a [AtomIdx] {
+        if id < self.base {
+            return &[];
+        }
+        self.posts
+            .get((id - self.base) as usize)
+            .map(|p| p.as_slice(spills))
+            .unwrap_or(&[])
+    }
+}
+
 /// Per-predicate posting lists: all atoms of the predicate, plus one list
-/// per `(argument position, term)` pair occurring in them.
+/// per `(argument position, term)` pair occurring in them — dense lanes
+/// per `(position, term kind)` with a hash-map overflow.
 #[derive(Debug, Default, Clone)]
 struct PredIndex {
     all: Vec<AtomIdx>,
     /// Arity of the predicate (fixed by the schema), recorded on first
     /// insert so any-position queries can sweep the positions.
     arity: u32,
-    by_pos_term: FxHashMap<(u32, Term), Postings>,
+    /// `lanes[2 * position + kind]`, kind 0 = constants, 1 = nulls.
+    lanes: Vec<DenseLane>,
+    /// Overflow: disabled lanes' entries, keyed by [`pos_term_key`] —
+    /// one packed word, so the map hashes and compares a single `u64`.
+    by_pos_term: FxHashMap<u64, Postings>,
+    /// Spill arena for posting lists that outgrow their inline slots
+    /// (shared by lanes and overflow).
+    spills: Vec<Vec<AtomIdx>>,
+}
+
+/// The `(kind, id)` coordinates of a ground term in the lane space.
+#[inline]
+fn lane_coords(t: Term) -> (usize, u32) {
+    match t {
+        Term::Const(c) => (0, c.0),
+        Term::Null(n) => (1, n.0),
+        Term::Var(_) => unreachable!("instances hold ground atoms only"),
+    }
+}
+
+/// How an append maintains the per-predicate posting lists: inline
+/// (small batches — the atom's data is hot) or deferred into an
+/// [`IndexDelta`] for one batched [`Instance::splice_index`] pass.
+enum AppendIndexing<'a> {
+    Eager,
+    Defer(&'a mut IndexDelta),
+}
+
+/// Posting-list maintenance for one appended atom — shared verbatim by
+/// the eager path and the deferred splice, so the index cannot diverge
+/// between them.
+fn index_atom(by_pred: &mut Vec<PredIndex>, idx: AtomIdx, pred: PredId, args: &[Term]) {
+    if by_pred.len() <= pred.index() {
+        by_pred.resize_with(pred.index() + 1, PredIndex::default);
+    }
+    let pi = &mut by_pred[pred.index()];
+    pi.all.push(idx);
+    pi.arity = args.len() as u32;
+    if pi.lanes.len() < 2 * args.len() {
+        pi.lanes.resize_with(2 * args.len(), DenseLane::default);
+    }
+    // Index every argument slot: each `(position, term)` pair occurs at
+    // most once per atom, and a term repeated across positions lands in
+    // distinct lanes/lists.
+    for (i, &t) in args.iter().enumerate() {
+        let (kind, id) = lane_coords(t);
+        let lane = &mut pi.lanes[2 * i + kind];
+        if !lane.disabled {
+            lane_push(
+                lane,
+                i as u32,
+                kind,
+                id,
+                idx,
+                &mut pi.by_pos_term,
+                &mut pi.spills,
+            );
+        } else {
+            pi.by_pos_term
+                .entry(pos_term_key(i as u32, t))
+                .or_default()
+                .push(idx, &mut pi.spills);
+        }
+    }
+}
+
+/// Appends to a live dense lane, growing or rebasing its window — and
+/// migrating the lane to the overflow map when the window goes sparse
+/// (the id space the predicate touches at this position is scattered,
+/// so dense storage would waste memory). Every entry has exactly one
+/// home: the lane while it is live, the map after it is disabled.
+fn lane_push(
+    lane: &mut DenseLane,
+    pos: u32,
+    kind: usize,
+    id: u32,
+    idx: AtomIdx,
+    overflow: &mut FxHashMap<u64, Postings>,
+    spills: &mut Vec<Vec<AtomIdx>>,
+) {
+    if lane.posts.is_empty() {
+        lane.base = id;
+    }
+    if id < lane.base {
+        // Ids mostly ascend; a dip rebases in place — over-shifting by
+        // up to the window size, so a descending run costs one
+        // O(window) splice per ~window inserts (amortized O(1)), not
+        // per insert. A dip past the rebase bound, or a rebase that
+        // would leave the window sparse, migrates to the overflow map
+        // instead.
+        let dip = lane.base - id;
+        let shift = dip
+            .max((lane.posts.len() as u32).min(LANE_REBASE_MAX))
+            .min(lane.base) as usize;
+        let window_after = lane.posts.len() + shift;
+        let sparse = window_after > LANE_SPARSE_MIN && (lane.used as usize) * 4 < window_after;
+        if dip <= LANE_REBASE_MAX && !sparse {
+            lane.posts
+                .splice(0..0, std::iter::repeat_with(Postings::default).take(shift));
+            lane.base -= shift as u32;
+        } else {
+            lane_disable(lane, pos, kind, overflow);
+            overflow
+                .entry(pos_kind_id_key(pos, kind, id))
+                .or_default()
+                .push(idx, spills);
+            return;
+        }
+    }
+    let slot = (id - lane.base) as usize;
+    if slot >= lane.posts.len() {
+        let window = slot + 1;
+        if window > LANE_SPARSE_MIN && (lane.used as usize) * 4 < window {
+            lane_disable(lane, pos, kind, overflow);
+            overflow
+                .entry(pos_kind_id_key(pos, kind, id))
+                .or_default()
+                .push(idx, spills);
+            return;
+        }
+        lane.posts.resize_with(window, Postings::default);
+    }
+    let posting = &mut lane.posts[slot];
+    if posting.len == 0 {
+        lane.used += 1;
+    }
+    posting.push(idx, spills);
+}
+
+/// Migrates a lane's occupied slots into the overflow map and disables
+/// it. Observable state is unchanged — only the storage home moves (the
+/// spill arena is shared, so spilled lists keep their slots).
+fn lane_disable(
+    lane: &mut DenseLane,
+    pos: u32,
+    kind: usize,
+    overflow: &mut FxHashMap<u64, Postings>,
+) {
+    let base = lane.base;
+    for (k, posting) in lane.posts.drain(..).enumerate() {
+        if posting.len == 0 {
+            continue;
+        }
+        overflow.insert(pos_kind_id_key(pos, kind, base + k as u32), posting);
+    }
+    lane.used = 0;
+    lane.disabled = true;
+}
+
+/// Packs an `(argument position, term)` posting key into one word:
+/// [`term_code`] is a 34-bit injective code, leaving 30 bits of
+/// position — far beyond any real arity.
+#[inline]
+fn pos_term_key(position: u32, term: Term) -> u64 {
+    (u64::from(position) << 34) | term_code(term)
+}
+
+/// [`pos_term_key`] from lane coordinates — the same packing
+/// ([`term_code`] tags constants `0b00` and nulls `0b01`), asserted in
+/// the tests so the two key paths cannot drift apart.
+#[inline]
+fn pos_kind_id_key(position: u32, kind: usize, id: u32) -> u64 {
+    (u64::from(position) << 34) | (u64::from(id) << 2) | kind as u64
 }
 
 /// An indexed, deduplicated, append-only set of ground atoms, stored in an
@@ -139,19 +364,106 @@ impl Instance {
     /// Debug-asserts that the arguments are ground: instances never hold
     /// variables.
     pub fn insert_terms(&mut self, pred: PredId, args: &[Term]) -> Option<AtomIdx> {
+        let hash = hash_atom(pred, args);
+        self.append_terms(pred, args, hash, None, AppendIndexing::Eager)
+    }
+
+    /// [`Instance::insert_terms`] with a caller-computed hash and an
+    /// optional probe hint (see [`Instance::locate_terms_hashed`]):
+    /// eager index maintenance, one pass. This is the chase commit
+    /// loop's small-batch path — for a handful of atoms, interleaving
+    /// the posting updates with the append (while predicate and
+    /// arguments are hot) beats deferring them.
+    pub fn insert_terms_hashed(
+        &mut self,
+        pred: PredId,
+        args: &[Term],
+        hash: u64,
+        hint: Option<ProbeHint>,
+    ) -> Option<AtomIdx> {
+        self.append_terms(pred, args, hash, hint, AppendIndexing::Eager)
+    }
+
+    /// Appends an atom whose hash the caller has already computed (via
+    /// [`crate::hash::hash_atom`]), **deferring posting-list maintenance**
+    /// into `delta`: the atom becomes immediately visible to the dedup
+    /// table ([`Instance::index_of_terms`], further `extend_terms` calls)
+    /// and to positional reads ([`Instance::atom`], [`Instance::iter`]),
+    /// but not to the per-predicate posting lists until
+    /// [`Instance::splice_index`] runs. This is the chase commit loop's
+    /// bulk-append path: a wide round's worth of inserts batches its
+    /// index writes into one cache-friendly splice instead of
+    /// interleaving hash map updates with appends.
+    ///
+    /// Returns `Some(index)` if the atom was new, `None` if present.
+    ///
+    /// # Panics
+    /// Debug-asserts that the arguments are ground and that `hash` is the
+    /// atom's true hash.
+    pub fn extend_terms(
+        &mut self,
+        pred: PredId,
+        args: &[Term],
+        hash: u64,
+        delta: &mut IndexDelta,
+    ) -> Option<AtomIdx> {
+        self.append_terms(pred, args, hash, None, AppendIndexing::Defer(delta))
+    }
+
+    /// [`Instance::extend_terms`] resuming from a [`ProbeHint`] taken
+    /// against an earlier state of this instance (no atoms removed
+    /// since — instances are append-only). When the dedup table has not
+    /// been rehashed in between, the probe restarts at the hinted slot:
+    /// the chain prefix the hint already walked is immutable, so only
+    /// same-batch insertions (which land at or after the hint) are
+    /// re-examined. A rehash in between falls back to the full probe.
+    pub fn extend_terms_hinted(
+        &mut self,
+        pred: PredId,
+        args: &[Term],
+        hash: u64,
+        hint: ProbeHint,
+        delta: &mut IndexDelta,
+    ) -> Option<AtomIdx> {
+        self.append_terms(pred, args, hash, Some(hint), AppendIndexing::Defer(delta))
+    }
+
+    /// The append core behind every insert variant: hinted-or-full dedup
+    /// probe, arena append, then eager or deferred posting maintenance.
+    fn append_terms(
+        &mut self,
+        pred: PredId,
+        args: &[Term],
+        hash: u64,
+        hint: Option<ProbeHint>,
+        indexing: AppendIndexing<'_>,
+    ) -> Option<AtomIdx> {
         debug_assert!(
             args.iter().all(|t| t.is_ground()),
             "instances hold ground atoms only"
         );
-        let hash = hash_atom(pred, args);
-        // Grow first so the vacant slot found by the probe stays valid.
-        self.table.reserve_one(&self.hashes);
+        debug_assert_eq!(hash, hash_atom(pred, args), "caller-computed hash");
+        // A hint is honored only while the table keeps the capacity it
+        // was taken under and this insertion cannot grow it mid-probe;
+        // otherwise grow first (so the vacant slot stays valid) and walk
+        // the full chain.
+        let hinted = hint.filter(|h| {
+            self.table.slot_count() as u32 == h.slot_count && !self.table.insert_would_grow()
+        });
+        if hinted.is_none() {
+            self.table.reserve_one(&self.hashes);
+        }
         let vacant = {
             let (preds, offsets, pool) = (&self.preds, &self.offsets, &self.pool);
-            match self.table.probe(hash, |idx| {
+            let eq = |idx: u32| {
                 let i = idx as usize;
                 preds[i] == pred && &pool[offsets[i] as usize..offsets[i + 1] as usize] == args
-            }) {
+            };
+            let probe = match hinted {
+                Some(h) => self.table.probe_at(h.slot as usize, hash, eq),
+                None => self.table.probe(hash, eq),
+            };
+            match probe {
                 TagProbe::Found(_) => return None,
                 TagProbe::Vacant(slot) => slot,
             }
@@ -165,19 +477,9 @@ impl Instance {
         self.preds.push(pred);
         self.hashes.push(hash);
         self.table.fill(vacant, hash, idx);
-
-        if self.by_pred.len() <= pred.index() {
-            self.by_pred
-                .resize_with(pred.index() + 1, PredIndex::default);
-        }
-        let pi = &mut self.by_pred[pred.index()];
-        pi.all.push(idx);
-        pi.arity = args.len() as u32;
-        // Index every argument slot: the key carries the position, so a
-        // term repeated across positions lands in distinct lists and each
-        // `(position, term)` pair occurs at most once per atom.
-        for (i, &t) in args.iter().enumerate() {
-            pi.by_pos_term.entry((i as u32, t)).or_default().push(idx);
+        match indexing {
+            AppendIndexing::Eager => index_atom(&mut self.by_pred, idx, pred, args),
+            AppendIndexing::Defer(delta) => delta.pending.push(idx),
         }
         Some(idx)
     }
@@ -187,6 +489,18 @@ impl Instance {
             let a = self.atom(idx);
             a.pred == pred && a.args == args
         })
+    }
+
+    /// Splices the posting-list updates deferred by
+    /// [`Instance::extend_terms`] — one pass over the batch, in ascending
+    /// atom order, producing indexes identical to eager
+    /// [`Instance::insert_terms`] maintenance. Drains `delta`.
+    pub fn splice_index(&mut self, delta: &mut IndexDelta) {
+        for idx in delta.pending.drain(..) {
+            let i = idx as usize;
+            let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+            index_atom(&mut self.by_pred, idx, self.preds[i], &self.pool[range]);
+        }
     }
 
     /// Membership test.
@@ -209,6 +523,40 @@ impl Instance {
     /// present (allocation-free variant of [`Instance::index_of`]).
     pub fn index_of_terms(&self, pred: PredId, args: &[Term]) -> Option<AtomIdx> {
         self.find_hashed(pred, args, hash_atom(pred, args))
+    }
+
+    /// [`Instance::index_of_terms`] with a caller-computed hash (the
+    /// resolve stage of the chase hashes each head atom once and reuses
+    /// it for the snapshot containment pre-check here and the commit-time
+    /// append).
+    pub fn index_of_terms_hashed(&self, pred: PredId, args: &[Term], hash: u64) -> Option<AtomIdx> {
+        debug_assert_eq!(hash, hash_atom(pred, args), "caller-computed hash");
+        self.find_hashed(pred, args, hash)
+    }
+
+    /// Containment probe that, on a miss, returns a **probe hint** for a
+    /// later [`Instance::extend_terms_hinted`]: the vacant slot the walk
+    /// ended at plus the dedup table's capacity at probe time. The chase
+    /// resolve stage probes the frozen snapshot with this; the commit
+    /// stage then resumes the walk instead of repeating it.
+    pub fn locate_terms_hashed(
+        &self,
+        pred: PredId,
+        args: &[Term],
+        hash: u64,
+    ) -> Result<AtomIdx, ProbeHint> {
+        debug_assert_eq!(hash, hash_atom(pred, args), "caller-computed hash");
+        let (preds, offsets, pool) = (&self.preds, &self.offsets, &self.pool);
+        match self.table.locate(hash, |idx| {
+            let i = idx as usize;
+            preds[i] == pred && &pool[offsets[i] as usize..offsets[i + 1] as usize] == args
+        }) {
+            TagProbe::Found(idx) => Ok(idx),
+            TagProbe::Vacant(slot) => Err(ProbeHint {
+                slot: slot as u32,
+                slot_count: self.table.slot_count() as u32,
+            }),
+        }
     }
 
     /// Number of atoms. This is the paper's `|I|` (cardinality).
@@ -262,10 +610,18 @@ impl Instance {
     /// position-aware posting list the homomorphism search probes; for
     /// any-position queries sweep `0..arity_of(pred)`.
     pub fn atoms_with_pred_term_at(&self, pred: PredId, position: u32, term: Term) -> &[AtomIdx] {
-        self.by_pred
-            .get(pred.index())
-            .and_then(|pi| pi.by_pos_term.get(&(position, term)))
-            .map_or(&[], Postings::as_slice)
+        let Some(pi) = self.by_pred.get(pred.index()) else {
+            return &[];
+        };
+        let (kind, id) = lane_coords(term);
+        match pi.lanes.get(2 * position as usize + kind) {
+            Some(lane) if !lane.disabled => lane.slice(id, &pi.spills),
+            _ => pi
+                .by_pos_term
+                .get(&pos_term_key(position, term))
+                .map(|p| p.as_slice(&pi.spills))
+                .unwrap_or(&[]),
+        }
     }
 
     /// The arity of a predicate as observed in the instance (0 if the
@@ -282,28 +638,37 @@ impl Instance {
         self.preds[idx as usize]
     }
 
-    /// The predicates occurring in the instance, deduplicated, in no
-    /// particular order.
-    pub fn preds(&self) -> Vec<PredId> {
+    /// The predicates occurring in the instance, deduplicated, in
+    /// ascending id order, without materializing a `Vec` — the hot-path
+    /// accessor ([`Instance::preds`] keeps the allocating form for tests
+    /// and one-shot callers).
+    pub fn preds_iter(&self) -> impl Iterator<Item = PredId> + '_ {
         self.by_pred
             .iter()
             .enumerate()
             .filter(|(_, pi)| !pi.all.is_empty())
             .map(|(i, _)| PredId(i as u32))
-            .collect()
+    }
+
+    /// The predicates occurring in the instance, deduplicated, in no
+    /// particular order.
+    pub fn preds(&self) -> Vec<PredId> {
+        self.preds_iter().collect()
+    }
+
+    /// `dom(I)` as a streaming iterator: all distinct ground terms in
+    /// first-occurrence order. The dedup set is allocated once per call;
+    /// no output `Vec` is built ([`Instance::dom`] keeps the allocating
+    /// form).
+    pub fn dom_iter(&self) -> impl Iterator<Item = Term> + '_ {
+        let mut seen = FxHashSet::default();
+        self.pool.iter().copied().filter(move |&t| seen.insert(t))
     }
 
     /// `dom(I)`: the active domain, i.e. all distinct ground terms, in
     /// first-occurrence order.
     pub fn dom(&self) -> Vec<Term> {
-        let mut seen = FxHashSet::default();
-        let mut out = Vec::new();
-        for &t in &self.pool {
-            if seen.insert(t) {
-                out.push(t);
-            }
-        }
-        out
+        self.dom_iter().collect()
     }
 
     /// Does the instance consist solely of facts (a *database*)?
@@ -346,6 +711,44 @@ impl Instance {
     /// `Send + Sync` below — the instance holds no interior mutability).
     pub fn snapshot(&self) -> Snapshot<'_> {
         Snapshot { inst: self }
+    }
+}
+
+/// A dedup-table probe resumption point returned by
+/// [`Instance::locate_terms_hashed`] on a miss: where the probed atom
+/// would be inserted, valid while the table keeps the recorded capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeHint {
+    /// The vacant slot the probe walk ended at.
+    slot: u32,
+    /// The table capacity the walk was taken under (a change means a
+    /// rehash scattered the entries and the hint is void).
+    slot_count: u32,
+}
+
+/// The posting-list updates deferred by a run of
+/// [`Instance::extend_terms`] calls: the appended atom indexes, in
+/// ascending order, awaiting [`Instance::splice_index`]. Reusable across
+/// batches (splicing drains it, keeping the allocation).
+#[derive(Debug, Default)]
+pub struct IndexDelta {
+    pending: Vec<AtomIdx>,
+}
+
+impl IndexDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of appended atoms awaiting an index splice.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Is the delta empty (nothing awaiting a splice)?
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
     }
 }
 
@@ -503,6 +906,82 @@ mod tests {
     }
 
     #[test]
+    fn lane_keys_agree_with_term_keys() {
+        // The dense-lane migration rebuilds overflow keys from raw
+        // (kind, id) coordinates; they must match the term-based packing
+        // bit for bit or lookups would miss migrated entries.
+        for pos in [0u32, 1, 7] {
+            for id in [0u32, 1, 513, u32::MAX >> 2] {
+                assert_eq!(
+                    pos_kind_id_key(pos, 0, id),
+                    pos_term_key(pos, c(id)),
+                    "const {pos}/{id}"
+                );
+                assert_eq!(
+                    pos_kind_id_key(pos, 1, id),
+                    pos_term_key(pos, n(id)),
+                    "null {pos}/{id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_windows_migrate_to_the_overflow_map() {
+        // Constants far apart force the (pred 0, pos 0) const lane
+        // sparse: the window would exceed LANE_SPARSE_MIN at < 1/4
+        // occupancy, so it migrates. Lookups must see every atom
+        // regardless of which storage served them.
+        let mut inst = Instance::new();
+        let ids: Vec<u32> = (0..20).map(|k| k * 4096).collect();
+        for (row, &id) in ids.iter().enumerate() {
+            inst.insert(atom(0, vec![c(id), c(row as u32)]));
+        }
+        for (row, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                inst.atoms_with_pred_term_at(PredId(0), 0, c(id)),
+                &[row as AtomIdx],
+                "id {id}"
+            );
+            assert_eq!(
+                inst.atoms_with_pred_term_at(PredId(0), 1, c(row as u32)),
+                &[row as AtomIdx]
+            );
+        }
+        // Re-inserting an existing sparse term extends its migrated list.
+        inst.insert(atom(0, vec![c(ids[3]), c(999)]));
+        assert_eq!(
+            inst.atoms_with_pred_term_at(PredId(0), 0, c(ids[3])),
+            &[3, 20]
+        );
+    }
+
+    #[test]
+    fn descending_ids_rebase_or_migrate() {
+        // A small dip below the window base rebases the lane in place.
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(500)]));
+        inst.insert(atom(0, vec![c(100)]));
+        inst.insert(atom(0, vec![c(300)]));
+        for (row, id) in [(0u32, 500u32), (1, 100), (2, 300)] {
+            assert_eq!(inst.atoms_with_pred_term_at(PredId(0), 0, c(id)), &[row]);
+        }
+        // A huge dip disables the lane; everything stays findable.
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(2_000_000)]));
+        inst.insert(atom(0, vec![c(3)]));
+        assert_eq!(
+            inst.atoms_with_pred_term_at(PredId(0), 0, c(2_000_000)),
+            &[0]
+        );
+        assert_eq!(inst.atoms_with_pred_term_at(PredId(0), 0, c(3)), &[1]);
+        assert_eq!(
+            inst.atoms_with_pred_term_at(PredId(0), 0, c(4)),
+            &[] as &[AtomIdx]
+        );
+    }
+
+    #[test]
     fn repeated_term_indexed_once_per_position() {
         let mut inst = Instance::new();
         inst.insert(atom(0, vec![c(0), c(0), c(0)]));
@@ -557,6 +1036,76 @@ mod tests {
         let delta: Vec<Atom> = inst.iter_range(1, 3).map(|a| a.to_atom()).collect();
         assert_eq!(delta.len(), 2);
         assert_eq!(delta[0], atom(0, vec![c(1)]));
+    }
+
+    #[test]
+    fn extend_terms_defers_index_maintenance() {
+        use crate::hash::hash_atom;
+        let mut eager = Instance::new();
+        let mut deferred = Instance::new();
+        let mut delta = IndexDelta::new();
+        let atoms = [
+            atom(0, vec![c(0), c(1)]),
+            atom(1, vec![c(1)]),
+            atom(0, vec![c(0), c(1)]), // duplicate
+            atom(0, vec![c(1), c(0)]),
+        ];
+        for a in &atoms {
+            let h = hash_atom(a.pred, &a.args);
+            assert_eq!(
+                eager.insert_terms(a.pred, &a.args),
+                deferred.extend_terms(a.pred, &a.args, h, &mut delta)
+            );
+        }
+        // Dedup + positional reads are live before the splice...
+        assert_eq!(deferred.len(), 3);
+        assert_eq!(deferred.index_of(&atoms[0]), Some(0));
+        assert_eq!(deferred.atom(2).args, &[c(1), c(0)]);
+        // ...but posting lists are not.
+        assert!(deferred.atoms_with_pred(PredId(0)).is_empty());
+        assert_eq!(delta.len(), 3);
+        deferred.splice_index(&mut delta);
+        assert!(delta.is_empty());
+        assert_eq!(
+            deferred.atoms_with_pred(PredId(0)),
+            eager.atoms_with_pred(PredId(0))
+        );
+        assert_eq!(
+            deferred.atoms_with_pred_term_at(PredId(0), 1, c(0)),
+            eager.atoms_with_pred_term_at(PredId(0), 1, c(0))
+        );
+        assert_eq!(deferred.arity_of(PredId(1)), 1);
+        assert!(deferred.indexed_eq(&eager));
+    }
+
+    #[test]
+    fn index_of_terms_hashed_matches_unhashed() {
+        use crate::hash::hash_atom;
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), c(1)]));
+        let h = hash_atom(PredId(0), &[c(0), c(1)]);
+        assert_eq!(
+            inst.index_of_terms_hashed(PredId(0), &[c(0), c(1)], h),
+            Some(0)
+        );
+        let h2 = hash_atom(PredId(0), &[c(1), c(1)]);
+        assert_eq!(
+            inst.index_of_terms_hashed(PredId(0), &[c(1), c(1)], h2),
+            None
+        );
+    }
+
+    #[test]
+    fn iterator_accessors_match_vec_forms() {
+        let mut inst = Instance::new();
+        inst.insert(atom(2, vec![c(0), c(1)]));
+        inst.insert(atom(0, vec![c(1), n(0)]));
+        let preds: Vec<PredId> = inst.preds_iter().collect();
+        let mut expect = inst.preds();
+        expect.sort();
+        assert_eq!(preds, expect); // preds_iter is ascending
+        let dom: Vec<Term> = inst.dom_iter().collect();
+        assert_eq!(dom, inst.dom());
     }
 
     #[test]

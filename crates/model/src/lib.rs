@@ -47,7 +47,7 @@ pub mod tgd;
 pub use atom::{Atom, AtomRef};
 pub use display::DisplayWith;
 pub use error::ModelError;
-pub use instance::{AtomIdx, AtomIter, Instance, Snapshot};
+pub use instance::{AtomIdx, AtomIter, IndexDelta, Instance, ProbeHint, Snapshot};
 pub use parser::{parse_database, parse_into, parse_program, parse_tgds, Program};
 pub use plan::{MatchPlan, Scratch};
 pub use query::{Cq, Ucq};

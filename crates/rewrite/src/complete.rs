@@ -323,7 +323,7 @@ pub fn canonicalize_type(beta: &Atom, seed: &[Atom], canon: &[Term]) -> (CanonTy
 pub fn atoms_over_dom(inst: &Instance, dom: &[Term]) -> Vec<Atom> {
     let mut out: Vec<Atom> = Vec::new();
     let mut seen: std::collections::HashSet<nuchase_model::AtomIdx> = Default::default();
-    for pred in inst.preds() {
+    for pred in inst.preds_iter() {
         // The index is position-keyed; sweep every argument slot for an
         // any-position lookup (the `seen` set absorbs cross-slot repeats).
         for pos in 0..inst.arity_of(pred) {
@@ -340,7 +340,7 @@ pub fn atoms_over_dom(inst: &Instance, dom: &[Term]) -> Vec<Atom> {
         }
     }
     // 0-ary atoms are indexed under no term; scan them via predicate lists.
-    for pred in inst.preds() {
+    for pred in inst.preds_iter() {
         for &idx in inst.atoms_with_pred(pred) {
             let atom = inst.atom(idx);
             if atom.args.is_empty() && seen.insert(idx) {

@@ -124,3 +124,100 @@ fn oblivious_termination_implies_semi_oblivious() {
         assert!(so.instance.len() <= ob.instance.len(), "seed {seed}");
     }
 }
+
+/// The two-stage apply pipeline's activeness race: stage 1 (resolve)
+/// checks restricted activeness against the *round-start snapshot*, so a
+/// trigger whose head only becomes satisfied by an **earlier commit of
+/// the same round** passes stage 1 — and must be dropped by the
+/// commit-time re-check, identically at every thread count.
+///
+/// Here both `r(a,b)` and `q(a,c)` want an `s(a,·)` atom in round one.
+/// The snapshot has none, so both resolve as active; the canonical-order
+/// commit fires the `r`-rule first, and the `q`-rule's re-check must
+/// then see `s(a,⊥0)` and drop the trigger — firing it would be a
+/// restricted-chase soundness bug *and* a byte-identity break (an extra
+/// null and atom).
+#[test]
+fn same_round_commit_satisfies_later_trigger_at_any_thread_count() {
+    let p = parse_program("r(a, b).\nq(a, c).\nr(X, Y) -> s(X, Z).\nq(X, Y) -> s(X, W).").unwrap();
+    let mut results = Vec::new();
+    for threads in [0usize, 1, 2, 7] {
+        let re = chase(
+            &p.database,
+            &p.tgds,
+            &ChaseConfig {
+                variant: ChaseVariant::Restricted,
+                budget: ChaseBudget::atoms(1_000),
+                threads,
+                record_provenance: true,
+                ..Default::default()
+            },
+        );
+        assert!(re.terminated(), "{threads} threads");
+        // Exactly one s-atom: the q-trigger was dropped at commit.
+        assert_eq!(re.instance.len(), 3, "{threads} threads");
+        assert_eq!(re.stats.nulls_created, 1, "{threads} threads");
+        assert_eq!(re.stats.triggers_fired, 1, "{threads} threads");
+        assert_eq!(re.stats.triggers_considered, 2, "{threads} threads");
+        results.push(re);
+    }
+    // Byte-identity across the sweep: same atoms at the same indexes,
+    // same provenance.
+    let reference = &results[0];
+    for (i, re) in results.iter().enumerate().skip(1) {
+        assert!(
+            reference.instance.indexed_eq(&re.instance),
+            "thread sweep entry {i}"
+        );
+        for idx in 0..reference.instance.len() as u32 {
+            assert_eq!(
+                reference.provenance.as_ref().unwrap().derivation(idx),
+                re.provenance.as_ref().unwrap().derivation(idx),
+                "thread sweep entry {i}, atom {idx}"
+            );
+        }
+    }
+}
+
+/// The dual direction of the race: a head satisfied *at the snapshot*
+/// is dropped definitively in stage 1 (instances only grow), and the
+/// dropped trigger's provisional null must not shift the ids of later
+/// firings — the surviving triggers' nulls renumber densely from 0.
+#[test]
+fn snapshot_satisfied_triggers_drop_without_consuming_null_ids() {
+    let p = parse_program("s(a, x).\nr(a, b).\nr(c, d).\nr(X, Y) -> s(X, Z).\nr(X, Y) -> t(X, W).")
+        .unwrap();
+    for threads in [0usize, 1, 2, 7] {
+        let re = chase(
+            &p.database,
+            &p.tgds,
+            &ChaseConfig {
+                variant: ChaseVariant::Restricted,
+                budget: ChaseBudget::atoms(1_000),
+                threads,
+                ..Default::default()
+            },
+        );
+        assert!(re.terminated(), "{threads} threads");
+        // r(a,·) head s(a,Z) is satisfied by s(a,x) at the snapshot; the
+        // other three triggers fire, with nulls 0..3 densely assigned.
+        assert_eq!(re.stats.triggers_fired, 3, "{threads} threads");
+        assert_eq!(re.stats.nulls_created, 3, "{threads} threads");
+        assert_eq!(re.instance.len(), 6, "{threads} threads");
+        use nuchase_model::Term;
+        let nulls: Vec<Term> = re
+            .instance
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .filter(|t| t.is_null())
+            .collect();
+        assert_eq!(nulls.len(), 3, "{threads} threads");
+        for (k, t) in nulls.iter().enumerate() {
+            assert_eq!(
+                *t,
+                Term::Null(nuchase_model::NullId(k as u32)),
+                "{threads} threads: dense fresh-null numbering"
+            );
+        }
+    }
+}
