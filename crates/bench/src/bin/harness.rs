@@ -7,6 +7,7 @@
 //! cargo run --release -p nuchase-bench --bin harness -- e02 e10      # subset
 //! cargo run --release -p nuchase-bench --bin harness -- --list
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-chase [out.json]
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-chase-quick [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-parallel [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-parallel-quick [out.json]
 //! ```
@@ -24,13 +25,23 @@ fn main() {
         return;
     }
 
-    if let Some(pos) = args.iter().position(|a| a == "--bench-chase") {
-        let out_path = args
-            .get(pos + 1)
-            .map(String::as_str)
-            .unwrap_or("BENCH_chase.json");
-        println!("chase performance harness: seed baseline vs compiled-plan engine\n");
-        let rows = nuchase_bench::perf::run_chase_bench(3);
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a == "--bench-chase" || a == "--bench-chase-quick")
+    {
+        let quick = args[pos] == "--bench-chase-quick";
+        let out_path = args.get(pos + 1).map(String::as_str).unwrap_or(if quick {
+            "BENCH_chase_smoke.json"
+        } else {
+            "BENCH_chase.json"
+        });
+        println!(
+            "chase performance harness: seed baseline vs staged pipeline vs fused micro-rounds\n"
+        );
+        // Best-of-7 (the spend cap in `best_of` still clamps the slow
+        // seed-baseline workloads): these chain rounds are ~50 ms a run
+        // on a noisy container, so 3 samples under-estimate the floor.
+        let rows = nuchase_bench::perf::run_chase_bench(if quick { 1 } else { 7 }, quick);
         print!("{}", nuchase_bench::perf::chase_bench_table(&rows));
         let json = nuchase_bench::perf::chase_bench_json(&rows);
         std::fs::write(out_path, json).expect("write bench json");

@@ -86,6 +86,17 @@ fn main() {
         t.elapsed().as_nanos() as f64 / n as f64
     );
 
+    // 5b. Clock-read cost (the phase timers' primitive).
+    let t = Instant::now();
+    let mut acc = 0u128;
+    for _ in 0..n {
+        acc = acc.wrapping_add(Instant::now().elapsed().as_nanos());
+    }
+    println!(
+        "clock-read:       {:>8.1} ns/read (x2) [{acc}]",
+        t.elapsed().as_nanos() as f64 / (2 * n) as f64
+    );
+
     // 6. The full chase for comparison (best of 3).
     let p = nuchase_model::parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
     let mut best = f64::MAX;

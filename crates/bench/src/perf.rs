@@ -20,8 +20,8 @@
 use std::fmt::Write as _;
 
 use nuchase_engine::{
-    baseline_semi_oblivious_chase, chase, semi_oblivious_chase, ChaseBudget, ChaseConfig,
-    ChaseStats,
+    baseline_semi_oblivious_chase, chase, semi_oblivious_chase, ApplyPath, ChaseBudget,
+    ChaseConfig, ChaseStats,
 };
 use nuchase_model::{Atom, Instance, SymbolTable, Term, TgdSet};
 
@@ -32,6 +32,13 @@ pub struct EngineNumbers {
     pub atoms: usize,
     /// Triggers enumerated before dedup.
     pub triggers_considered: usize,
+    /// Semi-naive rounds executed.
+    pub rounds: usize,
+    /// Triggers enumerated per round — the fixed-cost-per-round story:
+    /// values near 1 are the regime the fused micro-round path targets.
+    pub triggers_per_round: f64,
+    /// Rounds applied through the fused micro-round path.
+    pub fused_rounds: usize,
     /// Best-of-N wall time, seconds.
     pub wall_secs: f64,
     /// Atoms created per second.
@@ -43,11 +50,13 @@ pub struct EngineNumbers {
     pub enumerate_secs: f64,
     /// Wall time of the dedup merge.
     pub dedup_secs: f64,
-    /// Wall time of the apply pipeline (plan + resolve + commit).
+    /// Wall time of the apply step (plan + resolve + commit, or the
+    /// fused pass).
     pub apply_secs: f64,
     /// Wall time of the resolve stage (the parallelizable part of apply).
     pub resolve_secs: f64,
-    /// Wall time of the commit stage (the serial part of apply).
+    /// Wall time of the commit stage (the serial part of apply; fused
+    /// rounds land entirely here).
     pub commit_secs: f64,
 }
 
@@ -56,6 +65,9 @@ impl EngineNumbers {
         EngineNumbers {
             atoms,
             triggers_considered: stats.triggers_considered,
+            rounds: stats.rounds,
+            triggers_per_round: stats.avg_triggers_per_round(),
+            fused_rounds: stats.fused_rounds,
             wall_secs: stats.wall_secs,
             atoms_per_sec: stats.atoms_per_sec(),
             triggers_per_sec: stats.triggers_per_sec(),
@@ -68,6 +80,21 @@ impl EngineNumbers {
     }
 }
 
+/// The phase timers are carried boundary-to-boundary spans of the round
+/// loop, so `enumerate + dedup + apply` must cover the measured wall to
+/// within 10% (plus 2 ms absolute slack for out-of-loop setup). A
+/// violation means a phase stopped being timed, was double-counted, or a
+/// new per-round cost appeared outside every span — exactly the
+/// unaccounted-wall gap this assertion exists to keep closed.
+fn assert_wall_accounted(name: &str, detail: &str, n: &EngineNumbers) {
+    let covered = n.enumerate_secs + n.dedup_secs + n.apply_secs;
+    assert!(
+        covered >= 0.90 * n.wall_secs - 0.002 && covered <= 1.10 * n.wall_secs + 0.002,
+        "{name} {detail}: phase timers {covered:.4}s do not account for wall {:.4}s",
+        n.wall_secs
+    );
+}
+
 /// Before/after numbers for one workload.
 #[derive(Debug, Clone)]
 pub struct ChaseBenchRow {
@@ -77,10 +104,17 @@ pub struct ChaseBenchRow {
     pub budget: usize,
     /// Seed-engine numbers.
     pub baseline: EngineNumbers,
-    /// Compiled-plan-engine numbers.
+    /// Current-engine numbers with the apply path forced to the staged
+    /// pipeline — the pre-fused engine, measured in the *same* harness
+    /// run so the fused speedup is not a cross-run comparison.
+    pub pipeline: EngineNumbers,
+    /// Current-engine numbers (`ApplyPath::Auto`: micro-rounds fused).
     pub optimized: EngineNumbers,
     /// `baseline.wall_secs / optimized.wall_secs`.
     pub speedup: f64,
+    /// `pipeline.wall_secs / optimized.wall_secs` — what the fused
+    /// micro-round path buys over the staged pipeline, in-run.
+    pub fused_speedup: f64,
 }
 
 fn successor_chain() -> (Instance, TgdSet, usize) {
@@ -216,19 +250,49 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> (usize, ChaseStats, T)) -> Eng
     best.expect("runs >= 1")
 }
 
-/// Runs every workload through both engines (best of `runs` timed runs
-/// each) and returns the rows.
-pub fn run_chase_bench(runs: usize) -> Vec<ChaseBenchRow> {
-    let workloads: Vec<(&'static str, (Instance, TgdSet, usize))> = vec![
-        ("successor_chain_100k", successor_chain()),
-        ("hub_skew_chain_100k", hub_skew_chain(512)),
-        ("transitive_closure_400", transitive_closure(400)),
-        ("depth_family_50k", depth_family(50_000)),
-    ];
+/// Runs every workload through the seed baseline, the current engine
+/// with the apply path pinned to the staged pipeline, and the current
+/// engine proper (best of `runs` timed runs each) and returns the rows.
+/// `quick` shrinks budgets ~10× for the CI chain-workload smoke, which
+/// also asserts the phase-timer wall accounting on every measured row.
+pub fn run_chase_bench(runs: usize, quick: bool) -> Vec<ChaseBenchRow> {
+    let workloads: Vec<(&'static str, (Instance, TgdSet, usize))> = if quick {
+        vec![
+            ("successor_chain_10k", {
+                let (db, tgds, _) = successor_chain();
+                (db, tgds, 10_000)
+            }),
+            ("hub_skew_chain_10k", {
+                let (db, tgds, _) = hub_skew_chain(128);
+                (db, tgds, 10_000)
+            }),
+            ("transitive_closure_120", transitive_closure(120)),
+            ("depth_family_5k", depth_family(5_000)),
+        ]
+    } else {
+        vec![
+            ("successor_chain_100k", successor_chain()),
+            ("hub_skew_chain_100k", hub_skew_chain(512)),
+            ("transitive_closure_400", transitive_closure(400)),
+            ("depth_family_50k", depth_family(50_000)),
+        ]
+    };
     let mut rows = Vec::new();
     for (name, (db, tgds, budget)) in workloads {
         let optimized = best_of(runs, || {
             let r = semi_oblivious_chase(&db, &tgds, budget);
+            (r.instance.len(), r.stats.clone(), ())
+        });
+        let pipeline = best_of(runs, || {
+            let r = chase(
+                &db,
+                &tgds,
+                &ChaseConfig {
+                    budget: ChaseBudget::atoms(budget),
+                    apply_path: ApplyPath::Pipeline,
+                    ..Default::default()
+                },
+            );
             (r.instance.len(), r.stats.clone(), ())
         });
         let baseline = best_of(runs, || {
@@ -239,13 +303,22 @@ pub fn run_chase_bench(runs: usize) -> Vec<ChaseBenchRow> {
             baseline.atoms, optimized.atoms,
             "{name}: engines disagree on the result size"
         );
+        assert_eq!(
+            pipeline.atoms, optimized.atoms,
+            "{name}: apply paths disagree on the result size"
+        );
+        assert_wall_accounted(name, "auto", &optimized);
+        assert_wall_accounted(name, "pipeline", &pipeline);
         let speedup = baseline.wall_secs / optimized.wall_secs.max(1e-12);
+        let fused_speedup = pipeline.wall_secs / optimized.wall_secs.max(1e-12);
         rows.push(ChaseBenchRow {
             name,
             budget,
             baseline,
+            pipeline,
             optimized,
             speedup,
+            fused_speedup,
         });
     }
     rows
@@ -259,6 +332,12 @@ pub struct ThreadNumbers {
     /// Final instance size (identical across thread counts by design —
     /// asserted).
     pub atoms: usize,
+    /// Semi-naive rounds executed (identical across thread counts).
+    pub rounds: usize,
+    /// Triggers enumerated per round.
+    pub triggers_per_round: f64,
+    /// Rounds applied through the fused micro-round path.
+    pub fused_rounds: usize,
     /// Best-of-N wall time, seconds.
     pub wall_secs: f64,
     /// Triggers considered per second.
@@ -267,11 +346,12 @@ pub struct ThreadNumbers {
     pub enumerate_secs: f64,
     /// Wall time of the dedup merge.
     pub dedup_secs: f64,
-    /// Wall time of the apply pipeline (plan + resolve + commit).
+    /// Wall time of the apply step (plan + resolve + commit, or fused).
     pub apply_secs: f64,
     /// Wall time of the resolve stage (shards across workers).
     pub resolve_secs: f64,
-    /// Wall time of the commit stage (the remaining serial section).
+    /// Wall time of the commit stage (the remaining serial section;
+    /// fused micro-rounds land entirely here).
     pub commit_secs: f64,
 }
 
@@ -331,9 +411,16 @@ pub fn run_parallel_bench(runs: usize, quick: bool) -> Vec<ParallelBenchRow> {
                 );
                 (r.instance.len(), r.stats.clone(), ())
             });
+            // The timers must account for the wall on every curve point
+            // (the quick CI smoke is the tripwire for an unaccounted
+            // per-round cost creeping back in).
+            assert_wall_accounted(name, &format!("{threads} threads"), &numbers);
             curve.push(ThreadNumbers {
                 threads,
                 atoms: numbers.atoms,
+                rounds: numbers.rounds,
+                triggers_per_round: numbers.triggers_per_round,
+                fused_rounds: numbers.fused_rounds,
                 wall_secs: numbers.wall_secs,
                 triggers_per_sec: numbers.triggers_per_sec,
                 enumerate_secs: numbers.enumerate_secs,
@@ -347,8 +434,12 @@ pub fn run_parallel_bench(runs: usize, quick: bool) -> Vec<ParallelBenchRow> {
             curve.windows(2).all(|w| w[0].atoms == w[1].atoms),
             "{name}: thread counts disagree on the result size"
         );
+        assert!(
+            curve.windows(2).all(|w| w[0].rounds == w[1].rounds),
+            "{name}: thread counts disagree on the round count"
+        );
         // Phase accounting must stay consistent: resolve + commit are
-        // nested sub-spans partitioning the apply pipeline, so their sum
+        // nested sub-spans partitioning the apply step, so their sum
         // tracks apply_secs up to timer overhead. The quick CI smoke
         // exists to catch a stage that stops being timed (or gets
         // double-counted) after a refactor.
@@ -383,12 +474,17 @@ pub fn run_parallel_bench(runs: usize, quick: bool) -> Vec<ParallelBenchRow> {
 
 fn thread_json(n: &ThreadNumbers) -> String {
     format!(
-        "{{\"threads\": {}, \"atoms\": {}, \"wall_secs\": {:.6}, \
+        "{{\"threads\": {}, \"atoms\": {}, \"rounds\": {}, \
+         \"triggers_per_round\": {:.2}, \"fused_rounds\": {}, \
+         \"wall_secs\": {:.6}, \
          \"triggers_per_sec\": {:.0}, \"enumerate_secs\": {:.6}, \
          \"dedup_secs\": {:.6}, \"apply_secs\": {:.6}, \
          \"resolve_secs\": {:.6}, \"commit_secs\": {:.6}}}",
         n.threads,
         n.atoms,
+        n.rounds,
+        n.triggers_per_round,
+        n.fused_rounds,
         n.wall_secs,
         n.triggers_per_sec,
         n.enumerate_secs,
@@ -415,6 +511,12 @@ pub fn parallel_bench_json(rows: &[ParallelBenchRow]) -> String {
         out,
         "  \"host_parallelism\": {},",
         nuchase_engine::auto_threads()
+    );
+    let _ = writeln!(
+        out,
+        "  \"note\": \"on a single-core host (host_parallelism 1) the per-thread-count \
+         differences, including speedup_4_threads, are pure timing noise (~±40%); only \
+         curves regenerated on a multicore host measure scaling — see EXPERIMENTS.md\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, row) in rows.iter().enumerate() {
@@ -443,16 +545,27 @@ pub fn parallel_bench_table(rows: &[ParallelBenchRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<24} {:>8} {:>12} {:>14} {:>11} {:>9} {:>9} {:>9}",
-        "workload", "threads", "wall", "triggers/s", "enumerate", "dedup", "resolve", "commit"
+        "{:<24} {:>8} {:>8} {:>8} {:>12} {:>14} {:>11} {:>9} {:>9} {:>9}",
+        "workload",
+        "threads",
+        "rounds",
+        "trig/rnd",
+        "wall",
+        "triggers/s",
+        "enumerate",
+        "dedup",
+        "resolve",
+        "commit"
     );
     for r in rows {
         for n in &r.curve {
             let _ = writeln!(
                 out,
-                "{:<24} {:>8} {:>10.3} s {:>14.0} {:>9.3} s {:>7.3} s {:>7.3} s {:>7.3} s",
+                "{:<24} {:>8} {:>8} {:>8.1} {:>10.3} s {:>14.0} {:>9.3} s {:>7.3} s {:>7.3} s {:>7.3} s",
                 r.name,
                 n.threads,
+                n.rounds,
+                n.triggers_per_round,
                 n.wall_secs,
                 n.triggers_per_sec,
                 n.enumerate_secs,
@@ -468,9 +581,18 @@ pub fn parallel_bench_table(rows: &[ParallelBenchRow]) -> String {
 
 fn engine_json(n: &EngineNumbers) -> String {
     format!(
-        "{{\"atoms\": {}, \"triggers_considered\": {}, \"wall_secs\": {:.6}, \
+        "{{\"atoms\": {}, \"triggers_considered\": {}, \"rounds\": {}, \
+         \"triggers_per_round\": {:.2}, \"fused_rounds\": {}, \
+         \"wall_secs\": {:.6}, \
          \"atoms_per_sec\": {:.0}, \"triggers_per_sec\": {:.0}}}",
-        n.atoms, n.triggers_considered, n.wall_secs, n.atoms_per_sec, n.triggers_per_sec
+        n.atoms,
+        n.triggers_considered,
+        n.rounds,
+        n.triggers_per_round,
+        n.fused_rounds,
+        n.wall_secs,
+        n.atoms_per_sec,
+        n.triggers_per_sec
     )
 }
 
@@ -487,7 +609,11 @@ pub fn chase_bench_json(rows: &[ChaseBenchRow]) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"optimized\": \"compiled MatchPlans + Scratch + in-place dedup + arena Instance\","
+        "  \"pipeline\": \"current engine, apply path forced to the staged pipeline (pre-fused behaviour, same run)\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"optimized\": \"current engine (compiled plans, arena instance, fused micro-rounds)\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, row) in rows.iter().enumerate() {
@@ -495,8 +621,10 @@ pub fn chase_bench_json(rows: &[ChaseBenchRow]) -> String {
         let _ = writeln!(out, "      \"name\": \"{}\",", row.name);
         let _ = writeln!(out, "      \"budget_atoms\": {},", row.budget);
         let _ = writeln!(out, "      \"baseline\": {},", engine_json(&row.baseline));
+        let _ = writeln!(out, "      \"pipeline\": {},", engine_json(&row.pipeline));
         let _ = writeln!(out, "      \"optimized\": {},", engine_json(&row.optimized));
-        let _ = writeln!(out, "      \"speedup\": {:.2}", row.speedup);
+        let _ = writeln!(out, "      \"speedup\": {:.2},", row.speedup);
+        let _ = writeln!(out, "      \"fused_speedup\": {:.2}", row.fused_speedup);
         let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
     out.push_str("  ]\n}\n");
@@ -508,19 +636,30 @@ pub fn chase_bench_table(rows: &[ChaseBenchRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<24} {:>9} {:>12} {:>12} {:>14} {:>9}",
-        "workload", "atoms", "base wall", "opt wall", "opt triggers/s", "speedup"
+        "{:<24} {:>9} {:>8} {:>12} {:>12} {:>12} {:>14} {:>9} {:>7}",
+        "workload",
+        "atoms",
+        "rounds",
+        "base wall",
+        "pipe wall",
+        "opt wall",
+        "opt triggers/s",
+        "speedup",
+        "fused"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<24} {:>9} {:>10.3} s {:>10.3} s {:>14.0} {:>8.1}×",
+            "{:<24} {:>9} {:>8} {:>10.3} s {:>10.3} s {:>10.3} s {:>14.0} {:>8.1}× {:>6.2}×",
             r.name,
             r.optimized.atoms,
+            r.optimized.rounds,
             r.baseline.wall_secs,
+            r.pipeline.wall_secs,
             r.optimized.wall_secs,
             r.optimized.triggers_per_sec,
-            r.speedup
+            r.speedup,
+            r.fused_speedup
         );
     }
     out
@@ -562,6 +701,9 @@ mod tests {
         let n = EngineNumbers {
             atoms: 10,
             triggers_considered: 20,
+            rounds: 5,
+            triggers_per_round: 4.0,
+            fused_rounds: 5,
             wall_secs: 0.5,
             atoms_per_sec: 20.0,
             triggers_per_sec: 40.0,
@@ -575,12 +717,40 @@ mod tests {
             name: "demo",
             budget: 100,
             baseline: n.clone(),
+            pipeline: n.clone(),
             optimized: n,
             speedup: 1.0,
+            fused_speedup: 1.0,
         }];
         let json = chase_bench_json(&rows);
         assert!(json.contains("\"workloads\""));
+        assert!(json.contains("\"rounds\""));
+        assert!(json.contains("\"fused_speedup\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(chase_bench_table(&rows).contains("demo"));
+    }
+
+    #[test]
+    fn chase_bench_quick_runs_and_renders() {
+        // The CI chain-workload smoke: all three engines on shrunk
+        // budgets, the phase-timer wall accounting asserted inside.
+        let rows = run_chase_bench(1, true);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.optimized.atoms > 0 && r.optimized.wall_secs > 0.0);
+            assert_eq!(r.optimized.atoms, r.pipeline.atoms);
+            assert!(r.optimized.rounds > 0);
+        }
+        // The chain workloads run one trigger per round, all fused under
+        // Auto.
+        let chain = rows
+            .iter()
+            .find(|r| r.name == "successor_chain_10k")
+            .unwrap();
+        assert!(chain.optimized.triggers_per_round < 1.5);
+        assert_eq!(chain.optimized.fused_rounds, chain.optimized.rounds);
+        assert_eq!(chain.pipeline.fused_rounds, 0);
+        let json = chase_bench_json(&rows);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -47,7 +47,7 @@ use crate::dedup::TermTupleSet;
 use crate::forest::Forest;
 use crate::nulls::NullStore;
 use crate::phase::{
-    apply_batches, enumerate_rule, ApplyBuffers, ApplyState, RoundCtx, TriggerBatch, WorkerScratch,
+    enumerate_rule, enumerate_rule_eager, fused_chain_round, ApplyState, RoundCtx, RoundDriver,
 };
 use crate::provenance::Provenance;
 
@@ -108,6 +108,28 @@ impl ChaseBudget {
     }
 }
 
+/// Which apply path a chase run's rounds take. Purely a performance
+/// choice: the two paths are byte-identical in every observable (atom
+/// indexes, null ids, provenance, statistics counters), pinned by the
+/// forced-path differential sweeps in `tests/properties.rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ApplyPath {
+    /// Decide per round: micro-rounds — delta and trigger count under
+    /// the fused thresholds ([`crate::phase::FUSED_DELTA_MAX`],
+    /// [`crate::phase::FUSED_TRIGGER_MAX`]) — take the fused
+    /// straight-line path, wide rounds the staged pipeline. The
+    /// `NUCHASE_FORCE_PIPELINE` environment variable (`1` forces the
+    /// pipeline, `0` the fused path) overrides the decision run-wide.
+    #[default]
+    Auto,
+    /// Every round through the staged merge → plan → resolve → commit
+    /// pipeline ([`crate::phase::commit_batch`] and friends).
+    Pipeline,
+    /// Every round through the fused per-trigger pass
+    /// ([`crate::phase::apply_fused`]), regardless of width.
+    Fused,
+}
+
 /// Full configuration of a chase run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ChaseConfig {
@@ -124,6 +146,9 @@ pub struct ChaseConfig {
     /// ([`crate::parallel`]) with `n` workers — results are byte-identical
     /// either way (same atoms at the same indexes, same null ids).
     pub threads: usize,
+    /// Apply-path selection (see [`ApplyPath`]); results are identical
+    /// for every choice.
+    pub apply_path: ApplyPath,
 }
 
 /// Why the chase stopped.
@@ -161,19 +186,27 @@ pub struct ChaseStats {
     pub enumerate_secs: f64,
     /// Wall time spent in the authoritative trigger dedup merge.
     pub dedup_secs: f64,
-    /// Wall time of the whole apply pipeline past the merge (null plan +
-    /// resolve + commit); `resolve_secs + commit_secs ≈ apply_secs` up to
-    /// timer overhead.
+    /// Wall time of the whole apply step past the merge. For pipeline
+    /// rounds this is null plan + resolve + commit; for fused
+    /// micro-rounds it is the whole fused pass. Exactly
+    /// `resolve_secs + commit_secs` by construction (shared span
+    /// boundaries, no re-reads of the clock).
     pub apply_secs: f64,
     /// Wall time of the resolve stage (deterministic null id plan + head
     /// instantiation/hashing/containment against the frozen snapshot —
     /// the part of apply that shards across workers; under the parallel
-    /// executor this is the stage's *span*).
+    /// executor this is the stage's *span*). Fused micro-rounds have no
+    /// separate resolve stage and contribute nothing here.
     pub resolve_secs: f64,
     /// Wall time of the commit stage — the remaining serial section:
     /// bulk appends of pre-resolved atoms, activeness confirmation,
-    /// provenance/forest recording, index splicing.
+    /// provenance/forest recording, index splicing. A fused micro-round's
+    /// whole apply pass (its dedup, nulls, instantiation, and inserts are
+    /// one straight-line loop) is accounted here.
     pub commit_secs: f64,
+    /// Rounds applied through the fused micro-round path (the rest went
+    /// through the staged pipeline).
+    pub fused_rounds: usize,
 }
 
 impl ChaseStats {
@@ -187,15 +220,29 @@ impl ChaseStats {
         self.triggers_considered as f64 / self.wall_secs.max(1e-12)
     }
 
-    /// One-line per-phase wall-time breakdown, e.g.
-    /// `enumerate 62.1% · dedup 3.0% · resolve 20.1% · commit 10.2%` —
-    /// what makes a parallel speedup (or its absence) attributable to a
-    /// phase. `resolve` and `commit` partition the apply pipeline
-    /// (`apply_secs`); only `commit` (plus `dedup`) is inherently serial.
+    /// Derived: average triggers enumerated per round — the fixed-cost
+    /// indicator for chain-shaped chases (a value near 1 means the run
+    /// pays every per-round fixed cost per *trigger*, which is what the
+    /// fused micro-round path amortizes).
+    pub fn avg_triggers_per_round(&self) -> f64 {
+        self.triggers_considered as f64 / self.rounds.max(1) as f64
+    }
+
+    /// One-line round-shape + per-phase wall-time breakdown, e.g.
+    /// `49743 rounds (1.0 trig/round, 100% fused) · enumerate 62.1% ·
+    /// dedup 3.0% · resolve 20.1% · commit 10.2%` — what makes a speedup
+    /// (or its absence) attributable to a phase. `resolve` and `commit`
+    /// partition `apply_secs`; only `commit` (plus `dedup`) is
+    /// inherently serial, and fused micro-rounds land entirely in
+    /// `commit`.
     pub fn phase_summary(&self) -> String {
         let pct = |s: f64| 100.0 * s / self.wall_secs.max(1e-12);
         format!(
-            "enumerate {:.1}% · dedup {:.1}% · resolve {:.1}% · commit {:.1}%",
+            "{} rounds ({:.1} trig/round, {:.0}% fused) · \
+             enumerate {:.1}% · dedup {:.1}% · resolve {:.1}% · commit {:.1}%",
+            self.rounds,
+            self.avg_triggers_per_round(),
+            100.0 * self.fused_rounds as f64 / self.rounds.max(1) as f64,
             pct(self.enumerate_secs),
             pct(self.dedup_secs),
             pct(self.resolve_secs),
@@ -309,9 +356,10 @@ pub fn sequential_chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig
     // invariant (and boxed a wider key per trigger considered).
     let mut fired: Vec<TermTupleSet> = (0..tgds.len()).map(|_| TermTupleSet::new()).collect();
 
-    let mut ws = WorkerScratch::new();
-    let mut batch = TriggerBatch::new();
-    let mut bufs = ApplyBuffers::new();
+    // Every buffer a round reuses, plus the carry timestamp the phase
+    // timers lap against — seeded with the run start so setup lands in
+    // the first enumerate span and the timers sum to the wall.
+    let mut driver = RoundDriver::with_mark(config, tgds, started);
 
     let mut delta_start: AtomIdx = 0;
     let mut outcome = ChaseOutcome::Terminated;
@@ -323,41 +371,82 @@ pub fn sequential_chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig
         }
         stats.rounds += 1;
 
+        let eager = driver.begin_round(instance.len() as AtomIdx - delta_start, &mut stats);
+
+        // Chain micro-round: every rule body is a single atom and the
+        // round is fused-eligible — enumerate, dedup, and fire in one
+        // pass over the delta window, no trigger batch at all.
+        if driver.chain_round() {
+            let len_before = instance.len();
+            let (considered, any, stop) = fused_chain_round(
+                tgds,
+                config,
+                &mut instance,
+                &mut fired,
+                &mut state,
+                &mut driver.ws,
+                (delta_start, len_before as AtomIdx),
+                &mut stats,
+            );
+            stats.triggers_considered += considered;
+            driver.lap_chain_round(&mut stats);
+            if let Some(stop) = stop {
+                outcome = stop;
+                break;
+            }
+            if !any || instance.len() == len_before {
+                break; // fixpoint: terminated
+            }
+            delta_start = len_before as AtomIdx;
+            continue;
+        }
+
         // Phase 1: enumerate new triggers against the frozen instance.
-        let enumerate_started = Instant::now();
-        batch.clear();
+        // Fused micro-rounds (decided on the delta width) enumerate with
+        // eager dedup — keys go straight into the authoritative fired
+        // sets, one probe per candidate, and the batch comes out
+        // pre-merged.
+        driver.batch.clear();
         let ctx = RoundCtx {
             tgds,
             variant: config.variant,
             delta_start,
         };
         for (rule, _) in tgds.iter() {
-            stats.triggers_considered += enumerate_rule(
-                &instance,
-                ctx,
-                rule,
-                &fired[rule.index()],
-                &mut ws,
-                &mut batch,
-            );
+            stats.triggers_considered += if eager {
+                enumerate_rule_eager(
+                    &instance,
+                    ctx,
+                    rule,
+                    &mut fired[rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                )
+            } else {
+                enumerate_rule(
+                    &instance,
+                    ctx,
+                    rule,
+                    &fired[rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                )
+            };
         }
-        stats.enumerate_secs += enumerate_started.elapsed().as_secs_f64();
-        if batch.is_empty() {
+        driver.lap_enumerate(&mut stats);
+        if driver.batch.is_empty() {
             break; // fixpoint: terminated
         }
 
-        // Phase 2: the apply pipeline — merge, null plan, resolve
-        // (inline here), commit.
+        // Phase 2: apply — the fused micro-round pass for small rounds,
+        // the staged merge → plan → resolve → commit pipeline otherwise.
         let len_before = instance.len();
-        if let Some(stop) = apply_batches(
+        if let Some(stop) = driver.apply(
             tgds,
             config,
             &mut instance,
             &mut fired,
             &mut state,
-            &mut bufs,
-            &mut ws,
-            std::iter::once(&batch),
             &mut stats,
         ) {
             outcome = stop;
@@ -576,21 +665,64 @@ mod tests {
 
     #[test]
     fn phase_accounting_is_consistent() {
-        // resolve + commit partition the apply pipeline: their sum must
-        // track apply_secs (loose bound — timer overhead only).
-        let r = run("r(a, b).\nr(X, Y) -> r(Y, Z).", 5_000);
-        let s = &r.stats;
-        assert!(s.apply_secs > 0.0);
-        assert!(s.resolve_secs > 0.0);
-        assert!(s.commit_secs > 0.0);
+        let text = "r(a, b).\nr(X, Y) -> r(Y, Z).";
+        let p = parse_program(text).unwrap();
+        let budget = ChaseBudget::atoms(5_000);
+        // Pipeline path: resolve + commit partition apply; nothing fused.
+        let pipe = chase(
+            &p.database,
+            &p.tgds,
+            &ChaseConfig {
+                budget,
+                apply_path: ApplyPath::Pipeline,
+                ..Default::default()
+            },
+        );
+        let s = &pipe.stats;
+        assert_eq!(s.fused_rounds, 0);
+        assert!(s.apply_secs > 0.0 && s.resolve_secs > 0.0 && s.commit_secs > 0.0);
         let sum = s.resolve_secs + s.commit_secs;
         assert!(
-            (sum - s.apply_secs).abs() <= 0.25 * s.apply_secs.max(0.01),
+            (sum - s.apply_secs).abs() <= 1e-6 + 0.01 * s.apply_secs,
             "resolve {} + commit {} vs apply {}",
             s.resolve_secs,
             s.commit_secs,
             s.apply_secs
         );
-        assert!(r.stats.phase_summary().contains("commit"));
+        // Fused path: every round fused, the whole apply pass accounted
+        // as commit, no resolve/dedup spans.
+        let fused = chase(
+            &p.database,
+            &p.tgds,
+            &ChaseConfig {
+                budget,
+                apply_path: ApplyPath::Fused,
+                ..Default::default()
+            },
+        );
+        let s = &fused.stats;
+        assert_eq!(s.fused_rounds, s.rounds);
+        assert_eq!(s.resolve_secs, 0.0);
+        assert_eq!(s.dedup_secs, 0.0);
+        assert!(
+            (s.commit_secs - s.apply_secs).abs() <= 1e-6 + 0.01 * s.apply_secs,
+            "fused commit {} vs apply {}",
+            s.commit_secs,
+            s.apply_secs
+        );
+        // The spans are carried boundary-to-boundary, so they cover the
+        // wall (up to the post-loop tail).
+        for s in [&pipe.stats, &fused.stats] {
+            let covered = s.enumerate_secs + s.dedup_secs + s.apply_secs;
+            assert!(
+                covered <= s.wall_secs && covered >= 0.5 * s.wall_secs,
+                "phases {covered} vs wall {}",
+                s.wall_secs
+            );
+        }
+        // This chain workload considers exactly one trigger per round.
+        assert!((fused.stats.avg_triggers_per_round() - 1.0).abs() < 0.01);
+        assert!(fused.stats.phase_summary().contains("fused"));
+        assert!(pipe.stats.phase_summary().contains("commit"));
     }
 }

@@ -89,7 +89,14 @@ impl TermTupleSet {
     /// Inserts a tuple; returns `true` if it was new. Duplicates allocate
     /// nothing; novelties append to the arena.
     pub fn insert(&mut self, tuple: &[Term]) -> bool {
-        let hash = hash_terms(tuple);
+        self.insert_hashed(tuple, hash_terms(tuple))
+    }
+
+    /// [`TermTupleSet::insert`] with a caller-computed [`hash_terms`]
+    /// hash — the chase's fused micro-round hashes a trigger key once
+    /// and reuses it for both the fired-set probe and the null name.
+    pub fn insert_hashed(&mut self, tuple: &[Term], hash: u64) -> bool {
+        debug_assert_eq!(hash, hash_terms(tuple), "caller-computed hash");
         // Grow first so the vacant slot found by the probe stays valid.
         let slots_before = self.table.slot_count();
         self.table.reserve_one(&self.hashes);

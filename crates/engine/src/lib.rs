@@ -33,8 +33,8 @@ pub mod provenance;
 
 pub use baseline::{baseline_semi_oblivious_chase, BaselineResult};
 pub use chase::{
-    chase, semi_oblivious_chase, sequential_chase, ChaseBudget, ChaseConfig, ChaseOutcome,
-    ChaseResult, ChaseStats, ChaseVariant,
+    chase, semi_oblivious_chase, sequential_chase, ApplyPath, ChaseBudget, ChaseConfig,
+    ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant,
 };
 pub use dedup::TermTupleSet;
 pub use forest::Forest;

@@ -49,8 +49,8 @@ pub struct NullStore {
     depths: Vec<u32>,
 }
 
-fn hash_parts(rule: RuleId, var: VarId, frontier_image: &[Term]) -> u64 {
-    let mut h = fold(hash_terms(frontier_image), u64::from(rule.0));
+fn hash_parts_prehashed(image_hash: u64, rule: RuleId, var: VarId) -> u64 {
+    let mut h = fold(image_hash, u64::from(rule.0));
     h = fold(h, u64::from(var.0));
     h ^ (h >> 32)
 }
@@ -89,7 +89,24 @@ impl NullStore {
         frontier_image: &[Term],
         frontier_depth: u32,
     ) -> NullId {
-        let hash = hash_parts(rule, var, frontier_image);
+        self.intern_parts_hashed(rule, var, frontier_image, None, frontier_depth)
+    }
+
+    /// [`NullStore::intern_parts`] with an optionally pre-computed
+    /// [`hash_terms`] hash of the frontier image — the fused micro-round
+    /// hashes a trigger key once for its fired-set probe and reuses it
+    /// here for the null name.
+    pub fn intern_parts_hashed(
+        &mut self,
+        rule: RuleId,
+        var: VarId,
+        frontier_image: &[Term],
+        image_hash: Option<u64>,
+        frontier_depth: u32,
+    ) -> NullId {
+        let image_hash = image_hash.unwrap_or_else(|| hash_terms(frontier_image));
+        debug_assert_eq!(image_hash, hash_terms(frontier_image), "caller-computed");
+        let hash = hash_parts_prehashed(image_hash, rule, var);
         // Grow first so the vacant slot found by the probe stays valid.
         // (Fresh nulls carry hash 0 but are never in the table, so the
         // rehash via `hashes` only ever touches interned ids.)
@@ -192,6 +209,21 @@ impl NullStore {
             var,
             frontier_image: self.image(id.index()).into(),
         })
+    }
+
+    /// The frontier depth of a trigger (the Definition 4.3 input): the
+    /// maximum stored depth over the frontier image under `binding`, 0
+    /// for an empty or all-constant frontier. One definition shared by
+    /// the pipeline's null plan ([`crate::phase::plan_nulls`]) and the
+    /// fused micro-round path ([`crate::phase::apply_fused`]), so the
+    /// two apply paths cannot drift on how depth folds.
+    #[inline]
+    pub fn max_frontier_depth(&self, frontier: &[VarId], binding: &[Term]) -> u32 {
+        frontier
+            .iter()
+            .map(|v| self.term_depth(binding[v.index()]))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Depth of a term: 0 for constants, stored depth for nulls.

@@ -57,9 +57,10 @@ use nuchase_model::{AtomIdx, Instance, TgdSet};
 use crate::chase::{ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats};
 use crate::dedup::TermTupleSet;
 use crate::phase::{
-    apply_batches, commit_batch, enumerate_task, merge_accepted, plan_nulls, resolve_range,
-    round_tasks, ApplyBuffers, ApplyState, ResolvedBatch, RoundCtx, Task, TriggerBatch,
-    WorkerScratch,
+    apply_fused, commit_batch, enumerate_task, enumerate_task_eager, fused_chain_round,
+    fused_round, lap_mark, merge_accepted, plan_nulls, prepare_round_tasks, resolve_range,
+    resolved_apply_path, ApplyBuffers, ApplyState, ResolvedBatch, RoundCtx, RoundDriver, Task,
+    TriggerBatch, WorkerScratch,
 };
 
 /// The worker count `threads: 0` ("auto") resolves to: the machine's
@@ -162,9 +163,11 @@ pub fn chase_parallel(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) 
     };
 
     let outcome = if threads == 1 {
-        drive_single(tgds, config, &mut round, &mut state, &mut stats)
+        drive_single(tgds, config, &mut round, &mut state, &mut stats, started)
     } else {
-        drive_pool(tgds, config, threads, &mut round, &mut state, &mut stats)
+        drive_pool(
+            tgds, config, threads, &mut round, &mut state, &mut stats, started,
+        )
     };
 
     stats.atoms_created = round.instance.len() - database.len();
@@ -180,59 +183,95 @@ pub fn chase_parallel(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) 
     }
 }
 
-/// One worker: task decomposition, batching, merge, and the apply
-/// pipeline identical to the pool path, minus the synchronization — this
-/// is the 1-thread executor the scaling curves are measured against.
+/// One worker: task decomposition, batching, merge, and the apply step
+/// identical to the pool path, minus the synchronization — this is the
+/// 1-thread executor the scaling curves are measured against. Rides the
+/// same [`RoundDriver`] as the sequential engine, so micro-rounds take
+/// the fused path and the task list is prepared incrementally.
 fn drive_single(
     tgds: &TgdSet,
     config: &ChaseConfig,
     round: &mut RoundState,
     state: &mut ApplyState,
     stats: &mut ChaseStats,
+    started: Instant,
 ) -> ChaseOutcome {
-    let mut ws = WorkerScratch::new();
-    let mut batch = TriggerBatch::new();
+    let mut driver = RoundDriver::with_mark(config, tgds, started);
     loop {
         if stats.rounds >= config.budget.max_rounds {
             return ChaseOutcome::RoundLimit;
         }
         stats.rounds += 1;
 
-        let enumerate_started = Instant::now();
         let len = round.instance.len() as AtomIdx;
-        round_tasks(tgds, round.delta_start, len, &mut round.tasks);
-        batch.clear();
+        let eager = driver.begin_round(len - round.delta_start, stats);
+
+        // Chain micro-round: one fused pass, no task list, no batch.
+        if driver.chain_round() {
+            let len_before = round.instance.len();
+            let (considered, any, stop) = fused_chain_round(
+                tgds,
+                config,
+                &mut round.instance,
+                &mut round.fired,
+                state,
+                &mut driver.ws,
+                (round.delta_start, len_before as AtomIdx),
+                stats,
+            );
+            stats.triggers_considered += considered;
+            driver.lap_chain_round(stats);
+            if let Some(stop) = stop {
+                return stop;
+            }
+            if !any || round.instance.len() == len_before {
+                return ChaseOutcome::Terminated;
+            }
+            round.delta_start = len_before as AtomIdx;
+            continue;
+        }
+
+        driver.prepare_tasks(tgds, round.delta_start, len);
+        driver.batch.clear();
         let ctx = RoundCtx {
             tgds,
             variant: config.variant,
             delta_start: round.delta_start,
         };
-        for i in 0..round.tasks.len() {
-            let task = round.tasks[i];
-            stats.triggers_considered += enumerate_task(
-                &round.instance,
-                ctx,
-                task,
-                &round.fired[task.rule.index()],
-                &mut ws,
-                &mut batch,
-            );
+        for i in 0..driver.tasks.len() {
+            let task = driver.tasks[i];
+            stats.triggers_considered += if eager {
+                enumerate_task_eager(
+                    &round.instance,
+                    ctx,
+                    task,
+                    &mut round.fired[task.rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                )
+            } else {
+                enumerate_task(
+                    &round.instance,
+                    ctx,
+                    task,
+                    &round.fired[task.rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                )
+            };
         }
-        stats.enumerate_secs += enumerate_started.elapsed().as_secs_f64();
-        if batch.is_empty() {
+        driver.lap_enumerate(stats);
+        if driver.batch.is_empty() {
             return ChaseOutcome::Terminated;
         }
 
         let len_before = round.instance.len();
-        if let Some(stop) = apply_batches(
+        if let Some(stop) = driver.apply(
             tgds,
             config,
             &mut round.instance,
             &mut round.fired,
             state,
-            &mut round.apply,
-            &mut ws,
-            std::iter::once(&batch),
             stats,
         ) {
             return stop;
@@ -248,6 +287,7 @@ fn drive_single(
 /// coordinator enumerates and resolves too) and runs the
 /// barrier-separated prepare → enumerate → merge/plan → resolve →
 /// commit round loop.
+#[allow(clippy::too_many_arguments)]
 fn drive_pool(
     tgds: &TgdSet,
     config: &ChaseConfig,
@@ -255,6 +295,7 @@ fn drive_pool(
     round: &mut RoundState,
     state: &mut ApplyState,
     stats: &mut ChaseStats,
+    started: Instant,
 ) -> ChaseOutcome {
     let shared = Shared {
         tgds,
@@ -273,7 +314,7 @@ fn drive_pool(
         for _ in 1..threads {
             scope.spawn(|| worker_loop(&shared));
         }
-        coordinate(&shared, config, state, stats)
+        coordinate(&shared, config, state, stats, started)
     });
     *round = shared.round.into_inner().unwrap();
     outcome
@@ -317,11 +358,17 @@ fn coordinate(
     config: &ChaseConfig,
     state: &mut ApplyState,
     stats: &mut ChaseStats,
+    started: Instant,
 ) -> ChaseOutcome {
     let mut ws = WorkerScratch::new();
     let mut merged: Vec<(u32, TriggerBatch, usize)> = Vec::new();
     let mut resolved: Vec<ResolvedBatch> = Vec::new();
     let mut inline_batch = TriggerBatch::new();
+    let apply_path = resolved_apply_path(config);
+    let mut tasks_single = false;
+    // Seeded with the run start, so clone/spawn setup lands in the first
+    // enumerate span instead of vanishing from the accounting.
+    let mut mark = started;
     let mut guard = PanicRelease {
         shared,
         in_phase: false,
@@ -346,6 +393,7 @@ fn coordinate(
         // Prepare the round. Workers are parked at the barrier, so the
         // write guard is uncontended by construction.
         let engage;
+        let delta;
         {
             let mut round = shared.round.write().unwrap();
             if stats.rounds >= config.budget.max_rounds {
@@ -355,15 +403,15 @@ fn coordinate(
             stats.rounds += 1;
             let len = round.instance.len() as AtomIdx;
             let delta_start = round.delta_start;
+            delta = len - delta_start;
             let RoundState { tasks, .. } = &mut *round;
-            round_tasks(shared.tgds, delta_start, len, tasks);
-            engage = len - delta_start >= POOL_DELTA_MIN || tasks.len() >= POOL_TASKS_MIN;
+            prepare_round_tasks(shared.tgds, delta_start, len, tasks, &mut tasks_single);
+            engage = delta >= POOL_DELTA_MIN || tasks.len() >= POOL_TASKS_MIN;
             shared.mode.store(MODE_ENUMERATE, Ordering::Release);
             shared.next_task.store(0, Ordering::Release);
         }
 
         // Enumerate phase.
-        let enumerate_started = Instant::now();
         inline_batch.clear();
         if engage {
             // Everyone (coordinator included) steals tasks until the
@@ -398,22 +446,67 @@ fn coordinate(
             }
             stats.triggers_considered += considered;
         }
-        stats.enumerate_secs += enumerate_started.elapsed().as_secs_f64();
+        stats.enumerate_secs += lap_mark(&mut mark);
 
         let mut any = !inline_batch.is_empty();
+        let mut total_triggers = inline_batch.len();
         for (_, batch, considered) in &merged {
             stats.triggers_considered += considered;
             any |= !batch.is_empty();
+            total_triggers += batch.len();
         }
         if !any {
             return finish(shared, ChaseOutcome::Terminated);
+        }
+
+        // Micro-round fast path: apply the batches in one fused pass on
+        // the coordinator — the same straight-line loop the sequential
+        // engine's tiny rounds take, so a chain-shaped chase on the pool
+        // executor pays neither barrier nor pipeline bookkeeping.
+        // Chaining merged (canonical task order) before the inline batch
+        // preserves canonical trigger order; the fused pass's own fired
+        // inserts resolve cross-task duplicates exactly like the merge.
+        if fused_round(apply_path, delta, total_triggers) {
+            let mut round = shared.round.write().unwrap();
+            let len_before = round.instance.len();
+            let stop = {
+                let RoundState {
+                    instance, fired, ..
+                } = &mut *round;
+                apply_fused(
+                    shared.tgds,
+                    config,
+                    instance,
+                    fired,
+                    state,
+                    &mut ws,
+                    merged
+                        .iter()
+                        .map(|(_, b, _)| b)
+                        .chain(std::iter::once(&inline_batch)),
+                    true,
+                    stats,
+                )
+            };
+            let dt = lap_mark(&mut mark);
+            stats.commit_secs += dt;
+            stats.apply_secs += dt;
+            if let Some(stop) = stop {
+                drop(round);
+                return finish(shared, stop);
+            }
+            if round.instance.len() == len_before {
+                drop(round);
+                return finish(shared, ChaseOutcome::Terminated);
+            }
+            round.delta_start = len_before as AtomIdx;
+            continue;
         }
 
         // Apply pipeline, stage 1 — merge, serial under the write guard
         // (workers are parked). Exactly one of `merged` / `inline_batch`
         // is populated, so chaining them preserves canonical order
         // either way.
-        let merge_started = Instant::now();
         let mut round = shared.round.write().unwrap();
         {
             let RoundState { fired, apply, .. } = &mut *round;
@@ -429,10 +522,7 @@ fn coordinate(
                 &mut apply.accepted,
             );
         }
-        // Shared stage-boundary timestamps, as in `apply_batches`:
-        // `resolve + commit == apply` exactly.
-        let apply_started = Instant::now();
-        stats.dedup_secs += (apply_started - merge_started).as_secs_f64();
+        stats.dedup_secs += lap_mark(&mut mark);
 
         // Stage 2 — the deterministic null id plan, published into the
         // round state for the resolve workers.
@@ -486,8 +576,8 @@ fn coordinate(
             );
         }
         // Stage 4 — the thin serial commit, in canonical range order.
-        let commit_started = Instant::now();
-        stats.resolve_secs += (commit_started - apply_started).as_secs_f64();
+        let resolve_secs = lap_mark(&mut mark);
+        stats.resolve_secs += resolve_secs;
         let len_before = round.instance.len();
         let stop = {
             let RoundState {
@@ -509,9 +599,9 @@ fn coordinate(
                 stats,
             )
         };
-        let commit_ended = Instant::now();
-        stats.commit_secs += (commit_ended - commit_started).as_secs_f64();
-        stats.apply_secs += (commit_ended - apply_started).as_secs_f64();
+        let commit_secs = lap_mark(&mut mark);
+        stats.commit_secs += commit_secs;
+        stats.apply_secs += resolve_secs + commit_secs;
         if let Some(stop) = stop {
             drop(round);
             return finish(shared, stop);

@@ -66,13 +66,13 @@
 use std::ops::ControlFlow;
 use std::time::Instant;
 
-use nuchase_model::hash::hash_atom;
+use nuchase_model::hash::{hash_atom, hash_terms};
 use nuchase_model::plan::{delta_windows, Scratch};
 use nuchase_model::{
     AtomIdx, IndexDelta, Instance, NullId, PredId, ProbeHint, RuleId, Term, Tgd, TgdSet, VarId,
 };
 
-use crate::chase::{ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
+use crate::chase::{ApplyPath, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
 use crate::dedup::TermTupleSet;
 use crate::forest::Forest;
 use crate::nulls::NullStore;
@@ -366,6 +366,91 @@ pub fn enumerate_rule(
     considered
 }
 
+/// The **eager** collection step of a fused micro-round: the candidate
+/// key goes straight into the *authoritative* (mutable) fired set — one
+/// probe instead of the frozen-read + arena-insert + later-merge-insert
+/// of the staged contract. Sound only for a serial enumerator walking
+/// rules/tasks in canonical order (the fused path's precondition), where
+/// "first insert wins" coincides with the merge's canonical-order
+/// outcome; the batch comes out pre-merged.
+fn trigger_collector_eager<'a>(
+    rule: RuleId,
+    keys: &'a [VarId],
+    fired: &'a mut TermTupleSet,
+    key_buf: &'a mut Vec<Term>,
+    batch: &'a mut TriggerBatch,
+    considered: &'a mut usize,
+) -> impl FnMut(&[Option<Term>]) -> ControlFlow<()> + 'a {
+    move |binding| {
+        *considered += 1;
+        key_buf.clear();
+        key_buf.extend(
+            keys.iter()
+                .map(|v| binding[v.index()].expect("body variable bound")),
+        );
+        if fired.insert(key_buf) {
+            batch.push(rule, binding);
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// [`enumerate_rule`] with the eager dedup of a fused micro-round:
+/// filters and *commits* trigger keys against the mutable authoritative
+/// `fired` set in one probe, appending the (pre-merged) survivors to
+/// `batch`. The resulting batch needs no merge stage.
+pub fn enumerate_rule_eager(
+    instance: &Instance,
+    ctx: RoundCtx<'_>,
+    rule: RuleId,
+    fired: &mut TermTupleSet,
+    ws: &mut WorkerScratch,
+    batch: &mut TriggerBatch,
+) -> usize {
+    let tgd = ctx.tgds.get(rule);
+    let keys = key_vars(tgd, ctx.variant);
+    let WorkerScratch {
+        scratch, key_buf, ..
+    } = ws;
+    let mut considered = 0usize;
+    tgd.body_plan().for_each_hom_delta(
+        instance,
+        ctx.delta_start,
+        scratch,
+        trigger_collector_eager(rule, keys, fired, key_buf, batch, &mut considered),
+    );
+    considered
+}
+
+/// [`enumerate_task`] with the eager dedup of a fused micro-round (see
+/// [`enumerate_rule_eager`]); tasks must be drained serially in
+/// canonical order — cross-task duplicates die here instead of at the
+/// merge, on the same first occurrence.
+pub fn enumerate_task_eager(
+    instance: &Instance,
+    ctx: RoundCtx<'_>,
+    task: Task,
+    fired: &mut TermTupleSet,
+    ws: &mut WorkerScratch,
+    batch: &mut TriggerBatch,
+) -> usize {
+    let tgd = ctx.tgds.get(task.rule);
+    let keys = key_vars(tgd, ctx.variant);
+    let WorkerScratch {
+        scratch, key_buf, ..
+    } = ws;
+    let mut considered = 0usize;
+    tgd.body_plan().for_each_hom_pivot(
+        instance,
+        ctx.delta_start,
+        task.pivot as usize,
+        task.window,
+        scratch,
+        trigger_collector_eager(task.rule, keys, fired, key_buf, batch, &mut considered),
+    );
+    considered
+}
+
 /// Stage 1 of the apply pipeline — the authoritative dedup **merge**:
 /// one `insert` into the per-rule fired sets per trigger, in canonical
 /// batch order, flattening the survivors into `accepted` (cleared
@@ -493,12 +578,7 @@ pub fn plan_nulls(
     let mut provisional = plan.base;
     for (rule, binding) in accepted.iter() {
         let tgd = tgds.get(rule);
-        let frontier_depth = tgd
-            .frontier()
-            .iter()
-            .map(|v| nulls.term_depth(binding[v.index()]))
-            .max()
-            .unwrap_or(0);
+        let frontier_depth = nulls.max_frontier_depth(tgd.frontier(), binding);
         match config.variant {
             ChaseVariant::Restricted => {
                 // Fresh nulls are assigned at commit (firing is decided
@@ -1009,74 +1089,742 @@ fn commit_batch_plain(
 /// [`commit_batch`]). Performance-only: the index is identical.
 const EAGER_INDEX_MAX: usize = 64;
 
-/// The whole apply pipeline, inline: merge → plan → resolve → commit on
-/// the calling thread. This is the sequential engine's (and the
-/// single-worker executor's) apply path; the pooled executor runs the
-/// same stages but shards resolve over its workers.
+/// Delta ceiling (in atoms) for a round to take the fused micro-round
+/// path under [`ApplyPath::Auto`]. Chain-shaped chases live their whole
+/// life under it; wide rounds — where the staged pipeline's batched
+/// splices and shardable resolve pay off — stay on the pipeline. Purely
+/// a performance choice: results are byte-identical on both paths.
+pub const FUSED_DELTA_MAX: AtomIdx = 64;
+
+/// Trigger-count ceiling for the fused path under [`ApplyPath::Auto`]
+/// (both bounds must hold — a tiny delta can still fan out into many
+/// triggers, which the pipeline handles better).
+pub const FUSED_TRIGGER_MAX: usize = 32;
+
+/// Resolves the apply-path choice for a run: an explicit
+/// [`ChaseConfig::apply_path`] wins; otherwise the
+/// `NUCHASE_FORCE_PIPELINE` environment variable (`1`/`true` forces the
+/// staged pipeline, `0`/`false` the fused path — the differential-sweep
+/// override); otherwise [`ApplyPath::Auto`]. Called once per run, never
+/// per round (the environment read is not free).
+pub fn resolved_apply_path(config: &ChaseConfig) -> ApplyPath {
+    if config.apply_path != ApplyPath::Auto {
+        return config.apply_path;
+    }
+    match std::env::var("NUCHASE_FORCE_PIPELINE").ok().as_deref() {
+        Some("1") | Some("true") => ApplyPath::Pipeline,
+        Some("0") | Some("false") => ApplyPath::Fused,
+        _ => ApplyPath::Auto,
+    }
+}
+
+/// Does a round with `delta` new atoms and `triggers` enumerated
+/// triggers take the fused path under the resolved choice?
+#[inline]
+pub fn fused_round(path: ApplyPath, delta: AtomIdx, triggers: usize) -> bool {
+    match path {
+        ApplyPath::Pipeline => false,
+        ApplyPath::Fused => true,
+        ApplyPath::Auto => delta <= FUSED_DELTA_MAX && triggers <= FUSED_TRIGGER_MAX,
+    }
+}
+
+/// The *pre-enumeration* fused decision (trigger count not yet known):
+/// serial executors decide on the delta alone so the round can
+/// enumerate with eager dedup ([`enumerate_rule_eager`]); a
+/// fused-eligible round that then fans out past [`FUSED_TRIGGER_MAX`]
+/// triggers falls back to the staged stages minus the (already
+/// performed) merge.
+#[inline]
+pub fn fused_round_delta(path: ApplyPath, delta: AtomIdx) -> bool {
+    match path {
+        ApplyPath::Pipeline => false,
+        ApplyPath::Fused => true,
+        ApplyPath::Auto => delta <= FUSED_DELTA_MAX,
+    }
+}
+
+/// The **fused micro-round** apply path: one straight-line pass per
+/// trigger against the *live* instance — authoritative dedup, activeness,
+/// null invention, head instantiation, hashing, and a hinted insert
+/// ([`Instance::insert_new_terms_hinted`] resuming the dedup probe) —
+/// with none of the staged pipeline's per-round bookkeeping (no accepted
+/// batch copy, no null plan, no resolved-batch arenas, no deferred index
+/// splice). This is what a chain-shaped chase runs ~50 k times per
+/// second, so per-round fixed costs are the whole game here.
 ///
-/// Timing lands in `stats` as: `dedup_secs` (merge), `resolve_secs`
-/// (plan + resolve), `commit_secs` (commit), and `apply_secs` (the whole
-/// pipeline minus merge — so `resolve_secs + commit_secs ≈ apply_secs`).
+/// # Byte-identity with the pipeline
+///
+/// Every observable equals the staged path's, for every variant:
+///
+/// * the per-trigger `fired` insert *is* the merge, applied in the same
+///   canonical batch order;
+/// * semi-oblivious/oblivious nulls are interned in accepted order —
+///   exactly the plan stage's order — and a depth-budget stop lands on
+///   the same trigger with the same store (nothing planned ahead means
+///   nothing to truncate);
+/// * the restricted activeness check against the live instance decides
+///   exactly like the pipeline's snapshot pre-check plus commit re-check:
+///   while nothing has committed this round the live instance *is* the
+///   snapshot, and afterwards the live check is the re-check (instances
+///   only grow, commits run in canonical order). Fresh nulls are drawn
+///   in firing order, as at commit;
+/// * guard/body images for forest/provenance are body atoms, hence
+///   already present at round start; append-only growth keeps their
+///   indexes identical under live lookups;
+/// * the atom-budget check runs after every head atom — snapshot hit or
+///   not — exactly like the commit loop's.
+///
+/// `merge` says whether the batches still need the authoritative dedup:
+/// `true` for pool-enumerated batches (filtered only against the frozen
+/// fired sets and per-task arenas — cross-task duplicates survive into
+/// them), `false` for batches from the eager enumerators
+/// ([`enumerate_rule_eager`]/[`enumerate_task_eager`]), whose keys are
+/// already committed and whose contents are pre-merged.
+///
+/// The forced-path differential sweeps (`tests/properties.rs`) pin this
+/// across variants, thread counts, and budget stops.
 #[allow(clippy::too_many_arguments)]
-pub fn apply_batches<'a>(
+pub fn apply_fused<'a>(
     tgds: &TgdSet,
     config: &ChaseConfig,
     instance: &mut Instance,
     fired: &mut [TermTupleSet],
     state: &mut ApplyState,
-    bufs: &mut ApplyBuffers,
     ws: &mut WorkerScratch,
     batches: impl IntoIterator<Item = &'a TriggerBatch>,
+    merge: bool,
     stats: &mut ChaseStats,
 ) -> Option<ChaseOutcome> {
-    // One timestamp per stage boundary (shared between the span ends):
-    // four clock reads a round instead of seven, and the accounting is
-    // exact by construction — `resolve + commit == apply`, no gaps.
-    let merge_started = Instant::now();
-    merge_accepted(
-        tgds,
-        config.variant,
-        batches,
-        fired,
-        &mut ws.key_buf,
-        &mut bufs.accepted,
-    );
-    let apply_started = Instant::now();
-    stats.dedup_secs += (apply_started - merge_started).as_secs_f64();
-    plan_nulls(
-        tgds,
-        config,
-        &mut state.nulls,
-        &bufs.accepted,
-        &mut ws.key_buf,
-        &mut bufs.plan,
-    );
-    resolve_range(
-        instance,
-        tgds,
-        config,
-        &bufs.accepted,
-        &bufs.plan,
-        (0, bufs.plan.planned() as u32),
-        ws,
-        &mut bufs.resolved,
-    );
-    let commit_started = Instant::now();
-    stats.resolve_secs += (commit_started - apply_started).as_secs_f64();
-    let outcome = commit_batch(
-        tgds,
-        config,
-        instance,
-        state,
-        &bufs.accepted,
-        &bufs.plan,
-        std::slice::from_ref(&bufs.resolved),
-        stats,
-    );
-    let commit_ended = Instant::now();
-    stats.commit_secs += (commit_ended - commit_started).as_secs_f64();
-    stats.apply_secs += (commit_ended - apply_started).as_secs_f64();
-    outcome
+    stats.fused_rounds += 1;
+    for batch in batches {
+        for (rule, binding) in batch.iter() {
+            let tgd = tgds.get(rule);
+            let mut key_hash = None;
+            if merge {
+                // Authoritative dedup — the merge stage, inlined; the
+                // key and its hash double as the null name below (same
+                // variable set for both non-restricted variants).
+                ws.key_buf.clear();
+                ws.key_buf
+                    .extend(key_vars(tgd, config.variant).iter().map(|v| {
+                        let t = binding[v.index()];
+                        debug_assert!(!t.is_var(), "body variable bound");
+                        t
+                    }));
+                let h = hash_terms(&ws.key_buf);
+                if !fired[rule.index()].insert_hashed(&ws.key_buf, h) {
+                    continue;
+                }
+                key_hash = Some(h);
+            }
+            // μ starts as the placeholder-form binding; `fire_trigger`
+            // fills the existential slots.
+            ws.mu.clear();
+            ws.mu.extend_from_slice(binding);
+            if let Some(stop) =
+                fire_trigger(config, instance, state, ws, rule, tgd, key_hash, stats)
+            {
+                return Some(stop);
+            }
+        }
+    }
+    None
+}
+
+/// The per-trigger tail of the fused path — everything past the
+/// authoritative dedup: restricted activeness against the live instance,
+/// the depth budget, null invention into `ws.mu` (which must hold the
+/// trigger's placeholder-form binding), forest/provenance images, head
+/// instantiation, and the hinted dedup-probe + insert per head atom with
+/// the atom-budget check after each. Shared verbatim by [`apply_fused`]
+/// and the chain micro-round ([`fused_chain_round`]), so the two cannot
+/// drift. `key_hash` (when `Some`) says `ws.key_buf` already holds the
+/// trigger-key image with that [`hash_terms`] hash — the image doubles
+/// as the null name key (same variable set for both non-restricted
+/// variants), so both the rebuild and the re-hash are spared. Returns
+/// `Some(outcome)` when a budget stops the run.
+#[allow(clippy::too_many_arguments)]
+fn fire_trigger(
+    config: &ChaseConfig,
+    instance: &mut Instance,
+    state: &mut ApplyState,
+    ws: &mut WorkerScratch,
+    rule: RuleId,
+    tgd: &Tgd,
+    key_hash: Option<u64>,
+    stats: &mut ChaseStats,
+) -> Option<ChaseOutcome> {
+    let restricted = config.variant == ChaseVariant::Restricted;
+    if restricted {
+        // Activeness against the live instance (≡ snapshot pre-check +
+        // commit re-check, see the `apply_fused` docs).
+        frontier_seed(tgd, &ws.mu, &mut ws.seed_buf);
+        if tgd
+            .head_plan()
+            .exists_hom_seeded(instance, &ws.seed_buf, &mut ws.scratch)
+        {
+            return None;
+        }
+    }
+    let frontier_depth = state.nulls.max_frontier_depth(tgd.frontier(), &ws.mu);
+    if let Some(max_d) = config.budget.max_depth {
+        if !tgd.existentials().is_empty() && frontier_depth + 1 > max_d {
+            return Some(ChaseOutcome::DepthLimit);
+        }
+    }
+    if restricted {
+        for &z in tgd.existentials() {
+            ws.mu[z.index()] = Term::Null(state.nulls.fresh(frontier_depth));
+        }
+    } else if !tgd.existentials().is_empty() {
+        // The null name key: the frontier image (semi-oblivious) or
+        // body-variable image (oblivious) — exactly the trigger key,
+        // so a caller that just built and hashed it spares both.
+        let image_hash = match key_hash {
+            Some(h) => h,
+            None => {
+                ws.key_buf.clear();
+                ws.key_buf.extend(
+                    key_vars(tgd, config.variant)
+                        .iter()
+                        .map(|v| ws.mu[v.index()]),
+                );
+                hash_terms(&ws.key_buf)
+            }
+        };
+        for &z in tgd.existentials() {
+            let null = state.nulls.intern_parts_hashed(
+                rule,
+                z,
+                &ws.key_buf,
+                Some(image_hash),
+                frontier_depth,
+            );
+            ws.mu[z.index()] = Term::Null(null);
+        }
+    }
+    stats.triggers_fired += 1;
+
+    let parent = if state.forest.is_some() {
+        tgd.guard().and_then(|g| {
+            instantiate_into(g, &ws.mu, &mut ws.atom_buf);
+            instance.index_of_terms(g.pred, &ws.atom_buf)
+        })
+    } else {
+        None
+    };
+    let derivation: Option<Derivation> = state.provenance.as_ref().map(|_| Derivation {
+        rule,
+        body: tgd
+            .body()
+            .iter()
+            .map(|b| {
+                instantiate_into(b, &ws.mu, &mut ws.atom_buf);
+                instance
+                    .index_of_terms(b.pred, &ws.atom_buf)
+                    .expect("body image is in the instance")
+            })
+            .collect(),
+    });
+
+    let max_atoms = config.budget.max_atoms;
+    for head_atom in tgd.head() {
+        instantiate_into(head_atom, &ws.mu, &mut ws.atom_buf);
+        let hash = hash_atom(head_atom.pred, &ws.atom_buf);
+        // Dedup probe and insert fused into one walk: the hint from the
+        // locate is the insert's resumption point.
+        if let Err(hint) = instance.locate_terms_hashed(head_atom.pred, &ws.atom_buf, hash) {
+            let idx = instance.insert_new_terms_hinted(head_atom.pred, &ws.atom_buf, hash, hint);
+            if let Some(f) = state.forest.as_mut() {
+                f.push_child(idx, parent);
+            }
+            if let Some(pv) = state.provenance.as_mut() {
+                pv.push(idx, derivation.clone());
+            }
+        }
+        if instance.len() >= max_atoms {
+            return Some(ChaseOutcome::AtomLimit);
+        }
+    }
+    None
+}
+
+/// Is every rule body a single atom? The gate for the chain micro-round
+/// ([`fused_chain_round`]): with one body atom per rule, a delta stage
+/// is a single New-window walk — no Old/All-region steps exist whose
+/// candidate lists could observe same-round inserts.
+pub fn single_atom_bodies(tgds: &TgdSet) -> bool {
+    tgds.iter().all(|(_, t)| t.body().len() == 1)
+}
+
+/// The **chain micro-round**: enumerate, dedup, and fire in ONE pass
+/// over the delta window — the fully fused form of a round, applicable
+/// when every rule body is a single atom ([`single_atom_bodies`]) and
+/// the round is on the fused path. No [`TriggerBatch`] is materialized,
+/// no [`crate::phase`] search machinery runs: per rule (id order), the
+/// window `[delta.0, delta.1)` is walked directly, each atom unified
+/// against the rule's one body pattern, surviving keys committed to the
+/// authoritative fired set, and the trigger fired on the spot through
+/// [`fire_trigger`].
+///
+/// # Byte-identity with the staged paths
+///
+/// The window bound is fixed *before* the pass and instances are
+/// append-only, so same-round inserts (indexes `≥ delta.1`) are
+/// invisible to the walk — enumerating the live instance here equals
+/// enumerating the frozen snapshot. The walk visits window atoms in
+/// ascending index order, exactly the order the compiled plan's pivot
+/// stage yields them (its keyed candidate lists are ascending
+/// sub-sequences of the window, and unification filters identically),
+/// and rules run in id order — so triggers fire in canonical order, and
+/// every downstream observable (null ids, atom indexes, provenance,
+/// counters) matches the staged pipeline. Pinned by the forced-path
+/// differential sweeps.
+///
+/// Returns `(homs considered, any trigger accepted, budget stop)`; "no
+/// trigger accepted" is the staged flow's "batch empty" fixpoint signal.
+/// A budget stop mid-walk keeps *enumerating* (counting homs) without
+/// firing — the staged flow finishes the enumerate phase before its
+/// apply stop lands, and `triggers_considered` must match byte for byte
+/// (the skipped triggers' fired keys are unobservable: the run ends).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_chain_round(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    instance: &mut Instance,
+    fired: &mut [TermTupleSet],
+    state: &mut ApplyState,
+    ws: &mut WorkerScratch,
+    delta: (AtomIdx, AtomIdx),
+    stats: &mut ChaseStats,
+) -> (usize, bool, Option<ChaseOutcome>) {
+    stats.fused_rounds += 1;
+    let mut considered = 0usize;
+    let mut any = false;
+    let mut stopped: Option<ChaseOutcome> = None;
+    for (rule, tgd) in tgds.iter() {
+        let pattern = &tgd.body()[0];
+        let keys = key_vars(tgd, config.variant);
+        let var_count = tgd.body_plan().var_count();
+        for idx in delta.0..delta.1 {
+            if instance.pred_of(idx) != pattern.pred {
+                continue;
+            }
+            // Unify the pattern against the window atom into μ
+            // (placeholder form: unbound slots keep their variable).
+            let ok = {
+                let atom = instance.atom(idx);
+                ws.mu.clear();
+                ws.mu.extend((0..var_count).map(|i| Term::Var(VarId(i))));
+                let mut ok = true;
+                for (&pt, &at) in pattern.args.iter().zip(atom.args.iter()) {
+                    match pt {
+                        Term::Var(v) => {
+                            let slot = &mut ws.mu[v.index()];
+                            if slot.is_var() {
+                                *slot = at;
+                            } else if *slot != at {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        ground => {
+                            if ground != at {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                ok
+            };
+            if !ok {
+                continue;
+            }
+            considered += 1;
+            if stopped.is_some() {
+                continue; // enumeration-only past the budget stop
+            }
+            // Eager authoritative dedup, as in the collector; the key
+            // hash feeds the null name probe too.
+            ws.key_buf.clear();
+            ws.key_buf.extend(keys.iter().map(|v| ws.mu[v.index()]));
+            let khash = hash_terms(&ws.key_buf);
+            if !fired[rule.index()].insert_hashed(&ws.key_buf, khash) {
+                continue;
+            }
+            any = true;
+            stopped = fire_trigger(config, instance, state, ws, rule, tgd, Some(khash), stats);
+        }
+    }
+    (considered, any, stopped)
+}
+
+/// Prepares the canonical task list of a round, reusing the previous
+/// round's list when its shape is unchanged. A chain-shaped chase spends
+/// virtually every round in the same shape — `delta_start > 0` and the
+/// whole delta inside one [`TASK_CHUNK`] window — so instead of clearing
+/// and re-pushing the identical `(rule, pivot)` sequence tens of
+/// thousands of times, the windows are patched in place. `was_single` is
+/// the caller-kept shape flag from the previous round (start it `false`).
+/// Produces exactly [`round_tasks`]' output in every case.
+pub fn prepare_round_tasks(
+    tgds: &TgdSet,
+    delta_start: AtomIdx,
+    len: AtomIdx,
+    tasks: &mut Vec<Task>,
+    was_single: &mut bool,
+) {
+    let single = delta_start > 0 && delta_start < len && len - delta_start <= TASK_CHUNK;
+    if single && *was_single {
+        debug_assert_eq!(
+            tasks.len(),
+            tgds.iter()
+                .map(|(_, t)| t.body_plan().pivot_count())
+                .sum::<usize>()
+        );
+        for t in tasks.iter_mut() {
+            t.window = (delta_start, len);
+        }
+        return;
+    }
+    round_tasks(tgds, delta_start, len, tasks);
+    *was_single = single;
+}
+
+/// The persistent per-**run** round driver: every buffer a chase round
+/// reuses — worker scratch, the enumerated trigger batch, the pipeline's
+/// apply buffers, the canonical task list — plus the run's resolved
+/// [`ApplyPath`] and the carry timestamp its phase timers lap against.
+/// Owning all of this across rounds (instead of per round) is what
+/// amortizes the fixed costs that chain-shaped chases, at one or two
+/// triggers a round, are bound by.
+///
+/// # Timing contract
+///
+/// The driver keeps one running boundary timestamp; each phase "lap"
+/// attributes the span since the previous boundary to exactly one stat,
+/// so `enumerate + dedup + apply` sums to the round-loop wall by
+/// construction — there is no instant between the seed mark and the
+/// last lap that belongs to no phase. Fused micro-rounds go further and
+/// take **one** clock read per round (instead of the six the staged
+/// accounting used to take): the round's whole span is measured at
+/// apply-end and *split* between `enumerate` and `commit` by a ratio
+/// re-sampled with two reads every [`TIMER_SAMPLE`]-th fused round. The
+/// sum stays exact; only the enumerate/commit split of fused rounds is
+/// sampled, which is the "round-sampled stats mode" the per-phase
+/// numbers document.
+#[derive(Debug)]
+pub struct RoundDriver {
+    /// Enumerate + serial-stage scratch.
+    pub ws: WorkerScratch,
+    /// The round's enumerated triggers (sequential/inline executors).
+    pub batch: TriggerBatch,
+    /// Pipeline-path buffers (accepted batch, null plan, inline resolve).
+    pub bufs: ApplyBuffers,
+    /// Canonical task list (task-driven executors; see
+    /// [`RoundDriver::prepare_tasks`]).
+    pub tasks: Vec<Task>,
+    /// Resolved once per run from the config and the environment.
+    path: ApplyPath,
+    /// Every rule body is one atom ([`single_atom_bodies`]), so fused
+    /// rounds may run as chain micro-rounds ([`fused_chain_round`]).
+    chain_ok: bool,
+    /// Shape flag for [`prepare_round_tasks`].
+    tasks_single: bool,
+    /// The carry timestamp (see the type docs).
+    mark: Instant,
+    /// Is the current round on the fused path ([`RoundDriver::begin_round`])?
+    round_fused: bool,
+    /// Does the current fused round sample the enumerate/commit split?
+    sample: bool,
+    /// Fused rounds seen (drives the sampling cadence).
+    fused_seen: u32,
+    /// Sampled estimate of the enumerate share of a fused round.
+    enum_share: f64,
+    /// The enumerate lap of the current sampled round.
+    last_enum: f64,
+    /// Chain micro-rounds whose span is still accrued on the carry
+    /// timestamp (their lap is sampled too — see
+    /// [`RoundDriver::lap_chain_round`]).
+    chain_pending: u32,
+}
+
+/// Cadence of full two-read timing samples on the fused path: every
+/// `TIMER_SAMPLE`-th fused round measures the enumerate/commit boundary;
+/// the rounds between inherit the sampled ratio (their *total* time is
+/// still measured exactly).
+const TIMER_SAMPLE: u32 = 64;
+
+/// Chain micro-rounds take one clock read every this many rounds: the
+/// carry timestamp simply accrues across the rounds between (all of
+/// them attribute to the same stat), so the phase *sum* stays exact and
+/// the only cost of the batching is a coarser-grained commit counter.
+const CHAIN_LAP_SAMPLE: u32 = 16;
+
+impl RoundDriver {
+    /// Creates a driver whose first span starts now.
+    pub fn new(config: &ChaseConfig, tgds: &TgdSet) -> Self {
+        Self::with_mark(config, tgds, Instant::now())
+    }
+
+    /// Creates a driver whose first span starts at `mark` — pass the
+    /// run's start instant so setup cost (instance clone, allocation)
+    /// lands in the first enumerate span instead of vanishing from the
+    /// phase accounting.
+    pub fn with_mark(config: &ChaseConfig, tgds: &TgdSet, mark: Instant) -> Self {
+        RoundDriver {
+            ws: WorkerScratch::new(),
+            batch: TriggerBatch::new(),
+            bufs: ApplyBuffers::new(),
+            tasks: Vec::new(),
+            path: resolved_apply_path(config),
+            chain_ok: single_atom_bodies(tgds),
+            tasks_single: false,
+            mark,
+            round_fused: false,
+            sample: true,
+            fused_seen: 0,
+            enum_share: 0.25,
+            last_enum: 0.0,
+            chain_pending: 0,
+        }
+    }
+
+    /// The run's resolved apply path.
+    pub fn path(&self) -> ApplyPath {
+        self.path
+    }
+
+    /// Should the current round (after [`RoundDriver::begin_round`] said
+    /// fused) run as a chain micro-round ([`fused_chain_round`])?
+    pub fn chain_round(&self) -> bool {
+        self.round_fused && self.chain_ok
+    }
+
+    /// Closes a chain micro-round's single span. Enumeration, dedup, and
+    /// apply are one loop there — no boundary exists to measure — so the
+    /// whole span is accounted under `commit` (and `apply`), keeping the
+    /// phase sum exact; `phase_summary` still shows the round as fused.
+    /// The clock itself is read once per [`CHAIN_LAP_SAMPLE`] rounds:
+    /// consecutive chain rounds all attribute to the same stat, so the
+    /// carry timestamp can accrue across them at no accuracy cost (a
+    /// streak's unflushed tail — bounded by the sample window — is the
+    /// only time the wall sees but commit does not).
+    pub fn lap_chain_round(&mut self, stats: &mut ChaseStats) {
+        self.chain_pending += 1;
+        if self.chain_pending < CHAIN_LAP_SAMPLE {
+            return;
+        }
+        self.chain_pending = 0;
+        let dt = self.lap();
+        stats.commit_secs += dt;
+        stats.apply_secs += dt;
+    }
+
+    /// Starts a round, deciding its apply path from the delta width
+    /// (the pre-enumeration decision — see [`fused_round_delta`]).
+    /// Returns whether the round should enumerate with **eager dedup**
+    /// ([`enumerate_rule_eager`]/[`enumerate_task_eager`]) — the fused
+    /// path's contract.
+    pub fn begin_round(&mut self, delta: AtomIdx, stats: &mut ChaseStats) -> bool {
+        self.round_fused = fused_round_delta(self.path, delta);
+        if self.chain_pending > 0 && !(self.round_fused && self.chain_ok) {
+            // Leaving a chain-round streak: flush the accrued spans to
+            // commit before a staged round's laps could absorb them.
+            self.chain_pending = 0;
+            let dt = self.lap();
+            stats.commit_secs += dt;
+            stats.apply_secs += dt;
+        }
+        if self.round_fused {
+            self.sample = self.fused_seen.is_multiple_of(TIMER_SAMPLE);
+            self.fused_seen = self.fused_seen.wrapping_add(1);
+        } else {
+            self.sample = true;
+        }
+        self.round_fused
+    }
+
+    /// Seconds since the last boundary; advances the boundary.
+    fn lap(&mut self) -> f64 {
+        lap_mark(&mut self.mark)
+    }
+
+    /// Closes the enumerate span (covers round prep + enumeration). On
+    /// an unsampled fused round this takes no clock read — the span is
+    /// measured at apply-end and split by the sampled ratio; a round
+    /// that ends here (empty batch, the run's fixpoint) is closed
+    /// exactly regardless.
+    pub fn lap_enumerate(&mut self, stats: &mut ChaseStats) {
+        if self.round_fused && !self.sample && !self.batch.is_empty() {
+            return;
+        }
+        let e = self.lap();
+        stats.enumerate_secs += e;
+        self.last_enum = e;
+    }
+
+    /// Prepares [`RoundDriver::tasks`] for the round (incrementally —
+    /// see [`prepare_round_tasks`]).
+    pub fn prepare_tasks(&mut self, tgds: &TgdSet, delta_start: AtomIdx, len: AtomIdx) {
+        prepare_round_tasks(
+            tgds,
+            delta_start,
+            len,
+            &mut self.tasks,
+            &mut self.tasks_single,
+        );
+    }
+
+    /// The round's apply step over [`RoundDriver::batch`], on the path
+    /// [`RoundDriver::begin_round`] chose — with the span accounting
+    /// described in the type docs. Returns `Some(outcome)` when a budget
+    /// stops the run.
+    ///
+    /// On the fused path the batch is pre-merged (eager enumeration), so
+    /// the straight-line pass skips the merge; a fused-eligible round
+    /// that fanned out past [`FUSED_TRIGGER_MAX`] triggers falls back to
+    /// the staged plan → resolve → commit directly on the batch (the
+    /// merge stage would be an identity copy).
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply(
+        &mut self,
+        tgds: &TgdSet,
+        config: &ChaseConfig,
+        instance: &mut Instance,
+        fired: &mut [TermTupleSet],
+        state: &mut ApplyState,
+        stats: &mut ChaseStats,
+    ) -> Option<ChaseOutcome> {
+        if self.round_fused {
+            // Forced `Fused` means fused regardless of width (the enum's
+            // contract, and what the pool coordinator does); only `Auto`
+            // falls back to the staged stages past the trigger ceiling.
+            let outcome = if self.path == ApplyPath::Fused || self.batch.len() <= FUSED_TRIGGER_MAX
+            {
+                apply_fused(
+                    tgds,
+                    config,
+                    instance,
+                    fired,
+                    state,
+                    &mut self.ws,
+                    std::iter::once(&self.batch),
+                    false,
+                    stats,
+                )
+            } else {
+                self.apply_stages(tgds, config, instance, state, stats, false)
+            };
+            let dt = self.lap();
+            if self.sample {
+                // Refresh the enumerate-share estimate from the two
+                // measured spans of this round (simple EMA).
+                let total = self.last_enum + dt;
+                if total > 0.0 {
+                    let obs = self.last_enum / total;
+                    self.enum_share += (obs - self.enum_share) * 0.25;
+                }
+                stats.commit_secs += dt;
+                stats.apply_secs += dt;
+            } else {
+                // One clock read covered enumerate + apply; split it by
+                // the sampled ratio (the sum stays exact).
+                let e = dt * self.enum_share;
+                stats.enumerate_secs += e;
+                stats.commit_secs += dt - e;
+                stats.apply_secs += dt - e;
+            }
+            return outcome;
+        }
+        merge_accepted(
+            tgds,
+            config.variant,
+            std::iter::once(&self.batch),
+            fired,
+            &mut self.ws.key_buf,
+            &mut self.bufs.accepted,
+        );
+        stats.dedup_secs += self.lap();
+        self.apply_stages(tgds, config, instance, state, stats, true)
+    }
+
+    /// The staged plan → resolve → commit stages over the accepted batch
+    /// — [`RoundDriver::bufs`]`.accepted` when the merge ran (`merged`),
+    /// the raw [`RoundDriver::batch`] when eager enumeration already
+    /// produced a merged batch. Timing laps (resolve/commit spans) are
+    /// taken only in merged mode; the fused fallback's caller accounts
+    /// the whole span instead.
+    fn apply_stages(
+        &mut self,
+        tgds: &TgdSet,
+        config: &ChaseConfig,
+        instance: &mut Instance,
+        state: &mut ApplyState,
+        stats: &mut ChaseStats,
+        merged: bool,
+    ) -> Option<ChaseOutcome> {
+        let ApplyBuffers {
+            accepted,
+            plan,
+            resolved,
+        } = &mut self.bufs;
+        let accepted: &TriggerBatch = if merged { accepted } else { &self.batch };
+        plan_nulls(
+            tgds,
+            config,
+            &mut state.nulls,
+            accepted,
+            &mut self.ws.key_buf,
+            plan,
+        );
+        resolve_range(
+            instance,
+            tgds,
+            config,
+            accepted,
+            plan,
+            (0, plan.planned() as u32),
+            &mut self.ws,
+            resolved,
+        );
+        let resolve = if merged {
+            let r = lap_mark(&mut self.mark);
+            stats.resolve_secs += r;
+            r
+        } else {
+            0.0
+        };
+        let outcome = commit_batch(
+            tgds,
+            config,
+            instance,
+            state,
+            accepted,
+            plan,
+            std::slice::from_ref(resolved),
+            stats,
+        );
+        if merged {
+            let commit = lap_mark(&mut self.mark);
+            stats.commit_secs += commit;
+            stats.apply_secs += resolve + commit;
+        }
+        outcome
+    }
+}
+
+/// Advances a carry timestamp, returning the seconds since the previous
+/// boundary — the timing primitive of the [`RoundDriver`] contract and
+/// of the pool coordinator's equivalent carry scheme.
+#[inline]
+pub(crate) fn lap_mark(mark: &mut Instant) -> f64 {
+    let now = Instant::now();
+    let dt = (now - *mark).as_secs_f64();
+    *mark = now;
+    dt
 }
 
 /// Assembles the restricted-chase activeness seed: frontier variables
@@ -1156,6 +1904,61 @@ mod tests {
         // Empty delta: no tasks.
         round_tasks(&p.tgds, 5, 5, &mut tasks);
         assert!(tasks.is_empty());
+    }
+
+    #[test]
+    fn prepare_round_tasks_matches_rebuild() {
+        let p = nuchase_model::parse_program(
+            "e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X).",
+        )
+        .unwrap();
+        let mut incr = Vec::new();
+        let mut single = false;
+        let mut fresh = Vec::new();
+        // A round sequence crossing every shape transition: first round,
+        // micro rounds (rebuild then in-place window patches), a wide
+        // multi-window round, back to micro, and an empty delta.
+        let wide = 7 + 3 * TASK_CHUNK;
+        for (ds, len) in [
+            (0, 2),
+            (2, 5),
+            (5, 7),
+            (7, 9),
+            (7, wide),
+            (wide, wide + 1),
+            (wide + 1, wide + 3),
+            (wide + 3, wide + 3),
+        ] {
+            prepare_round_tasks(&p.tgds, ds, len, &mut incr, &mut single);
+            round_tasks(&p.tgds, ds, len, &mut fresh);
+            assert_eq!(incr, fresh, "delta [{ds}, {len})");
+        }
+    }
+
+    #[test]
+    fn apply_path_resolution_and_thresholds() {
+        // An explicit config knob wins over the environment.
+        let forced = ChaseConfig {
+            apply_path: ApplyPath::Fused,
+            ..Default::default()
+        };
+        assert_eq!(resolved_apply_path(&forced), ApplyPath::Fused);
+        let forced = ChaseConfig {
+            apply_path: ApplyPath::Pipeline,
+            ..Default::default()
+        };
+        assert_eq!(resolved_apply_path(&forced), ApplyPath::Pipeline);
+        // Auto: both bounds must hold; forced paths ignore them.
+        assert!(fused_round(ApplyPath::Auto, 1, 1));
+        assert!(fused_round(
+            ApplyPath::Auto,
+            FUSED_DELTA_MAX,
+            FUSED_TRIGGER_MAX
+        ));
+        assert!(!fused_round(ApplyPath::Auto, FUSED_DELTA_MAX + 1, 1));
+        assert!(!fused_round(ApplyPath::Auto, 1, FUSED_TRIGGER_MAX + 1));
+        assert!(!fused_round(ApplyPath::Pipeline, 1, 1));
+        assert!(fused_round(ApplyPath::Fused, 1 << 20, 1 << 20));
     }
 
     #[test]

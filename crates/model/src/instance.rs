@@ -484,6 +484,69 @@ impl Instance {
         Some(idx)
     }
 
+    /// Appends an atom the caller has just probed **absent** via
+    /// [`Instance::locate_terms_hashed`] against this very instance
+    /// state, reusing the returned [`ProbeHint`]: while the hint is
+    /// still valid (no rehash since the probe — the recorded capacity
+    /// matches — and this insertion does not grow the table) the probe
+    /// chain is *not* re-walked; the hinted vacant slot is re-verified
+    /// in O(1) and filled directly. A stale hint (an interleaving grow)
+    /// falls back to the full probe. Indexing is eager — this is the
+    /// fused micro-round insert of the chase, where a round's handful
+    /// of atoms is far below any deferred-splice payoff.
+    ///
+    /// Returns the new atom's index. The atom **must** be absent (that
+    /// is what the preceding locate established); inserting a present
+    /// atom through this method would duplicate it.
+    ///
+    /// # Panics
+    /// Debug-asserts groundness, the caller-computed hash, and absence.
+    pub fn insert_new_terms_hinted(
+        &mut self,
+        pred: PredId,
+        args: &[Term],
+        hash: u64,
+        hint: ProbeHint,
+    ) -> AtomIdx {
+        debug_assert!(
+            args.iter().all(|t| t.is_ground()),
+            "instances hold ground atoms only"
+        );
+        debug_assert_eq!(hash, hash_atom(pred, args), "caller-computed hash");
+        debug_assert!(
+            self.find_hashed(pred, args, hash).is_none(),
+            "caller located the atom absent"
+        );
+        let hinted =
+            self.table.slot_count() as u32 == hint.slot_count && !self.table.insert_would_grow();
+        if !hinted {
+            self.table.reserve_one(&self.hashes);
+        }
+        // The atom is absent, so `eq` can be constant false; the hinted
+        // walk re-checks the remembered slot and returns it immediately
+        // while it is still vacant.
+        let probe = if hinted {
+            self.table.probe_at(hint.slot as usize, hash, |_| false)
+        } else {
+            self.table.probe(hash, |_| false)
+        };
+        let vacant = match probe {
+            TagProbe::Vacant(slot) => slot,
+            TagProbe::Found(_) => unreachable!("probe eq is constant false"),
+        };
+        let idx = self.preds.len() as AtomIdx;
+        self.pool.extend_from_slice(args);
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.offsets.push(self.pool.len() as u32);
+        self.preds.push(pred);
+        self.hashes.push(hash);
+        self.table.fill(vacant, hash, idx);
+        index_atom(&mut self.by_pred, idx, pred, args);
+        idx
+    }
+
     fn find_hashed(&self, pred: PredId, args: &[Term], hash: u64) -> Option<AtomIdx> {
         self.table.find(hash, |idx| {
             let a = self.atom(idx);
@@ -639,9 +702,9 @@ impl Instance {
     }
 
     /// The predicates occurring in the instance, deduplicated, in
-    /// ascending id order, without materializing a `Vec` — the hot-path
-    /// accessor ([`Instance::preds`] keeps the allocating form for tests
-    /// and one-shot callers).
+    /// ascending id order, without materializing a `Vec`. This is the
+    /// only non-test accessor: the allocating `preds()` form is gated
+    /// behind `cfg(test)`.
     pub fn preds_iter(&self) -> impl Iterator<Item = PredId> + '_ {
         self.by_pred
             .iter()
@@ -651,22 +714,26 @@ impl Instance {
     }
 
     /// The predicates occurring in the instance, deduplicated, in no
-    /// particular order.
+    /// particular order. Test-only convenience; production callers use
+    /// [`Instance::preds_iter`].
+    #[cfg(test)]
     pub fn preds(&self) -> Vec<PredId> {
         self.preds_iter().collect()
     }
 
     /// `dom(I)` as a streaming iterator: all distinct ground terms in
     /// first-occurrence order. The dedup set is allocated once per call;
-    /// no output `Vec` is built ([`Instance::dom`] keeps the allocating
-    /// form).
+    /// no output `Vec` is built (the allocating `dom()` form is gated
+    /// behind `cfg(test)`).
     pub fn dom_iter(&self) -> impl Iterator<Item = Term> + '_ {
         let mut seen = FxHashSet::default();
         self.pool.iter().copied().filter(move |&t| seen.insert(t))
     }
 
     /// `dom(I)`: the active domain, i.e. all distinct ground terms, in
-    /// first-occurrence order.
+    /// first-occurrence order. Test-only convenience; production callers
+    /// use [`Instance::dom_iter`].
+    #[cfg(test)]
     pub fn dom(&self) -> Vec<Term> {
         self.dom_iter().collect()
     }
@@ -1076,6 +1143,48 @@ mod tests {
         );
         assert_eq!(deferred.arity_of(PredId(1)), 1);
         assert!(deferred.indexed_eq(&eager));
+    }
+
+    #[test]
+    fn insert_new_terms_hinted_matches_plain_insert() {
+        use crate::hash::hash_atom;
+        // Fresh hints: locate → hinted insert must reproduce plain
+        // inserts exactly, across enough atoms to cross table growth.
+        let mut hinted = Instance::new();
+        let mut plain = Instance::new();
+        for i in 0..300u32 {
+            let args = [c(i), c(i + 1)];
+            let h = hash_atom(PredId(0), &args);
+            let hint = hinted
+                .locate_terms_hashed(PredId(0), &args, h)
+                .expect_err("atom is new");
+            let idx = hinted.insert_new_terms_hinted(PredId(0), &args, h, hint);
+            assert_eq!(Some(idx), plain.insert_terms(PredId(0), &args));
+        }
+        assert!(hinted.indexed_eq(&plain));
+        for i in 0..300u32 {
+            assert_eq!(
+                hinted.atoms_with_pred_term_at(PredId(0), 0, c(i)),
+                plain.atoms_with_pred_term_at(PredId(0), 0, c(i)),
+                "postings for {i}"
+            );
+            assert_eq!(hinted.index_of(&atom(0, vec![c(i), c(i + 1)])), Some(i));
+        }
+        // A stale hint — the table rehashed after the locate — falls
+        // back to the full probe and still lands the atom correctly.
+        let mut inst = Instance::new();
+        let args = [c(9_999), c(0)];
+        let h = hash_atom(PredId(1), &args);
+        let stale = inst
+            .locate_terms_hashed(PredId(1), &args, h)
+            .expect_err("atom is new");
+        for i in 0..100u32 {
+            inst.insert(atom(0, vec![c(i)]));
+        }
+        let idx = inst.insert_new_terms_hinted(PredId(1), &args, h, stale);
+        assert_eq!(idx, 100);
+        assert_eq!(inst.index_of_terms(PredId(1), &args), Some(100));
+        assert_eq!(inst.atoms_with_pred(PredId(1)), &[100]);
     }
 
     #[test]

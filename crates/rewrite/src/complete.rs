@@ -373,7 +373,7 @@ mod tests {
         if !r.terminated() {
             return None;
         }
-        let dom = db.dom();
+        let dom: Vec<Term> = db.dom_iter().collect();
         Some(
             r.instance
                 .iter()

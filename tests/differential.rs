@@ -208,7 +208,7 @@ fn completion_vs_terminating_chase() {
             continue;
         }
         let complete = nuchase_rewrite::complete(&p.database, &p.tgds, &mut p.symbols).unwrap();
-        let dom = p.database.dom();
+        let dom: Vec<nuchase_model::Term> = p.database.dom_iter().collect();
         let reference: nuchase_model::Instance = r
             .instance
             .iter()

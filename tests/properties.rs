@@ -114,6 +114,73 @@ fn parallel_chase_matches_sequential_byte_for_byte() {
     }
 }
 
+/// The fused micro-round apply path and the staged pipeline are
+/// byte-identical — same atoms at the same indexes, same null names and
+/// depths, same provenance, forest, and counters — forced on/off across
+/// every chase variant and class, at thread counts 0 (sequential engine),
+/// 1 (single-worker executor), and 2 (pool executor, whose inline rounds
+/// ride the fused path too). `Auto` must equal both.
+#[test]
+fn fused_and_pipeline_apply_paths_are_byte_identical() {
+    use nuchase_engine::ApplyPath;
+    let variants = [
+        ChaseVariant::SemiOblivious,
+        ChaseVariant::Oblivious,
+        ChaseVariant::Restricted,
+    ];
+    for class in CLASSES {
+        for seed in 0..5u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            for variant in variants {
+                for threads in [0usize, 1, 2] {
+                    let cfg = ChaseConfig {
+                        variant,
+                        threads,
+                        budget: ChaseBudget::atoms(4_000),
+                        record_provenance: true,
+                        build_forest: true,
+                        apply_path: ApplyPath::Pipeline,
+                    };
+                    let label = format!("{class:?} seed {seed} {variant:?} threads {threads}");
+                    let pipeline = chase(&p.database, &p.tgds, &cfg);
+                    let fused = chase(
+                        &p.database,
+                        &p.tgds,
+                        &ChaseConfig {
+                            apply_path: ApplyPath::Fused,
+                            ..cfg
+                        },
+                    );
+                    assert_byte_identical(&pipeline, &fused, &format!("{label} fused"));
+                    let auto = chase(
+                        &p.database,
+                        &p.tgds,
+                        &ChaseConfig {
+                            apply_path: ApplyPath::Auto,
+                            ..cfg
+                        },
+                    );
+                    assert_byte_identical(&pipeline, &auto, &format!("{label} auto"));
+                    // The guarded chase forest too (assert_byte_identical
+                    // covers provenance but not parents).
+                    let (fa, fb) = (
+                        pipeline.forest.as_ref().expect("forest recorded"),
+                        fused.forest.as_ref().expect("forest recorded"),
+                    );
+                    assert_eq!(fa.len(), fb.len(), "{label}: forest length");
+                    for i in 0..fa.len() as u32 {
+                        assert_eq!(fa.parent(i), fb.parent(i), "{label}: parent of {i}");
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// chase(D, Σ) is a *set*: permuting the database insertion order changes
 /// nothing about the result (atom count, null count, depth).
 #[test]

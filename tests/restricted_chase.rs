@@ -179,6 +179,81 @@ fn same_round_commit_satisfies_later_trigger_at_any_thread_count() {
     }
 }
 
+/// A restricted chase that **straddles the fused-path threshold**: the
+/// first round enumerates more triggers than `FUSED_TRIGGER_MAX` (under
+/// `Auto` it takes the staged pipeline), with half the heads already
+/// satisfied so activeness drops land on both sides of the boundary;
+/// the `t`-chain then runs ~hundreds of 1-trigger micro-rounds (under
+/// `Auto`, the fused path). Forcing either path — at threads 0/1/2 —
+/// must reproduce the run byte for byte: same atoms at the same indexes,
+/// same dense fresh-null numbering, same drop decisions.
+#[test]
+fn restricted_activeness_straddles_the_fused_threshold() {
+    use nuchase_engine::phase::FUSED_TRIGGER_MAX;
+    use nuchase_engine::ApplyPath;
+    let wide = 2 * FUSED_TRIGGER_MAX;
+    let mut text = String::new();
+    for i in 0..wide {
+        text.push_str(&format!("r(a{i}, b{i}).\n"));
+        if i % 2 == 0 {
+            // Pre-satisfy every even trigger's head s(a_i, ·).
+            text.push_str(&format!("s(a{i}, x{i}).\n"));
+        }
+    }
+    text.push_str("t(c0, c1).\n");
+    text.push_str("r(X, Y) -> s(X, Z).\n");
+    text.push_str("t(X, Y) -> t(Y, Z).\n");
+    let p = parse_program(&text).unwrap();
+    let mut results = Vec::new();
+    for threads in [0usize, 1, 2] {
+        for apply_path in [ApplyPath::Auto, ApplyPath::Pipeline, ApplyPath::Fused] {
+            let re = chase(
+                &p.database,
+                &p.tgds,
+                &ChaseConfig {
+                    variant: ChaseVariant::Restricted,
+                    budget: ChaseBudget::atoms(p.database.len() + wide / 2 + 300),
+                    threads,
+                    apply_path,
+                    record_provenance: true,
+                    ..Default::default()
+                },
+            );
+            // The t-chain diverges; the run ends on the atom budget.
+            assert!(!re.terminated(), "{threads} threads {apply_path:?}");
+            results.push((threads, apply_path, re));
+        }
+    }
+    let (_, _, reference) = &results[0];
+    // Odd r-triggers fire (wide/2), even ones drop; the rest of the
+    // budget is the t-chain, one firing and one null per round.
+    assert!(reference.stats.triggers_fired > wide / 2);
+    assert!(reference.stats.rounds > 100, "chain tail ran micro-rounds");
+    for (threads, apply_path, re) in &results[1..] {
+        let label = format!("{threads} threads {apply_path:?}");
+        assert!(
+            reference.instance.indexed_eq(&re.instance),
+            "{label}: instance"
+        );
+        assert_eq!(reference.stats.rounds, re.stats.rounds, "{label}: rounds");
+        assert_eq!(
+            reference.stats.triggers_fired, re.stats.triggers_fired,
+            "{label}: fired"
+        );
+        assert_eq!(
+            reference.stats.nulls_created, re.stats.nulls_created,
+            "{label}: nulls"
+        );
+        for idx in 0..reference.instance.len() as u32 {
+            assert_eq!(
+                reference.provenance.as_ref().unwrap().derivation(idx),
+                re.provenance.as_ref().unwrap().derivation(idx),
+                "{label}: provenance {idx}"
+            );
+        }
+    }
+}
+
 /// The dual direction of the race: a head satisfied *at the snapshot*
 /// is dropped definitively in stage 1 (instances only grow), and the
 /// dropped trigger's provisional null must not shift the ids of later
