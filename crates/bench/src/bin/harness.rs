@@ -10,6 +10,8 @@
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-chase-quick [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-parallel [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-parallel-quick [out.json]
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-prepared [out.json]
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-prepared-quick [out.json]
 //! ```
 
 use std::time::Instant;
@@ -65,6 +67,27 @@ fn main() {
         let rows = nuchase_bench::perf::run_parallel_bench(if quick { 1 } else { 3 }, quick);
         print!("{}", nuchase_bench::perf::parallel_bench_table(&rows));
         let json = nuchase_bench::perf::parallel_bench_json(&rows);
+        std::fs::write(out_path, json).expect("write bench json");
+        println!("\nwrote {out_path}");
+        return;
+    }
+
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a == "--bench-prepared" || a == "--bench-prepared-quick")
+    {
+        let quick = args[pos] == "--bench-prepared-quick";
+        let out_path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_prepared.json");
+        println!(
+            "prepared-program harness: N small tenant databases x one compiled Sigma\n\
+             (cold = compile+engine per chase, prepared = program reuse, warm = program+engine reuse)\n"
+        );
+        let rows = nuchase_bench::perf::run_prepared_bench(if quick { 1 } else { 5 }, quick);
+        print!("{}", nuchase_bench::perf::prepared_bench_table(&rows));
+        let json = nuchase_bench::perf::prepared_bench_json(&rows);
         std::fs::write(out_path, json).expect("write bench json");
         println!("\nwrote {out_path}");
         return;

@@ -6,7 +6,7 @@
 //!   ([`nuchase_engine::baseline`]): per-pivot pattern clones, trail
 //!   `Vec` per unification, `Box<[Term]>` dedup key per trigger
 //!   considered, `Atom`-keyed hash maps;
-//! * **optimized**: the compiled-plan engine ([`nuchase_engine::chase`]):
+//! * **optimized**: the compiled-plan engine ([`nuchase_engine::chase()`]):
 //!   precompiled `MatchPlan`s, shared `Scratch`, in-place trigger dedup,
 //!   arena instances —
 //!
@@ -18,12 +18,13 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use nuchase_engine::{
     baseline_semi_oblivious_chase, chase, semi_oblivious_chase, ApplyPath, ChaseBudget,
-    ChaseConfig, ChaseStats,
+    ChaseConfig, ChaseStats, Engine, PreparedProgram,
 };
-use nuchase_model::{Atom, Instance, SymbolTable, Term, TgdSet};
+use nuchase_model::{parse_database, Atom, Instance, SymbolTable, Term, Tgd, TgdSet};
 
 /// Throughput numbers for one engine on one workload.
 #[derive(Debug, Clone)]
@@ -665,6 +666,261 @@ pub fn chase_bench_table(rows: &[ChaseBenchRow]) -> String {
     out
 }
 
+/// One serving-shaped workload for the prepared-program benchmark: a
+/// fixed ontology Σ and many small, disjoint tenant databases — the
+/// "millions of small requests against one program" regime the
+/// [`PreparedProgram`]/[`Engine`] API exists for.
+struct PreparedWorkload {
+    name: &'static str,
+    /// The uncompiled rule template (body, head) — what the cold mode
+    /// recompiles per chase, as a per-request service would.
+    rules: Vec<(Vec<Atom>, Vec<Atom>)>,
+    tgds: TgdSet,
+    databases: Vec<Instance>,
+}
+
+fn rule_template(tgds: &TgdSet) -> Vec<(Vec<Atom>, Vec<Atom>)> {
+    tgds.iter()
+        .map(|(_, t)| (t.body().to_vec(), t.head().to_vec()))
+        .collect()
+}
+
+/// Builds the two workloads: the OBDA ontology (9 rules, SL) and the
+/// data-exchange mapping (5 rules, weakly acyclic), each over `tenants`
+/// disjoint databases of roughly `facts` seed facts.
+fn prepared_workloads(tenants: usize, facts: usize) -> Vec<PreparedWorkload> {
+    let mut out = Vec::new();
+    {
+        let mut symbols = SymbolTable::new();
+        let tgds = nuchase_gen::scenarios::obda_ontology(&mut symbols);
+        let mut databases = Vec::new();
+        for t in 0..tenants {
+            let mut text = String::new();
+            let depts = facts / 4 + 1;
+            for i in 0..facts {
+                text.push_str(&format!("employee(t{t}e{i}).\n"));
+                text.push_str(&format!("worksfor(t{t}e{i}, t{t}d{}).\n", i % depts));
+                if i % 3 == 0 {
+                    text.push_str(&format!("assignedto(t{t}e{i}, t{t}p{}).\n", i % 2));
+                }
+            }
+            databases.push(parse_database(&text, &mut symbols).expect("tenant db"));
+        }
+        out.push(PreparedWorkload {
+            name: "obda_tenants",
+            rules: rule_template(&tgds),
+            tgds,
+            databases,
+        });
+    }
+    {
+        let mut symbols = SymbolTable::new();
+        let tgds = nuchase_gen::scenarios::exchange_mapping(&mut symbols);
+        let mut databases = Vec::new();
+        for t in 0..tenants {
+            let mut text = String::new();
+            for i in 0..facts {
+                text.push_str(&format!("s_emp(t{t}n{i}, t{t}d{}).\n", i % (facts / 3 + 1)));
+                if i % 2 == 0 {
+                    text.push_str(&format!("s_proj(t{t}n{i}, t{t}p{}).\n", i % 3));
+                }
+            }
+            databases.push(parse_database(&text, &mut symbols).expect("tenant source"));
+        }
+        out.push(PreparedWorkload {
+            name: "exchange_tenants",
+            rules: rule_template(&tgds),
+            tgds,
+            databases,
+        });
+    }
+    out
+}
+
+/// Timing of one reuse mode over the whole tenant sweep.
+#[derive(Debug, Clone)]
+pub struct ModeNumbers {
+    /// Best-of-N wall time for chasing every tenant database, seconds.
+    pub total_secs: f64,
+    /// Derived: microseconds per chase.
+    pub per_chase_us: f64,
+}
+
+/// One workload's cold/prepared/warm comparison.
+#[derive(Debug, Clone)]
+pub struct PreparedBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Number of tenant databases chased per mode.
+    pub databases: usize,
+    /// Total atoms across all tenant chases (identical in every mode —
+    /// asserted).
+    pub chase_atoms: usize,
+    /// Compile Σ + build an engine per chase — the no-reuse baseline a
+    /// naive per-request service pays.
+    pub cold: ModeNumbers,
+    /// One [`PreparedProgram`], but a fresh [`Engine`] (fresh buffers,
+    /// fresh pool) per chase — program reuse only.
+    pub prepared: ModeNumbers,
+    /// One prepared program AND one engine across all chases — program,
+    /// buffer, and pool reuse; the serving configuration.
+    pub warm: ModeNumbers,
+    /// `cold.total_secs / warm.total_secs` — the headline amortization.
+    pub amortization: f64,
+    /// `cold.total_secs / prepared.total_secs` — program reuse alone.
+    pub program_gain: f64,
+}
+
+fn run_mode(
+    runs: usize,
+    dbs: &[Instance],
+    mut chase_one: impl FnMut(&Instance) -> usize,
+) -> (ModeNumbers, usize) {
+    let mut best = f64::INFINITY;
+    let mut atoms = 0usize;
+    for _ in 0..runs {
+        let t = Instant::now();
+        atoms = dbs.iter().map(&mut chase_one).sum();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (
+        ModeNumbers {
+            total_secs: best,
+            per_chase_us: best * 1e6 / dbs.len().max(1) as f64,
+        },
+        atoms,
+    )
+}
+
+/// Runs the many-small-chases benchmark: N tenant databases × one Σ,
+/// measuring per-chase wall with and without program/engine reuse
+/// (best of `runs` sweeps per mode). `quick` shrinks the tenant count
+/// ~8× for the CI smoke. Every mode must produce identical chases
+/// (asserted on the summed atom counts); the full (non-quick) run also
+/// asserts the ≥1.3× amortization bar the prepared API exists for.
+pub fn run_prepared_bench(runs: usize, quick: bool) -> Vec<PreparedBenchRow> {
+    let tenants = if quick { 64 } else { 512 };
+    let facts = 6;
+    let config = ChaseConfig::default();
+    let mut rows = Vec::new();
+    for w in prepared_workloads(tenants, facts) {
+        let (cold, cold_atoms) = run_mode(runs, &w.databases, |db| {
+            let tgds = TgdSet::new(
+                w.rules
+                    .iter()
+                    .map(|(b, h)| Tgd::new(b.clone(), h.clone()).expect("template rule"))
+                    .collect(),
+            );
+            let program = PreparedProgram::compile(tgds);
+            let engine = Engine::from_config(&config);
+            engine.chase(&program, db).instance.len()
+        });
+        let shared_program = PreparedProgram::compile(w.tgds.clone());
+        let (prepared, prepared_atoms) = run_mode(runs, &w.databases, |db| {
+            let engine = Engine::from_config(&config);
+            engine.chase(&shared_program, db).instance.len()
+        });
+        let shared_engine = Engine::from_config(&config);
+        let (warm, warm_atoms) = run_mode(runs, &w.databases, |db| {
+            shared_engine.chase(&shared_program, db).instance.len()
+        });
+        assert_eq!(cold_atoms, warm_atoms, "{}: modes disagree", w.name);
+        assert_eq!(prepared_atoms, warm_atoms, "{}: modes disagree", w.name);
+        let amortization = cold.total_secs / warm.total_secs.max(1e-12);
+        let program_gain = cold.total_secs / prepared.total_secs.max(1e-12);
+        if !quick {
+            assert!(
+                amortization >= 1.3,
+                "{}: program+engine reuse amortization {amortization:.2}x is below the 1.3x bar",
+                w.name
+            );
+        }
+        rows.push(PreparedBenchRow {
+            name: w.name,
+            databases: tenants,
+            chase_atoms: warm_atoms,
+            cold,
+            prepared,
+            warm,
+            amortization,
+            program_gain,
+        });
+    }
+    rows
+}
+
+fn mode_json(n: &ModeNumbers) -> String {
+    format!(
+        "{{\"total_secs\": {:.6}, \"per_chase_us\": {:.2}}}",
+        n.total_secs, n.per_chase_us
+    )
+}
+
+/// Renders the rows as the `BENCH_prepared.json` document.
+pub fn prepared_bench_json(rows: &[PreparedBenchRow]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo run --release -p nuchase-bench --bin harness -- --bench-prepared\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"cold\": \"compile Sigma + build engine per chase (per-request baseline)\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"prepared\": \"one PreparedProgram, fresh Engine per chase (program reuse only)\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"warm\": \"one PreparedProgram + one Engine across all chases (serving configuration)\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        nuchase_engine::auto_threads()
+    );
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", row.name);
+        let _ = writeln!(out, "      \"databases\": {},", row.databases);
+        let _ = writeln!(out, "      \"chase_atoms\": {},", row.chase_atoms);
+        let _ = writeln!(out, "      \"cold\": {},", mode_json(&row.cold));
+        let _ = writeln!(out, "      \"prepared\": {},", mode_json(&row.prepared));
+        let _ = writeln!(out, "      \"warm\": {},", mode_json(&row.warm));
+        let _ = writeln!(out, "      \"amortization\": {:.2},", row.amortization);
+        let _ = writeln!(out, "      \"program_gain\": {:.2}", row.program_gain);
+        let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders a human-readable table of the prepared-bench rows.
+pub fn prepared_bench_table(rows: &[PreparedBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "workload", "dbs", "cold/chase", "prep/chase", "warm/chase", "prep×", "amort×"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>9.1} µs {:>9.1} µs {:>9.1} µs {:>8.2}× {:>8.2}×",
+            r.name,
+            r.databases,
+            r.cold.per_chase_us,
+            r.prepared.per_chase_us,
+            r.warm.per_chase_us,
+            r.program_gain,
+            r.amortization
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,6 +984,22 @@ mod tests {
         assert!(json.contains("\"fused_speedup\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(chase_bench_table(&rows).contains("demo"));
+    }
+
+    #[test]
+    fn prepared_bench_quick_runs_and_renders() {
+        let rows = run_prepared_bench(1, true);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.chase_atoms > 0);
+            assert!(r.cold.total_secs > 0.0 && r.warm.total_secs > 0.0);
+            assert!(r.warm.per_chase_us > 0.0);
+        }
+        let json = prepared_bench_json(&rows);
+        assert!(json.contains("\"amortization\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(prepared_bench_table(&rows).contains("obda_tenants"));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 
 use nuchase::bounds::{chase_size_bound, depth_bound, f_class};
 use nuchase::ucq::UcqDecider;
-use nuchase_engine::{chase, ChaseBudget, ChaseConfig, ChaseVariant};
+use nuchase_engine::{ChaseBudget, ChaseVariant, Engine, PreparedProgram};
 use nuchase_model::{DisplayWith, Program, TgdClass};
 
 /// Errors surfaced to the CLI user.
@@ -78,17 +78,21 @@ pub fn cmd_run(
     print_atoms: bool,
     threads: usize,
 ) -> Result<String, CliError> {
-    let result = chase(
-        &program.database,
-        &program.tgds,
-        &ChaseConfig {
-            variant: ChaseVariant::SemiOblivious,
-            budget: ChaseBudget::atoms(max_atoms),
-            threads,
-            ..Default::default()
-        },
-    );
+    // The prepared-program flow: compile Σ once, build the engine, run a
+    // session. A long-lived server would keep `prepared` and `engine`
+    // across requests; one CLI invocation pays the compile exactly once
+    // either way.
+    let prepared = PreparedProgram::compile(program.tgds.clone());
+    let engine = Engine::builder()
+        .variant(ChaseVariant::SemiOblivious)
+        .budget(ChaseBudget::atoms(max_atoms))
+        .threads(threads)
+        .build();
+    let mut session = engine.session(&prepared, &program.database);
+    session.run();
     let mut out = String::new();
+    let _ = writeln!(out, "program: {}", prepared.summary());
+    let result = session.finish();
     let _ = writeln!(
         out,
         "outcome: {}",
@@ -282,14 +286,11 @@ pub fn cmd_query(
     let mut out = String::new();
     match nuchase::decide(&program.database, &program.tgds, &mut program.symbols) {
         Ok(true) | Err(_) => {
-            let result = chase(
-                &program.database,
-                &program.tgds,
-                &ChaseConfig {
-                    budget: ChaseBudget::atoms(max_atoms),
-                    ..Default::default()
-                },
-            );
+            let prepared = PreparedProgram::compile(program.tgds.clone());
+            let result = Engine::builder()
+                .budget(ChaseBudget::atoms(max_atoms))
+                .build()
+                .chase(&prepared, &program.database);
             if !result.terminated() {
                 let _ = writeln!(out, "chase did not terminate within {max_atoms} atoms");
                 return Ok(out);
@@ -345,6 +346,7 @@ mod tests {
         let out = cmd_run(&p, 1000, true, 0).unwrap();
         assert!(out.contains("terminated"));
         assert!(out.contains("s(a, _:n0)"));
+        assert!(out.contains("program: 1 rules"), "{out}");
         assert!(out.contains("engine: sequential"), "{out}");
         assert!(out.contains("enumerate"), "{out}");
     }

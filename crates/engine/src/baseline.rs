@@ -16,7 +16,7 @@
 //!    counts) on random programs.
 //!
 //! Nothing here is wired into production paths; keep the hot loop in
-//! [`crate::chase`].
+//! [`crate::chase`](crate::chase()).
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};

@@ -30,7 +30,7 @@
 //!   [`Scratch`], so the join performs no per-candidate allocations;
 //! * trigger dedup hashes the frontier image (semi-oblivious) or the
 //!   body-variable image (oblivious/restricted) *in place* against a
-//!   per-rule [`TermTupleSet`] — duplicate triggers, the overwhelming
+//!   per-rule [`TermTupleSet`](crate::dedup::TermTupleSet) — duplicate triggers, the overwhelming
 //!   majority in late rounds, allocate nothing;
 //! * pending trigger bindings live in one flat term arena per round;
 //! * head atoms are instantiated into a reused buffer and inserted via
@@ -41,15 +41,12 @@ use std::ops::ControlFlow;
 use std::time::Instant;
 
 use nuchase_model::plan::Scratch;
-use nuchase_model::{AtomIdx, Instance, Term, TgdSet, VarId};
+use nuchase_model::{Instance, Term, TgdSet, VarId};
 
-use crate::dedup::TermTupleSet;
 use crate::forest::Forest;
 use crate::nulls::NullStore;
-use crate::phase::{
-    enumerate_rule, enumerate_rule_eager, fused_chain_round, ApplyState, RoundCtx, RoundDriver,
-};
 use crate::provenance::Provenance;
+use crate::session::{Engine, PreparedProgram};
 
 /// Which chase variant to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -163,6 +160,17 @@ pub enum ChaseOutcome {
     RoundLimit,
     /// A null deeper than the depth budget was created.
     DepthLimit,
+    /// A session run paused at a round boundary on a soft limit
+    /// ([`crate::session::RunLimits`]); resuming continues
+    /// byte-identically.
+    Paused,
+    /// A session run was cancelled between rounds via its cancellation
+    /// handle ([`crate::session::ChaseSession::cancel_handle`]).
+    Cancelled,
+    /// A session run hit its deadline at a round boundary
+    /// ([`crate::session::ChaseSession::set_deadline`] or
+    /// [`crate::session::RunLimits::deadline`]).
+    Deadline,
 }
 
 /// Aggregate statistics of a chase run.
@@ -210,6 +218,24 @@ pub struct ChaseStats {
 }
 
 impl ChaseStats {
+    /// Accumulates another run's statistics into this one (every counter
+    /// and phase timer summed) — how a [`crate::session::ChaseSession`]
+    /// folds per-run stats into its lifetime totals.
+    pub fn absorb(&mut self, run: &ChaseStats) {
+        self.rounds += run.rounds;
+        self.triggers_considered += run.triggers_considered;
+        self.triggers_fired += run.triggers_fired;
+        self.atoms_created += run.atoms_created;
+        self.nulls_created += run.nulls_created;
+        self.wall_secs += run.wall_secs;
+        self.enumerate_secs += run.enumerate_secs;
+        self.dedup_secs += run.dedup_secs;
+        self.apply_secs += run.apply_secs;
+        self.resolve_secs += run.resolve_secs;
+        self.commit_secs += run.commit_secs;
+        self.fused_rounds += run.fused_rounds;
+    }
+
     /// Derived throughput: atoms created per second of wall time.
     pub fn atoms_per_sec(&self) -> f64 {
         self.atoms_created as f64 / self.wall_secs.max(1e-12)
@@ -331,6 +357,12 @@ impl ChaseResult {
 /// reference engine ([`sequential_chase`]), `n ≥ 1` the parallel
 /// executor ([`crate::parallel::chase_parallel`]). Both produce
 /// byte-identical results.
+///
+/// This and its siblings are documented, delegating shims over the
+/// prepared-program engine ([`crate::session`]): each call compiles
+/// `tgds` into a transient [`PreparedProgram`] and runs a one-shot
+/// [`Engine`]. Callers chasing many databases against one Σ should
+/// prepare once and reuse an engine — see the session module docs.
 pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseResult {
     if config.threads >= 1 {
         crate::parallel::chase_parallel(database, tgds, config)
@@ -342,134 +374,21 @@ pub fn chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseR
 /// The sequential reference engine: one thread, rule-at-a-time
 /// enumeration through the [`crate::phase`] split. Ignores
 /// [`ChaseConfig::threads`].
+///
+/// A documented, delegating shim: the round loop itself lives in the
+/// session engine ([`crate::session`]) — this compiles `tgds` into a
+/// transient [`PreparedProgram`] and runs a one-shot [`Engine`] chase,
+/// byte-identical to the pre-session sequential engine (pinned by the
+/// differential suites). Long-lived callers should prepare the program
+/// once and reuse an engine instead of paying the per-call compile.
 pub fn sequential_chase(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseResult {
     let started = Instant::now();
-    let mut instance = database.clone();
-    let mut state = ApplyState::new(config, instance.len());
-    let mut stats = ChaseStats::default();
-
-    // Per-rule trigger dedup over the key image: frontier (semi-oblivious)
-    // or all body variables (oblivious, restricted). Head existentials are
-    // *excluded* from the key on purpose: a body match never binds them,
-    // so they carry no information — the seed implementation filled those
-    // slots with a `Term::Var(0)` sentinel, which only obscured the
-    // invariant (and boxed a wider key per trigger considered).
-    let mut fired: Vec<TermTupleSet> = (0..tgds.len()).map(|_| TermTupleSet::new()).collect();
-
-    // Every buffer a round reuses, plus the carry timestamp the phase
-    // timers lap against — seeded with the run start so setup lands in
-    // the first enumerate span and the timers sum to the wall.
-    let mut driver = RoundDriver::with_mark(config, tgds, started);
-
-    let mut delta_start: AtomIdx = 0;
-    let mut outcome = ChaseOutcome::Terminated;
-
-    loop {
-        if stats.rounds >= config.budget.max_rounds {
-            outcome = ChaseOutcome::RoundLimit;
-            break;
-        }
-        stats.rounds += 1;
-
-        let eager = driver.begin_round(instance.len() as AtomIdx - delta_start, &mut stats);
-
-        // Chain micro-round: every rule body is a single atom and the
-        // round is fused-eligible — enumerate, dedup, and fire in one
-        // pass over the delta window, no trigger batch at all.
-        if driver.chain_round() {
-            let len_before = instance.len();
-            let (considered, any, stop) = fused_chain_round(
-                tgds,
-                config,
-                &mut instance,
-                &mut fired,
-                &mut state,
-                &mut driver.ws,
-                (delta_start, len_before as AtomIdx),
-                &mut stats,
-            );
-            stats.triggers_considered += considered;
-            driver.lap_chain_round(&mut stats);
-            if let Some(stop) = stop {
-                outcome = stop;
-                break;
-            }
-            if !any || instance.len() == len_before {
-                break; // fixpoint: terminated
-            }
-            delta_start = len_before as AtomIdx;
-            continue;
-        }
-
-        // Phase 1: enumerate new triggers against the frozen instance.
-        // Fused micro-rounds (decided on the delta width) enumerate with
-        // eager dedup — keys go straight into the authoritative fired
-        // sets, one probe per candidate, and the batch comes out
-        // pre-merged.
-        driver.batch.clear();
-        let ctx = RoundCtx {
-            tgds,
-            variant: config.variant,
-            delta_start,
-        };
-        for (rule, _) in tgds.iter() {
-            stats.triggers_considered += if eager {
-                enumerate_rule_eager(
-                    &instance,
-                    ctx,
-                    rule,
-                    &mut fired[rule.index()],
-                    &mut driver.ws,
-                    &mut driver.batch,
-                )
-            } else {
-                enumerate_rule(
-                    &instance,
-                    ctx,
-                    rule,
-                    &fired[rule.index()],
-                    &mut driver.ws,
-                    &mut driver.batch,
-                )
-            };
-        }
-        driver.lap_enumerate(&mut stats);
-        if driver.batch.is_empty() {
-            break; // fixpoint: terminated
-        }
-
-        // Phase 2: apply — the fused micro-round pass for small rounds,
-        // the staged merge → plan → resolve → commit pipeline otherwise.
-        let len_before = instance.len();
-        if let Some(stop) = driver.apply(
-            tgds,
-            config,
-            &mut instance,
-            &mut fired,
-            &mut state,
-            &mut stats,
-        ) {
-            outcome = stop;
-            break;
-        }
-
-        if instance.len() == len_before {
-            break; // all results were already present: fixpoint
-        }
-        delta_start = len_before as AtomIdx;
-    }
-
-    stats.atoms_created = instance.len() - database.len();
-    stats.nulls_created = state.nulls.len();
-    stats.wall_secs = started.elapsed().as_secs_f64();
-    ChaseResult {
-        instance,
-        nulls: state.nulls,
-        outcome,
-        stats,
-        forest: state.forest,
-        provenance: state.provenance,
-    }
+    let program = PreparedProgram::compile(tgds.clone());
+    let engine = Engine::from_config(&ChaseConfig {
+        threads: 0,
+        ..*config
+    });
+    engine.chase_with_mark(&program, database, started)
 }
 
 /// Convenience: runs the semi-oblivious chase with an atom budget.

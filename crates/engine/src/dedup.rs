@@ -92,6 +92,44 @@ impl TermTupleSet {
         self.insert_hashed(tuple, hash_terms(tuple))
     }
 
+    /// Discards every tuple inserted at ordinal `>= len`, rebuilding the
+    /// probe table over the surviving prefix.
+    ///
+    /// This is the rollback half of a chase session's *mid-round stop
+    /// recovery*: when a hard budget stops a round mid-apply, the fired
+    /// sets already hold the keys of accepted-but-unfired triggers
+    /// (the merge — eager or staged — commits keys before the commit
+    /// loop runs). Resuming such a session must first roll the sets back
+    /// to their round-start watermarks, or the unfired triggers would be
+    /// skipped forever. Tuples are arena-ordered by insertion, so the
+    /// rollback target is exactly a prefix. The O(len) table rebuild
+    /// runs at most once per resumed run.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len() {
+            return;
+        }
+        self.hashes.truncate(len);
+        self.offsets.truncate(len + 1);
+        let terms_len = self.offsets.last().copied().unwrap_or(0) as usize;
+        self.terms.truncate(terms_len);
+        if len == 0 {
+            self.offsets.clear();
+        }
+        self.table = TagTable::new();
+        self.touched.clear();
+        self.dense = true; // rebuilt slots are untracked: next clear wipes fully
+        for id in 0..len {
+            let hash = self.hashes[id];
+            self.table.reserve_one(&self.hashes);
+            // Tuples are distinct by construction, so probing only for a
+            // vacant slot (eq always false) reinserts them faithfully.
+            match self.table.probe(hash, |_| false) {
+                TagProbe::Vacant(slot) => self.table.fill(slot, hash, id as u32),
+                TagProbe::Found(_) => unreachable!("probe eq is constant false"),
+            }
+        }
+    }
+
     /// [`TermTupleSet::insert`] with a caller-computed [`hash_terms`]
     /// hash — the chase's fused micro-round hashes a trigger key once
     /// and reuses it for both the fired-set probe and the null name.
@@ -188,6 +226,33 @@ mod tests {
             }
             assert!(!set.contains(&[c(round + 1), c(0)]));
         }
+    }
+
+    #[test]
+    fn truncate_rolls_back_to_a_prefix() {
+        let mut set = TermTupleSet::new();
+        for i in 0..300 {
+            assert!(set.insert(&[c(i), c(i + 1)]));
+        }
+        set.truncate(100);
+        assert_eq!(set.len(), 100);
+        for i in 0..300 {
+            assert_eq!(set.contains(&[c(i), c(i + 1)]), i < 100, "tuple {i}");
+        }
+        // Truncated tuples re-insert as new ordinals; survivors stay.
+        for i in 0..300 {
+            assert_eq!(set.insert(&[c(i), c(i + 1)]), i >= 100, "tuple {i}");
+        }
+        assert_eq!(set.len(), 300);
+        // Truncation to zero and no-op truncations behave.
+        set.truncate(1000);
+        assert_eq!(set.len(), 300);
+        set.truncate(0);
+        assert!(set.is_empty());
+        assert!(set.insert(&[c(0), c(1)]));
+        // Clear after a truncation-forced rebuild still wipes fully.
+        set.clear();
+        assert!(!set.contains(&[c(0), c(1)]));
     }
 
     #[test]

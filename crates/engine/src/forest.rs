@@ -42,6 +42,15 @@ impl Forest {
         self.parent.push(parent);
     }
 
+    /// Records a database atom appended to a live session
+    /// ([`crate::session::ChaseSession::add_atoms`]): a new root, in
+    /// insertion order like [`Forest::push_child`].
+    pub fn push_root(&mut self, idx: AtomIdx) {
+        debug_assert_eq!(idx as usize, self.parent.len());
+        self.parent.push(None);
+        self.roots += 1;
+    }
+
     /// Number of database roots.
     pub fn root_count(&self) -> usize {
         self.roots

@@ -18,6 +18,13 @@
 //! deterministic **apply** phase ([`phase`]); the [`parallel`] executor
 //! shards the former over a worker pool ([`ChaseConfig::threads`]) while
 //! keeping results byte-identical to the sequential engine.
+//!
+//! The public engine surface is the prepared-program API ([`session`]):
+//! compile a TGD set once into a [`PreparedProgram`], build an
+//! [`Engine`] (persistent worker pool, recycled buffers), and drive
+//! [`ChaseSession`]s — budgeted runs, incremental `add_atoms`/`resume`,
+//! cancellation and deadlines. The classic free functions ([`chase()`]
+//! and friends) remain as documented, delegating shims.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +37,7 @@ pub mod nulls;
 pub mod parallel;
 pub mod phase;
 pub mod provenance;
+pub mod session;
 
 pub use baseline::{baseline_semi_oblivious_chase, BaselineResult};
 pub use chase::{
@@ -41,3 +49,4 @@ pub use forest::Forest;
 pub use nulls::{NullKey, NullStore};
 pub use parallel::{auto_threads, chase_parallel};
 pub use provenance::{explain, Derivation, Explanation, Provenance};
+pub use session::{ChaseSession, Engine, EngineBuilder, PreparedProgram, RunLimits};

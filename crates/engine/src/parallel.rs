@@ -12,8 +12,10 @@
 //! frozen snapshot and shards freely over accepted-trigger ranges. This
 //! executor drives both parallel stages on one persistent pool:
 //!
-//! * a **persistent worker pool** (`threads` workers, the coordinating
-//!   thread included) lives for the whole run — no per-round spawns;
+//! * a **persistent worker pool** (`WorkerPool`, owned by a
+//!   [`crate::session::Engine`]) parks its threads between *runs* as
+//!   well as between rounds — a prepared engine serving many small
+//!   chases never respawns a thread;
 //! * each round, the coordinator publishes the canonical task list
 //!   (enumerate) and, after merge + plan, the accepted ranges (resolve);
 //!   the workers **self-schedule** over whichever phase is current by
@@ -49,7 +51,7 @@
 //! counts 1, 2, and 7 against the sequential engine, variant by variant.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, RwLock};
+use std::sync::{Arc, Barrier, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 use nuchase_model::{AtomIdx, Instance, TgdSet};
@@ -57,11 +59,11 @@ use nuchase_model::{AtomIdx, Instance, TgdSet};
 use crate::chase::{ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats};
 use crate::dedup::TermTupleSet;
 use crate::phase::{
-    apply_fused, commit_batch, enumerate_task, enumerate_task_eager, fused_chain_round,
-    fused_round, lap_mark, merge_accepted, plan_nulls, prepare_round_tasks, resolve_range,
-    resolved_apply_path, ApplyBuffers, ApplyState, ResolvedBatch, RoundCtx, RoundDriver, Task,
-    TriggerBatch, WorkerScratch,
+    apply_fused, commit_batch, enumerate_task, fused_round, lap_mark, merge_accepted, plan_nulls,
+    prepare_round_tasks, resolve_range, resolved_apply_path, ApplyBuffers, ApplyState,
+    ResolvedBatch, RoundCtx, RoundDriver, Task, TriggerBatch, WorkerScratch,
 };
+use crate::session::{Engine, PreparedProgram, RunCtl, SessionCore};
 
 /// The worker count `threads: 0` ("auto") resolves to: the machine's
 /// available parallelism (1 if it cannot be determined).
@@ -91,12 +93,17 @@ struct RoundState {
 const MODE_ENUMERATE: usize = 0;
 const MODE_RESOLVE: usize = 1;
 
-/// Everything the pool shares. The barrier separates the phases: between
-/// a `prepare → barrier` and the following `barrier`, workers drain the
-/// current phase (`mode`) and the round state is immutable; outside that
-/// span workers are parked and the coordinator owns the state.
-struct Shared<'a> {
-    tgds: &'a TgdSet,
+/// Everything one pooled **run** shares between the coordinator and the
+/// workers. Owned (`Arc`-shared, rules behind the prepared program's
+/// `Arc`) so a persistent pool's threads can hold it without borrowing
+/// from the coordinator's stack. The barrier separates the phases:
+/// between a `prepare → barrier` and the following `barrier`, workers
+/// drain the current phase (`mode`) and the round state is immutable;
+/// outside that span workers are parked and the coordinator owns the
+/// state.
+#[derive(Debug)]
+struct Shared {
+    tgds: Arc<TgdSet>,
     config: ChaseConfig,
     round: RwLock<RoundState>,
     /// The shared unit cursor workers steal from (task index in the
@@ -119,21 +126,41 @@ struct Shared<'a> {
     done: AtomicBool,
 }
 
+impl Shared {
+    /// Run state for `threads` participants (coordinator included).
+    fn new(tgds: Arc<TgdSet>, config: ChaseConfig, round: RoundState, threads: usize) -> Self {
+        Shared {
+            tgds,
+            config,
+            round: RwLock::new(round),
+            next_task: AtomicUsize::new(0),
+            mode: AtomicUsize::new(MODE_ENUMERATE),
+            results: Mutex::new(Vec::new()),
+            resolve_results: Mutex::new(Vec::new()),
+            spare: Mutex::new(Vec::new()),
+            spare_resolved: Mutex::new(Vec::new()),
+            barrier: Barrier::new(threads),
+            done: AtomicBool::new(false),
+        }
+    }
+}
+
 /// Releases the workers if the coordinator unwinds mid-run (a panic in
 /// the commit stage, a poisoned lock, …): completes the phase barrier if
 /// one is pending, raises `done`, and crosses the park barrier so the
-/// pool exits and `thread::scope` can join — the panic then propagates
-/// instead of deadlocking the scope. (A panic on a *worker* still aborts
-/// the join; workers run only read-only enumeration/resolution, whose
-/// invariants the sequential differential suites pin deterministically.)
-struct PanicRelease<'a, 'b> {
-    shared: &'a Shared<'b>,
+/// workers leave the run and return to the pool — the panic then
+/// propagates instead of deadlocking the engine. (A panic on a *worker*
+/// still wedges the run; workers run only read-only
+/// enumeration/resolution, whose invariants the sequential differential
+/// suites pin deterministically.)
+struct PanicRelease<'a> {
+    shared: &'a Shared,
     /// True between the two phase barriers (workers will reach the
     /// end-of-phase barrier and must be met there first).
     in_phase: bool,
 }
 
-impl Drop for PanicRelease<'_, '_> {
+impl Drop for PanicRelease<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             if self.in_phase {
@@ -149,180 +176,195 @@ impl Drop for PanicRelease<'_, '_> {
 /// to [`crate::chase::sequential_chase`] at any thread count; prefer
 /// calling [`crate::chase::chase`], which dispatches on
 /// [`ChaseConfig::threads`].
+///
+/// A documented, delegating shim over the prepared-program engine
+/// ([`crate::session`]): compiles `tgds` into a transient
+/// [`PreparedProgram`] and runs a one-shot [`Engine`] whose pool lives
+/// for this call. Callers chasing many databases should build the
+/// engine once — its pool threads then park between runs instead of
+/// being respawned.
 pub fn chase_parallel(database: &Instance, tgds: &TgdSet, config: &ChaseConfig) -> ChaseResult {
-    let threads = config.threads.max(1);
     let started = Instant::now();
-    let mut stats = ChaseStats::default();
-    let mut state = ApplyState::new(config, database.len());
-    let mut round = RoundState {
-        instance: database.clone(),
-        fired: vec![TermTupleSet::new(); tgds.len()],
-        tasks: Vec::new(),
-        apply: ApplyBuffers::new(),
-        delta_start: 0,
-    };
-
-    let outcome = if threads == 1 {
-        drive_single(tgds, config, &mut round, &mut state, &mut stats, started)
-    } else {
-        drive_pool(
-            tgds, config, threads, &mut round, &mut state, &mut stats, started,
-        )
-    };
-
-    stats.atoms_created = round.instance.len() - database.len();
-    stats.nulls_created = state.nulls.len();
-    stats.wall_secs = started.elapsed().as_secs_f64();
-    ChaseResult {
-        instance: round.instance,
-        nulls: state.nulls,
-        outcome,
-        stats,
-        forest: state.forest,
-        provenance: state.provenance,
-    }
-}
-
-/// One worker: task decomposition, batching, merge, and the apply step
-/// identical to the pool path, minus the synchronization — this is the
-/// 1-thread executor the scaling curves are measured against. Rides the
-/// same [`RoundDriver`] as the sequential engine, so micro-rounds take
-/// the fused path and the task list is prepared incrementally.
-fn drive_single(
-    tgds: &TgdSet,
-    config: &ChaseConfig,
-    round: &mut RoundState,
-    state: &mut ApplyState,
-    stats: &mut ChaseStats,
-    started: Instant,
-) -> ChaseOutcome {
-    let mut driver = RoundDriver::with_mark(config, tgds, started);
-    loop {
-        if stats.rounds >= config.budget.max_rounds {
-            return ChaseOutcome::RoundLimit;
-        }
-        stats.rounds += 1;
-
-        let len = round.instance.len() as AtomIdx;
-        let eager = driver.begin_round(len - round.delta_start, stats);
-
-        // Chain micro-round: one fused pass, no task list, no batch.
-        if driver.chain_round() {
-            let len_before = round.instance.len();
-            let (considered, any, stop) = fused_chain_round(
-                tgds,
-                config,
-                &mut round.instance,
-                &mut round.fired,
-                state,
-                &mut driver.ws,
-                (round.delta_start, len_before as AtomIdx),
-                stats,
-            );
-            stats.triggers_considered += considered;
-            driver.lap_chain_round(stats);
-            if let Some(stop) = stop {
-                return stop;
-            }
-            if !any || round.instance.len() == len_before {
-                return ChaseOutcome::Terminated;
-            }
-            round.delta_start = len_before as AtomIdx;
-            continue;
-        }
-
-        driver.prepare_tasks(tgds, round.delta_start, len);
-        driver.batch.clear();
-        let ctx = RoundCtx {
-            tgds,
-            variant: config.variant,
-            delta_start: round.delta_start,
-        };
-        for i in 0..driver.tasks.len() {
-            let task = driver.tasks[i];
-            stats.triggers_considered += if eager {
-                enumerate_task_eager(
-                    &round.instance,
-                    ctx,
-                    task,
-                    &mut round.fired[task.rule.index()],
-                    &mut driver.ws,
-                    &mut driver.batch,
-                )
-            } else {
-                enumerate_task(
-                    &round.instance,
-                    ctx,
-                    task,
-                    &round.fired[task.rule.index()],
-                    &mut driver.ws,
-                    &mut driver.batch,
-                )
-            };
-        }
-        driver.lap_enumerate(stats);
-        if driver.batch.is_empty() {
-            return ChaseOutcome::Terminated;
-        }
-
-        let len_before = round.instance.len();
-        if let Some(stop) = driver.apply(
-            tgds,
-            config,
-            &mut round.instance,
-            &mut round.fired,
-            state,
-            stats,
-        ) {
-            return stop;
-        }
-        if round.instance.len() == len_before {
-            return ChaseOutcome::Terminated;
-        }
-        round.delta_start = len_before as AtomIdx;
-    }
-}
-
-/// The pooled driver: spawns `threads - 1` scoped workers (the
-/// coordinator enumerates and resolves too) and runs the
-/// barrier-separated prepare → enumerate → merge/plan → resolve →
-/// commit round loop.
-#[allow(clippy::too_many_arguments)]
-fn drive_pool(
-    tgds: &TgdSet,
-    config: &ChaseConfig,
-    threads: usize,
-    round: &mut RoundState,
-    state: &mut ApplyState,
-    stats: &mut ChaseStats,
-    started: Instant,
-) -> ChaseOutcome {
-    let shared = Shared {
-        tgds,
-        config: *config,
-        round: RwLock::new(std::mem::take(round)),
-        next_task: AtomicUsize::new(0),
-        mode: AtomicUsize::new(MODE_ENUMERATE),
-        results: Mutex::new(Vec::new()),
-        resolve_results: Mutex::new(Vec::new()),
-        spare: Mutex::new(Vec::new()),
-        spare_resolved: Mutex::new(Vec::new()),
-        barrier: Barrier::new(threads),
-        done: AtomicBool::new(false),
-    };
-    let outcome = std::thread::scope(|scope| {
-        for _ in 1..threads {
-            scope.spawn(|| worker_loop(&shared));
-        }
-        coordinate(&shared, config, state, stats, started)
+    let program = PreparedProgram::compile(tgds.clone());
+    let engine = Engine::from_config(&ChaseConfig {
+        threads: config.threads.max(1),
+        ..*config
     });
-    *round = shared.round.into_inner().unwrap();
+    engine.chase_with_mark(&program, database, started)
+}
+
+/// A persistent pool of parked worker threads, owned by an
+/// [`Engine`](crate::session::Engine) with `threads ≥ 2`. Threads are
+/// spawned once, pick up one pooled run at a time (an `Arc<Shared>`
+/// published through the gate), and park on a condvar between runs —
+/// so an engine serving many small chases pays the spawn cost once,
+/// not per chase. Dropping the pool (with the engine) shuts the
+/// threads down and joins them.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    gate: Arc<PoolGate>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct PoolGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    /// Bumped per published run; workers wake on a change.
+    epoch: u64,
+    /// The current run, present from publish until every worker has
+    /// left it.
+    job: Option<Arc<Shared>>,
+    /// Workers still inside the current run.
+    active: usize,
+    shutdown: bool,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` parked threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let gate = Arc::new(PoolGate {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || pool_worker(gate))
+            })
+            .collect();
+        WorkerPool { gate, handles }
+    }
+
+    /// Number of pooled worker threads (the coordinator is not one).
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Publishes a run to the pool: every worker wakes and enters
+    /// [`worker_loop`] on `job`. The caller must then coordinate the
+    /// run to completion and call [`WorkerPool::wait_idle`].
+    ///
+    /// The pool runs one job at a time; if another session's run is
+    /// still in flight (an engine is shared freely across threads),
+    /// this blocks until it fully drains — overwriting the gate
+    /// mid-run would strand the earlier run's workers.
+    fn begin(&self, job: Arc<Shared>) {
+        let mut state = self.gate.state.lock().unwrap();
+        while state.job.is_some() || state.active > 0 {
+            state = self.gate.cv.wait(state).unwrap();
+        }
+        state.epoch += 1;
+        state.active = self.handles.len();
+        state.job = Some(job);
+        self.gate.cv.notify_all();
+    }
+
+    /// Blocks until every worker has left the current run and parked
+    /// again (they do so promptly after the run's final barrier), then
+    /// clears the gate — waking any [`WorkerPool::begin`] queued behind
+    /// this run.
+    fn wait_idle(&self) {
+        let mut state = self.gate.state.lock().unwrap();
+        while state.active > 0 {
+            state = self.gate.cv.wait(state).unwrap();
+        }
+        state.job = None;
+        self.gate.cv.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.gate.state.lock().unwrap();
+            state.shutdown = true;
+            self.gate.cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A pooled thread's lifetime: park on the gate, run one published job
+/// through [`worker_loop`], check back in, park again — until shutdown.
+fn pool_worker(gate: Arc<PoolGate>) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut state = gate.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen {
+                    seen = state.epoch;
+                    break state.job.clone().expect("published epoch carries a job");
+                }
+                state = gate.cv.wait(state).unwrap();
+            }
+        };
+        worker_loop(&job);
+        drop(job);
+        let mut state = gate.state.lock().unwrap();
+        state.active -= 1;
+        if state.active == 0 {
+            gate.cv.notify_all();
+        }
+    }
+}
+
+/// One pooled session run: moves the session's chase state — and the
+/// driver's recycled task list + apply buffers — into a fresh
+/// [`Shared`], publishes it to the engine's persistent pool, coordinates
+/// the barrier-separated round loop, and moves everything back. Called
+/// by [`crate::session::ChaseSession`] for `threads ≥ 2`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pooled(
+    pool: &WorkerPool,
+    tgds: Arc<TgdSet>,
+    config: &ChaseConfig,
+    core: &mut SessionCore,
+    driver: &mut RoundDriver,
+    ctl: &mut RunCtl<'_>,
+    stats: &mut ChaseStats,
+    mark: Instant,
+) -> ChaseOutcome {
+    let round = RoundState {
+        instance: std::mem::take(&mut core.instance),
+        fired: std::mem::take(&mut core.fired),
+        tasks: std::mem::take(&mut driver.tasks),
+        apply: std::mem::take(&mut driver.bufs),
+        delta_start: core.delta_start,
+    };
+    let shared = Arc::new(Shared::new(tgds, *config, round, pool.workers() + 1));
+    pool.begin(Arc::clone(&shared));
+    let mut mark = mark;
+    let outcome = coordinate(&shared, &mut core.apply, ctl, stats, &mut mark);
+    pool.wait_idle();
+    let round = std::mem::take(&mut *shared.round.write().unwrap());
+    core.instance = round.instance;
+    core.fired = round.fired;
+    core.delta_start = round.delta_start;
+    driver.tasks = round.tasks;
+    driver.bufs = round.apply;
+    // Worker release and teardown (the final done-barrier, the pool
+    // drain, the state move) are coordinator-serial time; account them
+    // under commit so the phase timers keep covering the wall.
+    let dt = lap_mark(&mut mark);
+    stats.commit_secs += dt;
+    stats.apply_secs += dt;
     outcome
 }
 
 /// Signals the end of the run and releases the parked workers so they
-/// observe it and exit.
-fn finish(shared: &Shared<'_>, outcome: ChaseOutcome) -> ChaseOutcome {
+/// observe it and leave the run (back to the pool gate).
+fn finish(shared: &Shared, outcome: ChaseOutcome) -> ChaseOutcome {
     shared.done.store(true, Ordering::Release);
     shared.barrier.wait();
     outcome
@@ -353,22 +395,24 @@ const RESOLVE_CHUNK: u32 = 256;
 const RESOLVE_POOL_MIN: usize = 1024;
 
 /// The coordinator's round loop (participates in both sharded phases).
+/// Returns the outcome that ended the run, with the final round state
+/// left in `shared.round`; [`RunCtl::checkpoint`] decides round-boundary
+/// stops (hard round budget, soft limits, cancellation, deadline)
+/// exactly as the serial executors do.
 fn coordinate(
-    shared: &Shared<'_>,
-    config: &ChaseConfig,
+    shared: &Shared,
     state: &mut ApplyState,
+    ctl: &mut RunCtl<'_>,
     stats: &mut ChaseStats,
-    started: Instant,
+    mark: &mut Instant,
 ) -> ChaseOutcome {
+    let config = &shared.config;
     let mut ws = WorkerScratch::new();
     let mut merged: Vec<(u32, TriggerBatch, usize)> = Vec::new();
     let mut resolved: Vec<ResolvedBatch> = Vec::new();
     let mut inline_batch = TriggerBatch::new();
     let apply_path = resolved_apply_path(config);
     let mut tasks_single = false;
-    // Seeded with the run start, so clone/spawn setup lands in the first
-    // enumerate span instead of vanishing from the accounting.
-    let mut mark = started;
     let mut guard = PanicRelease {
         shared,
         in_phase: false,
@@ -396,16 +440,18 @@ fn coordinate(
         let delta;
         {
             let mut round = shared.round.write().unwrap();
-            if stats.rounds >= config.budget.max_rounds {
+            if let Some(stop) =
+                ctl.checkpoint(config, stats.rounds, round.instance.len(), &round.fired)
+            {
                 drop(round);
-                return finish(shared, ChaseOutcome::RoundLimit);
+                return finish(shared, stop);
             }
             stats.rounds += 1;
             let len = round.instance.len() as AtomIdx;
             let delta_start = round.delta_start;
             delta = len - delta_start;
             let RoundState { tasks, .. } = &mut *round;
-            prepare_round_tasks(shared.tgds, delta_start, len, tasks, &mut tasks_single);
+            prepare_round_tasks(&shared.tgds, delta_start, len, tasks, &mut tasks_single);
             engage = delta >= POOL_DELTA_MIN || tasks.len() >= POOL_TASKS_MIN;
             shared.mode.store(MODE_ENUMERATE, Ordering::Release);
             shared.next_task.store(0, Ordering::Release);
@@ -429,7 +475,7 @@ fn coordinate(
             // without waking the pool.
             let round = shared.round.read().unwrap();
             let ctx = RoundCtx {
-                tgds: shared.tgds,
+                tgds: &shared.tgds,
                 variant: shared.config.variant,
                 delta_start: round.delta_start,
             };
@@ -446,7 +492,7 @@ fn coordinate(
             }
             stats.triggers_considered += considered;
         }
-        stats.enumerate_secs += lap_mark(&mut mark);
+        stats.enumerate_secs += lap_mark(mark);
 
         let mut any = !inline_batch.is_empty();
         let mut total_triggers = inline_batch.len();
@@ -474,7 +520,7 @@ fn coordinate(
                     instance, fired, ..
                 } = &mut *round;
                 apply_fused(
-                    shared.tgds,
+                    &shared.tgds,
                     config,
                     instance,
                     fired,
@@ -488,7 +534,7 @@ fn coordinate(
                     stats,
                 )
             };
-            let dt = lap_mark(&mut mark);
+            let dt = lap_mark(mark);
             stats.commit_secs += dt;
             stats.apply_secs += dt;
             if let Some(stop) = stop {
@@ -511,7 +557,7 @@ fn coordinate(
         {
             let RoundState { fired, apply, .. } = &mut *round;
             merge_accepted(
-                shared.tgds,
+                &shared.tgds,
                 shared.config.variant,
                 merged
                     .iter()
@@ -522,7 +568,7 @@ fn coordinate(
                 &mut apply.accepted,
             );
         }
-        stats.dedup_secs += lap_mark(&mut mark);
+        stats.dedup_secs += lap_mark(mark);
 
         // Stage 2 — the deterministic null id plan, published into the
         // round state for the resolve workers.
@@ -530,7 +576,7 @@ fn coordinate(
             let RoundState { apply, .. } = &mut *round;
             let ApplyBuffers { accepted, plan, .. } = apply;
             plan_nulls(
-                shared.tgds,
+                &shared.tgds,
                 config,
                 &mut state.nulls,
                 accepted,
@@ -566,7 +612,7 @@ fn coordinate(
             } = apply;
             resolve_range(
                 instance,
-                shared.tgds,
+                &shared.tgds,
                 config,
                 accepted,
                 plan,
@@ -576,7 +622,7 @@ fn coordinate(
             );
         }
         // Stage 4 — the thin serial commit, in canonical range order.
-        let resolve_secs = lap_mark(&mut mark);
+        let resolve_secs = lap_mark(mark);
         stats.resolve_secs += resolve_secs;
         let len_before = round.instance.len();
         let stop = {
@@ -589,7 +635,7 @@ fn coordinate(
                 std::slice::from_ref(&apply.resolved)
             };
             commit_batch(
-                shared.tgds,
+                &shared.tgds,
                 config,
                 instance,
                 state,
@@ -599,7 +645,7 @@ fn coordinate(
                 stats,
             )
         };
-        let commit_secs = lap_mark(&mut mark);
+        let commit_secs = lap_mark(mark);
         stats.commit_secs += commit_secs;
         stats.apply_secs += resolve_secs + commit_secs;
         if let Some(stop) = stop {
@@ -614,10 +660,10 @@ fn coordinate(
     }
 }
 
-/// A spawned worker: park at the barrier, drain a phase's worth of
-/// stolen units (enumerate tasks or resolve ranges, per the published
-/// mode), publish, park again — until the run finishes.
-fn worker_loop(shared: &Shared<'_>) {
+/// A worker's view of one run: park at the barrier, drain a phase's
+/// worth of stolen units (enumerate tasks or resolve ranges, per the
+/// published mode), publish, park again — until the run finishes.
+fn worker_loop(shared: &Shared) {
     let mut ws = WorkerScratch::new();
     loop {
         shared.barrier.wait();
@@ -636,7 +682,7 @@ fn worker_loop(shared: &Shared<'_>) {
 /// enumerating each against the frozen round snapshot and batching the
 /// results. Batch arenas come from the recycle pool, so the steady state
 /// allocates nothing per task.
-fn drain_tasks(shared: &Shared<'_>, ws: &mut WorkerScratch) {
+fn drain_tasks(shared: &Shared, ws: &mut WorkerScratch) {
     let mut out: Vec<(u32, TriggerBatch, usize)> = Vec::new();
     loop {
         let i = shared.next_task.fetch_add(1, Ordering::Relaxed);
@@ -647,7 +693,7 @@ fn drain_tasks(shared: &Shared<'_>, ws: &mut WorkerScratch) {
         let task = round.tasks[i];
         let snapshot = round.instance.snapshot();
         let ctx = RoundCtx {
-            tgds: shared.tgds,
+            tgds: &shared.tgds,
             variant: shared.config.variant,
             delta_start: round.delta_start,
         };
@@ -671,7 +717,7 @@ fn drain_tasks(shared: &Shared<'_>, ws: &mut WorkerScratch) {
 /// Steals resolve ranges off the shared cursor until the planned prefix
 /// is covered, resolving each against the frozen snapshot + accepted
 /// batch + null plan. Output arenas come from the recycle pool.
-fn drain_resolve(shared: &Shared<'_>, ws: &mut WorkerScratch) {
+fn drain_resolve(shared: &Shared, ws: &mut WorkerScratch) {
     let mut out: Vec<ResolvedBatch> = Vec::new();
     loop {
         let r = shared.next_task.fetch_add(1, Ordering::Relaxed) as u64;
@@ -691,7 +737,7 @@ fn drain_resolve(shared: &Shared<'_>, ws: &mut WorkerScratch) {
             .unwrap_or_default();
         resolve_range(
             &snapshot,
-            shared.tgds,
+            &shared.tgds,
             &shared.config,
             &round.apply.accepted,
             &round.apply.plan,
@@ -890,6 +936,49 @@ mod tests {
         let seq = crate::chase::chase(&p.database, &p.tgds, &config(0));
         let par = crate::chase::chase(&p.database, &p.tgds, &config(2));
         assert_identical(&seq, &par, "dispatch");
+    }
+
+    #[test]
+    fn pool_runs_many_chases_without_respawning() {
+        // One engine, one persistent pool, many pooled sessions — the
+        // workers park between runs and every result stays identical.
+        use crate::session::{Engine, PreparedProgram};
+        let p = parse_program(
+            "e(a, b).\ne(b, c).\ne(c, d).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X, W).",
+        )
+        .unwrap();
+        let reference = sequential_chase(&p.database, &p.tgds, &config(0));
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::from_config(&config(3));
+        for i in 0..5 {
+            let r = engine.chase(&program, &p.database);
+            assert_identical(&reference, &r, &format!("pooled run {i}"));
+        }
+    }
+
+    #[test]
+    fn concurrent_pooled_chases_on_one_engine_serialize() {
+        // The pool runs one job at a time; concurrent sessions on a
+        // shared engine queue at the gate instead of corrupting it.
+        use crate::session::{Engine, PreparedProgram};
+        let p = parse_program(
+            "e(a, b).\ne(b, c).\ne(c, d).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X, W).",
+        )
+        .unwrap();
+        let reference = sequential_chase(&p.database, &p.tgds, &config(0));
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::from_config(&config(2));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..3 {
+                        let r = engine.chase(&program, &p.database);
+                        assert!(r.instance.indexed_eq(&reference.instance));
+                        assert_eq!(r.nulls.len(), reference.nulls.len());
+                    }
+                });
+            }
+        });
     }
 
     #[test]

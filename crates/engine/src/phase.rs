@@ -2,7 +2,7 @@
 //!
 //! A chase round factors into phases with very different contracts:
 //!
-//! 1. **Enumerate** (read-only): run every rule's [`MatchPlan`] against
+//! 1. **Enumerate** (read-only): run every rule's [`MatchPlan`](nuchase_model::plan::MatchPlan) against
 //!    the instance *as frozen at round start*, collecting the candidate
 //!    triggers into [`TriggerBatch`]es. Nothing is mutated, so the phase
 //!    shards freely over `(rule, pivot, window)` [`Task`] units — the
@@ -1366,7 +1366,7 @@ pub fn single_atom_bodies(tgds: &TgdSet) -> bool {
 /// window `[delta.0, delta.1)` is walked directly, each atom unified
 /// against the rule's one body pattern, surviving keys committed to the
 /// authoritative fired set, and the trigger fired on the spot through
-/// [`fire_trigger`].
+/// `fire_trigger`.
 ///
 /// # Byte-identity with the staged paths
 ///
@@ -1464,7 +1464,7 @@ pub fn fused_chain_round(
 /// Prepares the canonical task list of a round, reusing the previous
 /// round's list when its shape is unchanged. A chain-shaped chase spends
 /// virtually every round in the same shape — `delta_start > 0` and the
-/// whole delta inside one [`TASK_CHUNK`] window — so instead of clearing
+/// whole delta inside one `TASK_CHUNK` window — so instead of clearing
 /// and re-pushing the identical `(rule, pivot)` sequence tens of
 /// thousands of times, the windows are patched in place. `was_single` is
 /// the caller-kept shape flag from the previous round (start it `false`).
@@ -1511,7 +1511,7 @@ pub fn prepare_round_tasks(
 /// take **one** clock read per round (instead of the six the staged
 /// accounting used to take): the round's whole span is measured at
 /// apply-end and *split* between `enumerate` and `commit` by a ratio
-/// re-sampled with two reads every [`TIMER_SAMPLE`]-th fused round. The
+/// re-sampled with two reads every `TIMER_SAMPLE`-th fused round. The
 /// sum stays exact; only the enumerate/commit split of fused rounds is
 /// sampled, which is the "round-sampled stats mode" the per-phase
 /// numbers document.
@@ -1592,6 +1592,40 @@ impl RoundDriver {
         }
     }
 
+    /// Re-arms the driver for a new run, possibly over different rules:
+    /// re-resolves the apply path, installs the caller's precomputed
+    /// chain classification (a [`single_atom_bodies`] result — prepared
+    /// programs compute it once, not per run), resets the per-run
+    /// timing state, and re-seeds the carry timestamp — keeping every
+    /// buffer allocation. This is what lets an engine recycle one
+    /// driver across many chases (and a session across many runs).
+    pub fn restart(&mut self, config: &ChaseConfig, chain_ok: bool, mark: Instant) {
+        self.path = resolved_apply_path(config);
+        self.chain_ok = chain_ok;
+        self.tasks.clear();
+        self.tasks_single = false;
+        self.mark = mark;
+        self.round_fused = false;
+        self.sample = true;
+        self.fused_seen = 0;
+        self.enum_share = 0.25;
+        self.last_enum = 0.0;
+        self.chain_pending = 0;
+    }
+
+    /// Flushes the chain-round span still accrued on the carry timestamp
+    /// (bounded by `CHAIN_LAP_SAMPLE` rounds) into the commit/apply
+    /// stats — called at run end so a finished or paused run's phase
+    /// accounting covers its wall.
+    pub fn finish_run(&mut self, stats: &mut ChaseStats) {
+        if self.chain_pending > 0 {
+            self.chain_pending = 0;
+            let dt = self.lap();
+            stats.commit_secs += dt;
+            stats.apply_secs += dt;
+        }
+    }
+
     /// The run's resolved apply path.
     pub fn path(&self) -> ApplyPath {
         self.path
@@ -1607,7 +1641,7 @@ impl RoundDriver {
     /// apply are one loop there — no boundary exists to measure — so the
     /// whole span is accounted under `commit` (and `apply`), keeping the
     /// phase sum exact; `phase_summary` still shows the round as fused.
-    /// The clock itself is read once per [`CHAIN_LAP_SAMPLE`] rounds:
+    /// The clock itself is read once per `CHAIN_LAP_SAMPLE` rounds:
     /// consecutive chain rounds all attribute to the same stat, so the
     /// carry timestamp can accrue across them at no accuracy cost (a
     /// streak's unflushed tail — bounded by the sample window — is the

@@ -1,0 +1,1256 @@
+//! The prepared-program engine surface: compile once, chase many.
+//!
+//! The chase free functions ([`crate::chase::chase`] and friends) are
+//! shaped for one-off runs: every call re-derives program metadata,
+//! re-allocates the round buffers, and (for multi-threaded runs) spins a
+//! worker pool up and back down. That is exactly wrong for the serving
+//! shape this workspace grows toward — one fixed Σ compiled once, run
+//! against many small databases and incremental updates. This module
+//! splits the engine into three owned types along those lines:
+//!
+//! * [`PreparedProgram`] — a [`TgdSet`] compiled once (match plans are
+//!   built at TGD construction; preparing pins them behind an `Arc`
+//!   alongside the per-program classification the round loops branch
+//!   on: the single-atom-body/fused-path gate, the syntactic TGD class,
+//!   and an optional externally computed uniform-termination verdict);
+//! * [`Engine`] — the builder-configured execution policy (variant,
+//!   threads, apply path, budgets) plus everything reusable *across*
+//!   chases: a persistent worker pool whose threads park between runs
+//!   instead of being respawned, and recycled session buffers (per-rule
+//!   fired sets, [`RoundDriver`] arenas);
+//! * [`ChaseSession`] — one in-progress or finished chase: it owns the
+//!   [`Instance`], [`NullStore`], fired sets, and statistics, supports
+//!   [`ChaseSession::run`] to a budget, [`ChaseSession::add_atoms`] +
+//!   [`ChaseSession::resume`] for incremental chasing, cancellation and
+//!   deadline checks between rounds, and consumes into the classic
+//!   [`ChaseResult`] via [`ChaseSession::finish`].
+//!
+//! The legacy free functions remain as thin, documented shims over these
+//! types, so nothing downstream breaks — and the differential suites
+//! (`tests/properties.rs`, `tests/differential.rs`) pin that the shims
+//! produce byte-identical results to the pre-session engine.
+//!
+//! # Incremental chasing and what "resume" guarantees
+//!
+//! The paper's semi-oblivious chase makes `chase(D, Σ)` a canonical,
+//! derivation-independent **set**: triggers fire at most once per
+//! `(σ, h|fr(σ))` and nulls are interned by provenance. Two consequences
+//! power the session API, with deliberately different strength:
+//!
+//! * **Pausing is free.** A session paused *between rounds* — via
+//!   [`RunLimits`] (atom/round caps, a deadline) or cancellation — and
+//!   then resumed executes exactly the round sequence an uninterrupted
+//!   run would have: the result is **byte-identical** (same atoms at
+//!   the same indexes, same null ids, same provenance and forest, same
+//!   counters) for *every* variant and thread count. The resume
+//!   differential suite (`tests/session_resume.rs`) pins this.
+//! * **New atoms splice in as a delta.** [`ChaseSession::add_atoms`]
+//!   appends fresh database atoms and [`ChaseSession::resume`] chases
+//!   them semi-naively against everything derived so far. For the
+//!   provenance-keyed variants (semi-oblivious, oblivious) confluence
+//!   makes the resumed result **canonically identical** to a
+//!   from-scratch chase of `D ∪ A`: the same atom set and null set
+//!   (with matching depths) under the provenance-keyed null names
+//!   (`⊥^z_{σ, h|fr}` resolved recursively). Atom *indexes* and raw
+//!   null *ids* reflect arrival order — necessarily, since
+//!   from-scratch interleaves derivations the incremental run has
+//!   already finished — and provenance/forest record the incremental
+//!   history's (valid) derivations, which may differ from
+//!   from-scratch's when an atom has several. The restricted chase is
+//!   order-dependent by definition, so its resume guarantee is pinned
+//!   at set-equality on confluent (existential-free) workloads only.
+//! * **Hard budget stops recover soundly.** A [`ChaseBudget`] stop
+//!   lands *mid-round* (mid-commit, even): the fired sets already hold
+//!   keys of accepted-but-unfired triggers. Resuming after such a stop
+//!   first rolls the fired sets back to their round-start watermarks
+//!   ([`crate::dedup::TermTupleSet::truncate`]) and replays the round
+//!   — idempotently for the interned-null variants (re-inserting an
+//!   existing atom or re-interning an existing null is a no-op), so
+//!   the final *set* is again canonical; the replayed round makes the
+//!   work counters (rounds, triggers) honestly larger than an
+//!   uninterrupted run's.
+//!
+//! # Example: compile once, chase many
+//!
+//! ```
+//! use nuchase_engine::{Engine, PreparedProgram};
+//!
+//! let p = nuchase_model::parse_program(
+//!     "parent(alice, bob).\nparent(X, Y) -> person(Y).\nperson(X) -> named(X, N).",
+//! )
+//! .unwrap();
+//! // Compile Σ once…
+//! let program = PreparedProgram::compile(p.tgds);
+//! let engine = Engine::builder().build();
+//! // …and chase as many databases as arrive.
+//! let result = engine.chase(&program, &p.database);
+//! assert!(result.terminated());
+//! assert_eq!(result.instance.len(), 3); // parent + person + named
+//! let again = engine.chase(&program, &p.database);
+//! assert!(again.instance.indexed_eq(&result.instance));
+//! ```
+//!
+//! # Example: incremental resume
+//!
+//! ```
+//! use nuchase_engine::{Engine, PreparedProgram};
+//!
+//! let p = nuchase_model::parse_program("r(a, b).\nr(X, Y) -> s(X, Z).").unwrap();
+//! let extra = nuchase_model::parse_program("r(a, b).\nr(c, d).").unwrap();
+//! let program = PreparedProgram::compile(p.tgds);
+//! let engine = Engine::builder().build();
+//!
+//! let mut session = engine.session(&program, &p.database);
+//! session.run();
+//! assert!(session.terminated());
+//! assert_eq!(session.instance().len(), 2); // r(a,b), s(a,⊥)
+//!
+//! // New database atoms arrive: chase just the delta.
+//! let added = session.add_atoms(extra.database.iter().map(|a| a.to_atom()));
+//! assert_eq!(added, 1); // r(a,b) was already present
+//! session.resume();
+//! assert!(session.terminated());
+//! assert_eq!(session.instance().len(), 4); // + r(c,d), s(c,⊥)
+//! assert_eq!(session.runs(), 2);
+//! ```
+//!
+//! # Example: run to a soft budget, inspect, resume
+//!
+//! ```
+//! use nuchase_engine::{ChaseOutcome, Engine, PreparedProgram, RunLimits};
+//!
+//! // An infinite chase, consumed in bounded slices.
+//! let p = nuchase_model::parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+//! let program = PreparedProgram::compile(p.tgds);
+//! let engine = Engine::builder().build();
+//! let mut session = engine.session(&program, &p.database);
+//!
+//! let paused = session.run_limited(&RunLimits::atoms(100));
+//! assert_eq!(paused, ChaseOutcome::Paused);
+//! assert!(session.instance().len() >= 100);
+//! session.run_limited(&RunLimits::atoms(200)); // …byte-identically onward
+//! assert!(session.instance().len() >= 200);
+//! assert_eq!(session.stats().rounds, session.instance().len() - 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use nuchase_model::{Atom, AtomIdx, Instance, TgdClass, TgdSet};
+
+use crate::chase::{ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant};
+use crate::dedup::TermTupleSet;
+use crate::nulls::NullStore;
+use crate::parallel::{run_pooled, WorkerPool};
+use crate::phase::{
+    enumerate_rule, enumerate_rule_eager, enumerate_task, enumerate_task_eager, fused_chain_round,
+    ApplyState, RoundCtx, RoundDriver,
+};
+
+/// A TGD set compiled once for any number of chases.
+///
+/// Match plans are compiled when each [`nuchase_model::Tgd`] is
+/// constructed; preparing a program pins the whole set behind an `Arc`
+/// (so a persistent worker pool can borrow it across runs without
+/// re-cloning) and derives the per-program metadata every run would
+/// otherwise recompute: the single-atom-body classification gating the
+/// fused chain micro-round, and the syntactic TGD class. An optional
+/// uniform-termination verdict can be attached by callers that ran the
+/// `nuchase` deciders (the engine crate cannot depend on them — the
+/// dependency points the other way).
+#[derive(Debug, Clone)]
+pub struct PreparedProgram {
+    tgds: Arc<TgdSet>,
+    single_atom_bodies: bool,
+    class: TgdClass,
+    uniform: Option<bool>,
+}
+
+impl PreparedProgram {
+    /// Compiles a TGD set into a prepared program.
+    pub fn compile(tgds: TgdSet) -> Self {
+        Self::from_shared(Arc::new(tgds))
+    }
+
+    /// Prepares an already-shared TGD set (no copy).
+    pub fn from_shared(tgds: Arc<TgdSet>) -> Self {
+        let single_atom_bodies = crate::phase::single_atom_bodies(&tgds);
+        let class = tgds.classify();
+        PreparedProgram {
+            tgds,
+            single_atom_bodies,
+            class,
+            uniform: None,
+        }
+    }
+
+    /// The compiled rules.
+    pub fn tgds(&self) -> &TgdSet {
+        &self.tgds
+    }
+
+    /// The shared handle to the compiled rules (what a pooled run hands
+    /// its workers).
+    pub(crate) fn shared_tgds(&self) -> Arc<TgdSet> {
+        Arc::clone(&self.tgds)
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.tgds.len()
+    }
+
+    /// The syntactic class of the program (`SL ⊊ L ⊊ G` or general),
+    /// computed once at preparation.
+    pub fn class(&self) -> TgdClass {
+        self.class
+    }
+
+    /// Is every rule body a single atom? When true, fused micro-rounds
+    /// run as chain rounds (enumerate + dedup + fire in one pass) — the
+    /// classification is computed here once instead of per run.
+    pub fn single_atom_bodies(&self) -> bool {
+        self.single_atom_bodies
+    }
+
+    /// Attaches a uniform-termination verdict (does the chase terminate
+    /// on *every* database?) computed by an external decider — e.g.
+    /// `nuchase::uniform` or weak acyclicity. Purely advisory metadata:
+    /// the engine never acts on it, but servers keeping one
+    /// `PreparedProgram` per ontology get a natural home for the
+    /// analysis they ran at load time.
+    pub fn with_uniform_verdict(mut self, terminates_on_all_databases: bool) -> Self {
+        self.uniform = Some(terminates_on_all_databases);
+        self
+    }
+
+    /// The attached uniform-termination verdict, if any.
+    pub fn uniform_verdict(&self) -> Option<bool> {
+        self.uniform
+    }
+
+    /// One-line human summary of the prepared program.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} rules, class {}, {}{}",
+            self.rule_count(),
+            self.class.short_name(),
+            if self.single_atom_bodies {
+                "single-atom bodies (chain-fusable)"
+            } else {
+                "multi-atom bodies"
+            },
+            match self.uniform {
+                Some(true) => ", uniformly terminating",
+                Some(false) => ", not uniformly terminating",
+                None => "",
+            }
+        )
+    }
+}
+
+impl From<TgdSet> for PreparedProgram {
+    fn from(tgds: TgdSet) -> Self {
+        PreparedProgram::compile(tgds)
+    }
+}
+
+/// Builder for [`Engine`] — the chase execution policy, one knob per
+/// [`ChaseConfig`] field.
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    config: ChaseConfig,
+}
+
+impl EngineBuilder {
+    /// The chase variant to run (default: semi-oblivious).
+    pub fn variant(mut self, variant: ChaseVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Worker count: `0` (default) the sequential reference engine, `1`
+    /// the single-worker task executor, `n ≥ 2` a persistent pool of
+    /// `n − 1` worker threads plus the coordinating caller. Results are
+    /// byte-identical at every setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Apply-path selection (see [`crate::chase::ApplyPath`]).
+    pub fn apply_path(mut self, path: crate::chase::ApplyPath) -> Self {
+        self.config.apply_path = path;
+        self
+    }
+
+    /// Default hard resource budgets for runs (see [`ChaseBudget`]);
+    /// adjustable per session via [`ChaseSession::set_budget`].
+    pub fn budget(mut self, budget: ChaseBudget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Record the guarded chase forest during runs.
+    pub fn build_forest(mut self, on: bool) -> Self {
+        self.config.build_forest = on;
+        self
+    }
+
+    /// Record per-atom derivation provenance during runs.
+    pub fn record_provenance(mut self, on: bool) -> Self {
+        self.config.record_provenance = on;
+        self
+    }
+
+    /// Builds the engine. For `threads ≥ 2` this spawns the persistent
+    /// worker pool (`threads − 1` parked threads), which lives until the
+    /// engine is dropped.
+    pub fn build(self) -> Engine {
+        Engine::from_config(&self.config)
+    }
+}
+
+/// Recycled per-session buffers: the per-rule fired sets and the
+/// [`RoundDriver`] (worker scratch, trigger batch, apply buffers, task
+/// list). Handing these back on [`ChaseSession::finish`] is what makes a
+/// warm engine's per-chase setup allocation-free.
+#[derive(Debug)]
+struct SessionParts {
+    fired: Vec<TermTupleSet>,
+    driver: RoundDriver,
+}
+
+/// Cap on the engine's recycled-buffer stack: enough for a handful of
+/// concurrently open sessions without hoarding arenas forever.
+const SPARE_PARTS_MAX: usize = 8;
+
+/// The chase execution engine: a [`ChaseConfig`] plus everything worth
+/// keeping *between* chases — a persistent worker pool (threads parked,
+/// not respawned, between runs) and recycled session buffers.
+///
+/// One engine serves any number of [`PreparedProgram`]s and sessions;
+/// see the [module docs](self) for the compile-once/chase-many story and
+/// runnable examples.
+#[derive(Debug)]
+pub struct Engine {
+    config: ChaseConfig,
+    pool: Option<WorkerPool>,
+    spare: Mutex<Vec<SessionParts>>,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with exactly this configuration (the builder's
+    /// terminal step; also the adapter the legacy free-function shims
+    /// use).
+    pub fn from_config(config: &ChaseConfig) -> Engine {
+        let pool = (config.threads >= 2).then(|| WorkerPool::new(config.threads - 1));
+        Engine {
+            config: *config,
+            pool,
+            spare: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ChaseConfig {
+        &self.config
+    }
+
+    /// Opens a session over a copy of `database`. The session owns its
+    /// instance and all chase state; drive it with
+    /// [`ChaseSession::run`] / [`ChaseSession::resume`].
+    pub fn session<'e, 'p>(
+        &'e self,
+        program: &'p PreparedProgram,
+        database: &Instance,
+    ) -> ChaseSession<'e, 'p> {
+        self.session_owned(program, database.clone())
+    }
+
+    /// Opens a session that takes ownership of `database` (no copy).
+    pub fn session_owned<'e, 'p>(
+        &'e self,
+        program: &'p PreparedProgram,
+        database: Instance,
+    ) -> ChaseSession<'e, 'p> {
+        let parts = self.spare.lock().unwrap().pop();
+        // Spare parts are stored clean (`Engine::store_parts` clears
+        // them), so only the per-program length needs adjusting here.
+        let (mut fired, mut driver) = match parts {
+            Some(SessionParts { fired, driver }) => (fired, driver),
+            None => (Vec::new(), RoundDriver::new(&self.config, program.tgds())),
+        };
+        fired.resize_with(program.rule_count(), TermTupleSet::new);
+        driver.restart(&self.config, program.single_atom_bodies(), Instant::now());
+        let base_atoms = database.len();
+        ChaseSession {
+            engine: self,
+            program,
+            config: self.config,
+            core: SessionCore {
+                instance: database,
+                fired,
+                apply: ApplyState::new(&self.config, base_atoms),
+                delta_start: 0,
+                base_atoms,
+            },
+            driver,
+            marks: Vec::new(),
+            mid_round_stop: false,
+            lifetime: ChaseStats::default(),
+            last_run: ChaseStats::default(),
+            runs: 0,
+            outcome: None,
+            deadline: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// One-shot convenience: open a session, run it to the configured
+    /// budgets, and consume it into a [`ChaseResult`].
+    pub fn chase(&self, program: &PreparedProgram, database: &Instance) -> ChaseResult {
+        self.chase_with_mark(program, database, Instant::now())
+    }
+
+    /// [`Engine::chase`] with a caller-supplied start instant, so shims
+    /// account their own setup (clone, compile) into the run's wall and
+    /// first enumerate span — exactly as the pre-session engine did.
+    pub(crate) fn chase_with_mark(
+        &self,
+        program: &PreparedProgram,
+        database: &Instance,
+        mark: Instant,
+    ) -> ChaseResult {
+        let mut session = self.session(program, database);
+        session.run_inner(None, mark);
+        session.finish()
+    }
+
+    /// Returns a finished session's buffers to the recycle stack.
+    fn store_parts(&self, mut fired: Vec<TermTupleSet>, driver: RoundDriver) {
+        let mut spare = self.spare.lock().unwrap();
+        if spare.len() < SPARE_PARTS_MAX {
+            fired.iter_mut().for_each(TermTupleSet::clear);
+            spare.push(SessionParts { fired, driver });
+        }
+    }
+
+    /// The persistent worker pool, when `threads ≥ 2`.
+    pub(crate) fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
+    }
+}
+
+/// Soft, per-run limits checked **between rounds** — unlike the hard
+/// [`ChaseBudget`] (which stops mid-commit the instant a limit trips),
+/// these pause the session at a round boundary, which is what makes a
+/// paused-and-resumed session byte-identical to an uninterrupted run.
+/// All limits are optional and combine (first to trip wins).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunLimits {
+    /// Pause before the next round once the instance holds at least this
+    /// many atoms (the run may overshoot by up to one round's output).
+    pub pause_at_atoms: Option<usize>,
+    /// Pause after this many rounds *of this run*.
+    pub max_rounds: Option<usize>,
+    /// Pause at the first round boundary past this instant.
+    pub deadline: Option<Instant>,
+}
+
+impl RunLimits {
+    /// Pause once the instance reaches `n` atoms.
+    pub fn atoms(n: usize) -> Self {
+        RunLimits {
+            pause_at_atoms: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Pause after `n` rounds of this run.
+    pub fn rounds(n: usize) -> Self {
+        RunLimits {
+            max_rounds: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Pause at the first round boundary past `deadline`.
+    pub fn until(deadline: Instant) -> Self {
+        RunLimits {
+            deadline: Some(deadline),
+            ..Default::default()
+        }
+    }
+}
+
+/// The chase state a session owns between runs: the live instance, the
+/// authoritative per-rule fired sets, the apply-side state (null store,
+/// forest, provenance, commit scratch), and the semi-naive frontier.
+#[derive(Debug)]
+pub(crate) struct SessionCore {
+    /// The live instance (database + everything derived so far).
+    pub(crate) instance: Instance,
+    /// Authoritative per-rule fired sets.
+    pub(crate) fired: Vec<TermTupleSet>,
+    /// Null store, forest, provenance, and commit scratch.
+    pub(crate) apply: ApplyState,
+    /// First atom index of the pending delta.
+    pub(crate) delta_start: AtomIdx,
+    /// Database atoms (initial plus added) — the baseline for
+    /// `atoms_created`.
+    pub(crate) base_atoms: usize,
+}
+
+/// Per-run control state threaded through the round loops: lifetime
+/// round accounting, the soft [`RunLimits`], cancellation/deadline, and
+/// the round-start fired watermarks for mid-round stop recovery.
+pub(crate) struct RunCtl<'a> {
+    /// Lifetime rounds executed before this run (the hard
+    /// [`ChaseBudget::max_rounds`] counts across resumes).
+    pub(crate) rounds_base: usize,
+    /// Soft cap on this run's rounds.
+    pub(crate) run_rounds_cap: Option<usize>,
+    /// Soft pause threshold on the instance size.
+    pub(crate) pause_at_atoms: Option<usize>,
+    /// Pause at the first round boundary past this instant.
+    pub(crate) deadline: Option<Instant>,
+    /// Cooperative cancellation flag, polled between rounds.
+    pub(crate) cancel: Option<&'a AtomicBool>,
+    /// Round-start per-rule fired watermarks (recorded when present).
+    pub(crate) marks: Option<&'a mut Vec<u32>>,
+}
+
+impl RunCtl<'_> {
+    /// The round-boundary checkpoint: hard round budget, soft limits,
+    /// cancellation, deadline — in that fixed order — then the
+    /// round-start fired watermarks. Returns the outcome ending the run,
+    /// or `None` to proceed into the round.
+    pub(crate) fn checkpoint(
+        &mut self,
+        config: &ChaseConfig,
+        rounds_this_run: usize,
+        instance_len: usize,
+        fired: &[TermTupleSet],
+    ) -> Option<ChaseOutcome> {
+        if self.rounds_base + rounds_this_run >= config.budget.max_rounds {
+            return Some(ChaseOutcome::RoundLimit);
+        }
+        if let Some(cap) = self.run_rounds_cap {
+            if rounds_this_run >= cap {
+                return Some(ChaseOutcome::Paused);
+            }
+        }
+        if let Some(pause) = self.pause_at_atoms {
+            if instance_len >= pause {
+                return Some(ChaseOutcome::Paused);
+            }
+        }
+        if let Some(cancel) = self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Some(ChaseOutcome::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(ChaseOutcome::Deadline);
+            }
+        }
+        if let Some(marks) = self.marks.as_deref_mut() {
+            marks.clear();
+            marks.extend(fired.iter().map(|set| set.len() as u32));
+        }
+        None
+    }
+}
+
+/// One in-progress (or finished) chase: owns the instance, nulls, fired
+/// sets, and statistics; runs to hard budgets or soft [`RunLimits`];
+/// accepts new database atoms between runs; and consumes into a
+/// [`ChaseResult`]. See the [module docs](self) for the exact resume
+/// guarantees per variant.
+#[derive(Debug)]
+pub struct ChaseSession<'e, 'p> {
+    engine: &'e Engine,
+    program: &'p PreparedProgram,
+    config: ChaseConfig,
+    core: SessionCore,
+    driver: RoundDriver,
+    /// Round-start per-rule fired watermarks of the most recent round.
+    marks: Vec<u32>,
+    /// A hard budget stopped the last run mid-round: the next run must
+    /// roll the fired sets back to `marks` and replay the round.
+    mid_round_stop: bool,
+    lifetime: ChaseStats,
+    last_run: ChaseStats,
+    runs: usize,
+    outcome: Option<ChaseOutcome>,
+    deadline: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl ChaseSession<'_, '_> {
+    /// Runs the chase to termination or the session's hard
+    /// [`ChaseBudget`], honoring the session deadline and cancellation
+    /// flag between rounds. Re-running a terminated session with no new
+    /// atoms is a no-op returning [`ChaseOutcome::Terminated`].
+    pub fn run(&mut self) -> ChaseOutcome {
+        self.run_inner(None, Instant::now())
+    }
+
+    /// [`ChaseSession::run`] with soft per-run limits — pauses at a
+    /// round boundary, from which [`ChaseSession::resume`] continues
+    /// byte-identically.
+    pub fn run_limited(&mut self, limits: &RunLimits) -> ChaseOutcome {
+        self.run_inner(Some(limits), Instant::now())
+    }
+
+    /// Continues a paused or extended session — an alias of
+    /// [`ChaseSession::run`], named for the incremental flow
+    /// (`add_atoms` → `resume`).
+    pub fn resume(&mut self) -> ChaseOutcome {
+        self.run()
+    }
+
+    fn run_inner(&mut self, limits: Option<&RunLimits>, mark: Instant) -> ChaseOutcome {
+        // A terminated session with an empty pending delta cannot
+        // progress; running a round anyway would add one empty round an
+        // uninterrupted chase never executes.
+        if self.outcome == Some(ChaseOutcome::Terminated)
+            && self.core.delta_start as usize == self.core.instance.len()
+        {
+            return ChaseOutcome::Terminated;
+        }
+        // Mid-round hard-stop recovery: roll the fired sets back to the
+        // interrupted round's start so its unfired triggers re-enumerate
+        // (see the module docs — the replay is idempotent for the
+        // interned-null variants).
+        if self.mid_round_stop {
+            self.mid_round_stop = false;
+            for (set, &watermark) in self.core.fired.iter_mut().zip(&self.marks) {
+                set.truncate(watermark as usize);
+            }
+        }
+        let tgds = self.program.tgds();
+        let len_before = self.core.instance.len();
+        let nulls_before = self.core.apply.nulls.len();
+        self.driver
+            .restart(&self.config, self.program.single_atom_bodies(), mark);
+        let mut stats = ChaseStats::default();
+        let mut ctl = RunCtl {
+            rounds_base: self.lifetime.rounds,
+            run_rounds_cap: limits.and_then(|l| l.max_rounds),
+            pause_at_atoms: limits.and_then(|l| l.pause_at_atoms),
+            // The session deadline and a per-run deadline combine:
+            // whichever trips first wins.
+            deadline: match (limits.and_then(|l| l.deadline), self.deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            cancel: Some(&self.cancel),
+            marks: Some(&mut self.marks),
+        };
+        let outcome = match self.config.threads {
+            0 => run_rounds_sequential(
+                tgds,
+                &self.config,
+                &mut self.core,
+                &mut self.driver,
+                &mut ctl,
+                &mut stats,
+            ),
+            1 => run_rounds_tasked(
+                tgds,
+                &self.config,
+                &mut self.core,
+                &mut self.driver,
+                &mut ctl,
+                &mut stats,
+            ),
+            _ => run_pooled(
+                self.engine.pool().expect("threads >= 2 engines own a pool"),
+                self.program.shared_tgds(),
+                &self.config,
+                &mut self.core,
+                &mut self.driver,
+                &mut ctl,
+                &mut stats,
+                mark,
+            ),
+        };
+        if self.config.threads <= 1 {
+            self.driver.finish_run(&mut stats);
+        }
+        match outcome {
+            // The final delta was fully enumerated and produced nothing:
+            // consume it, so a later resume (after `add_atoms`) chases
+            // exactly the added atoms.
+            ChaseOutcome::Terminated => {
+                self.core.delta_start = self.core.instance.len() as AtomIdx;
+            }
+            // Hard budgets stop mid-round; round-boundary outcomes
+            // (pause, cancellation, deadline, round budget) leave clean
+            // state behind.
+            ChaseOutcome::AtomLimit | ChaseOutcome::DepthLimit => {
+                self.mid_round_stop = true;
+            }
+            _ => {}
+        }
+        stats.atoms_created = self.core.instance.len() - len_before;
+        stats.nulls_created = self.core.apply.nulls.len() - nulls_before;
+        stats.wall_secs = mark.elapsed().as_secs_f64();
+        self.runs += 1;
+        self.outcome = Some(outcome);
+        self.lifetime.absorb(&stats);
+        self.last_run = stats;
+        outcome
+    }
+
+    /// Appends new database atoms to the live instance (duplicates of
+    /// atoms already present — database or derived — are ignored).
+    /// Returns the number actually added. Follow with
+    /// [`ChaseSession::resume`] to chase the delta.
+    pub fn add_atoms<I>(&mut self, atoms: I) -> usize
+    where
+        I: IntoIterator<Item = Atom>,
+    {
+        let mut added = 0usize;
+        for atom in atoms {
+            if let Some(idx) = self.core.instance.insert(atom) {
+                added += 1;
+                if let Some(forest) = self.core.apply.forest.as_mut() {
+                    forest.push_root(idx);
+                }
+                if let Some(prov) = self.core.apply.provenance.as_mut() {
+                    prov.push(idx, None);
+                }
+            }
+        }
+        if added > 0 {
+            self.core.base_atoms += added;
+            // The session is in progress again; the stale outcome would
+            // misreport `terminated()`.
+            self.outcome = None;
+        }
+        added
+    }
+
+    /// Replaces the session's hard budgets (e.g. to raise the atom cap
+    /// before resuming a budget-stopped run).
+    pub fn set_budget(&mut self, budget: ChaseBudget) {
+        self.config.budget = budget;
+    }
+
+    /// Sets (or clears) the session deadline, checked between rounds on
+    /// every run.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// A handle other threads can use to cancel the session: store
+    /// `true` and the run stops at the next round boundary with
+    /// [`ChaseOutcome::Cancelled`]. Clear it to make the session
+    /// resumable again.
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// The live instance (database + derived atoms so far).
+    pub fn instance(&self) -> &Instance {
+        &self.core.instance
+    }
+
+    /// The null store.
+    pub fn nulls(&self) -> &NullStore {
+        &self.core.apply.nulls
+    }
+
+    /// The outcome of the most recent run; `None` before the first run
+    /// or after [`ChaseSession::add_atoms`] extended the database.
+    pub fn outcome(&self) -> Option<ChaseOutcome> {
+        self.outcome
+    }
+
+    /// Did the chase terminate (no active trigger remains and no atoms
+    /// were added since)?
+    pub fn terminated(&self) -> bool {
+        self.outcome == Some(ChaseOutcome::Terminated)
+    }
+
+    /// Statistics of the most recent [`ChaseSession::run`] only.
+    pub fn last_run_stats(&self) -> &ChaseStats {
+        &self.last_run
+    }
+
+    /// Session-cumulative statistics: every counter and phase timer
+    /// summed over all runs, so a resumed session reports honest
+    /// lifetime throughput instead of resetting per call.
+    pub fn stats(&self) -> &ChaseStats {
+        &self.lifetime
+    }
+
+    /// Number of completed [`ChaseSession::run`] / resume calls.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Atoms derived beyond the database (initial plus added atoms).
+    pub fn atoms_created(&self) -> usize {
+        self.core.instance.len() - self.core.base_atoms
+    }
+
+    /// The prepared program this session chases.
+    pub fn program(&self) -> &PreparedProgram {
+        self.program
+    }
+
+    /// Consumes the session into the classic [`ChaseResult`], returning
+    /// the reusable buffers to the engine. The result's statistics are
+    /// the session-cumulative totals; its outcome is the last run's
+    /// ([`ChaseOutcome::Paused`] for a session never run).
+    pub fn finish(self) -> ChaseResult {
+        let ChaseSession {
+            engine,
+            core,
+            driver,
+            lifetime,
+            outcome,
+            ..
+        } = self;
+        let mut stats = lifetime;
+        stats.atoms_created = core.instance.len() - core.base_atoms;
+        stats.nulls_created = core.apply.nulls.len();
+        engine.store_parts(core.fired, driver);
+        ChaseResult {
+            instance: core.instance,
+            nulls: core.apply.nulls,
+            outcome: outcome.unwrap_or(ChaseOutcome::Paused),
+            stats,
+            forest: core.apply.forest,
+            provenance: core.apply.provenance,
+        }
+    }
+}
+
+/// The sequential round loop (`threads == 0`): whole-rule delta sweeps
+/// through [`enumerate_rule`], the [`RoundDriver`] apply paths, and the
+/// chain micro-round fast path. Byte-identical to the pre-session
+/// `sequential_chase` loop (the differential suites pin it); the only
+/// additions are the round-boundary [`RunCtl::checkpoint`].
+fn run_rounds_sequential(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    core: &mut SessionCore,
+    driver: &mut RoundDriver,
+    ctl: &mut RunCtl<'_>,
+    stats: &mut ChaseStats,
+) -> ChaseOutcome {
+    loop {
+        if let Some(stop) = ctl.checkpoint(config, stats.rounds, core.instance.len(), &core.fired) {
+            return stop;
+        }
+        stats.rounds += 1;
+
+        let eager = driver.begin_round(core.instance.len() as AtomIdx - core.delta_start, stats);
+
+        // Chain micro-round: every rule body is a single atom and the
+        // round is fused-eligible — enumerate, dedup, and fire in one
+        // pass over the delta window, no trigger batch at all.
+        if driver.chain_round() {
+            let len_before = core.instance.len();
+            let (considered, any, stop) = fused_chain_round(
+                tgds,
+                config,
+                &mut core.instance,
+                &mut core.fired,
+                &mut core.apply,
+                &mut driver.ws,
+                (core.delta_start, len_before as AtomIdx),
+                stats,
+            );
+            stats.triggers_considered += considered;
+            driver.lap_chain_round(stats);
+            if let Some(stop) = stop {
+                return stop;
+            }
+            if !any || core.instance.len() == len_before {
+                return ChaseOutcome::Terminated;
+            }
+            core.delta_start = len_before as AtomIdx;
+            continue;
+        }
+
+        // Phase 1: enumerate new triggers against the frozen instance.
+        driver.batch.clear();
+        let ctx = RoundCtx {
+            tgds,
+            variant: config.variant,
+            delta_start: core.delta_start,
+        };
+        for (rule, _) in tgds.iter() {
+            stats.triggers_considered += if eager {
+                enumerate_rule_eager(
+                    &core.instance,
+                    ctx,
+                    rule,
+                    &mut core.fired[rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                )
+            } else {
+                enumerate_rule(
+                    &core.instance,
+                    ctx,
+                    rule,
+                    &core.fired[rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                )
+            };
+        }
+        driver.lap_enumerate(stats);
+        if driver.batch.is_empty() {
+            return ChaseOutcome::Terminated;
+        }
+
+        // Phase 2: apply on the path `begin_round` chose.
+        let len_before = core.instance.len();
+        if let Some(stop) = driver.apply(
+            tgds,
+            config,
+            &mut core.instance,
+            &mut core.fired,
+            &mut core.apply,
+            stats,
+        ) {
+            return stop;
+        }
+        if core.instance.len() == len_before {
+            return ChaseOutcome::Terminated;
+        }
+        core.delta_start = len_before as AtomIdx;
+    }
+}
+
+/// The single-worker task loop (`threads == 1`): the same rounds as the
+/// pool executor — canonical `(rule, pivot, window)` task decomposition
+/// — minus the synchronization; this is the 1-thread scaling baseline.
+fn run_rounds_tasked(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    core: &mut SessionCore,
+    driver: &mut RoundDriver,
+    ctl: &mut RunCtl<'_>,
+    stats: &mut ChaseStats,
+) -> ChaseOutcome {
+    loop {
+        if let Some(stop) = ctl.checkpoint(config, stats.rounds, core.instance.len(), &core.fired) {
+            return stop;
+        }
+        stats.rounds += 1;
+
+        let len = core.instance.len() as AtomIdx;
+        let eager = driver.begin_round(len - core.delta_start, stats);
+
+        // Chain micro-round: one fused pass, no task list, no batch.
+        if driver.chain_round() {
+            let len_before = core.instance.len();
+            let (considered, any, stop) = fused_chain_round(
+                tgds,
+                config,
+                &mut core.instance,
+                &mut core.fired,
+                &mut core.apply,
+                &mut driver.ws,
+                (core.delta_start, len_before as AtomIdx),
+                stats,
+            );
+            stats.triggers_considered += considered;
+            driver.lap_chain_round(stats);
+            if let Some(stop) = stop {
+                return stop;
+            }
+            if !any || core.instance.len() == len_before {
+                return ChaseOutcome::Terminated;
+            }
+            core.delta_start = len_before as AtomIdx;
+            continue;
+        }
+
+        driver.prepare_tasks(tgds, core.delta_start, len);
+        driver.batch.clear();
+        let ctx = RoundCtx {
+            tgds,
+            variant: config.variant,
+            delta_start: core.delta_start,
+        };
+        for i in 0..driver.tasks.len() {
+            let task = driver.tasks[i];
+            stats.triggers_considered += if eager {
+                enumerate_task_eager(
+                    &core.instance,
+                    ctx,
+                    task,
+                    &mut core.fired[task.rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                )
+            } else {
+                enumerate_task(
+                    &core.instance,
+                    ctx,
+                    task,
+                    &core.fired[task.rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                )
+            };
+        }
+        driver.lap_enumerate(stats);
+        if driver.batch.is_empty() {
+            return ChaseOutcome::Terminated;
+        }
+
+        let len_before = core.instance.len();
+        if let Some(stop) = driver.apply(
+            tgds,
+            config,
+            &mut core.instance,
+            &mut core.fired,
+            &mut core.apply,
+            stats,
+        ) {
+            return stop;
+        }
+        if core.instance.len() == len_before {
+            return ChaseOutcome::Terminated;
+        }
+        core.delta_start = len_before as AtomIdx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase, ChaseVariant};
+    use nuchase_model::parse_program;
+
+    #[test]
+    fn prepared_program_reports_metadata() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> s(X, Z).").unwrap();
+        let program = PreparedProgram::compile(p.tgds);
+        assert_eq!(program.rule_count(), 1);
+        assert!(program.single_atom_bodies());
+        assert_eq!(program.uniform_verdict(), None);
+        let program = program.with_uniform_verdict(true);
+        assert_eq!(program.uniform_verdict(), Some(true));
+        assert!(program.summary().contains("1 rules"));
+        assert!(program.summary().contains("uniformly terminating"));
+    }
+
+    #[test]
+    fn engine_chase_matches_free_function() {
+        let p =
+            parse_program("e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X, W).")
+                .unwrap();
+        let cfg = ChaseConfig {
+            record_provenance: true,
+            build_forest: true,
+            ..Default::default()
+        };
+        let reference = chase(&p.database, &p.tgds, &cfg);
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::from_config(&cfg);
+        for _ in 0..3 {
+            // Repeat: recycled buffers must not change anything.
+            let r = engine.chase(&program, &p.database);
+            assert_eq!(r.outcome, reference.outcome);
+            assert!(r.instance.indexed_eq(&reference.instance));
+            assert_eq!(r.stats.rounds, reference.stats.rounds);
+            assert_eq!(r.nulls.len(), reference.nulls.len());
+        }
+    }
+
+    #[test]
+    fn session_accumulates_stats_across_runs() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::builder().build();
+        let mut session = engine.session(&program, &p.database);
+        assert_eq!(
+            session.run_limited(&RunLimits::atoms(50)),
+            ChaseOutcome::Paused
+        );
+        let first_rounds = session.last_run_stats().rounds;
+        assert!(first_rounds > 0);
+        assert_eq!(
+            session.run_limited(&RunLimits::atoms(120)),
+            ChaseOutcome::Paused
+        );
+        assert_eq!(session.runs(), 2);
+        assert_eq!(
+            session.stats().rounds,
+            first_rounds + session.last_run_stats().rounds
+        );
+        assert!(session.stats().wall_secs >= session.last_run_stats().wall_secs);
+        assert_eq!(session.stats().atoms_created, session.atoms_created());
+        // Hard budgets stay lifetime-scoped: rounds budget counts across
+        // resumes.
+        let mut capped = engine.session(&program, &p.database);
+        capped.set_budget(ChaseBudget {
+            max_rounds: 10,
+            ..ChaseBudget::atoms(1_000_000)
+        });
+        assert_eq!(
+            capped.run_limited(&RunLimits::rounds(4)),
+            ChaseOutcome::Paused
+        );
+        assert_eq!(capped.resume(), ChaseOutcome::RoundLimit);
+        assert_eq!(capped.stats().rounds, 10);
+    }
+
+    #[test]
+    fn cancellation_stops_between_rounds() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::builder().build();
+        let mut session = engine.session(&program, &p.database);
+        session.cancel_handle().store(true, Ordering::Relaxed);
+        assert_eq!(session.run(), ChaseOutcome::Cancelled);
+        assert_eq!(session.instance().len(), 1, "cancelled before round 1");
+        // Clearing the flag makes the session resumable.
+        session.cancel_handle().store(false, Ordering::Relaxed);
+        assert_eq!(
+            session.run_limited(&RunLimits::rounds(5)),
+            ChaseOutcome::Paused
+        );
+        assert!(session.instance().len() > 1);
+    }
+
+    #[test]
+    fn deadline_stops_between_rounds() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::builder().build();
+        let mut session = engine.session(&program, &p.database);
+        session.set_deadline(Some(Instant::now()));
+        assert_eq!(session.run(), ChaseOutcome::Deadline);
+        // A later per-run deadline cannot loosen the earlier session
+        // deadline: whichever trips first wins.
+        assert_eq!(
+            session.run_limited(&RunLimits::until(
+                Instant::now() + std::time::Duration::from_secs(3600)
+            )),
+            ChaseOutcome::Deadline
+        );
+        session.set_deadline(None);
+        assert_eq!(
+            session.run_limited(&RunLimits::rounds(3)),
+            ChaseOutcome::Paused
+        );
+    }
+
+    #[test]
+    fn resume_after_termination_is_a_no_op() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> s(X, Z).").unwrap();
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::builder().build();
+        let mut session = engine.session(&program, &p.database);
+        assert_eq!(session.run(), ChaseOutcome::Terminated);
+        let rounds = session.stats().rounds;
+        assert_eq!(session.resume(), ChaseOutcome::Terminated);
+        assert_eq!(session.stats().rounds, rounds, "no extra rounds");
+        assert_eq!(session.runs(), 1, "the no-op resume is not a run");
+    }
+
+    #[test]
+    fn add_atoms_dedups_and_resumes() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> s(X, Z).").unwrap();
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::builder().build();
+        let mut session = engine.session(&program, &p.database);
+        session.run();
+        assert!(session.terminated());
+        let atoms: Vec<_> = session.instance().iter().map(|a| a.to_atom()).collect();
+        // Re-adding existing atoms (database or derived) adds nothing.
+        assert_eq!(session.add_atoms(atoms), 0);
+        assert!(session.terminated(), "outcome untouched by a no-op add");
+        // A genuinely new atom re-opens the session.
+        let q = parse_program("r(a, b).\nr(x2, y2).").unwrap();
+        assert_eq!(session.add_atoms(q.database.iter().map(|a| a.to_atom())), 1);
+        assert_eq!(session.outcome(), None);
+        assert_eq!(session.resume(), ChaseOutcome::Terminated);
+        assert_eq!(session.atoms_created(), 2, "one s-atom per r-fact");
+    }
+
+    #[test]
+    fn hard_budget_stop_recovers_on_resume() {
+        // An atom-budget stop lands mid-round; raising the budget and
+        // resuming must reach the same final set as an unbudgeted run.
+        for threads in [0usize, 1, 2] {
+            for variant in [ChaseVariant::SemiOblivious, ChaseVariant::Oblivious] {
+                let p = parse_program("r(a, b).\nr(c, d).\nr(e, f).\nr(X, Y) -> s(X, Z), t(Z, Y).")
+                    .unwrap();
+                let cfg = ChaseConfig {
+                    variant,
+                    threads,
+                    ..Default::default()
+                };
+                let reference = chase(&p.database, &p.tgds, &cfg);
+                assert!(reference.terminated());
+                let program = PreparedProgram::compile(p.tgds);
+                let engine = Engine::from_config(&cfg);
+                let mut session = engine.session(&program, &p.database);
+                session.set_budget(ChaseBudget::atoms(5));
+                assert_eq!(session.run(), ChaseOutcome::AtomLimit);
+                session.set_budget(ChaseBudget::default());
+                assert_eq!(session.resume(), ChaseOutcome::Terminated);
+                assert!(
+                    session.instance().set_eq(&reference.instance),
+                    "threads {threads} {variant:?}"
+                );
+                assert_eq!(session.nulls().len(), reference.nulls.len());
+            }
+        }
+    }
+
+    #[test]
+    fn finish_without_running_reports_paused() {
+        let p = parse_program("r(a, b).\nr(X, Y) -> s(X, Z).").unwrap();
+        let program = PreparedProgram::compile(p.tgds);
+        let engine = Engine::builder().build();
+        let session = engine.session(&program, &p.database);
+        let result = session.finish();
+        assert_eq!(result.outcome, ChaseOutcome::Paused);
+        assert_eq!(result.instance.len(), 1);
+        assert_eq!(result.stats.rounds, 0);
+    }
+
+    #[test]
+    fn sessions_share_an_engine_across_programs() {
+        let engine = Engine::builder().build();
+        let p1 = parse_program("r(a, b).\nr(X, Y) -> s(X, Z).").unwrap();
+        let p2 = parse_program(
+            "e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X).\np(X) -> q(X).",
+        )
+        .unwrap();
+        let prog1 = PreparedProgram::compile(p1.tgds);
+        let prog2 = PreparedProgram::compile(p2.tgds);
+        // Interleave: recycled buffers must re-size per program.
+        for _ in 0..3 {
+            let r1 = engine.chase(&prog1, &p1.database);
+            assert!(r1.terminated());
+            assert_eq!(r1.instance.len(), 2);
+            let r2 = engine.chase(&prog2, &p2.database);
+            assert!(r2.terminated());
+            // closure {ab, bc, ac} + {p(a), p(b)} + {q(a), q(b)}
+            assert_eq!(r2.instance.len(), 3 + 2 + 2);
+        }
+    }
+}

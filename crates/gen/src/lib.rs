@@ -5,7 +5,7 @@
 //!
 //! * the three **lower-bound families** of Theorems 6.5 / 7.6 / 8.4
 //!   ([`lower_bounds`]);
-//! * the **depth family** of Proposition 4.5 ([`depth_family`]);
+//! * the **depth family** of Proposition 4.5 ([`depth_family()`]);
 //! * the **Turing-machine reduction** of Appendix A with a DTM simulator
 //!   and a library of concrete machines ([`turing`]);
 //! * seeded **random program generators** per TGD class ([`random`]);

@@ -29,7 +29,7 @@
 //!   and roughly doubles the candidate work). Term postings live in
 //!   **dense lanes** per `(position, term kind)` — indexed by the
 //!   term's interned id, not hashed — with a hash-map overflow for
-//!   sparse id windows ([`DenseLane`]); the common posting update (the
+//!   sparse id windows (`DenseLane`); the common posting update (the
 //!   hottest serial work in the chase commit loop) is a vector index.
 //!
 //! Posting lists are ascending in atom index, which lets the semi-naive

@@ -11,7 +11,7 @@
 //!   the pivot pattern (restricted to the delta) is matched first, the
 //!   patterns before it against the old region, the rest against
 //!   everything — the standard duplicate-free pivot scheme, with the
-//!   permuted pattern lists and [`Region`] vectors precomputed instead of
+//!   permuted pattern lists and `Region` vectors precomputed instead of
 //!   cloned per round;
 //! * **position-keyed index probing**: at runtime the search probes the
 //!   `(pred, position, term)` posting list of every argument position

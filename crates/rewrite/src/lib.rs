@@ -3,12 +3,12 @@
 //! The two rewriting techniques that the paper ports from ontological
 //! query answering to chase termination:
 //!
-//! * **Simplification** (§7, [`simplify`]): eliminates repeated variables
+//! * **Simplification** (§7, [`simplify()`]): eliminates repeated variables
 //!   from linear TGDs, converting `L` into `SL` over annotated predicates
 //!   `R^{ℓ̄}`. Proposition 7.3: preserves chase finiteness and max depth.
-//! * **Linearization** (§8, [`linearize`]): converts guarded TGDs into
+//! * **Linearization** (§8, [`linearize()`]): converts guarded TGDs into
 //!   linear TGDs over type predicates `[τ]`, powered by the guarded
-//!   completion `complete(I, Σ)` ([`complete`]). Proposition 8.1:
+//!   completion `complete(I, Σ)` ([`complete()`]). Proposition 8.1:
 //!   preserves chase finiteness and max depth.
 //!
 //! `gsimple(·) = simple(lin(·))` combines both, reducing `ChTrm(G)` to the

@@ -7,7 +7,7 @@
 //!
 //! * each database atom `R(t̄) ∈ D` as `[τ](t̄)` where `τ` canonicalizes
 //!   `(R(t̄), type_{D,Σ}(R(t̄)))`, the type computed via
-//!   [`complete`](crate::complete) — this is `lin(D)`;
+//!   [`complete`](crate::complete()) — this is `lin(D)`;
 //! * each guarded TGD `σ`, for each Σ-type `τ` and homomorphism
 //!   `h : body(σ) → atoms(τ)` with `h(guard(σ)) = guard(τ)`, as the linear
 //!   TGD `[τ](ū) → ∃z̄ [τ₁](ū₁), …, [τₘ](ūₘ)` whose head types are

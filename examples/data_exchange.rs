@@ -7,11 +7,17 @@
 //! heads; the semi-oblivious chase reuses one null per `(rule, frontier)`,
 //! which is what keeps the solution finite here.
 //!
+//! The mapping is compiled **once** ([`PreparedProgram`]) and served by
+//! one [`Engine`] across every source instance — including an
+//! *incremental* load: when late source rows arrive, the open
+//! [`nuchase_engine::ChaseSession`] chases just the delta instead of
+//! re-materializing from scratch.
+//!
 //! ```text
-//! cargo run -p nuchase-bench --example data_exchange
+//! cargo run --release --example data_exchange
 //! ```
 
-use nuchase_engine::semi_oblivious_chase;
+use nuchase_engine::{Engine, PreparedProgram};
 use nuchase_gen::scenarios::{exchange_mapping, exchange_source};
 use nuchase_model::{DisplayWith, SymbolTable};
 
@@ -21,22 +27,25 @@ fn main() {
     println!("schema mapping:\n{}", mapping.display(&symbols));
 
     // Weak acyclicity guarantees termination on EVERY source instance —
-    // the classical, uniform guarantee.
+    // the classical, uniform guarantee. Record it on the prepared
+    // program: compile once, serve every source below.
     assert!(nuchase::is_uniformly_weakly_acyclic(&mapping));
     println!("mapping is weakly acyclic: chase terminates on all sources\n");
+    let prepared = PreparedProgram::compile(mapping).with_uniform_verdict(true);
+    let engine = Engine::builder().build();
 
     let source = exchange_source(&mut symbols, 12);
     println!("source instance ({} facts):", source.len());
     print!("{}", source.display(&symbols));
 
-    let result = semi_oblivious_chase(&source, &mapping, 100_000);
-    assert!(result.terminated());
-    assert!(result.is_model_of(&mapping));
+    let mut session = engine.session(&prepared, &source);
+    session.run();
+    assert!(session.terminated());
 
     // Report the target relations (everything not in the source schema).
-    println!("\nuniversal solution ({} atoms):", result.instance.len());
+    println!("\nuniversal solution ({} atoms):", session.instance().len());
     let mut shown = 0;
-    for atom in result.instance.iter() {
+    for atom in session.instance().iter() {
         let name = symbols.pred_name(atom.pred);
         if !name.starts_with("s_") {
             println!("  {}", atom.display(&symbols));
@@ -46,17 +55,36 @@ fn main() {
     println!(
         "\n{} target atoms, {} invented nulls, max null depth {}",
         shown,
-        result.stats.nulls_created,
-        result.max_depth()
+        session.stats().nulls_created,
+        session.nulls().max_depth()
     );
 
+    // A late batch of source rows arrives: chase the DELTA against the
+    // open session instead of re-materializing. (The semi-oblivious
+    // chase is confluent, so the incremental result is the canonical
+    // chase of the union.)
+    let before = session.instance().len();
+    let late = exchange_source(&mut symbols, 16);
+    let added = session.add_atoms(late.iter().map(|a| a.to_atom()));
+    session.resume();
+    assert!(session.terminated());
+    println!(
+        "incremental load: {added} late source rows -> {} new atoms (runs: {})",
+        session.instance().len() - before,
+        session.runs()
+    );
+    let result = session.finish();
+    assert!(result.is_model_of(prepared.tgds()));
+
     // Size check from the paper: the solution is LINEAR in the source
-    // (Theorem 6.4(2) — here uniformly, since the mapping is in CT).
+    // (Theorem 6.4(2) — here uniformly, since the mapping is in CT). The
+    // same engine + prepared mapping serve the larger source too.
     let bigger = {
         let mut s2 = SymbolTable::new();
         let m2 = exchange_mapping(&mut s2);
+        let prepared2 = PreparedProgram::compile(m2);
         let src = exchange_source(&mut s2, 120);
-        let r = semi_oblivious_chase(&src, &m2, 1_000_000);
+        let r = engine.chase(&prepared2, &src);
         assert!(r.terminated());
         (src.len(), r.instance.len())
     };

@@ -7,11 +7,11 @@
 //! (Theorem 6.6) answers per-database in a single query evaluation.
 //!
 //! ```text
-//! cargo run -p nuchase-bench --example ontology_reasoning
+//! cargo run --release --example ontology_reasoning
 //! ```
 
 use nuchase::ucq::UcqDecider;
-use nuchase_engine::semi_oblivious_chase;
+use nuchase_engine::{Engine, PreparedProgram};
 use nuchase_gen::scenarios::{obda_database, obda_ontology, obda_ontology_cyclic};
 use nuchase_model::{Cq, DisplayWith, SymbolTable};
 
@@ -27,7 +27,11 @@ fn main() {
     assert!(nuchase::is_uniformly_weakly_acyclic(&safe));
     let db = obda_database(&mut symbols, 50);
 
-    let chase = semi_oblivious_chase(&db, &safe, 1_000_000);
+    // The OBDA serving shape: one ontology compiled once, any number of
+    // extensional databases materialized against it.
+    let prepared = PreparedProgram::compile(safe).with_uniform_verdict(true);
+    let engine = Engine::builder().build();
+    let chase = engine.chase(&prepared, &db);
     assert!(chase.terminated());
     println!(
         "materialized {} extensional facts into {} atoms\n",

@@ -2,10 +2,10 @@
 //! non-uniform termination — the paper's core loop in twenty lines.
 //!
 //! ```text
-//! cargo run -p nuchase-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
-use nuchase_engine::semi_oblivious_chase;
+use nuchase_engine::{Engine, PreparedProgram};
 use nuchase_model::{parse_program, DisplayWith};
 
 fn main() {
@@ -45,8 +45,13 @@ fn main() {
     assert!(finite);
 
     // 3. When the verdict is "finite", materialize with the chase and use
-    //    the result as a universal model.
-    let result = semi_oblivious_chase(&other.database, &other.tgds, 10_000);
+    //    the result as a universal model. The ontology is compiled ONCE
+    //    into a `PreparedProgram`; the engine then chases any number of
+    //    databases against it (here: one).
+    let prepared = PreparedProgram::compile(other.tgds).with_uniform_verdict(finite);
+    println!("prepared Σ: {}", prepared.summary());
+    let engine = Engine::builder().build();
+    let result = engine.chase(&prepared, &other.database);
     assert!(result.terminated());
     println!(
         "materialized {} atoms (max null depth {}):",

@@ -13,11 +13,11 @@
 //! for a built-in demo featuring Example 7.1 of the paper.
 //!
 //! ```text
-//! cargo run -p nuchase-bench --example termination_advisor [program.dlp]
+//! cargo run --release --example termination_advisor [program.dlp]
 //! ```
 
 use nuchase::bounds::chase_size_bound;
-use nuchase_engine::semi_oblivious_chase;
+use nuchase_engine::{ChaseBudget, Engine, PreparedProgram};
 use nuchase_model::parse_program;
 
 fn advise(title: &str, text: &str) {
@@ -62,8 +62,13 @@ fn advise(title: &str, text: &str) {
                     ),
                 }
             }
-            // Confirm empirically with a budgeted chase.
-            let r = semi_oblivious_chase(&program.database, &program.tgds, 100_000);
+            // Confirm empirically with a budgeted chase over the
+            // prepared program.
+            let prepared = PreparedProgram::compile(program.tgds.clone());
+            let r = Engine::builder()
+                .budget(ChaseBudget::atoms(100_000))
+                .build()
+                .chase(&prepared, &program.database);
             println!(
                 "  bounded chase: {} ({} atoms, depth {})",
                 if r.terminated() {

@@ -5,3 +5,11 @@
 //! examples under `examples/`. All functionality lives in the member
 //! crates (`nuchase-model`, `nuchase-engine`, `nuchase`, `nuchase-gen`,
 //! `nuchase-rewrite`, `nuchase-bench`, `nuchase-cli`).
+//!
+//! The engine's public surface is the prepared-program API
+//! (`nuchase_engine::session`): compile a TGD set once into a
+//! `PreparedProgram`, build an `Engine` (persistent worker pool,
+//! recycled buffers), and drive `ChaseSession`s — budgeted runs,
+//! incremental `add_atoms`/`resume`, cancellation, deadlines. The
+//! examples demonstrate it end to end; `tests/session_resume.rs` pins
+//! the resume guarantees differentially.

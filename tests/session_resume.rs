@@ -1,0 +1,394 @@
+//! Differential tests of the session API's resume guarantees
+//! (`nuchase_engine::session`), at the strength each flow actually
+//! provides:
+//!
+//! 1. **Soft pause / resume is byte-identical.** A session paused
+//!    between rounds (`RunLimits`) and resumed must reproduce an
+//!    uninterrupted run bit for bit — atoms at the same indexes, null
+//!    ids, provenance, forest, and work counters — for every variant,
+//!    at threads 0/1/2, on both forced apply paths.
+//! 2. **`add_atoms` + `resume` is canonically identical** to a
+//!    from-scratch chase of the union, for the provenance-keyed
+//!    variants (semi-oblivious, oblivious): the same atom and null
+//!    sets under the recursive provenance null names `⊥^z_{σ, h|fr}`.
+//!    Indexes and raw ids necessarily differ (arrival order), which is
+//!    exactly what the canonical comparison quotients out.
+//! 3. **Restricted resume is pinned at set-equality on existential-free
+//!    workloads.** Rationale: the restricted chase drops triggers whose
+//!    head is *currently* satisfied, so its result genuinely depends on
+//!    firing order — with existentials, an incremental order can
+//!    legitimately produce a different (even differently-sized) model,
+//!    and no canonical comparison exists. Without existentials the
+//!    restricted chase is plain datalog saturation, order-independent
+//!    as a set — that confluent fragment is what we pin.
+
+use std::collections::BTreeMap;
+
+use nuchase_engine::{
+    chase, ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseSession, ChaseVariant, Engine,
+    NullStore, PreparedProgram, RunLimits,
+};
+use nuchase_gen::{random_program, RandomConfig};
+use nuchase_model::{parse_program, NullId, Term, TgdClass};
+
+const CLASSES: [TgdClass; 3] = [TgdClass::SimpleLinear, TgdClass::Linear, TgdClass::Guarded];
+const APPLY_PATHS: [nuchase_engine::ApplyPath; 2] = [
+    nuchase_engine::ApplyPath::Pipeline,
+    nuchase_engine::ApplyPath::Fused,
+];
+
+/// Strict comparison: instance indexes, null ids, provenance, forest,
+/// and counters (the soft-pause contract).
+fn assert_byte_identical(a: &ChaseResult, b: &ChaseResult, label: &str) {
+    assert!(a.instance.indexed_eq(&b.instance), "{label}: instance");
+    assert_eq!(a.stats.rounds, b.stats.rounds, "{label}: rounds");
+    assert_eq!(
+        a.stats.triggers_considered, b.stats.triggers_considered,
+        "{label}: considered"
+    );
+    assert_eq!(
+        a.stats.triggers_fired, b.stats.triggers_fired,
+        "{label}: fired"
+    );
+    assert_eq!(a.nulls.len(), b.nulls.len(), "{label}: null count");
+    for i in 0..a.nulls.len() {
+        let id = NullId(i as u32);
+        assert_eq!(a.nulls.depth(id), b.nulls.depth(id), "{label}: depth {i}");
+        assert_eq!(a.nulls.key(id), b.nulls.key(id), "{label}: key {i}");
+    }
+    let (pa, pb) = (
+        a.provenance.as_ref().unwrap(),
+        b.provenance.as_ref().unwrap(),
+    );
+    for idx in 0..a.instance.len() as u32 {
+        assert_eq!(
+            pa.derivation(idx),
+            pb.derivation(idx),
+            "{label}: provenance {idx}"
+        );
+    }
+    let (fa, fb) = (a.forest.as_ref().unwrap(), b.forest.as_ref().unwrap());
+    assert_eq!(fa.len(), fb.len(), "{label}: forest length");
+    for idx in 0..fa.len() as u32 {
+        assert_eq!(fa.parent(idx), fb.parent(idx), "{label}: parent {idx}");
+    }
+}
+
+/// The canonical (id-free) name of a term: constants by symbol id,
+/// nulls by their recursive provenance key `⊥^z_{σ, h|fr}` — the name
+/// Definition 3.1 gives them, independent of interning order. Recursion
+/// terminates because frontier-image depths strictly decrease.
+fn canon_term(nulls: &NullStore, term: Term, memo: &mut BTreeMap<u32, String>) -> String {
+    match term {
+        Term::Const(c) => format!("c{}", c.0),
+        Term::Null(n) => {
+            if let Some(s) = memo.get(&n.0) {
+                return s.clone();
+            }
+            let key = nulls
+                .key(n)
+                .expect("provenance-keyed variants intern every null");
+            let image: Vec<String> = key
+                .frontier_image
+                .iter()
+                .map(|&t| canon_term(nulls, t, memo))
+                .collect();
+            let s = format!("n[r{},z{},({})]", key.rule.0, key.var.0, image.join(","));
+            memo.insert(n.0, s.clone());
+            s
+        }
+        Term::Var(_) => unreachable!("instances are ground"),
+    }
+}
+
+/// The instance as a sorted multiset-free list of canonical atom
+/// strings, plus the null set as canonical-name → depth.
+fn canon_forms(
+    instance: &nuchase_model::Instance,
+    nulls: &NullStore,
+) -> (Vec<String>, BTreeMap<String, u32>) {
+    let mut memo = BTreeMap::new();
+    let mut atoms: Vec<String> = instance
+        .iter()
+        .map(|a| {
+            let args: Vec<String> = a
+                .args
+                .iter()
+                .map(|&t| canon_term(nulls, t, &mut memo))
+                .collect();
+            format!("p{}({})", a.pred.0, args.join(","))
+        })
+        .collect();
+    atoms.sort();
+    let mut null_set = BTreeMap::new();
+    for i in 0..nulls.len() {
+        let id = NullId(i as u32);
+        let name = canon_term(nulls, Term::Null(id), &mut memo);
+        null_set.insert(name, nulls.depth(id));
+    }
+    (atoms, null_set)
+}
+
+fn config(variant: ChaseVariant, threads: usize, path: nuchase_engine::ApplyPath) -> ChaseConfig {
+    ChaseConfig {
+        variant,
+        threads,
+        apply_path: path,
+        budget: ChaseBudget::atoms(20_000),
+        record_provenance: true,
+        build_forest: true,
+    }
+}
+
+/// Drives a session to completion in soft slices of `step` atoms.
+fn run_in_slices(session: &mut ChaseSession<'_, '_>, step: usize) -> ChaseOutcome {
+    let mut target = session.instance().len() + step;
+    loop {
+        let outcome = session.run_limited(&RunLimits::atoms(target));
+        if outcome != ChaseOutcome::Paused {
+            return outcome;
+        }
+        target = session.instance().len() + step;
+    }
+}
+
+/// Soft-pause/resume reproduces an uninterrupted terminating run bit
+/// for bit — every variant, threads 0/1/2, both forced apply paths.
+#[test]
+fn paused_resume_is_byte_identical_on_terminating_runs() {
+    let variants = [
+        ChaseVariant::SemiOblivious,
+        ChaseVariant::Oblivious,
+        ChaseVariant::Restricted,
+    ];
+    for class in CLASSES {
+        for seed in 0..4u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            for variant in variants {
+                for threads in [0usize, 1, 2] {
+                    for path in APPLY_PATHS {
+                        let cfg = config(variant, threads, path);
+                        let reference = chase(&p.database, &p.tgds, &cfg);
+                        if !reference.terminated() {
+                            continue;
+                        }
+                        let label =
+                            format!("{class:?} seed {seed} {variant:?} threads {threads} {path:?}");
+                        let program = PreparedProgram::compile(p.tgds.clone());
+                        let engine = Engine::from_config(&cfg);
+                        let mut session = engine.session(&program, &p.database);
+                        let outcome = run_in_slices(&mut session, 3);
+                        assert_eq!(outcome, ChaseOutcome::Terminated, "{label}");
+                        let result = session.finish();
+                        assert_byte_identical(&reference, &result, &label);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// On a diverging chase, `k` soft slices of `r` rounds each equal one
+/// run under a hard `k·r` round budget — same boundary, same bytes.
+#[test]
+fn paused_resume_matches_round_budget_on_diverging_runs() {
+    let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> p(X, Y).").unwrap();
+    for threads in [0usize, 1, 2] {
+        for path in APPLY_PATHS {
+            let mut cfg = config(ChaseVariant::SemiOblivious, threads, path);
+            cfg.budget.max_rounds = 30;
+            let reference = chase(&p.database, &p.tgds, &cfg);
+            assert_eq!(reference.outcome, ChaseOutcome::RoundLimit);
+
+            let program = PreparedProgram::compile(p.tgds.clone());
+            let engine = Engine::from_config(&cfg);
+            let mut session = engine.session(&program, &p.database);
+            for _ in 0..2 {
+                assert_eq!(
+                    session.run_limited(&RunLimits::rounds(10)),
+                    ChaseOutcome::Paused
+                );
+            }
+            // The third slice's soft cap coincides with the 30-round
+            // lifetime budget; the hard budget wins the checkpoint.
+            assert_eq!(
+                session.run_limited(&RunLimits::rounds(10)),
+                ChaseOutcome::RoundLimit
+            );
+            let result = session.finish();
+            assert_byte_identical(
+                &reference,
+                &result,
+                &format!("diverging threads {threads} {path:?}"),
+            );
+        }
+    }
+}
+
+/// `add_atoms` + `resume` equals a from-scratch chase of the union,
+/// canonically (atom set + null set under provenance null names), for
+/// the provenance-keyed variants across threads and apply paths.
+#[test]
+fn add_atoms_resume_is_canonically_identical() {
+    for class in CLASSES {
+        for seed in 0..6u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            if p.database.len() < 3 {
+                continue;
+            }
+            // Split the database: chase the prefix, then the rest
+            // arrives as an incremental delta.
+            let split = p.database.len() - 2;
+            let initial: nuchase_model::Instance =
+                p.database.iter().take(split).map(|a| a.to_atom()).collect();
+            for variant in [ChaseVariant::SemiOblivious, ChaseVariant::Oblivious] {
+                for threads in [0usize, 1, 2] {
+                    for path in APPLY_PATHS {
+                        let cfg = config(variant, threads, path);
+                        let reference = chase(&p.database, &p.tgds, &cfg);
+                        if !reference.terminated() {
+                            continue;
+                        }
+                        let label =
+                            format!("{class:?} seed {seed} {variant:?} threads {threads} {path:?}");
+                        let program = PreparedProgram::compile(p.tgds.clone());
+                        let engine = Engine::from_config(&cfg);
+                        let mut session = engine.session(&program, &initial);
+                        assert_eq!(session.run(), ChaseOutcome::Terminated, "{label}");
+                        session.add_atoms(p.database.iter().skip(split).map(|a| a.to_atom()));
+                        assert_eq!(session.resume(), ChaseOutcome::Terminated, "{label}");
+
+                        let (ref_atoms, ref_nulls) =
+                            canon_forms(&reference.instance, &reference.nulls);
+                        let (inc_atoms, inc_nulls) =
+                            canon_forms(session.instance(), session.nulls());
+                        assert_eq!(ref_atoms, inc_atoms, "{label}: canonical atom set");
+                        assert_eq!(ref_nulls, inc_nulls, "{label}: canonical null set");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The restricted variant's incremental guarantee, pinned at
+/// set-equality on existential-free programs (see the module docs for
+/// why this is the strongest honest claim: with existentials the
+/// restricted chase is order-dependent, and an incremental firing order
+/// may legitimately produce a different model).
+#[test]
+fn restricted_add_atoms_resume_set_equality_on_datalog() {
+    let programs = [
+        // Transitive closure + projection.
+        "e(a, b).\ne(b, c).\ne(c, d).\ne(d, e2).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X).",
+        // Mutual recursion without existentials.
+        "r(a, b).\ns(b, c).\nr(X, Y), s(Y, Z) -> r(X, Z).\nr(X, Y) -> s(Y, X).",
+    ];
+    for text in programs {
+        let p = parse_program(text).unwrap();
+        let split = p.database.len() - 1;
+        let initial: nuchase_model::Instance =
+            p.database.iter().take(split).map(|a| a.to_atom()).collect();
+        for threads in [0usize, 1, 2] {
+            for path in APPLY_PATHS {
+                let cfg = config(ChaseVariant::Restricted, threads, path);
+                let reference = chase(&p.database, &p.tgds, &cfg);
+                assert!(reference.terminated());
+                let program = PreparedProgram::compile(p.tgds.clone());
+                let engine = Engine::from_config(&cfg);
+                let mut session = engine.session(&program, &initial);
+                assert_eq!(session.run(), ChaseOutcome::Terminated);
+                session.add_atoms(p.database.iter().skip(split).map(|a| a.to_atom()));
+                assert_eq!(session.resume(), ChaseOutcome::Terminated);
+                assert!(
+                    session.instance().set_eq(&reference.instance),
+                    "restricted datalog threads {threads} {path:?}"
+                );
+                assert_eq!(session.nulls().len(), 0, "existential-free");
+            }
+        }
+    }
+}
+
+/// Hard-budget mid-round stops recover canonically: raise the budget,
+/// resume, land on the same canonical set as an unbudgeted run — at
+/// every thread count and apply path.
+#[test]
+fn hard_stop_recovery_is_canonical() {
+    for class in CLASSES {
+        for seed in 0..4u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            for threads in [0usize, 1, 2] {
+                for path in APPLY_PATHS {
+                    let cfg = config(ChaseVariant::SemiOblivious, threads, path);
+                    let reference = chase(&p.database, &p.tgds, &cfg);
+                    if !reference.terminated() || reference.instance.len() <= p.database.len() + 2 {
+                        continue;
+                    }
+                    let label = format!("{class:?} seed {seed} threads {threads} {path:?}");
+                    let program = PreparedProgram::compile(p.tgds.clone());
+                    let engine = Engine::from_config(&cfg);
+                    let mut session = engine.session(&program, &p.database);
+                    // Stop mid-chase on a hard atom budget, then lift it.
+                    session.set_budget(ChaseBudget::atoms(p.database.len() + 2));
+                    assert_eq!(session.run(), ChaseOutcome::AtomLimit, "{label}");
+                    session.set_budget(ChaseBudget::atoms(20_000));
+                    assert_eq!(session.resume(), ChaseOutcome::Terminated, "{label}");
+                    let (ref_atoms, ref_nulls) = canon_forms(&reference.instance, &reference.nulls);
+                    let (inc_atoms, inc_nulls) = canon_forms(session.instance(), session.nulls());
+                    assert_eq!(ref_atoms, inc_atoms, "{label}: canonical atom set");
+                    assert_eq!(ref_nulls, inc_nulls, "{label}: canonical null set");
+                }
+            }
+        }
+    }
+}
+
+/// Cancellation and deadlines interrupt pooled runs cleanly too: the
+/// session resumes byte-identically after the flag clears.
+#[test]
+fn cancel_and_deadline_resume_on_the_pool_executor() {
+    let p = parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> q(X).").unwrap();
+    let cfg = ChaseConfig {
+        threads: 2,
+        budget: ChaseBudget::atoms(500),
+        record_provenance: true,
+        build_forest: true,
+        ..Default::default()
+    };
+    let reference = chase(&p.database, &p.tgds, &cfg);
+    assert_eq!(reference.outcome, ChaseOutcome::AtomLimit);
+
+    let program = PreparedProgram::compile(p.tgds.clone());
+    let engine = Engine::from_config(&cfg);
+    let mut session = engine.session(&program, &p.database);
+    // Cancel before the first round, then clear and pause a few times.
+    session
+        .cancel_handle()
+        .store(true, std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(session.run(), ChaseOutcome::Cancelled);
+    session
+        .cancel_handle()
+        .store(false, std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        session.run_limited(&RunLimits::rounds(20)),
+        ChaseOutcome::Paused
+    );
+    assert_eq!(session.resume(), ChaseOutcome::AtomLimit);
+    // The hard stop is mid-round; the counters differ by the recovery
+    // replay, but the materialization must match the reference set.
+    assert!(session.instance().set_eq(&reference.instance));
+    assert_eq!(session.nulls().len(), reference.nulls.len());
+}
