@@ -12,6 +12,8 @@
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-parallel-quick [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-prepared [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-prepared-quick [out.json]
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-wide
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-wide-quick
 //! ```
 
 use std::time::Instant;
@@ -90,6 +92,21 @@ fn main() {
         let json = nuchase_bench::perf::prepared_bench_json(&rows);
         std::fs::write(out_path, json).expect("write bench json");
         println!("\nwrote {out_path}");
+        return;
+    }
+
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a == "--bench-wide" || a == "--bench-wide-quick")
+    {
+        let quick = args[pos] == "--bench-wide-quick";
+        println!(
+            "wide-round enumeration smoke: per-trigger search vs forced columnar batches\n\
+             (result identity, trigger counters, and probe/emit timer accounting asserted)\n"
+        );
+        let rows = nuchase_bench::perf::run_wide_bench(if quick { 1 } else { 5 }, quick);
+        print!("{}", nuchase_bench::perf::wide_bench_table(&rows));
+        println!("\nwide-round smoke OK: batch path byte-identical on every workload");
         return;
     }
 

@@ -111,9 +111,9 @@ impl ChaseBudget {
 /// forced-path differential sweeps in `tests/properties.rs`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ApplyPath {
-    /// Decide per round: micro-rounds — delta and trigger count under
-    /// the fused thresholds ([`crate::phase::FUSED_DELTA_MAX`],
-    /// [`crate::phase::FUSED_TRIGGER_MAX`]) — take the fused
+    /// Decide per round: micro-rounds — delta under
+    /// [`ChaseConfig::fused_delta_max`] and trigger count under
+    /// [`crate::phase::FUSED_TRIGGER_MAX`] — take the fused
     /// straight-line path, wide rounds the staged pipeline. The
     /// `NUCHASE_FORCE_PIPELINE` environment variable (`1` forces the
     /// pipeline, `0` the fused path) overrides the decision run-wide.
@@ -127,8 +127,32 @@ pub enum ApplyPath {
     Fused,
 }
 
+/// Whether wide rounds enumerate triggers through the batch (columnar
+/// lane-program) path of
+/// [`MatchPlan::for_each_hom_pivot_batch`](nuchase_model::MatchPlan::for_each_hom_pivot_batch)
+/// instead of the per-trigger backtracking search. Purely a performance
+/// choice: both paths deliver byte-identical trigger sequences (pinned by
+/// the forced-path differential sweeps in `tests/properties.rs`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BatchEnum {
+    /// Decide per round: deltas of at least
+    /// [`ChaseConfig::batch_delta_min`] atoms take the batch path, narrow
+    /// rounds the backtracking search. The `NUCHASE_FORCE_BATCH_ENUM`
+    /// environment variable (`1` forces the batch path for every
+    /// non-fused round, `0` disables it) overrides the decision run-wide.
+    #[default]
+    Auto,
+    /// Every non-fused round through the batch path, regardless of delta
+    /// width. Fused micro-rounds keep their eager per-trigger
+    /// enumeration — batching a two-trigger round has nothing to
+    /// amortize.
+    On,
+    /// Never use the batch path.
+    Off,
+}
+
 /// Full configuration of a chase run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ChaseConfig {
     /// Variant to run.
     pub variant: ChaseVariant,
@@ -146,6 +170,39 @@ pub struct ChaseConfig {
     /// Apply-path selection (see [`ApplyPath`]); results are identical
     /// for every choice.
     pub apply_path: ApplyPath,
+    /// Batch-enumeration selection for wide rounds (see [`BatchEnum`]);
+    /// results are identical for every choice.
+    pub batch_enum: BatchEnum,
+    /// Largest delta (in atoms) an [`ApplyPath::Auto`] round may have and
+    /// still take the fused micro-round path. Overridden by the
+    /// `NUCHASE_FUSED_DELTA_MAX` environment variable when set.
+    pub fused_delta_max: u32,
+    /// Smallest delta (in atoms) a [`BatchEnum::Auto`] round must have to
+    /// take the batch enumeration path. Overridden by the
+    /// `NUCHASE_BATCH_DELTA_MIN` environment variable when set.
+    pub batch_delta_min: u32,
+    /// Smallest planned-trigger count for which the parallel executor
+    /// fans the resolve stage out to the worker pool; smaller batches
+    /// resolve inline on the coordinator. Overridden by the
+    /// `NUCHASE_RESOLVE_POOL_MIN` environment variable when set.
+    pub resolve_pool_min: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            variant: ChaseVariant::default(),
+            budget: ChaseBudget::default(),
+            build_forest: false,
+            record_provenance: false,
+            threads: 0,
+            apply_path: ApplyPath::default(),
+            batch_enum: BatchEnum::default(),
+            fused_delta_max: crate::phase::FUSED_DELTA_MAX,
+            batch_delta_min: crate::phase::BATCH_DELTA_MIN,
+            resolve_pool_min: crate::parallel::RESOLVE_POOL_MIN,
+        }
+    }
 }
 
 /// Why the chase stopped.
@@ -192,6 +249,18 @@ pub struct ChaseStats {
     /// shards across workers; under the parallel executor this is the
     /// phase's *span*, not the summed worker time).
     pub enumerate_secs: f64,
+    /// Wall time of the **probe** part of enumeration: finding candidate
+    /// bindings — backtracking search or batch lane-program intersection.
+    /// Together with [`ChaseStats::emit_secs`] this partitions
+    /// `enumerate_secs` exactly (shared span boundaries). Per-trigger
+    /// paths interleave probing and emission in one loop and account the
+    /// whole span here; the sub-split is informative on batch rounds.
+    pub probe_secs: f64,
+    /// Wall time of the **emit** part of enumeration: draining
+    /// materialized binding blocks through trigger dedup into the round's
+    /// trigger batch. Zero on per-trigger rounds (their emission is
+    /// accounted as probe — the two are one fused loop there).
+    pub emit_secs: f64,
     /// Wall time spent in the authoritative trigger dedup merge.
     pub dedup_secs: f64,
     /// Wall time of the whole apply step past the merge. For pipeline
@@ -229,6 +298,8 @@ impl ChaseStats {
         self.nulls_created += run.nulls_created;
         self.wall_secs += run.wall_secs;
         self.enumerate_secs += run.enumerate_secs;
+        self.probe_secs += run.probe_secs;
+        self.emit_secs += run.emit_secs;
         self.dedup_secs += run.dedup_secs;
         self.apply_secs += run.apply_secs;
         self.resolve_secs += run.resolve_secs;
@@ -255,21 +326,25 @@ impl ChaseStats {
     }
 
     /// One-line round-shape + per-phase wall-time breakdown, e.g.
-    /// `49743 rounds (1.0 trig/round, 100% fused) · enumerate 62.1% ·
-    /// dedup 3.0% · resolve 20.1% · commit 10.2%` — what makes a speedup
-    /// (or its absence) attributable to a phase. `resolve` and `commit`
-    /// partition `apply_secs`; only `commit` (plus `dedup`) is
-    /// inherently serial, and fused micro-rounds land entirely in
+    /// `49743 rounds (1.0 trig/round, 100% fused) · enumerate 62.1%
+    /// (probe 55.0% + emit 7.1%) · dedup 3.0% · resolve 20.1% · commit
+    /// 10.2%` — what makes a speedup (or its absence) attributable to a
+    /// phase. `probe` and `emit` partition `enumerate_secs`, `resolve`
+    /// and `commit` partition `apply_secs`; only `commit` (plus `dedup`)
+    /// is inherently serial, and fused micro-rounds land entirely in
     /// `commit`.
     pub fn phase_summary(&self) -> String {
         let pct = |s: f64| 100.0 * s / self.wall_secs.max(1e-12);
         format!(
             "{} rounds ({:.1} trig/round, {:.0}% fused) · \
-             enumerate {:.1}% · dedup {:.1}% · resolve {:.1}% · commit {:.1}%",
+             enumerate {:.1}% (probe {:.1}% + emit {:.1}%) · \
+             dedup {:.1}% · resolve {:.1}% · commit {:.1}%",
             self.rounds,
             self.avg_triggers_per_round(),
             100.0 * self.fused_rounds as f64 / self.rounds.max(1) as f64,
             pct(self.enumerate_secs),
+            pct(self.probe_secs),
+            pct(self.emit_secs),
             pct(self.dedup_secs),
             pct(self.resolve_secs),
             pct(self.commit_secs),
@@ -637,6 +712,15 @@ mod tests {
                 covered <= s.wall_secs && covered >= 0.5 * s.wall_secs,
                 "phases {covered} vs wall {}",
                 s.wall_secs
+            );
+            // probe + emit partition enumerate (shared span boundaries).
+            let enum_sum = s.probe_secs + s.emit_secs;
+            assert!(
+                (enum_sum - s.enumerate_secs).abs() <= 1e-6 + 0.01 * s.enumerate_secs,
+                "probe {} + emit {} vs enumerate {}",
+                s.probe_secs,
+                s.emit_secs,
+                s.enumerate_secs
             );
         }
         // This chain workload considers exactly one trigger per round.

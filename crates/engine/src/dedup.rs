@@ -64,9 +64,26 @@ impl TermTupleSet {
 
     /// Membership test (no mutation, no allocation).
     pub fn contains(&self, tuple: &[Term]) -> bool {
+        self.contains_hashed(tuple, hash_terms(tuple))
+    }
+
+    /// [`TermTupleSet::contains`] with a caller-computed [`hash_terms`]
+    /// hash — the batch enumeration's emit loop hashes each frontier key
+    /// once and probes both the fired set and the round dedup with it.
+    pub fn contains_hashed(&self, tuple: &[Term], hash: u64) -> bool {
+        debug_assert_eq!(hash, hash_terms(tuple), "caller-computed hash");
         self.table
-            .find(hash_terms(tuple), |ordinal| self.tuple(ordinal) == tuple)
+            .find(hash, |ordinal| self.tuple(ordinal) == tuple)
             .is_some()
+    }
+
+    /// Hints the CPU to fetch the index line a probe for `hash` would
+    /// touch first (see [`TagTable::prefetch`]); pair with a later
+    /// [`TermTupleSet::contains_hashed`] / [`TermTupleSet::insert_hashed`]
+    /// for the same hash.
+    #[inline]
+    pub fn prefetch(&self, hash: u64) {
+        self.table.prefetch(hash);
     }
 
     /// Empties the set, keeping the table and arena allocations — the

@@ -41,7 +41,7 @@ pub mod session;
 
 pub use baseline::{baseline_semi_oblivious_chase, BaselineResult};
 pub use chase::{
-    chase, semi_oblivious_chase, sequential_chase, ApplyPath, ChaseBudget, ChaseConfig,
+    chase, semi_oblivious_chase, sequential_chase, ApplyPath, BatchEnum, ChaseBudget, ChaseConfig,
     ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant,
 };
 pub use dedup::TermTupleSet;

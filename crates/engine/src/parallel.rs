@@ -59,9 +59,11 @@ use nuchase_model::{AtomIdx, Instance, TgdSet};
 use crate::chase::{ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats};
 use crate::dedup::TermTupleSet;
 use crate::phase::{
-    apply_fused, commit_batch, enumerate_task, fused_round, lap_mark, merge_accepted, plan_nulls,
-    prepare_round_tasks, resolve_range, resolved_apply_path, ApplyBuffers, ApplyState,
-    ResolvedBatch, RoundCtx, RoundDriver, Task, TriggerBatch, WorkerScratch,
+    apply_fused, batch_round_delta, commit_batch, enumerate_task, enumerate_task_batch,
+    fused_round, fused_round_delta, lap_mark, merge_accepted, plan_nulls, prepare_round_tasks,
+    resolve_range, resolved_apply_path, resolved_batch_delta_min, resolved_batch_enum,
+    resolved_fused_delta_max, resolved_resolve_pool_min, ApplyBuffers, ApplyState, ResolvedBatch,
+    RoundCtx, RoundDriver, Task, TriggerBatch, WorkerScratch,
 };
 use crate::session::{Engine, PreparedProgram, RunCtl, SessionCore};
 
@@ -87,6 +89,14 @@ struct RoundState {
     /// frozen here for the resolve phase's workers.
     apply: ApplyBuffers,
     delta_start: AtomIdx,
+    /// Whether this round's enumerate phase runs the columnar batch path
+    /// ([`enumerate_task_batch`]) instead of the per-trigger backtracking
+    /// search. Decided by the coordinator in the prepare stage — a pure
+    /// function of the round's delta and the run's resolved thresholds —
+    /// and frozen for the workers. The choice only moves *how* a task
+    /// enumerates, never *what*: both paths yield the same triggers in
+    /// the same order.
+    batch: bool,
 }
 
 /// Which sharded phase the pool is currently draining.
@@ -341,6 +351,7 @@ pub(crate) fn run_pooled(
         tasks: std::mem::take(&mut driver.tasks),
         apply: std::mem::take(&mut driver.bufs),
         delta_start: core.delta_start,
+        batch: false,
     };
     let shared = Arc::new(Shared::new(tgds, *config, round, pool.workers() + 1));
     pool.begin(Arc::clone(&shared));
@@ -391,8 +402,10 @@ const RESOLVE_CHUNK: u32 = 256;
 /// Minimum accepted triggers for a round to engage the pool for the
 /// resolve stage; below it the coordinator resolves inline (the same
 /// barrier-vs-work tradeoff as [`POOL_DELTA_MIN`], and equally
-/// invisible in the results).
-const RESOLVE_POOL_MIN: usize = 1024;
+/// invisible in the results). This is the *default* for
+/// [`ChaseConfig::resolve_pool_min`]; each run resolves the effective
+/// floor once via [`resolved_resolve_pool_min`].
+pub(crate) const RESOLVE_POOL_MIN: usize = 1024;
 
 /// The coordinator's round loop (participates in both sharded phases).
 /// Returns the outcome that ended the run, with the final round state
@@ -411,7 +424,14 @@ fn coordinate(
     let mut merged: Vec<(u32, TriggerBatch, usize)> = Vec::new();
     let mut resolved: Vec<ResolvedBatch> = Vec::new();
     let mut inline_batch = TriggerBatch::new();
+    // Resolve every env-overridable knob once per run, exactly like the
+    // serial executors' `RoundDriver::restart` — a run never changes its
+    // thresholds mid-flight even if the environment does.
     let apply_path = resolved_apply_path(config);
+    let batch_choice = resolved_batch_enum(config);
+    let fused_delta_max = resolved_fused_delta_max(config);
+    let batch_delta_min = resolved_batch_delta_min(config);
+    let resolve_pool_min = resolved_resolve_pool_min(config);
     let mut tasks_single = false;
     let mut guard = PanicRelease {
         shared,
@@ -450,9 +470,13 @@ fn coordinate(
             let len = round.instance.len() as AtomIdx;
             let delta_start = round.delta_start;
             delta = len - delta_start;
-            let RoundState { tasks, .. } = &mut *round;
+            let RoundState { tasks, batch, .. } = &mut *round;
             prepare_round_tasks(&shared.tgds, delta_start, len, tasks, &mut tasks_single);
             engage = delta >= POOL_DELTA_MIN || tasks.len() >= POOL_TASKS_MIN;
+            // Mirror `RoundDriver::begin_round`: rounds small enough to
+            // fuse never batch, wide rounds past the floor do.
+            *batch = !fused_round_delta(apply_path, delta, fused_delta_max)
+                && batch_round_delta(batch_choice, delta, batch_delta_min);
             shared.mode.store(MODE_ENUMERATE, Ordering::Release);
             shared.next_task.store(0, Ordering::Release);
         }
@@ -480,19 +504,38 @@ fn coordinate(
                 delta_start: round.delta_start,
             };
             let mut considered = 0usize;
+            let mut emit = 0.0f64;
             for &task in &round.tasks {
-                considered += enumerate_task(
-                    &round.instance,
-                    ctx,
-                    task,
-                    &round.fired[task.rule.index()],
-                    &mut ws,
-                    &mut inline_batch,
-                );
+                considered += if round.batch {
+                    enumerate_task_batch(
+                        &round.instance,
+                        ctx,
+                        task,
+                        &round.fired[task.rule.index()],
+                        &mut ws,
+                        &mut inline_batch,
+                        &mut emit,
+                    )
+                } else {
+                    enumerate_task(
+                        &round.instance,
+                        ctx,
+                        task,
+                        &round.fired[task.rule.index()],
+                        &mut ws,
+                        &mut inline_batch,
+                    )
+                };
             }
             stats.triggers_considered += considered;
         }
-        stats.enumerate_secs += lap_mark(mark);
+        // Pooled enumerate sub-timers: worker-side emit spans overlap in
+        // wall time, so the whole lap is booked as probe. The split is
+        // only meaningful on the serial executors (`threads ≤ 1`), which
+        // is where the benches read it.
+        let enum_secs = lap_mark(mark);
+        stats.enumerate_secs += enum_secs;
+        stats.probe_secs += enum_secs;
 
         let mut any = !inline_batch.is_empty();
         let mut total_triggers = inline_batch.len();
@@ -512,7 +555,7 @@ fn coordinate(
         // Chaining merged (canonical task order) before the inline batch
         // preserves canonical trigger order; the fused pass's own fired
         // inserts resolve cross-task duplicates exactly like the merge.
-        if fused_round(apply_path, delta, total_triggers) {
+        if fused_round(apply_path, delta, total_triggers, fused_delta_max) {
             let mut round = shared.round.write().unwrap();
             let len_before = round.instance.len();
             let stop = {
@@ -588,7 +631,7 @@ fn coordinate(
 
         // Stage 3 — resolve: fan out over accepted ranges when the round
         // is wide enough, inline otherwise.
-        let engage_resolve = planned >= RESOLVE_POOL_MIN;
+        let engage_resolve = planned >= resolve_pool_min;
         if engage_resolve {
             shared.mode.store(MODE_RESOLVE, Ordering::Release);
             shared.next_task.store(0, Ordering::Release);
@@ -698,14 +741,30 @@ fn drain_tasks(shared: &Shared, ws: &mut WorkerScratch) {
             delta_start: round.delta_start,
         };
         let mut batch = shared.spare.lock().unwrap().pop().unwrap_or_default();
-        let considered = enumerate_task(
-            &snapshot,
-            ctx,
-            task,
-            &round.fired[task.rule.index()],
-            ws,
-            &mut batch,
-        );
+        let considered = if round.batch {
+            // Worker emit spans overlap in wall time; the coordinator
+            // books the whole pooled lap as probe, so the span is
+            // discarded here.
+            let mut emit = 0.0f64;
+            enumerate_task_batch(
+                &snapshot,
+                ctx,
+                task,
+                &round.fired[task.rule.index()],
+                ws,
+                &mut batch,
+                &mut emit,
+            )
+        } else {
+            enumerate_task(
+                &snapshot,
+                ctx,
+                task,
+                &round.fired[task.rule.index()],
+                ws,
+                &mut batch,
+            )
+        };
         drop(round);
         out.push((i as u32, batch, considered));
     }

@@ -69,10 +69,11 @@ use std::time::Instant;
 use nuchase_model::hash::{hash_atom, hash_terms};
 use nuchase_model::plan::{delta_windows, Scratch};
 use nuchase_model::{
-    AtomIdx, IndexDelta, Instance, NullId, PredId, ProbeHint, RuleId, Term, Tgd, TgdSet, VarId,
+    AtomIdx, BatchScratch, BindingBlock, IndexDelta, Instance, NullId, PredId, ProbeHint, RuleId,
+    Term, Tgd, TgdSet, VarId,
 };
 
-use crate::chase::{ApplyPath, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
+use crate::chase::{ApplyPath, BatchEnum, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
 use crate::dedup::TermTupleSet;
 use crate::forest::Forest;
 use crate::nulls::NullStore;
@@ -186,6 +187,14 @@ pub struct WorkerScratch {
     /// Trigger-key assembly buffer (also the merge/plan key buffer when
     /// the owner runs those serial stages).
     pub key_buf: Vec<Term>,
+    /// Columnar buffers for batch (wide-round) enumeration, recycled
+    /// across rounds like the backtracking `scratch`.
+    pub batch_scratch: BatchScratch,
+    /// Batch enumeration: the block collector's emit-pass buffers.
+    emit_scratch: EmitScratch,
+    /// Batch enumeration: row gather buffer (one placeholder-form
+    /// binding, copied out of a [`BindingBlock`]).
+    row_buf: Vec<Term>,
     /// Resolve stage: the trigger homomorphism μ under construction.
     mu: Vec<Term>,
     /// Resolve stage: guard/body image assembly buffer.
@@ -199,6 +208,18 @@ impl WorkerScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Scratch for [`block_collector`]'s vectorized emit passes (recycled
+/// across blocks; sized by the widest block seen).
+#[derive(Debug, Default)]
+struct EmitScratch {
+    /// Row-major trigger-key assembly: `rows × keys.len()` terms.
+    keys_flat: Vec<Term>,
+    /// One [`hash_terms`] result per row.
+    hash_buf: Vec<u64>,
+    /// Rows that survived the fired-set probe, in row order.
+    surv: Vec<u32>,
 }
 
 /// One unit of enumerate-phase work: run one pivot stage of one rule's
@@ -362,6 +383,198 @@ pub fn enumerate_rule(
         ctx.delta_start,
         scratch,
         trigger_collector(rule, keys, fired, dedup, key_buf, batch, &mut considered),
+    );
+    considered
+}
+
+/// The per-**block** collection step of the batch enumerators: three
+/// vectorized passes over the block — assemble-and-hash every row's
+/// trigger key, run all rows through the unit-local dedup, then probe
+/// the frozen fired set for the first occurrences only — accepting the
+/// exact rows the [`trigger_collector`] contract accepts, in the same
+/// order, so the two paths deliver byte-identical trigger sequences.
+/// The span spent inside each block (dedup + emission) accrues into
+/// `emit_secs`; the caller's enumerate lap minus that sum is the probe
+/// time.
+#[allow(clippy::too_many_arguments)]
+fn block_collector<'a>(
+    rule: RuleId,
+    keys: &'a [VarId],
+    fired: &'a TermTupleSet,
+    dedup: &'a mut TermTupleSet,
+    row_buf: &'a mut Vec<Term>,
+    es: &'a mut EmitScratch,
+    batch: &'a mut TriggerBatch,
+    considered: &'a mut usize,
+    emit_secs: &'a mut f64,
+) -> impl FnMut(&BindingBlock<'_>) -> ControlFlow<()> + 'a {
+    move |block| {
+        let t0 = Instant::now();
+        let rows = block.rows();
+        *considered += rows;
+        let k = keys.len();
+        if k == 0 {
+            // Keyless rules (fully ground bodies): one trigger fires per
+            // round at most; the vectorized passes assume a positive key
+            // stride, so take the scalar route.
+            for row in 0..rows {
+                if !fired.contains(&[]) && dedup.insert(&[]) {
+                    block.read_row(row, row_buf);
+                    batch.push_terms(rule, row_buf);
+                }
+            }
+            *emit_secs += t0.elapsed().as_secs_f64();
+            return ControlFlow::Continue(());
+        }
+        let EmitScratch {
+            keys_flat,
+            hash_buf,
+            surv,
+        } = es;
+        // Pass 1: gather every row's trigger key (column-wise, one
+        // sequential sweep per key variable) and hash it once — pure
+        // compute, no table traffic. The per-trigger collector hashes
+        // each key twice (contains + insert).
+        if keys_flat.len() < rows * k {
+            keys_flat.resize(rows * k, Term::Var(VarId(0)));
+        }
+        let kf = &mut keys_flat[..rows * k];
+        for (j, &v) in keys.iter().enumerate() {
+            for (dst, &t) in kf.iter_mut().skip(j).step_by(k).zip(block.col(v)) {
+                *dst = t;
+            }
+        }
+        let kf = &keys_flat[..rows * k];
+        hash_buf.clear();
+        hash_buf.extend(kf.chunks_exact(k).map(hash_terms));
+        // Pass 2: unit-local dedup first. The per-trigger collector
+        // probes `fired` first and the dedup arena second; flipping the
+        // order accepts the exact same rows (accept ⇔ first occurrence
+        // of the key in this task ∧ key not fired), but routes every row
+        // through the small, cache-hot task-local table and saves the
+        // big-table `fired` probe for first occurrences only — in a
+        // saturated wide round almost every row is an intra-round
+        // duplicate.
+        // Running a fixed distance ahead with a prefetch hint overlaps
+        // the probes' random-access misses (the hashes for the whole
+        // block are already in hand).
+        const PREFETCH_AHEAD: usize = 8;
+        surv.clear();
+        for (row, key) in kf.chunks_exact(k).enumerate() {
+            if let Some(&ahead) = hash_buf.get(row + PREFETCH_AHEAD) {
+                dedup.prefetch(ahead);
+            }
+            if dedup.insert_hashed(key, hash_buf[row]) {
+                surv.push(row as u32);
+            }
+        }
+        // Pass 3: first occurrences (few, once the chase saturates)
+        // probe the frozen fired set in row order — preserving the
+        // per-trigger path's exact accept sequence — and materialize
+        // into the batch.
+        for (i, &row) in surv.iter().enumerate() {
+            if let Some(&ahead) = surv.get(i + PREFETCH_AHEAD) {
+                fired.prefetch(hash_buf[ahead as usize]);
+            }
+            let row = row as usize;
+            let key = &kf[row * k..(row + 1) * k];
+            if !fired.contains_hashed(key, hash_buf[row]) {
+                block.read_row(row, row_buf);
+                batch.push_terms(rule, row_buf);
+            }
+        }
+        *emit_secs += t0.elapsed().as_secs_f64();
+        ControlFlow::Continue(())
+    }
+}
+
+/// [`enumerate_task`] through the batch (columnar) enumeration path:
+/// the pivot window runs as a lane program
+/// ([`MatchPlan::for_each_hom_pivot_batch`](nuchase_model::MatchPlan::for_each_hom_pivot_batch)),
+/// candidate bindings land in block-sized columnar buffers, and each
+/// block drains through the same three-level dedup contract. Trigger
+/// sequence, `considered` count, and batch bytes are identical to the
+/// per-trigger path — pinned by the forced-path differential sweeps.
+/// Block-drain time accrues into `emit_secs`.
+pub fn enumerate_task_batch(
+    instance: &Instance,
+    ctx: RoundCtx<'_>,
+    task: Task,
+    fired: &TermTupleSet,
+    ws: &mut WorkerScratch,
+    batch: &mut TriggerBatch,
+    emit_secs: &mut f64,
+) -> usize {
+    let tgd = ctx.tgds.get(task.rule);
+    let keys = key_vars(tgd, ctx.variant);
+    let WorkerScratch {
+        dedup,
+        batch_scratch,
+        row_buf,
+        emit_scratch,
+        ..
+    } = ws;
+    dedup.clear();
+    let mut considered = 0usize;
+    tgd.body_plan().for_each_hom_pivot_batch(
+        instance,
+        ctx.delta_start,
+        task.pivot as usize,
+        task.window,
+        batch_scratch,
+        block_collector(
+            task.rule,
+            keys,
+            fired,
+            dedup,
+            row_buf,
+            emit_scratch,
+            batch,
+            &mut considered,
+            emit_secs,
+        ),
+    );
+    considered
+}
+
+/// [`enumerate_rule`] through the batch (columnar) enumeration path (see
+/// [`enumerate_task_batch`]): the full delta sweep of one rule as lane
+/// programs, byte-identical to the backtracking sweep.
+pub fn enumerate_rule_batch(
+    instance: &Instance,
+    ctx: RoundCtx<'_>,
+    rule: RuleId,
+    fired: &TermTupleSet,
+    ws: &mut WorkerScratch,
+    batch: &mut TriggerBatch,
+    emit_secs: &mut f64,
+) -> usize {
+    let tgd = ctx.tgds.get(rule);
+    let keys = key_vars(tgd, ctx.variant);
+    let WorkerScratch {
+        dedup,
+        batch_scratch,
+        row_buf,
+        emit_scratch,
+        ..
+    } = ws;
+    dedup.clear();
+    let mut considered = 0usize;
+    tgd.body_plan().for_each_hom_delta_batch(
+        instance,
+        ctx.delta_start,
+        batch_scratch,
+        block_collector(
+            rule,
+            keys,
+            fired,
+            dedup,
+            row_buf,
+            emit_scratch,
+            batch,
+            &mut considered,
+            emit_secs,
+        ),
     );
     considered
 }
@@ -1089,17 +1302,27 @@ fn commit_batch_plain(
 /// [`commit_batch`]). Performance-only: the index is identical.
 const EAGER_INDEX_MAX: usize = 64;
 
-/// Delta ceiling (in atoms) for a round to take the fused micro-round
-/// path under [`ApplyPath::Auto`]. Chain-shaped chases live their whole
-/// life under it; wide rounds — where the staged pipeline's batched
-/// splices and shardable resolve pay off — stay on the pipeline. Purely
-/// a performance choice: results are byte-identical on both paths.
+/// Default delta ceiling (in atoms) for a round to take the fused
+/// micro-round path under [`ApplyPath::Auto`] — the
+/// [`ChaseConfig::fused_delta_max`] default. Chain-shaped chases live
+/// their whole life under it; wide rounds — where the staged pipeline's
+/// batched splices and shardable resolve pay off — stay on the pipeline.
+/// Purely a performance choice: results are byte-identical on both
+/// paths.
 pub const FUSED_DELTA_MAX: AtomIdx = 64;
 
 /// Trigger-count ceiling for the fused path under [`ApplyPath::Auto`]
 /// (both bounds must hold — a tiny delta can still fan out into many
 /// triggers, which the pipeline handles better).
 pub const FUSED_TRIGGER_MAX: usize = 32;
+
+/// Default delta floor (in atoms) for a non-fused round to take the
+/// batch (columnar) enumeration path under [`BatchEnum::Auto`] — the
+/// [`ChaseConfig::batch_delta_min`] default. Below it the per-trigger
+/// backtracking search wins: the lane program's per-step setup and
+/// column traffic need enough candidate rows to amortize. Purely a
+/// performance choice: results are byte-identical on both paths.
+pub const BATCH_DELTA_MIN: AtomIdx = 4096;
 
 /// Resolves the apply-path choice for a run: an explicit
 /// [`ChaseConfig::apply_path`] wins; otherwise the
@@ -1118,14 +1341,68 @@ pub fn resolved_apply_path(config: &ChaseConfig) -> ApplyPath {
     }
 }
 
+/// Resolves the batch-enumeration choice for a run, mirroring
+/// [`resolved_apply_path`]: an explicit [`ChaseConfig::batch_enum`]
+/// wins; otherwise the `NUCHASE_FORCE_BATCH_ENUM` environment variable
+/// (`1`/`true` forces the batch path for every non-fused round,
+/// `0`/`false` disables it — the differential-sweep override);
+/// otherwise [`BatchEnum::Auto`]. Called once per run, never per round.
+pub fn resolved_batch_enum(config: &ChaseConfig) -> BatchEnum {
+    if config.batch_enum != BatchEnum::Auto {
+        return config.batch_enum;
+    }
+    match std::env::var("NUCHASE_FORCE_BATCH_ENUM").ok().as_deref() {
+        Some("1") | Some("true") => BatchEnum::On,
+        Some("0") | Some("false") => BatchEnum::Off,
+        _ => BatchEnum::Auto,
+    }
+}
+
+/// Parses a `NUCHASE_*` numeric override; unset or unparseable reads
+/// fall back to the config value.
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// The effective fused-delta ceiling of a run:
+/// `NUCHASE_FUSED_DELTA_MAX` when set, else
+/// [`ChaseConfig::fused_delta_max`]. Resolved once per run.
+pub fn resolved_fused_delta_max(config: &ChaseConfig) -> AtomIdx {
+    env_usize("NUCHASE_FUSED_DELTA_MAX")
+        .and_then(|v| u32::try_from(v).ok())
+        .unwrap_or(config.fused_delta_max)
+}
+
+/// The effective batch-delta floor of a run: `NUCHASE_BATCH_DELTA_MIN`
+/// when set, else [`ChaseConfig::batch_delta_min`]. Resolved once per
+/// run.
+pub fn resolved_batch_delta_min(config: &ChaseConfig) -> AtomIdx {
+    env_usize("NUCHASE_BATCH_DELTA_MIN")
+        .and_then(|v| u32::try_from(v).ok())
+        .unwrap_or(config.batch_delta_min)
+}
+
+/// The effective pooled-resolve floor of a run:
+/// `NUCHASE_RESOLVE_POOL_MIN` when set, else
+/// [`ChaseConfig::resolve_pool_min`]. Resolved once per run.
+pub fn resolved_resolve_pool_min(config: &ChaseConfig) -> usize {
+    env_usize("NUCHASE_RESOLVE_POOL_MIN").unwrap_or(config.resolve_pool_min)
+}
+
 /// Does a round with `delta` new atoms and `triggers` enumerated
-/// triggers take the fused path under the resolved choice?
+/// triggers take the fused path under the resolved choice and the run's
+/// effective `fused_delta_max`?
 #[inline]
-pub fn fused_round(path: ApplyPath, delta: AtomIdx, triggers: usize) -> bool {
+pub fn fused_round(
+    path: ApplyPath,
+    delta: AtomIdx,
+    triggers: usize,
+    fused_delta_max: AtomIdx,
+) -> bool {
     match path {
         ApplyPath::Pipeline => false,
         ApplyPath::Fused => true,
-        ApplyPath::Auto => delta <= FUSED_DELTA_MAX && triggers <= FUSED_TRIGGER_MAX,
+        ApplyPath::Auto => delta <= fused_delta_max && triggers <= FUSED_TRIGGER_MAX,
     }
 }
 
@@ -1136,11 +1413,25 @@ pub fn fused_round(path: ApplyPath, delta: AtomIdx, triggers: usize) -> bool {
 /// triggers falls back to the staged stages minus the (already
 /// performed) merge.
 #[inline]
-pub fn fused_round_delta(path: ApplyPath, delta: AtomIdx) -> bool {
+pub fn fused_round_delta(path: ApplyPath, delta: AtomIdx, fused_delta_max: AtomIdx) -> bool {
     match path {
         ApplyPath::Pipeline => false,
         ApplyPath::Fused => true,
-        ApplyPath::Auto => delta <= FUSED_DELTA_MAX,
+        ApplyPath::Auto => delta <= fused_delta_max,
+    }
+}
+
+/// Does a **non-fused** round with `delta` new atoms enumerate through
+/// the batch (columnar) path under the resolved choice and the run's
+/// effective `batch_delta_min`? Fused rounds never batch: their eager
+/// per-trigger enumeration *is* their apply pass, and a micro-round's
+/// handful of candidates has nothing to amortize.
+#[inline]
+pub fn batch_round_delta(choice: BatchEnum, delta: AtomIdx, batch_delta_min: AtomIdx) -> bool {
+    match choice {
+        BatchEnum::On => true,
+        BatchEnum::Off => false,
+        BatchEnum::Auto => delta >= batch_delta_min,
     }
 }
 
@@ -1528,6 +1819,12 @@ pub struct RoundDriver {
     pub tasks: Vec<Task>,
     /// Resolved once per run from the config and the environment.
     path: ApplyPath,
+    /// Batch-enumeration choice, resolved once per run like `path`.
+    batch_choice: BatchEnum,
+    /// Effective fused-delta ceiling (config or env override).
+    fused_delta_max: AtomIdx,
+    /// Effective batch-delta floor (config or env override).
+    batch_delta_min: AtomIdx,
     /// Every rule body is one atom ([`single_atom_bodies`]), so fused
     /// rounds may run as chain micro-rounds ([`fused_chain_round`]).
     chain_ok: bool,
@@ -1537,6 +1834,11 @@ pub struct RoundDriver {
     mark: Instant,
     /// Is the current round on the fused path ([`RoundDriver::begin_round`])?
     round_fused: bool,
+    /// Does the current round enumerate through the batch path?
+    round_batch: bool,
+    /// Emit seconds accrued by the current round's batch enumeration
+    /// (drained into the probe/emit split at [`RoundDriver::lap_enumerate`]).
+    round_emit: f64,
     /// Does the current fused round sample the enumerate/commit split?
     sample: bool,
     /// Fused rounds seen (drives the sampling cadence).
@@ -1580,10 +1882,15 @@ impl RoundDriver {
             bufs: ApplyBuffers::new(),
             tasks: Vec::new(),
             path: resolved_apply_path(config),
+            batch_choice: resolved_batch_enum(config),
+            fused_delta_max: resolved_fused_delta_max(config),
+            batch_delta_min: resolved_batch_delta_min(config),
             chain_ok: single_atom_bodies(tgds),
             tasks_single: false,
             mark,
             round_fused: false,
+            round_batch: false,
+            round_emit: 0.0,
             sample: true,
             fused_seen: 0,
             enum_share: 0.25,
@@ -1601,11 +1908,16 @@ impl RoundDriver {
     /// driver across many chases (and a session across many runs).
     pub fn restart(&mut self, config: &ChaseConfig, chain_ok: bool, mark: Instant) {
         self.path = resolved_apply_path(config);
+        self.batch_choice = resolved_batch_enum(config);
+        self.fused_delta_max = resolved_fused_delta_max(config);
+        self.batch_delta_min = resolved_batch_delta_min(config);
         self.chain_ok = chain_ok;
         self.tasks.clear();
         self.tasks_single = false;
         self.mark = mark;
         self.round_fused = false;
+        self.round_batch = false;
+        self.round_emit = 0.0;
         self.sample = true;
         self.fused_seen = 0;
         self.enum_share = 0.25;
@@ -1657,13 +1969,17 @@ impl RoundDriver {
         stats.apply_secs += dt;
     }
 
-    /// Starts a round, deciding its apply path from the delta width
-    /// (the pre-enumeration decision — see [`fused_round_delta`]).
-    /// Returns whether the round should enumerate with **eager dedup**
+    /// Starts a round, deciding its apply path and enumeration path from
+    /// the delta width (the pre-enumeration decisions — see
+    /// [`fused_round_delta`] and [`batch_round_delta`]). Returns whether
+    /// the round should enumerate with **eager dedup**
     /// ([`enumerate_rule_eager`]/[`enumerate_task_eager`]) — the fused
-    /// path's contract.
+    /// path's contract. Non-fused rounds consult
+    /// [`RoundDriver::batch_round`] for the wide-round batch path.
     pub fn begin_round(&mut self, delta: AtomIdx, stats: &mut ChaseStats) -> bool {
-        self.round_fused = fused_round_delta(self.path, delta);
+        self.round_fused = fused_round_delta(self.path, delta, self.fused_delta_max);
+        self.round_batch =
+            !self.round_fused && batch_round_delta(self.batch_choice, delta, self.batch_delta_min);
         if self.chain_pending > 0 && !(self.round_fused && self.chain_ok) {
             // Leaving a chain-round streak: flush the accrued spans to
             // commit before a staged round's laps could absorb them.
@@ -1681,13 +1997,31 @@ impl RoundDriver {
         self.round_fused
     }
 
+    /// Does the current (non-fused) round enumerate through the batch
+    /// path ([`enumerate_rule_batch`]/[`enumerate_task_batch`])? Decided
+    /// at [`RoundDriver::begin_round`].
+    pub fn batch_round(&self) -> bool {
+        self.round_batch
+    }
+
+    /// Accrues batch-enumeration emit time (the `emit_secs` out-param of
+    /// the batch enumerators) into the current round, for the probe/emit
+    /// split of the next [`RoundDriver::lap_enumerate`].
+    pub fn note_emit(&mut self, secs: f64) {
+        self.round_emit += secs;
+    }
+
     /// Seconds since the last boundary; advances the boundary.
     fn lap(&mut self) -> f64 {
         lap_mark(&mut self.mark)
     }
 
-    /// Closes the enumerate span (covers round prep + enumeration). On
-    /// an unsampled fused round this takes no clock read — the span is
+    /// Closes the enumerate span (covers round prep + enumeration),
+    /// splitting it into probe + emit: emit is the measured block-drain
+    /// time of a batch round ([`RoundDriver::note_emit`], zero on
+    /// per-trigger rounds, whose single fused loop is all probe), probe
+    /// the remainder — so `probe + emit == enumerate` exactly. On an
+    /// unsampled fused round this takes no clock read — the span is
     /// measured at apply-end and split by the sampled ratio; a round
     /// that ends here (empty batch, the run's fixpoint) is closed
     /// exactly regardless.
@@ -1697,6 +2031,10 @@ impl RoundDriver {
         }
         let e = self.lap();
         stats.enumerate_secs += e;
+        let emit = self.round_emit.min(e);
+        self.round_emit = 0.0;
+        stats.emit_secs += emit;
+        stats.probe_secs += e - emit;
         self.last_enum = e;
     }
 
@@ -1765,9 +2103,11 @@ impl RoundDriver {
                 stats.apply_secs += dt;
             } else {
                 // One clock read covered enumerate + apply; split it by
-                // the sampled ratio (the sum stays exact).
+                // the sampled ratio (the sum stays exact). Fused rounds
+                // are per-trigger, so the enumerate share is all probe.
                 let e = dt * self.enum_share;
                 stats.enumerate_secs += e;
+                stats.probe_secs += e;
                 stats.commit_secs += dt - e;
                 stats.apply_secs += dt - e;
             }
@@ -1983,16 +2323,111 @@ mod tests {
         };
         assert_eq!(resolved_apply_path(&forced), ApplyPath::Pipeline);
         // Auto: both bounds must hold; forced paths ignore them.
-        assert!(fused_round(ApplyPath::Auto, 1, 1));
+        assert!(fused_round(ApplyPath::Auto, 1, 1, FUSED_DELTA_MAX));
         assert!(fused_round(
             ApplyPath::Auto,
             FUSED_DELTA_MAX,
-            FUSED_TRIGGER_MAX
+            FUSED_TRIGGER_MAX,
+            FUSED_DELTA_MAX
         ));
-        assert!(!fused_round(ApplyPath::Auto, FUSED_DELTA_MAX + 1, 1));
-        assert!(!fused_round(ApplyPath::Auto, 1, FUSED_TRIGGER_MAX + 1));
-        assert!(!fused_round(ApplyPath::Pipeline, 1, 1));
-        assert!(fused_round(ApplyPath::Fused, 1 << 20, 1 << 20));
+        assert!(!fused_round(
+            ApplyPath::Auto,
+            FUSED_DELTA_MAX + 1,
+            1,
+            FUSED_DELTA_MAX
+        ));
+        assert!(!fused_round(
+            ApplyPath::Auto,
+            1,
+            FUSED_TRIGGER_MAX + 1,
+            FUSED_DELTA_MAX
+        ));
+        assert!(!fused_round(ApplyPath::Pipeline, 1, 1, FUSED_DELTA_MAX));
+        assert!(fused_round(
+            ApplyPath::Fused,
+            1 << 20,
+            1 << 20,
+            FUSED_DELTA_MAX
+        ));
+        // The config knobs carry the documented defaults, and a custom
+        // ceiling moves the Auto decision.
+        let config = ChaseConfig::default();
+        assert_eq!(config.fused_delta_max, FUSED_DELTA_MAX);
+        assert_eq!(config.batch_delta_min, BATCH_DELTA_MIN);
+        assert!(fused_round_delta(ApplyPath::Auto, 100, 128));
+        assert!(!fused_round_delta(ApplyPath::Auto, 100, 64));
+        // Batch decision: explicit choices ignore the floor, Auto
+        // honours it.
+        assert!(batch_round_delta(BatchEnum::On, 1, BATCH_DELTA_MIN));
+        assert!(!batch_round_delta(BatchEnum::Off, 1 << 20, BATCH_DELTA_MIN));
+        assert!(batch_round_delta(
+            BatchEnum::Auto,
+            BATCH_DELTA_MIN,
+            BATCH_DELTA_MIN
+        ));
+        assert!(!batch_round_delta(
+            BatchEnum::Auto,
+            BATCH_DELTA_MIN - 1,
+            BATCH_DELTA_MIN
+        ));
+        // Explicit batch knobs win over the environment.
+        let on = ChaseConfig {
+            batch_enum: BatchEnum::On,
+            ..Default::default()
+        };
+        assert_eq!(resolved_batch_enum(&on), BatchEnum::On);
+        let off = ChaseConfig {
+            batch_enum: BatchEnum::Off,
+            ..Default::default()
+        };
+        assert_eq!(resolved_batch_enum(&off), BatchEnum::Off);
+    }
+
+    #[test]
+    fn batch_enumerators_match_per_trigger_enumerators() {
+        // Same trigger batch, considered count, and bytes from both
+        // enumeration paths, across variants (key sets differ).
+        let p = nuchase_model::parse_program(
+            "e(a, b).\ne(b, c).\ne(c, a).\ne(X, Y), e(Y, Z) -> e(X, Z).\ne(X, Y) -> p(X).",
+        )
+        .unwrap();
+        for variant in [
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Oblivious,
+            ChaseVariant::Restricted,
+        ] {
+            let ctx = RoundCtx {
+                tgds: &p.tgds,
+                variant,
+                delta_start: 0,
+            };
+            let fired = TermTupleSet::new();
+            let mut ws = WorkerScratch::new();
+            let mut reference = TriggerBatch::new();
+            let mut ref_considered = 0usize;
+            let mut batch = TriggerBatch::new();
+            let mut batch_considered = 0usize;
+            let mut emit = 0.0f64;
+            for (rule, _) in p.tgds.iter() {
+                ref_considered +=
+                    enumerate_rule(&p.database, ctx, rule, &fired, &mut ws, &mut reference);
+                batch_considered += enumerate_rule_batch(
+                    &p.database,
+                    ctx,
+                    rule,
+                    &fired,
+                    &mut ws,
+                    &mut batch,
+                    &mut emit,
+                );
+            }
+            assert_eq!(batch_considered, ref_considered, "{variant:?}");
+            assert_eq!(batch.len(), reference.len(), "{variant:?}");
+            for i in 0..batch.len() {
+                assert_eq!(batch.get(i), reference.get(i), "{variant:?} trigger {i}");
+            }
+            assert!(emit >= 0.0);
+        }
     }
 
     #[test]

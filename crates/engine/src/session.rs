@@ -144,8 +144,9 @@ use crate::dedup::TermTupleSet;
 use crate::nulls::NullStore;
 use crate::parallel::{run_pooled, WorkerPool};
 use crate::phase::{
-    enumerate_rule, enumerate_rule_eager, enumerate_task, enumerate_task_eager, fused_chain_round,
-    ApplyState, RoundCtx, RoundDriver,
+    enumerate_rule, enumerate_rule_batch, enumerate_rule_eager, enumerate_task,
+    enumerate_task_batch, enumerate_task_eager, fused_chain_round, ApplyState, RoundCtx,
+    RoundDriver,
 };
 
 /// A TGD set compiled once for any number of chases.
@@ -893,6 +894,8 @@ fn run_rounds_sequential(
             variant: config.variant,
             delta_start: core.delta_start,
         };
+        let batch_round = driver.batch_round();
+        let mut emit = 0.0f64;
         for (rule, _) in tgds.iter() {
             stats.triggers_considered += if eager {
                 enumerate_rule_eager(
@@ -902,6 +905,16 @@ fn run_rounds_sequential(
                     &mut core.fired[rule.index()],
                     &mut driver.ws,
                     &mut driver.batch,
+                )
+            } else if batch_round {
+                enumerate_rule_batch(
+                    &core.instance,
+                    ctx,
+                    rule,
+                    &core.fired[rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                    &mut emit,
                 )
             } else {
                 enumerate_rule(
@@ -914,6 +927,7 @@ fn run_rounds_sequential(
                 )
             };
         }
+        driver.note_emit(emit);
         driver.lap_enumerate(stats);
         if driver.batch.is_empty() {
             return ChaseOutcome::Terminated;
@@ -990,6 +1004,8 @@ fn run_rounds_tasked(
             variant: config.variant,
             delta_start: core.delta_start,
         };
+        let batch_round = driver.batch_round();
+        let mut emit = 0.0f64;
         for i in 0..driver.tasks.len() {
             let task = driver.tasks[i];
             stats.triggers_considered += if eager {
@@ -1000,6 +1016,16 @@ fn run_rounds_tasked(
                     &mut core.fired[task.rule.index()],
                     &mut driver.ws,
                     &mut driver.batch,
+                )
+            } else if batch_round {
+                enumerate_task_batch(
+                    &core.instance,
+                    ctx,
+                    task,
+                    &core.fired[task.rule.index()],
+                    &mut driver.ws,
+                    &mut driver.batch,
+                    &mut emit,
                 )
             } else {
                 enumerate_task(
@@ -1012,6 +1038,7 @@ fn run_rounds_tasked(
                 )
             };
         }
+        driver.note_emit(emit);
         driver.lap_enumerate(stats);
         if driver.batch.is_empty() {
             return ChaseOutcome::Terminated;

@@ -779,6 +779,105 @@ impl Instance {
     pub fn snapshot(&self) -> Snapshot<'_> {
         Snapshot { inst: self }
     }
+
+    /// Intersects the `(position, term)` posting lists of `pred`,
+    /// restricted to atom indexes in `bounds = [lo, hi)`, into `out`
+    /// (cleared first; ascending). This is the batch enumeration path's
+    /// candidate computation for a step with two or more keyed argument
+    /// positions: instead of scanning the shortest list and re-verifying
+    /// every other position per candidate (the backtracking search's
+    /// shape), the lists are intersected wholesale — the shortest list
+    /// drives, the rest are galloped ([`intersect_sorted`]), so the cost
+    /// is `O(|shortest| · Σ log |other|)` in the worst case and far less
+    /// when the lists diverge early.
+    ///
+    /// Produces exactly the atoms carrying every keyed term at its
+    /// position (posting lists are position-exact), i.e. the same
+    /// candidate set the per-candidate unification filter accepts —
+    /// intra-atom repeated-variable constraints excepted, which the
+    /// caller still checks.
+    ///
+    /// `scratch` is a caller-recycled intermediate buffer.
+    pub fn intersect_pred_term_at(
+        &self,
+        pred: PredId,
+        keys: &[(u32, Term)],
+        bounds: (AtomIdx, AtomIdx),
+        out: &mut Vec<AtomIdx>,
+        scratch: &mut Vec<AtomIdx>,
+    ) {
+        out.clear();
+        if keys.is_empty() {
+            let list = self.atoms_with_pred(pred);
+            let lo = list.partition_point(|&i| i < bounds.0);
+            let hi = list.partition_point(|&i| i < bounds.1);
+            out.extend_from_slice(&list[lo..hi]);
+            return;
+        }
+        // Drive from the shortest list (most selective first).
+        let mut driver = 0usize;
+        let mut driver_len = usize::MAX;
+        for (k, &(pos, term)) in keys.iter().enumerate() {
+            let len = self.atoms_with_pred_term_at(pred, pos, term).len();
+            if len < driver_len {
+                driver = k;
+                driver_len = len;
+            }
+        }
+        let (pos, term) = keys[driver];
+        let list = self.atoms_with_pred_term_at(pred, pos, term);
+        let lo = list.partition_point(|&i| i < bounds.0);
+        let hi = list.partition_point(|&i| i < bounds.1);
+        out.extend_from_slice(&list[lo..hi]);
+        for (k, &(pos, term)) in keys.iter().enumerate() {
+            if k == driver {
+                continue;
+            }
+            if out.is_empty() {
+                return;
+            }
+            let list = self.atoms_with_pred_term_at(pred, pos, term);
+            scratch.clear();
+            intersect_sorted(out, list, scratch);
+            std::mem::swap(out, scratch);
+        }
+    }
+}
+
+/// Intersects two ascending index lists into `out` (appended), galloping
+/// over the longer one: each element of the shorter list is located in
+/// the longer by exponential search from a moving base, so the cost is
+/// `O(|short| · log(|long| / |short|))` — sub-linear in the long list,
+/// which is the common shape of positional posting lists (a handful of
+/// delta-bound candidates against a six-figure predicate lane).
+///
+/// Both inputs must be strictly ascending (posting lists are); the
+/// output then is too. Pinned against the naive merge intersection on
+/// adversarial lane shapes in the tests.
+pub fn intersect_sorted(a: &[AtomIdx], b: &[AtomIdx], out: &mut Vec<AtomIdx>) {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut base = 0usize;
+    for &x in short {
+        if base >= long.len() {
+            break;
+        }
+        if long[base] < x {
+            // Gallop: double the step until long[base + step] >= x (or
+            // the list ends); the first index with value >= x then lies
+            // in (base + step/2, base + step].
+            let mut step = 1usize;
+            while base + step < long.len() && long[base + step] < x {
+                step *= 2;
+            }
+            let lo = base + step / 2 + 1;
+            let hi = (base + step + 1).min(long.len());
+            base = lo + long[lo..hi].partition_point(|&y| y < x);
+        }
+        if base < long.len() && long[base] == x {
+            out.push(x);
+            base += 1;
+        }
+    }
 }
 
 /// A dedup-table probe resumption point returned by
@@ -1215,6 +1314,111 @@ mod tests {
         assert_eq!(preds, expect); // preds_iter is ascending
         let dom: Vec<Term> = inst.dom_iter().collect();
         assert_eq!(dom, inst.dom());
+    }
+
+    /// The reference merge intersection `intersect_sorted` is pinned
+    /// against: one linear walk over both lists.
+    fn naive_intersect(a: &[AtomIdx], b: &[AtomIdx]) -> Vec<AtomIdx> {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn galloping_intersection_matches_naive_on_adversarial_shapes() {
+        // Lane shapes that stress every gallop branch: empty lists,
+        // singletons, disjoint ranges, interleavings, dense-vs-sparse
+        // (the gallop's home turf), duplicate-free runs with long gaps,
+        // and equal lists.
+        let dense: Vec<AtomIdx> = (0..4096).collect();
+        let sparse: Vec<AtomIdx> = (0..4096).step_by(97).collect();
+        let ends: Vec<AtomIdx> = vec![0, 4095];
+        let tail: Vec<AtomIdx> = (4000..4200).collect();
+        let shapes: Vec<(Vec<AtomIdx>, Vec<AtomIdx>)> = vec![
+            (vec![], vec![]),
+            (vec![], vec![1, 2, 3]),
+            (vec![5], vec![5]),
+            (vec![5], vec![4]),
+            (vec![1, 2, 3], vec![4, 5, 6]),
+            (vec![4, 5, 6], vec![1, 2, 3]),
+            (vec![1, 3, 5, 7, 9], vec![2, 3, 6, 7, 10]),
+            (dense.clone(), sparse.clone()),
+            (sparse.clone(), dense.clone()),
+            (dense.clone(), ends.clone()),
+            (dense.clone(), tail.clone()),
+            (tail.clone(), sparse.clone()),
+            (dense.clone(), dense.clone()),
+        ];
+        for (a, b) in &shapes {
+            let mut out = Vec::new();
+            intersect_sorted(a, b, &mut out);
+            assert_eq!(
+                out,
+                naive_intersect(a, b),
+                "shapes |a|={} |b|={}",
+                a.len(),
+                b.len()
+            );
+        }
+    }
+
+    #[test]
+    fn intersect_pred_term_at_matches_probe_and_filter() {
+        // A triangle-ish edge set: intersecting (pos 0, X) with
+        // (pos 1, Y) must equal probing one list and filtering by the
+        // other position, for every bound pair — including bounds
+        // clipping.
+        let mut inst = Instance::new();
+        for i in 0..30u32 {
+            inst.insert(atom(0, vec![c(i % 5), c(i % 7)]));
+        }
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        for x in 0..5u32 {
+            for y in 0..7u32 {
+                for bounds in [(0, u32::MAX), (0, 13), (7, 21)] {
+                    inst.intersect_pred_term_at(
+                        PredId(0),
+                        &[(0, c(x)), (1, c(y))],
+                        bounds,
+                        &mut out,
+                        &mut scratch,
+                    );
+                    let expect: Vec<AtomIdx> = inst
+                        .atoms_with_pred_term_at(PredId(0), 0, c(x))
+                        .iter()
+                        .copied()
+                        .filter(|&i| i >= bounds.0 && i < bounds.1 && inst.atom(i).args[1] == c(y))
+                        .collect();
+                    assert_eq!(out, expect, "x={x} y={y} bounds={bounds:?}");
+                }
+            }
+        }
+        // No keys: the bounds-clipped predicate list.
+        inst.intersect_pred_term_at(PredId(0), &[], (3, 9), &mut out, &mut scratch);
+        assert_eq!(out, vec![3, 4, 5, 6, 7, 8]);
+        // Three keys (repeated-position style): still exact.
+        inst.intersect_pred_term_at(
+            PredId(0),
+            &[(0, c(1)), (1, c(1)), (0, c(1))],
+            (0, u32::MAX),
+            &mut out,
+            &mut scratch,
+        );
+        let expect: Vec<AtomIdx> = (0..inst.len() as AtomIdx)
+            .filter(|&i| inst.atom(i).args == [c(1), c(1)])
+            .collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

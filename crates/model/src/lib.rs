@@ -47,9 +47,11 @@ pub mod tgd;
 pub use atom::{Atom, AtomRef};
 pub use display::DisplayWith;
 pub use error::ModelError;
-pub use instance::{AtomIdx, AtomIter, IndexDelta, Instance, ProbeHint, Snapshot};
+pub use instance::{
+    intersect_sorted, AtomIdx, AtomIter, IndexDelta, Instance, ProbeHint, Snapshot,
+};
 pub use parser::{parse_database, parse_into, parse_program, parse_tgds, Program};
-pub use plan::{MatchPlan, Scratch};
+pub use plan::{BatchScratch, BindingBlock, MatchPlan, Scratch};
 pub use query::{Cq, Ucq};
 pub use symbols::{ConstId, NullId, PredId, SymbolTable, VarId};
 pub use term::Term;

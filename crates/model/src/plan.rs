@@ -36,6 +36,7 @@ use std::ops::ControlFlow;
 
 use crate::atom::Atom;
 use crate::instance::{AtomIdx, Instance};
+use crate::symbols::{PredId, VarId};
 use crate::term::Term;
 
 /// Which part of the instance a pattern atom may match during semi-naive
@@ -94,6 +95,45 @@ impl Scratch {
     }
 }
 
+/// Where a keyed argument position's term comes from when a lane program
+/// runs: a ground pattern term, or the value of a variable bound by an
+/// earlier step (read from that variable's frontier column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum KeySource {
+    /// A ground term in the pattern itself.
+    Ground(Term),
+    /// A variable bound by an earlier step of the same program.
+    Var(u32),
+}
+
+/// One step of a compiled **lane program** — the batch (columnar)
+/// counterpart of [`Step`]. Where the backtracking search classifies a
+/// pattern's argument positions *per candidate* (probe the bound ones,
+/// bind the free ones), the lane program fixes the classification at
+/// compile time, because which variables are bound at step `k` depends
+/// only on steps `0..k`, never on the data:
+///
+/// * `keys` — positions whose term is known before the step runs (ground,
+///   or a variable bound earlier). Their `(pred, position, term)` posting
+///   lists are *intersected* to produce the candidate set; posting lists
+///   are position-exact, so keyed positions need no re-verification.
+/// * `binds` — first occurrences of free variables: the candidate atom's
+///   argument is written to the variable's frontier column.
+/// * `self_eqs` — repeated occurrences of a variable *first bound by this
+///   very step*: checked intra-atom (`args[pos] == args[first]`), the one
+///   constraint list membership cannot express.
+/// * `carry` — variables bound before this step, whose column values the
+///   surviving rows copy forward.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct LaneStep {
+    pred: PredId,
+    region: Region,
+    keys: Vec<(u32, KeySource)>,
+    binds: Vec<(u32, u32)>,
+    self_eqs: Vec<(u32, u32)>,
+    carry: Vec<u32>,
+}
+
 /// A compiled match plan for a pattern conjunction over dense rule-local
 /// variables `0..var_count`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -104,6 +144,13 @@ pub struct MatchPlan {
     /// `pivots[j]`: pattern `j` first (restricted to the delta), patterns
     /// `< j` against the old region, patterns `> j` against everything.
     pivots: Vec<Vec<Step>>,
+    /// The lane program of each pivot stage — the batch enumeration
+    /// counterpart of `pivots`, same stage order.
+    lane_pivots: Vec<Vec<LaneStep>>,
+    /// Is variable `v` bound by the patterns (occurs in some body atom)?
+    /// Unbound slots (head existentials sharing the dense id space) emit
+    /// their placeholder in [`BindingBlock::read_row`].
+    lane_bound: Vec<bool>,
 }
 
 impl MatchPlan {
@@ -127,6 +174,19 @@ impl MatchPlan {
                 steps
             })
             .collect();
+        plan.lane_pivots = plan
+            .pivots
+            .iter()
+            .map(|steps| compile_lane_steps(steps, var_count))
+            .collect();
+        plan.lane_bound = vec![false; var_count as usize];
+        for p in patterns {
+            for t in &p.args {
+                if let Term::Var(v) = t {
+                    plan.lane_bound[v.index()] = true;
+                }
+            }
+        }
         plan
     }
 
@@ -150,6 +210,8 @@ impl MatchPlan {
             var_count,
             full,
             pivots: Vec::new(),
+            lane_pivots: Vec::new(),
+            lane_bound: Vec::new(),
         }
     }
 
@@ -320,6 +382,441 @@ impl MatchPlan {
             ControlFlow::Break(())
         });
         found
+    }
+
+    /// The **batch** counterpart of [`MatchPlan::for_each_hom_pivot`]:
+    /// runs the pivot stage's compiled lane program, materializing
+    /// complete bindings into block-sized columnar buffers and invoking
+    /// `on_block` once per block instead of once per homomorphism.
+    ///
+    /// The execution is breadth-first per block: the pivot's candidate
+    /// atoms (window-clipped, ascending) are chunked; each chunk's rows
+    /// cascade level by level, every level computing its candidates by
+    /// posting-list **intersection** ([`Instance::intersect_pred_term_at`])
+    /// over the step's keyed positions — galloping sorted-merge, the
+    /// variable-at-a-time intersection of worst-case-optimal join
+    /// evaluation — rather than per-candidate probe-and-unify.
+    ///
+    /// # Equivalence with the backtracking search
+    ///
+    /// The rows delivered across blocks are exactly the bindings
+    /// [`MatchPlan::for_each_hom_pivot`] yields, **in the same order**:
+    /// rows are processed in frontier order and candidates appended
+    /// ascending, so the block rows enumerate the search tree's leaves in
+    /// lexicographic path order — precisely the depth-first visit order —
+    /// and a step's intersection equals the search's
+    /// shortest-list-scan-plus-unification filter (posting lists are
+    /// position-exact; intra-atom repeats are the `self_eqs` checks).
+    /// Pinned by the order-and-content equality tests below.
+    ///
+    /// # Panics
+    /// Panics on plans compiled with [`MatchPlan::compile_scan`].
+    pub fn for_each_hom_pivot_batch(
+        &self,
+        inst: &Instance,
+        delta_start: AtomIdx,
+        pivot: usize,
+        window: (AtomIdx, AtomIdx),
+        bs: &mut BatchScratch,
+        mut on_block: impl FnMut(&BindingBlock<'_>) -> ControlFlow<()>,
+    ) {
+        assert!(
+            self.lane_pivots.len() == self.full.len(),
+            "batch enumeration on a plan compiled with MatchPlan::compile_scan"
+        );
+        debug_assert!(window.0 >= delta_start, "window must lie in the delta");
+        let _ = self.batch_pivot_sized(
+            inst,
+            delta_start,
+            pivot,
+            window,
+            BATCH_BLOCK,
+            bs,
+            &mut on_block,
+        );
+    }
+
+    /// The batch counterpart of [`MatchPlan::for_each_hom_delta`]: the
+    /// full delta sweep (all pivot stages, in stage order) through the
+    /// lane programs, delivering the same bindings in the same order as
+    /// the backtracking sweep. With `delta_start == 0` only pivot 0 runs,
+    /// windowed over the whole instance — which partitions the full
+    /// enumeration (see [`MatchPlan::for_each_hom_pivot`]).
+    ///
+    /// # Panics
+    /// Panics on plans compiled with [`MatchPlan::compile_scan`] (when
+    /// the delta is nonempty).
+    pub fn for_each_hom_delta_batch(
+        &self,
+        inst: &Instance,
+        delta_start: AtomIdx,
+        bs: &mut BatchScratch,
+        mut on_block: impl FnMut(&BindingBlock<'_>) -> ControlFlow<()>,
+    ) {
+        let len = inst.len() as AtomIdx;
+        if delta_start >= len {
+            return; // empty delta: nothing new can match
+        }
+        assert!(
+            self.lane_pivots.len() == self.full.len(),
+            "batch enumeration on a plan compiled with MatchPlan::compile_scan"
+        );
+        if delta_start == 0 {
+            let _ = self.batch_pivot_sized(inst, 0, 0, (0, len), BATCH_BLOCK, bs, &mut on_block);
+            return;
+        }
+        for pivot in 0..self.lane_pivots.len() {
+            let window = (delta_start, len);
+            if self
+                .batch_pivot_sized(
+                    inst,
+                    delta_start,
+                    pivot,
+                    window,
+                    BATCH_BLOCK,
+                    bs,
+                    &mut on_block,
+                )
+                .is_break()
+            {
+                return;
+            }
+        }
+    }
+
+    /// The lane-program executor behind the batch entry points, with an
+    /// explicit block size (the tests shrink it to cross block
+    /// boundaries on small instances).
+    #[allow(clippy::too_many_arguments)]
+    fn batch_pivot_sized(
+        &self,
+        inst: &Instance,
+        delta_start: AtomIdx,
+        pivot: usize,
+        window: (AtomIdx, AtomIdx),
+        block_size: usize,
+        bs: &mut BatchScratch,
+        on_block: &mut dyn FnMut(&BindingBlock<'_>) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if window.0 >= window.1 {
+            return ControlFlow::Continue(());
+        }
+        let prog = &self.lane_pivots[pivot];
+        bs.prepare(self.var_count);
+        let BatchScratch {
+            level0,
+            isect,
+            isect_tmp,
+            key_terms,
+            bind_vals,
+            cols,
+        } = bs;
+
+        // Level 0 — the pivot step: its keys can only be ground (no
+        // variable is bound before the first step), so the candidate set
+        // is computed once for the whole window.
+        let step0 = &prog[0];
+        key_terms.clear();
+        for &(pos, src) in &step0.keys {
+            match src {
+                KeySource::Ground(t) => key_terms.push((pos, t)),
+                KeySource::Var(_) => unreachable!("no variable is bound before step 0"),
+            }
+        }
+        inst.intersect_pred_term_at(step0.pred, key_terms, window, level0, isect_tmp);
+
+        let [cols_a, cols_b] = cols;
+        for block in level0.chunks(block_size) {
+            let (mut cur, mut nxt): (&mut Vec<Vec<Term>>, &mut Vec<Vec<Term>>) =
+                (&mut *cols_a, &mut *cols_b);
+
+            // Seed the frontier from the block's pivot candidates.
+            for col in cur.iter_mut() {
+                col.clear();
+            }
+            let mut rows = 0usize;
+            'seed: for &idx in block {
+                let atom = inst.atom(idx);
+                for &(pos, first) in &step0.self_eqs {
+                    if atom.args[pos as usize] != atom.args[first as usize] {
+                        continue 'seed;
+                    }
+                }
+                for &(pos, v) in &step0.binds {
+                    cur[v as usize].push(atom.args[pos as usize]);
+                }
+                rows += 1;
+            }
+
+            // Cascade the remaining levels: per row, intersect the keyed
+            // posting lists, check intra-atom repeats, extend the next
+            // frontier in place.
+            for step in &prog[1..] {
+                if rows == 0 {
+                    break;
+                }
+                for col in nxt.iter_mut() {
+                    col.clear();
+                }
+                let bounds = match step.region {
+                    Region::Old => (0, delta_start),
+                    Region::All => (0, AtomIdx::MAX),
+                    Region::New => (window.0, window.1),
+                };
+                if bind_vals.len() < step.binds.len() {
+                    bind_vals.resize_with(step.binds.len(), Vec::new);
+                }
+                let mut next_rows = 0usize;
+                // Consecutive rows frequently repeat a key (delta commits
+                // cluster atoms by the value they extend, and star-shaped
+                // joins fan out under one hub), so rows are processed a
+                // *run* of equal keys at a time: the candidate lookup —
+                // an index probe or a full multi-key intersection — and
+                // the self-eq filter happen once per run, and each run
+                // row extends the next frontier by a splat (carried
+                // values) plus a memcpy (the pre-filtered bind values)
+                // instead of per-candidate pushes.
+                let mut row = 0usize;
+                while row < rows {
+                    key_terms.clear();
+                    for &(pos, src) in &step.keys {
+                        let t = match src {
+                            KeySource::Ground(t) => t,
+                            KeySource::Var(v) => cur[v as usize][row],
+                        };
+                        key_terms.push((pos, t));
+                    }
+                    // Extend the run while every variable key component
+                    // repeats (ground components are constant).
+                    let mut end = row + 1;
+                    'run: while end < rows {
+                        for (j, &(_, src)) in step.keys.iter().enumerate() {
+                            if let KeySource::Var(v) = src {
+                                if cur[v as usize][end] != key_terms[j].1 {
+                                    break 'run;
+                                }
+                            }
+                        }
+                        end += 1;
+                    }
+                    let cands: &[AtomIdx] = match key_terms.len() {
+                        0 => {
+                            let list = inst.atoms_with_pred(step.pred);
+                            let lo = list.partition_point(|&i| i < bounds.0);
+                            let hi = list.partition_point(|&i| i < bounds.1);
+                            &list[lo..hi]
+                        }
+                        1 => {
+                            let (pos, t) = key_terms[0];
+                            let list = inst.atoms_with_pred_term_at(step.pred, pos, t);
+                            let lo = list.partition_point(|&i| i < bounds.0);
+                            let hi = list.partition_point(|&i| i < bounds.1);
+                            &list[lo..hi]
+                        }
+                        _ => {
+                            inst.intersect_pred_term_at(
+                                step.pred, key_terms, bounds, isect, isect_tmp,
+                            );
+                            isect
+                        }
+                    };
+                    // Pre-filter the run's candidates: self-eq checks
+                    // depend only on the atom, so they hold for every row
+                    // of the run; surviving bind values land column-wise.
+                    for b in bind_vals[..step.binds.len()].iter_mut() {
+                        b.clear();
+                    }
+                    let mut m = 0usize;
+                    'cand: for &idx in cands {
+                        let atom = inst.atom(idx);
+                        for &(pos, first) in &step.self_eqs {
+                            if atom.args[pos as usize] != atom.args[first as usize] {
+                                continue 'cand;
+                            }
+                        }
+                        for (j, &(pos, _)) in step.binds.iter().enumerate() {
+                            bind_vals[j].push(atom.args[pos as usize]);
+                        }
+                        m += 1;
+                    }
+                    if m > 0 {
+                        // Column-wise extension: each output column is
+                        // independent, so the carried splats and bind
+                        // copies run one sequential column at a time.
+                        for &v in &step.carry {
+                            let src = &cur[v as usize][row..end];
+                            let col = &mut nxt[v as usize];
+                            for &val in src {
+                                let len = col.len();
+                                col.resize(len + m, val);
+                            }
+                        }
+                        for (j, &(_, v)) in step.binds.iter().enumerate() {
+                            let col = &mut nxt[v as usize];
+                            for _ in row..end {
+                                col.extend_from_slice(&bind_vals[j]);
+                            }
+                        }
+                        next_rows += m * (end - row);
+                    }
+                    row = end;
+                }
+                rows = next_rows;
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+
+            if rows > 0 {
+                let block = BindingBlock {
+                    cols: cur,
+                    bound: &self.lane_bound,
+                    rows,
+                };
+                on_block(&block)?;
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Compiles one pivot stage's [`Step`] list into its lane program: the
+/// static keys/binds/self-eqs/carry classification of every argument
+/// position, derived by simulating the bound-variable set step by step
+/// (which depends only on the step order, never on the data).
+fn compile_lane_steps(steps: &[Step], var_count: u32) -> Vec<LaneStep> {
+    let mut bound = vec![false; var_count as usize];
+    let mut step_first: Vec<Option<u32>> = vec![None; var_count as usize];
+    steps
+        .iter()
+        .map(|step| {
+            let carry: Vec<u32> = (0..var_count).filter(|&v| bound[v as usize]).collect();
+            let mut keys = Vec::new();
+            let mut binds: Vec<(u32, u32)> = Vec::new();
+            let mut self_eqs = Vec::new();
+            for s in step_first.iter_mut() {
+                *s = None;
+            }
+            for (pos, &t) in step.pattern.args.iter().enumerate() {
+                let pos = pos as u32;
+                match t {
+                    Term::Var(v) => {
+                        let vi = v.index();
+                        if bound[vi] {
+                            keys.push((pos, KeySource::Var(v.0)));
+                        } else if let Some(first) = step_first[vi] {
+                            self_eqs.push((pos, first));
+                        } else {
+                            step_first[vi] = Some(pos);
+                            binds.push((pos, v.0));
+                        }
+                    }
+                    ground => keys.push((pos, KeySource::Ground(ground))),
+                }
+            }
+            for &(_, v) in &binds {
+                bound[v as usize] = true;
+            }
+            LaneStep {
+                pred: step.pattern.pred,
+                region: step.region,
+                keys,
+                binds,
+                self_eqs,
+                carry,
+            }
+        })
+        .collect()
+}
+
+/// Pivot candidates per block of the batch executor: large enough to
+/// amortize the per-block column resets and callback, small enough that
+/// a block's frontier stays cache-resident through the cascade.
+const BATCH_BLOCK: usize = 512;
+
+/// Caller-owned scratch for batch (columnar) enumeration: the level-0
+/// candidate buffer, the per-run intersection and pre-filtered bind
+/// value buffers, the key assembly buffer, and the two ping-pong
+/// frontier column sets (one `Vec<Term>` column per dense variable). One `BatchScratch` serves any number of
+/// plans; recycling it across rounds keeps the batch path allocation-free
+/// after warm-up, exactly like [`Scratch`] for the backtracking search.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    level0: Vec<AtomIdx>,
+    isect: Vec<AtomIdx>,
+    isect_tmp: Vec<AtomIdx>,
+    key_terms: Vec<(u32, Term)>,
+    bind_vals: Vec<Vec<Term>>,
+    cols: [Vec<Vec<Term>>; 2],
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes both column sets to `var_count` columns.
+    fn prepare(&mut self, var_count: u32) {
+        for cols in &mut self.cols {
+            cols.resize_with(var_count as usize, Vec::new);
+        }
+    }
+}
+
+/// One block of complete bindings materialized by the batch executor:
+/// `rows` bindings in columnar layout, one column per dense variable.
+/// Rows are in enumeration order (the backtracking search's order);
+/// unbound variables (head existentials sharing the dense id space) read
+/// as their placeholder `Term::Var`, exactly the placeholder form the
+/// trigger pipeline expects.
+#[derive(Debug)]
+pub struct BindingBlock<'a> {
+    cols: &'a [Vec<Term>],
+    bound: &'a [bool],
+    rows: usize,
+}
+
+impl BindingBlock<'_> {
+    /// Number of binding rows in the block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The value of (pattern-bound) variable `v` at `row`.
+    #[inline]
+    pub fn var(&self, row: usize, v: VarId) -> Term {
+        debug_assert!(self.bound[v.index()], "variable bound by the patterns");
+        self.cols[v.index()][row]
+    }
+
+    /// The full column of (pattern-bound) variable `v`: `rows()` terms
+    /// in row order. The batch emit pass gathers trigger keys
+    /// column-wise through this instead of `rows × keys` `var` calls.
+    #[inline]
+    pub fn col(&self, v: VarId) -> &[Term] {
+        debug_assert!(self.bound[v.index()], "variable bound by the patterns");
+        &self.cols[v.index()][..self.rows]
+    }
+
+    /// Copies row `row` into `out` (cleared first) as a complete
+    /// placeholder-form binding: bound variables carry their value,
+    /// unbound slots their `Term::Var` placeholder — byte-identical to
+    /// what the backtracking callback's binding produces under
+    /// `t.unwrap_or(Term::Var(v))`.
+    pub fn read_row(&self, row: usize, out: &mut Vec<Term>) {
+        out.clear();
+        out.extend(
+            self.cols
+                .iter()
+                .zip(self.bound)
+                .enumerate()
+                .map(|(v, (col, &b))| {
+                    if b {
+                        col[row]
+                    } else {
+                        Term::Var(VarId(v as u32))
+                    }
+                }),
+        );
     }
 }
 
@@ -660,6 +1157,247 @@ mod tests {
         let mut scratch = Scratch::new();
         assert!(plan.exists_hom_seeded(&inst, &[Some(c(1)), None], &mut scratch));
         assert!(!plan.exists_hom_seeded(&inst, &[Some(c(9)), None], &mut scratch));
+    }
+
+    /// The placeholder form the trigger pipeline sees: bound slots carry
+    /// their value, unbound slots their `Term::Var` placeholder.
+    fn placeholder(b: &[Option<Term>]) -> Vec<Term> {
+        b.iter()
+            .enumerate()
+            .map(|(v, t)| t.unwrap_or(Term::Var(VarId(v as u32))))
+            .collect()
+    }
+
+    fn collect_pivot(
+        plan: &MatchPlan,
+        inst: &Instance,
+        delta_start: AtomIdx,
+        pivot: usize,
+        window: (AtomIdx, AtomIdx),
+    ) -> Vec<Vec<Term>> {
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        plan.for_each_hom_pivot(inst, delta_start, pivot, window, &mut scratch, |b| {
+            out.push(placeholder(b));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    fn collect_pivot_batch(
+        plan: &MatchPlan,
+        inst: &Instance,
+        delta_start: AtomIdx,
+        pivot: usize,
+        window: (AtomIdx, AtomIdx),
+        block_size: usize,
+    ) -> Vec<Vec<Term>> {
+        let mut bs = BatchScratch::new();
+        let mut out = Vec::new();
+        let mut row = Vec::new();
+        let _ = plan.batch_pivot_sized(
+            inst,
+            delta_start,
+            pivot,
+            window,
+            block_size,
+            &mut bs,
+            &mut |block: &BindingBlock<'_>| {
+                for r in 0..block.rows() {
+                    block.read_row(r, &mut row);
+                    out.push(row.clone());
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        out
+    }
+
+    fn collect_delta_batch(
+        plan: &MatchPlan,
+        inst: &Instance,
+        delta_start: AtomIdx,
+    ) -> Vec<Vec<Term>> {
+        let mut bs = BatchScratch::new();
+        let mut out = Vec::new();
+        let mut row = Vec::new();
+        plan.for_each_hom_delta_batch(inst, delta_start, &mut bs, |block| {
+            for r in 0..block.rows() {
+                block.read_row(r, &mut row);
+                out.push(row.clone());
+            }
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn batch_pivots_match_backtracking_on_chain_windows() {
+        // Same shape as pivot_windows_partition_the_delta_homs, but
+        // pinning the batch executor against the backtracking search for
+        // every (pivot, window, block size) — content AND order.
+        let mut inst = Instance::new();
+        for i in 0..4 {
+            inst.insert(atom(0, vec![c(i), c(i + 1)]));
+        }
+        let delta_start = inst.len() as AtomIdx;
+        for i in 4..9 {
+            inst.insert(atom(0, vec![c(i), c(i + 1)]));
+        }
+        let len = inst.len() as AtomIdx;
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])], 3);
+        let mut any = 0usize;
+        for chunk in [1u32, 2, 3, 16] {
+            for pivot in 0..plan.pivot_count() {
+                for w in delta_windows(delta_start, len, chunk) {
+                    let reference = collect_pivot(&plan, &inst, delta_start, pivot, w);
+                    any += reference.len();
+                    for block_size in [1usize, 2, 3, 64] {
+                        let batch =
+                            collect_pivot_batch(&plan, &inst, delta_start, pivot, w, block_size);
+                        assert_eq!(
+                            batch, reference,
+                            "pivot {pivot} window {w:?} block {block_size}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(any > 0, "the sweep must exercise nonempty windows");
+    }
+
+    #[test]
+    fn batch_delta_sweep_matches_backtracking() {
+        let mut inst = Instance::new();
+        for i in 0..4 {
+            inst.insert(atom(0, vec![c(i), c(i + 1)]));
+        }
+        let delta_start = inst.len() as AtomIdx;
+        for i in 4..9 {
+            inst.insert(atom(0, vec![c(i), c(i + 1)]));
+        }
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(1)]), atom(0, vec![v(1), v(2)])], 3);
+        let mut scratch = Scratch::new();
+        for ds in [delta_start, 0] {
+            let mut reference = Vec::new();
+            plan.for_each_hom_delta(&inst, ds, &mut scratch, |b| {
+                reference.push(placeholder(b));
+                ControlFlow::Continue(())
+            });
+            assert!(!reference.is_empty());
+            assert_eq!(collect_delta_batch(&plan, &inst, ds), reference, "ds {ds}");
+        }
+    }
+
+    #[test]
+    fn batch_triangle_join_exercises_multi_key_intersection() {
+        // e(X,Y), e(Y,Z), e(X,Z): the third step keys BOTH argument
+        // positions (X and Z bound), so the batch path runs a genuine
+        // posting-list intersection per row.
+        let edges = [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (0, 0)];
+        let mut inst = Instance::new();
+        for &(a, b) in &edges[..3] {
+            inst.insert(atom(0, vec![c(a), c(b)]));
+        }
+        let delta_start = inst.len() as AtomIdx;
+        for &(a, b) in &edges[3..] {
+            inst.insert(atom(0, vec![c(a), c(b)]));
+        }
+        let plan = MatchPlan::compile(
+            &[
+                atom(0, vec![v(0), v(1)]),
+                atom(0, vec![v(1), v(2)]),
+                atom(0, vec![v(0), v(2)]),
+            ],
+            3,
+        );
+        let mut scratch = Scratch::new();
+        for ds in [0, delta_start] {
+            let mut reference = Vec::new();
+            plan.for_each_hom_delta(&inst, ds, &mut scratch, |b| {
+                reference.push(placeholder(b));
+                ControlFlow::Continue(())
+            });
+            assert!(reference.len() >= 2, "the graph must contain triangles");
+            assert_eq!(collect_delta_batch(&plan, &inst, ds), reference, "ds {ds}");
+        }
+        // And across explicit windows with tiny blocks.
+        let len = inst.len() as AtomIdx;
+        for pivot in 0..plan.pivot_count() {
+            for w in delta_windows(delta_start, len, 1) {
+                let reference = collect_pivot(&plan, &inst, delta_start, pivot, w);
+                assert_eq!(
+                    collect_pivot_batch(&plan, &inst, delta_start, pivot, w, 1),
+                    reference
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_repeated_vars_ground_keys_and_existential_slots() {
+        // p(X, X, c1) with an extra existential slot in the dense id
+        // space: the batch row must carry the self-eq filter, the ground
+        // key, and the untouched slot's Term::Var placeholder.
+        let inst = Instance::from_atoms(vec![
+            atom(0, vec![c(0), c(2), c(1)]), // fails the self-eq
+            atom(0, vec![c(0), c(0), c(1)]), // matches
+            atom(0, vec![c(3), c(3), c(2)]), // fails the ground key
+            atom(0, vec![c(4), c(4), c(1)]), // matches
+        ]);
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(0), c(1)])], 2);
+        let batch = collect_delta_batch(&plan, &inst, 0);
+        assert_eq!(
+            batch,
+            vec![
+                vec![c(0), Term::Var(VarId(1))],
+                vec![c(4), Term::Var(VarId(1))]
+            ]
+        );
+        let mut scratch = Scratch::new();
+        let mut reference = Vec::new();
+        plan.for_each_hom(&inst, &mut scratch, |b| {
+            reference.push(placeholder(b));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(batch, reference);
+    }
+
+    #[test]
+    fn batch_counts_rows_for_fully_ground_patterns() {
+        // A pattern with no variables binds no columns, so the row count
+        // must come from an explicit counter, not a column length.
+        let inst = Instance::from_atoms(vec![atom(0, vec![c(0), c(1)]), atom(0, vec![c(2), c(3)])]);
+        let plan = MatchPlan::compile(&[atom(0, vec![c(0), c(1)])], 0);
+        let batch = collect_delta_batch(&plan, &inst, 0);
+        assert_eq!(batch, vec![Vec::<Term>::new()]);
+    }
+
+    #[test]
+    fn batch_early_break_stops_after_the_block() {
+        let inst = Instance::from_atoms((0..6).map(|i| atom(0, vec![c(i), c(i + 1)])));
+        let plan = MatchPlan::compile(&[atom(0, vec![v(0), v(1)])], 2);
+        let reference = collect_pivot(&plan, &inst, 0, 0, (0, inst.len() as AtomIdx));
+        let mut bs = BatchScratch::new();
+        let mut out = Vec::new();
+        let mut row = Vec::new();
+        let _ = plan.batch_pivot_sized(
+            &inst,
+            0,
+            0,
+            (0, inst.len() as AtomIdx),
+            2,
+            &mut bs,
+            &mut |block: &BindingBlock<'_>| {
+                for r in 0..block.rows() {
+                    block.read_row(r, &mut row);
+                    out.push(row.clone());
+                }
+                ControlFlow::Break(())
+            },
+        );
+        assert_eq!(out.len(), 2, "one block of two pivot candidates");
+        assert_eq!(out[..], reference[..2]);
     }
 
     #[test]

@@ -291,6 +291,87 @@ fn parallel_executor_agrees_with_baseline_and_sequential() {
     assert!(checked > 30, "too few terminating samples ({checked})");
 }
 
+/// The columnar batch enumeration path vs the per-trigger backtracking
+/// search on a transitive-closure workload whose later rounds are wide
+/// enough to cross the batch floor naturally — the shape the batch path
+/// exists for. Forced on, and Auto with a floor the workload crosses,
+/// both against an explicit per-trigger reference, at thread counts
+/// 0 (sequential), 1 (single-worker tasks), and 2 (pool).
+#[test]
+fn batch_enumeration_agrees_on_wide_transitive_closure_rounds() {
+    use nuchase_engine::{chase, BatchEnum, ChaseBudget, ChaseConfig};
+    use nuchase_model::{Atom, Instance, SymbolTable, Term, Tgd, TgdSet, VarId};
+    let n = 160u32;
+    let mut symbols = SymbolTable::new();
+    let e = symbols.pred_unchecked("e", 2);
+    let mut db = Instance::new();
+    for i in 0..n {
+        let a = Term::Const(symbols.constant(&format!("n{i}")));
+        let b = Term::Const(symbols.constant(&format!("n{}", i + 1)));
+        db.insert(Atom::new(e, vec![a, b]));
+    }
+    let v = |i: u32| Term::Var(VarId(i));
+    let tgd = Tgd::new(
+        vec![
+            Atom::new(e, vec![v(0), v(1)]),
+            Atom::new(e, vec![v(1), v(2)]),
+        ],
+        vec![Atom::new(e, vec![v(0), v(2)])],
+    )
+    .unwrap();
+    let tgds = TgdSet::new(vec![tgd]);
+    let base = ChaseConfig {
+        budget: ChaseBudget::atoms(40_000),
+        batch_enum: BatchEnum::Off,
+        ..Default::default()
+    };
+    let reference = chase(&db, &tgds, &base);
+    assert!(reference.terminated());
+    // Closure of a 161-node chain: one edge per ordered pair.
+    let nodes = n as usize + 1;
+    assert_eq!(reference.instance.len(), nodes * (nodes - 1) / 2);
+    for threads in [0usize, 1, 2] {
+        let legs = [
+            (
+                "forced on",
+                ChaseConfig {
+                    batch_enum: BatchEnum::On,
+                    threads,
+                    ..base
+                },
+            ),
+            (
+                "auto past floor",
+                ChaseConfig {
+                    batch_enum: BatchEnum::Auto,
+                    batch_delta_min: 1024,
+                    threads,
+                    ..base
+                },
+            ),
+        ];
+        for (label, cfg) in legs {
+            let batched = chase(&db, &tgds, &cfg);
+            let label = format!("{label}, {threads} threads");
+            assert_eq!(reference.outcome, batched.outcome, "{label}: outcome");
+            assert!(
+                reference.instance.indexed_eq(&batched.instance),
+                "{label}: batch path deviates from per-trigger"
+            );
+            assert_eq!(reference.stats.rounds, batched.stats.rounds, "{label}");
+            assert_eq!(
+                reference.stats.triggers_considered, batched.stats.triggers_considered,
+                "{label}: considered"
+            );
+            assert_eq!(
+                reference.stats.triggers_fired, batched.stats.triggers_fired,
+                "{label}: fired"
+            );
+            assert_eq!(reference.nulls.len(), batched.nulls.len(), "{label}");
+        }
+    }
+}
+
 /// Oblivious ⊇ semi-oblivious ⊇ restricted on terminating runs (result
 /// sizes; the oblivious chase fires strictly more triggers).
 #[test]

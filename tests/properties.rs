@@ -144,6 +144,7 @@ fn fused_and_pipeline_apply_paths_are_byte_identical() {
                         record_provenance: true,
                         build_forest: true,
                         apply_path: ApplyPath::Pipeline,
+                        ..Default::default()
                     };
                     let label = format!("{class:?} seed {seed} {variant:?} threads {threads}");
                     let pipeline = chase(&p.database, &p.tgds, &cfg);
@@ -170,6 +171,82 @@ fn fused_and_pipeline_apply_paths_are_byte_identical() {
                     let (fa, fb) = (
                         pipeline.forest.as_ref().expect("forest recorded"),
                         fused.forest.as_ref().expect("forest recorded"),
+                    );
+                    assert_eq!(fa.len(), fb.len(), "{label}: forest length");
+                    for i in 0..fa.len() as u32 {
+                        assert_eq!(fa.parent(i), fb.parent(i), "{label}: parent of {i}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The columnar batch enumeration path and the per-trigger backtracking
+/// search are byte-identical — same atoms at the same indexes, same null
+/// names and depths, same provenance, forest, and counters (including
+/// `triggers_considered`) — forced on/off across every chase variant and
+/// class, at thread counts 0 (sequential engine), 1 (single-worker task
+/// executor), and 2 (pool executor, batch inside each sharded task).
+/// `Auto` must equal both. Combined with the CI env sweep
+/// (`NUCHASE_FORCE_BATCH_ENUM=0/1` over this whole file), this pins the
+/// batch path at threads 0/1/2/7 in both positions of every other
+/// differential.
+#[test]
+fn batch_and_per_trigger_enumeration_are_byte_identical() {
+    use nuchase_engine::BatchEnum;
+    let variants = [
+        ChaseVariant::SemiOblivious,
+        ChaseVariant::Oblivious,
+        ChaseVariant::Restricted,
+    ];
+    for class in CLASSES {
+        for seed in 0..5u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            for variant in variants {
+                for threads in [0usize, 1, 2] {
+                    let cfg = ChaseConfig {
+                        variant,
+                        threads,
+                        budget: ChaseBudget::atoms(4_000),
+                        record_provenance: true,
+                        build_forest: true,
+                        // Explicit Off: the reference leg stays on the
+                        // per-trigger path even under the CI env sweep's
+                        // NUCHASE_FORCE_BATCH_ENUM=1 (config beats env).
+                        batch_enum: BatchEnum::Off,
+                        // Batch every non-fused round, however small —
+                        // tiny rounds are where ordering bugs would hide.
+                        batch_delta_min: 0,
+                        ..Default::default()
+                    };
+                    let label = format!("{class:?} seed {seed} {variant:?} threads {threads}");
+                    let per_trigger = chase(&p.database, &p.tgds, &cfg);
+                    let batch = chase(
+                        &p.database,
+                        &p.tgds,
+                        &ChaseConfig {
+                            batch_enum: BatchEnum::On,
+                            ..cfg
+                        },
+                    );
+                    assert_byte_identical(&per_trigger, &batch, &format!("{label} batch"));
+                    let auto = chase(
+                        &p.database,
+                        &p.tgds,
+                        &ChaseConfig {
+                            batch_enum: BatchEnum::Auto,
+                            ..cfg
+                        },
+                    );
+                    assert_byte_identical(&per_trigger, &auto, &format!("{label} auto"));
+                    let (fa, fb) = (
+                        per_trigger.forest.as_ref().expect("forest recorded"),
+                        batch.forest.as_ref().expect("forest recorded"),
                     );
                     assert_eq!(fa.len(), fb.len(), "{label}: forest length");
                     for i in 0..fa.len() as u32 {

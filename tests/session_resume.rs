@@ -137,6 +137,7 @@ fn config(variant: ChaseVariant, threads: usize, path: nuchase_engine::ApplyPath
         budget: ChaseBudget::atoms(20_000),
         record_provenance: true,
         build_forest: true,
+        ..Default::default()
     }
 }
 
