@@ -119,7 +119,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("no experiment matched; use --list to see ids (e01..e13)");
+        eprintln!("no experiment matched; use --list to see ids (e01..e14)");
         std::process::exit(2);
     }
 

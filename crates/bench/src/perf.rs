@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use nuchase_engine::{
     baseline_semi_oblivious_chase, chase, semi_oblivious_chase, ApplyPath, BatchEnum, ChaseBudget,
-    ChaseConfig, ChaseStats, Engine, PreparedProgram,
+    ChaseConfig, ChaseStats, Engine, PreparedProgram, RuleTelemetry, TelemetryLevel,
 };
 use nuchase_model::{parse_database, Atom, Instance, SymbolTable, Term, Tgd, TgdSet};
 
@@ -66,6 +66,18 @@ pub struct EngineNumbers {
     /// Wall time of the commit stage (the serial part of apply; fused
     /// rounds land entirely here).
     pub commit_secs: f64,
+    /// Wall time of pooled-run worker release and teardown (0 on the
+    /// serial executors, which have no pool to drain).
+    pub pool_secs: f64,
+    /// Peak instance heap footprint — arena and index capacities, bytes
+    /// (the instance is append-only, so the end-of-run size is the peak).
+    pub peak_instance_bytes: usize,
+    /// Peak null-store heap footprint, bytes.
+    pub peak_null_bytes: usize,
+    /// Final load factor of the instance's open-addressing dedup table.
+    pub instance_table_load: f64,
+    /// Posting lists that overflowed their dense lane into a spill vec.
+    pub index_spill_count: usize,
 }
 
 impl EngineNumbers {
@@ -86,6 +98,11 @@ impl EngineNumbers {
             apply_secs: stats.apply_secs,
             resolve_secs: stats.resolve_secs,
             commit_secs: stats.commit_secs,
+            pool_secs: stats.pool_secs,
+            peak_instance_bytes: stats.peak_instance_bytes,
+            peak_null_bytes: stats.peak_null_bytes,
+            instance_table_load: stats.instance_table_load,
+            index_spill_count: stats.index_spill_count,
         }
     }
 }
@@ -97,7 +114,7 @@ impl EngineNumbers {
 /// new per-round cost appeared outside every span — exactly the
 /// unaccounted-wall gap this assertion exists to keep closed.
 fn assert_wall_accounted(name: &str, detail: &str, n: &EngineNumbers) {
-    let covered = n.enumerate_secs + n.dedup_secs + n.apply_secs;
+    let covered = n.enumerate_secs + n.dedup_secs + n.apply_secs + n.pool_secs;
     assert!(
         covered >= 0.90 * n.wall_secs - 0.002 && covered <= 1.10 * n.wall_secs + 0.002,
         "{name} {detail}: phase timers {covered:.4}s do not account for wall {:.4}s",
@@ -149,14 +166,19 @@ pub struct ChaseBenchRow {
     /// leg cannot skew it). ~1.0 on chain workloads (no round ever
     /// crosses the batch floor).
     pub batch_speedup: f64,
+    /// Per-rule attribution from one extra *untimed* run at
+    /// [`TelemetryLevel::Counters`] — trigger and atom counts per TGD,
+    /// in rule-id order. Kept out of every timed leg so the measured
+    /// walls stay telemetry-free.
+    pub rules: Vec<RuleTelemetry>,
 }
 
-fn successor_chain() -> (Instance, TgdSet, usize) {
+pub(crate) fn successor_chain() -> (Instance, TgdSet, usize) {
     let p = nuchase_model::parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).").unwrap();
     (p.database, p.tgds, 100_000)
 }
 
-fn transitive_closure(n: u32) -> (Instance, TgdSet, usize) {
+pub(crate) fn transitive_closure(n: u32) -> (Instance, TgdSet, usize) {
     let mut symbols = SymbolTable::new();
     let e = symbols.pred_unchecked("e", 2);
     let mut db = Instance::new();
@@ -469,6 +491,22 @@ pub fn run_chase_bench(runs: usize, quick: bool) -> Vec<ChaseBenchRow> {
         assert_wall_accounted(name, "pertrigger", &pertrigger);
         let speedup = baseline.wall_secs / optimized.wall_secs.max(1e-12);
         let fused_speedup = pipeline.wall_secs / optimized.wall_secs.max(1e-12);
+        // One extra untimed run at Counters for the per-rule table — the
+        // timed legs above all ran with telemetry off.
+        let rules = {
+            let engine = Engine::builder()
+                .budget(ChaseBudget::atoms(budget))
+                .telemetry(TelemetryLevel::Counters)
+                .build();
+            let r = engine.chase(&PreparedProgram::compile(tgds.clone()), &db);
+            let snap = r.telemetry.expect("counters-level run carries telemetry");
+            assert_eq!(
+                snap.rules.iter().map(|t| t.considered).sum::<usize>(),
+                r.stats.triggers_considered,
+                "{name}: per-rule considered does not sum to the total"
+            );
+            snap.rules
+        };
         rows.push(ChaseBenchRow {
             name,
             budget,
@@ -479,6 +517,7 @@ pub fn run_chase_bench(runs: usize, quick: bool) -> Vec<ChaseBenchRow> {
             speedup,
             fused_speedup,
             batch_speedup,
+            rules,
         });
     }
     rows
@@ -513,6 +552,10 @@ pub struct ThreadNumbers {
     /// Wall time of the commit stage (the remaining serial section;
     /// fused micro-rounds land entirely here).
     pub commit_secs: f64,
+    /// Wall time of worker release and pool teardown (coordinator-serial
+    /// time with no per-phase analogue; 0 for 1-thread runs, which skip
+    /// the pool).
+    pub pool_secs: f64,
 }
 
 /// The scaling curve of one workload under the parallel executor.
@@ -588,6 +631,7 @@ pub fn run_parallel_bench(runs: usize, quick: bool) -> Vec<ParallelBenchRow> {
                 apply_secs: numbers.apply_secs,
                 resolve_secs: numbers.resolve_secs,
                 commit_secs: numbers.commit_secs,
+                pool_secs: numbers.pool_secs,
             });
         }
         assert!(
@@ -639,7 +683,8 @@ fn thread_json(n: &ThreadNumbers) -> String {
          \"wall_secs\": {:.6}, \
          \"triggers_per_sec\": {:.0}, \"enumerate_secs\": {:.6}, \
          \"dedup_secs\": {:.6}, \"apply_secs\": {:.6}, \
-         \"resolve_secs\": {:.6}, \"commit_secs\": {:.6}}}",
+         \"resolve_secs\": {:.6}, \"commit_secs\": {:.6}, \
+         \"pool_secs\": {:.6}}}",
         n.threads,
         n.atoms,
         n.rounds,
@@ -651,7 +696,8 @@ fn thread_json(n: &ThreadNumbers) -> String {
         n.dedup_secs,
         n.apply_secs,
         n.resolve_secs,
-        n.commit_secs
+        n.commit_secs,
+        n.pool_secs
     )
 }
 
@@ -746,7 +792,9 @@ fn engine_json(n: &EngineNumbers) -> String {
          \"wall_secs\": {:.6}, \
          \"atoms_per_sec\": {:.0}, \"triggers_per_sec\": {:.0}, \
          \"enumerate_secs\": {:.6}, \"probe_secs\": {:.6}, \
-         \"emit_secs\": {:.6}}}",
+         \"emit_secs\": {:.6}, \"peak_instance_bytes\": {}, \
+         \"peak_null_bytes\": {}, \"instance_table_load\": {:.3}, \
+         \"index_spill_count\": {}}}",
         n.atoms,
         n.triggers_considered,
         n.rounds,
@@ -757,7 +805,11 @@ fn engine_json(n: &EngineNumbers) -> String {
         n.triggers_per_sec,
         n.enumerate_secs,
         n.probe_secs,
-        n.emit_secs
+        n.emit_secs,
+        n.peak_instance_bytes,
+        n.peak_null_bytes,
+        n.instance_table_load,
+        n.index_spill_count
     )
 }
 
@@ -797,6 +849,22 @@ pub fn chase_bench_json(rows: &[ChaseBenchRow]) -> String {
             engine_json(&row.pertrigger)
         );
         let _ = writeln!(out, "      \"optimized\": {},", engine_json(&row.optimized));
+        let _ = writeln!(out, "      \"rules\": [");
+        for (j, t) in row.rules.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"rule\": {}, \"considered\": {}, \"deduped\": {}, \
+                 \"fired\": {}, \"atoms\": {}, \"nulls\": {}}}{}",
+                j,
+                t.considered,
+                t.deduped,
+                t.fired,
+                t.atoms,
+                t.nulls,
+                if j + 1 < row.rules.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ],");
         let _ = writeln!(out, "      \"speedup\": {:.2},", row.speedup);
         let _ = writeln!(out, "      \"fused_speedup\": {:.2},", row.fused_speedup);
         let _ = writeln!(out, "      \"batch_speedup\": {:.2}", row.batch_speedup);
@@ -1048,6 +1116,9 @@ pub struct ModeNumbers {
     pub total_secs: f64,
     /// Derived: microseconds per chase.
     pub per_chase_us: f64,
+    /// Largest single-chase instance heap footprint seen across the
+    /// sweep, bytes (identical across modes up to buffer recycling).
+    pub peak_instance_bytes: usize,
 }
 
 /// One workload's cold/prepared/warm comparison.
@@ -1078,19 +1149,27 @@ pub struct PreparedBenchRow {
 fn run_mode(
     runs: usize,
     dbs: &[Instance],
-    mut chase_one: impl FnMut(&Instance) -> usize,
+    mut chase_one: impl FnMut(&Instance) -> (usize, usize),
 ) -> (ModeNumbers, usize) {
     let mut best = f64::INFINITY;
     let mut atoms = 0usize;
+    let mut peak = 0usize;
     for _ in 0..runs {
         let t = Instant::now();
-        atoms = dbs.iter().map(&mut chase_one).sum();
+        let mut sweep_atoms = 0usize;
+        for db in dbs {
+            let (a, p) = chase_one(db);
+            sweep_atoms += a;
+            peak = peak.max(p);
+        }
+        atoms = sweep_atoms;
         best = best.min(t.elapsed().as_secs_f64());
     }
     (
         ModeNumbers {
             total_secs: best,
             per_chase_us: best * 1e6 / dbs.len().max(1) as f64,
+            peak_instance_bytes: peak,
         },
         atoms,
     )
@@ -1117,16 +1196,19 @@ pub fn run_prepared_bench(runs: usize, quick: bool) -> Vec<PreparedBenchRow> {
             );
             let program = PreparedProgram::compile(tgds);
             let engine = Engine::from_config(&config);
-            engine.chase(&program, db).instance.len()
+            let r = engine.chase(&program, db);
+            (r.instance.len(), r.stats.peak_instance_bytes)
         });
         let shared_program = PreparedProgram::compile(w.tgds.clone());
         let (prepared, prepared_atoms) = run_mode(runs, &w.databases, |db| {
             let engine = Engine::from_config(&config);
-            engine.chase(&shared_program, db).instance.len()
+            let r = engine.chase(&shared_program, db);
+            (r.instance.len(), r.stats.peak_instance_bytes)
         });
         let shared_engine = Engine::from_config(&config);
         let (warm, warm_atoms) = run_mode(runs, &w.databases, |db| {
-            shared_engine.chase(&shared_program, db).instance.len()
+            let r = shared_engine.chase(&shared_program, db);
+            (r.instance.len(), r.stats.peak_instance_bytes)
         });
         assert_eq!(cold_atoms, warm_atoms, "{}: modes disagree", w.name);
         assert_eq!(prepared_atoms, warm_atoms, "{}: modes disagree", w.name);
@@ -1155,8 +1237,8 @@ pub fn run_prepared_bench(runs: usize, quick: bool) -> Vec<PreparedBenchRow> {
 
 fn mode_json(n: &ModeNumbers) -> String {
     format!(
-        "{{\"total_secs\": {:.6}, \"per_chase_us\": {:.2}}}",
-        n.total_secs, n.per_chase_us
+        "{{\"total_secs\": {:.6}, \"per_chase_us\": {:.2}, \"peak_instance_bytes\": {}}}",
+        n.total_secs, n.per_chase_us, n.peak_instance_bytes
     )
 }
 
@@ -1274,6 +1356,11 @@ mod tests {
             apply_secs: 0.1,
             resolve_secs: 0.07,
             commit_secs: 0.03,
+            pool_secs: 0.0,
+            peak_instance_bytes: 4096,
+            peak_null_bytes: 512,
+            instance_table_load: 0.5,
+            index_spill_count: 0,
         };
         let rows = vec![ChaseBenchRow {
             name: "demo",
@@ -1285,6 +1372,14 @@ mod tests {
             speedup: 1.0,
             fused_speedup: 1.0,
             batch_speedup: 1.0,
+            rules: vec![RuleTelemetry {
+                considered: 20,
+                deduped: 10,
+                fired: 10,
+                atoms: 10,
+                nulls: 5,
+                sampled_secs: 0.0,
+            }],
         }];
         let json = chase_bench_json(&rows);
         assert!(json.contains("\"workloads\""));
@@ -1293,6 +1388,9 @@ mod tests {
         assert!(json.contains("\"batch_speedup\""));
         assert!(json.contains("\"probe_secs\""));
         assert!(json.contains("\"emit_secs\""));
+        assert!(json.contains("\"peak_instance_bytes\""));
+        assert!(json.contains("\"rules\""));
+        assert!(json.contains("\"deduped\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(chase_bench_table(&rows).contains("demo"));
     }

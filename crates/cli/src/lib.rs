@@ -13,7 +13,9 @@
 //!   compiled UCQ `Q_Σ`, and which database facts support divergence;
 //! * `bounds`  — the paper's depth/size bounds for the program;
 //! * `query`   — certain answers of a conjunctive query over the
-//!   materialization.
+//!   materialization;
+//! * `profile` — run with full telemetry: per-rule attribution table,
+//!   memory accounting, and exportable JSONL / chrome://tracing traces.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,8 +24,35 @@ use std::fmt::Write as _;
 
 use nuchase::bounds::{chase_size_bound, depth_bound, f_class};
 use nuchase::ucq::UcqDecider;
-use nuchase_engine::{ChaseBudget, ChaseVariant, Engine, PreparedProgram};
+use nuchase_engine::{
+    ChaseBudget, ChaseVariant, Engine, PreparedProgram, TelemetryLevel, TelemetrySnapshot,
+};
 use nuchase_model::{DisplayWith, Program, TgdClass};
+
+/// Renders every TGD of `program` through its symbol table, in rule-index
+/// order (the engine numbers rules by their position in the set, so these
+/// label [`TelemetrySnapshot::rules`] directly).
+fn rule_labels(program: &Program) -> Vec<String> {
+    program
+        .tgds
+        .iter()
+        .map(|(_, tgd)| format!("{}", tgd.display(&program.symbols)))
+        .collect()
+}
+
+/// Writes `snap` as JSONL to `path` and reports the line count.
+fn write_trace_file(
+    snap: &TelemetrySnapshot,
+    path: &str,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let mut buf = Vec::new();
+    snap.write_jsonl(&mut buf)?;
+    let lines = buf.iter().filter(|&&b| b == b'\n').count();
+    std::fs::write(path, buf)?;
+    let _ = writeln!(out, "trace: wrote {path} ({lines} JSONL records)");
+    Ok(())
+}
 
 /// Errors surfaced to the CLI user.
 pub type CliError = Box<dyn std::error::Error>;
@@ -72,11 +101,14 @@ pub fn cmd_decide(program: &mut Program) -> Result<String, CliError> {
 /// `nuchase run`: run the chase with a budget; optionally print atoms.
 /// `threads = 0` runs the sequential reference engine, `n ≥ 1` the
 /// parallel executor with `n` workers (results are identical either way).
+/// `trace` names a JSONL file to receive a counters-level telemetry
+/// trace of the run (telemetry stays off when `None`).
 pub fn cmd_run(
     program: &Program,
     max_atoms: usize,
     print_atoms: bool,
     threads: usize,
+    trace: Option<&str>,
 ) -> Result<String, CliError> {
     // The prepared-program flow: compile Σ once, build the engine, run a
     // session. A long-lived server would keep `prepared` and `engine`
@@ -87,6 +119,11 @@ pub fn cmd_run(
         .variant(ChaseVariant::SemiOblivious)
         .budget(ChaseBudget::atoms(max_atoms))
         .threads(threads)
+        .telemetry(if trace.is_some() {
+            TelemetryLevel::Counters
+        } else {
+            TelemetryLevel::Off
+        })
         .build();
     let mut session = engine.session(&prepared, &program.database);
     session.run();
@@ -122,8 +159,178 @@ pub fn cmd_run(
         result.stats.wall_secs,
         result.stats.phase_summary(),
     );
+    if let Some(path) = trace {
+        let mut snap = *result
+            .telemetry
+            .ok_or("telemetry missing from traced run")?;
+        snap.rule_labels = rule_labels(program);
+        write_trace_file(&snap, path, &mut out)?;
+    }
     if print_atoms {
         let _ = write!(out, "{}", result.instance.display(&program.symbols));
+    }
+    Ok(out)
+}
+
+/// `nuchase profile`: run the chase at [`TelemetryLevel::Full`] and print
+/// where the run went — a per-rule attribution table (top `rules_top` by
+/// triggers considered), the recorded round paths, and the memory
+/// accounting gauges. `trace` / `chrome` name optional JSONL and
+/// chrome://tracing output files.
+pub fn cmd_profile(
+    program: &Program,
+    max_atoms: usize,
+    threads: usize,
+    rules_top: usize,
+    trace: Option<&str>,
+    chrome: Option<&str>,
+) -> Result<String, CliError> {
+    let prepared = PreparedProgram::compile(program.tgds.clone());
+    let engine = Engine::builder()
+        .variant(ChaseVariant::SemiOblivious)
+        .budget(ChaseBudget::atoms(max_atoms))
+        .threads(threads)
+        .telemetry(TelemetryLevel::Full)
+        .build();
+    let mut session = engine.session(&prepared, &program.database);
+    session.run();
+    let mut result = session.finish();
+    let mut snap = *result
+        .telemetry
+        .take()
+        .ok_or("telemetry missing from profile run")?;
+    snap.rule_labels = rule_labels(program);
+    let stats = &result.stats;
+
+    // The attribution invariant: per-rule trigger counts partition the
+    // aggregate, on every engine path. A mismatch is an engine bug.
+    let attributed: usize = snap.rules.iter().map(|r| r.considered).sum();
+    if attributed != stats.triggers_considered {
+        return Err(format!(
+            "telemetry attribution broken: per-rule considered sums to {attributed}, \
+             aggregate says {}",
+            stats.triggers_considered
+        )
+        .into());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "program: {}", prepared.summary());
+    let _ = writeln!(
+        out,
+        "outcome: {}",
+        if result.terminated() {
+            "terminated".to_string()
+        } else {
+            format!("budget exhausted at {max_atoms} atoms")
+        }
+    );
+    let _ = writeln!(
+        out,
+        "atoms: {} ({} derived), nulls: {}, rounds: {}, triggers: {} considered / {} fired",
+        result.instance.len(),
+        stats.atoms_created,
+        stats.nulls_created,
+        stats.rounds,
+        stats.triggers_considered,
+        stats.triggers_fired,
+    );
+    let _ = writeln!(
+        out,
+        "engine: {}, wall: {:.3} s ({})",
+        match threads {
+            0 => "sequential".to_string(),
+            n => format!("parallel ×{n}"),
+        },
+        stats.wall_secs,
+        stats.phase_summary(),
+    );
+    let _ = writeln!(
+        out,
+        "memory: instance {} B peak (table load {:.2}, {} index spills), nulls {} B peak",
+        stats.peak_instance_bytes,
+        stats.instance_table_load,
+        stats.index_spill_count,
+        stats.peak_null_bytes,
+    );
+
+    // Per-rule table, heaviest enumerators first.
+    let mut order: Vec<usize> = (0..snap.rules.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (&snap.rules[a], &snap.rules[b]);
+        rb.considered
+            .cmp(&ra.considered)
+            .then(rb.fired.cmp(&ra.fired))
+            .then(a.cmp(&b))
+    });
+    let shown = order.len().min(rules_top.max(1));
+    let _ = writeln!(
+        out,
+        "\nper-rule attribution (top {shown} of {} by triggers considered):",
+        snap.rules.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:>10} {:>10} {:>10} {:>10} {:>8} {:>11}  rule",
+        "considered", "deduped", "fired", "atoms", "nulls", "sampled"
+    );
+    for &i in order.iter().take(shown) {
+        let r = &snap.rules[i];
+        let _ = writeln!(
+            out,
+            "  {:>10} {:>10} {:>10} {:>10} {:>8} {:>9.1}ms  σ{}: {}",
+            r.considered,
+            r.deduped,
+            r.fired,
+            r.atoms,
+            r.nulls,
+            r.sampled_secs * 1e3,
+            i,
+            snap.rule_label(i),
+        );
+    }
+    if shown < order.len() {
+        let rest: usize = order[shown..]
+            .iter()
+            .map(|&i| snap.rules[i].considered)
+            .sum();
+        let _ = writeln!(
+            out,
+            "  … {} more rule(s), {rest} triggers considered",
+            order.len() - shown
+        );
+    }
+
+    // Round ring summary: which apply paths the run took.
+    let mut by_path: Vec<(&str, usize)> = Vec::new();
+    for ev in &snap.rounds {
+        match by_path.iter_mut().find(|(n, _)| *n == ev.path.name()) {
+            Some((_, c)) => *c += 1,
+            None => by_path.push((ev.path.name(), 1)),
+        }
+    }
+    let paths = by_path
+        .iter()
+        .map(|(n, c)| format!("{c} {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(
+        out,
+        "rounds recorded: {} of {} seen (stride {}): {}",
+        snap.rounds.len(),
+        snap.rounds_seen,
+        snap.stride,
+        if paths.is_empty() { "none" } else { &paths },
+    );
+
+    if let Some(path) = trace {
+        write_trace_file(&snap, path, &mut out)?;
+    }
+    if let Some(path) = chrome {
+        let mut buf = Vec::new();
+        snap.write_chrome_trace(&mut buf)?;
+        std::fs::write(path, buf)?;
+        let _ = writeln!(out, "trace: wrote {path} (chrome://tracing span dump)");
     }
     Ok(out)
 }
@@ -343,7 +550,7 @@ mod tests {
     #[test]
     fn run_reports_stats() {
         let p = program("r(a, b).\nr(X, Y) -> s(X, Z).");
-        let out = cmd_run(&p, 1000, true, 0).unwrap();
+        let out = cmd_run(&p, 1000, true, 0, None).unwrap();
         assert!(out.contains("terminated"));
         assert!(out.contains("s(a, _:n0)"));
         assert!(out.contains("program: 1 rules"), "{out}");
@@ -354,8 +561,8 @@ mod tests {
     #[test]
     fn run_parallel_agrees_with_sequential() {
         let p = program("e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).");
-        let seq = cmd_run(&p, 10_000, true, 0).unwrap();
-        let par = cmd_run(&p, 10_000, true, 3).unwrap();
+        let seq = cmd_run(&p, 10_000, true, 0, None).unwrap();
+        let par = cmd_run(&p, 10_000, true, 3, None).unwrap();
         assert!(par.contains("engine: parallel ×3"), "{par}");
         // Identical materialization, line for line, after the engine line.
         let atoms = |s: &str| {
@@ -403,6 +610,94 @@ mod tests {
         // Null-valued tuples are not certain.
         let out2 = cmd_query(&mut p, "named(X, N) ? N", 10_000).unwrap();
         assert!(out2.contains("0 certain answer"), "{out2}");
+    }
+
+    #[test]
+    fn profile_attributes_triggers_per_rule() {
+        let p = program(
+            "e(a, b).\ne(b, c).\ne(c, d).\n\
+             e(X, Y), e(Y, Z) -> e(X, Z).\n\
+             e(X, Y) -> n(X, W).",
+        );
+        let out = cmd_profile(&p, 10_000, 0, 10, None, None).unwrap();
+        assert!(out.contains("per-rule attribution"), "{out}");
+        assert!(out.contains("σ0:"), "{out}");
+        assert!(out.contains("σ1:"), "{out}");
+        // Labels come from the program's symbol table (normalized vars).
+        assert!(out.contains("e(X0, X1), e(X1, X2) -> e(X0, X2)"), "{out}");
+        assert!(out.contains("memory: instance"), "{out}");
+        assert!(out.contains("rounds recorded:"), "{out}");
+    }
+
+    #[test]
+    fn profile_writes_parseable_traces() {
+        let dir = std::env::temp_dir().join("nuchase_cli_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("run.jsonl");
+        let chrome = dir.join("run.chrome.json");
+        let p = program("r(a, b).\nr(X, Y) -> s(Y, Z).\ns(X, Y) -> r(Y, X).");
+        let out = cmd_profile(
+            &p,
+            500,
+            0,
+            5,
+            Some(jsonl.to_str().unwrap()),
+            Some(chrome.to_str().unwrap()),
+        )
+        .unwrap();
+        assert!(out.contains("JSONL records"), "{out}");
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(text.lines().count() >= 3, "meta + memory + rules: {text}");
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(text.contains("\"type\":\"meta\""));
+        assert!(text.contains("\"type\":\"memory\""));
+        assert!(text.contains("\"type\":\"rule\""));
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        let trimmed = chrome_text.trim();
+        assert!(
+            trimmed.starts_with('[') && trimmed.ends_with(']'),
+            "{trimmed}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_trace_writes_jsonl() {
+        let dir = std::env::temp_dir().join("nuchase_cli_run_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("trace.jsonl");
+        let p = program("r(a, b).\nr(X, Y) -> s(X, Z).");
+        let out = cmd_run(&p, 1000, false, 0, Some(jsonl.to_str().unwrap())).unwrap();
+        assert!(out.contains("trace: wrote"), "{out}");
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(text.contains("\"type\":\"meta\""), "{text}");
+        assert!(text.contains("\"type\":\"rule\""), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_parallel_matches_sequential_attribution() {
+        let p = program("e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).");
+        let seq = cmd_profile(&p, 10_000, 0, 5, None, None).unwrap();
+        let par = cmd_profile(&p, 10_000, 2, 5, None, None).unwrap();
+        // Counter columns agree; only timings may differ. Compare the
+        // attribution rows with the sampled-time column stripped.
+        let counters = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains("σ0:"))
+                .map(|l| {
+                    l.split_whitespace()
+                        .take(5)
+                        .map(String::from)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(counters(&seq), counters(&par), "seq:\n{seq}\npar:\n{par}");
+        assert!(!counters(&seq).is_empty());
     }
 
     #[test]

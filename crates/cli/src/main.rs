@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! nuchase decide  <program>                 termination verdicts + size bound
-//! nuchase run     <program> [--atoms N] [--print]
+//! nuchase run     <program> [--atoms N] [--print] [--trace out.jsonl]
 //! nuchase explain <program>                 critical predicates, Q_Σ, supporters
 //! nuchase bounds  <program>                 the paper's d_C / f_C bounds
 //! nuchase query   <program> "<body> ? X, Y" certain answers over the chase
+//! nuchase profile <program> [data]          full telemetry: per-rule table,
+//!                 [--trace out.jsonl] [--chrome out.json] [--rules-top N]
 //! ```
 //!
 //! `<program>` is a file in the Datalog± text format (see README), or `-`
-//! for stdin.
+//! for stdin. `profile` accepts an optional second file holding extra
+//! database facts to chase the program over.
 
 use std::io::Read;
 
@@ -26,18 +29,38 @@ fn read_program(path: &str) -> Result<nuchase_model::Program, nuchase_cli::CliEr
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nuchase <decide|run|explain|bounds|query> <program.dlp|-> [args]\n\
+        "usage: nuchase <decide|run|explain|bounds|query|profile> <program.dlp|-> [args]\n\
          \n\
          decide  — termination verdicts (uniform + this database)\n\
          run     — run the semi-oblivious chase  [--atoms N] [--print] [--threads N]\n\
+         \x20         [--trace out.jsonl]\n\
          explain — dependency-graph diagnosis and the compiled UCQ Q_Σ\n\
          bounds  — the paper's depth/size bounds d_C(Σ), f_C(Σ)\n\
          query   — certain answers, e.g.: nuchase query kb.dlp 'person(X) ? X'\n\
+         profile — run with full telemetry: per-rule attribution, memory gauges\n\
+         \x20         [data.dlp] [--atoms N] [--threads N] [--rules-top N]\n\
+         \x20         [--trace out.jsonl] [--chrome out.json]\n\
          \n\
          --threads 0 runs the sequential engine (default), N >= 1 the parallel\n\
-         executor, 'auto' all cores; NUCHASE_THREADS sets the default."
+         executor, 'auto' all cores; NUCHASE_THREADS sets the default.\n\
+         NUCHASE_TELEMETRY=off|counters|full enables telemetry on any run."
     );
     std::process::exit(2);
+}
+
+/// The value of `--flag <value>`, if present (error when the flag is
+/// given without a value).
+fn flag_value<'a>(
+    args: &'a [String],
+    flag: &str,
+) -> Result<Option<&'a str>, nuchase_cli::CliError> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.as_str())),
+            _ => Err(format!("{flag} requires a value").into()),
+        },
+        None => Ok(None),
+    }
 }
 
 /// Resolves the worker count: `--threads N|auto` beats `NUCHASE_THREADS`,
@@ -71,22 +94,43 @@ fn main() {
         match cmd {
             "decide" => nuchase_cli::cmd_decide(&mut program),
             "run" => {
-                let atoms = args
-                    .iter()
-                    .position(|a| a == "--atoms")
-                    .and_then(|i| args.get(i + 1))
-                    .map(|s| s.parse::<usize>())
+                let atoms = flag_value(&args, "--atoms")?
+                    .map(str::parse::<usize>)
                     .transpose()?
                     .unwrap_or(1_000_000);
                 let print = args.iter().any(|a| a == "--print");
                 let threads = resolve_threads(&args)?;
-                nuchase_cli::cmd_run(&program, atoms, print, threads)
+                let trace = flag_value(&args, "--trace")?;
+                nuchase_cli::cmd_run(&program, atoms, print, threads, trace)
             }
             "explain" => nuchase_cli::cmd_explain(&mut program),
             "bounds" => nuchase_cli::cmd_bounds(&program),
             "query" => {
                 let q = args.get(2).ok_or("query text required")?;
                 nuchase_cli::cmd_query(&mut program, q, 1_000_000)
+            }
+            "profile" => {
+                // Optional second positional: a file of extra database
+                // facts, parsed into the program's symbol table.
+                if let Some(data) = args.get(2).filter(|a| !a.starts_with("--")) {
+                    let text = std::fs::read_to_string(data)?;
+                    let extra = nuchase_model::parse_database(&text, &mut program.symbols)?;
+                    for atom in extra.iter() {
+                        program.database.insert_terms(atom.pred, atom.args);
+                    }
+                }
+                let atoms = flag_value(&args, "--atoms")?
+                    .map(str::parse::<usize>)
+                    .transpose()?
+                    .unwrap_or(1_000_000);
+                let threads = resolve_threads(&args)?;
+                let rules_top = flag_value(&args, "--rules-top")?
+                    .map(str::parse::<usize>)
+                    .transpose()?
+                    .unwrap_or(20);
+                let trace = flag_value(&args, "--trace")?;
+                let chrome = flag_value(&args, "--chrome")?;
+                nuchase_cli::cmd_profile(&program, atoms, threads, rules_top, trace, chrome)
             }
             _ => usage(),
         }

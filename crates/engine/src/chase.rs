@@ -47,6 +47,7 @@ use crate::forest::Forest;
 use crate::nulls::NullStore;
 use crate::provenance::Provenance;
 use crate::session::{Engine, PreparedProgram};
+use crate::telemetry::{TelemetryLevel, TelemetrySnapshot};
 
 /// Which chase variant to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -186,6 +187,12 @@ pub struct ChaseConfig {
     /// resolve inline on the coordinator. Overridden by the
     /// `NUCHASE_RESOLVE_POOL_MIN` environment variable when set.
     pub resolve_pool_min: usize,
+    /// How much run telemetry to collect (see [`crate::telemetry`]).
+    /// [`TelemetryLevel::Off`] (the default) may be raised run-wide by
+    /// the `NUCHASE_TELEMETRY` environment variable (`counters` /
+    /// `full`); an explicit non-`Off` config value wins over the
+    /// environment. Results are byte-identical at every level.
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for ChaseConfig {
@@ -201,6 +208,7 @@ impl Default for ChaseConfig {
             fused_delta_max: crate::phase::FUSED_DELTA_MAX,
             batch_delta_min: crate::phase::BATCH_DELTA_MIN,
             resolve_pool_min: crate::parallel::RESOLVE_POOL_MIN,
+            telemetry: TelemetryLevel::default(),
         }
     }
 }
@@ -281,15 +289,39 @@ pub struct ChaseStats {
     /// whole apply pass (its dedup, nulls, instantiation, and inserts are
     /// one straight-line loop) is accounted here.
     pub commit_secs: f64,
+    /// Wall time of parallel-executor bookkeeping outside the phase
+    /// spans: releasing the workers at end of run and moving the shared
+    /// round state back out of the pool. Zero on sequential runs.
+    /// Separate from [`ChaseStats::commit_secs`] so the phase sums stay
+    /// honest (`enumerate + dedup + apply + pool` covers the wall).
+    pub pool_secs: f64,
     /// Rounds applied through the fused micro-round path (the rest went
     /// through the staged pipeline).
     pub fused_rounds: usize,
+    /// Pipeline rounds whose trigger enumeration took the columnar batch
+    /// path (a subset of `rounds - fused_rounds`).
+    pub batched_rounds: usize,
+    /// Heap bytes held by the instance (atom arena, hash index, posting
+    /// lists) when the run ended. The instance is append-only, so this
+    /// is also the run's peak. `absorb` takes the max.
+    pub peak_instance_bytes: usize,
+    /// Heap bytes held by the null store when the run ended (peak, as
+    /// above). `absorb` takes the max.
+    pub peak_null_bytes: usize,
+    /// Load factor of the instance's atom hash table when the run ended
+    /// (entries / slots, < 0.75 by construction). `absorb` keeps the
+    /// max.
+    pub instance_table_load: f64,
+    /// Posting lists that outgrew their inline slots into the spill
+    /// arena when the run ended. `absorb` keeps the max.
+    pub index_spill_count: usize,
 }
 
 impl ChaseStats {
-    /// Accumulates another run's statistics into this one (every counter
-    /// and phase timer summed) — how a [`crate::session::ChaseSession`]
-    /// folds per-run stats into its lifetime totals.
+    /// Accumulates another run's statistics into this one (counters and
+    /// phase timers summed; end-of-run memory gauges maxed) — how a
+    /// [`crate::session::ChaseSession`] folds per-run stats into its
+    /// lifetime totals.
     pub fn absorb(&mut self, run: &ChaseStats) {
         self.rounds += run.rounds;
         self.triggers_considered += run.triggers_considered;
@@ -304,7 +336,13 @@ impl ChaseStats {
         self.apply_secs += run.apply_secs;
         self.resolve_secs += run.resolve_secs;
         self.commit_secs += run.commit_secs;
+        self.pool_secs += run.pool_secs;
         self.fused_rounds += run.fused_rounds;
+        self.batched_rounds += run.batched_rounds;
+        self.peak_instance_bytes = self.peak_instance_bytes.max(run.peak_instance_bytes);
+        self.peak_null_bytes = self.peak_null_bytes.max(run.peak_null_bytes);
+        self.instance_table_load = self.instance_table_load.max(run.instance_table_load);
+        self.index_spill_count = self.index_spill_count.max(run.index_spill_count);
     }
 
     /// Derived throughput: atoms created per second of wall time.
@@ -326,29 +364,36 @@ impl ChaseStats {
     }
 
     /// One-line round-shape + per-phase wall-time breakdown, e.g.
-    /// `49743 rounds (1.0 trig/round, 100% fused) · enumerate 62.1%
-    /// (probe 55.0% + emit 7.1%) · dedup 3.0% · resolve 20.1% · commit
-    /// 10.2%` — what makes a speedup (or its absence) attributable to a
-    /// phase. `probe` and `emit` partition `enumerate_secs`, `resolve`
-    /// and `commit` partition `apply_secs`; only `commit` (plus `dedup`)
-    /// is inherently serial, and fused micro-rounds land entirely in
-    /// `commit`.
+    /// `49743 rounds (1.0 trig/round, 100% fused, 0 batched) ·
+    /// enumerate 62.1% (probe 55.0% + emit 7.1%) · dedup 3.0% · resolve
+    /// 20.1% · commit 10.2%` — what makes a speedup (or its absence)
+    /// attributable to a phase. `probe` and `emit` partition
+    /// `enumerate_secs` (the inputs of the bench harness's
+    /// `batch_speedup`), `resolve` and `commit` partition `apply_secs`;
+    /// only `commit` (plus `dedup`) is inherently serial, and fused
+    /// micro-rounds land entirely in `commit`. Pooled runs append their
+    /// ` · pool` bookkeeping share.
     pub fn phase_summary(&self) -> String {
         let pct = |s: f64| 100.0 * s / self.wall_secs.max(1e-12);
-        format!(
-            "{} rounds ({:.1} trig/round, {:.0}% fused) · \
+        let mut out = format!(
+            "{} rounds ({:.1} trig/round, {:.0}% fused, {} batched) · \
              enumerate {:.1}% (probe {:.1}% + emit {:.1}%) · \
              dedup {:.1}% · resolve {:.1}% · commit {:.1}%",
             self.rounds,
             self.avg_triggers_per_round(),
             100.0 * self.fused_rounds as f64 / self.rounds.max(1) as f64,
+            self.batched_rounds,
             pct(self.enumerate_secs),
             pct(self.probe_secs),
             pct(self.emit_secs),
             pct(self.dedup_secs),
             pct(self.resolve_secs),
             pct(self.commit_secs),
-        )
+        );
+        if self.pool_secs > 0.0 {
+            out.push_str(&format!(" · pool {:.1}%", pct(self.pool_secs)));
+        }
+        out
     }
 }
 
@@ -367,6 +412,9 @@ pub struct ChaseResult {
     pub forest: Option<Forest>,
     /// Per-atom derivation provenance, if requested.
     pub provenance: Option<Provenance>,
+    /// Telemetry snapshot, when the run collected any
+    /// ([`ChaseConfig::telemetry`] or `NUCHASE_TELEMETRY`).
+    pub telemetry: Option<Box<TelemetrySnapshot>>,
 }
 
 impl ChaseResult {

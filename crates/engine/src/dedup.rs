@@ -57,6 +57,17 @@ impl TermTupleSet {
         self.hashes.is_empty()
     }
 
+    /// Heap bytes held by the probe table and arenas (capacities, not
+    /// lengths). Memory accounting for chase telemetry.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.table.heap_bytes()
+            + self.hashes.capacity() * size_of::<u64>()
+            + self.offsets.capacity() * size_of::<u32>()
+            + self.terms.capacity() * size_of::<Term>()
+            + self.touched.capacity() * size_of::<u32>()
+    }
+
     fn tuple(&self, ordinal: u32) -> &[Term] {
         let i = ordinal as usize;
         &self.terms[self.offsets[i] as usize..self.offsets[i + 1] as usize]

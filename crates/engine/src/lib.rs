@@ -25,6 +25,11 @@
 //! [`ChaseSession`]s — budgeted runs, incremental `add_atoms`/`resume`,
 //! cancellation and deadlines. The classic free functions ([`chase()`]
 //! and friends) remain as documented, delegating shims.
+//!
+//! Run observability lives in [`telemetry`]: per-rule attribution
+//! tables, a bounded per-round event ring, memory accounting in
+//! [`ChaseStats`], and JSONL / chrome://tracing exports — off by
+//! default and byte-identical at every [`TelemetryLevel`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +43,7 @@ pub mod parallel;
 pub mod phase;
 pub mod provenance;
 pub mod session;
+pub mod telemetry;
 
 pub use baseline::{baseline_semi_oblivious_chase, BaselineResult};
 pub use chase::{
@@ -50,3 +56,4 @@ pub use nulls::{NullKey, NullStore};
 pub use parallel::{auto_threads, chase_parallel};
 pub use provenance::{explain, Derivation, Explanation, Provenance};
 pub use session::{ChaseSession, Engine, EngineBuilder, PreparedProgram, RunLimits};
+pub use telemetry::{RoundEvent, RoundPath, RuleTelemetry, TelemetryLevel, TelemetrySnapshot};

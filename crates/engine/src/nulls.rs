@@ -71,6 +71,20 @@ impl NullStore {
         self.depths.is_empty()
     }
 
+    /// Heap bytes held by the interning table and provenance arenas
+    /// (capacities, not lengths). The store only shrinks on
+    /// [`NullStore::truncate`], so this tracks the peak within a run.
+    /// Memory accounting for chase telemetry.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.table.heap_bytes()
+            + self.hashes.capacity() * size_of::<u64>()
+            + self.meta.capacity() * size_of::<Option<(RuleId, VarId)>>()
+            + self.image_offsets.capacity() * size_of::<u32>()
+            + self.images.capacity() * size_of::<Term>()
+            + self.depths.capacity() * size_of::<u32>()
+    }
+
     /// Interns the null `⊥^z_{σ, h|fr}`, computing its depth from the
     /// frontier image. Returns the same id for the same key (semi-oblivious
     /// naming). `frontier_depth` must be the maximum depth over the

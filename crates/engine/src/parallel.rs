@@ -66,6 +66,7 @@ use crate::phase::{
     RoundCtx, RoundDriver, Task, TriggerBatch, WorkerScratch,
 };
 use crate::session::{Engine, PreparedProgram, RunCtl, SessionCore};
+use crate::telemetry::RoundPath;
 
 /// The worker count `threads: 0` ("auto") resolves to: the machine's
 /// available parallelism (1 if it cannot be determined).
@@ -365,11 +366,10 @@ pub(crate) fn run_pooled(
     driver.tasks = round.tasks;
     driver.bufs = round.apply;
     // Worker release and teardown (the final done-barrier, the pool
-    // drain, the state move) are coordinator-serial time; account them
-    // under commit so the phase timers keep covering the wall.
-    let dt = lap_mark(&mut mark);
-    stats.commit_secs += dt;
-    stats.apply_secs += dt;
+    // drain, the state move) are coordinator-serial time with no serial
+    // analogue; book them in their own bucket so the phase timers keep
+    // covering the wall without inflating commit.
+    stats.pool_secs += lap_mark(&mut mark);
     outcome
 }
 
@@ -458,6 +458,7 @@ fn coordinate(
         // write guard is uncontended by construction.
         let engage;
         let delta;
+        let batched;
         {
             let mut round = shared.round.write().unwrap();
             if let Some(stop) =
@@ -477,6 +478,10 @@ fn coordinate(
             // fuse never batch, wide rounds past the floor do.
             *batch = !fused_round_delta(apply_path, delta, fused_delta_max)
                 && batch_round_delta(batch_choice, delta, batch_delta_min);
+            batched = *batch;
+            if batched {
+                stats.batched_rounds += 1;
+            }
             shared.mode.store(MODE_ENUMERATE, Ordering::Release);
             shared.next_task.store(0, Ordering::Release);
         }
@@ -506,7 +511,7 @@ fn coordinate(
             let mut considered = 0usize;
             let mut emit = 0.0f64;
             for &task in &round.tasks {
-                considered += if round.batch {
+                let task_considered = if round.batch {
                     enumerate_task_batch(
                         &round.instance,
                         ctx,
@@ -526,6 +531,8 @@ fn coordinate(
                         &mut inline_batch,
                     )
                 };
+                considered += task_considered;
+                state.note_considered(task.rule, task_considered);
             }
             stats.triggers_considered += considered;
         }
@@ -544,7 +551,27 @@ fn coordinate(
             any |= !batch.is_empty();
             total_triggers += batch.len();
         }
+        // Per-rule attribution of the pooled counts: workers ship
+        // per-task `(index, batch, considered)` triples, so the
+        // coordinator folds them into the rule table lock-free (per-rule
+        // *time* is not sampled here — worker spans overlap in wall
+        // time, so a per-rule sum would be meaningless).
+        if state.telemetry.is_some() && !merged.is_empty() {
+            let round = shared.round.read().unwrap();
+            for &(i, _, considered) in &merged {
+                state.note_considered(round.tasks[i as usize].rule, considered);
+            }
+        }
         if !any {
+            if state.telemetry.is_some() {
+                let len = shared.round.read().unwrap().instance.len();
+                let path = if batched {
+                    RoundPath::Batched
+                } else {
+                    RoundPath::Pipeline
+                };
+                state.record_round(stats.rounds, path, delta as usize, len, stats);
+            }
             return finish(shared, ChaseOutcome::Terminated);
         }
 
@@ -580,6 +607,13 @@ fn coordinate(
             let dt = lap_mark(mark);
             stats.commit_secs += dt;
             stats.apply_secs += dt;
+            state.record_round(
+                stats.rounds,
+                RoundPath::Fused,
+                delta as usize,
+                round.instance.len(),
+                stats,
+            );
             if let Some(stop) = stop {
                 drop(round);
                 return finish(shared, stop);
@@ -691,6 +725,17 @@ fn coordinate(
         let commit_secs = lap_mark(mark);
         stats.commit_secs += commit_secs;
         stats.apply_secs += resolve_secs + commit_secs;
+        state.record_round(
+            stats.rounds,
+            if batched {
+                RoundPath::Batched
+            } else {
+                RoundPath::Pipeline
+            },
+            delta as usize,
+            round.instance.len(),
+            stats,
+        );
         if let Some(stop) = stop {
             drop(round);
             return finish(shared, stop);

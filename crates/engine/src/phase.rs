@@ -78,6 +78,7 @@ use crate::dedup::TermTupleSet;
 use crate::forest::Forest;
 use crate::nulls::NullStore;
 use crate::provenance::{Derivation, Provenance};
+use crate::telemetry::{RoundPath, Telemetry, TelemetryLevel, TelemetrySnapshot};
 
 /// The trigger-key variables of a rule under a chase variant: the
 /// frontier for the semi-oblivious chase (Definition 3.1), all body
@@ -771,6 +772,17 @@ impl NullPlan {
     fn watermark(&self, i: u32) -> u32 {
         self.watermarks[i as usize]
     }
+
+    /// Nulls newly interned while planning accepted trigger `i`
+    /// (telemetry attribution; zero for re-interned names).
+    fn nulls_of(&self, i: u32) -> u32 {
+        let prev = if i == 0 {
+            self.base
+        } else {
+            self.watermarks[i as usize - 1]
+        };
+        self.watermarks[i as usize].saturating_sub(prev)
+    }
 }
 
 /// Builds the round's [`NullPlan`] over the accepted batch (see the type
@@ -1017,6 +1029,11 @@ pub struct ApplyState {
     pub forest: Option<Forest>,
     /// Per-atom derivation provenance, if requested.
     pub provenance: Option<Provenance>,
+    /// The run's telemetry collector ([`crate::telemetry`]); `None` at
+    /// [`TelemetryLevel::Off`], so disabled runs pay one pointer test
+    /// per hook. Telemetry only observes — it never feeds back into
+    /// engine decisions — so results are byte-identical at every level.
+    pub(crate) telemetry: Option<Box<Telemetry>>,
     /// Deferred posting-list updates of the current commit.
     delta: IndexDelta,
     head_scratch: Scratch,
@@ -1028,6 +1045,7 @@ impl ApplyState {
     /// Creates the apply-side state for a chase over a database of
     /// `database_atoms` atoms.
     pub fn new(config: &ChaseConfig, database_atoms: usize) -> Self {
+        let level = resolved_telemetry(config);
         ApplyState {
             nulls: NullStore::new(),
             forest: config
@@ -1036,11 +1054,73 @@ impl ApplyState {
             provenance: config
                 .record_provenance
                 .then(|| Provenance::with_roots(database_atoms)),
+            telemetry: level.enabled().then(|| Box::new(Telemetry::new(level))),
             delta: IndexDelta::new(),
             head_scratch: Scratch::new(),
             seed_buf: Vec::new(),
             atom_buf: Vec::new(),
         }
+    }
+
+    /// Rebaselines the telemetry ring for a new run slice (no-op when
+    /// telemetry is off): per-run stats counters restart at zero, and
+    /// `rounds_base` keeps recorded round numbers monotonic across a
+    /// session's resumes.
+    #[inline]
+    pub fn begin_run_telemetry(&mut self, rounds_base: usize) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.begin_run(rounds_base);
+        }
+    }
+
+    /// Records `considered` enumerated triggers for `rule` (telemetry
+    /// hook; no-op when telemetry is off).
+    #[inline]
+    pub fn note_considered(&mut self, rule: RuleId, considered: usize) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.rule_considered(rule.index(), considered);
+        }
+    }
+
+    /// Records sampled per-rule enumeration seconds (telemetry hook,
+    /// [`TelemetryLevel::Full`] rounds only).
+    #[inline]
+    pub fn note_rule_secs(&mut self, rule: RuleId, secs: f64) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.rule_sampled_secs(rule.index(), secs);
+        }
+    }
+
+    /// Should this round's per-rule enumeration be clock-sampled?
+    /// (False unless telemetry is at [`TelemetryLevel::Full`] and this
+    /// is a ring-sampled round.)
+    #[inline]
+    pub fn sample_rule_timing(&self) -> bool {
+        self.telemetry.as_ref().is_some_and(|t| t.sample_timing())
+    }
+
+    /// Records a finished round into the telemetry ring (no-op when
+    /// telemetry is off). `instance_len` is the instance size after the
+    /// round; `stats` must already carry the round's laps.
+    #[inline]
+    pub fn record_round(
+        &mut self,
+        round: usize,
+        path: RoundPath,
+        delta: usize,
+        instance_len: usize,
+        stats: &ChaseStats,
+    ) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            let nulls_len = self.nulls.len();
+            t.record_round(round, path, delta, instance_len, nulls_len, stats);
+        }
+    }
+
+    /// Freezes the collector into an exportable snapshot (`None` when
+    /// telemetry is off).
+    pub fn telemetry_snapshot(&self, stats: &ChaseStats) -> Option<TelemetrySnapshot> {
+        self.telemetry.as_ref().map(|t| t.snapshot(stats))
     }
 }
 
@@ -1099,7 +1179,7 @@ pub fn commit_batch(
     // commit stage executes ~50 k times per second, so per-trigger
     // branches that can be hoisted out, are.
     if !restricted && state.forest.is_none() && state.provenance.is_none() {
-        return commit_batch_plain(config, instance, state, plan, resolved, stats);
+        return commit_batch_plain(config, instance, state, accepted, plan, resolved, stats);
     }
     // Indexing policy — a pure performance choice, the resulting index
     // is identical either way. Small batches index eagerly inside the
@@ -1117,6 +1197,7 @@ pub fn commit_batch(
             // This trigger's provisional-null re-basing, decided below
             // (restricted only): `(provisional base, count, shift)`.
             let mut rebase: Option<(u32, u32, u32)> = None;
+            let mut fresh_nulls = 0usize;
             if restricted {
                 if rb.inactive[li as usize] {
                     continue; // dropped at the snapshot — definitive
@@ -1159,8 +1240,11 @@ pub fn commit_batch(
                 if provisional != real && n_ex > 0 {
                     rebase = Some((provisional, n_ex, provisional - real));
                 }
+                fresh_nulls = n_ex as usize;
             }
             stats.triggers_fired += 1;
+            let atoms_before = instance.len();
+            let mut stop_commit = false;
 
             let parent = if state.forest.is_some() {
                 rb.parents[li as usize]
@@ -1209,7 +1293,8 @@ pub fn commit_batch(
                             if !restricted {
                                 state.nulls.truncate(plan.watermark(i) as usize);
                             }
-                            break 'commit;
+                            stop_commit = true;
+                            break;
                         }
                         continue;
                     }
@@ -1240,8 +1325,24 @@ pub fn commit_batch(
                         // Unmake the planned-but-uncommitted null tail.
                         state.nulls.truncate(plan.watermark(i) as usize);
                     }
-                    break 'commit;
+                    stop_commit = true;
+                    break;
                 }
+            }
+            if let Some(t) = state.telemetry.as_deref_mut() {
+                let nulls = if restricted {
+                    fresh_nulls
+                } else {
+                    plan.nulls_of(i) as usize
+                };
+                t.rule_fired(
+                    accepted.rule(i as usize).index(),
+                    instance.len() - atoms_before,
+                    nulls,
+                );
+            }
+            if stop_commit {
+                break 'commit;
             }
         }
     }
@@ -1258,10 +1359,12 @@ pub fn commit_batch(
 /// restricted re-checks, no forest, no provenance): identical semantics
 /// to [`commit_batch`]'s general loop, minus the per-trigger feature
 /// branches. Kept adjacent so the two loops are reviewed together.
+#[allow(clippy::too_many_arguments)]
 fn commit_batch_plain(
     config: &ChaseConfig,
     instance: &mut Instance,
     state: &mut ApplyState,
+    accepted: &TriggerBatch,
     plan: &NullPlan,
     resolved: &[ResolvedBatch],
     stats: &mut ChaseStats,
@@ -1269,10 +1372,15 @@ fn commit_batch_plain(
     let total_atoms: usize = resolved.iter().map(|rb| rb.preds.len()).sum();
     let eager = total_atoms <= EAGER_INDEX_MAX;
     let max_atoms = config.budget.max_atoms;
+    // Hoisted telemetry gate: the disabled (default) loop stays as
+    // tight as before — one branch per trigger, no clock or len reads.
+    let telem = state.telemetry.is_some();
     let mut outcome = None;
     'commit: for rb in resolved {
         for li in 0..rb.trigger_count() {
             stats.triggers_fired += 1;
+            let atoms_before = if telem { instance.len() } else { 0 };
+            let mut stop_commit = false;
             for ai in rb.atom_range(li) {
                 if let Err(hint) = rb.snap[ai] {
                     let (pred, hash) = (rb.preds[ai], rb.hashes[ai]);
@@ -1286,8 +1394,22 @@ fn commit_batch_plain(
                 if instance.len() >= max_atoms {
                     outcome = Some(ChaseOutcome::AtomLimit);
                     state.nulls.truncate(plan.watermark(rb.start + li) as usize);
-                    break 'commit;
+                    stop_commit = true;
+                    break;
                 }
+            }
+            if telem {
+                let i = rb.start + li;
+                if let Some(t) = state.telemetry.as_deref_mut() {
+                    t.rule_fired(
+                        accepted.rule(i as usize).index(),
+                        instance.len() - atoms_before,
+                        plan.nulls_of(i) as usize,
+                    );
+                }
+            }
+            if stop_commit {
+                break 'commit;
             }
         }
     }
@@ -1387,6 +1509,25 @@ pub fn resolved_batch_delta_min(config: &ChaseConfig) -> AtomIdx {
 /// [`ChaseConfig::resolve_pool_min`]. Resolved once per run.
 pub fn resolved_resolve_pool_min(config: &ChaseConfig) -> usize {
     env_usize("NUCHASE_RESOLVE_POOL_MIN").unwrap_or(config.resolve_pool_min)
+}
+
+/// Resolves the telemetry level of a run, mirroring
+/// [`resolved_apply_path`]: an explicit non-`Off`
+/// [`ChaseConfig::telemetry`] wins; otherwise the `NUCHASE_TELEMETRY`
+/// environment variable (`off` / `counters` / `full`); otherwise
+/// [`TelemetryLevel::Off`]. Resolved once per session, never per round.
+/// (The environment cannot force an explicitly requested level *off* —
+/// `Off` is the config default, so a config that says anything else
+/// said it on purpose.)
+pub fn resolved_telemetry(config: &ChaseConfig) -> TelemetryLevel {
+    if config.telemetry != TelemetryLevel::Off {
+        return config.telemetry;
+    }
+    match std::env::var("NUCHASE_TELEMETRY").ok().as_deref() {
+        Some("counters") => TelemetryLevel::Counters,
+        Some("full") => TelemetryLevel::Full,
+        _ => TelemetryLevel::Off,
+    }
 }
 
 /// Does a round with `delta` new atoms and `triggers` enumerated
@@ -1558,6 +1699,12 @@ fn fire_trigger(
             return None;
         }
     }
+    let telem = state.telemetry.is_some();
+    let (atoms_before, nulls_before) = if telem {
+        (instance.len(), state.nulls.len())
+    } else {
+        (0, 0)
+    };
     let frontier_depth = state.nulls.max_frontier_depth(tgd.frontier(), &ws.mu);
     if let Some(max_d) = config.budget.max_depth {
         if !tgd.existentials().is_empty() && frontier_depth + 1 > max_d {
@@ -1620,6 +1767,7 @@ fn fire_trigger(
     });
 
     let max_atoms = config.budget.max_atoms;
+    let mut stop = None;
     for head_atom in tgd.head() {
         instantiate_into(head_atom, &ws.mu, &mut ws.atom_buf);
         let hash = hash_atom(head_atom.pred, &ws.atom_buf);
@@ -1635,10 +1783,19 @@ fn fire_trigger(
             }
         }
         if instance.len() >= max_atoms {
-            return Some(ChaseOutcome::AtomLimit);
+            stop = Some(ChaseOutcome::AtomLimit);
+            break;
         }
     }
-    None
+    if let Some(t) = state.telemetry.as_deref_mut() {
+        let nulls_after = state.nulls.len();
+        t.rule_fired(
+            rule.index(),
+            instance.len() - atoms_before,
+            nulls_after - nulls_before,
+        );
+    }
+    stop
 }
 
 /// Is every rule body a single atom? The gate for the chain micro-round
@@ -1694,7 +1851,10 @@ pub fn fused_chain_round(
     let mut considered = 0usize;
     let mut any = false;
     let mut stopped: Option<ChaseOutcome> = None;
+    let timed = state.sample_rule_timing();
     for (rule, tgd) in tgds.iter() {
+        let rule_mark = timed.then(Instant::now);
+        let mut rule_considered = 0usize;
         let pattern = &tgd.body()[0];
         let keys = key_vars(tgd, config.variant);
         let var_count = tgd.body_plan().var_count();
@@ -1733,7 +1893,7 @@ pub fn fused_chain_round(
             if !ok {
                 continue;
             }
-            considered += 1;
+            rule_considered += 1;
             if stopped.is_some() {
                 continue; // enumeration-only past the budget stop
             }
@@ -1747,6 +1907,11 @@ pub fn fused_chain_round(
             }
             any = true;
             stopped = fire_trigger(config, instance, state, ws, rule, tgd, Some(khash), stats);
+        }
+        considered += rule_considered;
+        state.note_considered(rule, rule_considered);
+        if let Some(mark) = rule_mark {
+            state.note_rule_secs(rule, mark.elapsed().as_secs_f64());
         }
     }
     (considered, any, stopped)
@@ -1980,6 +2145,9 @@ impl RoundDriver {
         self.round_fused = fused_round_delta(self.path, delta, self.fused_delta_max);
         self.round_batch =
             !self.round_fused && batch_round_delta(self.batch_choice, delta, self.batch_delta_min);
+        if self.round_batch {
+            stats.batched_rounds += 1;
+        }
         if self.chain_pending > 0 && !(self.round_fused && self.chain_ok) {
             // Leaving a chain-round streak: flush the accrued spans to
             // commit before a staged round's laps could absorb them.
@@ -2002,6 +2170,19 @@ impl RoundDriver {
     /// at [`RoundDriver::begin_round`].
     pub fn batch_round(&self) -> bool {
         self.round_batch
+    }
+
+    /// The telemetry label of the current round's path (as decided at
+    /// [`RoundDriver::begin_round`]; chain micro-rounds are labelled by
+    /// their caller, which knows it took that branch).
+    pub fn round_path(&self) -> RoundPath {
+        if self.round_fused {
+            RoundPath::Fused
+        } else if self.round_batch {
+            RoundPath::Batched
+        } else {
+            RoundPath::Pipeline
+        }
     }
 
     /// Accrues batch-enumeration emit time (the `emit_secs` out-param of

@@ -148,6 +148,7 @@ use crate::phase::{
     enumerate_task_batch, enumerate_task_eager, fused_chain_round, ApplyState, RoundCtx,
     RoundDriver,
 };
+use crate::telemetry::{RoundPath, TelemetryLevel, TelemetrySnapshot};
 
 /// A TGD set compiled once for any number of chases.
 ///
@@ -302,6 +303,14 @@ impl EngineBuilder {
     /// Record per-atom derivation provenance during runs.
     pub fn record_provenance(mut self, on: bool) -> Self {
         self.config.record_provenance = on;
+        self
+    }
+
+    /// Telemetry collection level (see [`crate::telemetry`]); default
+    /// [`TelemetryLevel::Off`], overridable per process via the
+    /// `NUCHASE_TELEMETRY` environment variable.
+    pub fn telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.config.telemetry = level;
         self
     }
 
@@ -644,6 +653,7 @@ impl ChaseSession<'_, '_> {
         self.driver
             .restart(&self.config, self.program.single_atom_bodies(), mark);
         let mut stats = ChaseStats::default();
+        self.core.apply.begin_run_telemetry(self.lifetime.rounds);
         let mut ctl = RunCtl {
             rounds_base: self.lifetime.rounds,
             run_rounds_cap: limits.and_then(|l| l.max_rounds),
@@ -705,6 +715,13 @@ impl ChaseSession<'_, '_> {
         }
         stats.atoms_created = self.core.instance.len() - len_before;
         stats.nulls_created = self.core.apply.nulls.len() - nulls_before;
+        // Memory gauges: the instance and null store are append-only, so
+        // end-of-run footprints *are* the run peaks — one walk over the
+        // arena capacities here, zero hot-path cost.
+        stats.peak_instance_bytes = self.core.instance.heap_bytes();
+        stats.instance_table_load = self.core.instance.table_load();
+        stats.index_spill_count = self.core.instance.spill_count();
+        stats.peak_null_bytes = self.core.apply.nulls.heap_bytes();
         stats.wall_secs = mark.elapsed().as_secs_f64();
         self.runs += 1;
         self.outcome = Some(outcome);
@@ -796,6 +813,14 @@ impl ChaseSession<'_, '_> {
         &self.lifetime
     }
 
+    /// A point-in-time snapshot of the session's telemetry (per-rule
+    /// attribution, round ring, memory gauges); `None` when the resolved
+    /// [`TelemetryLevel`] is [`TelemetryLevel::Off`]. The snapshot's
+    /// embedded statistics are the session-cumulative totals.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.core.apply.telemetry_snapshot(&self.lifetime)
+    }
+
     /// Number of completed [`ChaseSession::run`] / resume calls.
     pub fn runs(&self) -> usize {
         self.runs
@@ -827,6 +852,7 @@ impl ChaseSession<'_, '_> {
         let mut stats = lifetime;
         stats.atoms_created = core.instance.len() - core.base_atoms;
         stats.nulls_created = core.apply.nulls.len();
+        let telemetry = core.apply.telemetry_snapshot(&stats).map(Box::new);
         engine.store_parts(core.fired, driver);
         ChaseResult {
             instance: core.instance,
@@ -835,6 +861,7 @@ impl ChaseSession<'_, '_> {
             stats,
             forest: core.apply.forest,
             provenance: core.apply.provenance,
+            telemetry,
         }
     }
 }
@@ -858,6 +885,7 @@ fn run_rounds_sequential(
         }
         stats.rounds += 1;
 
+        let round_delta = core.instance.len() - core.delta_start as usize;
         let eager = driver.begin_round(core.instance.len() as AtomIdx - core.delta_start, stats);
 
         // Chain micro-round: every rule body is a single atom and the
@@ -877,6 +905,13 @@ fn run_rounds_sequential(
             );
             stats.triggers_considered += considered;
             driver.lap_chain_round(stats);
+            core.apply.record_round(
+                stats.rounds,
+                RoundPath::Chain,
+                round_delta,
+                core.instance.len(),
+                stats,
+            );
             if let Some(stop) = stop {
                 return stop;
             }
@@ -896,8 +931,10 @@ fn run_rounds_sequential(
         };
         let batch_round = driver.batch_round();
         let mut emit = 0.0f64;
+        let timed = core.apply.sample_rule_timing();
         for (rule, _) in tgds.iter() {
-            stats.triggers_considered += if eager {
+            let rule_mark = timed.then(Instant::now);
+            let considered = if eager {
                 enumerate_rule_eager(
                     &core.instance,
                     ctx,
@@ -926,23 +963,44 @@ fn run_rounds_sequential(
                     &mut driver.batch,
                 )
             };
+            stats.triggers_considered += considered;
+            core.apply.note_considered(rule, considered);
+            if let Some(mark) = rule_mark {
+                core.apply
+                    .note_rule_secs(rule, mark.elapsed().as_secs_f64());
+            }
         }
         driver.note_emit(emit);
         driver.lap_enumerate(stats);
         if driver.batch.is_empty() {
+            core.apply.record_round(
+                stats.rounds,
+                driver.round_path(),
+                round_delta,
+                core.instance.len(),
+                stats,
+            );
             return ChaseOutcome::Terminated;
         }
 
         // Phase 2: apply on the path `begin_round` chose.
         let len_before = core.instance.len();
-        if let Some(stop) = driver.apply(
+        let stop = driver.apply(
             tgds,
             config,
             &mut core.instance,
             &mut core.fired,
             &mut core.apply,
             stats,
-        ) {
+        );
+        core.apply.record_round(
+            stats.rounds,
+            driver.round_path(),
+            round_delta,
+            core.instance.len(),
+            stats,
+        );
+        if let Some(stop) = stop {
             return stop;
         }
         if core.instance.len() == len_before {
@@ -970,6 +1028,7 @@ fn run_rounds_tasked(
         stats.rounds += 1;
 
         let len = core.instance.len() as AtomIdx;
+        let round_delta = (len - core.delta_start) as usize;
         let eager = driver.begin_round(len - core.delta_start, stats);
 
         // Chain micro-round: one fused pass, no task list, no batch.
@@ -987,6 +1046,13 @@ fn run_rounds_tasked(
             );
             stats.triggers_considered += considered;
             driver.lap_chain_round(stats);
+            core.apply.record_round(
+                stats.rounds,
+                RoundPath::Chain,
+                round_delta,
+                core.instance.len(),
+                stats,
+            );
             if let Some(stop) = stop {
                 return stop;
             }
@@ -1006,9 +1072,11 @@ fn run_rounds_tasked(
         };
         let batch_round = driver.batch_round();
         let mut emit = 0.0f64;
+        let timed = core.apply.sample_rule_timing();
         for i in 0..driver.tasks.len() {
             let task = driver.tasks[i];
-            stats.triggers_considered += if eager {
+            let rule_mark = timed.then(Instant::now);
+            let considered = if eager {
                 enumerate_task_eager(
                     &core.instance,
                     ctx,
@@ -1037,22 +1105,43 @@ fn run_rounds_tasked(
                     &mut driver.batch,
                 )
             };
+            stats.triggers_considered += considered;
+            core.apply.note_considered(task.rule, considered);
+            if let Some(mark) = rule_mark {
+                core.apply
+                    .note_rule_secs(task.rule, mark.elapsed().as_secs_f64());
+            }
         }
         driver.note_emit(emit);
         driver.lap_enumerate(stats);
         if driver.batch.is_empty() {
+            core.apply.record_round(
+                stats.rounds,
+                driver.round_path(),
+                round_delta,
+                core.instance.len(),
+                stats,
+            );
             return ChaseOutcome::Terminated;
         }
 
         let len_before = core.instance.len();
-        if let Some(stop) = driver.apply(
+        let stop = driver.apply(
             tgds,
             config,
             &mut core.instance,
             &mut core.fired,
             &mut core.apply,
             stats,
-        ) {
+        );
+        core.apply.record_round(
+            stats.rounds,
+            driver.round_path(),
+            round_delta,
+            core.instance.len(),
+            stats,
+        );
+        if let Some(stop) = stop {
             return stop;
         }
         if core.instance.len() == len_before {

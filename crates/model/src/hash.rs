@@ -273,6 +273,21 @@ impl TagTable {
     pub fn slot_count(&self) -> usize {
         self.slots.len()
     }
+
+    /// Heap bytes held by the slot array (memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Load factor: entries / slots (0 on an empty table; below ¾ by
+    /// the growth policy).
+    pub fn load_factor(&self) -> f64 {
+        if self.slots.is_empty() {
+            0.0
+        } else {
+            self.len as f64 / self.slots.len() as f64
+        }
+    }
 }
 
 /// A `std`-compatible [`Hasher`] with Fx mixing, for interior `HashMap`s

@@ -632,6 +632,49 @@ impl Instance {
         self.preds.is_empty()
     }
 
+    /// Heap bytes held by the atom arena, dedup table, and per-predicate
+    /// posting index (capacities, not lengths — what the allocator
+    /// actually holds). The instance is append-only, so the value at any
+    /// moment is also the peak so far. Memory accounting for
+    /// chase telemetry; O(#predicates + #spilled lists), not O(atoms).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.preds.capacity() * size_of::<PredId>()
+            + self.offsets.capacity() * size_of::<u32>()
+            + self.pool.capacity() * size_of::<Term>()
+            + self.hashes.capacity() * size_of::<u64>()
+            + self.table.heap_bytes()
+            + self.by_pred.capacity() * size_of::<PredIndex>();
+        for p in &self.by_pred {
+            bytes += p.all.capacity() * size_of::<AtomIdx>();
+            bytes += p.lanes.capacity() * size_of::<DenseLane>();
+            for lane in &p.lanes {
+                bytes += lane.posts.capacity() * size_of::<Postings>();
+            }
+            // Overflow map: buckets are (key, Postings) plus ~1/8 byte
+            // of control metadata per bucket; capacity() approximates
+            // the bucket count.
+            bytes += p.by_pos_term.capacity() * (size_of::<u64>() + size_of::<Postings>() + 1);
+            bytes += p.spills.capacity() * size_of::<Vec<AtomIdx>>();
+            for s in &p.spills {
+                bytes += s.capacity() * size_of::<AtomIdx>();
+            }
+        }
+        bytes
+    }
+
+    /// Load factor of the atom dedup table (entries / slots; memory
+    /// accounting for chase telemetry).
+    pub fn table_load(&self) -> f64 {
+        self.table.load_factor()
+    }
+
+    /// Number of posting lists that outgrew their inline slots into the
+    /// spill arenas (memory accounting for chase telemetry).
+    pub fn spill_count(&self) -> usize {
+        self.by_pred.iter().map(|p| p.spills.len()).sum()
+    }
+
     /// The atom at a given index, as a borrowed view into the arena.
     #[inline]
     pub fn atom(&self, idx: AtomIdx) -> AtomRef<'_> {

@@ -182,6 +182,148 @@ fn fused_and_pipeline_apply_paths_are_byte_identical() {
     }
 }
 
+/// Telemetry observes and never steers: runs at `Counters` and `Full`
+/// are **byte-identical** to an untelemetered (`Off`) run — same atoms
+/// at the same indexes, same null names and depths, same provenance,
+/// same counters — across classes, thread counts 0 (sequential engine),
+/// 1 (single-worker executor), and 2 (pool executor), and both forced
+/// apply paths. The enabled runs additionally uphold the attribution
+/// invariant: per-rule trigger/fired/null counts partition the
+/// aggregate stats exactly.
+#[test]
+fn telemetry_levels_are_byte_identical() {
+    use nuchase_engine::{ApplyPath, Engine, PreparedProgram, TelemetryLevel};
+    for class in CLASSES {
+        for seed in 0..5u64 {
+            let p = random_program(&RandomConfig {
+                class,
+                seed,
+                ..Default::default()
+            });
+            let program = PreparedProgram::compile(p.tgds.clone());
+            for threads in [0usize, 1, 2] {
+                for path in [ApplyPath::Pipeline, ApplyPath::Fused] {
+                    let cfg = ChaseConfig {
+                        threads,
+                        apply_path: path,
+                        budget: ChaseBudget::atoms(4_000),
+                        record_provenance: true,
+                        ..Default::default()
+                    };
+                    let label = format!("{class:?} seed {seed} threads {threads} {path:?}");
+                    let off = chase(&p.database, &p.tgds, &cfg);
+                    for level in [TelemetryLevel::Counters, TelemetryLevel::Full] {
+                        let engine = Engine::from_config(&ChaseConfig {
+                            telemetry: level,
+                            ..cfg
+                        });
+                        let traced = engine.chase(&program, &p.database);
+                        assert_byte_identical(&off, &traced, &format!("{label} {}", level.name()));
+                        let snap = traced.telemetry.as_ref().expect("telemetry enabled");
+                        assert_eq!(
+                            snap.rules.iter().map(|r| r.considered).sum::<usize>(),
+                            traced.stats.triggers_considered,
+                            "{label} {}: considered partition",
+                            level.name()
+                        );
+                        assert_eq!(
+                            snap.rules.iter().map(|r| r.fired).sum::<usize>(),
+                            traced.stats.triggers_fired,
+                            "{label} {}: fired partition",
+                            level.name()
+                        );
+                        assert_eq!(
+                            snap.rules.iter().map(|r| r.nulls).sum::<usize>(),
+                            traced.stats.nulls_created,
+                            "{label} {}: nulls partition",
+                            level.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Telemetry exports round-trip on the four example workloads
+/// (quickstart's ontology, the data-exchange mapping, the OBDA
+/// scenario, and the termination advisor's diverging chain): the JSONL
+/// trace is one balanced JSON object per line with the attribution
+/// invariant intact, and the chrome://tracing dump is one balanced
+/// array of complete `"X"` spans.
+#[test]
+fn telemetry_exports_round_trip_on_example_workloads() {
+    use nuchase_engine::{ChaseBudget, Engine, PreparedProgram, TelemetryLevel};
+    use nuchase_model::SymbolTable;
+
+    // (name, database, tgds) for each example's workload.
+    let mut workloads: Vec<(&str, Instance, nuchase_model::TgdSet)> = Vec::new();
+    let quickstart = nuchase_model::parse_program(
+        "person(alice).\nparent(alice, bob).\n\
+         parent(X, Y) -> person(Y).\nperson(X) -> hasparent(X, Y).\n\
+         hasparent(X, Y) -> person(Y).",
+    )
+    .unwrap();
+    workloads.push(("quickstart", quickstart.database, quickstart.tgds));
+    let mut symbols = SymbolTable::new();
+    let mapping = nuchase_gen::scenarios::exchange_mapping(&mut symbols);
+    let source = nuchase_gen::scenarios::exchange_source(&mut symbols, 64);
+    workloads.push(("data_exchange", source, mapping));
+    let obda = nuchase_gen::scenarios::obda_scenario(32);
+    workloads.push(("ontology_reasoning", obda.database, obda.tgds));
+    let advisor =
+        nuchase_model::parse_program("r(a, b).\nr(X, Y) -> r(Y, Z).\nr(X, Y) -> p(X, Y).").unwrap();
+    workloads.push(("termination_advisor", advisor.database, advisor.tgds));
+
+    for (name, db, tgds) in workloads {
+        let program = PreparedProgram::compile(tgds);
+        let engine = Engine::builder()
+            .budget(ChaseBudget::atoms(2_000))
+            .telemetry(TelemetryLevel::Full)
+            .build();
+        let result = engine.chase(&program, &db);
+        let snap = result.telemetry.as_ref().expect("telemetry enabled");
+        assert_eq!(
+            snap.rules.iter().map(|r| r.considered).sum::<usize>(),
+            result.stats.triggers_considered,
+            "{name}: attribution partition"
+        );
+        let mut jsonl = Vec::new();
+        snap.write_jsonl(&mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            2 + snap.rules.len() + snap.rounds.len(),
+            "{name}: meta + memory + rules + rounds"
+        );
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "{name}: {line}"
+            );
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{name}: {line}"
+            );
+            assert_eq!(line.matches('"').count() % 2, 0, "{name}: {line}");
+        }
+        assert!(text.contains("\"type\":\"meta\""), "{name}");
+        assert!(text.contains("\"type\":\"memory\""), "{name}");
+        let mut chrome = Vec::new();
+        snap.write_chrome_trace(&mut chrome).unwrap();
+        let ctext = String::from_utf8(chrome).unwrap();
+        let trimmed = ctext.trim();
+        assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "{name}");
+        assert_eq!(
+            ctext.matches('{').count(),
+            ctext.matches('}').count(),
+            "{name}"
+        );
+        assert!(ctext.contains("\"ph\":\"X\""), "{name}: at least one span");
+    }
+}
+
 /// The columnar batch enumeration path and the per-trigger backtracking
 /// search are byte-identical — same atoms at the same indexes, same null
 /// names and depths, same provenance, forest, and counters (including

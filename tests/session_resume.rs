@@ -25,8 +25,8 @@
 use std::collections::BTreeMap;
 
 use nuchase_engine::{
-    chase, ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseSession, ChaseVariant, Engine,
-    NullStore, PreparedProgram, RunLimits,
+    chase, ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseSession, ChaseStats,
+    ChaseVariant, Engine, NullStore, PreparedProgram, RunLimits, TelemetryLevel,
 };
 use nuchase_gen::{random_program, RandomConfig};
 use nuchase_model::{parse_program, NullId, Term, TgdClass};
@@ -392,4 +392,188 @@ fn cancel_and_deadline_resume_on_the_pool_executor() {
     // replay, but the materialization must match the reference set.
     assert!(session.instance().set_eq(&reference.instance));
     assert_eq!(session.nulls().len(), reference.nulls.len());
+}
+
+/// `ChaseStats::absorb` sums every counter and phase timer and takes
+/// the max of the end-of-run memory gauges — the session's lifetime
+/// folding contract.
+#[test]
+fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
+    let mut a = ChaseStats {
+        rounds: 3,
+        triggers_considered: 10,
+        triggers_fired: 7,
+        atoms_created: 7,
+        nulls_created: 2,
+        wall_secs: 1.0,
+        enumerate_secs: 0.5,
+        probe_secs: 0.4,
+        emit_secs: 0.1,
+        dedup_secs: 0.1,
+        apply_secs: 0.4,
+        resolve_secs: 0.1,
+        commit_secs: 0.3,
+        pool_secs: 0.05,
+        fused_rounds: 2,
+        batched_rounds: 1,
+        peak_instance_bytes: 1000,
+        peak_null_bytes: 100,
+        instance_table_load: 0.5,
+        index_spill_count: 2,
+    };
+    let b = ChaseStats {
+        rounds: 2,
+        triggers_considered: 5,
+        triggers_fired: 4,
+        atoms_created: 4,
+        nulls_created: 1,
+        wall_secs: 0.5,
+        enumerate_secs: 0.2,
+        probe_secs: 0.2,
+        emit_secs: 0.0,
+        dedup_secs: 0.05,
+        apply_secs: 0.25,
+        resolve_secs: 0.05,
+        commit_secs: 0.2,
+        pool_secs: 0.0,
+        fused_rounds: 0,
+        batched_rounds: 2,
+        peak_instance_bytes: 1500, // grows past a's peak
+        peak_null_bytes: 50,       // shrinks below a's peak
+        instance_table_load: 0.25,
+        index_spill_count: 5,
+    };
+    a.absorb(&b);
+    assert_eq!(a.rounds, 5);
+    assert_eq!(a.triggers_considered, 15);
+    assert_eq!(a.triggers_fired, 11);
+    assert_eq!(a.atoms_created, 11);
+    assert_eq!(a.nulls_created, 3);
+    assert!((a.wall_secs - 1.5).abs() < 1e-12);
+    assert!((a.enumerate_secs - 0.7).abs() < 1e-12);
+    assert!((a.probe_secs - 0.6).abs() < 1e-12);
+    assert!((a.emit_secs - 0.1).abs() < 1e-12);
+    assert!((a.dedup_secs - 0.15).abs() < 1e-12);
+    assert!((a.apply_secs - 0.65).abs() < 1e-12);
+    assert!((a.resolve_secs - 0.15).abs() < 1e-12);
+    assert!((a.commit_secs - 0.5).abs() < 1e-12);
+    assert!((a.pool_secs - 0.05).abs() < 1e-12);
+    assert_eq!(a.fused_rounds, 2);
+    assert_eq!(a.batched_rounds, 3);
+    // Gauges are maxed, not summed: the lifetime peak is the largest
+    // single-run peak.
+    assert_eq!(a.peak_instance_bytes, 1500);
+    assert_eq!(a.peak_null_bytes, 100);
+    assert!((a.instance_table_load - 0.5).abs() < 1e-12);
+    assert_eq!(a.index_spill_count, 5);
+}
+
+/// Per-run vs lifetime statistics across pause / resume / `add_atoms`:
+/// `last_run_stats()` covers only the latest run slice, `stats()` is
+/// the exact absorb-fold of every slice, and an enabled telemetry
+/// snapshot's per-rule trigger counts sum to the lifetime aggregate —
+/// sequential and pooled.
+#[test]
+fn per_run_and_lifetime_stats_across_pause_resume_add_atoms() {
+    let p = parse_program(
+        "e(a, b).\ne(b, c).\ne(c, d).\n\
+         e(X, Y), e(Y, Z) -> e(X, Z).\n\
+         e(X, Y) -> m(X, W).",
+    )
+    .unwrap();
+    for threads in [0usize, 2] {
+        let cfg = ChaseConfig {
+            threads,
+            budget: ChaseBudget::atoms(20_000),
+            telemetry: TelemetryLevel::Counters,
+            ..Default::default()
+        };
+        let label = format!("threads {threads}");
+        let program = PreparedProgram::compile(p.tgds.clone());
+        let engine = Engine::from_config(&cfg);
+        // Chase a prefix of the database; the last fact arrives later.
+        let split = p.database.len() - 1;
+        let initial: nuchase_model::Instance =
+            p.database.iter().take(split).map(|a| a.to_atom()).collect();
+        let mut session = engine.session(&program, &initial);
+
+        // Slice the first chase with a soft pause, folding by hand.
+        let mut folded = ChaseStats::default();
+        let mut slices = 0usize;
+        loop {
+            let outcome = session.run_limited(&RunLimits::rounds(1));
+            folded.absorb(session.last_run_stats());
+            slices += 1;
+            if outcome != ChaseOutcome::Paused {
+                assert_eq!(outcome, ChaseOutcome::Terminated, "{label}");
+                break;
+            }
+        }
+        assert!(slices >= 2, "{label}: the pause actually sliced the run");
+        assert_eq!(session.runs(), slices, "{label}: run count");
+        assert_eq!(session.stats().rounds, folded.rounds, "{label}");
+        assert_eq!(
+            session.stats().triggers_considered,
+            folded.triggers_considered,
+            "{label}"
+        );
+        assert_eq!(
+            session.stats().atoms_created,
+            folded.atoms_created,
+            "{label}"
+        );
+
+        // The incremental delta: one more fact, one more run.
+        let before = session.stats().clone();
+        session.add_atoms(p.database.iter().skip(split).map(|a| a.to_atom()));
+        assert_eq!(session.resume(), ChaseOutcome::Terminated, "{label}");
+        let last = session.last_run_stats().clone();
+        let lifetime = session.stats().clone();
+        assert!(last.triggers_fired > 0, "{label}: the delta fired triggers");
+        assert_eq!(
+            lifetime.rounds,
+            before.rounds + last.rounds,
+            "{label}: lifetime rounds are the absorb-fold"
+        );
+        assert_eq!(
+            lifetime.triggers_considered,
+            before.triggers_considered + last.triggers_considered,
+            "{label}"
+        );
+        assert_eq!(
+            lifetime.triggers_fired,
+            before.triggers_fired + last.triggers_fired,
+            "{label}"
+        );
+        assert_eq!(
+            lifetime.nulls_created,
+            before.nulls_created + last.nulls_created,
+            "{label}"
+        );
+        assert_eq!(
+            lifetime.peak_instance_bytes,
+            before.peak_instance_bytes.max(last.peak_instance_bytes),
+            "{label}: gauges max, not sum"
+        );
+        assert!(lifetime.peak_instance_bytes > 0, "{label}");
+
+        // Telemetry spans the whole session: per-rule considered sums
+        // to the *lifetime* aggregate, not the last slice's.
+        let snap = session.telemetry().expect("telemetry enabled");
+        assert_eq!(
+            snap.rules.iter().map(|r| r.considered).sum::<usize>(),
+            lifetime.triggers_considered,
+            "{label}: per-rule attribution partitions the lifetime total"
+        );
+        assert_eq!(
+            snap.rules.iter().map(|r| r.fired).sum::<usize>(),
+            lifetime.triggers_fired,
+            "{label}"
+        );
+        assert_eq!(
+            snap.rules.iter().map(|r| r.nulls).sum::<usize>(),
+            lifetime.nulls_created,
+            "{label}"
+        );
+    }
 }
