@@ -14,6 +14,10 @@
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-prepared-quick [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-wide
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-wide-quick
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-huge
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-huge-quick
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-locality
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-locality-quick
 //! ```
 
 use std::time::Instant;
@@ -47,9 +51,46 @@ fn main() {
         // on a noisy container, so 3 samples under-estimate the floor.
         let rows = nuchase_bench::perf::run_chase_bench(if quick { 1 } else { 7 }, quick);
         print!("{}", nuchase_bench::perf::chase_bench_table(&rows));
-        let json = nuchase_bench::perf::chase_bench_json(&rows);
+        // The beyond-RAM sweep rides along (spill tier engaged, heap
+        // ceiling asserted inside) so BENCH_chase.json carries its rows.
+        let huge = nuchase_bench::perf::run_huge_bench(quick);
+        print!("\n{}", nuchase_bench::perf::huge_bench_table(&huge));
+        let json = nuchase_bench::perf::chase_bench_json(&rows, &huge);
         std::fs::write(out_path, json).expect("write bench json");
         println!("\nwrote {out_path}");
+        return;
+    }
+
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a == "--bench-huge" || a == "--bench-huge-quick")
+    {
+        let quick = args[pos] == "--bench-huge-quick";
+        println!(
+            "beyond-RAM chase smoke: chunked instances with the file-backed spill tier engaged\n\
+             (completion and the peak-heap ceiling asserted; \
+             NUCHASE_HUGE_CEILING_BYTES overrides the bound)\n"
+        );
+        let rows = nuchase_bench::perf::run_huge_bench(quick);
+        print!("{}", nuchase_bench::perf::huge_bench_table(&rows));
+        println!("\nhuge-workload smoke OK: every run stayed under its heap ceiling");
+        return;
+    }
+
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a == "--bench-locality" || a == "--bench-locality-quick")
+    {
+        let quick = args[pos] == "--bench-locality-quick";
+        println!(
+            "memory-locality comparison: pre-locality-tier linear probe layout vs\n\
+             cache-line-bucketized layout, interleaved pairs in one process\n\
+             (full run asserts the successor_chain_3m >=0.75x no-regression bar;\n\
+             see EXPERIMENTS.md for why this container's 260 MiB L3 caps the ratio)\n"
+        );
+        let rows = nuchase_bench::perf::run_locality_bench(if quick { 3 } else { 9 }, quick);
+        print!("{}", nuchase_bench::perf::locality_bench_table(&rows));
+        println!("\nlocality comparison OK");
         return;
     }
 

@@ -78,6 +78,11 @@ pub struct EngineNumbers {
     pub instance_table_load: f64,
     /// Posting lists that overflowed their dense lane into a spill vec.
     pub index_spill_count: usize,
+    /// Table probes issued through the batched/prefetched probe API
+    /// (block-collector binned passes + the fused per-trigger queue).
+    pub batched_probes: usize,
+    /// High-water mark of the software prefetch queue.
+    pub prefetch_queue_depth: usize,
 }
 
 impl EngineNumbers {
@@ -103,6 +108,8 @@ impl EngineNumbers {
             peak_null_bytes: stats.peak_null_bytes,
             instance_table_load: stats.instance_table_load,
             index_spill_count: stats.index_spill_count,
+            batched_probes: stats.batched_probes,
+            prefetch_queue_depth: stats.prefetch_queue_depth,
         }
     }
 }
@@ -794,7 +801,8 @@ fn engine_json(n: &EngineNumbers) -> String {
          \"enumerate_secs\": {:.6}, \"probe_secs\": {:.6}, \
          \"emit_secs\": {:.6}, \"peak_instance_bytes\": {}, \
          \"peak_null_bytes\": {}, \"instance_table_load\": {:.3}, \
-         \"index_spill_count\": {}}}",
+         \"index_spill_count\": {}, \"batched_probes\": {}, \
+         \"prefetch_queue_depth\": {}}}",
         n.atoms,
         n.triggers_considered,
         n.rounds,
@@ -809,12 +817,16 @@ fn engine_json(n: &EngineNumbers) -> String {
         n.peak_instance_bytes,
         n.peak_null_bytes,
         n.instance_table_load,
-        n.index_spill_count
+        n.index_spill_count,
+        n.batched_probes,
+        n.prefetch_queue_depth
     )
 }
 
-/// Renders the rows as the `BENCH_chase.json` document.
-pub fn chase_bench_json(rows: &[ChaseBenchRow]) -> String {
+/// Renders the rows as the `BENCH_chase.json` document. `huge` holds the
+/// beyond-RAM sweep rows ([`run_huge_bench`]; pass `&[]` to omit the
+/// section's entries).
+pub fn chase_bench_json(rows: &[ChaseBenchRow], huge: &[HugeBenchRow]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(
         out,
@@ -870,6 +882,17 @@ pub fn chase_bench_json(rows: &[ChaseBenchRow]) -> String {
         let _ = writeln!(out, "      \"batch_speedup\": {:.2}", row.batch_speedup);
         let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"huge_workloads\": [");
+    for (i, row) in huge.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", row.name);
+        let _ = writeln!(out, "      \"budget_atoms\": {},", row.budget);
+        let _ = writeln!(out, "      \"ceiling_bytes\": {},", row.ceiling_bytes);
+        let _ = writeln!(out, "      \"spill_file_bytes\": {},", row.spill_file_bytes);
+        let _ = writeln!(out, "      \"optimized\": {}", engine_json(&row.optimized));
+        let _ = writeln!(out, "    }}{}", if i + 1 < huge.len() { "," } else { "" });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -907,6 +930,277 @@ pub fn chase_bench_table(rows: &[ChaseBenchRow]) -> String {
             r.speedup,
             r.fused_speedup,
             r.batch_speedup
+        );
+    }
+    out
+}
+
+/// One row of the beyond-RAM workload sweep (`--bench-huge[-quick]`): a
+/// chain/star mix at ≥10× the standard instance sizes, chased with the
+/// file-backed arena spill engaged so the instance term pool and posting
+/// spills live in `mmap`ped chunks, and the peak *heap* footprint
+/// asserted against a configured ceiling — the bounded-RSS contract of
+/// the chunked-instance tier.
+#[derive(Debug, Clone)]
+pub struct HugeBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Atom budget of the run.
+    pub budget: usize,
+    /// The heap ceiling the run was asserted under, bytes
+    /// (`NUCHASE_HUGE_CEILING_BYTES` overrides the default).
+    pub ceiling_bytes: usize,
+    /// Bytes the instance held in file-backed (mmap) chunks at the end
+    /// of the run — what the spill tier kept off the heap.
+    pub spill_file_bytes: usize,
+    /// Current-engine numbers (one timed run; huge workloads are not
+    /// best-of-N).
+    pub optimized: EngineNumbers,
+}
+
+/// Runs the huge chain/star workloads with the chunk spill directory
+/// engaged (a temp dir, unless `NUCHASE_INSTANCE_SPILL_DIR` is already
+/// routed somewhere) and asserts every run completes with
+/// `peak_instance_bytes` under the ceiling. `quick` shrinks budgets for
+/// the CI smoke; the full sweep runs ≥10× the standard `--bench-chase`
+/// instance sizes.
+pub fn run_huge_bench(quick: bool) -> Vec<HugeBenchRow> {
+    let workloads: Vec<(&'static str, (Instance, TgdSet, usize))> = if quick {
+        vec![
+            ("successor_chain_200k", {
+                let (db, tgds, _) = successor_chain();
+                (db, tgds, 200_000)
+            }),
+            ("star_join_huge_smoke", star_join(16, 24, 18, 6, 200_000)),
+        ]
+    } else {
+        vec![
+            ("successor_chain_1m", {
+                let (db, tgds, _) = successor_chain();
+                (db, tgds, 1_000_000)
+            }),
+            ("star_join_huge", star_join(64, 48, 32, 8, 2_000_000)),
+        ]
+    };
+    // The ceiling is a regression tripwire on heap growth, not a tight
+    // fit: the instance index (hash table, posting lanes) stays on the
+    // heap by design; the term pool and posting spill arenas must not.
+    let default_ceiling: usize = if quick { 256 << 20 } else { 1 << 30 };
+    let ceiling = std::env::var("NUCHASE_HUGE_CEILING_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default_ceiling);
+    // Engage the file-backed chunk tier for the sweep unless the caller
+    // already routed it; chunks unlink their backing files at map time,
+    // so the directory stays empty and is removed best-effort after.
+    let spill_was_set = std::env::var_os("NUCHASE_INSTANCE_SPILL_DIR").is_some();
+    let tmp_spill = std::env::temp_dir().join("nuchase_huge_spill");
+    if !spill_was_set {
+        let _ = std::fs::create_dir_all(&tmp_spill);
+        std::env::set_var("NUCHASE_INSTANCE_SPILL_DIR", &tmp_spill);
+    }
+    let mut rows = Vec::new();
+    for (name, (db, tgds, budget)) in workloads {
+        let r = semi_oblivious_chase(&db, &tgds, budget);
+        let optimized = EngineNumbers::from_stats(r.instance.len(), &r.stats);
+        assert!(
+            optimized.atoms >= budget / 2,
+            "{name}: expected a ≥{}-atom instance, got {}",
+            budget / 2,
+            optimized.atoms
+        );
+        assert!(
+            optimized.peak_instance_bytes <= ceiling,
+            "{name}: peak instance heap {} B exceeds the {} B ceiling \
+             (NUCHASE_HUGE_CEILING_BYTES overrides)",
+            optimized.peak_instance_bytes,
+            ceiling
+        );
+        rows.push(HugeBenchRow {
+            name,
+            budget,
+            ceiling_bytes: ceiling,
+            spill_file_bytes: r.instance.file_bytes(),
+            optimized,
+        });
+    }
+    if !spill_was_set {
+        std::env::remove_var("NUCHASE_INSTANCE_SPILL_DIR");
+        let _ = std::fs::remove_dir(&tmp_spill);
+    }
+    rows
+}
+
+/// Renders a human-readable table of the huge-workload rows.
+pub fn huge_bench_table(rows: &[HugeBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>8} {:>12} {:>14} {:>14} {:>14}",
+        "workload", "atoms", "rounds", "wall", "heap peak", "file spill", "heap ceiling"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>8} {:>10.3} s {:>12} B {:>12} B {:>12} B",
+            r.name,
+            r.optimized.atoms,
+            r.optimized.rounds,
+            r.optimized.wall_secs,
+            r.optimized.peak_instance_bytes,
+            r.spill_file_bytes,
+            r.ceiling_bytes
+        );
+    }
+    out
+}
+
+/// One row of the memory-locality comparison: the same workload with
+/// the probe tables in the pre-bucketization linear layout and in the
+/// cache-line-bucketized layout, interleaved in one process.
+#[derive(Debug, Clone)]
+pub struct LocalityBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Atom budget of each run.
+    pub budget: usize,
+    /// Best-of numbers with the linear (pre-locality-tier) layout.
+    pub linear: EngineNumbers,
+    /// Best-of numbers with the bucketized layout.
+    pub bucketized: EngineNumbers,
+    /// Median over interleaved pairs of (linear wall / bucketized
+    /// wall) — the defensible in-run layout speedup.
+    pub layout_speedup: f64,
+}
+
+/// Interleaves linear-layout and bucketized-layout runs of the probe-
+/// bound workloads in one process (the layout override is the same
+/// process-global knob `NUCHASE_FORCE_BUCKET_LAYOUT` resolves into, so
+/// a pair of runs shares machine state) and reports the median per-pair
+/// wall ratio. Linear reverts the whole tier (layout, partition
+/// binning, the fused path's in-round and cross-round prefetch), so
+/// the ratio is current-vs-pre-tier in one run.
+///
+/// Each leg rebuilds its workload *after* flipping the layout: the
+/// engine chases a clone of the database, and a `TagTable`'s layout is
+/// fixed at creation and survives both `Clone` and growth, so a
+/// database built once up-front would pin the instance-dedup table —
+/// the largest table in the run — to whatever layout was live at
+/// build time and silently contaminate the "linear" leg.
+///
+/// Honest expectations: the tier targets instances that outgrow the
+/// LLC, where the chain's random probes hit DRAM and the bucketized
+/// one-line probe plus the batched/cross-round prefetches overlap the
+/// misses. The benchmark container exposes a 260 MiB L3, which keeps
+/// even the 3 M-atom row (~0.2 GB of tables + pools) largely
+/// cache-resident; there the commit phase is bandwidth-bound on
+/// streaming arena appends — latency hiding has nothing to buy back —
+/// and interleaved pairs measure parity (~0.95–1.05×). The full sweep
+/// therefore asserts a ≥0.75× no-regression guard on the beyond-L3
+/// row (the tier must never lose) and reports the measured ratio for
+/// the record; EXPERIMENTS.md carries the study and the
+/// smaller-LLC-hardware follow-up.
+pub fn run_locality_bench(runs: usize, quick: bool) -> Vec<LocalityBenchRow> {
+    use nuchase_model::hash::{set_table_layout, TableLayout};
+    type Build = fn() -> (Instance, TgdSet, usize);
+    type Row = (&'static str, Build, Option<usize>, Option<f64>, usize);
+    let workloads: Vec<Row> = if quick {
+        vec![(
+            "successor_chain_20k",
+            successor_chain,
+            Some(20_000),
+            None,
+            runs,
+        )]
+    } else {
+        vec![
+            ("successor_chain_100k", successor_chain, None, None, runs),
+            (
+                "successor_chain_3m",
+                successor_chain,
+                Some(3_000_000),
+                Some(0.75),
+                3.min(runs),
+            ),
+            (
+                "hub_skew_chain_100k",
+                (|| hub_skew_chain(512)) as Build,
+                Some(100_000),
+                None,
+                runs,
+            ),
+        ]
+    };
+    let mut rows = Vec::new();
+    for (name, build, budget_override, bar, pairs) in workloads {
+        let mut linear: Option<EngineNumbers> = None;
+        let mut bucketized: Option<EngineNumbers> = None;
+        let mut budget = 0;
+        let mut ratios = Vec::new();
+        for _ in 0..pairs.max(1) {
+            set_table_layout(TableLayout::Linear);
+            let (db, tgds, default_budget) = build();
+            budget = budget_override.unwrap_or(default_budget);
+            let r = semi_oblivious_chase(&db, &tgds, budget);
+            let lin = EngineNumbers::from_stats(r.instance.len(), &r.stats);
+            set_table_layout(TableLayout::Bucketized);
+            let (db, tgds, _) = build();
+            let r = semi_oblivious_chase(&db, &tgds, budget);
+            let buck = EngineNumbers::from_stats(r.instance.len(), &r.stats);
+            assert_eq!(
+                lin.atoms, buck.atoms,
+                "{name}: table layouts disagree on the result size"
+            );
+            ratios.push(lin.wall_secs / buck.wall_secs.max(1e-12));
+            if linear.as_ref().is_none_or(|b| lin.wall_secs < b.wall_secs) {
+                linear = Some(lin);
+            }
+            if bucketized
+                .as_ref()
+                .is_none_or(|b| buck.wall_secs < b.wall_secs)
+            {
+                bucketized = Some(buck);
+            }
+        }
+        // Leave the process on the default layout for whatever runs next.
+        set_table_layout(TableLayout::Bucketized);
+        ratios.sort_by(f64::total_cmp);
+        let layout_speedup = ratios[ratios.len() / 2];
+        if let Some(bar) = bar {
+            assert!(
+                layout_speedup >= bar,
+                "{name}: bucketized layout speedup {layout_speedup:.2}× \
+                 below the {bar:.2}× locality-tier no-regression bar"
+            );
+        }
+        rows.push(LocalityBenchRow {
+            name,
+            budget,
+            linear: linear.unwrap(),
+            bucketized: bucketized.unwrap(),
+            layout_speedup,
+        });
+    }
+    rows
+}
+
+/// Renders a human-readable table of the locality-comparison rows.
+pub fn locality_bench_table(rows: &[LocalityBenchRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>14} {:>14} {:>10}",
+        "workload", "atoms", "linear", "bucketized", "speedup"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>12.3} s {:>12.3} s {:>9.2}x",
+            r.name,
+            r.bucketized.atoms,
+            r.linear.wall_secs,
+            r.bucketized.wall_secs,
+            r.layout_speedup
         );
     }
     out
@@ -1119,6 +1413,9 @@ pub struct ModeNumbers {
     /// Largest single-chase instance heap footprint seen across the
     /// sweep, bytes (identical across modes up to buffer recycling).
     pub peak_instance_bytes: usize,
+    /// Batched/prefetched table probes summed across one sweep
+    /// (identical across modes — the probe sequence is deterministic).
+    pub batched_probes: usize,
 }
 
 /// One workload's cold/prepared/warm comparison.
@@ -1149,20 +1446,24 @@ pub struct PreparedBenchRow {
 fn run_mode(
     runs: usize,
     dbs: &[Instance],
-    mut chase_one: impl FnMut(&Instance) -> (usize, usize),
+    mut chase_one: impl FnMut(&Instance) -> (usize, usize, usize),
 ) -> (ModeNumbers, usize) {
     let mut best = f64::INFINITY;
     let mut atoms = 0usize;
     let mut peak = 0usize;
+    let mut probes = 0usize;
     for _ in 0..runs {
         let t = Instant::now();
         let mut sweep_atoms = 0usize;
+        let mut sweep_probes = 0usize;
         for db in dbs {
-            let (a, p) = chase_one(db);
+            let (a, p, bp) = chase_one(db);
             sweep_atoms += a;
+            sweep_probes += bp;
             peak = peak.max(p);
         }
         atoms = sweep_atoms;
+        probes = sweep_probes;
         best = best.min(t.elapsed().as_secs_f64());
     }
     (
@@ -1170,6 +1471,7 @@ fn run_mode(
             total_secs: best,
             per_chase_us: best * 1e6 / dbs.len().max(1) as f64,
             peak_instance_bytes: peak,
+            batched_probes: probes,
         },
         atoms,
     )
@@ -1197,18 +1499,30 @@ pub fn run_prepared_bench(runs: usize, quick: bool) -> Vec<PreparedBenchRow> {
             let program = PreparedProgram::compile(tgds);
             let engine = Engine::from_config(&config);
             let r = engine.chase(&program, db);
-            (r.instance.len(), r.stats.peak_instance_bytes)
+            (
+                r.instance.len(),
+                r.stats.peak_instance_bytes,
+                r.stats.batched_probes,
+            )
         });
         let shared_program = PreparedProgram::compile(w.tgds.clone());
         let (prepared, prepared_atoms) = run_mode(runs, &w.databases, |db| {
             let engine = Engine::from_config(&config);
             let r = engine.chase(&shared_program, db);
-            (r.instance.len(), r.stats.peak_instance_bytes)
+            (
+                r.instance.len(),
+                r.stats.peak_instance_bytes,
+                r.stats.batched_probes,
+            )
         });
         let shared_engine = Engine::from_config(&config);
         let (warm, warm_atoms) = run_mode(runs, &w.databases, |db| {
             let r = shared_engine.chase(&shared_program, db);
-            (r.instance.len(), r.stats.peak_instance_bytes)
+            (
+                r.instance.len(),
+                r.stats.peak_instance_bytes,
+                r.stats.batched_probes,
+            )
         });
         assert_eq!(cold_atoms, warm_atoms, "{}: modes disagree", w.name);
         assert_eq!(prepared_atoms, warm_atoms, "{}: modes disagree", w.name);
@@ -1237,8 +1551,9 @@ pub fn run_prepared_bench(runs: usize, quick: bool) -> Vec<PreparedBenchRow> {
 
 fn mode_json(n: &ModeNumbers) -> String {
     format!(
-        "{{\"total_secs\": {:.6}, \"per_chase_us\": {:.2}, \"peak_instance_bytes\": {}}}",
-        n.total_secs, n.per_chase_us, n.peak_instance_bytes
+        "{{\"total_secs\": {:.6}, \"per_chase_us\": {:.2}, \"peak_instance_bytes\": {}, \
+         \"batched_probes\": {}}}",
+        n.total_secs, n.per_chase_us, n.peak_instance_bytes, n.batched_probes
     )
 }
 
@@ -1361,6 +1676,8 @@ mod tests {
             peak_null_bytes: 512,
             instance_table_load: 0.5,
             index_spill_count: 0,
+            batched_probes: 16,
+            prefetch_queue_depth: 8,
         };
         let rows = vec![ChaseBenchRow {
             name: "demo",
@@ -1381,7 +1698,14 @@ mod tests {
                 sampled_secs: 0.0,
             }],
         }];
-        let json = chase_bench_json(&rows);
+        let huge = vec![HugeBenchRow {
+            name: "huge_demo",
+            budget: 1_000,
+            ceiling_bytes: 1 << 20,
+            spill_file_bytes: 65_536,
+            optimized: rows[0].optimized.clone(),
+        }];
+        let json = chase_bench_json(&rows, &huge);
         assert!(json.contains("\"workloads\""));
         assert!(json.contains("\"rounds\""));
         assert!(json.contains("\"fused_speedup\""));
@@ -1389,10 +1713,17 @@ mod tests {
         assert!(json.contains("\"probe_secs\""));
         assert!(json.contains("\"emit_secs\""));
         assert!(json.contains("\"peak_instance_bytes\""));
+        assert!(json.contains("\"batched_probes\""));
+        assert!(json.contains("\"prefetch_queue_depth\""));
+        assert!(json.contains("\"huge_workloads\""));
+        assert!(json.contains("\"ceiling_bytes\""));
+        assert!(json.contains("\"spill_file_bytes\""));
         assert!(json.contains("\"rules\""));
         assert!(json.contains("\"deduped\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(chase_bench_table(&rows).contains("demo"));
+        assert!(huge_bench_table(&huge).contains("huge_demo"));
     }
 
     #[test]
@@ -1431,7 +1762,10 @@ mod tests {
         assert!(chain.optimized.triggers_per_round < 1.5);
         assert_eq!(chain.optimized.fused_rounds, chain.optimized.rounds);
         assert_eq!(chain.pipeline.fused_rounds, 0);
-        let json = chase_bench_json(&rows);
+        // The fused probe queue books its prefetched probes.
+        assert!(chain.optimized.batched_probes > 0);
+        assert!(chain.optimized.prefetch_queue_depth >= 1);
+        let json = chase_bench_json(&rows, &[]);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

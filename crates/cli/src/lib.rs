@@ -253,6 +253,11 @@ pub fn cmd_profile(
         stats.index_spill_count,
         stats.peak_null_bytes,
     );
+    let _ = writeln!(
+        out,
+        "probes: {} batched, prefetch queue depth {}",
+        stats.batched_probes, stats.prefetch_queue_depth,
+    );
 
     // Per-rule table, heaviest enumerators first.
     let mut order: Vec<usize> = (0..snap.rules.len()).collect();

@@ -72,7 +72,7 @@ fn resolve_threads(args: &[String]) -> Result<usize, nuchase_cli::CliError> {
             Some(v) if !v.starts_with("--") => Some(v.clone()),
             _ => return Err("--threads requires a value (a worker count or 'auto')".into()),
         },
-        None => std::env::var("NUCHASE_THREADS").ok(),
+        None => nuchase_engine::config::env_str("NUCHASE_THREADS"),
     };
     match setting.as_deref() {
         None => Ok(0),

@@ -315,6 +315,32 @@ pub struct ChaseStats {
     /// Posting lists that outgrew their inline slots into the spill
     /// arena when the run ended. `absorb` keeps the max.
     pub index_spill_count: usize,
+    /// Table probes issued through the batched/prefetched probe API —
+    /// the block collectors' [`TermTupleSet::insert_batch`](crate::dedup::TermTupleSet::insert_batch)/
+    /// [`TermTupleSet::locate_batch`](crate::dedup::TermTupleSet::locate_batch)
+    /// passes plus the fused path's per-trigger probe queue (null-intern
+    /// and head-atom prefetches). Serial executors book every probe;
+    /// pooled rounds book only the coordinator's share (worker spans
+    /// overlap, mirroring the probe/emit split). `absorb` sums.
+    pub batched_probes: usize,
+    /// High-water mark of the software prefetch queue: how many probes
+    /// were in flight ahead of the walk that consumed them (the batch
+    /// passes' lookahead distance, or the fused path's per-trigger
+    /// null + head queue). `absorb` keeps the max.
+    pub prefetch_queue_depth: usize,
+}
+
+/// Probe-locality accounting carried out of the batch collectors and the
+/// fused probe queue: how many probes went through the batched/prefetched
+/// API and how deep the prefetch queue ran. Accumulated in
+/// [`WorkerScratch`](crate::phase::WorkerScratch), drained by the round
+/// drivers into [`ChaseStats::note_probe_flow`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbeFlow {
+    /// Probes issued through a batched (binned + prefetched) pass.
+    pub batched_probes: usize,
+    /// Deepest prefetch lookahead any pass ran with.
+    pub queue_depth: usize,
 }
 
 impl ChaseStats {
@@ -343,6 +369,15 @@ impl ChaseStats {
         self.peak_null_bytes = self.peak_null_bytes.max(run.peak_null_bytes);
         self.instance_table_load = self.instance_table_load.max(run.instance_table_load);
         self.index_spill_count = self.index_spill_count.max(run.index_spill_count);
+        self.batched_probes += run.batched_probes;
+        self.prefetch_queue_depth = self.prefetch_queue_depth.max(run.prefetch_queue_depth);
+    }
+
+    /// Folds one [`ProbeFlow`] drain into the run's probe-locality
+    /// gauges (count summed, queue depth maxed).
+    pub fn note_probe_flow(&mut self, flow: ProbeFlow) {
+        self.batched_probes += flow.batched_probes;
+        self.prefetch_queue_depth = self.prefetch_queue_depth.max(flow.queue_depth);
     }
 
     /// Derived throughput: atoms created per second of wall time.
@@ -392,6 +427,12 @@ impl ChaseStats {
         );
         if self.pool_secs > 0.0 {
             out.push_str(&format!(" · pool {:.1}%", pct(self.pool_secs)));
+        }
+        if self.batched_probes > 0 {
+            out.push_str(&format!(
+                " · {} batched probes (queue ≤ {})",
+                self.batched_probes, self.prefetch_queue_depth
+            ));
         }
         out
     }

@@ -1,0 +1,106 @@
+//! Centralized parsing for the `NUCHASE_*` environment knobs.
+//!
+//! Every tunable the engine reads from the environment goes through this
+//! module, so the knob inventory lives in one place and malformed values
+//! **warn to stderr once** instead of being silently ignored. (Knobs
+//! owned by the `model` crate are parsed there — the dependency points
+//! the other way — but are documented here for the single-table view.)
+//!
+//! # Knob table
+//!
+//! | Knob | Values | Effect |
+//! |---|---|---|
+//! | `NUCHASE_FORCE_PIPELINE` | `1`/`true`, `0`/`false` | Forces the staged pipeline apply path on (`1`) or the fused micro-round path (`0`); unset = auto per round. |
+//! | `NUCHASE_FORCE_BATCH_ENUM` | `1`/`true`, `0`/`false` | Forces columnar batch enumeration on (`1`) or off (`0`) for non-fused rounds; unset = auto by delta width. |
+//! | `NUCHASE_FORCE_BUCKET_LAYOUT` | `1`/`true`, `0`/`false` | Probe-table layout: cache-line-bucketized open addressing (`1`, the default) or the pre-bucketization linear layout (`0`). Parsed in `model::hash` (resolved once per process). |
+//! | `NUCHASE_FUSED_DELTA_MAX` | integer | Delta ceiling (atoms) for a round to take the fused path under auto. |
+//! | `NUCHASE_BATCH_DELTA_MIN` | integer | Delta floor (atoms) for a non-fused round to take batch enumeration under auto. |
+//! | `NUCHASE_RESOLVE_POOL_MIN` | integer | Trigger floor for the pooled (parallel) resolve stage. |
+//! | `NUCHASE_THREADS` | integer or `auto` | Default worker count for the parallel executor (CLI; `0` = sequential). |
+//! | `NUCHASE_TELEMETRY` | `off`, `counters`, `full` | Telemetry level when the config leaves it `Off`. |
+//! | `NUCHASE_TELEMETRY_RING` | integer | Round-event ring capacity (default 4096). |
+//! | `NUCHASE_TELEMETRY_STRIDE` | integer | Fixed round-sampling stride (default: auto-doubling). |
+//! | `NUCHASE_INSTANCE_SPILL_DIR` | directory path | When set, new arena chunks (instance term pool, postings spill, fired-set tuples) are file-backed `mmap`s in this directory, so instances grow past RAM with bounded RSS. Parsed in `model::chunk`, checked per chunk allocation. |
+//! | `NUCHASE_CHUNK_LEN` | power-of-two integer ≥ 64 | Arena chunk length in elements (default 65536). Parsed in `model::chunk`, resolved once per process. |
+//! | `NUCHASE_HUGE_CEILING_BYTES` | integer | Peak-instance-bytes ceiling asserted by the `--bench-huge` workloads (parsed by the bench harness). |
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// One warning per (knob, malformed value) pair per process: repeated
+/// resolution (per run, per bench leg) must not spam stderr, but a
+/// *changed* bad value deserves its own warning.
+fn warn_once(name: &str, value: &str, expect: &str) {
+    static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+    let key = format!("{name}={value}");
+    if WARNED.lock().unwrap().insert(key) {
+        eprintln!("nuchase: ignoring malformed {name}={value:?} (expected {expect})");
+    }
+}
+
+/// Raw read of a `NUCHASE_*` knob (no parsing, no warning).
+pub fn env_str(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// A boolean switch knob: `1`/`true` ⇒ `Some(true)`, `0`/`false` ⇒
+/// `Some(false)`, unset ⇒ `None`, anything else ⇒ one stderr warning
+/// and `None`.
+pub fn env_switch(name: &str) -> Option<bool> {
+    let v = std::env::var(name).ok()?;
+    match v.trim() {
+        "1" | "true" => Some(true),
+        "0" | "false" => Some(false),
+        _ => {
+            warn_once(name, &v, "1/true or 0/false");
+            None
+        }
+    }
+}
+
+/// An integer knob: unset ⇒ `None`, unparseable ⇒ one stderr warning
+/// and `None`.
+pub fn env_usize(name: &str) -> Option<usize> {
+    let v = std::env::var(name).ok()?;
+    match v.trim().parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            warn_once(name, &v, "an unsigned integer");
+            None
+        }
+    }
+}
+
+/// [`env_usize`] with a default for the unset/malformed cases.
+pub fn env_usize_or(name: &str, default: usize) -> usize {
+    env_usize(name).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_parses_and_warns_on_junk() {
+        std::env::set_var("NUCHASE_TEST_SWITCH", "1");
+        assert_eq!(env_switch("NUCHASE_TEST_SWITCH"), Some(true));
+        std::env::set_var("NUCHASE_TEST_SWITCH", "false");
+        assert_eq!(env_switch("NUCHASE_TEST_SWITCH"), Some(false));
+        std::env::set_var("NUCHASE_TEST_SWITCH", "maybe");
+        assert_eq!(env_switch("NUCHASE_TEST_SWITCH"), None);
+        std::env::remove_var("NUCHASE_TEST_SWITCH");
+        assert_eq!(env_switch("NUCHASE_TEST_SWITCH"), None);
+    }
+
+    #[test]
+    fn usize_parses_and_warns_on_junk() {
+        std::env::set_var("NUCHASE_TEST_USIZE", " 42 ");
+        assert_eq!(env_usize("NUCHASE_TEST_USIZE"), Some(42));
+        assert_eq!(env_usize_or("NUCHASE_TEST_USIZE", 7), 42);
+        std::env::set_var("NUCHASE_TEST_USIZE", "many");
+        assert_eq!(env_usize("NUCHASE_TEST_USIZE"), None);
+        assert_eq!(env_usize_or("NUCHASE_TEST_USIZE", 7), 7);
+        std::env::remove_var("NUCHASE_TEST_USIZE");
+        assert_eq!(env_usize_or("NUCHASE_TEST_USIZE", 7), 7);
+    }
+}

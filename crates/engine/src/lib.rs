@@ -36,6 +36,7 @@
 
 pub mod baseline;
 pub mod chase;
+pub mod config;
 pub mod dedup;
 pub mod forest;
 pub mod nulls;
@@ -48,7 +49,7 @@ pub mod telemetry;
 pub use baseline::{baseline_semi_oblivious_chase, BaselineResult};
 pub use chase::{
     chase, semi_oblivious_chase, sequential_chase, ApplyPath, BatchEnum, ChaseBudget, ChaseConfig,
-    ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant,
+    ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant, ProbeFlow,
 };
 pub use dedup::TermTupleSet;
 pub use forest::Forest;

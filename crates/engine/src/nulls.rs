@@ -12,7 +12,7 @@
 //! `depth(⊥^z_{σ,h}) = 1 + max({depth(h(x)) | x ∈ fr(σ)} ∪ {0})`, computed
 //! eagerly at interning time from the depths of the frontier image.
 
-use nuchase_model::hash::{fold, hash_terms, TagProbe, TagTable};
+use nuchase_model::hash::{fold, hash_terms, partition, TagProbe, TagTable, PARTITIONS};
 use nuchase_model::{AtomRef, NullId, RuleId, Term, VarId};
 
 /// Provenance key of a semi-oblivious null: `(σ, z, h|fr(σ))`. The
@@ -39,7 +39,10 @@ pub struct NullKey {
 /// per-null box.
 #[derive(Debug, Default, Clone)]
 pub struct NullStore {
-    table: TagTable,
+    /// Hash-partitioned intern index (see [`partition`]): batch probes
+    /// bin per partition, and the fused path's prefetch warms a quarter-
+    /// size working set.
+    tables: [TagTable; PARTITIONS],
     hashes: Vec<u64>,
     /// `(rule, var)` of null `i`; `None` for fresh (restricted) nulls.
     meta: Vec<Option<(RuleId, VarId)>>,
@@ -77,7 +80,7 @@ impl NullStore {
     /// Memory accounting for chase telemetry.
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.table.heap_bytes()
+        self.tables.iter().map(TagTable::heap_bytes).sum::<usize>()
             + self.hashes.capacity() * size_of::<u64>()
             + self.meta.capacity() * size_of::<Option<(RuleId, VarId)>>()
             + self.image_offsets.capacity() * size_of::<u32>()
@@ -121,13 +124,14 @@ impl NullStore {
         let image_hash = image_hash.unwrap_or_else(|| hash_terms(frontier_image));
         debug_assert_eq!(image_hash, hash_terms(frontier_image), "caller-computed");
         let hash = hash_parts_prehashed(image_hash, rule, var);
+        let p = partition(hash);
         // Grow first so the vacant slot found by the probe stays valid.
         // (Fresh nulls carry hash 0 but are never in the table, so the
         // rehash via `hashes` only ever touches interned ids.)
-        self.table.reserve_one(&self.hashes);
+        self.tables[p].reserve_one(&self.hashes);
         let vacant = {
             let (meta, image_offsets, images) = (&self.meta, &self.image_offsets, &self.images);
-            match self.table.probe(hash, |id| {
+            match self.tables[p].probe(hash, |id| {
                 let id = id as usize;
                 meta[id] == Some((rule, var))
                     && &images[image_offsets[id] as usize..image_offsets[id + 1] as usize]
@@ -141,8 +145,25 @@ impl NullStore {
         self.push_meta(Some((rule, var)), frontier_image);
         self.hashes.push(hash);
         self.depths.push(frontier_depth + 1);
-        self.table.fill(vacant, hash, id.0);
+        self.tables[p].fill(vacant, hash, id.0);
         id
+    }
+
+    /// Prefetches the intern-table line the null named by
+    /// `(rule, var, image_hash)` would probe — issued by the fused chain
+    /// path right after the trigger key is hashed, so this miss overlaps
+    /// the fired-set probe instead of serializing behind it.
+    /// A no-op when the store was created with the linear (pre-tier)
+    /// table layout, so `NUCHASE_FORCE_BUCKET_LAYOUT=0` reverts the
+    /// whole memory-locality tier as a faithful baseline.
+    #[inline]
+    pub fn prefetch_intern(&self, rule: RuleId, var: VarId, image_hash: u64) {
+        use nuchase_model::hash::TableLayout;
+        if self.tables[0].layout() != TableLayout::Bucketized {
+            return;
+        }
+        let hash = hash_parts_prehashed(image_hash, rule, var);
+        self.tables[partition(hash)].prefetch(hash);
     }
 
     fn image(&self, id: usize) -> &[Term] {
@@ -189,7 +210,7 @@ impl NullStore {
         self.image_offsets.truncate(len + 1);
         let images_len = self.image_offsets.last().copied().unwrap_or(0) as usize;
         self.images.truncate(images_len);
-        self.table = TagTable::new();
+        self.tables = Default::default();
         for id in 0..len {
             // Fresh (restricted) nulls carry no key and never enter the
             // table — same as at creation time.
@@ -197,11 +218,12 @@ impl NullStore {
                 continue;
             }
             let hash = self.hashes[id];
-            self.table.reserve_one(&self.hashes);
+            let p = partition(hash);
+            self.tables[p].reserve_one(&self.hashes);
             // Keys are unique among interned nulls, so probing only for a
             // vacant slot (eq always false) reinserts them faithfully.
-            match self.table.probe(hash, |_| false) {
-                TagProbe::Vacant(slot) => self.table.fill(slot, hash, id as u32),
+            match self.tables[p].probe(hash, |_| false) {
+                TagProbe::Vacant(slot) => self.tables[p].fill(slot, hash, id as u32),
                 TagProbe::Found(_) => unreachable!("probe eq is constant false"),
             }
         }

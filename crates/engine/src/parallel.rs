@@ -497,6 +497,10 @@ fn coordinate(
             drain_tasks(shared, &mut ws);
             shared.barrier.wait();
             guard.in_phase = false;
+            // Pooled rounds book the coordinator's stolen share of the
+            // batched probes; worker shares are discarded with their
+            // overlapping emit spans (see `drain_tasks`).
+            stats.note_probe_flow(ws.take_probes());
             merged.append(&mut shared.results.lock().unwrap());
             merged.sort_unstable_by_key(|&(i, _, _)| i);
         } else {
@@ -535,6 +539,7 @@ fn coordinate(
                 state.note_considered(task.rule, task_considered);
             }
             stats.triggers_considered += considered;
+            stats.note_probe_flow(ws.take_probes());
         }
         // Pooled enumerate sub-timers: worker-side emit spans overlap in
         // wall time, so the whole lap is booked as probe. The split is
@@ -759,7 +764,13 @@ fn worker_loop(shared: &Shared) {
             return;
         }
         match shared.mode.load(Ordering::Acquire) {
-            MODE_ENUMERATE => drain_tasks(shared, &mut ws),
+            MODE_ENUMERATE => {
+                drain_tasks(shared, &mut ws);
+                // Worker probe gauges are discarded like worker emit
+                // spans: their wall time overlaps, and the coordinator
+                // books its own share.
+                let _ = ws.take_probes();
+            }
             _ => drain_resolve(shared, &mut ws),
         }
         shared.barrier.wait();

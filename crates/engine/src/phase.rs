@@ -66,14 +66,16 @@
 use std::ops::ControlFlow;
 use std::time::Instant;
 
-use nuchase_model::hash::{hash_atom, hash_terms};
+use nuchase_model::hash::{hash_atom, hash_terms, PREFETCH_DIST};
 use nuchase_model::plan::{delta_windows, Scratch};
 use nuchase_model::{
     AtomIdx, BatchScratch, BindingBlock, IndexDelta, Instance, NullId, PredId, ProbeHint, RuleId,
     Term, Tgd, TgdSet, VarId,
 };
 
-use crate::chase::{ApplyPath, BatchEnum, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
+use crate::chase::{
+    ApplyPath, BatchEnum, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, ProbeFlow,
+};
 use crate::dedup::TermTupleSet;
 use crate::forest::Forest;
 use crate::nulls::NullStore;
@@ -202,12 +204,24 @@ pub struct WorkerScratch {
     atom_buf: Vec<Term>,
     /// Resolve stage: activeness seed buffer (restricted chase).
     seed_buf: Vec<Option<Term>>,
+    /// Fused path: the per-trigger probe queue's instantiated head
+    /// terms, one flat arena (offsets in `head_meta`).
+    head_flat: Vec<Term>,
+    /// Fused path: `(start into head_flat, atom hash)` per head atom.
+    head_meta: Vec<(u32, u64)>,
 }
 
 impl WorkerScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Drains the probe-locality gauges the batch collectors accumulated
+    /// here since the last drain (see [`ProbeFlow`]); the round drivers
+    /// fold the result into [`ChaseStats::note_probe_flow`].
+    pub fn take_probes(&mut self) -> ProbeFlow {
+        std::mem::take(&mut self.emit_scratch.flow)
     }
 }
 
@@ -219,8 +233,19 @@ struct EmitScratch {
     keys_flat: Vec<Term>,
     /// One [`hash_terms`] result per row.
     hash_buf: Vec<u64>,
-    /// Rows that survived the fired-set probe, in row order.
+    /// Rows that survived the unit-local dedup, in row order.
     surv: Vec<u32>,
+    /// Per-row accept flags out of [`TermTupleSet::insert_batch`].
+    accept: Vec<bool>,
+    /// Survivor keys gathered row-major for the fired-set batch probe.
+    gkeys: Vec<Term>,
+    /// Survivor hashes, parallel to `gkeys` rows.
+    ghash: Vec<u64>,
+    /// Per-survivor presence flags out of [`TermTupleSet::locate_batch`].
+    present: Vec<bool>,
+    /// Probe-locality gauges accumulated across blocks
+    /// ([`WorkerScratch::take_probes`] drains them).
+    flow: ProbeFlow,
 }
 
 /// One unit of enumerate-phase work: run one pivot stage of one rule's
@@ -431,6 +456,11 @@ fn block_collector<'a>(
             keys_flat,
             hash_buf,
             surv,
+            accept,
+            gkeys,
+            ghash,
+            present,
+            flow,
         } = es;
         // Pass 1: gather every row's trigger key (column-wise, one
         // sequential sweep per key variable) and hash it once — pure
@@ -455,32 +485,31 @@ fn block_collector<'a>(
         // through the small, cache-hot task-local table and saves the
         // big-table `fired` probe for first occurrences only — in a
         // saturated wide round almost every row is an intra-round
-        // duplicate.
-        // Running a fixed distance ahead with a prefetch hint overlaps
-        // the probes' random-access misses (the hashes for the whole
-        // block are already in hand).
-        const PREFETCH_AHEAD: usize = 8;
+        // duplicate. The batched insert bins rows by table partition and
+        // runs a fixed prefetch distance ahead inside each bin, so the
+        // probes' random-access misses overlap; the per-row accept flags
+        // come back in original row order, so the accept sequence is the
+        // scalar loop's exactly.
+        flow.batched_probes += dedup.insert_batch(kf, k, hash_buf, accept);
+        flow.queue_depth = flow.queue_depth.max(PREFETCH_DIST.min(rows));
         surv.clear();
-        for (row, key) in kf.chunks_exact(k).enumerate() {
-            if let Some(&ahead) = hash_buf.get(row + PREFETCH_AHEAD) {
-                dedup.prefetch(ahead);
-            }
-            if dedup.insert_hashed(key, hash_buf[row]) {
-                surv.push(row as u32);
-            }
-        }
+        surv.extend((0..rows as u32).filter(|&row| accept[row as usize]));
         // Pass 3: first occurrences (few, once the chase saturates)
-        // probe the frozen fired set in row order — preserving the
-        // per-trigger path's exact accept sequence — and materialize
-        // into the batch.
-        for (i, &row) in surv.iter().enumerate() {
-            if let Some(&ahead) = surv.get(i + PREFETCH_AHEAD) {
-                fired.prefetch(hash_buf[ahead as usize]);
-            }
+        // probe the frozen fired set — gathered into a dense survivor
+        // batch so the binned probe pass touches only live rows — and
+        // materialize the misses into the batch in row order, preserving
+        // the per-trigger path's exact accept sequence.
+        gkeys.clear();
+        ghash.clear();
+        for &row in surv.iter() {
             let row = row as usize;
-            let key = &kf[row * k..(row + 1) * k];
-            if !fired.contains_hashed(key, hash_buf[row]) {
-                block.read_row(row, row_buf);
+            gkeys.extend_from_slice(&kf[row * k..(row + 1) * k]);
+            ghash.push(hash_buf[row]);
+        }
+        flow.batched_probes += fired.locate_batch(gkeys, k, ghash, present);
+        for (i, &row) in surv.iter().enumerate() {
+            if !present[i] {
+                block.read_row(row as usize, row_buf);
                 batch.push_terms(rule, row_buf);
             }
         }
@@ -1456,10 +1485,10 @@ pub fn resolved_apply_path(config: &ChaseConfig) -> ApplyPath {
     if config.apply_path != ApplyPath::Auto {
         return config.apply_path;
     }
-    match std::env::var("NUCHASE_FORCE_PIPELINE").ok().as_deref() {
-        Some("1") | Some("true") => ApplyPath::Pipeline,
-        Some("0") | Some("false") => ApplyPath::Fused,
-        _ => ApplyPath::Auto,
+    match crate::config::env_switch("NUCHASE_FORCE_PIPELINE") {
+        Some(true) => ApplyPath::Pipeline,
+        Some(false) => ApplyPath::Fused,
+        None => ApplyPath::Auto,
     }
 }
 
@@ -1473,18 +1502,14 @@ pub fn resolved_batch_enum(config: &ChaseConfig) -> BatchEnum {
     if config.batch_enum != BatchEnum::Auto {
         return config.batch_enum;
     }
-    match std::env::var("NUCHASE_FORCE_BATCH_ENUM").ok().as_deref() {
-        Some("1") | Some("true") => BatchEnum::On,
-        Some("0") | Some("false") => BatchEnum::Off,
-        _ => BatchEnum::Auto,
+    match crate::config::env_switch("NUCHASE_FORCE_BATCH_ENUM") {
+        Some(true) => BatchEnum::On,
+        Some(false) => BatchEnum::Off,
+        None => BatchEnum::Auto,
     }
 }
 
-/// Parses a `NUCHASE_*` numeric override; unset or unparseable reads
-/// fall back to the config value.
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.parse().ok()
-}
+use crate::config::env_usize;
 
 /// The effective fused-delta ceiling of a run:
 /// `NUCHASE_FUSED_DELTA_MAX` when set, else
@@ -1523,7 +1548,7 @@ pub fn resolved_telemetry(config: &ChaseConfig) -> TelemetryLevel {
     if config.telemetry != TelemetryLevel::Off {
         return config.telemetry;
     }
-    match std::env::var("NUCHASE_TELEMETRY").ok().as_deref() {
+    match crate::config::env_str("NUCHASE_TELEMETRY").as_deref() {
         Some("counters") => TelemetryLevel::Counters,
         Some("full") => TelemetryLevel::Full,
         _ => TelemetryLevel::Off,
@@ -1645,6 +1670,15 @@ pub fn apply_fused<'a>(
                         t
                     }));
                 let h = hash_terms(&ws.key_buf);
+                // Queue the trigger's downstream probes before the
+                // fired-set walk: the null-intern slot hashes derive
+                // from the key hash alone, so their misses overlap the
+                // fired probe's (the fused probe queue, part 1).
+                if config.variant != ChaseVariant::Restricted {
+                    for &z in tgd.existentials() {
+                        state.nulls.prefetch_intern(rule, z, h);
+                    }
+                }
                 if !fired[rule.index()].insert_hashed(&ws.key_buf, h) {
                     continue;
                 }
@@ -1744,6 +1778,30 @@ fn fire_trigger(
     }
     stats.triggers_fired += 1;
 
+    // The fused probe queue, part 2: instantiate and hash every head
+    // atom up front and queue a prefetch of its dedup-probe line, so a
+    // multi-atom head's instance-table misses overlap each other (and
+    // the forest/provenance image lookups below). Pure reordering of
+    // per-atom compute — the probes themselves still run against the
+    // live instance, in head order, in the loop below.
+    ws.head_flat.clear();
+    ws.head_meta.clear();
+    for head_atom in tgd.head() {
+        instantiate_into(head_atom, &ws.mu, &mut ws.atom_buf);
+        let hash = hash_atom(head_atom.pred, &ws.atom_buf);
+        ws.head_meta.push((ws.head_flat.len() as u32, hash));
+        ws.head_flat.extend_from_slice(&ws.atom_buf);
+        instance.prefetch_probe(hash);
+    }
+    let queued = ws.head_meta.len()
+        + if key_hash.is_some() && !restricted {
+            tgd.existentials().len()
+        } else {
+            0
+        };
+    stats.batched_probes += queued;
+    stats.prefetch_queue_depth = stats.prefetch_queue_depth.max(queued);
+
     let parent = if state.forest.is_some() {
         tgd.guard().and_then(|g| {
             instantiate_into(g, &ws.mu, &mut ws.atom_buf);
@@ -1768,13 +1826,17 @@ fn fire_trigger(
 
     let max_atoms = config.budget.max_atoms;
     let mut stop = None;
-    for head_atom in tgd.head() {
-        instantiate_into(head_atom, &ws.mu, &mut ws.atom_buf);
-        let hash = hash_atom(head_atom.pred, &ws.atom_buf);
+    for (i, head_atom) in tgd.head().iter().enumerate() {
+        let (start, hash) = ws.head_meta[i];
+        let end = ws
+            .head_meta
+            .get(i + 1)
+            .map_or(ws.head_flat.len(), |&(s, _)| s as usize);
+        let args = &ws.head_flat[start as usize..end];
         // Dedup probe and insert fused into one walk: the hint from the
         // locate is the insert's resumption point.
-        if let Err(hint) = instance.locate_terms_hashed(head_atom.pred, &ws.atom_buf, hash) {
-            let idx = instance.insert_new_terms_hinted(head_atom.pred, &ws.atom_buf, hash, hint);
+        if let Err(hint) = instance.locate_terms_hashed(head_atom.pred, args, hash) {
+            let idx = instance.insert_new_terms_hinted(head_atom.pred, args, hash, hint);
             if let Some(f) = state.forest.as_mut() {
                 f.push_child(idx, parent);
             }
@@ -1796,6 +1858,85 @@ fn fire_trigger(
         );
     }
     stop
+}
+
+/// Issues next-round probe prefetches for the atoms a chain trigger
+/// just appended (`window` is `[created_from, len)`). Each new atom is
+/// unified against every rule's single body pattern — the same walk
+/// [`fused_chain_round`] will run next round — and the resulting
+/// trigger-key hash warms the fired-set partition and null-intern
+/// partition that key will probe. Pure hint issuance: a wasted or wrong
+/// prefetch has no architectural effect, so byte-identity is free. The
+/// duplicated unify+hash is bounded by the window cap (chain triggers
+/// append one or two atoms; wide fused firings skip the speculation).
+#[allow(clippy::too_many_arguments)]
+fn prefetch_next_chain_round(
+    tgds: &TgdSet,
+    config: &ChaseConfig,
+    instance: &Instance,
+    fired: &[TermTupleSet],
+    state: &ApplyState,
+    ws: &mut WorkerScratch,
+    window: (AtomIdx, AtomIdx),
+    stats: &mut ChaseStats,
+) {
+    const SPECULATE_MAX: AtomIdx = 8;
+    if window.1 - window.0 > SPECULATE_MAX {
+        return;
+    }
+    let mut queued = 0usize;
+    for idx in window.0..window.1 {
+        for (nrule, ntgd) in tgds.iter() {
+            let pattern = &ntgd.body()[0];
+            if instance.pred_of(idx) != pattern.pred {
+                continue;
+            }
+            let atom = instance.atom(idx);
+            ws.mu.clear();
+            ws.mu
+                .extend((0..ntgd.body_plan().var_count()).map(|i| Term::Var(VarId(i))));
+            let mut ok = true;
+            for (&pt, &at) in pattern.args.iter().zip(atom.args.iter()) {
+                match pt {
+                    Term::Var(v) => {
+                        let slot = &mut ws.mu[v.index()];
+                        if slot.is_var() {
+                            *slot = at;
+                        } else if *slot != at {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    ground => {
+                        if ground != at {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            ws.key_buf.clear();
+            ws.key_buf.extend(
+                key_vars(ntgd, config.variant)
+                    .iter()
+                    .map(|v| ws.mu[v.index()]),
+            );
+            let khash = hash_terms(&ws.key_buf);
+            fired[nrule.index()].prefetch(khash);
+            queued += 1;
+            if config.variant != ChaseVariant::Restricted {
+                for &z in ntgd.existentials() {
+                    state.nulls.prefetch_intern(nrule, z, khash);
+                    queued += 1;
+                }
+            }
+        }
+    }
+    stats.batched_probes += queued;
+    stats.prefetch_queue_depth = stats.prefetch_queue_depth.max(queued);
 }
 
 /// Is every rule body a single atom? The gate for the chain micro-round
@@ -1852,6 +1993,15 @@ pub fn fused_chain_round(
     let mut any = false;
     let mut stopped: Option<ChaseOutcome> = None;
     let timed = state.sample_rule_timing();
+    // Cross-round software pipelining: the atoms a chain trigger creates
+    // ARE the next round's delta window, so their trigger keys — and
+    // the fired-set / null-intern lines those keys will probe — are
+    // computable a full round ahead. Issuing the prefetches here gives
+    // the misses the whole remaining round (bookkeeping, window
+    // patching, budget checks) of distance instead of the few
+    // nanoseconds the in-round queue manages. Off with the linear
+    // layout: `NUCHASE_FORCE_BUCKET_LAYOUT=0` reverts the whole tier.
+    let pipelined = fired.first().is_some_and(|f| f.bucketized());
     for (rule, tgd) in tgds.iter() {
         let rule_mark = timed.then(Instant::now);
         let mut rule_considered = 0usize;
@@ -1902,11 +2052,33 @@ pub fn fused_chain_round(
             ws.key_buf.clear();
             ws.key_buf.extend(keys.iter().map(|v| ws.mu[v.index()]));
             let khash = hash_terms(&ws.key_buf);
+            // Chain rounds are bound by three serialized random probes
+            // (fired insert → null intern → instance probe); the null
+            // slot's hash derives from the key hash alone, so queueing
+            // its prefetch here overlaps its miss with the fired walk.
+            if config.variant != ChaseVariant::Restricted {
+                for &z in tgd.existentials() {
+                    state.nulls.prefetch_intern(rule, z, khash);
+                }
+            }
             if !fired[rule.index()].insert_hashed(&ws.key_buf, khash) {
                 continue;
             }
             any = true;
+            let created_from = instance.len() as AtomIdx;
             stopped = fire_trigger(config, instance, state, ws, rule, tgd, Some(khash), stats);
+            if pipelined && stopped.is_none() {
+                prefetch_next_chain_round(
+                    tgds,
+                    config,
+                    instance,
+                    fired,
+                    state,
+                    ws,
+                    (created_from, instance.len() as AtomIdx),
+                    stats,
+                );
+            }
         }
         considered += rule_considered;
         state.note_considered(rule, rule_considered);

@@ -971,6 +971,7 @@ fn run_rounds_sequential(
             }
         }
         driver.note_emit(emit);
+        stats.note_probe_flow(driver.ws.take_probes());
         driver.lap_enumerate(stats);
         if driver.batch.is_empty() {
             core.apply.record_round(
@@ -1113,6 +1114,7 @@ fn run_rounds_tasked(
             }
         }
         driver.note_emit(emit);
+        stats.note_probe_flow(driver.ws.take_probes());
         driver.lap_enumerate(stats);
         if driver.batch.is_empty() {
             core.apply.record_round(

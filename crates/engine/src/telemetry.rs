@@ -186,12 +186,7 @@ pub struct RoundEvent {
 /// `NUCHASE_TELEMETRY_RING`.
 pub const RING_CAPACITY: usize = 4096;
 
-fn env_usize(var: &str, default: usize) -> usize {
-    match std::env::var(var) {
-        Ok(v) => v.trim().parse().unwrap_or(default),
-        Err(_) => default,
-    }
-}
+use crate::config::env_usize_or as env_usize;
 
 /// The in-run collector. Owned by the engine's apply state; `None` when
 /// telemetry is [`TelemetryLevel::Off`], so disabled runs pay one
@@ -228,10 +223,8 @@ impl Telemetry {
     /// ring capacity and stride from the environment.
     pub fn new(level: TelemetryLevel) -> Self {
         debug_assert!(level.enabled());
-        let explicit_stride = std::env::var("NUCHASE_TELEMETRY_STRIDE")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .map(|s| s.max(1));
+        let explicit_stride =
+            crate::config::env_usize("NUCHASE_TELEMETRY_STRIDE").map(|s| s.max(1));
         Telemetry {
             level,
             rules: Vec::new(),

@@ -12,6 +12,7 @@
 //! resistance is irrelevant here.
 
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::symbols::PredId;
 use crate::term::Term;
@@ -57,6 +58,107 @@ pub fn hash_terms(terms: &[Term]) -> u64 {
     h ^ (h >> 32)
 }
 
+/// Probe-order layouts of a [`TagTable`] (selectable per table; the
+/// process default is [`TableLayout::Bucketized`] unless the
+/// `NUCHASE_FORCE_BUCKET_LAYOUT` environment variable or
+/// [`set_table_layout`] says otherwise).
+///
+/// Both layouts store the same packed slots; only the traversal order
+/// differs, so the choice is unobservable through the table's API (the
+/// chase's byte-identity suites sweep it forced on and off to prove
+/// that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableLayout {
+    /// Classic linear probing: start at `hash & mask`, step one slot at
+    /// a time. A probe that starts in the last lane of a cache line
+    /// pays a second line on the very next step.
+    Linear,
+    /// Cache-line-bucketized probing: the low hash bits pick a 64-byte
+    /// line (8 slots) and the probe scans all of its lanes before
+    /// moving to the next line, so a probe resolves within one line
+    /// unless that entire line is full.
+    Bucketized,
+}
+
+/// Slots per 64-byte cache line (the bucket width of
+/// [`TableLayout::Bucketized`]).
+pub const LANES: usize = 8;
+
+/// The distance batched probes run their software prefetch ahead of the
+/// probe loop (see `TermTupleSet::insert_batch` in the engine crate).
+/// Eight keeps ~8 independent line fetches in flight — enough to cover
+/// a DRAM miss at these probe costs without thrashing L1.
+pub const PREFETCH_DIST: usize = 8;
+
+/// Number of hash partitions used by partitioned table wrappers (the
+/// engine's fired set and null-intern store): a power of two, small
+/// enough that per-partition bookkeeping stays negligible, large enough
+/// that a binned batch walks tables a quarter the size.
+pub const PARTITIONS: usize = 4;
+
+/// The partition a hash routes to. Bits 28..30 sit above any realistic
+/// bucket-index range (a table would need billions of slots to consume
+/// them) and below the 32-bit tag, so partitioning stays independent of
+/// both within-table probe order and tag verification.
+#[inline]
+pub fn partition(hash: u64) -> usize {
+    ((hash >> 28) as usize) & (PARTITIONS - 1)
+}
+
+/// One 64-byte-aligned line of 8 packed slots. Alignment guarantees a
+/// bucketized probe touches exactly one cache line per bucket.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct CacheLine([u64; LANES]);
+
+const EMPTY_LINE: CacheLine = CacheLine([EMPTY_SLOT; LANES]);
+
+/// Process-wide default layout for newly created tables:
+/// 0 = unresolved (consult the environment once), 1 = linear,
+/// 2 = bucketized.
+static DEFAULT_LAYOUT: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the process default [`TableLayout`] for tables created
+/// afterwards. The in-process hook behind the byte-identity sweeps;
+/// normal runs leave the default alone (bucketized, or whatever
+/// `NUCHASE_FORCE_BUCKET_LAYOUT` forces).
+pub fn set_table_layout(layout: TableLayout) {
+    DEFAULT_LAYOUT.store(
+        match layout {
+            TableLayout::Linear => 1,
+            TableLayout::Bucketized => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The layout newly created tables will use.
+pub fn default_table_layout() -> TableLayout {
+    match DEFAULT_LAYOUT.load(Ordering::Relaxed) {
+        1 => TableLayout::Linear,
+        2 => TableLayout::Bucketized,
+        _ => {
+            // First touch: resolve NUCHASE_FORCE_BUCKET_LAYOUT (`0` or
+            // `false` forces linear, `1`/`true` or unset means
+            // bucketized; anything else warns once and keeps the
+            // default). Racing first touches resolve identically.
+            let layout = match std::env::var("NUCHASE_FORCE_BUCKET_LAYOUT").ok().as_deref() {
+                Some("0") | Some("false") => TableLayout::Linear,
+                Some("1") | Some("true") | None => TableLayout::Bucketized,
+                Some(other) => {
+                    eprintln!(
+                        "nuchase: ignoring malformed NUCHASE_FORCE_BUCKET_LAYOUT={other:?} \
+                         (expected 0/1/true/false); using the bucketized layout"
+                    );
+                    TableLayout::Bucketized
+                }
+            };
+            set_table_layout(layout);
+            layout
+        }
+    }
+}
+
 /// A grow-only open-addressing index shared by the workspace's
 /// arena-backed stores (instance dedup, trigger-key sets, null
 /// interning).
@@ -64,7 +166,9 @@ pub fn hash_terms(terms: &[Term]) -> u64 {
 /// The table stores no keys itself — only `(hash tag, ordinal)` slots
 /// packing the high 32 hash bits as a cheap rejection tag, so a probe
 /// touches a single cache line before the caller's authoritative
-/// verification runs against its own arena. Invariants the callers rely
+/// verification runs against its own arena. Slots live in 64-byte
+/// aligned cache lines; the probe order over them is the table's
+/// [`TableLayout`] (fixed at creation). Invariants the callers rely
 /// on (and must preserve):
 ///
 /// * **grow before probing for insertion** — [`TagTable::reserve_one`]
@@ -73,12 +177,23 @@ pub fn hash_terms(terms: &[Term]) -> u64 {
 ///   slot index;
 /// * **collision safety** — a tag match is never trusted; the `eq`
 ///   closure must compare the real key;
-/// * load factor stays below ¾; no deletions, so linear probing needs no
-///   tombstones.
-#[derive(Debug, Default, Clone)]
+/// * load factor stays below ¾; no deletions, so neither probe order
+///   needs tombstones.
+#[derive(Debug, Clone)]
 pub struct TagTable {
-    slots: Vec<u64>,
+    lines: Vec<CacheLine>,
     len: usize,
+    bucketized: bool,
+}
+
+impl Default for TagTable {
+    fn default() -> Self {
+        TagTable {
+            lines: Vec::new(),
+            len: 0,
+            bucketized: default_table_layout() == TableLayout::Bucketized,
+        }
+    }
 }
 
 const EMPTY_SLOT: u64 = u64::MAX;
@@ -98,9 +213,28 @@ pub enum TagProbe {
 }
 
 impl TagTable {
-    /// Creates an empty table.
+    /// Creates an empty table with the process-default [`TableLayout`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table with an explicit probe layout (tests and
+    /// benchmarks; production tables take the process default).
+    pub fn with_layout(layout: TableLayout) -> Self {
+        TagTable {
+            lines: Vec::new(),
+            len: 0,
+            bucketized: layout == TableLayout::Bucketized,
+        }
+    }
+
+    /// The probe order this table was created with.
+    pub fn layout(&self) -> TableLayout {
+        if self.bucketized {
+            TableLayout::Bucketized
+        } else {
+            TableLayout::Linear
+        }
     }
 
     /// Number of stored entries.
@@ -113,6 +247,11 @@ impl TagTable {
         self.len == 0
     }
 
+    #[inline]
+    fn slot_at(&self, i: usize) -> u64 {
+        self.lines[i >> 3].0[i & 7]
+    }
+
     /// Probes for an entry with the given hash, verifying candidates via
     /// `eq` (called with the stored ordinal).
     ///
@@ -122,35 +261,67 @@ impl TagTable {
     /// bounds. Use [`TagTable::find`] for read-only lookups.
     #[inline]
     pub fn probe(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> TagProbe {
-        let mask = self.slots.len() - 1;
         let tag = hash >> 32;
-        let mut i = (hash as usize) & mask;
-        loop {
-            let slot = self.slots[i];
-            if slot == EMPTY_SLOT {
-                return TagProbe::Vacant(i);
+        if self.bucketized {
+            let lmask = self.lines.len() - 1;
+            let mut g = (hash as usize) & lmask;
+            // Ring scan from a hash-derived start slot: entries with
+            // different hashes sharing a line start at different slots,
+            // so a hit usually lands on its first comparison (as in the
+            // linear layout) while the traversal still touches at most
+            // one line per eight probes. Bits 25.. are disjoint from
+            // the line index (low bits), the partition (28..), and the
+            // tag (32..) at every realistic capacity.
+            let s = ((hash >> 25) as usize) & 7;
+            loop {
+                let line = &self.lines[g].0;
+                for dk in 0..LANES {
+                    let k = (s + dk) & 7;
+                    let slot = line[k];
+                    if slot == EMPTY_SLOT {
+                        return TagProbe::Vacant((g << 3) | k);
+                    }
+                    if slot >> 32 == tag && eq(slot as u32) {
+                        return TagProbe::Found(slot as u32);
+                    }
+                }
+                g = (g + 1) & lmask;
             }
-            if slot >> 32 == tag && eq(slot as u32) {
-                return TagProbe::Found(slot as u32);
+        } else {
+            let mask = (self.lines.len() << 3) - 1;
+            let mut i = (hash as usize) & mask;
+            loop {
+                let slot = self.slot_at(i);
+                if slot == EMPTY_SLOT {
+                    return TagProbe::Vacant(i);
+                }
+                if slot >> 32 == tag && eq(slot as u32) {
+                    return TagProbe::Found(slot as u32);
+                }
+                i = (i + 1) & mask;
             }
-            i = (i + 1) & mask;
         }
     }
 
-    /// Hints the CPU to fetch the slot line where a probe for `hash`
-    /// would start. The batch emit pass runs a fixed distance ahead of
-    /// its probe loop with this, so the table's random-access misses
-    /// overlap instead of serializing. Purely a hint — safe at any
-    /// capacity, compiles to nothing off x86-64.
+    /// Hints the CPU to fetch the cache line where a probe for `hash`
+    /// would start. The batch emit pass runs a fixed distance
+    /// ([`PREFETCH_DIST`]) ahead of its probe loop with this, so the
+    /// table's random-access misses overlap instead of serializing.
+    /// Purely a hint — safe at any capacity, compiles to nothing off
+    /// x86-64.
     #[inline]
     pub fn prefetch(&self, hash: u64) {
         #[cfg(target_arch = "x86_64")]
-        if !self.slots.is_empty() {
-            let i = (hash as usize) & (self.slots.len() - 1);
-            // SAFETY: `i` is in bounds and prefetch dereferences nothing.
+        if !self.lines.is_empty() {
+            let g = if self.bucketized {
+                (hash as usize) & (self.lines.len() - 1)
+            } else {
+                ((hash as usize) & ((self.lines.len() << 3) - 1)) >> 3
+            };
+            // SAFETY: `g` is in bounds and prefetch dereferences nothing.
             unsafe {
                 std::arch::x86_64::_mm_prefetch(
-                    self.slots.as_ptr().add(i).cast::<i8>(),
+                    self.lines.as_ptr().add(g).cast::<i8>(),
                     std::arch::x86_64::_MM_HINT_T0,
                 );
             }
@@ -161,7 +332,7 @@ impl TagTable {
 
     /// Read-only lookup (safe on an empty table).
     pub fn find(&self, hash: u64, eq: impl FnMut(u32) -> bool) -> Option<u32> {
-        if self.slots.is_empty() {
+        if self.lines.is_empty() {
             return None;
         }
         match self.probe(hash, eq) {
@@ -177,7 +348,7 @@ impl TagTable {
     /// instead of re-walking the probe chain — the chase resolve stage
     /// probes the snapshot, and the commit stage reuses the walk.
     pub fn locate(&self, hash: u64, eq: impl FnMut(u32) -> bool) -> TagProbe {
-        if self.slots.is_empty() {
+        if self.lines.is_empty() {
             return TagProbe::Vacant(0);
         }
         self.probe(hash, eq)
@@ -188,25 +359,53 @@ impl TagTable {
     /// intervening rehash; check [`TagTable::slot_count`]): entries are
     /// never moved or deleted, so the chain prefix before `start` is
     /// immutable and need not be re-walked. Later insertions can only
-    /// have landed at or after `start` in the chain.
+    /// have landed at or after `start` in the probe order (both layouts
+    /// insert into the first vacant slot of the same traversal).
     ///
     /// # Panics
     /// Same contract as [`TagTable::probe`]: the table must have spare
     /// capacity.
     #[inline]
     pub fn probe_at(&self, start: usize, hash: u64, mut eq: impl FnMut(u32) -> bool) -> TagProbe {
-        let mask = self.slots.len() - 1;
         let tag = hash >> 32;
-        let mut i = start & mask;
-        loop {
-            let slot = self.slots[i];
-            if slot == EMPTY_SLOT {
-                return TagProbe::Vacant(i);
+        if self.bucketized {
+            let lmask = self.lines.len() - 1;
+            let start = start & ((self.lines.len() << 3) - 1);
+            let s = ((hash >> 25) as usize) & 7;
+            let mut g = start >> 3;
+            // Resume position within the line's ring scan: the hash
+            // gives the ring's start slot, so `(k - s) & 7` recovers
+            // how far into the ring the handed-back slot sits.
+            let mut dk = (start & 7).wrapping_sub(s) & 7;
+            loop {
+                let line = &self.lines[g].0;
+                while dk < LANES {
+                    let k = (s + dk) & 7;
+                    let slot = line[k];
+                    if slot == EMPTY_SLOT {
+                        return TagProbe::Vacant((g << 3) | k);
+                    }
+                    if slot >> 32 == tag && eq(slot as u32) {
+                        return TagProbe::Found(slot as u32);
+                    }
+                    dk += 1;
+                }
+                g = (g + 1) & lmask;
+                dk = 0;
             }
-            if slot >> 32 == tag && eq(slot as u32) {
-                return TagProbe::Found(slot as u32);
+        } else {
+            let mask = (self.lines.len() << 3) - 1;
+            let mut i = start & mask;
+            loop {
+                let slot = self.slot_at(i);
+                if slot == EMPTY_SLOT {
+                    return TagProbe::Vacant(i);
+                }
+                if slot >> 32 == tag && eq(slot as u32) {
+                    return TagProbe::Found(slot as u32);
+                }
+                i = (i + 1) & mask;
             }
-            i = (i + 1) & mask;
         }
     }
 
@@ -214,35 +413,65 @@ impl TagTable {
     /// condition of [`TagTable::reserve_one`].)
     #[inline]
     pub fn insert_would_grow(&self) -> bool {
-        (self.len + 1) * 4 >= self.slots.len() * 3
+        (self.len + 1) * 4 >= (self.lines.len() << 3) * 3
+    }
+
+    /// Places `packed` into the first vacant slot of the probe order for
+    /// `hash` — the rehash half of [`TagTable::reserve_one`].
+    fn place(lines: &mut [CacheLine], bucketized: bool, hash: u64, packed: u64) {
+        if bucketized {
+            let lmask = lines.len() - 1;
+            let mut g = (hash as usize) & lmask;
+            let s = ((hash >> 25) as usize) & 7;
+            loop {
+                let line = &mut lines[g].0;
+                for dk in 0..LANES {
+                    let k = (s + dk) & 7;
+                    if line[k] == EMPTY_SLOT {
+                        line[k] = packed;
+                        return;
+                    }
+                }
+                g = (g + 1) & lmask;
+            }
+        } else {
+            let mask = (lines.len() << 3) - 1;
+            let mut i = (hash as usize) & mask;
+            while lines[i >> 3].0[i & 7] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            lines[i >> 3].0[i & 7] = packed;
+        }
     }
 
     /// Ensures capacity for one more entry, rehashing the stored entries
     /// if needed. `hashes[ordinal]` must be each stored entry's hash.
     pub fn reserve_one(&mut self, hashes: &[u64]) {
         if self.insert_would_grow() {
-            let new_cap = (self.slots.len() * 2).max(16);
-            let mut slots = vec![EMPTY_SLOT; new_cap];
-            let mask = new_cap - 1;
-            for &slot in &self.slots {
-                if slot != EMPTY_SLOT {
-                    let hash = hashes[(slot as u32) as usize];
-                    let mut i = (hash as usize) & mask;
-                    while slots[i] != EMPTY_SLOT {
-                        i = (i + 1) & mask;
+            let new_lines = (self.lines.len() * 2).max(2);
+            let mut lines = vec![EMPTY_LINE; new_lines];
+            for line in &self.lines {
+                for &slot in &line.0 {
+                    if slot != EMPTY_SLOT {
+                        let hash = hashes[(slot as u32) as usize];
+                        Self::place(
+                            &mut lines,
+                            self.bucketized,
+                            hash,
+                            pack_slot(hash, slot as u32),
+                        );
                     }
-                    slots[i] = pack_slot(hash, slot as u32);
                 }
             }
-            self.slots = slots;
+            self.lines = lines;
         }
     }
 
     /// Fills the vacant slot returned by a preceding [`TagTable::probe`]
     /// (with no intervening `reserve_one`).
     pub fn fill(&mut self, vacant: usize, hash: u64, ordinal: u32) {
-        debug_assert_eq!(self.slots[vacant], EMPTY_SLOT);
-        self.slots[vacant] = pack_slot(hash, ordinal);
+        debug_assert_eq!(self.slot_at(vacant), EMPTY_SLOT);
+        self.lines[vacant >> 3].0[vacant & 7] = pack_slot(hash, ordinal);
         self.len += 1;
     }
 
@@ -251,7 +480,7 @@ impl TagTable {
     /// parallel executor). O(capacity); when the caller has tracked the
     /// filled slots, [`TagTable::clear_sparse`] is O(entries) instead.
     pub fn clear(&mut self) {
-        self.slots.fill(EMPTY_SLOT);
+        self.lines.fill(EMPTY_LINE);
         self.len = 0;
     }
 
@@ -262,30 +491,33 @@ impl TagTable {
     /// remain).
     pub fn clear_sparse(&mut self, touched: &[u32]) {
         for &i in touched {
-            self.slots[i as usize] = EMPTY_SLOT;
+            self.lines[(i >> 3) as usize].0[(i & 7) as usize] = EMPTY_SLOT;
         }
         self.len = 0;
-        debug_assert!(self.slots.iter().all(|&s| s == EMPTY_SLOT));
+        debug_assert!(self
+            .lines
+            .iter()
+            .all(|l| l.0.iter().all(|&s| s == EMPTY_SLOT)));
     }
 
     /// The current slot capacity (callers use a change in this value to
     /// detect a rehash, which scatters entries to untracked slots).
     pub fn slot_count(&self) -> usize {
-        self.slots.len()
+        self.lines.len() << 3
     }
 
     /// Heap bytes held by the slot array (memory accounting).
     pub fn heap_bytes(&self) -> usize {
-        self.slots.capacity() * std::mem::size_of::<u64>()
+        self.lines.capacity() * std::mem::size_of::<CacheLine>()
     }
 
     /// Load factor: entries / slots (0 on an empty table; below ¾ by
     /// the growth policy).
     pub fn load_factor(&self) -> f64 {
-        if self.slots.is_empty() {
+        if self.lines.is_empty() {
             0.0
         } else {
-            self.len as f64 / self.slots.len() as f64
+            self.len as f64 / self.slot_count() as f64
         }
     }
 }
@@ -377,5 +609,76 @@ mod tests {
         let mut m: FxHashMap<Term, u32> = FxHashMap::default();
         m.insert(Term::Const(ConstId(3)), 7);
         assert_eq!(m.get(&Term::Const(ConstId(3))), Some(&7));
+    }
+
+    /// Drives a table through insert / find / clear_sparse cycles and a
+    /// rehash, checking membership against a reference map.
+    fn exercise_layout(layout: TableLayout) {
+        let mut table = TagTable::with_layout(layout);
+        assert_eq!(table.layout(), layout);
+        let mut hashes: Vec<u64> = Vec::new();
+        let key_hash = |k: u64| {
+            let h = fold(fold(0, 1), k);
+            h ^ (h >> 32)
+        };
+        let mut keys: Vec<u64> = Vec::new();
+        for k in 0..5_000u64 {
+            let h = key_hash(k);
+            table.reserve_one(&hashes);
+            match table.probe(h, |ord| keys[ord as usize] == k) {
+                TagProbe::Vacant(slot) => {
+                    let ord = keys.len() as u32;
+                    keys.push(k);
+                    hashes.push(h);
+                    table.fill(slot, h, ord);
+                }
+                TagProbe::Found(_) => panic!("key {k} inserted twice"),
+            }
+        }
+        assert_eq!(table.len(), 5_000);
+        assert!(table.load_factor() < 0.75);
+        for k in 0..6_000u64 {
+            let found = table.find(key_hash(k), |ord| keys[ord as usize] == k);
+            assert_eq!(found.is_some(), k < 5_000, "key {k}");
+            if let Some(ord) = found {
+                assert_eq!(keys[ord as usize], k);
+            }
+        }
+        // Hint resumption: locate a missing key, then fill its slot and
+        // re-probe from the hint — must find the new entry or a vacant
+        // slot further along, never a stale result.
+        let h = key_hash(99_999);
+        let TagProbe::Vacant(slot) = table.locate(h, |_| false) else {
+            panic!("missing key located as found");
+        };
+        table.reserve_one(&hashes);
+        // reserve_one may have rehashed; re-locate if capacity changed.
+        let slot = match table.probe_at(slot, h, |_| false) {
+            TagProbe::Vacant(s) => s,
+            TagProbe::Found(_) => unreachable!(),
+        };
+        keys.push(99_999);
+        hashes.push(h);
+        table.fill(slot, h, (keys.len() - 1) as u32);
+        assert!(table.find(h, |ord| keys[ord as usize] == 99_999).is_some());
+    }
+
+    #[test]
+    fn linear_layout_membership_survives_growth() {
+        exercise_layout(TableLayout::Linear);
+    }
+
+    #[test]
+    fn bucketized_layout_membership_survives_growth() {
+        exercise_layout(TableLayout::Bucketized);
+    }
+
+    #[test]
+    fn cache_lines_are_64_byte_aligned() {
+        assert_eq!(std::mem::size_of::<CacheLine>(), 64);
+        assert_eq!(std::mem::align_of::<CacheLine>(), 64);
+        let t = TagTable::with_layout(TableLayout::Bucketized);
+        assert_eq!(t.slot_count(), 0);
+        assert_eq!(t.heap_bytes(), 0);
     }
 }

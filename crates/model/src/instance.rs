@@ -46,9 +46,15 @@
 use std::ops::Deref;
 
 use crate::atom::{Atom, AtomRef};
+use crate::chunk::{ChunkedArena, SpillArena};
 use crate::hash::{hash_atom, term_code, FxHashMap, FxHashSet, TagProbe, TagTable};
-use crate::symbols::PredId;
+use crate::symbols::{ConstId, PredId};
 use crate::term::Term;
+
+/// Filler for chunk-boundary padding in the term pool. Pads sit in the
+/// gaps between atom ranges and are never reachable through an
+/// [`AtomRef`] (all iteration is per-atom-range).
+const PAD_TERM: Term = Term::Const(ConstId(0));
 
 /// Index of an atom within an [`Instance`] (insertion order).
 pub type AtomIdx = u32;
@@ -75,28 +81,26 @@ struct Postings {
 }
 
 impl Postings {
-    fn push(&mut self, idx: AtomIdx, spills: &mut Vec<Vec<AtomIdx>>) {
+    fn push(&mut self, idx: AtomIdx, spills: &mut SpillArena<AtomIdx>) {
         let n = self.len as usize;
         if n < POSTING_INLINE {
             self.inline[n] = idx;
         } else if n == POSTING_INLINE {
-            self.spill = spills.len() as u32;
-            let mut v = Vec::with_capacity(POSTING_INLINE * 4);
-            v.extend_from_slice(&self.inline);
-            v.push(idx);
-            spills.push(v);
+            let mut seed = [idx; POSTING_INLINE + 1];
+            seed[..POSTING_INLINE].copy_from_slice(&self.inline);
+            self.spill = spills.alloc(&seed);
         } else {
-            spills[self.spill as usize].push(idx);
+            spills.push(self.spill, idx);
         }
         self.len += 1;
     }
 
-    fn as_slice<'a>(&'a self, spills: &'a [Vec<AtomIdx>]) -> &'a [AtomIdx] {
+    fn as_slice<'a>(&'a self, spills: &'a SpillArena<AtomIdx>) -> &'a [AtomIdx] {
         let n = self.len as usize;
         if n <= POSTING_INLINE {
             &self.inline[..n]
         } else {
-            &spills[self.spill as usize]
+            spills.list(self.spill)
         }
     }
 }
@@ -132,7 +136,7 @@ const LANE_REBASE_MAX: u32 = 1024;
 
 impl DenseLane {
     #[inline]
-    fn slice<'a>(&'a self, id: u32, spills: &'a [Vec<AtomIdx>]) -> &'a [AtomIdx] {
+    fn slice<'a>(&'a self, id: u32, spills: &'a SpillArena<AtomIdx>) -> &'a [AtomIdx] {
         if id < self.base {
             return &[];
         }
@@ -158,8 +162,9 @@ struct PredIndex {
     /// one packed word, so the map hashes and compares a single `u64`.
     by_pos_term: FxHashMap<u64, Postings>,
     /// Spill arena for posting lists that outgrow their inline slots
-    /// (shared by lanes and overflow).
-    spills: Vec<Vec<AtomIdx>>,
+    /// (shared by lanes and overflow) — chunk-backed, so it can follow
+    /// the term pool out of core under `NUCHASE_INSTANCE_SPILL_DIR`.
+    spills: SpillArena<AtomIdx>,
 }
 
 /// The `(kind, id)` coordinates of a ground term in the lane space.
@@ -230,7 +235,7 @@ fn lane_push(
     id: u32,
     idx: AtomIdx,
     overflow: &mut FxHashMap<u64, Postings>,
-    spills: &mut Vec<Vec<AtomIdx>>,
+    spills: &mut SpillArena<AtomIdx>,
 ) {
     if lane.posts.is_empty() {
         lane.base = id;
@@ -318,21 +323,41 @@ fn pos_kind_id_key(position: u32, kind: usize, id: u32) -> u64 {
 }
 
 /// An indexed, deduplicated, append-only set of ground atoms, stored in an
-/// arena layout (flat argument pool + `(pred, range)` views).
-#[derive(Debug, Default, Clone)]
+/// arena layout (chunked argument pool + `(pred, range)` views).
+#[derive(Debug, Clone)]
 pub struct Instance {
     /// Predicate of atom `i`.
     preds: Vec<PredId>,
-    /// `offsets[i]..offsets[i+1]` is atom `i`'s argument range in `pool`.
-    offsets: Vec<u32>,
-    /// The flat argument pool.
-    pool: Vec<Term>,
+    /// Global start of atom `i`'s argument range in `pool`.
+    starts: Vec<u32>,
+    /// Global end (exclusive) of atom `i`'s argument range in `pool`.
+    /// Kept separately from `starts` because chunk-boundary padding can
+    /// leave a gap between one atom's end and the next one's start.
+    ends: Vec<u32>,
+    /// The argument pool: chunked so growth never copies stored tuples
+    /// and chunks can be file-backed (`NUCHASE_INSTANCE_SPILL_DIR`) for
+    /// beyond-RAM instances.
+    pool: ChunkedArena<Term>,
     /// Hash of atom `i` (memoized for dedup probing and table growth).
     hashes: Vec<u64>,
     /// Dedup table over all atoms.
     table: TagTable,
     /// Dense per-predicate index.
     by_pred: Vec<PredIndex>,
+}
+
+impl Default for Instance {
+    fn default() -> Self {
+        Instance {
+            preds: Vec::new(),
+            starts: Vec::new(),
+            ends: Vec::new(),
+            pool: ChunkedArena::new(PAD_TERM),
+            hashes: Vec::new(),
+            table: TagTable::default(),
+            by_pred: Vec::new(),
+        }
+    }
 }
 
 impl Instance {
@@ -454,10 +479,10 @@ impl Instance {
             self.table.reserve_one(&self.hashes);
         }
         let vacant = {
-            let (preds, offsets, pool) = (&self.preds, &self.offsets, &self.pool);
+            let (preds, starts, ends, pool) = (&self.preds, &self.starts, &self.ends, &self.pool);
             let eq = |idx: u32| {
                 let i = idx as usize;
-                preds[i] == pred && &pool[offsets[i] as usize..offsets[i + 1] as usize] == args
+                preds[i] == pred && pool.get(starts[i], ends[i] - starts[i]) == args
             };
             let probe = match hinted {
                 Some(h) => self.table.probe_at(h.slot as usize, hash, eq),
@@ -469,11 +494,9 @@ impl Instance {
             }
         };
         let idx = self.preds.len() as AtomIdx;
-        self.pool.extend_from_slice(args);
-        if self.offsets.is_empty() {
-            self.offsets.push(0);
-        }
-        self.offsets.push(self.pool.len() as u32);
+        let start = self.pool.push_slice(args);
+        self.starts.push(start);
+        self.ends.push(start + args.len() as u32);
         self.preds.push(pred);
         self.hashes.push(hash);
         self.table.fill(vacant, hash, idx);
@@ -535,11 +558,9 @@ impl Instance {
             TagProbe::Found(_) => unreachable!("probe eq is constant false"),
         };
         let idx = self.preds.len() as AtomIdx;
-        self.pool.extend_from_slice(args);
-        if self.offsets.is_empty() {
-            self.offsets.push(0);
-        }
-        self.offsets.push(self.pool.len() as u32);
+        let start = self.pool.push_slice(args);
+        self.starts.push(start);
+        self.ends.push(start + args.len() as u32);
         self.preds.push(pred);
         self.hashes.push(hash);
         self.table.fill(vacant, hash, idx);
@@ -561,8 +582,8 @@ impl Instance {
     pub fn splice_index(&mut self, delta: &mut IndexDelta) {
         for idx in delta.pending.drain(..) {
             let i = idx as usize;
-            let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
-            index_atom(&mut self.by_pred, idx, self.preds[i], &self.pool[range]);
+            let args = self.pool.get(self.starts[i], self.ends[i] - self.starts[i]);
+            index_atom(&mut self.by_pred, idx, self.preds[i], args);
         }
     }
 
@@ -609,10 +630,10 @@ impl Instance {
         hash: u64,
     ) -> Result<AtomIdx, ProbeHint> {
         debug_assert_eq!(hash, hash_atom(pred, args), "caller-computed hash");
-        let (preds, offsets, pool) = (&self.preds, &self.offsets, &self.pool);
+        let (preds, starts, ends, pool) = (&self.preds, &self.starts, &self.ends, &self.pool);
         match self.table.locate(hash, |idx| {
             let i = idx as usize;
-            preds[i] == pred && &pool[offsets[i] as usize..offsets[i + 1] as usize] == args
+            preds[i] == pred && pool.get(starts[i], ends[i] - starts[i]) == args
         }) {
             TagProbe::Found(idx) => Ok(idx),
             TagProbe::Vacant(slot) => Err(ProbeHint {
@@ -640,8 +661,9 @@ impl Instance {
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
         let mut bytes = self.preds.capacity() * size_of::<PredId>()
-            + self.offsets.capacity() * size_of::<u32>()
-            + self.pool.capacity() * size_of::<Term>()
+            + self.starts.capacity() * size_of::<u32>()
+            + self.ends.capacity() * size_of::<u32>()
+            + self.pool.heap_bytes()
             + self.hashes.capacity() * size_of::<u64>()
             + self.table.heap_bytes()
             + self.by_pred.capacity() * size_of::<PredIndex>();
@@ -655,12 +677,21 @@ impl Instance {
             // of control metadata per bucket; capacity() approximates
             // the bucket count.
             bytes += p.by_pos_term.capacity() * (size_of::<u64>() + size_of::<Postings>() + 1);
-            bytes += p.spills.capacity() * size_of::<Vec<AtomIdx>>();
-            for s in &p.spills {
-                bytes += s.capacity() * size_of::<AtomIdx>();
-            }
+            bytes += p.spills.heap_bytes();
         }
         bytes
+    }
+
+    /// Bytes of the instance currently held in file-backed chunks (zero
+    /// unless `NUCHASE_INSTANCE_SPILL_DIR` is set): resident-set relief,
+    /// complementing [`Instance::heap_bytes`].
+    pub fn file_bytes(&self) -> usize {
+        self.pool.file_bytes()
+            + self
+                .by_pred
+                .iter()
+                .map(|p| p.spills.file_bytes())
+                .sum::<usize>()
     }
 
     /// Load factor of the atom dedup table (entries / slots; memory
@@ -672,7 +703,7 @@ impl Instance {
     /// Number of posting lists that outgrew their inline slots into the
     /// spill arenas (memory accounting for chase telemetry).
     pub fn spill_count(&self) -> usize {
-        self.by_pred.iter().map(|p| p.spills.len()).sum()
+        self.by_pred.iter().map(|p| p.spills.list_count()).sum()
     }
 
     /// The atom at a given index, as a borrowed view into the arena.
@@ -681,7 +712,20 @@ impl Instance {
         let i = idx as usize;
         AtomRef {
             pred: self.preds[i],
-            args: &self.pool[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            args: self.pool.get(self.starts[i], self.ends[i] - self.starts[i]),
+        }
+    }
+
+    /// Prefetches the dedup-table cache line a probe for `hash` will
+    /// touch — the batched-probe API's distance-k warm-up for the
+    /// snapshot containment checks of the resolve stage. A no-op when
+    /// the table was created with the linear (pre-tier) layout, so
+    /// `NUCHASE_FORCE_BUCKET_LAYOUT=0` reverts the memory-locality tier
+    /// as a faithful baseline.
+    #[inline]
+    pub fn prefetch_probe(&self, hash: u64) {
+        if self.table.layout() == crate::hash::TableLayout::Bucketized {
+            self.table.prefetch(hash);
         }
     }
 
@@ -770,7 +814,11 @@ impl Instance {
     /// behind `cfg(test)`).
     pub fn dom_iter(&self) -> impl Iterator<Item = Term> + '_ {
         let mut seen = FxHashSet::default();
-        self.pool.iter().copied().filter(move |&t| seen.insert(t))
+        // Per-atom ranges, not the raw pool: chunk-boundary padding in
+        // the arena must stay invisible.
+        (0..self.len() as AtomIdx)
+            .flat_map(move |i| self.atom(i).args.iter().copied())
+            .filter(move |&t| seen.insert(t))
     }
 
     /// `dom(I)`: the active domain, i.e. all distinct ground terms, in
@@ -783,7 +831,7 @@ impl Instance {
 
     /// Does the instance consist solely of facts (a *database*)?
     pub fn is_database(&self) -> bool {
-        self.pool.iter().all(|t| t.is_const())
+        (0..self.len() as AtomIdx).all(|i| self.atom(i).args.iter().all(|t| t.is_const()))
     }
 
     /// Returns the atoms as a sorted vector of owned atoms — a canonical

@@ -32,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod atom;
+pub mod chunk;
 pub mod display;
 pub mod error;
 pub mod hash;
@@ -45,6 +46,7 @@ pub mod term;
 pub mod tgd;
 
 pub use atom::{Atom, AtomRef};
+pub use chunk::{ChunkedArena, SpillArena};
 pub use display::DisplayWith;
 pub use error::ModelError;
 pub use instance::{

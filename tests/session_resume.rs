@@ -420,6 +420,8 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
         peak_null_bytes: 100,
         instance_table_load: 0.5,
         index_spill_count: 2,
+        batched_probes: 100,
+        prefetch_queue_depth: 8,
     };
     let b = ChaseStats {
         rounds: 2,
@@ -442,6 +444,8 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
         peak_null_bytes: 50,       // shrinks below a's peak
         instance_table_load: 0.25,
         index_spill_count: 5,
+        batched_probes: 40,
+        prefetch_queue_depth: 12, // deeper queue than a's high-water mark
     };
     a.absorb(&b);
     assert_eq!(a.rounds, 5);
@@ -466,6 +470,10 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
     assert_eq!(a.peak_null_bytes, 100);
     assert!((a.instance_table_load - 0.5).abs() < 1e-12);
     assert_eq!(a.index_spill_count, 5);
+    // Probe-flow: the batched-probe count sums like a counter, the
+    // queue depth maxes like a gauge.
+    assert_eq!(a.batched_probes, 140);
+    assert_eq!(a.prefetch_queue_depth, 12);
 }
 
 /// Per-run vs lifetime statistics across pause / resume / `add_atoms`:
