@@ -25,7 +25,8 @@ use std::fmt::Write as _;
 use nuchase::bounds::{chase_size_bound, depth_bound, f_class};
 use nuchase::ucq::UcqDecider;
 use nuchase_engine::{
-    ChaseBudget, ChaseVariant, Engine, PreparedProgram, TelemetryLevel, TelemetrySnapshot,
+    ChaseBudget, ChaseOutcome, ChaseVariant, Engine, PreparedProgram, TelemetryLevel,
+    TelemetrySnapshot,
 };
 use nuchase_model::{DisplayWith, Program, TgdClass};
 
@@ -56,6 +57,21 @@ fn write_trace_file(
 
 /// Errors surfaced to the CLI user.
 pub type CliError = Box<dyn std::error::Error>;
+
+/// Renders a run's outcome for the report, or converts a failed run into
+/// the typed error the binary maps to a distinct exit code (see
+/// `main.rs`): injected faults, worker panics, and poisoned sessions
+/// abort the report; every other outcome is a line of text.
+fn outcome_line(outcome: &ChaseOutcome, max_atoms: usize) -> Result<String, CliError> {
+    Ok(match outcome {
+        ChaseOutcome::Terminated => "terminated".to_string(),
+        ChaseOutcome::MemoryLimit => {
+            "memory limit reached (resumable: raise NUCHASE_MEMORY_LIMIT_BYTES)".to_string()
+        }
+        ChaseOutcome::Failed(err) => return Err(Box::new(err.clone())),
+        _ => format!("budget exhausted at {max_atoms} atoms (diverging or under-budgeted)"),
+    })
+}
 
 /// `nuchase decide`: termination verdicts.
 pub fn cmd_decide(program: &mut Program) -> Result<String, CliError> {
@@ -133,11 +149,7 @@ pub fn cmd_run(
     let _ = writeln!(
         out,
         "outcome: {}",
-        if result.terminated() {
-            "terminated".to_string()
-        } else {
-            format!("budget exhausted at {max_atoms} atoms (diverging or under-budgeted)")
-        }
+        outcome_line(&result.outcome, max_atoms)?
     );
     let _ = writeln!(
         out,
@@ -195,6 +207,9 @@ pub fn cmd_profile(
     let mut session = engine.session(&prepared, &program.database);
     session.run();
     let mut result = session.finish();
+    // Fail before touching telemetry: a failed run may legitimately
+    // carry none (the run unwound before the snapshot).
+    let outcome_text = outcome_line(&result.outcome, max_atoms)?;
     let mut snap = *result
         .telemetry
         .take()
@@ -216,15 +231,7 @@ pub fn cmd_profile(
 
     let mut out = String::new();
     let _ = writeln!(out, "program: {}", prepared.summary());
-    let _ = writeln!(
-        out,
-        "outcome: {}",
-        if result.terminated() {
-            "terminated".to_string()
-        } else {
-            format!("budget exhausted at {max_atoms} atoms")
-        }
-    );
+    let _ = writeln!(out, "outcome: {outcome_text}");
     let _ = writeln!(
         out,
         "atoms: {} ({} derived), nulls: {}, rounds: {}, triggers: {} considered / {} fired",
@@ -258,6 +265,13 @@ pub fn cmd_profile(
         "probes: {} batched, prefetch queue depth {}",
         stats.batched_probes, stats.prefetch_queue_depth,
     );
+    if stats.faults_injected + stats.spill_fallbacks + stats.retries > 0 {
+        let _ = writeln!(
+            out,
+            "faults: {} injected, {} spill fallbacks, {} retries",
+            stats.faults_injected, stats.spill_fallbacks, stats.retries,
+        );
+    }
 
     // Per-rule table, heaviest enumerators first.
     let mut order: Vec<usize> = (0..snap.rules.len()).collect();
@@ -503,6 +517,9 @@ pub fn cmd_query(
                 .budget(ChaseBudget::atoms(max_atoms))
                 .build()
                 .chase(&prepared, &program.database);
+            if let ChaseOutcome::Failed(err) = &result.outcome {
+                return Err(Box::new(err.clone()));
+            }
             if !result.terminated() {
                 let _ = writeln!(out, "chase did not terminate within {max_atoms} atoms");
                 return Ok(out);
@@ -703,6 +720,19 @@ mod tests {
         };
         assert_eq!(counters(&seq), counters(&par), "seq:\n{seq}\npar:\n{par}");
         assert!(!counters(&seq).is_empty());
+    }
+
+    #[test]
+    fn failed_outcomes_map_to_typed_errors() {
+        use nuchase_engine::ChaseError;
+        let err = outcome_line(&ChaseOutcome::Failed(ChaseError::Poisoned), 10).unwrap_err();
+        // The binary downcasts to pick the exit code — the type must
+        // survive the boxing.
+        assert!(err.downcast_ref::<ChaseError>().is_some());
+        let memory = outcome_line(&ChaseOutcome::MemoryLimit, 10).unwrap();
+        assert!(memory.contains("memory limit"), "{memory}");
+        let budget = outcome_line(&ChaseOutcome::AtomLimit, 10).unwrap();
+        assert!(budget.contains("budget exhausted"), "{budget}");
     }
 
     #[test]

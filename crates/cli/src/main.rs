@@ -83,7 +83,25 @@ fn resolve_threads(args: &[String]) -> Result<usize, nuchase_cli::CliError> {
     }
 }
 
+/// Silences the default panic report for injected-fault payloads: the
+/// engine catches them and surfaces a typed [`nuchase_engine::ChaseError`],
+/// so the backtrace the default hook prints before unwinding is pure
+/// noise. Genuine panics keep the full default report.
+fn install_panic_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info
+            .payload()
+            .downcast_ref::<nuchase_engine::fault::InjectedFault>()
+            .is_none()
+        {
+            default(info);
+        }
+    }));
+}
+
 fn main() {
+    install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
@@ -139,7 +157,20 @@ fn main() {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("nuchase: {e}");
-            std::process::exit(1);
+            std::process::exit(error_exit_code(e.as_ref()));
         }
+    }
+}
+
+/// Distinct exit codes for the typed chase failures, so scripts can
+/// tell an injected fault (3) from a genuine worker panic (4) from a
+/// rerun of a poisoned session (5) without parsing stderr. Everything
+/// else is the generic failure (1); usage errors exit 2 (see `usage`).
+fn error_exit_code(e: &(dyn std::error::Error + 'static)) -> i32 {
+    match e.downcast_ref::<nuchase_engine::ChaseError>() {
+        Some(nuchase_engine::ChaseError::Injected { .. }) => 3,
+        Some(nuchase_engine::ChaseError::Panic { .. }) => 4,
+        Some(nuchase_engine::ChaseError::Poisoned) => 5,
+        None => 1,
     }
 }

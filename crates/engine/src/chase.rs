@@ -43,6 +43,7 @@ use std::time::Instant;
 use nuchase_model::plan::Scratch;
 use nuchase_model::{Instance, Term, TgdSet, VarId};
 
+use crate::fault::{ChaseError, FaultPlan};
 use crate::forest::Forest;
 use crate::nulls::NullStore;
 use crate::provenance::Provenance;
@@ -75,6 +76,14 @@ pub struct ChaseBudget {
     pub max_rounds: usize,
     /// Stop once a null of depth greater than this is created.
     pub max_depth: Option<u32>,
+    /// Pause with a resumable [`ChaseOutcome::MemoryLimit`] at the first
+    /// round boundary where the instance's heap bytes reach this
+    /// ceiling. Unset falls back to the `NUCHASE_MEMORY_LIMIT_BYTES`
+    /// environment knob; unset everywhere means no ceiling. A session
+    /// that hit the ceiling is byte-identical to one that paused there;
+    /// raising the ceiling and resuming completes identically to an
+    /// unconstrained run.
+    pub max_heap_bytes: Option<usize>,
 }
 
 impl Default for ChaseBudget {
@@ -83,6 +92,7 @@ impl Default for ChaseBudget {
             max_atoms: 1_000_000,
             max_rounds: usize::MAX,
             max_depth: None,
+            max_heap_bytes: None,
         }
     }
 }
@@ -102,6 +112,7 @@ impl ChaseBudget {
             max_atoms,
             max_rounds: usize::MAX,
             max_depth: Some(max_depth),
+            ..Default::default()
         }
     }
 }
@@ -193,6 +204,11 @@ pub struct ChaseConfig {
     /// `full`); an explicit non-`Off` config value wins over the
     /// environment. Results are byte-identical at every level.
     pub telemetry: TelemetryLevel,
+    /// Deterministic fault-injection plan (see [`crate::fault`]). The
+    /// default empty plan arms nothing and the injection sites compile
+    /// to a single predictable branch; a non-empty plan here wins over
+    /// the `NUCHASE_FAULT_PLAN` environment knob.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ChaseConfig {
@@ -209,12 +225,16 @@ impl Default for ChaseConfig {
             batch_delta_min: crate::phase::BATCH_DELTA_MIN,
             resolve_pool_min: crate::parallel::RESOLVE_POOL_MIN,
             telemetry: TelemetryLevel::default(),
+            fault_plan: FaultPlan::none(),
         }
     }
 }
 
 /// Why the chase stopped.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// Not `Copy`: [`ChaseOutcome::Failed`] carries the typed
+/// [`ChaseError`] (whose panic variant owns its message).
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ChaseOutcome {
     /// No active trigger remains: the chase **terminated** and the result
     /// is `chase(D, Σ)`.
@@ -236,6 +256,17 @@ pub enum ChaseOutcome {
     /// ([`crate::session::ChaseSession::set_deadline`] or
     /// [`crate::session::RunLimits::deadline`]).
     Deadline,
+    /// The instance's heap bytes reached the configured ceiling
+    /// ([`ChaseBudget::max_heap_bytes`] or `NUCHASE_MEMORY_LIMIT_BYTES`)
+    /// at a round boundary. Resumable: the session is byte-identical to
+    /// one that paused here; raise the ceiling (or free memory
+    /// elsewhere) and resume to continue identically.
+    MemoryLimit,
+    /// The run failed with a typed error (see [`crate::fault`]): an
+    /// injected fault (session rolled back to the last round boundary,
+    /// resumable once the plan is disarmed) or a genuine panic (session
+    /// poisoned; the engine and its worker pool survive).
+    Failed(ChaseError),
 }
 
 /// Aggregate statistics of a chase run.
@@ -328,6 +359,17 @@ pub struct ChaseStats {
     /// passes' lookahead distance, or the fused path's per-trigger
     /// null + head queue). `absorb` keeps the max.
     pub prefetch_queue_depth: usize,
+    /// Armed fault-injection site hits that fired during the run (see
+    /// [`crate::fault`]) — panic sites that unwound plus degradation
+    /// sites that tripped. Zero on every fault-free run. `absorb` sums.
+    pub faults_injected: usize,
+    /// Spill-chunk allocations that fell back to heap chunks because
+    /// the configured spill directory was unusable (graceful
+    /// degradation; the run's bytes are unchanged). `absorb` sums.
+    pub spill_fallbacks: usize,
+    /// Transient (`EINTR`/`EAGAIN`-class) spill-I/O errors absorbed by
+    /// the bounded retry loop. `absorb` sums.
+    pub retries: usize,
 }
 
 /// Probe-locality accounting carried out of the batch collectors and the
@@ -371,6 +413,9 @@ impl ChaseStats {
         self.index_spill_count = self.index_spill_count.max(run.index_spill_count);
         self.batched_probes += run.batched_probes;
         self.prefetch_queue_depth = self.prefetch_queue_depth.max(run.prefetch_queue_depth);
+        self.faults_injected += run.faults_injected;
+        self.spill_fallbacks += run.spill_fallbacks;
+        self.retries += run.retries;
     }
 
     /// Folds one [`ProbeFlow`] drain into the run's probe-locality
@@ -432,6 +477,12 @@ impl ChaseStats {
             out.push_str(&format!(
                 " · {} batched probes (queue ≤ {})",
                 self.batched_probes, self.prefetch_queue_depth
+            ));
+        }
+        if self.faults_injected + self.spill_fallbacks + self.retries > 0 {
+            out.push_str(&format!(
+                " · faults {} (spill fallbacks {}, retries {})",
+                self.faults_injected, self.spill_fallbacks, self.retries
             ));
         }
         out

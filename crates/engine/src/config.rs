@@ -23,6 +23,10 @@
 //! | `NUCHASE_INSTANCE_SPILL_DIR` | directory path | When set, new arena chunks (instance term pool, postings spill, fired-set tuples) are file-backed `mmap`s in this directory, so instances grow past RAM with bounded RSS. Parsed in `model::chunk`, checked per chunk allocation. |
 //! | `NUCHASE_CHUNK_LEN` | power-of-two integer ≥ 64 | Arena chunk length in elements (default 65536). Parsed in `model::chunk`, resolved once per process. |
 //! | `NUCHASE_HUGE_CEILING_BYTES` | integer | Peak-instance-bytes ceiling asserted by the `--bench-huge` workloads (parsed by the bench harness). |
+//! | `NUCHASE_FAULT_PLAN` | `site:nth[:panic][,..]` | Deterministic fault injection: arm the `nth` (0-based) hit of each named site (`arena_grow`, `spill_map`, `spill_transient`, `table_grow`, `worker_task`, `commit`) to fail; the `:panic` flavor unwinds with a plain panic (simulated bug) instead of the typed fault. An explicit `ChaseConfig::fault_plan` wins over the environment. |
+//! | `NUCHASE_MEMORY_LIMIT_BYTES` | integer | Instance heap ceiling checked at round boundaries when `ChaseBudget::max_heap_bytes` is unset; hitting it returns a resumable `ChaseOutcome::MemoryLimit`. |
+//! | `NUCHASE_SPILL_RETRIES` | integer | Bounded retries for transient (`EINTR`/`EAGAIN`-class) spill-file I/O errors (default 3). Parsed in `model::chunk`, read per mapping attempt. |
+//! | `NUCHASE_SPILL_BACKOFF_MS` | integer | Linear backoff between spill retries, in ms per attempt (default 1). Parsed in `model::chunk`. |
 
 use std::collections::BTreeSet;
 use std::sync::Mutex;
@@ -30,10 +34,13 @@ use std::sync::Mutex;
 /// One warning per (knob, malformed value) pair per process: repeated
 /// resolution (per run, per bench leg) must not spam stderr, but a
 /// *changed* bad value deserves its own warning.
-fn warn_once(name: &str, value: &str, expect: &str) {
+pub(crate) fn warn_once(name: &str, value: &str, expect: &str) {
     static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
     let key = format!("{name}={value}");
-    if WARNED.lock().unwrap().insert(key) {
+    // Poison-tolerant: a panic while warning (or an injected worker
+    // panic elsewhere in the process) must not silence later warnings.
+    let mut warned = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+    if warned.insert(key) {
         eprintln!("nuchase: ignoring malformed {name}={value:?} (expected {expect})");
     }
 }

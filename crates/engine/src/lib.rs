@@ -30,6 +30,13 @@
 //! tables, a bounded per-round event ring, memory accounting in
 //! [`ChaseStats`], and JSONL / chrome://tracing exports — off by
 //! default and byte-identical at every [`TelemetryLevel`].
+//!
+//! Failures are isolated, typed events ([`fault`]): worker panics and
+//! injected faults fail only their session
+//! ([`ChaseOutcome::Failed`]), resource exhaustion degrades gracefully
+//! (spill fallback, resumable [`ChaseOutcome::MemoryLimit`]), and the
+//! deterministic injection sites ([`fault::FaultSite`]) make the
+//! crash-consistency contract testable.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +45,7 @@ pub mod baseline;
 pub mod chase;
 pub mod config;
 pub mod dedup;
+pub mod fault;
 pub mod forest;
 pub mod nulls;
 pub mod parallel;
@@ -52,6 +60,7 @@ pub use chase::{
     ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant, ProbeFlow,
 };
 pub use dedup::TermTupleSet;
+pub use fault::{ChaseError, FaultPlan, FaultSite};
 pub use forest::Forest;
 pub use nulls::{NullKey, NullStore};
 pub use parallel::{auto_threads, chase_parallel};

@@ -58,6 +58,7 @@ use nuchase_model::{AtomIdx, Instance, TgdSet};
 
 use crate::chase::{ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats};
 use crate::dedup::TermTupleSet;
+use crate::fault::ChaseError;
 use crate::phase::{
     apply_fused, batch_round_delta, commit_batch, enumerate_task, enumerate_task_batch,
     fused_round, fused_round_delta, lap_mark, merge_accepted, plan_nulls, prepare_round_tasks,
@@ -135,6 +136,11 @@ struct Shared {
     spare_resolved: Mutex<Vec<ResolvedBatch>>,
     barrier: Barrier,
     done: AtomicBool,
+    /// First worker panic of the run (typed): workers catch their task
+    /// bodies, publish here, and still reach the phase barrier; the
+    /// coordinator checks after each pooled phase and fails the run
+    /// cleanly. First failure wins.
+    failure: Mutex<Option<ChaseError>>,
 }
 
 impl Shared {
@@ -152,18 +158,38 @@ impl Shared {
             spare_resolved: Mutex::new(Vec::new()),
             barrier: Barrier::new(threads),
             done: AtomicBool::new(false),
+            failure: Mutex::new(None),
         }
     }
 }
 
+/// Publishes a worker panic (first failure wins) for the coordinator's
+/// end-of-phase check.
+fn record_failure(shared: &Shared, payload: &(dyn std::any::Any + Send)) {
+    let err = ChaseError::from_panic(payload);
+    let mut slot = shared.failure.lock().unwrap_or_else(|e| e.into_inner());
+    if slot.is_none() {
+        *slot = Some(err);
+    }
+}
+
+/// Takes the run's published worker failure, if any.
+fn take_failure(shared: &Shared) -> Option<ChaseError> {
+    shared
+        .failure
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+}
+
 /// Releases the workers if the coordinator unwinds mid-run (a panic in
-/// the commit stage, a poisoned lock, …): completes the phase barrier if
-/// one is pending, raises `done`, and crosses the park barrier so the
-/// workers leave the run and return to the pool — the panic then
-/// propagates instead of deadlocking the engine. (A panic on a *worker*
-/// still wedges the run; workers run only read-only
-/// enumeration/resolution, whose invariants the sequential differential
-/// suites pin deterministically.)
+/// the commit stage, an injected fault, …): completes the phase barrier
+/// if one is pending, raises `done`, and crosses the park barrier so the
+/// workers leave the run and return to the pool — [`run_pooled`] then
+/// catches the unwind, reclaims the round state, and fails only this
+/// session. (Worker panics take the other path: each worker catches its
+/// own task bodies — see [`worker_loop`] — publishes the failure, and
+/// re-parks; the coordinator fails the run at the next phase boundary.)
 struct PanicRelease<'a> {
     shared: &'a Shared,
     /// True between the two phase barriers (workers will reach the
@@ -265,9 +291,9 @@ impl WorkerPool {
     /// this blocks until it fully drains — overwriting the gate
     /// mid-run would strand the earlier run's workers.
     fn begin(&self, job: Arc<Shared>) {
-        let mut state = self.gate.state.lock().unwrap();
+        let mut state = self.gate.state.lock().unwrap_or_else(|e| e.into_inner());
         while state.job.is_some() || state.active > 0 {
-            state = self.gate.cv.wait(state).unwrap();
+            state = self.gate.cv.wait(state).unwrap_or_else(|e| e.into_inner());
         }
         state.epoch += 1;
         state.active = self.handles.len();
@@ -280,9 +306,9 @@ impl WorkerPool {
     /// clears the gate — waking any [`WorkerPool::begin`] queued behind
     /// this run.
     fn wait_idle(&self) {
-        let mut state = self.gate.state.lock().unwrap();
+        let mut state = self.gate.state.lock().unwrap_or_else(|e| e.into_inner());
         while state.active > 0 {
-            state = self.gate.cv.wait(state).unwrap();
+            state = self.gate.cv.wait(state).unwrap_or_else(|e| e.into_inner());
         }
         state.job = None;
         self.gate.cv.notify_all();
@@ -292,7 +318,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.gate.state.lock().unwrap();
+            let mut state = self.gate.state.lock().unwrap_or_else(|e| e.into_inner());
             state.shutdown = true;
             self.gate.cv.notify_all();
         }
@@ -308,7 +334,7 @@ fn pool_worker(gate: Arc<PoolGate>) {
     let mut seen = 0u64;
     loop {
         let job = {
-            let mut state = gate.state.lock().unwrap();
+            let mut state = gate.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if state.shutdown {
                     return;
@@ -317,12 +343,12 @@ fn pool_worker(gate: Arc<PoolGate>) {
                     seen = state.epoch;
                     break state.job.clone().expect("published epoch carries a job");
                 }
-                state = gate.cv.wait(state).unwrap();
+                state = gate.cv.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
         worker_loop(&job);
         drop(job);
-        let mut state = gate.state.lock().unwrap();
+        let mut state = gate.state.lock().unwrap_or_else(|e| e.into_inner());
         state.active -= 1;
         if state.active == 0 {
             gate.cv.notify_all();
@@ -357,9 +383,20 @@ pub(crate) fn run_pooled(
     let shared = Arc::new(Shared::new(tgds, *config, round, pool.workers() + 1));
     pool.begin(Arc::clone(&shared));
     let mut mark = mark;
-    let outcome = coordinate(&shared, &mut core.apply, ctl, stats, &mut mark);
+    // Panic isolation, layer 2: the coordinator's own unwinds (injected
+    // faults on inline rounds, a commit-stage panic) are caught *here* —
+    // after the `PanicRelease` guard inside `coordinate` has released
+    // the workers — so `wait_idle` and the state move-back below always
+    // run: the pool gate clears for the next session and this session
+    // keeps its instance instead of losing it to the taken `Shared`.
+    let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        coordinate(&shared, &mut core.apply, ctl, stats, &mut mark)
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => ChaseOutcome::Failed(ChaseError::from_panic(payload.as_ref())),
+    };
     pool.wait_idle();
-    let round = std::mem::take(&mut *shared.round.write().unwrap());
+    let round = std::mem::take(&mut *shared.round.write().unwrap_or_else(|e| e.into_inner()));
     core.instance = round.instance;
     core.fired = round.fired;
     core.delta_start = round.delta_start;
@@ -440,14 +477,17 @@ fn coordinate(
     loop {
         // Recycle last round's arenas before anything can grow.
         if !merged.is_empty() {
-            let mut spare = shared.spare.lock().unwrap();
+            let mut spare = shared.spare.lock().unwrap_or_else(|e| e.into_inner());
             spare.extend(merged.drain(..).map(|(_, mut b, _)| {
                 b.clear();
                 b
             }));
         }
         if !resolved.is_empty() {
-            let mut spare = shared.spare_resolved.lock().unwrap();
+            let mut spare = shared
+                .spare_resolved
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             spare.extend(resolved.drain(..).map(|mut rb| {
                 rb.clear();
                 rb
@@ -460,9 +500,8 @@ fn coordinate(
         let delta;
         let batched;
         {
-            let mut round = shared.round.write().unwrap();
-            if let Some(stop) =
-                ctl.checkpoint(config, stats.rounds, round.instance.len(), &round.fired)
+            let mut round = shared.round.write().unwrap_or_else(|e| e.into_inner());
+            if let Some(stop) = ctl.checkpoint(config, stats.rounds, &round.instance, &round.fired)
             {
                 drop(round);
                 return finish(shared, stop);
@@ -497,16 +536,23 @@ fn coordinate(
             drain_tasks(shared, &mut ws);
             shared.barrier.wait();
             guard.in_phase = false;
+            // A worker panicked during the phase (it caught the unwind,
+            // published, and re-parked): fail the run cleanly. The
+            // enumerate phase mutates nothing, so the session is still
+            // at the round boundary.
+            if let Some(err) = take_failure(shared) {
+                return finish(shared, ChaseOutcome::Failed(err));
+            }
             // Pooled rounds book the coordinator's stolen share of the
             // batched probes; worker shares are discarded with their
             // overlapping emit spans (see `drain_tasks`).
             stats.note_probe_flow(ws.take_probes());
-            merged.append(&mut shared.results.lock().unwrap());
+            merged.append(&mut shared.results.lock().unwrap_or_else(|e| e.into_inner()));
             merged.sort_unstable_by_key(|&(i, _, _)| i);
         } else {
             // Tiny round: enumerate inline (tasks in canonical order)
             // without waking the pool.
-            let round = shared.round.read().unwrap();
+            let round = shared.round.read().unwrap_or_else(|e| e.into_inner());
             let ctx = RoundCtx {
                 tgds: &shared.tgds,
                 variant: shared.config.variant,
@@ -562,14 +608,19 @@ fn coordinate(
         // *time* is not sampled here — worker spans overlap in wall
         // time, so a per-rule sum would be meaningless).
         if state.telemetry.is_some() && !merged.is_empty() {
-            let round = shared.round.read().unwrap();
+            let round = shared.round.read().unwrap_or_else(|e| e.into_inner());
             for &(i, _, considered) in &merged {
                 state.note_considered(round.tasks[i as usize].rule, considered);
             }
         }
         if !any {
             if state.telemetry.is_some() {
-                let len = shared.round.read().unwrap().instance.len();
+                let len = shared
+                    .round
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .instance
+                    .len();
                 let path = if batched {
                     RoundPath::Batched
                 } else {
@@ -588,7 +639,7 @@ fn coordinate(
         // preserves canonical trigger order; the fused pass's own fired
         // inserts resolve cross-task duplicates exactly like the merge.
         if fused_round(apply_path, delta, total_triggers, fused_delta_max) {
-            let mut round = shared.round.write().unwrap();
+            let mut round = shared.round.write().unwrap_or_else(|e| e.into_inner());
             let len_before = round.instance.len();
             let stop = {
                 let RoundState {
@@ -635,7 +686,7 @@ fn coordinate(
         // (workers are parked). Exactly one of `merged` / `inline_batch`
         // is populated, so chaining them preserves canonical order
         // either way.
-        let mut round = shared.round.write().unwrap();
+        let mut round = shared.round.write().unwrap_or_else(|e| e.into_inner());
         {
             let RoundState { fired, apply, .. } = &mut *round;
             merge_accepted(
@@ -680,9 +731,20 @@ fn coordinate(
             drain_resolve(shared, &mut ws);
             shared.barrier.wait();
             guard.in_phase = false;
-            resolved.append(&mut shared.resolve_results.lock().unwrap());
+            // Worker panic mid-resolve: fail cleanly. The fired sets
+            // were already merged this round, so the session schedules
+            // the watermark rollback + idempotent replay on resume.
+            if let Some(err) = take_failure(shared) {
+                return finish(shared, ChaseOutcome::Failed(err));
+            }
+            resolved.append(
+                &mut shared
+                    .resolve_results
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
             resolved.sort_unstable_by_key(ResolvedBatch::start);
-            round = shared.round.write().unwrap();
+            round = shared.round.write().unwrap_or_else(|e| e.into_inner());
         } else {
             let RoundState {
                 instance, apply, ..
@@ -765,13 +827,28 @@ fn worker_loop(shared: &Shared) {
         }
         match shared.mode.load(Ordering::Acquire) {
             MODE_ENUMERATE => {
-                drain_tasks(shared, &mut ws);
+                // Panic isolation, layer 3: a panicking task body fails
+                // only this run — publish the typed failure for the
+                // coordinator's end-of-phase check and keep going, so
+                // this thread reaches the barrier below and re-parks in
+                // the pool for the next session.
+                if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    drain_tasks(shared, &mut ws)
+                })) {
+                    record_failure(shared, payload.as_ref());
+                }
                 // Worker probe gauges are discarded like worker emit
                 // spans: their wall time overlaps, and the coordinator
                 // books its own share.
                 let _ = ws.take_probes();
             }
-            _ => drain_resolve(shared, &mut ws),
+            _ => {
+                if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    drain_resolve(shared, &mut ws)
+                })) {
+                    record_failure(shared, payload.as_ref());
+                }
+            }
         }
         shared.barrier.wait();
     }
@@ -785,7 +862,7 @@ fn drain_tasks(shared: &Shared, ws: &mut WorkerScratch) {
     let mut out: Vec<(u32, TriggerBatch, usize)> = Vec::new();
     loop {
         let i = shared.next_task.fetch_add(1, Ordering::Relaxed);
-        let round = shared.round.read().unwrap();
+        let round = shared.round.read().unwrap_or_else(|e| e.into_inner());
         if i >= round.tasks.len() {
             break;
         }
@@ -796,7 +873,12 @@ fn drain_tasks(shared: &Shared, ws: &mut WorkerScratch) {
             variant: shared.config.variant,
             delta_start: round.delta_start,
         };
-        let mut batch = shared.spare.lock().unwrap().pop().unwrap_or_default();
+        let mut batch = shared
+            .spare
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
         let considered = if round.batch {
             // Worker emit spans overlap in wall time; the coordinator
             // books the whole pooled lap as probe, so the span is
@@ -825,7 +907,11 @@ fn drain_tasks(shared: &Shared, ws: &mut WorkerScratch) {
         out.push((i as u32, batch, considered));
     }
     if !out.is_empty() {
-        shared.results.lock().unwrap().append(&mut out);
+        shared
+            .results
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .append(&mut out);
     }
 }
 
@@ -836,7 +922,7 @@ fn drain_resolve(shared: &Shared, ws: &mut WorkerScratch) {
     let mut out: Vec<ResolvedBatch> = Vec::new();
     loop {
         let r = shared.next_task.fetch_add(1, Ordering::Relaxed) as u64;
-        let round = shared.round.read().unwrap();
+        let round = shared.round.read().unwrap_or_else(|e| e.into_inner());
         let planned = round.apply.plan.planned() as u64;
         let start = r * u64::from(RESOLVE_CHUNK);
         if start >= planned {
@@ -864,7 +950,11 @@ fn drain_resolve(shared: &Shared, ws: &mut WorkerScratch) {
         out.push(rb);
     }
     if !out.is_empty() {
-        shared.resolve_results.lock().unwrap().append(&mut out);
+        shared
+            .resolve_results
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .append(&mut out);
     }
 }
 

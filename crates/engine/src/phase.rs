@@ -352,6 +352,9 @@ pub fn enumerate_task(
     ws: &mut WorkerScratch,
     batch: &mut TriggerBatch,
 ) -> usize {
+    // Fault site: fires before any enumeration work, so a failed task
+    // leaves no partial output behind.
+    crate::fault::check(crate::fault::FaultSite::WorkerTask);
     let tgd = ctx.tgds.get(task.rule);
     let keys = key_vars(tgd, ctx.variant);
     let WorkerScratch {
@@ -394,6 +397,9 @@ pub fn enumerate_rule(
     ws: &mut WorkerScratch,
     batch: &mut TriggerBatch,
 ) -> usize {
+    // Fault site: fires before any enumeration work, so a failed task
+    // leaves no partial output behind.
+    crate::fault::check(crate::fault::FaultSite::WorkerTask);
     let tgd = ctx.tgds.get(rule);
     let keys = key_vars(tgd, ctx.variant);
     let WorkerScratch {
@@ -535,6 +541,9 @@ pub fn enumerate_task_batch(
     batch: &mut TriggerBatch,
     emit_secs: &mut f64,
 ) -> usize {
+    // Fault site: fires before any enumeration work, so a failed task
+    // leaves no partial output behind.
+    crate::fault::check(crate::fault::FaultSite::WorkerTask);
     let tgd = ctx.tgds.get(task.rule);
     let keys = key_vars(tgd, ctx.variant);
     let WorkerScratch {
@@ -579,6 +588,9 @@ pub fn enumerate_rule_batch(
     batch: &mut TriggerBatch,
     emit_secs: &mut f64,
 ) -> usize {
+    // Fault site: fires before any enumeration work, so a failed task
+    // leaves no partial output behind.
+    crate::fault::check(crate::fault::FaultSite::WorkerTask);
     let tgd = ctx.tgds.get(rule);
     let keys = key_vars(tgd, ctx.variant);
     let WorkerScratch {
@@ -650,6 +662,9 @@ pub fn enumerate_rule_eager(
     ws: &mut WorkerScratch,
     batch: &mut TriggerBatch,
 ) -> usize {
+    // Fault site: fires before any enumeration work, so a failed task
+    // leaves no partial output behind.
+    crate::fault::check(crate::fault::FaultSite::WorkerTask);
     let tgd = ctx.tgds.get(rule);
     let keys = key_vars(tgd, ctx.variant);
     let WorkerScratch {
@@ -677,6 +692,9 @@ pub fn enumerate_task_eager(
     ws: &mut WorkerScratch,
     batch: &mut TriggerBatch,
 ) -> usize {
+    // Fault site: fires before any enumeration work, so a failed task
+    // leaves no partial output behind.
+    crate::fault::check(crate::fault::FaultSite::WorkerTask);
     let tgd = ctx.tgds.get(task.rule);
     let keys = key_vars(tgd, ctx.variant);
     let WorkerScratch {
@@ -769,7 +787,7 @@ impl NullPlan {
     /// The outcome the commit stage must return after the planned prefix
     /// lands, if the plan stopped early.
     pub fn pending(&self) -> Option<ChaseOutcome> {
-        self.pending
+        self.pending.clone()
     }
 
     fn clear(&mut self) {
@@ -1199,6 +1217,10 @@ pub fn commit_batch(
     resolved: &[ResolvedBatch],
     stats: &mut ChaseStats,
 ) -> Option<ChaseOutcome> {
+    // Fault site: fires before the first append, so a failed commit
+    // leaves the instance exactly at the round boundary and the
+    // rollback/replay machinery never sees a half-committed batch.
+    crate::fault::check(crate::fault::FaultSite::Commit);
     let restricted = config.variant == ChaseVariant::Restricted;
     // Atom count at commit entry: while unchanged, the live instance is
     // exactly the snapshot the resolve stage already checked against.
@@ -1653,6 +1675,9 @@ pub fn apply_fused<'a>(
     merge: bool,
     stats: &mut ChaseStats,
 ) -> Option<ChaseOutcome> {
+    // Fault site: fires before the fused path touches the instance or
+    // the fired sets, mirroring `commit_batch`.
+    crate::fault::check(crate::fault::FaultSite::Commit);
     stats.fused_rounds += 1;
     for batch in batches {
         for (rule, binding) in batch.iter() {
@@ -1988,6 +2013,9 @@ pub fn fused_chain_round(
     delta: (AtomIdx, AtomIdx),
     stats: &mut ChaseStats,
 ) -> (usize, bool, Option<ChaseOutcome>) {
+    // Fault site: the fused chain round enumerates and commits in one
+    // pass, so the worker-task site guards its entry (before mutation).
+    crate::fault::check(crate::fault::FaultSite::WorkerTask);
     stats.fused_rounds += 1;
     let mut considered = 0usize;
     let mut any = false;

@@ -141,6 +141,7 @@ use nuchase_model::{Atom, AtomIdx, Instance, TgdClass, TgdSet};
 
 use crate::chase::{ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant};
 use crate::dedup::TermTupleSet;
+use crate::fault::{ChaseError, FaultPlan};
 use crate::nulls::NullStore;
 use crate::parallel::{run_pooled, WorkerPool};
 use crate::phase::{
@@ -390,7 +391,10 @@ impl Engine {
         program: &'p PreparedProgram,
         database: Instance,
     ) -> ChaseSession<'e, 'p> {
-        let parts = self.spare.lock().unwrap().pop();
+        // Poison-tolerant lock: a panicked run elsewhere must not wedge
+        // every future session of the engine (the spare stack holds only
+        // cleared buffers, and `store_parts` refuses failed runs' parts).
+        let parts = self.spare.lock().unwrap_or_else(|e| e.into_inner()).pop();
         // Spare parts are stored clean (`Engine::store_parts` clears
         // them), so only the per-program length needs adjusting here.
         let (mut fired, mut driver) = match parts {
@@ -414,6 +418,7 @@ impl Engine {
             driver,
             marks: Vec::new(),
             mid_round_stop: false,
+            poisoned: false,
             lifetime: ChaseStats::default(),
             last_run: ChaseStats::default(),
             runs: 0,
@@ -444,8 +449,12 @@ impl Engine {
     }
 
     /// Returns a finished session's buffers to the recycle stack.
+    /// Callers must not offer buffers from a failed run —
+    /// [`ChaseSession::finish`] skips this for failed sessions, so a
+    /// mid-round panic can never leak half-written state into a future
+    /// session.
     fn store_parts(&self, mut fired: Vec<TermTupleSet>, driver: RoundDriver) {
-        let mut spare = self.spare.lock().unwrap();
+        let mut spare = self.spare.lock().unwrap_or_else(|e| e.into_inner());
         if spare.len() < SPARE_PARTS_MAX {
             fired.iter_mut().for_each(TermTupleSet::clear);
             spare.push(SessionParts { fired, driver });
@@ -533,8 +542,21 @@ pub(crate) struct RunCtl<'a> {
     pub(crate) deadline: Option<Instant>,
     /// Cooperative cancellation flag, polled between rounds.
     pub(crate) cancel: Option<&'a AtomicBool>,
+    /// Instance heap ceiling ([`ChaseBudget::max_heap_bytes`] or
+    /// `NUCHASE_MEMORY_LIMIT_BYTES`): reaching it at a round boundary
+    /// returns the resumable [`ChaseOutcome::MemoryLimit`].
+    pub(crate) max_heap_bytes: Option<usize>,
     /// Round-start per-rule fired watermarks (recorded when present).
     pub(crate) marks: Option<&'a mut Vec<u32>>,
+}
+
+/// The effective instance heap ceiling for a run: an explicit
+/// [`ChaseBudget::max_heap_bytes`] wins, else `NUCHASE_MEMORY_LIMIT_BYTES`.
+fn resolved_memory_limit(config: &ChaseConfig) -> Option<usize> {
+    config
+        .budget
+        .max_heap_bytes
+        .or_else(|| crate::config::env_usize("NUCHASE_MEMORY_LIMIT_BYTES"))
 }
 
 impl RunCtl<'_> {
@@ -546,11 +568,18 @@ impl RunCtl<'_> {
         &mut self,
         config: &ChaseConfig,
         rounds_this_run: usize,
-        instance_len: usize,
+        instance: &Instance,
         fired: &[TermTupleSet],
     ) -> Option<ChaseOutcome> {
         if self.rounds_base + rounds_this_run >= config.budget.max_rounds {
             return Some(ChaseOutcome::RoundLimit);
+        }
+        if let Some(limit) = self.max_heap_bytes {
+            // `heap_bytes` walks the arena chunk lists — cheap, and paid
+            // only when a ceiling is actually configured.
+            if instance.heap_bytes() >= limit {
+                return Some(ChaseOutcome::MemoryLimit);
+            }
         }
         if let Some(cap) = self.run_rounds_cap {
             if rounds_this_run >= cap {
@@ -558,7 +587,7 @@ impl RunCtl<'_> {
             }
         }
         if let Some(pause) = self.pause_at_atoms {
-            if instance_len >= pause {
+            if instance.len() >= pause {
                 return Some(ChaseOutcome::Paused);
             }
         }
@@ -597,6 +626,11 @@ pub struct ChaseSession<'e, 'p> {
     /// A hard budget stopped the last run mid-round: the next run must
     /// roll the fired sets back to `marks` and replay the round.
     mid_round_stop: bool,
+    /// A non-injected panic escaped a run: the chase state may be
+    /// arbitrarily inconsistent, so every further run refuses with
+    /// [`ChaseError::Poisoned`] — but `stats()`/`telemetry()` stay
+    /// readable, and the engine (pool included) is unaffected.
+    poisoned: bool,
     lifetime: ChaseStats,
     last_run: ChaseStats,
     runs: usize,
@@ -629,6 +663,14 @@ impl ChaseSession<'_, '_> {
     }
 
     fn run_inner(&mut self, limits: Option<&RunLimits>, mark: Instant) -> ChaseOutcome {
+        // A poisoned session refuses to run: a non-injected panic left
+        // its chase state unverifiable. The refusal is itself a clean,
+        // typed outcome (and the session's accessors keep working).
+        if self.poisoned {
+            let outcome = ChaseOutcome::Failed(ChaseError::Poisoned);
+            self.outcome = Some(outcome.clone());
+            return outcome;
+        }
         // A terminated session with an empty pending delta cannot
         // progress; running a round anyway would add one empty round an
         // uninterrupted chase never executes.
@@ -654,6 +696,12 @@ impl ChaseSession<'_, '_> {
             .restart(&self.config, self.program.single_atom_bodies(), mark);
         let mut stats = ChaseStats::default();
         self.core.apply.begin_run_telemetry(self.lifetime.rounds);
+        // Deterministic fault injection: arm the resolved plan around
+        // this run only (the guard disarms on every exit path, unwind
+        // included). Empty plans — the steady state — arm nothing.
+        let fault_plan = crate::fault::resolved_plan(&self.config);
+        let _fault_guard = crate::fault::ArmGuard::arm(&fault_plan);
+        let fault_counters_before = nuchase_model::fault::counters();
         let mut ctl = RunCtl {
             rounds_base: self.lifetime.rounds,
             run_rounds_cap: limits.and_then(|l| l.max_rounds),
@@ -665,66 +713,97 @@ impl ChaseSession<'_, '_> {
                 (a, b) => a.or(b),
             },
             cancel: Some(&self.cancel),
+            max_heap_bytes: resolved_memory_limit(&self.config),
             marks: Some(&mut self.marks),
         };
-        let outcome = match self.config.threads {
-            0 => run_rounds_sequential(
-                tgds,
-                &self.config,
-                &mut self.core,
-                &mut self.driver,
-                &mut ctl,
-                &mut stats,
-            ),
-            1 => run_rounds_tasked(
-                tgds,
-                &self.config,
-                &mut self.core,
-                &mut self.driver,
-                &mut ctl,
-                &mut stats,
-            ),
-            _ => run_pooled(
-                self.engine.pool().expect("threads >= 2 engines own a pool"),
-                self.program.shared_tgds(),
-                &self.config,
-                &mut self.core,
-                &mut self.driver,
-                &mut ctl,
-                &mut stats,
-                mark,
-            ),
+        // Panic isolation, layer 1 of 3: the whole round loop runs under
+        // `catch_unwind`, so a panicking round — injected or genuine —
+        // fails only this session. (Layers 2 and 3 live in the pooled
+        // executor: the coordinator catches its own unwinds so the pool
+        // is always released and the round state always moved back, and
+        // each worker catches its task bodies so the pool threads
+        // survive and re-park.) The mutable borrows are unwind-safe
+        // here: on a failure the session either rolls back to the last
+        // round boundary (injected faults — the fired-set watermark
+        // machinery makes the replay idempotent) or poisons itself and
+        // refuses further runs (genuine panics).
+        let config = &self.config;
+        let engine = self.engine;
+        let program = self.program;
+        let core = &mut self.core;
+        let driver = &mut self.driver;
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match config.threads {
+                0 => run_rounds_sequential(tgds, config, core, driver, &mut ctl, &mut stats),
+                1 => run_rounds_tasked(tgds, config, core, driver, &mut ctl, &mut stats),
+                _ => run_pooled(
+                    engine.pool().expect("threads >= 2 engines own a pool"),
+                    program.shared_tgds(),
+                    config,
+                    core,
+                    driver,
+                    &mut ctl,
+                    &mut stats,
+                    mark,
+                ),
+            }));
+        let outcome = match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => ChaseOutcome::Failed(ChaseError::from_panic(payload.as_ref())),
         };
-        if self.config.threads <= 1 {
-            self.driver.finish_run(&mut stats);
+        if config.threads <= 1 {
+            driver.finish_run(&mut stats);
         }
-        match outcome {
+        match &outcome {
             // The final delta was fully enumerated and produced nothing:
             // consume it, so a later resume (after `add_atoms`) chases
             // exactly the added atoms.
             ChaseOutcome::Terminated => {
-                self.core.delta_start = self.core.instance.len() as AtomIdx;
+                core.delta_start = core.instance.len() as AtomIdx;
             }
             // Hard budgets stop mid-round; round-boundary outcomes
-            // (pause, cancellation, deadline, round budget) leave clean
-            // state behind.
+            // (pause, cancellation, deadline, round budget, memory
+            // ceiling) leave clean state behind.
             ChaseOutcome::AtomLimit | ChaseOutcome::DepthLimit => {
                 self.mid_round_stop = true;
             }
+            // An injected fault fired mid-round: schedule the same
+            // rollback-and-replay a hard budget stop uses, so the next
+            // run (with the plan disarmed) continues byte-identically.
+            // Sites fire *before* their mutation, and the interned-null
+            // variants replay idempotently, so the rollback restores
+            // exactly the last round boundary.
+            ChaseOutcome::Failed(err) if err.is_injected() => {
+                self.mid_round_stop = true;
+            }
+            // A genuine panic: the state cannot be trusted; poison the
+            // session (accessors keep working, runs refuse).
+            ChaseOutcome::Failed(_) => {
+                self.poisoned = true;
+            }
             _ => {}
         }
-        stats.atoms_created = self.core.instance.len() - len_before;
-        stats.nulls_created = self.core.apply.nulls.len() - nulls_before;
+        stats.atoms_created = core.instance.len() - len_before;
+        stats.nulls_created = core.apply.nulls.len() - nulls_before;
         // Memory gauges: the instance and null store are append-only, so
         // end-of-run footprints *are* the run peaks — one walk over the
         // arena capacities here, zero hot-path cost.
-        stats.peak_instance_bytes = self.core.instance.heap_bytes();
-        stats.instance_table_load = self.core.instance.table_load();
-        stats.index_spill_count = self.core.instance.spill_count();
-        stats.peak_null_bytes = self.core.apply.nulls.heap_bytes();
+        stats.peak_instance_bytes = core.instance.heap_bytes();
+        stats.instance_table_load = core.instance.table_load();
+        stats.index_spill_count = core.instance.spill_count();
+        stats.peak_null_bytes = core.apply.nulls.heap_bytes();
         stats.wall_secs = mark.elapsed().as_secs_f64();
+        // Fault accounting: attribute this run's injected hits, spill
+        // fallbacks, and absorbed retries (process-global monotonic
+        // counters, snapshotted around the run).
+        let fault_counters = nuchase_model::fault::counters();
+        stats.faults_injected =
+            (fault_counters.faults_injected - fault_counters_before.faults_injected) as usize;
+        stats.spill_fallbacks =
+            (fault_counters.spill_fallbacks - fault_counters_before.spill_fallbacks) as usize;
+        stats.retries = (fault_counters.retries - fault_counters_before.retries) as usize;
         self.runs += 1;
-        self.outcome = Some(outcome);
+        self.outcome = Some(outcome.clone());
         self.lifetime.absorb(&stats);
         self.last_run = stats;
         outcome
@@ -760,9 +839,25 @@ impl ChaseSession<'_, '_> {
     }
 
     /// Replaces the session's hard budgets (e.g. to raise the atom cap
-    /// before resuming a budget-stopped run).
+    /// before resuming a budget-stopped run, or the heap ceiling after a
+    /// [`ChaseOutcome::MemoryLimit`]).
     pub fn set_budget(&mut self, budget: ChaseBudget) {
         self.config.budget = budget;
+    }
+
+    /// Replaces the session's deterministic fault-injection plan (e.g.
+    /// [`FaultPlan::none`] to disarm before resuming a run an injected
+    /// fault failed — the resume then completes byte-identically to a
+    /// fault-free run).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.fault_plan = plan;
+    }
+
+    /// Has a non-injected panic poisoned this session? A poisoned
+    /// session refuses to run ([`ChaseError::Poisoned`]) but keeps its
+    /// accessors — `stats()`, `telemetry()`, `instance()` — readable.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Sets (or clears) the session deadline, checked between rounds on
@@ -792,7 +887,7 @@ impl ChaseSession<'_, '_> {
     /// The outcome of the most recent run; `None` before the first run
     /// or after [`ChaseSession::add_atoms`] extended the database.
     pub fn outcome(&self) -> Option<ChaseOutcome> {
-        self.outcome
+        self.outcome.clone()
     }
 
     /// Did the chase terminate (no active trigger remains and no atoms
@@ -853,7 +948,13 @@ impl ChaseSession<'_, '_> {
         stats.atoms_created = core.instance.len() - core.base_atoms;
         stats.nulls_created = core.apply.nulls.len();
         let telemetry = core.apply.telemetry_snapshot(&stats).map(Box::new);
-        engine.store_parts(core.fired, driver);
+        // A failed run's buffers never re-enter the recycle stack: a
+        // panic may have left the fired sets or driver scratch mid-write,
+        // and a recycled half-written buffer would corrupt a *different*
+        // session. Dropping them here is the isolation boundary.
+        if !matches!(outcome, Some(ChaseOutcome::Failed(_))) {
+            engine.store_parts(core.fired, driver);
+        }
         ChaseResult {
             instance: core.instance,
             nulls: core.apply.nulls,
@@ -880,7 +981,7 @@ fn run_rounds_sequential(
     stats: &mut ChaseStats,
 ) -> ChaseOutcome {
     loop {
-        if let Some(stop) = ctl.checkpoint(config, stats.rounds, core.instance.len(), &core.fired) {
+        if let Some(stop) = ctl.checkpoint(config, stats.rounds, &core.instance, &core.fired) {
             return stop;
         }
         stats.rounds += 1;
@@ -1023,7 +1124,7 @@ fn run_rounds_tasked(
     stats: &mut ChaseStats,
 ) -> ChaseOutcome {
     loop {
-        if let Some(stop) = ctl.checkpoint(config, stats.rounds, core.instance.len(), &core.fired) {
+        if let Some(stop) = ctl.checkpoint(config, stats.rounds, &core.instance, &core.fired) {
             return stop;
         }
         stats.rounds += 1;

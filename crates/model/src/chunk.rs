@@ -84,12 +84,51 @@ mod sys {
     pub const MAP_SHARED: c_int = 1;
 }
 
-/// Maps a fresh pre-sized temp file in `dir`, unlinking it immediately so
-/// the space is reclaimed on process exit no matter how we die. Returns
-/// the mapping base or `None` (caller falls back to a heap chunk).
+/// Bounded-retry policy for transient (`EINTR`/`EAGAIN`-class) spill
+/// I/O errors: attempts beyond the first, from `NUCHASE_SPILL_RETRIES`
+/// (default 3; read per mapping attempt — the spill path already reads
+/// the environment per allocation, and it is far off the hot path).
+fn spill_retries() -> u32 {
+    std::env::var("NUCHASE_SPILL_RETRIES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3)
+}
+
+/// Backoff between spill retries, in milliseconds per attempt index
+/// (linear), from `NUCHASE_SPILL_BACKOFF_MS` (default 1).
+fn spill_backoff_ms() -> u64 {
+    std::env::var("NUCHASE_SPILL_BACKOFF_MS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// Is this I/O error worth a bounded retry rather than a fallback?
+fn spill_error_is_transient(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// One attempt at creating, sizing, and mapping a spill file. Fault
+/// sites: [`crate::fault::FaultSite::SpillTransient`] simulates an
+/// `EINTR`-class error (absorbed by the caller's retry loop),
+/// [`crate::fault::FaultSite::SpillMap`] a hard failure (caller falls
+/// back to a heap chunk).
 #[cfg(unix)]
-fn map_spill_file(dir: &str, bytes: usize) -> Option<*mut u8> {
+fn try_map_spill_file(dir: &str, bytes: usize) -> std::io::Result<*mut u8> {
     use std::os::unix::io::AsRawFd;
+    if crate::fault::trip(crate::fault::FaultSite::SpillTransient) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "injected transient spill failure",
+        ));
+    }
+    if crate::fault::trip(crate::fault::FaultSite::SpillMap) {
+        return Err(std::io::Error::other("injected spill mapping failure"));
+    }
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let name = format!(
         "nuchase-arena-{}-{}.bin",
@@ -101,10 +140,9 @@ fn map_spill_file(dir: &str, bytes: usize) -> Option<*mut u8> {
         .read(true)
         .write(true)
         .create_new(true)
-        .open(&path)
-        .ok()?;
+        .open(&path)?;
     let mapped = (|| {
-        file.set_len(bytes as u64).ok()?;
+        file.set_len(bytes as u64)?;
         let ptr = unsafe {
             sys::mmap(
                 std::ptr::null_mut(),
@@ -116,13 +154,38 @@ fn map_spill_file(dir: &str, bytes: usize) -> Option<*mut u8> {
             )
         };
         if ptr as usize == usize::MAX {
-            None
+            Err(std::io::Error::last_os_error())
         } else {
-            Some(ptr as *mut u8)
+            Ok(ptr as *mut u8)
         }
     })();
     let _ = std::fs::remove_file(&path);
     mapped
+}
+
+/// Maps a fresh pre-sized temp file in `dir`, unlinking it immediately so
+/// the space is reclaimed on process exit no matter how we die. Transient
+/// (`EINTR`/`EAGAIN`-class) errors are retried a bounded number of times
+/// with linear backoff; anything else — or exhausting the retries —
+/// returns `None` (caller falls back to a heap chunk).
+#[cfg(unix)]
+fn map_spill_file(dir: &str, bytes: usize) -> Option<*mut u8> {
+    let retries = spill_retries();
+    let mut attempt = 0u32;
+    loop {
+        match try_map_spill_file(dir, bytes) {
+            Ok(ptr) => return Some(ptr),
+            Err(e) if spill_error_is_transient(&e) && attempt < retries => {
+                attempt += 1;
+                crate::fault::note_retry();
+                let backoff = spill_backoff_ms().saturating_mul(attempt as u64);
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+            }
+            Err(_) => return None,
+        }
+    }
 }
 
 /// Warns once per process when a configured spill directory is unusable.
@@ -220,7 +283,10 @@ impl<T: Copy> ChunkedArena<T> {
                             mmap_bytes: bytes,
                         };
                     }
-                    None => warn_spill_unusable(&dir),
+                    None => {
+                        crate::fault::note_spill_fallback();
+                        warn_spill_unusable(&dir);
+                    }
                 }
             }
         }
@@ -250,6 +316,10 @@ impl<T: Copy> ChunkedArena<T> {
         }
         let chunk_i = (self.len as usize) >> self.shift;
         while self.chunks.len() <= chunk_i {
+            // Fault site: fires *before* the allocation, so an injected
+            // growth failure leaves the arena untouched (the region was
+            // never handed out) and a round replay is idempotent.
+            crate::fault::check(crate::fault::FaultSite::ArenaGrow);
             let c = self.new_chunk();
             self.chunks.push(c);
         }

@@ -1,0 +1,454 @@
+//! Deterministic fault injection: named sites at the fallible
+//! boundaries, armed by a [`FaultPlan`].
+//!
+//! The fault-isolation contract of the engine (*under any injected
+//! fault, a chase either completes byte-identically to the fault-free
+//! run or fails cleanly with a typed error and a session rolled back to
+//! the last round boundary*) is only testable if failures can be made
+//! to happen **deterministically** — "the third arena chunk allocation
+//! fails", "the first spill `mmap` gets `EINTR`". This module provides
+//! that: every fallible boundary in the model and engine crates calls
+//! [`check`] (panic sites) or [`trip`] (degradation sites) with its
+//! [`FaultSite`] name, and a [`FaultPlan`] arms the n-th hit of a site
+//! to fail.
+//!
+//! The machinery lives in `nuchase-model` (not the engine) because two
+//! of the boundaries — [`ChunkedArena`](crate::ChunkedArena) chunk
+//! allocation and the hash-table grow — are model-crate code and the
+//! dependency points the other way; the engine re-exports the public
+//! surface as `engine::fault` and owns the typed `ChaseError` built
+//! from an [`InjectedFault`] payload.
+//!
+//! # Hot-path cost
+//!
+//! Arming is process-global (one plan at a time; the engine arms around
+//! a run and disarms on the way out, tests serialize). With no plan
+//! armed, [`check`]/[`trip`] compile to one relaxed atomic load and a
+//! predictable branch — and every site sits on a cold edge (chunk
+//! allocation, table growth, once-per-round boundaries), so the
+//! fault-free hot path is unchanged (pinned by the overhead measurement
+//! in EXPERIMENTS.md).
+//!
+//! # Failure semantics per site kind
+//!
+//! *Panic sites* ([`check`]) unwind with an [`InjectedFault`] payload
+//! via [`std::panic::panic_any`]; the engine's `catch_unwind` layers
+//! turn that into `ChaseError::Injected` and roll the session back to
+//! the last round boundary. A plan entry with the `:panic` flavor
+//! unwinds with a plain string payload instead — indistinguishable from
+//! a genuine bug — which the engine maps to `ChaseError::Panic` and a
+//! poisoned (non-resumable) session.
+//!
+//! *Degradation sites* ([`trip`]) simulate a *recoverable* resource
+//! failure in place: a tripped [`FaultSite::SpillMap`] makes the spill
+//! mapping report a hard I/O error (the arena falls back to a heap
+//! chunk and the run completes byte-identically), a tripped
+//! [`FaultSite::SpillTransient`] reports an `EINTR`-class error (the
+//! bounded retry loop absorbs it).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Named fault-injection sites — one per fallible boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FaultSite {
+    /// [`ChunkedArena`](crate::ChunkedArena) chunk allocation (instance
+    /// term pool, postings spill, fired-set tuple arenas). Panic site.
+    ArenaGrow,
+    /// Spill-file creation/`mmap` under `NUCHASE_INSTANCE_SPILL_DIR` —
+    /// simulated **hard** failure. Degradation site: the arena falls
+    /// back to a heap chunk and the run completes byte-identically.
+    SpillMap,
+    /// Spill-file creation/`mmap` — simulated **transient**
+    /// (`EINTR`/`EAGAIN`-class) failure. Degradation site: absorbed by
+    /// the bounded retry loop.
+    SpillTransient,
+    /// Hash-table growth (`TagTable` rehash) in the instance index and
+    /// the trigger-dedup sets. Panic site.
+    TableGrow,
+    /// Worker task execution: the entry of a per-rule / per-task
+    /// trigger-enumeration body (all executors). Panic site.
+    WorkerTask,
+    /// Commit entry: the start of a round's apply/commit pass, before
+    /// any instance mutation. Panic site.
+    Commit,
+}
+
+/// Number of distinct [`FaultSite`]s (array sizing).
+pub const SITE_COUNT: usize = 6;
+
+impl FaultSite {
+    /// Every site, in `as usize` index order.
+    pub const ALL: [FaultSite; SITE_COUNT] = [
+        FaultSite::ArenaGrow,
+        FaultSite::SpillMap,
+        FaultSite::SpillTransient,
+        FaultSite::TableGrow,
+        FaultSite::WorkerTask,
+        FaultSite::Commit,
+    ];
+
+    /// The site's plan-syntax name (`arena_grow`, `spill_map`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::ArenaGrow => "arena_grow",
+            FaultSite::SpillMap => "spill_map",
+            FaultSite::SpillTransient => "spill_transient",
+            FaultSite::TableGrow => "table_grow",
+            FaultSite::WorkerTask => "worker_task",
+            FaultSite::Commit => "commit",
+        }
+    }
+
+    /// Inverse of [`FaultSite::name`].
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.name() == s)
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The panic payload of an injected fault: which site fired and which
+/// hit (0-based) of that site it was. The engine's `catch_unwind`
+/// layers downcast for exactly this type to distinguish an *injected*
+/// fault (typed, session resumable after rollback) from a genuine bug
+/// (session poisoned).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// The 0-based hit index at which it fired.
+    pub hit: u64,
+}
+
+/// How an armed panic site unwinds when it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FaultKind {
+    /// `panic_any(InjectedFault { .. })` — the typed, recoverable kind.
+    Typed,
+    /// A plain `panic!` with a string payload — simulates a genuine
+    /// bug; the engine poisons the session instead of offering resume.
+    Panic,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct PlanEntry {
+    site: FaultSite,
+    nth: u64,
+    kind: FaultKind,
+}
+
+/// Maximum number of `site:nth` entries a [`FaultPlan`] holds.
+pub const FAULT_PLAN_MAX: usize = 8;
+
+/// A deterministic fault plan: up to [`FAULT_PLAN_MAX`] `(site, nth)`
+/// entries, each arming the `nth` (0-based) hit of `site` to fail.
+///
+/// Plans are plain `Copy` values so they ride on the engine's
+/// `ChaseConfig`; the text syntax (the `NUCHASE_FAULT_PLAN` knob) is
+/// `site:nth[,site:nth...]` with an optional `:panic` flavor per entry
+/// (e.g. `worker_task:0:panic` unwinds with a string payload — a
+/// simulated bug — instead of the typed [`InjectedFault`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    entries: [Option<PlanEntry>; FAULT_PLAN_MAX],
+}
+
+impl FaultPlan {
+    /// The empty plan (never fires; arming it is a no-op).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Does this plan arm nothing?
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    fn push(mut self, entry: PlanEntry) -> FaultPlan {
+        let slot = self
+            .entries
+            .iter_mut()
+            .find(|e| e.is_none())
+            .expect("fault plan holds at most FAULT_PLAN_MAX entries");
+        *slot = Some(entry);
+        self
+    }
+
+    /// Arms the `nth` (0-based) hit of `site` to fail with the typed
+    /// [`InjectedFault`] payload. Builder-style.
+    pub fn fail(self, site: FaultSite, nth: u64) -> FaultPlan {
+        self.push(PlanEntry {
+            site,
+            nth,
+            kind: FaultKind::Typed,
+        })
+    }
+
+    /// Arms the `nth` hit of `site` to unwind with a plain string panic
+    /// (a simulated bug — the engine poisons the session).
+    pub fn fail_with_panic(self, site: FaultSite, nth: u64) -> FaultPlan {
+        self.push(PlanEntry {
+            site,
+            nth,
+            kind: FaultKind::Panic,
+        })
+    }
+
+    /// Parses the `NUCHASE_FAULT_PLAN` syntax:
+    /// `site:nth[:panic][,site:nth[:panic]...]`.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        let mut count = 0usize;
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let mut fields = part.split(':');
+            let site = fields
+                .next()
+                .and_then(FaultSite::parse)
+                .ok_or_else(|| format!("unknown fault site in {part:?}"))?;
+            let nth: u64 = fields
+                .next()
+                .and_then(|n| n.trim().parse().ok())
+                .ok_or_else(|| format!("missing/malformed hit index in {part:?}"))?;
+            let kind = match fields.next() {
+                None => FaultKind::Typed,
+                Some("panic") => FaultKind::Panic,
+                Some(other) => return Err(format!("unknown fault flavor {other:?} in {part:?}")),
+            };
+            if count >= FAULT_PLAN_MAX {
+                return Err(format!("fault plan exceeds {FAULT_PLAN_MAX} entries"));
+            }
+            plan = plan.push(PlanEntry { site, nth, kind });
+            count += 1;
+        }
+        Ok(plan)
+    }
+}
+
+/// Fast-path gate: false almost always, so every site check is one
+/// relaxed load and a predictable branch.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Per-site armed hit index; `u64::MAX` = the site is not armed.
+static TRIGGER_NTH: [AtomicU64; SITE_COUNT] = [
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+];
+
+/// Per-site flavor: `true` = plain-string panic instead of the typed
+/// payload.
+static TRIGGER_PANIC: [AtomicBool; SITE_COUNT] = [
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+];
+
+/// Per-site hit counters while a plan is armed.
+static HITS: [AtomicU64; SITE_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+// Lifetime fault-accounting counters (monotonic; the engine snapshots
+// them around a run to attribute per-run deltas to `ChaseStats`).
+static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
+static SPILL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Arms `plan` process-wide, resetting all hit counters. One plan at a
+/// time; arming an empty plan is equivalent to [`disarm`].
+pub fn arm(plan: &FaultPlan) {
+    ARMED.store(false, Ordering::SeqCst);
+    for i in 0..SITE_COUNT {
+        TRIGGER_NTH[i].store(u64::MAX, Ordering::SeqCst);
+        TRIGGER_PANIC[i].store(false, Ordering::SeqCst);
+        HITS[i].store(0, Ordering::SeqCst);
+    }
+    let mut any = false;
+    for entry in plan.entries.iter().flatten() {
+        let i = entry.site.idx();
+        TRIGGER_NTH[i].store(entry.nth, Ordering::SeqCst);
+        TRIGGER_PANIC[i].store(entry.kind == FaultKind::Panic, Ordering::SeqCst);
+        any = true;
+    }
+    ARMED.store(any, Ordering::SeqCst);
+}
+
+/// Disarms all sites (the steady state).
+pub fn disarm() {
+    arm(&FaultPlan::none());
+}
+
+/// Panic-site check: unwinds (with the [`InjectedFault`] payload, or a
+/// plain string for `:panic`-flavored entries) iff a plan armed this
+/// hit of this site. One relaxed load when nothing is armed.
+#[inline]
+pub fn check(site: FaultSite) {
+    if ARMED.load(Ordering::Relaxed) {
+        check_armed(site);
+    }
+}
+
+#[cold]
+fn check_armed(site: FaultSite) {
+    let i = site.idx();
+    let nth = TRIGGER_NTH[i].load(Ordering::Relaxed);
+    if nth == u64::MAX {
+        return;
+    }
+    let hit = HITS[i].fetch_add(1, Ordering::Relaxed);
+    if hit == nth {
+        FAULTS_INJECTED.fetch_add(1, Ordering::Relaxed);
+        if TRIGGER_PANIC[i].load(Ordering::Relaxed) {
+            panic!("injected panic at fault site `{site}` (hit {hit})");
+        }
+        std::panic::panic_any(InjectedFault { site, hit });
+    }
+}
+
+/// Degradation-site check: returns `true` (the caller simulates a
+/// recoverable resource failure in place) iff a plan armed this hit of
+/// this site. One relaxed load when nothing is armed.
+#[inline]
+pub fn trip(site: FaultSite) -> bool {
+    ARMED.load(Ordering::Relaxed) && trip_armed(site)
+}
+
+#[cold]
+fn trip_armed(site: FaultSite) -> bool {
+    let i = site.idx();
+    let nth = TRIGGER_NTH[i].load(Ordering::Relaxed);
+    if nth == u64::MAX {
+        return false;
+    }
+    let hit = HITS[i].fetch_add(1, Ordering::Relaxed);
+    if hit == nth {
+        FAULTS_INJECTED.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+/// Snapshot of the process-lifetime fault-accounting counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultCounters {
+    /// Armed site hits that fired (panic sites unwound, degradation
+    /// sites tripped).
+    pub faults_injected: u64,
+    /// Spill-chunk allocations that fell back to heap chunks because
+    /// the configured spill directory was unusable.
+    pub spill_fallbacks: u64,
+    /// Transient spill-I/O errors absorbed by the bounded retry loop.
+    pub retries: u64,
+}
+
+/// Reads the lifetime counters (monotonic; diff two snapshots for a
+/// per-run attribution).
+pub fn counters() -> FaultCounters {
+    FaultCounters {
+        faults_injected: FAULTS_INJECTED.load(Ordering::Relaxed),
+        spill_fallbacks: SPILL_FALLBACKS.load(Ordering::Relaxed),
+        retries: RETRIES.load(Ordering::Relaxed),
+    }
+}
+
+/// Books one heap fallback of a spill-chunk allocation.
+pub fn note_spill_fallback() {
+    SPILL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Books one absorbed transient spill-I/O retry.
+pub fn note_retry() {
+    RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The armed/disarmed globals are process-wide; these tests share
+    // them with each other (and with any engine test that arms a plan),
+    // so they serialize on one lock.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn plan_parses_and_round_trips() {
+        let plan = FaultPlan::parse("arena_grow:2, worker_task:0:panic").unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan,
+            FaultPlan::none()
+                .fail(FaultSite::ArenaGrow, 2)
+                .fail_with_panic(FaultSite::WorkerTask, 0)
+        );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("bogus:1").is_err());
+        assert!(FaultPlan::parse("commit").is_err());
+        assert!(FaultPlan::parse("commit:1:often").is_err());
+    }
+
+    #[test]
+    fn check_fires_exactly_the_armed_hit() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        arm(&FaultPlan::none().fail(FaultSite::Commit, 2));
+        check(FaultSite::Commit); // hit 0
+        check(FaultSite::Commit); // hit 1
+        check(FaultSite::TableGrow); // different site: never armed
+        let err = std::panic::catch_unwind(|| check(FaultSite::Commit)).unwrap_err();
+        let fault = err.downcast_ref::<InjectedFault>().expect("typed payload");
+        assert_eq!(fault.site, FaultSite::Commit);
+        assert_eq!(fault.hit, 2);
+        check(FaultSite::Commit); // hit 3: past the armed hit, quiet again
+        disarm();
+        check(FaultSite::Commit);
+    }
+
+    #[test]
+    fn panic_flavor_unwinds_with_a_string() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        arm(&FaultPlan::none().fail_with_panic(FaultSite::WorkerTask, 0));
+        let err = std::panic::catch_unwind(|| check(FaultSite::WorkerTask)).unwrap_err();
+        assert!(err.downcast_ref::<InjectedFault>().is_none());
+        assert!(err
+            .downcast_ref::<String>()
+            .unwrap()
+            .contains("worker_task"));
+        disarm();
+    }
+
+    #[test]
+    fn trip_reports_without_unwinding() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = counters().faults_injected;
+        arm(&FaultPlan::none().fail(FaultSite::SpillTransient, 1));
+        assert!(!trip(FaultSite::SpillTransient)); // hit 0
+        assert!(trip(FaultSite::SpillTransient)); // hit 1: armed
+        assert!(!trip(FaultSite::SpillTransient)); // hit 2
+        assert_eq!(counters().faults_injected, before + 1);
+        disarm();
+        assert!(!trip(FaultSite::SpillTransient));
+    }
+}

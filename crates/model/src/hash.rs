@@ -448,6 +448,9 @@ impl TagTable {
     /// if needed. `hashes[ordinal]` must be each stored entry's hash.
     pub fn reserve_one(&mut self, hashes: &[u64]) {
         if self.insert_would_grow() {
+            // Fault site: fires *before* the rehash touches anything, so
+            // an injected growth failure leaves the table consistent.
+            crate::fault::check(crate::fault::FaultSite::TableGrow);
             let new_lines = (self.lines.len() * 2).max(2);
             let mut lines = vec![EMPTY_LINE; new_lines];
             for line in &self.lines {

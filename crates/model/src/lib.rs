@@ -35,6 +35,7 @@ pub mod atom;
 pub mod chunk;
 pub mod display;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod hom;
 pub mod instance;
@@ -49,6 +50,7 @@ pub use atom::{Atom, AtomRef};
 pub use chunk::{ChunkedArena, SpillArena};
 pub use display::DisplayWith;
 pub use error::ModelError;
+pub use fault::{FaultPlan, FaultSite, InjectedFault};
 pub use instance::{
     intersect_sorted, AtomIdx, AtomIter, IndexDelta, Instance, ProbeHint, Snapshot,
 };

@@ -1,0 +1,456 @@
+//! Differential tests of the fault-isolation layer (`engine::fault` +
+//! `model::fault`), pinning the crash-consistency contract:
+//!
+//! > Under any injected fault, a chase run either **completes
+//! > byte-identically** to a fault-free run (the armed site never
+//! > fired), or **fails cleanly** with a typed error and the session
+//! > rolled back to the last round boundary — from which disarming the
+//! > plan and resuming completes byte-identically.
+//!
+//! Also pinned here:
+//!
+//! * **Panic isolation** — a worker panic (injected or `:panic`-flavor
+//!   "genuine") fails only its session: the engine's pool survives and
+//!   a new session on the same engine is byte-identical to a fresh run.
+//! * **Poisoning** — a genuine panic poisons its session: further runs
+//!   refuse with [`ChaseError::Poisoned`], but `stats()` stays usable.
+//! * **Graceful degradation** — spill-file I/O failure falls back to
+//!   heap chunks (byte-identical data, counters incremented), transient
+//!   errors retry with backoff, and the heap ceiling is a *resumable*
+//!   [`ChaseOutcome::MemoryLimit`] pause, not an error.
+//!
+//! Fault arming and the `NUCHASE_*` knobs are process-global, so every
+//! test serializes on one mutex and restores the globals it touches.
+
+use std::sync::Mutex;
+
+use nuchase_engine::{
+    ApplyPath, ChaseBudget, ChaseConfig, ChaseError, ChaseOutcome, ChaseResult, ChaseVariant,
+    Engine, FaultPlan, FaultSite, PreparedProgram,
+};
+use nuchase_model::{parse_program, ChunkedArena, InjectedFault, Program};
+
+/// Serializes every test in this file: the fault plan, its hit
+/// counters, and the env knobs are process-global.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Test-scoped guard: takes the global lock and swaps in a panic hook
+/// that silences *injected* unwinds (they are expected by the dozen
+/// here and would drown the harness output) while still printing
+/// genuine panics — i.e. real test failures.
+struct FaultTest {
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+impl FaultTest {
+    fn begin() -> FaultTest {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        nuchase_model::fault::disarm();
+        std::panic::set_hook(Box::new(|info| {
+            let p = info.payload();
+            let injected = p.is::<InjectedFault>()
+                || p.downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected panic at fault site"))
+                || p.downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected panic at fault site"));
+            if !injected {
+                eprintln!("{info}");
+            }
+        }));
+        FaultTest { _guard: guard }
+    }
+}
+
+impl Drop for FaultTest {
+    fn drop(&mut self) {
+        nuchase_model::fault::disarm();
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// A small terminating workload that exercises every engine stage:
+/// multi-rule enumeration, existential nulls, several rounds.
+fn workload() -> Program {
+    parse_program(
+        "e(a, b).\ne(b, c).\ne(c, d).\n\
+         e(X, Y), e(Y, Z) -> e(X, Z).\n\
+         e(X, Y) -> n(X, W).\n\
+         n(X, W) -> m(W).",
+    )
+    .unwrap()
+}
+
+fn config(threads: usize, path: ApplyPath) -> ChaseConfig {
+    ChaseConfig {
+        variant: ChaseVariant::SemiOblivious,
+        threads,
+        apply_path: path,
+        budget: ChaseBudget::atoms(20_000),
+        ..Default::default()
+    }
+}
+
+/// The contract's "byte-identical" clause, at the strength the fault
+/// flows guarantee: same atoms at the same indexes, same null count.
+fn assert_same_instance(a: &ChaseResult, b: &ChaseResult, label: &str) {
+    assert!(a.instance.indexed_eq(&b.instance), "{label}: instance");
+    assert_eq!(a.nulls.len(), b.nulls.len(), "{label}: null count");
+}
+
+const APPLY_PATHS: [ApplyPath; 2] = [ApplyPath::Pipeline, ApplyPath::Fused];
+
+/// The tentpole sweep: every site × thread count × apply path × two hit
+/// indexes. Each armed run either terminates byte-identically (the site
+/// never fired on this path) or fails with exactly the armed site's
+/// typed error — and then, disarmed, resumes to the identical fixpoint.
+#[test]
+fn injected_faults_complete_or_fail_cleanly_and_resume_identically() {
+    let _t = FaultTest::begin();
+    let p = workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let reference =
+        Engine::from_config(&config(0, ApplyPath::Pipeline)).chase(&prepared, &p.database);
+    assert!(reference.terminated());
+
+    for site in FaultSite::ALL {
+        for nth in [0u64, 3] {
+            for threads in [0usize, 1, 2] {
+                for path in APPLY_PATHS {
+                    let label = format!("{site} nth {nth} threads {threads} {path:?}");
+                    let mut cfg = config(threads, path);
+                    cfg.fault_plan = FaultPlan::none().fail(site, nth);
+                    let engine = Engine::from_config(&cfg);
+                    let mut session = engine.session(&prepared, &p.database);
+                    match session.run() {
+                        ChaseOutcome::Terminated => {
+                            // The armed hit was never reached on this
+                            // path — the run must be untouched.
+                            let result = session.finish();
+                            assert_same_instance(&reference, &result, &label);
+                        }
+                        ChaseOutcome::Failed(ChaseError::Injected { site: s, .. }) => {
+                            assert_eq!(s, site, "{label}: wrong site reported");
+                            assert!(!session.poisoned(), "{label}: injected must not poison");
+                            assert!(
+                                session.stats().faults_injected >= 1,
+                                "{label}: fault not counted"
+                            );
+                            // Disarm and resume: the rollback-and-replay
+                            // must land on the fault-free fixpoint.
+                            session.set_fault_plan(FaultPlan::none());
+                            assert_eq!(
+                                session.resume(),
+                                ChaseOutcome::Terminated,
+                                "{label}: resume"
+                            );
+                            let result = session.finish();
+                            assert_same_instance(&reference, &result, &label);
+                        }
+                        other => panic!("{label}: unexpected outcome {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Panic isolation: a worker-task fault on the pooled executor fails
+/// only its session. The pool's threads re-park, and both a *new*
+/// session on the same engine and the disarmed *resumed* session reach
+/// the byte-identical fixpoint.
+#[test]
+fn worker_fault_leaves_engine_and_pool_usable() {
+    let _t = FaultTest::begin();
+    let p = workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let mut cfg = config(2, ApplyPath::Pipeline);
+    let reference = Engine::from_config(&cfg).chase(&prepared, &p.database);
+
+    cfg.fault_plan = FaultPlan::none().fail(FaultSite::WorkerTask, 0);
+    let engine = Engine::from_config(&cfg);
+    let mut session = engine.session(&prepared, &p.database);
+    let outcome = session.run();
+    assert!(
+        matches!(
+            outcome,
+            ChaseOutcome::Failed(ChaseError::Injected {
+                site: FaultSite::WorkerTask,
+                ..
+            })
+        ),
+        "expected an injected worker fault, got {outcome:?}"
+    );
+
+    // A fresh session on the SAME engine (same pool threads): clean run.
+    let mut fresh = engine.session(&prepared, &p.database);
+    fresh.set_fault_plan(FaultPlan::none());
+    assert_eq!(fresh.run(), ChaseOutcome::Terminated, "fresh session");
+    assert_same_instance(&reference, &fresh.finish(), "fresh session");
+
+    // And the failed session itself resumes to the same fixpoint.
+    session.set_fault_plan(FaultPlan::none());
+    assert_eq!(session.resume(), ChaseOutcome::Terminated, "resumed");
+    assert_same_instance(&reference, &session.finish(), "resumed");
+}
+
+/// The `:panic` flavor simulates a genuine bug: the session poisons
+/// (further runs refuse with the typed `Poisoned` error) but keeps its
+/// accessors, and the engine + pool serve new sessions unharmed.
+#[test]
+fn genuine_panic_poisons_only_its_session() {
+    let _t = FaultTest::begin();
+    let p = workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let mut cfg = config(2, ApplyPath::Pipeline);
+    let reference = Engine::from_config(&cfg).chase(&prepared, &p.database);
+
+    cfg.fault_plan = FaultPlan::none().fail_with_panic(FaultSite::WorkerTask, 0);
+    let engine = Engine::from_config(&cfg);
+    let mut session = engine.session(&prepared, &p.database);
+    match session.run() {
+        ChaseOutcome::Failed(ChaseError::Panic { message }) => {
+            assert!(
+                message.contains("injected panic at fault site"),
+                "panic message lost: {message}"
+            );
+        }
+        other => panic!("expected a panic failure, got {other:?}"),
+    }
+    assert!(session.poisoned(), "genuine panic must poison");
+    // The poisoned session still reports — and refuses to run again.
+    let _ = session.stats();
+    assert!(
+        matches!(
+            session.outcome(),
+            Some(ChaseOutcome::Failed(ChaseError::Panic { .. }))
+        ),
+        "outcome accessor lost the failure"
+    );
+    session.set_fault_plan(FaultPlan::none());
+    assert_eq!(
+        session.run(),
+        ChaseOutcome::Failed(ChaseError::Poisoned),
+        "poisoned session must refuse"
+    );
+
+    // The engine outlives the poisoned session.
+    let mut fresh = engine.session(&prepared, &p.database);
+    fresh.set_fault_plan(FaultPlan::none());
+    assert_eq!(fresh.run(), ChaseOutcome::Terminated);
+    assert_same_instance(&reference, &fresh.finish(), "post-poison session");
+}
+
+/// `NUCHASE_FAULT_PLAN` arms runs exactly like a config plan, and a
+/// malformed value warns and stays disarmed instead of failing runs.
+#[test]
+fn env_fault_plan_arms_and_malformed_is_ignored() {
+    let _t = FaultTest::begin();
+    let p = workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let cfg = config(0, ApplyPath::Pipeline);
+    let reference = Engine::from_config(&cfg).chase(&prepared, &p.database);
+
+    std::env::set_var("NUCHASE_FAULT_PLAN", "commit:0");
+    let engine = Engine::from_config(&cfg);
+    let mut session = engine.session(&prepared, &p.database);
+    let outcome = session.run();
+    std::env::remove_var("NUCHASE_FAULT_PLAN");
+    assert!(
+        matches!(
+            outcome,
+            ChaseOutcome::Failed(ChaseError::Injected {
+                site: FaultSite::Commit,
+                ..
+            })
+        ),
+        "env plan did not arm: {outcome:?}"
+    );
+    assert_eq!(session.resume(), ChaseOutcome::Terminated);
+    assert_same_instance(&reference, &session.finish(), "env plan resume");
+
+    std::env::set_var("NUCHASE_FAULT_PLAN", "not-a-site:banana");
+    let mut session = engine.session(&prepared, &p.database);
+    let outcome = session.run();
+    std::env::remove_var("NUCHASE_FAULT_PLAN");
+    assert_eq!(
+        outcome,
+        ChaseOutcome::Terminated,
+        "malformed plan must disarm"
+    );
+    assert_same_instance(&reference, &session.finish(), "malformed plan");
+}
+
+/// The heap ceiling is a *pause*, not a failure: `MemoryLimit` at a
+/// round boundary, then raising the budget and resuming reproduces the
+/// uninterrupted run byte for byte — rounds and fired counters included.
+#[test]
+fn memory_limit_is_a_resumable_round_boundary_pause() {
+    let _t = FaultTest::begin();
+    let p = workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let cfg = config(0, ApplyPath::Pipeline);
+    let reference = Engine::from_config(&cfg).chase(&prepared, &p.database);
+
+    // Via the budget field.
+    let mut limited = cfg;
+    limited.budget.max_heap_bytes = Some(1);
+    let engine = Engine::from_config(&limited);
+    let mut session = engine.session(&prepared, &p.database);
+    assert_eq!(session.run(), ChaseOutcome::MemoryLimit, "budget ceiling");
+    assert!(!session.poisoned());
+    session.set_budget(ChaseBudget::atoms(20_000)); // ceiling lifted
+    assert_eq!(session.resume(), ChaseOutcome::Terminated);
+    let result = session.finish();
+    assert_same_instance(&reference, &result, "memory-limit resume");
+    assert_eq!(result.stats.rounds, reference.stats.rounds, "rounds");
+    assert_eq!(
+        result.stats.triggers_fired, reference.stats.triggers_fired,
+        "fired"
+    );
+
+    // Via the env knob, when the budget leaves the ceiling unset.
+    std::env::set_var("NUCHASE_MEMORY_LIMIT_BYTES", "1");
+    let engine = Engine::from_config(&cfg);
+    let mut session = engine.session(&prepared, &p.database);
+    let outcome = session.run();
+    std::env::remove_var("NUCHASE_MEMORY_LIMIT_BYTES");
+    assert_eq!(outcome, ChaseOutcome::MemoryLimit, "env ceiling");
+    assert_eq!(session.resume(), ChaseOutcome::Terminated);
+    assert_same_instance(&reference, &session.finish(), "env ceiling resume");
+}
+
+/// Builds an arena with tiny chunks and fills two chunks' worth, so
+/// chunk allocation (and with it the spill machinery) runs under test
+/// control regardless of the process-wide default chunk length.
+#[cfg(unix)]
+fn fill_two_chunks() -> ChunkedArena<u64> {
+    let mut arena = ChunkedArena::with_chunk_len(64, 0u64);
+    let values: Vec<u64> = (0..128).collect();
+    arena.push_slice(&values[..64]);
+    arena.push_slice(&values[64..]);
+    for i in 0..128u32 {
+        assert_eq!(arena.at(i), i as u64, "arena content");
+    }
+    arena
+}
+
+/// A spill mapping failure degrades to a heap chunk — data intact, the
+/// fallback counted — while later chunks still spill normally.
+#[cfg(unix)]
+#[test]
+fn spill_map_fault_falls_back_to_heap() {
+    let _t = FaultTest::begin();
+    let dir = std::env::temp_dir().join("nuchase_fault_spill_map");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("NUCHASE_INSTANCE_SPILL_DIR", &dir);
+    let before = nuchase_model::fault::counters();
+    nuchase_model::fault::arm(&FaultPlan::none().fail(FaultSite::SpillMap, 0));
+    let arena = fill_two_chunks();
+    nuchase_model::fault::disarm();
+    std::env::remove_var("NUCHASE_INSTANCE_SPILL_DIR");
+    let after = nuchase_model::fault::counters();
+    assert_eq!(
+        after.spill_fallbacks - before.spill_fallbacks,
+        1,
+        "first chunk fell back"
+    );
+    // The second allocation (hit 1, plan arms hit 0) spilled normally.
+    assert!(arena.file_bytes() > 0, "second chunk file-backed");
+    drop(arena);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Transient (`EINTR`/`EAGAIN`-class) spill errors are retried with
+/// backoff and then succeed — no fallback, the retry counted.
+#[cfg(unix)]
+#[test]
+fn transient_spill_errors_retry_then_succeed() {
+    let _t = FaultTest::begin();
+    let dir = std::env::temp_dir().join("nuchase_fault_spill_transient");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("NUCHASE_INSTANCE_SPILL_DIR", &dir);
+    let before = nuchase_model::fault::counters();
+    nuchase_model::fault::arm(&FaultPlan::none().fail(FaultSite::SpillTransient, 0));
+    let arena = fill_two_chunks();
+    nuchase_model::fault::disarm();
+    std::env::remove_var("NUCHASE_INSTANCE_SPILL_DIR");
+    let after = nuchase_model::fault::counters();
+    assert!(after.retries > before.retries, "retry not counted");
+    assert_eq!(
+        after.spill_fallbacks, before.spill_fallbacks,
+        "a recovered retry is not a fallback"
+    );
+    assert!(arena.file_bytes() > 0, "retried chunk is file-backed");
+    drop(arena);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A genuinely unusable spill dir (here: a regular file, so chunk file
+/// creation fails with a real, non-injected I/O error) degrades every
+/// chunk to the heap — data intact, warn-once, fallbacks counted.
+#[cfg(unix)]
+#[test]
+fn unusable_spill_dir_degrades_to_heap() {
+    let _t = FaultTest::begin();
+    let file = std::env::temp_dir().join("nuchase_fault_spill_notadir");
+    std::fs::write(&file, b"not a directory").unwrap();
+    std::env::set_var("NUCHASE_INSTANCE_SPILL_DIR", &file);
+    let before = nuchase_model::fault::counters();
+    let arena = fill_two_chunks();
+    std::env::remove_var("NUCHASE_INSTANCE_SPILL_DIR");
+    let after = nuchase_model::fault::counters();
+    assert_eq!(arena.file_bytes(), 0, "all chunks on the heap");
+    assert!(
+        after.spill_fallbacks - before.spill_fallbacks >= 2,
+        "every chunk allocation fell back"
+    );
+    drop(arena);
+    std::fs::remove_file(&file).ok();
+}
+
+/// An engine run under an unusable spill dir is byte-identical to a
+/// heap run — degradation changes *where* chunks live, never the chase.
+#[cfg(unix)]
+#[test]
+fn engine_run_with_unusable_spill_dir_is_byte_identical() {
+    let _t = FaultTest::begin();
+    let p = workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let cfg = config(0, ApplyPath::Pipeline);
+    let reference = Engine::from_config(&cfg).chase(&prepared, &p.database);
+
+    let file = std::env::temp_dir().join("nuchase_fault_spill_engine_notadir");
+    std::fs::write(&file, b"not a directory").unwrap();
+    std::env::set_var("NUCHASE_INSTANCE_SPILL_DIR", &file);
+    let degraded = Engine::from_config(&cfg).chase(&prepared, &p.database);
+    std::env::remove_var("NUCHASE_INSTANCE_SPILL_DIR");
+    assert!(degraded.terminated());
+    assert_same_instance(&reference, &degraded, "degraded spill run");
+    std::fs::remove_file(&file).ok();
+}
+
+/// Fault accounting surfaces in the run's `ChaseStats` and in
+/// `phase_summary()` — but only when something actually happened.
+#[test]
+fn fault_counters_reach_stats_and_phase_summary() {
+    let _t = FaultTest::begin();
+    let p = workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let mut cfg = config(0, ApplyPath::Pipeline);
+
+    // A clean run reports nothing fault-related.
+    let clean = Engine::from_config(&cfg).chase(&prepared, &p.database);
+    assert_eq!(clean.stats.faults_injected, 0);
+    assert!(!clean.stats.phase_summary().contains("faults"));
+
+    cfg.fault_plan = FaultPlan::none().fail(FaultSite::Commit, 0);
+    let engine = Engine::from_config(&cfg);
+    let mut session = engine.session(&prepared, &p.database);
+    assert!(matches!(session.run(), ChaseOutcome::Failed(_)));
+    assert_eq!(session.stats().faults_injected, 1, "fault attributed");
+    assert!(
+        session.stats().phase_summary().contains("faults 1"),
+        "phase summary: {}",
+        session.stats().phase_summary()
+    );
+}

@@ -422,6 +422,9 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
         index_spill_count: 2,
         batched_probes: 100,
         prefetch_queue_depth: 8,
+        faults_injected: 1,
+        spill_fallbacks: 1,
+        retries: 2,
     };
     let b = ChaseStats {
         rounds: 2,
@@ -446,6 +449,9 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
         index_spill_count: 5,
         batched_probes: 40,
         prefetch_queue_depth: 12, // deeper queue than a's high-water mark
+        faults_injected: 2,
+        spill_fallbacks: 0,
+        retries: 1,
     };
     a.absorb(&b);
     assert_eq!(a.rounds, 5);
@@ -474,6 +480,10 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
     // queue depth maxes like a gauge.
     assert_eq!(a.batched_probes, 140);
     assert_eq!(a.prefetch_queue_depth, 12);
+    // Fault counters sum like any other counter.
+    assert_eq!(a.faults_injected, 3);
+    assert_eq!(a.spill_fallbacks, 1);
+    assert_eq!(a.retries, 3);
 }
 
 /// Per-run vs lifetime statistics across pause / resume / `add_atoms`:
