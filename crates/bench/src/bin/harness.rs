@@ -12,6 +12,8 @@
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-parallel-quick [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-prepared [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-prepared-quick [out.json]
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-serve [out.json]
+//! cargo run --release -p nuchase-bench --bin harness -- --bench-serve-quick [out.json]
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-wide
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-wide-quick
 //! cargo run --release -p nuchase-bench --bin harness -- --bench-huge
@@ -131,6 +133,29 @@ fn main() {
         let rows = nuchase_bench::perf::run_prepared_bench(if quick { 1 } else { 5 }, quick);
         print!("{}", nuchase_bench::perf::prepared_bench_table(&rows));
         let json = nuchase_bench::perf::prepared_bench_json(&rows);
+        std::fs::write(out_path, json).expect("write bench json");
+        println!("\nwrote {out_path}");
+        return;
+    }
+
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a == "--bench-serve" || a == "--bench-serve-quick")
+    {
+        let quick = args[pos] == "--bench-serve-quick";
+        let out_path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_serve.json");
+        println!(
+            "serve-facade harness: N concurrent sessions via Engine::submit vs the gated\n\
+             blocking-chase loop, mixed fast/slow tenants, one shared scheduler\n\
+             (result identity spot-checked; full runs assert the >=0.9x throughput and\n\
+             <=2x fast-tenant execution-dilation bars)\n"
+        );
+        let row = nuchase_bench::perf::run_serve_bench(if quick { 1 } else { 5 }, quick);
+        print!("{}", nuchase_bench::perf::serve_bench_table(&row));
+        let json = nuchase_bench::perf::serve_bench_json(&row);
         std::fs::write(out_path, json).expect("write bench json");
         println!("\nwrote {out_path}");
         return;

@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use nuchase_engine::{
     baseline_semi_oblivious_chase, chase, semi_oblivious_chase, ApplyPath, BatchEnum, ChaseBudget,
-    ChaseConfig, ChaseStats, Engine, PreparedProgram, RuleTelemetry, TelemetryLevel,
+    ChaseConfig, ChaseStats, Engine, JobHandle, PreparedProgram, RuleTelemetry, TelemetryLevel,
 };
 use nuchase_model::{parse_database, Atom, Instance, SymbolTable, Term, Tgd, TgdSet};
 
@@ -1443,91 +1443,148 @@ pub struct PreparedBenchRow {
     pub program_gain: f64,
 }
 
-fn run_mode(
-    runs: usize,
+/// One timed pass over every tenant database in one mode.
+struct SweepNumbers {
+    secs: f64,
+    atoms: usize,
+    peak: usize,
+    probes: usize,
+}
+
+fn sweep(
     dbs: &[Instance],
     mut chase_one: impl FnMut(&Instance) -> (usize, usize, usize),
-) -> (ModeNumbers, usize) {
-    let mut best = f64::INFINITY;
+) -> SweepNumbers {
+    let t = Instant::now();
     let mut atoms = 0usize;
     let mut peak = 0usize;
     let mut probes = 0usize;
-    for _ in 0..runs {
-        let t = Instant::now();
-        let mut sweep_atoms = 0usize;
-        let mut sweep_probes = 0usize;
-        for db in dbs {
-            let (a, p, bp) = chase_one(db);
-            sweep_atoms += a;
-            sweep_probes += bp;
-            peak = peak.max(p);
-        }
-        atoms = sweep_atoms;
-        probes = sweep_probes;
-        best = best.min(t.elapsed().as_secs_f64());
+    for db in dbs {
+        let (a, p, bp) = chase_one(db);
+        atoms += a;
+        probes += bp;
+        peak = peak.max(p);
     }
-    (
-        ModeNumbers {
-            total_secs: best,
-            per_chase_us: best * 1e6 / dbs.len().max(1) as f64,
-            peak_instance_bytes: peak,
-            batched_probes: probes,
-        },
+    SweepNumbers {
+        secs: t.elapsed().as_secs_f64(),
         atoms,
-    )
+        peak,
+        probes,
+    }
+}
+
+/// Folds best-of-N sweeps of one mode into its [`ModeNumbers`].
+#[derive(Default)]
+struct ModeAccum {
+    best: f64,
+    atoms: usize,
+    peak: usize,
+    probes: usize,
+}
+
+impl ModeAccum {
+    fn new() -> Self {
+        ModeAccum {
+            best: f64::INFINITY,
+            ..Default::default()
+        }
+    }
+
+    fn fold(&mut self, s: &SweepNumbers) {
+        self.best = self.best.min(s.secs);
+        self.atoms = s.atoms;
+        self.peak = self.peak.max(s.peak);
+        self.probes = s.probes;
+    }
+
+    fn numbers(&self, dbs: usize) -> ModeNumbers {
+        ModeNumbers {
+            total_secs: self.best,
+            per_chase_us: self.best * 1e6 / dbs.max(1) as f64,
+            peak_instance_bytes: self.peak,
+            batched_probes: self.probes,
+        }
+    }
+}
+
+fn median(ratios: &mut [f64]) -> f64 {
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
 }
 
 /// Runs the many-small-chases benchmark: N tenant databases × one Σ,
-/// measuring per-chase wall with and without program/engine reuse
-/// (best of `runs` sweeps per mode). `quick` shrinks the tenant count
-/// ~8× for the CI smoke. Every mode must produce identical chases
-/// (asserted on the summed atom counts); the full (non-quick) run also
-/// asserts the ≥1.3× amortization bar the prepared API exists for.
+/// measuring per-chase wall with and without program/engine reuse.
+/// `quick` shrinks the tenant count ~8× for the CI smoke. Every mode
+/// must produce identical chases (asserted on the summed atom counts);
+/// the full (non-quick) run also asserts the ≥1.3× amortization bar
+/// the prepared API exists for.
+///
+/// The three modes run **interleaved within each iteration** (one cold
+/// sweep, then one prepared, then one warm, `runs` times over), and the
+/// headline ratios are the *median of per-iteration ratios* — the same
+/// drift-cancelling estimator as [`ChaseBenchRow::batch_speedup`].
+/// The earlier shape (consecutive per-mode best-of-N blocks) let slow
+/// machine-state drift on a shared container land entirely on one mode:
+/// it once measured `prepared` 1.33× slower than `cold`, which is
+/// implausible — cold does strictly more work (it recompiles Σ and
+/// rebuilds the engine per chase on top of the identical chase).
 pub fn run_prepared_bench(runs: usize, quick: bool) -> Vec<PreparedBenchRow> {
     let tenants = if quick { 64 } else { 512 };
     let facts = 6;
     let config = ChaseConfig::default();
     let mut rows = Vec::new();
     for w in prepared_workloads(tenants, facts) {
-        let (cold, cold_atoms) = run_mode(runs, &w.databases, |db| {
-            let tgds = TgdSet::new(
-                w.rules
-                    .iter()
-                    .map(|(b, h)| Tgd::new(b.clone(), h.clone()).expect("template rule"))
-                    .collect(),
-            );
-            let program = PreparedProgram::compile(tgds);
-            let engine = Engine::from_config(&config);
-            let r = engine.chase(&program, db);
-            (
-                r.instance.len(),
-                r.stats.peak_instance_bytes,
-                r.stats.batched_probes,
-            )
-        });
         let shared_program = PreparedProgram::compile(w.tgds.clone());
-        let (prepared, prepared_atoms) = run_mode(runs, &w.databases, |db| {
-            let engine = Engine::from_config(&config);
-            let r = engine.chase(&shared_program, db);
-            (
-                r.instance.len(),
-                r.stats.peak_instance_bytes,
-                r.stats.batched_probes,
-            )
-        });
         let shared_engine = Engine::from_config(&config);
-        let (warm, warm_atoms) = run_mode(runs, &w.databases, |db| {
-            let r = shared_engine.chase(&shared_program, db);
-            (
-                r.instance.len(),
-                r.stats.peak_instance_bytes,
-                r.stats.batched_probes,
-            )
-        });
-        assert_eq!(cold_atoms, warm_atoms, "{}: modes disagree", w.name);
-        assert_eq!(prepared_atoms, warm_atoms, "{}: modes disagree", w.name);
-        let amortization = cold.total_secs / warm.total_secs.max(1e-12);
-        let program_gain = cold.total_secs / prepared.total_secs.max(1e-12);
+        let mut cold_acc = ModeAccum::new();
+        let mut prepared_acc = ModeAccum::new();
+        let mut warm_acc = ModeAccum::new();
+        let mut amort_ratios = Vec::new();
+        let mut gain_ratios = Vec::new();
+        for _ in 0..runs {
+            let cold = sweep(&w.databases, |db| {
+                let tgds = TgdSet::new(
+                    w.rules
+                        .iter()
+                        .map(|(b, h)| Tgd::new(b.clone(), h.clone()).expect("template rule"))
+                        .collect(),
+                );
+                let program = PreparedProgram::compile(tgds);
+                let engine = Engine::from_config(&config);
+                let r = engine.chase(&program, db);
+                (
+                    r.instance.len(),
+                    r.stats.peak_instance_bytes,
+                    r.stats.batched_probes,
+                )
+            });
+            let prepared = sweep(&w.databases, |db| {
+                let engine = Engine::from_config(&config);
+                let r = engine.chase(&shared_program, db);
+                (
+                    r.instance.len(),
+                    r.stats.peak_instance_bytes,
+                    r.stats.batched_probes,
+                )
+            });
+            let warm = sweep(&w.databases, |db| {
+                let r = shared_engine.chase(&shared_program, db);
+                (
+                    r.instance.len(),
+                    r.stats.peak_instance_bytes,
+                    r.stats.batched_probes,
+                )
+            });
+            assert_eq!(cold.atoms, warm.atoms, "{}: modes disagree", w.name);
+            assert_eq!(prepared.atoms, warm.atoms, "{}: modes disagree", w.name);
+            amort_ratios.push(cold.secs / warm.secs.max(1e-12));
+            gain_ratios.push(cold.secs / prepared.secs.max(1e-12));
+            cold_acc.fold(&cold);
+            prepared_acc.fold(&prepared);
+            warm_acc.fold(&warm);
+        }
+        let amortization = median(&mut amort_ratios);
+        let program_gain = median(&mut gain_ratios);
         if !quick {
             assert!(
                 amortization >= 1.3,
@@ -1538,10 +1595,10 @@ pub fn run_prepared_bench(runs: usize, quick: bool) -> Vec<PreparedBenchRow> {
         rows.push(PreparedBenchRow {
             name: w.name,
             databases: tenants,
-            chase_atoms: warm_atoms,
-            cold,
-            prepared,
-            warm,
+            chase_atoms: warm_acc.atoms,
+            cold: cold_acc.numbers(tenants),
+            prepared: prepared_acc.numbers(tenants),
+            warm: warm_acc.numbers(tenants),
             amortization,
             program_gain,
         });
@@ -1619,6 +1676,386 @@ pub fn prepared_bench_table(rows: &[PreparedBenchRow]) -> String {
             r.amortization
         );
     }
+    out
+}
+
+/// Mixed fast/slow serving tenants: the prepared bench's OBDA workload
+/// (one fixed Σ, many disjoint tenant databases) with every eighth
+/// tenant "slow" — 20× the seed facts — so the scheduler's quantum
+/// slicing has something to be fair about. Returns the ontology, the
+/// tenant databases, and the per-tenant slow flag.
+fn serve_tenants(tenants: usize) -> (TgdSet, Vec<Instance>, Vec<bool>) {
+    let mut symbols = SymbolTable::new();
+    let tgds = nuchase_gen::scenarios::obda_ontology(&mut symbols);
+    let mut databases = Vec::new();
+    let mut slow = Vec::new();
+    for t in 0..tenants {
+        let is_slow = t % 8 == 7;
+        let facts = if is_slow { 120 } else { 6 };
+        let depts = facts / 4 + 1;
+        let mut text = String::new();
+        for i in 0..facts {
+            text.push_str(&format!("employee(t{t}e{i}).\n"));
+            text.push_str(&format!("worksfor(t{t}e{i}, t{t}d{}).\n", i % depts));
+            if i % 3 == 0 {
+                text.push_str(&format!("assignedto(t{t}e{i}, t{t}p{}).\n", i % 2));
+            }
+        }
+        databases.push(parse_database(&text, &mut symbols).expect("tenant db"));
+        slow.push(is_slow);
+    }
+    (tgds, databases, slow)
+}
+
+/// Throughput and latency of one concurrency level of the serve bench
+/// (the best-throughput iteration of `runs`).
+#[derive(Debug, Clone)]
+pub struct ServeLevelNumbers {
+    /// Concurrent sessions submitted before the first result is awaited.
+    pub sessions: usize,
+    /// Wall seconds from first submit to last result.
+    pub total_secs: f64,
+    /// `sessions / total_secs` — the headline serving throughput.
+    pub chases_per_sec: f64,
+    /// Median end-to-end latency (queue wait + execution), µs.
+    pub p50_latency_us: f64,
+    /// 99th-percentile end-to-end latency, µs.
+    pub p99_latency_us: f64,
+    /// Median *execution* wall (queue wait excluded) of the fast
+    /// tenants' sessions, µs — compared against the solo wall to bound
+    /// how much concurrent load dilates a small request.
+    pub fast_p50_wall_us: f64,
+    /// Median execution wall of the slow tenants' sessions, µs.
+    pub slow_p50_wall_us: f64,
+    /// Peak worker-pool occupancy gauge observed across the level.
+    pub peak_occupancy: f64,
+}
+
+/// The serve-facade benchmark row: one workload, one thread count, a
+/// gated baseline, and the concurrency sweep.
+#[derive(Debug, Clone)]
+pub struct ServeBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Engine thread configuration (`ChaseConfig::threads`).
+    pub threads: usize,
+    /// Distinct tenant databases cycled through by the sessions.
+    pub tenants: usize,
+    /// Atoms of one full tenant sweep — identical between submitted
+    /// jobs and blocking solo chases (spot-asserted via `set_eq`).
+    pub chase_atoms: usize,
+    /// The PR 5 regime: one warm engine, blocking `chase` calls in a
+    /// loop (every session holds the engine exclusively), chases/sec.
+    pub gated_chases_per_sec: f64,
+    /// Median solo (unloaded, blocking) wall of a fast tenant, µs.
+    pub solo_fast_wall_us: f64,
+    /// One entry per concurrency level, ascending.
+    pub levels: Vec<ServeLevelNumbers>,
+    /// Best serve throughput across levels ÷ the gated baseline — the
+    /// "killing the gate cost nothing" bar (≥ 0.9 asserted, full runs).
+    pub serve_vs_gated: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs the serve-facade benchmark: N concurrent sessions submitted to
+/// one [`Engine`] through the non-blocking [`Engine::submit`] queue,
+/// measured against the gated (blocking-loop) baseline the scheduler
+/// replaced. Sessions cycle through mixed fast/slow tenant databases
+/// ([`serve_tenants`] — the prepared bench's 512-tenant OBDA regime
+/// with every eighth tenant 20× larger). Each concurrency level keeps
+/// the best-throughput iteration of `runs`; `quick` shrinks tenants and
+/// levels for the CI smoke.
+///
+/// Full (non-quick) runs assert the ISSUE's acceptance bars:
+/// * best serve throughput ≥ 0.9× the gated loop, and
+/// * the fast tenants' median execution wall under the heaviest
+///   concurrent load ≤ 2× their solo wall (queue wait is offered-load,
+///   not scheduler dilation, so it is excluded from this bar — it is
+///   still reported in the latency percentiles).
+///
+/// Every level spot-checks result identity: the first eight sessions'
+/// instances must equal a blocking solo chase of the same tenant.
+pub fn run_serve_bench(runs: usize, quick: bool) -> ServeBenchRow {
+    let tenants = if quick { 64 } else { 512 };
+    let levels: &[usize] = if quick { &[16, 64] } else { &[64, 512, 4096] };
+    // Match the host's parallelism (capped for very wide machines):
+    // oversubscribing scheduler workers on a small container turns every
+    // engaged round's phase handoff into cross-thread futex ping-pong,
+    // which measures the OS scheduler rather than ours. Concurrency is
+    // the point here, not parallelism — one worker still multiplexes
+    // every level through round-boundary quanta.
+    let threads = nuchase_engine::auto_threads().clamp(1, 8);
+    let config = ChaseConfig {
+        threads,
+        ..Default::default()
+    };
+    let (tgds, databases, slow) = serve_tenants(tenants);
+    let program = PreparedProgram::compile(tgds);
+    let engine = Engine::from_config(&config);
+    let t0 = Instant::now();
+    let progress = |what: &str| {
+        eprintln!("[serve bench {:7.1}s] {what}", t0.elapsed().as_secs_f64());
+    };
+
+    // Solo references: blocking chases on the warm engine — both the
+    // identity oracle and the unloaded-latency yardstick.
+    progress("solo reference sweep");
+    let solo: Vec<Instance> = databases
+        .iter()
+        .map(|db| engine.chase(&program, db).instance)
+        .collect();
+    let chase_atoms: usize = solo.iter().map(Instance::len).sum();
+    let mut fast_walls: Vec<f64> = Vec::new();
+    for (i, db) in databases.iter().enumerate() {
+        if !slow[i] {
+            fast_walls.push(engine.chase(&program, db).stats.wall_secs);
+        }
+    }
+    fast_walls.sort_by(f64::total_cmp);
+    let solo_fast_wall_us = percentile(&fast_walls, 0.5) * 1e6;
+
+    // The gated baseline: the largest level's session list executed as
+    // PR 5 would — blocking chases holding the engine exclusively.
+    //
+    // Baseline and serve iterations are *interleaved* (one gated pass,
+    // then one pass of every level, repeated `runs` times) rather than
+    // measured in separate blocks: a shared container's effective CPU
+    // speed drifts by tens of percent over seconds, and a
+    // block-ordered comparison hands whichever side ran during the
+    // fast window a phantom lead. Interleaving exposes both sides to
+    // the same drift; best-of-`runs` then picks each side's clean
+    // window.
+    let gated_sessions = *levels.last().expect("levels nonempty");
+    let mut gated_best = f64::INFINITY;
+
+    // Serve levels submit against shared tenant bases, the way a server
+    // keeps resident databases and fans requests over them: enqueueing
+    // costs a refcount, and the per-chase working copy is made when the
+    // job runs. (The gated loop pays the same copy inside
+    // `Engine::chase`, so the comparison is one working copy per chase
+    // on both sides.)
+    let shared_databases: Vec<std::sync::Arc<Instance>> = databases
+        .iter()
+        .map(|db| std::sync::Arc::new(db.clone()))
+        .collect();
+
+    let mut level_best: Vec<Option<ServeLevelNumbers>> = levels.iter().map(|_| None).collect();
+    for run in 0..runs {
+        progress(&format!("paired iteration {}/{runs}: gated pass", run + 1));
+        let t = Instant::now();
+        for s in 0..gated_sessions {
+            let db = &databases[s % tenants];
+            let r = engine.chase(&program, db);
+            assert_eq!(r.instance.len(), solo[s % tenants].len());
+        }
+        gated_best = gated_best.min(t.elapsed().as_secs_f64());
+
+        for (li, &sessions) in levels.iter().enumerate() {
+            // One timed iteration repeats the burst until it has
+            // served as many sessions as the gated pass, whatever the
+            // level — a single 64-session burst is ~3ms of wall on
+            // this workload, far too short to compare against a
+            // ~200ms pass without the ratio drowning in
+            // scheduler-timeslice noise. Concurrency semantics are
+            // unchanged: at most `sessions` chases are ever in flight.
+            let bursts = gated_sessions.div_ceil(sessions).max(1);
+            let best = &mut level_best[li];
+            progress(&format!("paired iteration {}/{runs}: level {sessions}", run + 1));
+            let t = Instant::now();
+            let mut latencies = Vec::with_capacity(sessions * bursts);
+            let mut fast = Vec::new();
+            let mut slow_walls = Vec::new();
+            let mut occupancy = 0.0f64;
+            for burst in 0..bursts {
+                let handles: Vec<_> = (0..sessions)
+                    .map(|s| engine.submit_shared(&program, &shared_databases[s % tenants]))
+                    .collect();
+                // Streamed collection: each result is consumed (and
+                // freed) as it completes, like a server writing
+                // responses out — a burst never holds all its result
+                // instances live at once.
+                JobHandle::wait_each(handles, |s, r| {
+                    if run == 0 && burst == 0 && s < 8 {
+                        assert!(
+                            r.instance.set_eq(&solo[s % tenants]),
+                            "serve: session {s} diverged from its solo chase"
+                        );
+                    }
+                    latencies.push(r.stats.sched_wait_secs + r.stats.wall_secs);
+                    if slow[s % tenants] {
+                        slow_walls.push(r.stats.wall_secs);
+                    } else {
+                        fast.push(r.stats.wall_secs);
+                    }
+                    occupancy = occupancy.max(r.stats.sched_occupancy);
+                });
+            }
+            let total_secs = t.elapsed().as_secs_f64();
+            latencies.sort_by(f64::total_cmp);
+            fast.sort_by(f64::total_cmp);
+            slow_walls.sort_by(f64::total_cmp);
+            let row = ServeLevelNumbers {
+                sessions,
+                total_secs,
+                chases_per_sec: (sessions * bursts) as f64 / total_secs.max(1e-12),
+                p50_latency_us: percentile(&latencies, 0.5) * 1e6,
+                p99_latency_us: percentile(&latencies, 0.99) * 1e6,
+                fast_p50_wall_us: percentile(&fast, 0.5) * 1e6,
+                slow_p50_wall_us: percentile(&slow_walls, 0.5) * 1e6,
+                peak_occupancy: occupancy,
+            };
+            if best
+                .as_ref()
+                .map_or(true, |b| row.chases_per_sec > b.chases_per_sec)
+            {
+                *best = Some(row);
+            }
+        }
+    }
+    let gated_chases_per_sec = gated_sessions as f64 / gated_best.max(1e-12);
+    progress(&format!("gated baseline: {gated_chases_per_sec:.0} chases/s"));
+    let level_rows: Vec<ServeLevelNumbers> = level_best
+        .into_iter()
+        .map(|best| best.expect("runs >= 1"))
+        .collect();
+    for row in &level_rows {
+        progress(&format!(
+            "level {}: best {:.0} chases/s (p50 {:.0}us, p99 {:.0}us)",
+            row.sessions, row.chases_per_sec, row.p50_latency_us, row.p99_latency_us
+        ));
+    }
+
+    let best_serve = level_rows
+        .iter()
+        .map(|l| l.chases_per_sec)
+        .fold(0.0f64, f64::max);
+    let serve_vs_gated = best_serve / gated_chases_per_sec.max(1e-12);
+    if !quick {
+        assert!(
+            serve_vs_gated >= 0.9,
+            "serve throughput {best_serve:.0}/s is below 0.9x the gated loop \
+             ({gated_chases_per_sec:.0}/s)"
+        );
+        let heaviest = level_rows.last().expect("levels nonempty");
+        assert!(
+            heaviest.fast_p50_wall_us <= 2.0 * solo_fast_wall_us.max(1.0),
+            "fast-tenant p50 execution wall {:.1}us under {} sessions exceeds 2x \
+             the solo wall {solo_fast_wall_us:.1}us",
+            heaviest.fast_p50_wall_us,
+            heaviest.sessions
+        );
+    }
+    ServeBenchRow {
+        name: "obda_mixed_tenants",
+        threads,
+        tenants,
+        chase_atoms,
+        gated_chases_per_sec,
+        solo_fast_wall_us,
+        levels: level_rows,
+        serve_vs_gated,
+    }
+}
+
+fn serve_level_json(l: &ServeLevelNumbers) -> String {
+    format!(
+        "{{\"sessions\": {}, \"total_secs\": {:.6}, \"chases_per_sec\": {:.1}, \
+         \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \
+         \"fast_p50_wall_us\": {:.1}, \"slow_p50_wall_us\": {:.1}, \
+         \"peak_occupancy\": {:.3}}}",
+        l.sessions,
+        l.total_secs,
+        l.chases_per_sec,
+        l.p50_latency_us,
+        l.p99_latency_us,
+        l.fast_p50_wall_us,
+        l.slow_p50_wall_us,
+        l.peak_occupancy
+    )
+}
+
+/// Renders the row as the `BENCH_serve.json` document.
+pub fn serve_bench_json(row: &ServeBenchRow) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo run --release -p nuchase-bench --bin harness -- --bench-serve\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"gated\": \"one warm engine, blocking chase loop (the pre-scheduler exclusive gate)\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"serve\": \"same engine, bursts submitted via Engine::submit_shared, streamed out via JobHandle::wait_each\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        nuchase_engine::auto_threads()
+    );
+    let _ = writeln!(out, "  \"name\": \"{}\",", row.name);
+    let _ = writeln!(out, "  \"threads\": {},", row.threads);
+    let _ = writeln!(out, "  \"tenants\": {},", row.tenants);
+    let _ = writeln!(out, "  \"chase_atoms\": {},", row.chase_atoms);
+    let _ = writeln!(
+        out,
+        "  \"gated_chases_per_sec\": {:.1},",
+        row.gated_chases_per_sec
+    );
+    let _ = writeln!(out, "  \"solo_fast_wall_us\": {:.1},", row.solo_fast_wall_us);
+    let _ = writeln!(out, "  \"serve_vs_gated\": {:.3},", row.serve_vs_gated);
+    let _ = writeln!(out, "  \"levels\": [");
+    for (i, l) in row.levels.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {}{}",
+            serve_level_json(l),
+            if i + 1 < row.levels.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders a human-readable table of the serve-bench levels.
+pub fn serve_bench_table(row: &ServeBenchRow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} — {} threads, {} tenants, gated baseline {:.0} chases/s, solo fast {:.0} µs",
+        row.name, row.threads, row.tenants, row.gated_chases_per_sec, row.solo_fast_wall_us
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>11} {:>11} {:>11} {:>13} {:>13} {:>7}",
+        "sessions", "chases/s", "p50 lat", "p99 lat", "fast p50 exec", "slow p50 exec", "occup"
+    );
+    for l in &row.levels {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>11.0} {:>8.0} µs {:>8.0} µs {:>10.0} µs {:>10.0} µs {:>6.0}%",
+            l.sessions,
+            l.chases_per_sec,
+            l.p50_latency_us,
+            l.p99_latency_us,
+            l.fast_p50_wall_us,
+            l.slow_p50_wall_us,
+            l.peak_occupancy * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "best serve throughput = {:.2}× the gated loop",
+        row.serve_vs_gated
+    );
     out
 }
 
@@ -1740,6 +2177,25 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(prepared_bench_table(&rows).contains("obda_tenants"));
+    }
+
+    #[test]
+    fn serve_bench_quick_runs_and_renders() {
+        let row = run_serve_bench(1, true);
+        assert_eq!(row.levels.len(), 2);
+        assert!(row.chase_atoms > 0);
+        assert!(row.gated_chases_per_sec > 0.0);
+        for l in &row.levels {
+            assert!(l.chases_per_sec > 0.0);
+            assert!(l.p99_latency_us >= l.p50_latency_us);
+            assert!(l.fast_p50_wall_us > 0.0 && l.slow_p50_wall_us > 0.0);
+        }
+        let json = serve_bench_json(&row);
+        assert!(json.contains("\"serve_vs_gated\""));
+        assert!(json.contains("\"p99_latency_us\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(serve_bench_table(&row).contains("obda_mixed_tenants"));
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * `query`   — certain answers of a conjunctive query over the
 //!   materialization;
 //! * `profile` — run with full telemetry: per-rule attribution table,
-//!   memory accounting, and exportable JSONL / chrome://tracing traces.
+//!   memory accounting, and exportable JSONL / chrome://tracing traces;
+//! * `serve`   — the multi-tenant serving facade: read line-delimited
+//!   chase requests (stdin or a unix socket), submit each as a
+//!   non-blocking job on one shared engine, answer in request order.
+//!   See [`serve_batch`] for the request/response protocol.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -265,6 +269,14 @@ pub fn cmd_profile(
         "probes: {} batched, prefetch queue depth {}",
         stats.batched_probes, stats.prefetch_queue_depth,
     );
+    if stats.sched_wait_secs > 0.0 || stats.sched_occupancy > 0.0 {
+        let _ = writeln!(
+            out,
+            "sched: {:.3} ms waiting on the shared pool, peak occupancy {:.0}%",
+            stats.sched_wait_secs * 1e3,
+            stats.sched_occupancy * 100.0,
+        );
+    }
     if stats.faults_injected + stats.spill_fallbacks + stats.retries > 0 {
         let _ = writeln!(
             out,
@@ -352,6 +364,223 @@ pub fn cmd_profile(
         let _ = writeln!(out, "trace: wrote {path} (chrome://tracing span dump)");
     }
     Ok(out)
+}
+
+/// `nuchase serve`: the multi-tenant serving facade.
+///
+/// Compiles the program once, builds one shared [`Engine`], then drives
+/// [`serve_batch`] over stdin/stdout — or, with `socket`, binds a unix
+/// listener at that path and serves one connection at a time (each
+/// connection is its own request batch; the engine, its scheduler
+/// threads, and the compiled program persist across connections).
+pub fn cmd_serve(
+    program: &mut Program,
+    max_atoms: usize,
+    threads: usize,
+    socket: Option<&str>,
+) -> Result<String, CliError> {
+    let prepared = PreparedProgram::compile(program.tgds.clone());
+    let engine = Engine::builder()
+        .variant(ChaseVariant::SemiOblivious)
+        .budget(ChaseBudget::atoms(max_atoms))
+        .threads(threads)
+        .build();
+    match socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_batch(
+                program,
+                &engine,
+                &prepared,
+                stdin.lock(),
+                &mut stdout.lock(),
+            )?;
+            Ok(String::new())
+        }
+        Some(path) => {
+            // A stale socket file from a previous server refuses the
+            // bind; remove it first (ignore a missing one).
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)?;
+            eprintln!("nuchase: serving on {path} (unix socket, one connection at a time)");
+            loop {
+                let (stream, _) = listener.accept()?;
+                let reader = std::io::BufReader::new(stream.try_clone()?);
+                let mut writer = stream;
+                // A failed batch (I/O error on a dropped connection)
+                // ends that connection only; the server keeps accepting.
+                if let Err(e) = serve_batch(program, &engine, &prepared, reader, &mut writer) {
+                    eprintln!("nuchase: connection error: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// One request or a parse failure, queued so responses keep request
+/// order while later requests are still being read and submitted.
+enum Pending {
+    Job(String, nuchase_engine::JobHandle),
+    Error(String, String),
+}
+
+/// Drives one line-delimited `serve` request batch and writes responses
+/// (this is the whole wire protocol):
+///
+/// **Requests** — one per line, answered in request order:
+///
+/// ```text
+/// <id> <facts>        chase the program's database plus these facts
+///                     ('.'-terminated atoms, e.g. `r(a, b). s(b).`)
+/// <id> @<path>        same, facts loaded from a file
+/// <id>                chase the program's database alone
+/// ```
+///
+/// Blank lines and `#` comments are skipped. `<id>` is any
+/// whitespace-free token the client uses to correlate responses.
+///
+/// **Responses** — one per request:
+///
+/// ```text
+/// <id> ok outcome=<name> atoms=<total> derived=<n> nulls=<n> rounds=<n> wall_us=<n> wait_us=<n>
+/// <id> error <message>
+/// ```
+///
+/// `wall_us` is the chase's own wall time, `wait_us` the time its
+/// slices waited on the shared scheduler — end-to-end latency is their
+/// sum. After EOF a trailing summary line is written:
+///
+/// ```text
+/// served <n> ok <n> error <n>
+/// ```
+///
+/// Every request is submitted as a non-blocking job
+/// ([`Engine::submit`]) the moment its line is read, so many tenants'
+/// chases are in flight at once; responses stream out as soon as every
+/// earlier request has answered (request order, not completion order).
+/// A request that fails — unparsable facts, a failed chase — answers
+/// `error` and poisons nothing: the engine and all other requests
+/// proceed. Returns `(ok, error)` counts.
+pub fn serve_batch<R, W>(
+    program: &mut Program,
+    engine: &Engine,
+    prepared: &PreparedProgram,
+    input: R,
+    out: &mut W,
+) -> Result<(usize, usize), CliError>
+where
+    R: std::io::BufRead,
+    W: std::io::Write,
+{
+    let mut pending: std::collections::VecDeque<Pending> = std::collections::VecDeque::new();
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (id, payload) = match line.split_once(char::is_whitespace) {
+            Some((id, rest)) => (id.to_string(), rest.trim().to_string()),
+            None => (line.to_string(), String::new()),
+        };
+        let queued = match request_database(program, &payload) {
+            Ok(db) => Pending::Job(id, engine.submit_owned(prepared, db)),
+            Err(e) => Pending::Error(id, e.to_string()),
+        };
+        pending.push_back(queued);
+        // Stream out whatever is already answerable without blocking
+        // the admission of further requests.
+        flush_ready(&mut pending, out, &mut ok, &mut errors, false)?;
+    }
+    flush_ready(&mut pending, out, &mut ok, &mut errors, true)?;
+    writeln!(out, "served {} ok {ok} error {errors}", ok + errors)?;
+    out.flush()?;
+    Ok((ok, errors))
+}
+
+/// Builds one request's database: the program's base facts plus the
+/// payload's atoms (inline text, or `@path` to read a file).
+fn request_database(
+    program: &mut Program,
+    payload: &str,
+) -> Result<nuchase_model::Instance, CliError> {
+    let mut db = program.database.clone();
+    if payload.is_empty() {
+        return Ok(db);
+    }
+    let text = match payload.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => payload.to_string(),
+    };
+    let extra = nuchase_model::parse_database(&text, &mut program.symbols)?;
+    for atom in extra.iter() {
+        db.insert_terms(atom.pred, atom.args);
+    }
+    Ok(db)
+}
+
+/// Pops answered requests off the front of the queue (blocking on the
+/// front job when `block`) and writes their responses in request order.
+fn flush_ready<W: std::io::Write>(
+    pending: &mut std::collections::VecDeque<Pending>,
+    out: &mut W,
+    ok: &mut usize,
+    errors: &mut usize,
+    block: bool,
+) -> Result<(), CliError> {
+    loop {
+        let result = match pending.front() {
+            None => return Ok(()),
+            Some(Pending::Error(..)) => None,
+            Some(Pending::Job(_, handle)) => {
+                if block {
+                    None // popped below; `wait` consumes the handle
+                } else if let Some(result) = handle.try_take() {
+                    Some(result)
+                } else {
+                    return Ok(());
+                }
+            }
+        };
+        match pending.pop_front().expect("front checked above") {
+            Pending::Error(id, msg) => {
+                *errors += 1;
+                writeln!(out, "{id} error {msg}")?;
+            }
+            Pending::Job(id, handle) => {
+                let result = match result {
+                    Some(r) => r,
+                    None => handle.wait(),
+                };
+                match &result.outcome {
+                    ChaseOutcome::Failed(err) => {
+                        *errors += 1;
+                        writeln!(out, "{id} error {err}")?;
+                    }
+                    outcome => {
+                        *ok += 1;
+                        let s = &result.stats;
+                        writeln!(
+                            out,
+                            "{id} ok outcome={} atoms={} derived={} nulls={} rounds={} \
+                             wall_us={} wait_us={}",
+                            outcome.name(),
+                            result.instance.len(),
+                            s.atoms_created,
+                            s.nulls_created,
+                            s.rounds,
+                            (s.wall_secs * 1e6) as u64,
+                            (s.sched_wait_secs * 1e6) as u64,
+                        )?;
+                    }
+                }
+            }
+        }
+        out.flush()?;
+    }
 }
 
 /// `nuchase explain`: diagnosis of why (non-)termination holds.
@@ -733,6 +962,86 @@ mod tests {
         assert!(memory.contains("memory limit"), "{memory}");
         let budget = outcome_line(&ChaseOutcome::AtomLimit, 10).unwrap();
         assert!(budget.contains("budget exhausted"), "{budget}");
+    }
+
+    /// Runs one `serve` batch over in-memory pipes and returns
+    /// (response text, ok, error).
+    fn serve_text(program_text: &str, requests: &str, threads: usize) -> (String, usize, usize) {
+        let mut p = program(program_text);
+        let prepared = PreparedProgram::compile(p.tgds.clone());
+        let engine = Engine::builder()
+            .budget(ChaseBudget::atoms(100_000))
+            .threads(threads)
+            .build();
+        let mut out = Vec::new();
+        let (ok, errors) =
+            serve_batch(&mut p, &engine, &prepared, requests.as_bytes(), &mut out).unwrap();
+        (String::from_utf8(out).unwrap(), ok, errors)
+    }
+
+    #[test]
+    fn serve_answers_in_request_order() {
+        let (out, ok, errors) = serve_text(
+            "e(a, b).\ne(X, Y), e(Y, Z) -> e(X, Z).",
+            "# a comment, then a blank line\n\n\
+             t1 e(b, c). e(c, d).\n\
+             t2 e(b, q).\n\
+             t3\n",
+            2,
+        );
+        assert_eq!((ok, errors), (3, 0), "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[0].starts_with("t1 ok outcome=terminated"), "{out}");
+        assert!(lines[1].starts_with("t2 ok outcome=terminated"), "{out}");
+        assert!(lines[2].starts_with("t3 ok outcome=terminated"), "{out}");
+        assert_eq!(lines[3], "served 3 ok 3 error 0", "{out}");
+        // t1 adds a 3-atom chain to e(a,b): transitive closure of a
+        // 4-chain has 6 edges; t3 chases the base database alone.
+        assert!(lines[0].contains("atoms=6 derived=3"), "{out}");
+        assert!(lines[2].contains("atoms=1 derived=0"), "{out}");
+    }
+
+    #[test]
+    fn serve_reports_bad_requests_in_band() {
+        let (out, ok, errors) = serve_text(
+            "e(a, b).\ne(X, Y) -> p(X).",
+            "bad e(unclosed\ngood e(b, c).\n",
+            0,
+        );
+        assert_eq!((ok, errors), (1, 1), "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("bad error "), "{out}");
+        assert!(lines[1].starts_with("good ok "), "{out}");
+        assert_eq!(lines[2], "served 2 ok 1 error 1", "{out}");
+    }
+
+    #[test]
+    fn serve_matches_solo_chase_results() {
+        // The serving path (submitted jobs, shared scheduler) must
+        // report the same chase a blocking solo run produces.
+        let p = program("e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).");
+        let prepared = PreparedProgram::compile(p.tgds.clone());
+        let solo = Engine::builder()
+            .threads(0)
+            .build()
+            .chase(&prepared, &p.database);
+        let (out, ok, _) = serve_text(
+            "e(a, b).\ne(b, c).\ne(X, Y), e(Y, Z) -> e(X, Z).",
+            "solo\n",
+            2,
+        );
+        assert_eq!(ok, 1);
+        assert!(
+            out.lines().next().unwrap().contains(&format!(
+                "atoms={} derived={}",
+                solo.instance.len(),
+                solo.stats.atoms_created
+            )),
+            "serve output {out} vs solo {} atoms",
+            solo.instance.len()
+        );
+        assert!(solo.terminated(), "sanity: solo ran to termination");
     }
 
     #[test]

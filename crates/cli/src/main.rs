@@ -8,6 +8,9 @@
 //! nuchase query   <program> "<body> ? X, Y" certain answers over the chase
 //! nuchase profile <program> [data]          full telemetry: per-rule table,
 //!                 [--trace out.jsonl] [--chrome out.json] [--rules-top N]
+//! nuchase serve   <program> [--threads N] [--atoms N] [--socket path]
+//!                 line-delimited chase requests on stdin (or the unix
+//!                 socket), answered in request order
 //! ```
 //!
 //! `<program>` is a file in the Datalog± text format (see README), or `-`
@@ -29,7 +32,7 @@ fn read_program(path: &str) -> Result<nuchase_model::Program, nuchase_cli::CliEr
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nuchase <decide|run|explain|bounds|query|profile> <program.dlp|-> [args]\n\
+        "usage: nuchase <decide|run|explain|bounds|query|profile|serve> <program.dlp|-> [args]\n\
          \n\
          decide  — termination verdicts (uniform + this database)\n\
          run     — run the semi-oblivious chase  [--atoms N] [--print] [--threads N]\n\
@@ -40,6 +43,10 @@ fn usage() -> ! {
          profile — run with full telemetry: per-rule attribution, memory gauges\n\
          \x20         [data.dlp] [--atoms N] [--threads N] [--rules-top N]\n\
          \x20         [--trace out.jsonl] [--chrome out.json]\n\
+         serve   — serve line-delimited chase requests: '<id> <facts…>' or\n\
+         \x20         '<id> @file' per line on stdin (or --socket path), one\n\
+         \x20         '<id> ok|error …' response each, in request order\n\
+         \x20         [--atoms N] [--threads N] [--socket path]\n\
          \n\
          --threads 0 runs the sequential engine (default), N >= 1 the parallel\n\
          executor, 'auto' all cores; NUCHASE_THREADS sets the default.\n\
@@ -149,6 +156,15 @@ fn main() {
                 let trace = flag_value(&args, "--trace")?;
                 let chrome = flag_value(&args, "--chrome")?;
                 nuchase_cli::cmd_profile(&program, atoms, threads, rules_top, trace, chrome)
+            }
+            "serve" => {
+                let atoms = flag_value(&args, "--atoms")?
+                    .map(str::parse::<usize>)
+                    .transpose()?
+                    .unwrap_or(1_000_000);
+                let threads = resolve_threads(&args)?;
+                let socket = flag_value(&args, "--socket")?;
+                nuchase_cli::cmd_serve(&mut program, atoms, threads, socket)
             }
             _ => usage(),
         }

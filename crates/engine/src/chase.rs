@@ -269,6 +269,25 @@ pub enum ChaseOutcome {
     Failed(ChaseError),
 }
 
+impl ChaseOutcome {
+    /// A stable lowercase token for the outcome — what the `serve`
+    /// protocol and the bench harness print (`Failed` carries its typed
+    /// error separately; this names only the variant).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaseOutcome::Terminated => "terminated",
+            ChaseOutcome::AtomLimit => "atom_limit",
+            ChaseOutcome::RoundLimit => "round_limit",
+            ChaseOutcome::DepthLimit => "depth_limit",
+            ChaseOutcome::Paused => "paused",
+            ChaseOutcome::Cancelled => "cancelled",
+            ChaseOutcome::Deadline => "deadline",
+            ChaseOutcome::MemoryLimit => "memory_limit",
+            ChaseOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
 /// Aggregate statistics of a chase run.
 #[derive(Clone, Debug, Default)]
 pub struct ChaseStats {
@@ -370,6 +389,22 @@ pub struct ChaseStats {
     /// Transient (`EINTR`/`EAGAIN`-class) spill-I/O errors absorbed by
     /// the bounded retry loop. `absorb` sums.
     pub retries: usize,
+    /// Wall time this session spent waiting on the shared scheduler
+    /// ([`crate::sched`]): for a blocking pooled run, the coordinator's
+    /// end-of-phase waits for helper stragglers; for a submitted job
+    /// ([`crate::session::Engine::submit`]), the time its slices sat
+    /// queued behind other tenants. An *overlapping* gauge, not a phase:
+    /// the phase timers already cover these spans (and a job's queue
+    /// wait is outside [`ChaseStats::wall_secs`] entirely — its
+    /// end-to-end latency is `sched_wait_secs + wall_secs`). Zero
+    /// whenever the scheduler is never engaged. `absorb` sums.
+    pub sched_wait_secs: f64,
+    /// Peak scheduler occupancy observed during the run: busy workers /
+    /// pool size, in `[0, 1]`, sampled at each engaged phase (blocking
+    /// runs) or job slice (submitted jobs). A contention gauge — near
+    /// 1.0 means this session shared the pool with other tenants. Zero
+    /// whenever the scheduler is never engaged. `absorb` keeps the max.
+    pub sched_occupancy: f64,
 }
 
 /// Probe-locality accounting carried out of the batch collectors and the
@@ -416,6 +451,8 @@ impl ChaseStats {
         self.faults_injected += run.faults_injected;
         self.spill_fallbacks += run.spill_fallbacks;
         self.retries += run.retries;
+        self.sched_wait_secs += run.sched_wait_secs;
+        self.sched_occupancy = self.sched_occupancy.max(run.sched_occupancy);
     }
 
     /// Folds one [`ProbeFlow`] drain into the run's probe-locality
@@ -472,6 +509,13 @@ impl ChaseStats {
         );
         if self.pool_secs > 0.0 {
             out.push_str(&format!(" · pool {:.1}%", pct(self.pool_secs)));
+        }
+        if self.sched_wait_secs > 0.0 || self.sched_occupancy > 0.0 {
+            out.push_str(&format!(
+                " · sched wait {:.1}% (occupancy ≤ {:.0}%)",
+                pct(self.sched_wait_secs),
+                100.0 * self.sched_occupancy
+            ));
         }
         if self.batched_probes > 0 {
             out.push_str(&format!(

@@ -23,7 +23,8 @@
 //! | `NUCHASE_INSTANCE_SPILL_DIR` | directory path | When set, new arena chunks (instance term pool, postings spill, fired-set tuples) are file-backed `mmap`s in this directory, so instances grow past RAM with bounded RSS. Parsed in `model::chunk`, checked per chunk allocation. |
 //! | `NUCHASE_CHUNK_LEN` | power-of-two integer ≥ 64 | Arena chunk length in elements (default 65536). Parsed in `model::chunk`, resolved once per process. |
 //! | `NUCHASE_HUGE_CEILING_BYTES` | integer | Peak-instance-bytes ceiling asserted by the `--bench-huge` workloads (parsed by the bench harness). |
-//! | `NUCHASE_FAULT_PLAN` | `site:nth[:panic][,..]` | Deterministic fault injection: arm the `nth` (0-based) hit of each named site (`arena_grow`, `spill_map`, `spill_transient`, `table_grow`, `worker_task`, `commit`) to fail; the `:panic` flavor unwinds with a plain panic (simulated bug) instead of the typed fault. An explicit `ChaseConfig::fault_plan` wins over the environment. |
+//! | `NUCHASE_SCHED_QUANTUM_US` | integer (µs, default 500) | Job slice quantum for submitted (non-blocking) chases: a job that exceeds it is requeued at the next round boundary so queued jobs interleave fairly. Resolved once per scheduler (engine) construction. |
+//! | `NUCHASE_FAULT_PLAN` | `site:nth[:panic][,..]` | Deterministic fault injection: arm the `nth` (0-based) hit of each named site (`arena_grow`, `spill_map`, `spill_transient`, `table_grow`, `worker_task`, `commit`, `sched_unit`, `sched_job`) to fail; the `:panic` flavor unwinds with a plain panic (simulated bug) instead of the typed fault. An explicit `ChaseConfig::fault_plan` wins over the environment. |
 //! | `NUCHASE_MEMORY_LIMIT_BYTES` | integer | Instance heap ceiling checked at round boundaries when `ChaseBudget::max_heap_bytes` is unset; hitting it returns a resumable `ChaseOutcome::MemoryLimit`. |
 //! | `NUCHASE_SPILL_RETRIES` | integer | Bounded retries for transient (`EINTR`/`EAGAIN`-class) spill-file I/O errors (default 3). Parsed in `model::chunk`, read per mapping attempt. |
 //! | `NUCHASE_SPILL_BACKOFF_MS` | integer | Linear backoff between spill retries, in ms per attempt (default 1). Parsed in `model::chunk`. |

@@ -26,6 +26,11 @@
 //! cancellation and deadlines. The classic free functions ([`chase()`]
 //! and friends) remain as documented, delegating shims.
 //!
+//! Many sessions multiplex over one engine without serializing: the
+//! shared scheduler ([`sched`]) lets concurrent runs share the worker
+//! pool phase-by-phase, and [`Engine::submit`] queues whole chases as
+//! non-blocking jobs ([`JobHandle`]) sliced fairly across tenants.
+//!
 //! Run observability lives in [`telemetry`]: per-rule attribution
 //! tables, a bounded per-round event ring, memory accounting in
 //! [`ChaseStats`], and JSONL / chrome://tracing exports — off by
@@ -51,6 +56,7 @@ pub mod nulls;
 pub mod parallel;
 pub mod phase;
 pub mod provenance;
+pub mod sched;
 pub mod session;
 pub mod telemetry;
 
@@ -65,5 +71,6 @@ pub use forest::Forest;
 pub use nulls::{NullKey, NullStore};
 pub use parallel::{auto_threads, chase_parallel};
 pub use provenance::{explain, Derivation, Explanation, Provenance};
+pub use sched::JobHandle;
 pub use session::{ChaseSession, Engine, EngineBuilder, PreparedProgram, RunLimits};
 pub use telemetry::{RoundEvent, RoundPath, RuleTelemetry, TelemetryLevel, TelemetrySnapshot};

@@ -143,7 +143,8 @@ use crate::chase::{ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseSta
 use crate::dedup::TermTupleSet;
 use crate::fault::{ChaseError, FaultPlan};
 use crate::nulls::NullStore;
-use crate::parallel::{run_pooled, WorkerPool};
+use crate::parallel::run_pooled;
+use crate::sched::{JobHandle, Scheduler};
 use crate::phase::{
     enumerate_rule, enumerate_rule_batch, enumerate_rule_eager, enumerate_task,
     enumerate_task_batch, enumerate_task_eager, fused_chain_round, ApplyState, RoundCtx,
@@ -338,16 +339,22 @@ struct SessionParts {
 const SPARE_PARTS_MAX: usize = 8;
 
 /// The chase execution engine: a [`ChaseConfig`] plus everything worth
-/// keeping *between* chases — a persistent worker pool (threads parked,
-/// not respawned, between runs) and recycled session buffers.
+/// keeping *between* chases — a persistent shared scheduler
+/// ([`crate::sched`]: threads parked, not respawned, between runs;
+/// concurrent sessions multiplexed instead of serialized) and recycled
+/// session buffers.
 ///
 /// One engine serves any number of [`PreparedProgram`]s and sessions;
 /// see the [module docs](self) for the compile-once/chase-many story and
-/// runnable examples.
+/// runnable examples. For non-blocking whole-chase jobs, see
+/// [`Engine::submit`].
 #[derive(Debug)]
 pub struct Engine {
     config: ChaseConfig,
-    pool: Option<WorkerPool>,
+    /// The shared scheduler: eagerly started for `threads ≥ 2` engines,
+    /// lazily on first [`Engine::submit`] otherwise (blocking runs on a
+    /// `threads ≤ 1` engine never spawn a thread).
+    sched: std::sync::OnceLock<Scheduler>,
     spare: Mutex<Vec<SessionParts>>,
 }
 
@@ -361,12 +368,17 @@ impl Engine {
     /// terminal step; also the adapter the legacy free-function shims
     /// use).
     pub fn from_config(config: &ChaseConfig) -> Engine {
-        let pool = (config.threads >= 2).then(|| WorkerPool::new(config.threads - 1));
-        Engine {
+        let engine = Engine {
             config: *config,
-            pool,
+            sched: std::sync::OnceLock::new(),
             spare: Mutex::new(Vec::new()),
+        };
+        if config.threads >= 2 {
+            let _ = engine
+                .sched
+                .set(Scheduler::new(config.threads - 1, config.threads));
         }
+        engine
     }
 
     /// The engine's configuration.
@@ -461,9 +473,64 @@ impl Engine {
         }
     }
 
-    /// The persistent worker pool, when `threads ≥ 2`.
-    pub(crate) fn pool(&self) -> Option<&WorkerPool> {
-        self.pool.as_ref()
+    /// The shared scheduler, if one has been started (always, for
+    /// `threads ≥ 2` engines).
+    pub(crate) fn sched(&self) -> Option<&Scheduler> {
+        self.sched.get()
+    }
+
+    /// The shared scheduler, starting it on first use. A `threads ≤ 1`
+    /// engine gets a single scheduler thread — enough to make
+    /// [`Engine::submit`] non-blocking while the jobs themselves still
+    /// run the byte-identical serial executors — but only one execution
+    /// lane, so that worker defers the job queue whenever a waiting
+    /// caller is draining it ([`JobHandle::wait`]'s caller-runs loop).
+    fn sched_lazy(&self) -> &Scheduler {
+        self.sched.get_or_init(|| {
+            Scheduler::new(
+                self.config.threads.saturating_sub(1).max(1),
+                self.config.threads.max(1),
+            )
+        })
+    }
+
+    /// Queues a whole chase of `database` as a non-blocking job and
+    /// returns immediately with a [`JobHandle`].
+    ///
+    /// The scheduler slices queued jobs in bounded quanta
+    /// (`NUCHASE_SCHED_QUANTUM_US`, default 500 µs of rounds per slice)
+    /// and rotates through them fairly, so many tenants share the
+    /// engine without one slow chase blocking the rest. Each job's
+    /// result is byte-identical to [`Engine::chase`] on the same
+    /// database — same instance, nulls, outcome — with two scheduling
+    /// gauges added to its statistics
+    /// ([`ChaseStats::sched_wait_secs`],
+    /// [`ChaseStats::sched_occupancy`]).
+    ///
+    /// Panic isolation carries over: a job that panics resolves its
+    /// handle with [`ChaseOutcome::Failed`] and poisons only itself —
+    /// the scheduler and every other queued or in-flight job are
+    /// unaffected.
+    pub fn submit(&self, program: &PreparedProgram, database: &Instance) -> JobHandle {
+        self.submit_owned(program, database.clone())
+    }
+
+    /// [`Engine::submit`], taking ownership of `database` (no copy —
+    /// the chase consumes this allocation directly).
+    pub fn submit_owned(&self, program: &PreparedProgram, database: Instance) -> JobHandle {
+        self.sched_lazy()
+            .submit(program, &self.config, Arc::new(database))
+    }
+
+    /// [`Engine::submit`] over a shared input: enqueueing costs a
+    /// refcount, not a deep copy. The per-chase working copy is made
+    /// when the job first runs, from a base that stays cache-warm
+    /// across a burst — the shape a server wants for fanning many
+    /// concurrent chases over resident tenant databases. `database` is
+    /// never mutated through this handle.
+    pub fn submit_shared(&self, program: &PreparedProgram, database: &Arc<Instance>) -> JobHandle {
+        self.sched_lazy()
+            .submit(program, &self.config, Arc::clone(database))
     }
 }
 
@@ -552,7 +619,7 @@ pub(crate) struct RunCtl<'a> {
 
 /// The effective instance heap ceiling for a run: an explicit
 /// [`ChaseBudget::max_heap_bytes`] wins, else `NUCHASE_MEMORY_LIMIT_BYTES`.
-fn resolved_memory_limit(config: &ChaseConfig) -> Option<usize> {
+pub(crate) fn resolved_memory_limit(config: &ChaseConfig) -> Option<usize> {
     config
         .budget
         .max_heap_bytes
@@ -737,7 +804,9 @@ impl ChaseSession<'_, '_> {
                 0 => run_rounds_sequential(tgds, config, core, driver, &mut ctl, &mut stats),
                 1 => run_rounds_tasked(tgds, config, core, driver, &mut ctl, &mut stats),
                 _ => run_pooled(
-                    engine.pool().expect("threads >= 2 engines own a pool"),
+                    engine
+                        .sched()
+                        .expect("threads >= 2 engines own a scheduler"),
                     program.shared_tgds(),
                     config,
                     core,
@@ -972,7 +1041,7 @@ impl ChaseSession<'_, '_> {
 /// chain micro-round fast path. Byte-identical to the pre-session
 /// `sequential_chase` loop (the differential suites pin it); the only
 /// additions are the round-boundary [`RunCtl::checkpoint`].
-fn run_rounds_sequential(
+pub(crate) fn run_rounds_sequential(
     tgds: &TgdSet,
     config: &ChaseConfig,
     core: &mut SessionCore,
@@ -1115,7 +1184,7 @@ fn run_rounds_sequential(
 /// The single-worker task loop (`threads == 1`): the same rounds as the
 /// pool executor — canonical `(rule, pivot, window)` task decomposition
 /// — minus the synchronization; this is the 1-thread scaling baseline.
-fn run_rounds_tasked(
+pub(crate) fn run_rounds_tasked(
     tgds: &TgdSet,
     config: &ChaseConfig,
     core: &mut SessionCore,

@@ -499,6 +499,7 @@ impl TelemetrySnapshot {
              \"triggers_considered\":{},\"triggers_fired\":{},\"atoms_created\":{},\
              \"nulls_created\":{},\"wall_secs\":{:.9},\"enumerate_secs\":{:.9},\
              \"dedup_secs\":{:.9},\"apply_secs\":{:.9},\"pool_secs\":{:.9},\
+             \"sched_wait_secs\":{:.9},\"sched_occupancy\":{:.6},\
              \"fused_rounds\":{},\"batched_rounds\":{}}}",
             json_string(self.level.name()),
             s.rounds,
@@ -513,6 +514,8 @@ impl TelemetrySnapshot {
             s.dedup_secs,
             s.apply_secs,
             s.pool_secs,
+            s.sched_wait_secs,
+            s.sched_occupancy,
             s.fused_rounds,
             s.batched_rounds,
         )?;

@@ -36,6 +36,38 @@ use std::sync::OnceLock;
 /// once and fall back to the default).
 pub const DEFAULT_CHUNK_LEN: usize = 1 << 16;
 
+/// Chunk capacity for arenas created while the spill tier is **off**:
+/// 32 KiB at the 8-byte `Term`. The full [`DEFAULT_CHUNK_LEN`] puts a
+/// ~768 KiB floor under every instance (one term-pool chunk + one
+/// posting chunk, eagerly pad-filled), which is invisible for a single
+/// chase but catastrophic for the serve regime — thousands of
+/// concurrent tiny tenant sessions each paying the floor add up to
+/// gigabytes of resident padding. Small chunks keep a tiny session at
+/// tens of KiB; a big chase just allocates more of them (addressing
+/// stays one shift+mask either way).
+pub const SMALL_CHUNK_LEN: usize = 1 << 12;
+
+/// Chunk length for a **new** arena: an explicit `NUCHASE_CHUNK_LEN`
+/// always wins; otherwise arenas created while
+/// `NUCHASE_INSTANCE_SPILL_DIR` is configured use the full default
+/// (file-backed chases want few, large mappings), and everything else
+/// uses [`SMALL_CHUNK_LEN`]. Read per creation, not cached — the huge
+/// harness toggles the spill knob in-process. Chunk length never
+/// changes the contents or order of what an arena stores, only its
+/// padding layout, so this choice is invisible through the model API;
+/// clones keep their source's chunk length (the layout **is** the
+/// index space, so a clone must preserve it).
+pub fn adaptive_chunk_len() -> usize {
+    let configured = configured_chunk_len();
+    if std::env::var_os("NUCHASE_CHUNK_LEN").is_some() {
+        return configured;
+    }
+    if std::env::var("NUCHASE_INSTANCE_SPILL_DIR").is_ok_and(|d| !d.is_empty()) {
+        return configured;
+    }
+    SMALL_CHUNK_LEN.min(configured)
+}
+
 /// Chunk length resolved from `NUCHASE_CHUNK_LEN`, cached per process.
 fn configured_chunk_len() -> usize {
     static LEN: OnceLock<usize> = OnceLock::new();
@@ -220,11 +252,12 @@ unsafe impl<T: Copy + Send> Send for ChunkedArena<T> {}
 unsafe impl<T: Copy + Sync> Sync for ChunkedArena<T> {}
 
 impl<T: Copy> ChunkedArena<T> {
-    /// An empty arena with the process-configured chunk length. `pad`
-    /// fills fresh chunks and boundary padding; it is never observable
-    /// through correctly-ranged reads.
+    /// An empty arena with the [`adaptive_chunk_len`] for the current
+    /// regime (small unless the spill tier is on or `NUCHASE_CHUNK_LEN`
+    /// pins it). `pad` fills fresh chunks and boundary padding; it is
+    /// never observable through correctly-ranged reads.
     pub fn new(pad: T) -> Self {
-        Self::with_chunk_len(configured_chunk_len(), pad)
+        Self::with_chunk_len(adaptive_chunk_len(), pad)
     }
 
     /// An empty arena with an explicit chunk length (a power of two;

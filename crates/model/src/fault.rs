@@ -71,10 +71,19 @@ pub enum FaultSite {
     /// Commit entry: the start of a round's apply/commit pass, before
     /// any instance mutation. Panic site.
     Commit,
+    /// Scheduler shard-unit claim: the entry of a shard unit (enumerate
+    /// task or resolve range) claimed off a published phase's cursor —
+    /// by the session's own coordinator or by a helping pool worker.
+    /// Panic site; fires only on pooled (`threads ≥ 2`) engaged rounds.
+    SchedUnit,
+    /// Scheduler job-slice entry: the start of a submitted
+    /// (`Engine::submit`) job's execution quantum on a pool worker.
+    /// Panic site; never crossed by blocking sessions.
+    SchedJob,
 }
 
 /// Number of distinct [`FaultSite`]s (array sizing).
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 8;
 
 impl FaultSite {
     /// Every site, in `as usize` index order.
@@ -85,6 +94,8 @@ impl FaultSite {
         FaultSite::TableGrow,
         FaultSite::WorkerTask,
         FaultSite::Commit,
+        FaultSite::SchedUnit,
+        FaultSite::SchedJob,
     ];
 
     /// The site's plan-syntax name (`arena_grow`, `spill_map`, ...).
@@ -96,6 +107,8 @@ impl FaultSite {
             FaultSite::TableGrow => "table_grow",
             FaultSite::WorkerTask => "worker_task",
             FaultSite::Commit => "commit",
+            FaultSite::SchedUnit => "sched_unit",
+            FaultSite::SchedJob => "sched_job",
         }
     }
 
@@ -249,6 +262,8 @@ static TRIGGER_NTH: [AtomicU64; SITE_COUNT] = [
     AtomicU64::new(u64::MAX),
     AtomicU64::new(u64::MAX),
     AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
+    AtomicU64::new(u64::MAX),
 ];
 
 /// Per-site flavor: `true` = plain-string panic instead of the typed
@@ -260,10 +275,14 @@ static TRIGGER_PANIC: [AtomicBool; SITE_COUNT] = [
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
 ];
 
 /// Per-site hit counters while a plan is armed.
 static HITS: [AtomicU64; SITE_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -1,0 +1,202 @@
+//! Differential tests of the multi-session scheduler (`engine::sched`):
+//! many sessions in flight on ONE engine — blocking sessions interleaved
+//! at round boundaries, and non-blocking submitted jobs — must each be
+//! byte-identical to a solo run of the same chase at the same
+//! configuration. The canonical task decomposition is a pure function of
+//! the round, never of worker count, queue order, or who else shares the
+//! pool; these tests pin that the scheduler swap kept it that way.
+
+use nuchase_engine::{
+    ApplyPath, ChaseBudget, ChaseConfig, ChaseOutcome, ChaseResult, ChaseVariant, Engine,
+    PreparedProgram, RunLimits,
+};
+use nuchase_model::{parse_program, Program};
+
+/// A chain workload with transitivity and an existential rule — several
+/// rounds, nulls, and a size that scales with `n` so each concurrent
+/// session chases a visibly different instance.
+fn chain_program(n: usize) -> Program {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("e(c{i}, c{}).\n", i + 1));
+    }
+    text.push_str("e(X, Y), e(Y, Z) -> e(X, Z).\n");
+    text.push_str("e(X, Y) -> n(X, W).\n");
+    text.push_str("n(X, W) -> m(W).\n");
+    parse_program(&text).unwrap()
+}
+
+fn config(threads: usize, path: ApplyPath) -> ChaseConfig {
+    ChaseConfig {
+        variant: ChaseVariant::SemiOblivious,
+        threads,
+        apply_path: path,
+        budget: ChaseBudget::atoms(50_000),
+        ..Default::default()
+    }
+}
+
+/// Byte-identity at the strength the scheduler guarantees: same atoms at
+/// the same indexes, same null count, same round count.
+fn assert_identical(solo: &ChaseResult, shared: &ChaseResult, label: &str) {
+    assert!(
+        solo.instance.indexed_eq(&shared.instance),
+        "{label}: instance diverged"
+    );
+    assert_eq!(solo.nulls.len(), shared.nulls.len(), "{label}: null count");
+    assert_eq!(solo.stats.rounds, shared.stats.rounds, "{label}: rounds");
+}
+
+const APPLY_PATHS: [ApplyPath; 2] = [ApplyPath::Pipeline, ApplyPath::Fused];
+const THREADS: [usize; 3] = [1, 2, 7];
+
+/// N blocking sessions interleaved round-by-round on one engine (each
+/// stepped via `run_limited(max_rounds: 1)` in rotation) finish
+/// byte-identically to solo runs at the same config on fresh engines.
+#[test]
+fn interleaved_sessions_are_byte_identical_to_solo_runs() {
+    let programs: Vec<Program> = vec![chain_program(4), chain_program(7), chain_program(11)];
+    let prepared: Vec<PreparedProgram> = programs
+        .iter()
+        .map(|p| PreparedProgram::compile(p.tgds.clone()))
+        .collect();
+    for threads in THREADS {
+        for path in APPLY_PATHS {
+            let cfg = config(threads, path);
+            let label = format!("threads {threads} {path:?}");
+            let solo: Vec<ChaseResult> = programs
+                .iter()
+                .zip(&prepared)
+                .map(|(p, prog)| Engine::from_config(&cfg).chase(prog, &p.database))
+                .collect();
+            assert!(solo.iter().all(ChaseResult::terminated), "{label}: solo");
+
+            let engine = Engine::from_config(&cfg);
+            let mut sessions: Vec<_> = programs
+                .iter()
+                .zip(&prepared)
+                .map(|(p, prog)| Some(engine.session(prog, &p.database)))
+                .collect();
+            let one_round = RunLimits {
+                max_rounds: Some(1),
+                ..Default::default()
+            };
+            let mut done: Vec<Option<ChaseResult>> = (0..sessions.len()).map(|_| None).collect();
+            // Round-robin: one round of each live session per lap, so the
+            // engine always holds several mid-chase sessions at once.
+            while done.iter().any(Option::is_none) {
+                for (i, slot) in sessions.iter_mut().enumerate() {
+                    let Some(session) = slot.as_mut() else {
+                        continue;
+                    };
+                    match session.run_limited(&one_round) {
+                        ChaseOutcome::Paused => {}
+                        ChaseOutcome::Terminated => {
+                            done[i] = Some(slot.take().unwrap().finish());
+                        }
+                        other => panic!("{label}: session {i} stopped with {other:?}"),
+                    }
+                }
+            }
+            for (i, result) in done.into_iter().enumerate() {
+                assert_identical(
+                    &solo[i],
+                    &result.unwrap(),
+                    &format!("{label} session {i}"),
+                );
+            }
+        }
+    }
+}
+
+/// Submitted (non-blocking) jobs on a busy engine return byte-identical
+/// results to blocking solo runs: many jobs queued before any is
+/// awaited, across thread counts and apply paths.
+#[test]
+fn submitted_jobs_are_byte_identical_to_blocking_runs() {
+    let programs: Vec<Program> = (0..6).map(|i| chain_program(3 + 2 * i)).collect();
+    let prepared: Vec<PreparedProgram> = programs
+        .iter()
+        .map(|p| PreparedProgram::compile(p.tgds.clone()))
+        .collect();
+    for threads in THREADS {
+        for path in APPLY_PATHS {
+            let cfg = config(threads, path);
+            let label = format!("threads {threads} {path:?}");
+            let solo: Vec<ChaseResult> = programs
+                .iter()
+                .zip(&prepared)
+                .map(|(p, prog)| Engine::from_config(&cfg).chase(prog, &p.database))
+                .collect();
+
+            let engine = Engine::from_config(&cfg);
+            let handles: Vec<_> = programs
+                .iter()
+                .zip(&prepared)
+                .map(|(p, prog)| engine.submit(prog, &p.database))
+                .collect();
+            for (i, handle) in handles.into_iter().enumerate() {
+                let result = handle.wait();
+                assert_eq!(
+                    result.outcome,
+                    ChaseOutcome::Terminated,
+                    "{label}: job {i}"
+                );
+                assert_identical(&solo[i], &result, &format!("{label} job {i}"));
+            }
+        }
+    }
+}
+
+/// `submit` on a sequential (`threads: 0`) engine spins the scheduler up
+/// lazily — the job still runs off-thread and matches the blocking run.
+#[test]
+fn submit_on_sequential_engine_is_lazy_and_identical() {
+    let p = chain_program(8);
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let cfg = config(0, ApplyPath::Pipeline);
+    let engine = Engine::from_config(&cfg);
+    let solo = engine.chase(&prepared, &p.database);
+    let result = engine.submit(&prepared, &p.database).wait();
+    assert_eq!(result.outcome, ChaseOutcome::Terminated);
+    assert_identical(&solo, &result, "lazy scheduler job");
+}
+
+/// Fairness smoke: small jobs queued BEHIND a much larger one still
+/// complete (the scheduler slices jobs in round-boundary quanta instead
+/// of running the queue head to completion), every result identical to
+/// its solo run, and the queue wait every job reports stays part of the
+/// latency accounting (wait + wall covers submit-to-result).
+#[test]
+fn small_jobs_behind_a_large_one_are_not_starved() {
+    let big = chain_program(48);
+    let big_prepared = PreparedProgram::compile(big.tgds.clone());
+    let smalls: Vec<Program> = (0..8).map(|_| chain_program(4)).collect();
+    let small_prepared = PreparedProgram::compile(smalls[0].tgds.clone());
+    let cfg = config(2, ApplyPath::Pipeline);
+    let engine = Engine::from_config(&cfg);
+    let solo_big = engine.chase(&big_prepared, &big.database);
+    let solo_small = engine.chase(&small_prepared, &smalls[0].database);
+
+    let big_handle = engine.submit(&big_prepared, &big.database);
+    let small_handles: Vec<_> = smalls
+        .iter()
+        .map(|p| engine.submit(&small_prepared, &p.database))
+        .collect();
+    for (i, handle) in small_handles.into_iter().enumerate() {
+        let result = handle.wait();
+        assert_eq!(
+            result.outcome,
+            ChaseOutcome::Terminated,
+            "small job {i} starved"
+        );
+        assert_identical(&solo_small, &result, &format!("small job {i}"));
+        assert!(
+            result.stats.sched_wait_secs >= 0.0 && result.stats.wall_secs > 0.0,
+            "small job {i}: latency accounting"
+        );
+    }
+    let big_result = big_handle.wait();
+    assert_eq!(big_result.outcome, ChaseOutcome::Terminated, "big job");
+    assert_identical(&solo_big, &big_result, "big job");
+}

@@ -240,6 +240,108 @@ fn genuine_panic_poisons_only_its_session() {
     assert_same_instance(&reference, &fresh.finish(), "post-poison session");
 }
 
+/// A workload whose every round carries enough tasks to cross the
+/// scheduler's engagement floor (`POOL_TASKS_MIN`) even on a tiny
+/// delta: 18 rules share one body predicate, so a `threads ≥ 2` run
+/// publishes every round and [`FaultSite::SchedUnit`] sits on the unit
+/// claims.
+fn wide_rule_workload() -> Program {
+    let mut text = String::from("e(a, b).\ne(b, c).\n");
+    for i in 0..18 {
+        text.push_str(&format!("e(X, Y) -> q{i}(X, Y).\n"));
+    }
+    parse_program(&text).unwrap()
+}
+
+/// [`FaultSite::SchedUnit`] — a claimed shard unit of a published
+/// pooled phase — fires deterministically on an engaged run, fails the
+/// session cleanly (typed error, rolled back to the round boundary),
+/// and the disarmed resume is byte-identical. The engine's scheduler
+/// and a fresh session survive.
+#[test]
+fn sched_unit_fault_fails_cleanly_and_resumes_identically() {
+    let _t = FaultTest::begin();
+    let p = wide_rule_workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let mut cfg = config(2, ApplyPath::Pipeline);
+    let reference = Engine::from_config(&cfg).chase(&prepared, &p.database);
+    assert!(reference.terminated());
+
+    cfg.fault_plan = FaultPlan::none().fail(FaultSite::SchedUnit, 0);
+    let engine = Engine::from_config(&cfg);
+    let mut session = engine.session(&prepared, &p.database);
+    let outcome = session.run();
+    assert!(
+        matches!(
+            outcome,
+            ChaseOutcome::Failed(ChaseError::Injected {
+                site: FaultSite::SchedUnit,
+                ..
+            })
+        ),
+        "sched_unit must fire on an engaged pooled round, got {outcome:?}"
+    );
+    assert!(!session.poisoned(), "injected unit fault must not poison");
+    session.set_fault_plan(FaultPlan::none());
+    assert_eq!(session.resume(), ChaseOutcome::Terminated, "resume");
+    assert_same_instance(&reference, &session.finish(), "sched_unit resume");
+
+    // The scheduler outlives the failed run: a clean session on the
+    // same engine (same pool) is untouched.
+    let mut fresh = engine.session(&prepared, &p.database);
+    fresh.set_fault_plan(FaultPlan::none());
+    assert_eq!(fresh.run(), ChaseOutcome::Terminated);
+    assert_same_instance(&reference, &fresh.finish(), "post-fault session");
+}
+
+/// A genuinely panicking job under concurrent load poisons only itself:
+/// `sched_job:N:panic` armed process-globally (the per-slice guard is a
+/// no-op for plan-free configs, so the hit counter spans the whole
+/// queue) fells exactly one of many submitted jobs — every other job
+/// completes byte-identically, and the engine keeps serving.
+#[test]
+fn panicking_job_under_concurrent_load_fails_only_itself() {
+    let _t = FaultTest::begin();
+    let p = workload();
+    let prepared = PreparedProgram::compile(p.tgds.clone());
+    let cfg = config(2, ApplyPath::Pipeline);
+    let engine = Engine::from_config(&cfg);
+    let reference = engine.chase(&prepared, &p.database);
+    assert!(reference.terminated());
+
+    // Arm the third job-slice entry, via the text syntax so the new
+    // sites' plan grammar is covered too.
+    nuchase_model::fault::arm(&FaultPlan::parse("sched_job:2:panic").unwrap());
+    let handles: Vec<_> = (0..6)
+        .map(|_| engine.submit(&prepared, &p.database))
+        .collect();
+    let results: Vec<ChaseResult> = handles.into_iter().map(|h| h.wait()).collect();
+    nuchase_model::fault::disarm();
+
+    let mut panics = 0usize;
+    for (i, r) in results.iter().enumerate() {
+        match &r.outcome {
+            ChaseOutcome::Terminated => {
+                assert_same_instance(&reference, r, &format!("innocent job {i}"));
+            }
+            ChaseOutcome::Failed(ChaseError::Panic { message }) => {
+                panics += 1;
+                assert!(
+                    message.contains("injected panic at fault site"),
+                    "job {i}: panic message lost: {message}"
+                );
+            }
+            other => panic!("job {i}: unexpected outcome {other:?}"),
+        }
+    }
+    assert_eq!(panics, 1, "exactly one victim job");
+
+    // Disarmed, the same engine's queue is clean again.
+    let after = engine.submit(&prepared, &p.database).wait();
+    assert_eq!(after.outcome, ChaseOutcome::Terminated, "post-panic job");
+    assert_same_instance(&reference, &after, "post-panic job");
+}
+
 /// `NUCHASE_FAULT_PLAN` arms runs exactly like a config plan, and a
 /// malformed value warns and stays disarmed instead of failing runs.
 #[test]

@@ -425,6 +425,8 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
         faults_injected: 1,
         spill_fallbacks: 1,
         retries: 2,
+        sched_wait_secs: 0.02,
+        sched_occupancy: 0.5,
     };
     let b = ChaseStats {
         rounds: 2,
@@ -452,6 +454,8 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
         faults_injected: 2,
         spill_fallbacks: 0,
         retries: 1,
+        sched_wait_secs: 0.01,
+        sched_occupancy: 0.25, // below a's peak occupancy
     };
     a.absorb(&b);
     assert_eq!(a.rounds, 5);
@@ -484,6 +488,9 @@ fn chase_stats_absorb_sums_counters_and_maxes_gauges() {
     assert_eq!(a.faults_injected, 3);
     assert_eq!(a.spill_fallbacks, 1);
     assert_eq!(a.retries, 3);
+    // Scheduler gauges: wait time sums, peak occupancy maxes.
+    assert!((a.sched_wait_secs - 0.03).abs() < 1e-12);
+    assert!((a.sched_occupancy - 0.5).abs() < 1e-12);
 }
 
 /// Per-run vs lifetime statistics across pause / resume / `add_atoms`:
