@@ -999,6 +999,10 @@ pub fn run_huge_bench(quick: bool) -> Vec<HugeBenchRow> {
         let _ = std::fs::create_dir_all(&tmp_spill);
         std::env::set_var("NUCHASE_INSTANCE_SPILL_DIR", &tmp_spill);
     }
+    // Arena *sizing* caches its spill decision at the first arena
+    // creation (long past, by now), so ask for spill-tier chunk lengths
+    // explicitly: the sweep wants few, large mappings.
+    nuchase_model::chunk::set_spill_chunking(Some(true));
     let mut rows = Vec::new();
     for (name, (db, tgds, budget)) in workloads {
         let r = semi_oblivious_chase(&db, &tgds, budget);
@@ -1024,6 +1028,7 @@ pub fn run_huge_bench(quick: bool) -> Vec<HugeBenchRow> {
             optimized,
         });
     }
+    nuchase_model::chunk::set_spill_chunking(None);
     if !spill_was_set {
         std::env::remove_var("NUCHASE_INSTANCE_SPILL_DIR");
         let _ = std::fs::remove_dir(&tmp_spill);
@@ -1867,7 +1872,10 @@ pub fn run_serve_bench(runs: usize, quick: bool) -> ServeBenchRow {
             // unchanged: at most `sessions` chases are ever in flight.
             let bursts = gated_sessions.div_ceil(sessions).max(1);
             let best = &mut level_best[li];
-            progress(&format!("paired iteration {}/{runs}: level {sessions}", run + 1));
+            progress(&format!(
+                "paired iteration {}/{runs}: level {sessions}",
+                run + 1
+            ));
             let t = Instant::now();
             let mut latencies = Vec::with_capacity(sessions * bursts);
             let mut fast = Vec::new();
@@ -1913,14 +1921,16 @@ pub fn run_serve_bench(runs: usize, quick: bool) -> ServeBenchRow {
             };
             if best
                 .as_ref()
-                .map_or(true, |b| row.chases_per_sec > b.chases_per_sec)
+                .is_none_or(|b| row.chases_per_sec > b.chases_per_sec)
             {
                 *best = Some(row);
             }
         }
     }
     let gated_chases_per_sec = gated_sessions as f64 / gated_best.max(1e-12);
-    progress(&format!("gated baseline: {gated_chases_per_sec:.0} chases/s"));
+    progress(&format!(
+        "gated baseline: {gated_chases_per_sec:.0} chases/s"
+    ));
     let level_rows: Vec<ServeLevelNumbers> = level_best
         .into_iter()
         .map(|best| best.expect("runs >= 1"))
@@ -2010,7 +2020,11 @@ pub fn serve_bench_json(row: &ServeBenchRow) -> String {
         "  \"gated_chases_per_sec\": {:.1},",
         row.gated_chases_per_sec
     );
-    let _ = writeln!(out, "  \"solo_fast_wall_us\": {:.1},", row.solo_fast_wall_us);
+    let _ = writeln!(
+        out,
+        "  \"solo_fast_wall_us\": {:.1},",
+        row.solo_fast_wall_us
+    );
     let _ = writeln!(out, "  \"serve_vs_gated\": {:.3},", row.serve_vs_gated);
     let _ = writeln!(out, "  \"levels\": [");
     for (i, l) in row.levels.iter().enumerate() {

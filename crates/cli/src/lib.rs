@@ -399,9 +399,32 @@ pub fn cmd_serve(
             Ok(String::new())
         }
         Some(path) => {
-            // A stale socket file from a previous server refuses the
-            // bind; remove it first (ignore a missing one).
-            let _ = std::fs::remove_file(path);
+            // A stale socket file from a dead server refuses the bind,
+            // so clear it — but only a *dead socket*: a live listener
+            // must not have its address silently stolen (its clients
+            // would start failing with no error on either server), and
+            // an unrelated file mistakenly passed as --socket must not
+            // be deleted.
+            match std::fs::metadata(path) {
+                Ok(meta) => {
+                    use std::os::unix::fs::FileTypeExt as _;
+                    if !meta.file_type().is_socket() {
+                        return Err(format!(
+                            "--socket {path}: refusing to replace an existing non-socket file"
+                        )
+                        .into());
+                    }
+                    if std::os::unix::net::UnixStream::connect(path).is_ok() {
+                        return Err(format!(
+                            "--socket {path}: another server is already listening there"
+                        )
+                        .into());
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
             let listener = std::os::unix::net::UnixListener::bind(path)?;
             eprintln!("nuchase: serving on {path} (unix socket, one connection at a time)");
             loop {

@@ -20,8 +20,8 @@
 //! | `NUCHASE_TELEMETRY` | `off`, `counters`, `full` | Telemetry level when the config leaves it `Off`. |
 //! | `NUCHASE_TELEMETRY_RING` | integer | Round-event ring capacity (default 4096). |
 //! | `NUCHASE_TELEMETRY_STRIDE` | integer | Fixed round-sampling stride (default: auto-doubling). |
-//! | `NUCHASE_INSTANCE_SPILL_DIR` | directory path | When set, new arena chunks (instance term pool, postings spill, fired-set tuples) are file-backed `mmap`s in this directory, so instances grow past RAM with bounded RSS. Parsed in `model::chunk`, checked per chunk allocation. |
-//! | `NUCHASE_CHUNK_LEN` | power-of-two integer ≥ 64 | Arena chunk length in elements (default 65536). Parsed in `model::chunk`, resolved once per process. |
+//! | `NUCHASE_INSTANCE_SPILL_DIR` | directory path | When set, new arena chunks (instance term pool, postings spill, fired-set tuples) are file-backed `mmap`s in this directory, so instances grow past RAM with bounded RSS. Parsed in `model::chunk`: backing is checked per chunk allocation, the arena-sizing decision it feeds is sampled once at the first arena creation (`set_spill_chunking` overrides in-process). |
+//! | `NUCHASE_CHUNK_LEN` | power-of-two integer ≥ 64 | Arena chunk length in elements (default adaptive: 4096 in-memory, 65536 under the spill tier). Parsed in `model::chunk`, resolved once per process. |
 //! | `NUCHASE_HUGE_CEILING_BYTES` | integer | Peak-instance-bytes ceiling asserted by the `--bench-huge` workloads (parsed by the bench harness). |
 //! | `NUCHASE_SCHED_QUANTUM_US` | integer (µs, default 500) | Job slice quantum for submitted (non-blocking) chases: a job that exceeds it is requeued at the next round boundary so queued jobs interleave fairly. Resolved once per scheduler (engine) construction. |
 //! | `NUCHASE_FAULT_PLAN` | `site:nth[:panic][,..]` | Deterministic fault injection: arm the `nth` (0-based) hit of each named site (`arena_grow`, `spill_map`, `spill_transient`, `table_grow`, `worker_task`, `commit`, `sched_unit`, `sched_job`) to fail; the `:panic` flavor unwinds with a plain panic (simulated bug) instead of the typed fault. An explicit `ChaseConfig::fault_plan` wins over the environment. |

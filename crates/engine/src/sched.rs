@@ -32,10 +32,15 @@
 //!
 //! A coordinator opens a sharded phase with [`RunShared::open_enumerate`]
 //! / [`RunShared::open_resolve`], drains its own share, then
-//! [`RunShared::close_phase`]s: closing flips `open` off and waits until
-//! every registered helper has left. Helpers register **before** their
-//! first claim and re-check `open` on **every** claim, so closing a
-//! phase early (first failure wins) is always safe; results are pushed
+//! [`RunShared::close_phase`]s: closing clears the open bit of the
+//! packed phase word (`epoch | mode | open` in one atomic, so phase
+//! identity is indivisible) and waits until every registered helper has
+//! left. Helpers register **before** reading the phase word and
+//! re-check the whole word on **every** claim, so closing a phase early
+//! (first failure wins) is always safe — and a helper whose
+//! registration races a phase transition can never execute one phase's
+//! bodies against the other's cursor (see [`RunShared::drain`] for the
+//! ordering argument); results are pushed
 //! under the result mutex before a helper deregisters, which gives the
 //! coordinator a happens-before edge on everything it merges. Because
 //! the coordinator only takes the round write lock while the phase is
@@ -94,6 +99,17 @@ use crate::session::{
 const MODE_ENUMERATE: usize = 0;
 const MODE_RESOLVE: usize = 1;
 
+/// Layout of the packed phase word ([`RunShared::phase`]): bit 0 is the
+/// open flag, bit 1 the mode ([`MODE_ENUMERATE`] / [`MODE_RESOLVE`]),
+/// bits 2.. an epoch bumped on every open. One word, so a helper can
+/// never pair a stale mode with a fresh open flag — the failure mode
+/// that would let an enumerate-mode visit consume a resolve phase's
+/// cursor (duplicating enumerate results into the next round while the
+/// claimed resolve chunks silently vanish from the commit).
+const PHASE_OPEN: usize = 1;
+const PHASE_MODE_SHIFT: u32 = 1;
+const PHASE_EPOCH_SHIFT: u32 = 2;
+
 /// Accepted triggers per resolve-phase work unit. Like [`Task`] windows,
 /// a pure function of the round — never of the worker count.
 const RESOLVE_CHUNK: u32 = 256;
@@ -143,12 +159,12 @@ pub(crate) struct RunShared {
     next_unit: AtomicUsize,
     /// Unit count of the currently open phase (for the board scan).
     total_units: AtomicUsize,
-    /// The phase helpers would drain ([`MODE_ENUMERATE`] /
-    /// [`MODE_RESOLVE`]); read under `open`'s acquire.
-    mode: AtomicUsize,
-    /// Is a sharded phase open? Re-checked by helpers on *every* claim,
-    /// so an early close (failure) stops them at the next unit boundary.
-    open: AtomicBool,
+    /// The packed phase identity (`epoch << 2 | mode << 1 | open`, see
+    /// [`PHASE_OPEN`]). A helper reads it once — after registering — and
+    /// re-checks it on *every* claim, so an early close (failure) stops
+    /// it at the next unit boundary and a phase transition that raced
+    /// its registration can never hand it the wrong cursor.
+    phase: AtomicUsize,
     /// Fast-path flag for "a unit failed": claim loops stop early
     /// without taking the failure mutex.
     failed: AtomicBool,
@@ -186,8 +202,7 @@ impl RunShared {
             round: RwLock::new(round),
             next_unit: AtomicUsize::new(0),
             total_units: AtomicUsize::new(0),
-            mode: AtomicUsize::new(MODE_ENUMERATE),
-            open: AtomicBool::new(false),
+            phase: AtomicUsize::new(0),
             failed: AtomicBool::new(false),
             helpers: AtomicUsize::new(0),
             idle: Mutex::new(()),
@@ -214,10 +229,17 @@ impl RunShared {
     }
 
     fn open_phase(&self, mode: usize, units: usize) {
-        self.mode.store(mode, Ordering::Release);
         self.next_unit.store(0, Ordering::Relaxed);
         self.total_units.store(units, Ordering::Release);
-        self.open.store(true, Ordering::SeqCst);
+        // One SeqCst store publishes epoch + mode + open as a unit,
+        // after the cursor reset above: a helper that observes this
+        // word observes a consistent phase (see `drain`). Only the
+        // coordinator writes the word, so the epoch bump needs no RMW.
+        let epoch = (self.phase.load(Ordering::Relaxed) >> PHASE_EPOCH_SHIFT).wrapping_add(1);
+        self.phase.store(
+            (epoch << PHASE_EPOCH_SHIFT) | (mode << PHASE_MODE_SHIFT) | PHASE_OPEN,
+            Ordering::SeqCst,
+        );
     }
 
     /// Closes the current phase: stops further claims and waits until
@@ -226,7 +248,12 @@ impl RunShared {
     /// into [`ChaseStats::sched_wait_secs`]). After this returns the
     /// coordinator may take the round write guard.
     pub(crate) fn close_phase(&self) -> f64 {
-        self.open.store(false, Ordering::SeqCst);
+        // Clear the open bit *before* the helpers check below. Paired
+        // with helpers registering before their phase read, SeqCst on
+        // both sides closes the late-registration race: a helper whose
+        // registration this check misses is guaranteed to read the
+        // cleared word (or a later one) and leave without claiming.
+        self.phase.fetch_and(!PHASE_OPEN, Ordering::SeqCst);
         let mut guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
         if self.helpers.load(Ordering::SeqCst) == 0 {
             return 0.0;
@@ -250,7 +277,7 @@ impl RunShared {
     /// board scan; a stale `true` is harmless — the helper re-checks
     /// `open` on registration.)
     fn has_work(&self) -> bool {
-        self.open.load(Ordering::Acquire)
+        self.phase.load(Ordering::Acquire) & PHASE_OPEN != 0
             && !self.failed.load(Ordering::Relaxed)
             && self.next_unit.load(Ordering::Relaxed) < self.total_units.load(Ordering::Acquire)
     }
@@ -272,13 +299,34 @@ impl RunShared {
     /// dry or the phase closes. Used by helpers (via [`RunShared::help`])
     /// and by the coordinator for its own share. Panics inside unit
     /// bodies are caught here and recorded as the run's first failure.
+    ///
+    /// The visit is bound to one phase identity: the packed word is read
+    /// once here and every claim re-verifies it. This is what makes a
+    /// helper's registration racing a phase transition safe. If the
+    /// closing coordinator saw the registration, it waits for the helper
+    /// and no transition happens under it. If it did not — the helper
+    /// registered after `close_phase`'s helpers check — then SeqCst
+    /// ordering (registration is an RMW sequenced before this load, the
+    /// coordinator clears the open bit before its helpers check) forces
+    /// this load to observe the closed word or the *next* phase's word,
+    /// never the stale open one; either the helper leaves or it helps
+    /// the new phase under its correct mode and cursor. And once a
+    /// registered helper has observed an open word, no further
+    /// transition can occur until it deregisters (every later close must
+    /// wait on it), so a mid-loop epoch mismatch only ever means "this
+    /// phase closed": the claimed index is past the total on a normal
+    /// close (the coordinator drains the cursor dry before closing) and
+    /// discarded wholesale on a failure close.
     pub(crate) fn drain(&self, ws: &mut WorkerScratch) {
-        let mode = self.mode.load(Ordering::Acquire);
+        let ph = self.phase.load(Ordering::SeqCst);
+        if ph & PHASE_OPEN == 0 {
+            return;
+        }
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            if mode == MODE_ENUMERATE {
-                self.drain_tasks(ws);
+            if (ph >> PHASE_MODE_SHIFT) & 1 == MODE_ENUMERATE {
+                self.drain_tasks(ph, ws);
             } else {
-                self.drain_resolve(ws);
+                self.drain_resolve(ph, ws);
             }
         }));
         if let Err(payload) = caught {
@@ -290,10 +338,10 @@ impl RunShared {
     /// the phase closes), enumerating each against the frozen round
     /// snapshot and batching the results. Batch arenas come from the
     /// recycle pool, so the steady state allocates nothing per task.
-    fn drain_tasks(&self, ws: &mut WorkerScratch) {
+    fn drain_tasks(&self, ph: usize, ws: &mut WorkerScratch) {
         let mut out: Vec<(u32, TriggerBatch, usize)> = Vec::new();
         loop {
-            if !self.open.load(Ordering::Acquire) || self.failed.load(Ordering::Relaxed) {
+            if self.phase.load(Ordering::SeqCst) != ph || self.failed.load(Ordering::Relaxed) {
                 break;
             }
             let i = self.next_unit.fetch_add(1, Ordering::Relaxed);
@@ -356,10 +404,10 @@ impl RunShared {
     /// Steals resolve ranges off the unit cursor until the planned
     /// prefix is covered (or the phase closes), resolving each against
     /// the frozen snapshot + accepted batch + null plan.
-    fn drain_resolve(&self, ws: &mut WorkerScratch) {
+    fn drain_resolve(&self, ph: usize, ws: &mut WorkerScratch) {
         let mut out: Vec<ResolvedBatch> = Vec::new();
         loop {
-            if !self.open.load(Ordering::Acquire) || self.failed.load(Ordering::Relaxed) {
+            if self.phase.load(Ordering::SeqCst) != ph || self.failed.load(Ordering::Relaxed) {
                 break;
             }
             let r = self.next_unit.fetch_add(1, Ordering::Relaxed) as u64;
@@ -571,11 +619,7 @@ impl JobHandle {
     fn park_take(self) -> ChaseResult {
         let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
         while slot.is_none() {
-            slot = self
-                .shared
-                .cv
-                .wait(slot)
-                .unwrap_or_else(|e| e.into_inner());
+            slot = self.shared.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
         }
         slot.take().expect("checked Some under the lock")
     }
@@ -632,11 +676,7 @@ impl Drop for HelperGuard {
         // Notify under the board lock: a worker that just observed a
         // full lane budget must see either the decrement or this wake,
         // never neither.
-        let board = self
-            .inner
-            .board
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let board = self.inner.board.lock().unwrap_or_else(|e| e.into_inner());
         if !board.jobs.is_empty() {
             self.inner.work_cv.notify_all();
         }
@@ -687,7 +727,10 @@ impl PendingJob {
         let parts = inner.parts.lock().unwrap_or_else(|e| e.into_inner()).pop();
         let (mut fired, driver) = match parts {
             Some(parts) => parts,
-            None => (Vec::new(), RoundDriver::new(&self.config, self.program.tgds())),
+            None => (
+                Vec::new(),
+                RoundDriver::new(&self.config, self.program.tgds()),
+            ),
         };
         fired.resize_with(self.program.rule_count(), TermTupleSet::new);
         let database = Self::claim_database(self.database);
@@ -732,10 +775,12 @@ impl PendingJob {
 /// A queue entry: a submitted chase either waiting for its first slice
 /// ([`PendingJob`]) or mid-chase between quanta ([`Job`]). FIFO across
 /// both — requeued slices go to the back, behind newer submissions.
+/// Payloads are boxed so the queue moves a pointer, not the ~2.7 KB
+/// session state, on every requeue and `VecDeque` growth.
 #[derive(Debug)]
 enum Queued {
-    Fresh(PendingJob),
-    Slice(Job),
+    Fresh(Box<PendingJob>),
+    Slice(Box<Job>),
 }
 
 impl Queued {
@@ -780,9 +825,11 @@ impl Job {
         let tgds = self.program.shared_tgds();
         self.driver
             .restart(&self.config, self.program.single_atom_bodies(), mark);
-        let mut stats = ChaseStats::default();
-        stats.sched_wait_secs = std::mem::take(&mut self.queue_wait);
-        stats.sched_occupancy = occupancy;
+        let mut stats = ChaseStats {
+            sched_wait_secs: std::mem::take(&mut self.queue_wait),
+            sched_occupancy: occupancy,
+            ..Default::default()
+        };
         let len_before = self.core.instance.len();
         let nulls_before = self.core.apply.nulls.len();
         self.core.apply.begin_run_telemetry(self.lifetime.rounds);
@@ -992,6 +1039,17 @@ impl Scheduler {
     /// workers scan the board and find it. Tiny (non-engaged) rounds
     /// never kick, so a deep chain chase leaves the pool asleep.
     pub(crate) fn kick(&self) {
+        // Taking the board lock orders this notify against any worker
+        // mid scan-then-wait: a worker whose empty scan raced the open
+        // holds the board lock until it enters `work_cv.wait`, which
+        // releases the lock — so by the time we acquire it here, that
+        // worker is waiting and the notify reaches it; a worker that
+        // locks after us sees the open phase. A bare notify_all
+        // could land in the gap between a worker's empty scan and its
+        // wait, parking it through the whole phase: results would stay
+        // correct (the coordinator drains every unit itself) but the
+        // round silently degrades toward single-threaded.
+        let _board = self.inner.board.lock().unwrap_or_else(|e| e.into_inner());
         self.inner.work_cv.notify_all();
     }
 
@@ -1021,7 +1079,7 @@ impl Scheduler {
             // grace: a napper re-scans the queue at its timeout, so
             // the job's start is already bounded.
             let wake = board.jobs.is_empty() && board.napping == 0;
-            board.jobs.push_back(Queued::Fresh(pending));
+            board.jobs.push_back(Queued::Fresh(Box::new(pending)));
             wake
         };
         // Wake a worker only on the empty->nonempty transition. A
@@ -1099,8 +1157,8 @@ fn worker_main(inner: Arc<SchedInner>) {
                 // worker leaves the queue to the caller instead of
                 // time-slicing the same core against it. The caller
                 // notifies when it stops draining with jobs left.
-                let executing = inner.busy.load(Ordering::Relaxed)
-                    + inner.helpers.load(Ordering::Relaxed);
+                let executing =
+                    inner.busy.load(Ordering::Relaxed) + inner.helpers.load(Ordering::Relaxed);
                 if executing < inner.lanes {
                     // Admission grace: the submitting thread counts as
                     // one prospective lane — callers usually turn
@@ -1182,7 +1240,7 @@ fn pick_run(board: &mut Board) -> Option<Arc<RunShared>> {
 /// touched. Shutdown while requeueing completes the job as cancelled.
 fn run_job_slice(inner: &SchedInner, queued: Queued) {
     let mut job = match queued {
-        Queued::Fresh(pending) => pending.materialize(inner),
+        Queued::Fresh(pending) => Box::new(pending.materialize(inner)),
         Queued::Slice(job) => job,
     };
     job.queue_wait += job.enqueued.elapsed().as_secs_f64();

@@ -144,12 +144,12 @@ use crate::dedup::TermTupleSet;
 use crate::fault::{ChaseError, FaultPlan};
 use crate::nulls::NullStore;
 use crate::parallel::run_pooled;
-use crate::sched::{JobHandle, Scheduler};
 use crate::phase::{
     enumerate_rule, enumerate_rule_batch, enumerate_rule_eager, enumerate_task,
     enumerate_task_batch, enumerate_task_eager, fused_chain_round, ApplyState, RoundCtx,
     RoundDriver,
 };
+use crate::sched::{JobHandle, Scheduler};
 use crate::telemetry::{RoundPath, TelemetryLevel, TelemetrySnapshot};
 
 /// A TGD set compiled once for any number of chases.

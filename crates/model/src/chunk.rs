@@ -25,7 +25,7 @@
 //! drop), and graduates to a dedicated heap `Vec` once it outgrows a
 //! chunk.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Default chunk capacity in *elements* (a power of two). At the 8-byte
@@ -48,31 +48,68 @@ pub const DEFAULT_CHUNK_LEN: usize = 1 << 16;
 pub const SMALL_CHUNK_LEN: usize = 1 << 12;
 
 /// Chunk length for a **new** arena: an explicit `NUCHASE_CHUNK_LEN`
-/// always wins; otherwise arenas created while
-/// `NUCHASE_INSTANCE_SPILL_DIR` is configured use the full default
-/// (file-backed chases want few, large mappings), and everything else
-/// uses [`SMALL_CHUNK_LEN`]. Read per creation, not cached — the huge
-/// harness toggles the spill knob in-process. Chunk length never
-/// changes the contents or order of what an arena stores, only its
-/// padding layout, so this choice is invisible through the model API;
-/// clones keep their source's chunk length (the layout **is** the
-/// index space, so a clone must preserve it).
+/// always wins; otherwise arenas sized while the spill tier is
+/// configured use the full default (file-backed chases want few, large
+/// mappings), and everything else uses [`SMALL_CHUNK_LEN`]. Both
+/// environment decisions are resolved **once**, at the first arena
+/// creation — this sits on the Instance-construction path of the serve
+/// regime (thousands of tiny tenant sessions per second), where
+/// per-creation `env::var` calls would contend on the process-global
+/// environment lock. In-process togglers use [`set_spill_chunking`]
+/// instead of `set_var`. Chunk length never changes the contents or
+/// order of what an arena stores, only its padding layout, so this
+/// choice is invisible through the model API; clones keep their
+/// source's chunk length (the layout **is** the index space, so a clone
+/// must preserve it).
 pub fn adaptive_chunk_len() -> usize {
-    let configured = configured_chunk_len();
-    if std::env::var_os("NUCHASE_CHUNK_LEN").is_some() {
-        return configured;
+    match explicit_chunk_len() {
+        Some(n) => n,
+        None if spill_chunking() => DEFAULT_CHUNK_LEN,
+        None => SMALL_CHUNK_LEN,
     }
-    if std::env::var("NUCHASE_INSTANCE_SPILL_DIR").is_ok_and(|d| !d.is_empty()) {
-        return configured;
-    }
-    SMALL_CHUNK_LEN.min(configured)
 }
 
-/// Chunk length resolved from `NUCHASE_CHUNK_LEN`, cached per process.
-fn configured_chunk_len() -> usize {
-    static LEN: OnceLock<usize> = OnceLock::new();
+/// Programmatic override of the spill half of the sizing decision:
+/// 0 = follow the (cached) environment, 1 = forced off, 2 = forced on.
+static SPILL_CHUNKING: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the arena-sizing half of the spill knob in-process:
+/// `Some(true)` sizes new arenas as if `NUCHASE_INSTANCE_SPILL_DIR`
+/// were set at startup, `Some(false)` as if it were not, `None`
+/// restores the cached environment decision. For harnesses (the huge
+/// bench sweep) that engage the spill tier after the first arena
+/// already froze the environment read — chunk *backing* still follows
+/// the live environment per allocation, only sizing is cached.
+pub fn set_spill_chunking(mode: Option<bool>) {
+    let v = match mode {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    SPILL_CHUNKING.store(v, Ordering::Relaxed);
+}
+
+/// Is the spill tier on, for arena sizing? The environment is consulted
+/// once, at the first query (i.e. the first arena creation).
+fn spill_chunking() -> bool {
+    match SPILL_CHUNKING.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static ENV: OnceLock<bool> = OnceLock::new();
+            *ENV.get_or_init(|| {
+                std::env::var("NUCHASE_INSTANCE_SPILL_DIR").is_ok_and(|d| !d.is_empty())
+            })
+        }
+    }
+}
+
+/// Chunk length resolved from `NUCHASE_CHUNK_LEN` (`None` when unset),
+/// cached per process.
+fn explicit_chunk_len() -> Option<usize> {
+    static LEN: OnceLock<Option<usize>> = OnceLock::new();
     *LEN.get_or_init(|| match std::env::var("NUCHASE_CHUNK_LEN") {
-        Ok(s) => match s.trim().parse::<usize>() {
+        Ok(s) => Some(match s.trim().parse::<usize>() {
             Ok(n) if n.is_power_of_two() && n >= 64 => n,
             _ => {
                 eprintln!(
@@ -81,8 +118,8 @@ fn configured_chunk_len() -> usize {
                 );
                 DEFAULT_CHUNK_LEN
             }
-        },
-        Err(_) => DEFAULT_CHUNK_LEN,
+        }),
+        Err(_) => None,
     })
 }
 

@@ -99,11 +99,7 @@ fn interleaved_sessions_are_byte_identical_to_solo_runs() {
                 }
             }
             for (i, result) in done.into_iter().enumerate() {
-                assert_identical(
-                    &solo[i],
-                    &result.unwrap(),
-                    &format!("{label} session {i}"),
-                );
+                assert_identical(&solo[i], &result.unwrap(), &format!("{label} session {i}"));
             }
         }
     }
@@ -137,11 +133,7 @@ fn submitted_jobs_are_byte_identical_to_blocking_runs() {
                 .collect();
             for (i, handle) in handles.into_iter().enumerate() {
                 let result = handle.wait();
-                assert_eq!(
-                    result.outcome,
-                    ChaseOutcome::Terminated,
-                    "{label}: job {i}"
-                );
+                assert_eq!(result.outcome, ChaseOutcome::Terminated, "{label}: job {i}");
                 assert_identical(&solo[i], &result, &format!("{label} job {i}"));
             }
         }
